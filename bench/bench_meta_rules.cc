@@ -1,0 +1,238 @@
+// E13 — the five meta-rules as measurements: which ranking approaches
+// satisfy which rules (the qualitative table implied throughout Sections
+// 3-4: RPC satisfies all five; first PCA breaks strict monotonicity /
+// nonlinearity; polyline breaks smoothness; Elmap lacks explicitness;
+// weighted sums lack nonlinear capacity; rank aggregation breaks
+// smoothness and monotonicity).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/elmap.h"
+#include "baselines/polyline_curve.h"
+#include "bench_util.h"
+#include "common/stringutil.h"
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+#include "linalg/stats.h"
+#include "order/meta_rules.h"
+#include "rank/first_pca.h"
+#include "rank/weighted_sum.h"
+
+namespace {
+
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+using rpc::order::MethodUnderTest;
+using rpc::order::MetaRuleReport;
+using rpc::order::Orientation;
+using rpc::order::ScoreFn;
+
+template <typename Model, typename FitFnT>
+ScoreFn WrapScore(FitFnT fitter, const Matrix& data,
+                  const Orientation& alpha) {
+  auto model = fitter(data, alpha);
+  auto shared = std::make_shared<Model>(std::move(model).value());
+  return [shared](const Vector& x) { return shared->Score(x); };
+}
+
+}  // namespace
+
+int main() {
+  rpc::bench::PrintHeader(
+      "E13: meta-rule audit of six ranking approaches",
+      "Sections 3-4 (which methods satisfy the five meta-rules)");
+
+  const auto alpha_result = Orientation::FromSigns({1, 1, -1});
+  const Orientation alpha = *alpha_result;
+  const rpc::data::LatentCurveSample sample =
+      rpc::data::GenerateLatentCurveData(
+          alpha,
+          {.n = 120, .noise_sigma = 0.03, .control_margin = 0.1, .seed = 3});
+  Matrix raw(sample.data.rows(), 3);
+  for (int i = 0; i < raw.rows(); ++i) {
+    raw(i, 0) = 300.0 + 70000.0 * sample.data(i, 0);
+    raw(i, 1) = 40.0 + 43.0 * sample.data(i, 1);
+    raw(i, 2) = 2.0 + 420.0 * sample.data(i, 2);
+  }
+
+  std::vector<MethodUnderTest> methods;
+  {
+    MethodUnderTest m;
+    m.name = "RPC";
+    m.fit = [](const Matrix& d, const Orientation& a) {
+      return WrapScore<rpc::core::RpcRanker>(
+          [](const Matrix& dd, const Orientation& aa) {
+            return rpc::core::RpcRanker::Fit(dd, aa);
+          },
+          d, a);
+    };
+    m.skeleton = [](const Matrix& d, const Orientation& a, int grid) {
+      auto fit = rpc::core::RpcRanker::Fit(d, a);
+      return fit->SampleSkeletonRaw(grid);
+    };
+    m.parameter_count = 4 * 3;
+    methods.push_back(m);
+  }
+  {
+    MethodUnderTest m;
+    m.name = "FirstPCA";
+    m.fit = [](const Matrix& d, const Orientation& a) {
+      return WrapScore<rpc::rank::FirstPcaRanker>(
+          [](const Matrix& dd, const Orientation& aa) {
+            return rpc::rank::FirstPcaRanker::Fit(dd, aa);
+          },
+          d, a);
+    };
+    m.skeleton = [](const Matrix& d, const Orientation& a, int grid) {
+      auto fit = rpc::rank::FirstPcaRanker::Fit(d, a);
+      return fit->SampleSkeleton(grid);
+    };
+    m.parameter_count = 2 * 3;
+    methods.push_back(m);
+  }
+  {
+    MethodUnderTest m;
+    m.name = "Elmap";
+    m.fit = [](const Matrix& d, const Orientation& a) {
+      return WrapScore<rpc::baselines::ElmapCurve>(
+          [](const Matrix& dd, const Orientation& aa) {
+            return rpc::baselines::ElmapCurve::Fit(dd, aa);
+          },
+          d, a);
+    };
+    m.skeleton = [](const Matrix& d, const Orientation& a, int grid) {
+      auto fit = rpc::baselines::ElmapCurve::Fit(d, a);
+      return fit->SampleSkeletonRaw(grid);
+    };
+    // Deliberately no parameter_count: node count is not known a priori —
+    // the paper's explicitness critique of Elmap.
+    methods.push_back(m);
+  }
+  {
+    MethodUnderTest m;
+    m.name = "PolylinePC";
+    m.fit = [](const Matrix& d, const Orientation& a) {
+      return WrapScore<rpc::baselines::PolylineCurve>(
+          [](const Matrix& dd, const Orientation& aa) {
+            return rpc::baselines::PolylineCurve::Fit(dd, aa);
+          },
+          d, a);
+    };
+    m.skeleton = [](const Matrix& d, const Orientation& a, int grid) {
+      auto fit = rpc::baselines::PolylineCurve::Fit(d, a);
+      return fit->SampleSkeletonRaw(grid);
+    };
+    m.parameter_count = 8 * 3;
+    methods.push_back(m);
+  }
+  {
+    MethodUnderTest m;
+    m.name = "WeightedSum";
+    m.fit = [](const Matrix& d, const Orientation& a) {
+      return WrapScore<rpc::rank::WeightedSumRanker>(
+          [](const Matrix& dd, const Orientation& aa) {
+            return rpc::rank::WeightedSumRanker::FitEqualWeights(dd, aa);
+          },
+          d, a);
+    };
+    // Its skeleton is the straight diagonal of the box — report it so the
+    // capacity rule can fail it on the nonlinear half.
+    m.skeleton = [](const Matrix& d, const Orientation& a, int grid) {
+      const Vector mins = rpc::linalg::ColumnMins(d);
+      const Vector maxs = rpc::linalg::ColumnMaxs(d);
+      Matrix line(grid + 1, d.cols());
+      for (int i = 0; i <= grid; ++i) {
+        const double t = static_cast<double>(i) / grid;
+        for (int j = 0; j < d.cols(); ++j) {
+          const double lo = a.sign(j) > 0 ? mins[j] : maxs[j];
+          const double hi = a.sign(j) > 0 ? maxs[j] : mins[j];
+          line(i, j) = lo + t * (hi - lo);
+        }
+      }
+      return line;
+    };
+    m.parameter_count = 3;
+    methods.push_back(m);
+  }
+  {
+    MethodUnderTest m;
+    m.name = "RankAgg";
+    m.fit = [](const Matrix& d, const Orientation& a) -> ScoreFn {
+      auto columns = std::make_shared<std::vector<std::vector<double>>>();
+      for (int j = 0; j < d.cols(); ++j) {
+        std::vector<double> column(static_cast<size_t>(d.rows()));
+        for (int i = 0; i < d.rows(); ++i) column[i] = d(i, j);
+        std::sort(column.begin(), column.end());
+        columns->push_back(std::move(column));
+      }
+      const Orientation alpha_copy = a;
+      return [columns, alpha_copy](const Vector& x) {
+        double total = 0.0;
+        for (int j = 0; j < x.size(); ++j) {
+          const auto& column = (*columns)[static_cast<size_t>(j)];
+          const double below = static_cast<double>(
+              std::lower_bound(column.begin(), column.end(), x[j]) -
+              column.begin());
+          total += alpha_copy.sign(j) > 0
+                       ? below
+                       : static_cast<double>(column.size()) - below;
+        }
+        return total / x.size();
+      };
+    };
+    methods.push_back(m);
+  }
+
+  rpc::order::MetaRuleOptions options;
+  options.seed = 11;
+  std::printf("\n%-12s %-10s %-10s %-10s %-10s %-10s %s\n", "method",
+              "invariant", "monotone", "capacity", "smooth", "explicit",
+              "all five");
+  std::vector<MetaRuleReport> reports;
+  for (const MethodUnderTest& method : methods) {
+    const MetaRuleReport report =
+        rpc::order::EvaluateMetaRules(method, raw, alpha, options);
+    reports.push_back(report);
+    const auto cell = [](const rpc::order::MetaRuleResult& r) {
+      return !r.applicable ? "n/a" : (r.passed ? "pass" : "FAIL");
+    };
+    std::printf("%-12s %-10s %-10s %-10s %-10s %-10s %s\n",
+                report.method_name.c_str(),
+                cell(report.scale_translation_invariance),
+                cell(report.strict_monotonicity), cell(report.capacity),
+                cell(report.smoothness), cell(report.explicitness),
+                report.AllPassed() ? "YES" : "no");
+  }
+
+  std::vector<rpc::bench::Comparison> comparisons;
+  comparisons.push_back({"RPC satisfies all five meta-rules", "yes",
+                         rpc::bench::YesNo(reports[0].AllPassed()),
+                         reports[0].AllPassed()});
+  comparisons.push_back(
+      {"first PCA breaks a rule (Section 4.1)", "yes",
+       rpc::bench::YesNo(!reports[1].AllPassed()), !reports[1].AllPassed()});
+  comparisons.push_back(
+      {"Elmap lacks explicit parameter size", "yes (Section 6.2.1)",
+       rpc::bench::YesNo(!reports[2].explicitness.passed),
+       !reports[2].explicitness.passed});
+  comparisons.push_back(
+      {"polyline PC breaks smoothness", "yes (Fig. 2a)",
+       rpc::bench::YesNo(!reports[3].smoothness.passed),
+       !reports[3].smoothness.passed});
+  comparisons.push_back(
+      {"weighted sum lacks nonlinear capacity", "yes (Section 1)",
+       rpc::bench::YesNo(!reports[4].capacity.passed),
+       !reports[4].capacity.passed});
+  comparisons.push_back(
+      {"RankAgg breaks smoothness/monotonicity", "yes (Section 6.1)",
+       rpc::bench::YesNo(!reports[5].smoothness.passed ||
+                         !reports[5].strict_monotonicity.passed),
+       !reports[5].smoothness.passed ||
+           !reports[5].strict_monotonicity.passed});
+
+  const int mismatches = rpc::bench::PrintComparisons(comparisons);
+  std::printf("\nE13 mismatches vs paper: %d\n", mismatches);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E8 — Section 5's complexity claim: one RPC iteration costs O(4d + n).
+// Google-Benchmark sweeps over n (rows) and d (attributes) for the full
+// fit and for its two constituent steps (projection, Richardson update).
+#include <benchmark/benchmark.h>
+
+#include "core/rpc_learner.h"
+#include "curve/cubic_bezier.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "linalg/matrix.h"
+#include "opt/curve_projection.h"
+#include "opt/richardson.h"
+
+namespace {
+
+using rpc::core::RpcLearner;
+using rpc::core::RpcLearnOptions;
+using rpc::linalg::Matrix;
+using rpc::order::Orientation;
+
+Matrix MakeData(int n, int d, uint64_t seed) {
+  const Orientation alpha = Orientation::AllBenefit(d);
+  const rpc::data::LatentCurveSample sample =
+      rpc::data::GenerateLatentCurveData(
+          alpha,
+          {.n = n, .noise_sigma = 0.03, .control_margin = 0.1, .seed = seed});
+  auto norm = rpc::data::Normalizer::Fit(sample.data);
+  return norm->Transform(sample.data);
+}
+
+// Full Algorithm 1 with a fixed iteration budget so the measured cost is
+// per-sweep, not convergence-dependent.
+void BM_RpcFitVsN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int d = 4;
+  const Matrix data = MakeData(n, d, 7);
+  const Orientation alpha = Orientation::AllBenefit(d);
+  RpcLearnOptions options;
+  options.max_iterations = 10;
+  options.tolerance = 0.0;  // run all 10 sweeps
+  for (auto _ : state) {
+    auto fit = RpcLearner(options).Fit(data, alpha);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RpcFitVsN)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_RpcFitVsD(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const Matrix data = MakeData(512, d, 9);
+  const Orientation alpha = Orientation::AllBenefit(d);
+  RpcLearnOptions options;
+  options.max_iterations = 10;
+  options.tolerance = 0.0;
+  for (auto _ : state) {
+    auto fit = RpcLearner(options).Fit(data, alpha);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_RpcFitVsD)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+// Projection step alone: O(n) per sweep.
+void BM_ProjectionStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix data = MakeData(n, 4, 11);
+  const Orientation alpha = Orientation::AllBenefit(4);
+  const rpc::core::RpcCurve curve = rpc::core::RpcCurve::Diagonal(alpha);
+  for (auto _ : state) {
+    double total = 0.0;
+    auto scores =
+        rpc::opt::ProjectRows(curve.bezier(), data, {}, &total);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ProjectionStep)->RangeMultiplier(4)->Range(64, 16384)
+    ->Complexity(benchmark::oN);
+
+// Richardson update alone: O(d) given the 4x4 Gram matrix.
+void BM_RichardsonStep(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int n = 512;
+  const Matrix data = MakeData(n, d, 13);
+  // Fixed scores -> fixed design.
+  rpc::linalg::Vector scores(n);
+  for (int i = 0; i < n; ++i) scores[i] = static_cast<double>(i) / (n - 1);
+  const Matrix design = rpc::curve::CubicM() * rpc::curve::CubicZMatrix(scores);
+  const Matrix gram = rpc::linalg::TimesTranspose(design, design);
+  const Matrix cross =
+      rpc::linalg::TransposeTimes(data, design.Transposed());
+  Matrix p(d, 4, 0.5);
+  for (auto _ : state) {
+    auto next = rpc::opt::RichardsonStep(p, gram, cross);
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_RichardsonStep)->RangeMultiplier(2)->Range(2, 64)
+    ->Complexity(benchmark::oN);
+
+}  // namespace

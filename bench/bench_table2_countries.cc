@@ -1,0 +1,155 @@
+// E2 — Table 2: life qualities of 171 countries; RPC vs the Elmap
+// comparator of Gorban-Zinovyev [8], explained variance, learned control
+// points in the original data space.
+#include <cstdio>
+
+#include "baselines/elmap.h"
+#include "bench_util.h"
+#include "common/stringutil.h"
+#include "core/rpc_ranker.h"
+#include "data/fixtures.h"
+#include "data/generators.h"
+#include "rank/metrics.h"
+
+namespace {
+
+using rpc::baselines::ElmapCurve;
+using rpc::baselines::ElmapOptions;
+using rpc::core::RpcRanker;
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+
+}  // namespace
+
+int main() {
+  rpc::bench::PrintHeader(
+      "E2: country life-quality ranking — RPC vs Elmap",
+      "Table 2 (+ the 90% vs 86% explained-variance comparison)");
+
+  const rpc::data::Dataset countries =
+      rpc::data::GenerateCountryData(171, 7, /*include_anchors=*/true);
+  const auto alpha = rpc::order::Orientation::FromSigns({1, 1, -1, -1});
+  const auto ranker = RpcRanker::FitDataset(countries, *alpha);
+  if (!ranker.ok()) {
+    std::fprintf(stderr, "%s\n", ranker.status().ToString().c_str());
+    return 1;
+  }
+  const Vector raw_scores = ranker->ScoreRows(countries.values());
+  const Vector unit_scores = rpc::core::RescaleToUnit(raw_scores);
+  const rpc::rank::RankingList list(unit_scores, countries.labels());
+
+  // Elmap comparator: [8]'s quality-of-life index used a coarse,
+  // low-resolution elastic map, which is what the paper's 86% refers to.
+  // We report that calibration plus the library default (20 free nodes,
+  // which out-fits the monotone cubic but satisfies fewer meta-rules).
+  ElmapOptions stiff;
+  stiff.num_nodes = 6;
+  stiff.lambda = 0.05;
+  stiff.mu = 3.0;
+  const auto elmap_stiff =
+      ElmapCurve::Fit(countries.values(), *alpha, stiff);
+  const auto elmap_default = ElmapCurve::Fit(countries.values(), *alpha);
+  if (!elmap_stiff.ok() || !elmap_default.ok()) {
+    std::fprintf(stderr, "elmap fit failed\n");
+    return 1;
+  }
+  const Vector elmap_scores = elmap_stiff->ScoreRows(countries.values());
+  const rpc::rank::RankingList elmap_list(elmap_scores, countries.labels());
+
+  // --- The Table 2 style list for the paper's anchor rows. ---------------
+  std::printf("\n%-15s %8s %7s %5s %5s | %-8s %-5s | %-8s %-5s "
+              "(paper RPC: %-7s %-5s)\n",
+              "country", "GDP", "LEB", "IMR", "TB", "Elmap", "ord",
+              "RPC", "ord", "score", "ord");
+  for (const auto& anchor : rpc::data::Table2Anchors()) {
+    const int idx = countries.LabelIndex(anchor.name).value();
+    std::printf(
+        "%-15s %8.0f %7.2f %5.0f %5.0f | %8.3f %5d | %8.4f %5d "
+        "(paper RPC: %7.4f %5d)\n",
+        anchor.name, anchor.gdp, anchor.leb, anchor.imr, anchor.tb,
+        elmap_scores[idx], elmap_list.PositionOf(idx), unit_scores[idx],
+        list.PositionOf(idx), anchor.rpc_score, anchor.rpc_order);
+  }
+
+  // --- Learned control points in original units (Table 2 bottom). --------
+  const Matrix points = ranker->ControlPointsInOriginalSpace();
+  const Matrix paper_points = rpc::data::Table2ControlPoints();
+  std::printf("\nControl/end points in original units (paper's in brackets):\n");
+  std::printf("%-4s %22s %20s %18s %18s\n", "", "GDP", "LEB", "IMR", "TB");
+  for (int r = 0; r < 4; ++r) {
+    std::printf("p%-3d %10.1f [%8.1f] %9.2f [%7.2f] %8.1f [%6.1f] %8.1f "
+                "[%6.1f]\n",
+                r, points(r, 0), paper_points(r, 0), points(r, 1),
+                paper_points(r, 1), points(r, 2), paper_points(r, 2),
+                points(r, 3), paper_points(r, 3));
+  }
+
+  // --- Explained variance. ------------------------------------------------
+  const Matrix normalized = ranker->normalizer().Transform(countries.values());
+  const double rpc_ev = rpc::rank::ExplainedVariance(
+      ranker->fit_result().final_j, normalized);
+  const double elmap_ev = rpc::rank::ExplainedVariance(
+      elmap_stiff->residual_j(), normalized);
+  const double elmap_default_ev = rpc::rank::ExplainedVariance(
+      elmap_default->residual_j(), normalized);
+  std::printf("\nExplained variance: RPC %.1f%%, Elmap(paper-calibrated) "
+              "%.1f%%, Elmap(default, 20 free nodes) %.1f%%\n",
+              100.0 * rpc_ev, 100.0 * elmap_ev, 100.0 * elmap_default_ev);
+
+  // --- Paper-vs-measured block. -------------------------------------------
+  std::vector<rpc::bench::Comparison> comparisons;
+  const auto& anchors = rpc::data::Table2Anchors();
+  bool tiers_hold = true;
+  for (size_t top = 0; top < 5; ++top) {
+    for (size_t bottom = 10; bottom < 15; ++bottom) {
+      const int t = countries.LabelIndex(anchors[top].name).value();
+      const int b = countries.LabelIndex(anchors[bottom].name).value();
+      tiers_hold = tiers_hold && list.PositionOf(t) < list.PositionOf(b);
+    }
+  }
+  comparisons.push_back({"top-5 anchors all above bottom-5 anchors", "yes",
+                         rpc::bench::YesNo(tiers_hold), tiers_hold});
+  const int lux = countries.LabelIndex("Luxembourg").value();
+  const int swz = countries.LabelIndex("Swaziland").value();
+  comparisons.push_back(
+      {"Luxembourg is the best anchor (score 1.0000)", "yes",
+       rpc::bench::YesNo(list.PositionOf(lux) < list.PositionOf(
+                             countries.LabelIndex("Norway").value())),
+       list.PositionOf(lux) <
+           list.PositionOf(countries.LabelIndex("Norway").value())});
+  bool swz_last_anchor = true;
+  for (const auto& anchor : anchors) {
+    if (std::string(anchor.name) == "Swaziland") continue;
+    const int other = countries.LabelIndex(anchor.name).value();
+    swz_last_anchor =
+        swz_last_anchor && list.PositionOf(swz) > list.PositionOf(other);
+  }
+  comparisons.push_back({"Swaziland is the worst anchor (score 0)", "yes",
+                         rpc::bench::YesNo(swz_last_anchor),
+                         swz_last_anchor});
+  comparisons.push_back(
+      {"explained variance: RPC vs Elmap", "90% vs 86% (RPC wins)",
+       rpc::StrFormat("%.0f%% vs %.0f%%", 100.0 * rpc_ev, 100.0 * elmap_ev),
+       rpc_ev > elmap_ev});
+  Vector our_anchor_orders(static_cast<int>(anchors.size()));
+  Vector paper_anchor_orders(static_cast<int>(anchors.size()));
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    our_anchor_orders[static_cast<int>(i)] = list.PositionOf(
+        countries.LabelIndex(anchors[i].name).value());
+    paper_anchor_orders[static_cast<int>(i)] = anchors[i].rpc_order;
+  }
+  const double rho =
+      rpc::rank::SpearmanRho(our_anchor_orders, paper_anchor_orders);
+  comparisons.push_back({"anchor-order Spearman vs paper", "1.0",
+                         rpc::StrFormat("%.3f", rho), rho > 0.9});
+  const double tau_methods = rpc::rank::KendallTauB(
+      raw_scores, elmap_default->ScoreRows(countries.values()));
+  comparisons.push_back({"RPC/Elmap list agreement (tau-b)",
+                         "high (methods broadly agree)",
+                         rpc::StrFormat("%.3f", tau_methods),
+                         tau_methods > 0.8});
+
+  const int mismatches = rpc::bench::PrintComparisons(comparisons);
+  std::printf("\nE2 mismatches vs paper: %d\n", mismatches);
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+namespace rpc::bench {
+
+void PrintHeader(const std::string& experiment,
+                 const std::string& paper_artefact) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Regenerates: %s\n", paper_artefact.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+int PrintComparisons(const std::vector<Comparison>& comparisons) {
+  std::printf("\n%-44s %-22s %-22s %s\n", "quantity", "paper", "measured",
+              "match");
+  int mismatches = 0;
+  for (const Comparison& c : comparisons) {
+    std::printf("%-44s %-22s %-22s %s\n", c.quantity.c_str(),
+                c.paper.c_str(), c.measured.c_str(),
+                c.matches ? "yes" : "NO");
+    if (!c.matches) ++mismatches;
+  }
+  return mismatches;
+}
+
+std::string YesNo(bool value) { return value ? "yes" : "no"; }
+
+}  // namespace rpc::bench

@@ -1,0 +1,33 @@
+#ifndef RPC_BENCH_BENCH_UTIL_H_
+#define RPC_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace rpc::bench {
+
+/// Prints a banner naming the experiment and the paper artefact it
+/// regenerates.
+void PrintHeader(const std::string& experiment,
+                 const std::string& paper_artefact);
+
+/// Prints a separator line.
+void PrintRule();
+
+/// One paper-vs-measured comparison row.
+struct Comparison {
+  std::string quantity;
+  std::string paper;
+  std::string measured;
+  bool matches = false;
+};
+
+/// Prints a paper-vs-measured block and returns the number of mismatches.
+int PrintComparisons(const std::vector<Comparison>& comparisons);
+
+/// Formats booleans for the match column.
+std::string YesNo(bool value);
+
+}  // namespace rpc::bench
+
+#endif  // RPC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// Journal ranking — the Section 6.2.2 workload: JCR2012-like citation data
+// (451 journals, 58 with missing cells), the filtering step, and the
+// comprehensive RPC list including the TKDE-vs-SMCA inversion the paper
+// discusses.
+//
+//   build/examples/journal_ranking [total] [missing] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+#include "rank/rank_aggregation.h"
+
+int main(int argc, char** argv) {
+  const int total = argc > 1 ? std::atoi(argv[1]) : 451;
+  const int missing = argc > 2 ? std::atoi(argv[2]) : 58;
+  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  const rpc::data::Dataset journals = rpc::data::GenerateJournalData(
+      total, missing, seed, /*include_anchors=*/true);
+  std::printf("Loaded %d journals; %d with missing data are removed "
+              "(Section 6.2.2's 58-of-451 step).\n",
+              journals.num_objects(), journals.CountIncompleteRows());
+  const rpc::data::Dataset complete = journals.FilterCompleteRows();
+  std::printf("Ranking %d complete journals on IF, 5-year IF, Immediacy, "
+              "Eigenfactor, Influence (all benefit attributes).\n\n",
+              complete.num_objects());
+
+  const auto alpha = rpc::order::Orientation::AllBenefit(5);
+  const auto ranker = rpc::core::RpcRanker::Fit(complete.values(), alpha);
+  if (!ranker.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 ranker.status().ToString().c_str());
+    return 1;
+  }
+  const rpc::rank::RankingList list = ranker->RankDataset(complete);
+  std::printf("Top journals:\n%s\n", list.ToTableString(8).c_str());
+
+  // The single-indicator story: per-indicator positions vs the RPC list.
+  const auto show = [&](const char* label) {
+    const auto idx = complete.LabelIndex(label);
+    if (!idx.ok()) return;
+    std::printf("%-22s RPC position %3d | per-indicator positions:", label,
+                list.PositionOf(idx.value()));
+    for (int j = 0; j < complete.num_attributes(); ++j) {
+      const rpc::linalg::Vector ranks = rpc::rank::RanksFromScores(
+          complete.values().Column(j), /*ascending=*/false);
+      std::printf(" %s=%d", complete.attribute_name(j).c_str(),
+                  static_cast<int>(ranks[idx.value()]));
+    }
+    std::printf("\n");
+  };
+  std::printf("One indicator does not tell the whole story (Table 3):\n");
+  show("IEEE T KNOWL DATA EN");
+  show("IEEE T SYST MAN CY A");
+  show("ENTERP INF SYST UK");
+  show("ACM COMPUT SURV");
+
+  const auto tkde = complete.LabelIndex("IEEE T KNOWL DATA EN");
+  const auto smca = complete.LabelIndex("IEEE T SYST MAN CY A");
+  if (tkde.ok() && smca.ok()) {
+    std::printf(
+        "\nTKDE %s SMCA in the comprehensive list (paper: TKDE above, "
+        "despite SMCA's higher Impact Factor).\n",
+        list.PositionOf(tkde.value()) < list.PositionOf(smca.value())
+            ? "above"
+            : "below");
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "baselines/elmap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/polyline_geometry.h"
+#include "linalg/eigen.h"
+#include "linalg/solve.h"
+#include "linalg/stats.h"
+
+namespace rpc::baselines {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Initial node chain: evenly spaced along the first principal component
+// segment spanning the data's projections.
+Result<Matrix> InitialChain(const Matrix& data, int num_nodes) {
+  const Vector mean = linalg::ColumnMeans(data);
+  const Matrix cov = linalg::Covariance(data);
+  RPC_ASSIGN_OR_RETURN(linalg::SymmetricEigen eig,
+                       linalg::JacobiEigenSymmetric(cov));
+  const Vector w = eig.vectors.Column(0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < data.rows(); ++i) {
+    const double s = linalg::Dot(data.Row(i) - mean, w);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  Matrix nodes(num_nodes, data.cols());
+  for (int k = 0; k < num_nodes; ++k) {
+    const double s = lo + (hi - lo) * static_cast<double>(k) /
+                              (num_nodes - 1);
+    nodes.SetRow(k, mean + s * w);
+  }
+  return nodes;
+}
+
+// Builds the (K x K) elastic system matrix W + lambda*E + mu*R where W is
+// diag(cluster mass / n), E the edge Laplacian, and R = S^T S with S the
+// second-difference operator over the chain.
+Matrix ElasticSystem(const std::vector<double>& mass, double lambda,
+                     double mu) {
+  const int k = static_cast<int>(mass.size());
+  Matrix a(k, k);
+  for (int i = 0; i < k; ++i) a(i, i) = mass[static_cast<size_t>(i)];
+  // Stretch term: for each edge (i, i+1), add [[1,-1],[-1,1]] * lambda.
+  for (int i = 0; i + 1 < k; ++i) {
+    a(i, i) += lambda;
+    a(i + 1, i + 1) += lambda;
+    a(i, i + 1) -= lambda;
+    a(i + 1, i) -= lambda;
+  }
+  // Bend term: for each rib (i-1, i, i+1), add mu * rr^T with
+  // r = (1, -2, 1).
+  for (int i = 1; i + 1 < k; ++i) {
+    const int idx[3] = {i - 1, i, i + 1};
+    const double r[3] = {1.0, -2.0, 1.0};
+    for (int a_i = 0; a_i < 3; ++a_i) {
+      for (int b_i = 0; b_i < 3; ++b_i) {
+        a(idx[a_i], idx[b_i]) += mu * r[a_i] * r[b_i];
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<ElmapCurve> ElmapCurve::Fit(const Matrix& data,
+                                   const order::Orientation& alpha,
+                                   const ElmapOptions& options) {
+  if (data.rows() < 3) {
+    return Status::InvalidArgument("ElmapCurve: need at least 3 rows");
+  }
+  if (data.cols() != alpha.dimension()) {
+    return Status::InvalidArgument("ElmapCurve: alpha dimension mismatch");
+  }
+  if (options.num_nodes < 3) {
+    return Status::InvalidArgument("ElmapCurve: need at least 3 nodes");
+  }
+  const int n = data.rows();
+  const int d = data.cols();
+  const int k = options.num_nodes;
+
+  ElmapCurve model;
+  model.mins_ = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  model.ranges_ = Vector(d);
+  for (int j = 0; j < d; ++j) {
+    model.ranges_[j] = maxs[j] - model.mins_[j];
+    if (model.ranges_[j] <= 0.0) {
+      return Status::InvalidArgument("ElmapCurve: constant attribute");
+    }
+  }
+  Matrix normalized(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      normalized(i, j) = (data(i, j) - model.mins_[j]) / model.ranges_[j];
+    }
+  }
+
+  RPC_ASSIGN_OR_RETURN(Matrix nodes, InitialChain(normalized, k));
+
+  std::vector<int> assignment(static_cast<size_t>(n), 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E step: assign each point to its nearest node.
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_node = 0;
+      for (int node = 0; node < k; ++node) {
+        const double dist2 =
+            (normalized.Row(i) - nodes.Row(node)).SquaredNorm();
+        if (dist2 < best) {
+          best = dist2;
+          best_node = node;
+        }
+      }
+      assignment[static_cast<size_t>(i)] = best_node;
+    }
+    // Annealed elasticity: start stiff, relax to the target moduli.
+    double anneal = 1.0;
+    if (iter < options.anneal_iterations) {
+      const double frac =
+          static_cast<double>(iter) / options.anneal_iterations;
+      anneal = options.anneal_factor *
+                   std::pow(1.0 / options.anneal_factor, frac);
+    }
+    const double lambda = options.lambda * anneal;
+    const double mu = options.mu * anneal;
+
+    // M step: solve the elastic system per dimension.
+    std::vector<double> mass(static_cast<size_t>(k), 0.0);
+    Matrix rhs(k, d);
+    for (int i = 0; i < n; ++i) {
+      const int node = assignment[static_cast<size_t>(i)];
+      mass[static_cast<size_t>(node)] += 1.0 / n;
+      for (int j = 0; j < d; ++j) {
+        rhs(node, j) += normalized(i, j) / n;
+      }
+    }
+    const Matrix system = ElasticSystem(mass, lambda, mu);
+    RPC_ASSIGN_OR_RETURN(Matrix next_nodes, linalg::SolveLinearSystem(
+                                                system, rhs));
+    double movement = 0.0;
+    for (int node = 0; node < k; ++node) {
+      movement += (next_nodes.Row(node) - nodes.Row(node)).SquaredNorm();
+    }
+    nodes = std::move(next_nodes);
+    model.iterations_ = iter + 1;
+    if (movement < options.tolerance * k) break;
+  }
+
+  model.nodes_ = nodes;
+
+  // Orient increasing arc length toward the best corner: correlate the
+  // projection parameter with the oriented coordinate sum.
+  double corr = 0.0;
+  Vector ts(n);
+  for (int i = 0; i < n; ++i) {
+    ts[i] = ProjectOntoPolyline(nodes, normalized.Row(i)).t;
+  }
+  Vector oriented_sum(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) {
+      sum += alpha.sign(j) * normalized(i, j);
+    }
+    oriented_sum[i] = sum;
+  }
+  corr = linalg::PearsonCorrelation(ts, oriented_sum);
+  model.sign_ = corr >= 0.0 ? 1.0 : -1.0;
+
+  double mean_t = 0.0;
+  for (int i = 0; i < n; ++i) mean_t += ts[i];
+  mean_t /= n;
+  model.mean_t_ = mean_t;
+  model.residual_j_ = PolylineResidual(nodes, normalized);
+  return model;
+}
+
+double ElmapCurve::Score(const Vector& x) const {
+  assert(x.size() == nodes_.cols());
+  Vector normalized(x.size());
+  for (int j = 0; j < x.size(); ++j) {
+    normalized[j] = (x[j] - mins_[j]) / ranges_[j];
+  }
+  const PolylineProjection proj = ProjectOntoPolyline(nodes_, normalized);
+  return sign_ * (proj.t - mean_t_);
+}
+
+Matrix ElmapCurve::SampleSkeletonRaw(int grid) const {
+  Matrix samples = SamplePolyline(nodes_, grid);
+  for (int i = 0; i < samples.rows(); ++i) {
+    for (int j = 0; j < samples.cols(); ++j) {
+      samples(i, j) = mins_[j] + samples(i, j) * ranges_[j];
+    }
+  }
+  return samples;
+}
+
+}  // namespace rpc::baselines

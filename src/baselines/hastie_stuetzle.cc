@@ -1,0 +1,147 @@
+#include "baselines/hastie_stuetzle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/polyline_geometry.h"
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace rpc::baselines {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<HastieStuetzleCurve> HastieStuetzleCurve::Fit(
+    const Matrix& data, const order::Orientation& alpha,
+    const HastieStuetzleOptions& options) {
+  const int n = data.rows();
+  const int d = data.cols();
+  if (n < 5) {
+    return Status::InvalidArgument("HastieStuetzleCurve: need >= 5 rows");
+  }
+  if (d != alpha.dimension()) {
+    return Status::InvalidArgument("HastieStuetzleCurve: alpha dimension");
+  }
+  if (options.num_nodes < 5) {
+    return Status::InvalidArgument("HastieStuetzleCurve: need >= 5 nodes");
+  }
+  if (options.bandwidth <= 0.0) {
+    return Status::InvalidArgument("HastieStuetzleCurve: bandwidth <= 0");
+  }
+
+  HastieStuetzleCurve model;
+  model.mins_ = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  model.ranges_ = Vector(d);
+  for (int j = 0; j < d; ++j) {
+    model.ranges_[j] = maxs[j] - model.mins_[j];
+    if (model.ranges_[j] <= 0.0) {
+      return Status::InvalidArgument(
+          "HastieStuetzleCurve: constant attribute");
+    }
+  }
+  Matrix normalized(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      normalized(i, j) = (data(i, j) - model.mins_[j]) / model.ranges_[j];
+    }
+  }
+
+  // Initialise on the first principal component segment (the HS paper's
+  // starting curve).
+  const Vector mean = linalg::ColumnMeans(normalized);
+  const Matrix cov = linalg::Covariance(normalized);
+  RPC_ASSIGN_OR_RETURN(linalg::SymmetricEigen eig,
+                       linalg::JacobiEigenSymmetric(cov));
+  const Vector w = eig.vectors.Column(0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const double s = linalg::Dot(normalized.Row(i) - mean, w);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const int g = options.num_nodes;
+  Matrix nodes(g, d);
+  for (int k = 0; k < g; ++k) {
+    const double s = lo + (hi - lo) * static_cast<double>(k) / (g - 1);
+    nodes.SetRow(k, mean + s * w);
+  }
+
+  // Expectation (smoothing) / projection iterations.
+  Vector params(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int i = 0; i < n; ++i) {
+      params[i] = ProjectOntoPolyline(nodes, normalized.Row(i)).t;
+    }
+    // Conditional expectation via a Gaussian kernel smoother in s.
+    Matrix next(g, d);
+    const double h = options.bandwidth;
+    for (int k = 0; k < g; ++k) {
+      const double u = static_cast<double>(k) / (g - 1);
+      double weight_sum = 0.0;
+      Vector acc(d);
+      for (int i = 0; i < n; ++i) {
+        const double z = (params[i] - u) / h;
+        const double weight = std::exp(-0.5 * z * z);
+        weight_sum += weight;
+        acc += weight * normalized.Row(i);
+      }
+      if (weight_sum > 1e-12) {
+        next.SetRow(k, acc / weight_sum);
+      } else {
+        next.SetRow(k, nodes.Row(k));
+      }
+    }
+    // Re-sample the smoothed chain uniformly in arc length so the grid does
+    // not collapse into dense regions.
+    next = SamplePolyline(next, g - 1);
+    double movement = 0.0;
+    for (int k = 0; k < g; ++k) {
+      movement += (next.Row(k) - nodes.Row(k)).SquaredNorm();
+    }
+    nodes = std::move(next);
+    model.iterations_ = iter + 1;
+    if (movement < options.tolerance * g) break;
+  }
+
+  model.nodes_ = nodes;
+  // Orient and collect the residual.
+  Vector ts(n);
+  Vector oriented(n);
+  for (int i = 0; i < n; ++i) {
+    ts[i] = ProjectOntoPolyline(nodes, normalized.Row(i)).t;
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) sum += alpha.sign(j) * normalized(i, j);
+    oriented[i] = sum;
+  }
+  model.sign_ = linalg::PearsonCorrelation(ts, oriented) >= 0.0 ? 1.0 : -1.0;
+  model.residual_j_ = PolylineResidual(nodes, normalized);
+  return model;
+}
+
+double HastieStuetzleCurve::Score(const Vector& x) const {
+  assert(x.size() == nodes_.cols());
+  Vector normalized(x.size());
+  for (int j = 0; j < x.size(); ++j) {
+    normalized[j] = (x[j] - mins_[j]) / ranges_[j];
+  }
+  const PolylineProjection proj = ProjectOntoPolyline(nodes_, normalized);
+  return sign_ > 0.0 ? proj.t : 1.0 - proj.t;
+}
+
+Matrix HastieStuetzleCurve::SampleSkeletonRaw(int grid) const {
+  Matrix samples = SamplePolyline(nodes_, grid);
+  for (int i = 0; i < samples.rows(); ++i) {
+    for (int j = 0; j < samples.cols(); ++j) {
+      samples(i, j) = mins_[j] + samples(i, j) * ranges_[j];
+    }
+  }
+  return samples;
+}
+
+}  // namespace rpc::baselines

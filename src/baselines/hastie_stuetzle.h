@@ -1,0 +1,63 @@
+#ifndef RPC_BASELINES_HASTIE_STUETZLE_H_
+#define RPC_BASELINES_HASTIE_STUETZLE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+#include "rank/ranking_function.h"
+
+namespace rpc::baselines {
+
+/// Options for the Hastie-Stuetzle principal curve.
+struct HastieStuetzleOptions {
+  /// Discretisation nodes of the curve.
+  int num_nodes = 50;
+  /// Gaussian kernel bandwidth of the scatterplot smoother, in units of
+  /// the arc-length parameter (0..1).
+  double bandwidth = 0.08;
+  int max_iterations = 40;
+  double tolerance = 1e-9;
+};
+
+/// The original principal curve of Hastie and Stuetzle [10] that the
+/// paper's Appendix A reviews: alternate projecting points onto the curve
+/// and replacing each curve point by the kernel-smoothed conditional mean
+/// E(x | s_f(x) = s), discretised on an arc-length grid. Smooth-ish but
+/// with no monotonicity constraint: on bent clouds it produces exactly the
+/// non-order-preserving behaviour of Fig. 2(b), which is what makes it a
+/// baseline here rather than a ranking function.
+class HastieStuetzleCurve : public rank::RankingFunction {
+ public:
+  static Result<HastieStuetzleCurve> Fit(
+      const linalg::Matrix& data, const order::Orientation& alpha,
+      const HastieStuetzleOptions& options = {});
+
+  /// Normalised arc-length projection parameter, oriented toward the best
+  /// corner (higher = better).
+  double Score(const linalg::Vector& x) const override;
+  std::string name() const override { return "HastieStuetzle"; }
+  /// Nonparametric (the 'black box' critique of Appendix A).
+  std::optional<int> ParameterCount() const override { return std::nullopt; }
+
+  const linalg::Matrix& nodes() const { return nodes_; }
+  linalg::Matrix SampleSkeletonRaw(int grid) const;
+  double residual_j() const { return residual_j_; }
+  int iterations() const { return iterations_; }
+
+ private:
+  HastieStuetzleCurve() = default;
+
+  linalg::Matrix nodes_;  // num_nodes x d, normalised space
+  linalg::Vector mins_;
+  linalg::Vector ranges_;
+  double sign_ = 1.0;
+  double residual_j_ = 0.0;
+  int iterations_ = 0;
+};
+
+}  // namespace rpc::baselines
+
+#endif  // RPC_BASELINES_HASTIE_STUETZLE_H_

@@ -1,0 +1,143 @@
+#include "baselines/polyline_curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "baselines/polyline_geometry.h"
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace rpc::baselines {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<PolylineCurve> PolylineCurve::Fit(const Matrix& data,
+                                         const order::Orientation& alpha,
+                                         const PolylineCurveOptions& options) {
+  if (data.rows() < 3) {
+    return Status::InvalidArgument("PolylineCurve: need at least 3 rows");
+  }
+  if (data.cols() != alpha.dimension()) {
+    return Status::InvalidArgument("PolylineCurve: alpha dimension mismatch");
+  }
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("PolylineCurve: need >= 2 vertices");
+  }
+  const int n = data.rows();
+  const int d = data.cols();
+  const int k = options.num_vertices;
+
+  PolylineCurve model;
+  model.mins_ = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  model.ranges_ = Vector(d);
+  for (int j = 0; j < d; ++j) {
+    model.ranges_[j] = maxs[j] - model.mins_[j];
+    if (model.ranges_[j] <= 0.0) {
+      return Status::InvalidArgument("PolylineCurve: constant attribute");
+    }
+  }
+  Matrix normalized(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      normalized(i, j) = (data(i, j) - model.mins_[j]) / model.ranges_[j];
+    }
+  }
+
+  // Initialise along the first principal component.
+  const Vector mean = linalg::ColumnMeans(normalized);
+  const Matrix cov = linalg::Covariance(normalized);
+  RPC_ASSIGN_OR_RETURN(linalg::SymmetricEigen eig,
+                       linalg::JacobiEigenSymmetric(cov));
+  const Vector w = eig.vectors.Column(0);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    const double s = linalg::Dot(normalized.Row(i) - mean, w);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  Matrix vertices(k, d);
+  for (int v = 0; v < k; ++v) {
+    const double s = lo + (hi - lo) * static_cast<double>(v) / (k - 1);
+    vertices.SetRow(v, mean + s * w);
+  }
+
+  // Alternate: project points, then move each vertex to the mean of the
+  // points whose projection parameter falls in its cell.
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<Vector> sums(static_cast<size_t>(k), Vector(d));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      const PolylineProjection proj =
+          ProjectOntoPolyline(vertices, normalized.Row(i));
+      int cell = static_cast<int>(std::lround(proj.t * (k - 1)));
+      cell = std::clamp(cell, 0, k - 1);
+      sums[static_cast<size_t>(cell)] += normalized.Row(i);
+      ++counts[static_cast<size_t>(cell)];
+    }
+    Matrix next = vertices;
+    for (int v = 0; v < k; ++v) {
+      if (counts[static_cast<size_t>(v)] > 0) {
+        next.SetRow(v, sums[static_cast<size_t>(v)] /
+                           static_cast<double>(
+                               counts[static_cast<size_t>(v)]));
+      } else if (v > 0 && v + 1 < k) {
+        next.SetRow(v, 0.5 * (vertices.Row(v - 1) + vertices.Row(v + 1)));
+      }
+      // Light smoothing keeps the chain ordered without erasing kinks.
+      if (v > 0 && v + 1 < k && options.smoothing > 0.0) {
+        next.SetRow(
+            v, (1.0 - options.smoothing) * next.Row(v) +
+                   options.smoothing * 0.5 *
+                       (next.Row(v - 1) + vertices.Row(v + 1)));
+      }
+    }
+    double movement = 0.0;
+    for (int v = 0; v < k; ++v) {
+      movement += (next.Row(v) - vertices.Row(v)).SquaredNorm();
+    }
+    vertices = std::move(next);
+    if (movement < options.tolerance * k) break;
+  }
+
+  model.vertices_ = vertices;
+  // Orientation of the arc-length parameter.
+  Vector ts(n);
+  Vector oriented_sum(n);
+  for (int i = 0; i < n; ++i) {
+    ts[i] = ProjectOntoPolyline(vertices, normalized.Row(i)).t;
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) sum += alpha.sign(j) * normalized(i, j);
+    oriented_sum[i] = sum;
+  }
+  model.sign_ = linalg::PearsonCorrelation(ts, oriented_sum) >= 0.0 ? 1.0
+                                                                    : -1.0;
+  model.residual_j_ = PolylineResidual(vertices, normalized);
+  return model;
+}
+
+double PolylineCurve::Score(const Vector& x) const {
+  assert(x.size() == vertices_.cols());
+  Vector normalized(x.size());
+  for (int j = 0; j < x.size(); ++j) {
+    normalized[j] = (x[j] - mins_[j]) / ranges_[j];
+  }
+  const PolylineProjection proj = ProjectOntoPolyline(vertices_, normalized);
+  return sign_ > 0.0 ? proj.t : 1.0 - proj.t;
+}
+
+Matrix PolylineCurve::SampleSkeletonRaw(int grid) const {
+  Matrix samples = SamplePolyline(vertices_, grid);
+  for (int i = 0; i < samples.rows(); ++i) {
+    for (int j = 0; j < samples.cols(); ++j) {
+      samples(i, j) = mins_[j] + samples(i, j) * ranges_[j];
+    }
+  }
+  return samples;
+}
+
+}  // namespace rpc::baselines

@@ -1,0 +1,60 @@
+#ifndef RPC_BASELINES_POLYLINE_CURVE_H_
+#define RPC_BASELINES_POLYLINE_CURVE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+#include "rank/ranking_function.h"
+
+namespace rpc::baselines {
+
+/// Options for the polygonal-line principal curve in the spirit of Kegl et
+/// al. [11]: a fixed number of vertices fit by alternating projection and
+/// local vertex averaging (no bending penalty — the point of this baseline
+/// is precisely that its skeleton is C0 but not C1, Fig. 2(a)/5(b)).
+struct PolylineCurveOptions {
+  int num_vertices = 8;
+  int max_iterations = 60;
+  double tolerance = 1e-9;
+  /// Blend weight pulling empty-cell vertices toward their neighbours'
+  /// midpoint so the chain never degenerates.
+  double smoothing = 0.05;
+};
+
+/// Polyline principal curve used as a ranking function. Scores are the
+/// normalised arc-length projection parameters oriented toward the best
+/// corner. Exhibits the meta-rule failures the paper attributes to polyline
+/// approximations: kinks (no C1) and flat segments that tie distinct
+/// objects.
+class PolylineCurve : public rank::RankingFunction {
+ public:
+  static Result<PolylineCurve> Fit(const linalg::Matrix& data,
+                                   const order::Orientation& alpha,
+                                   const PolylineCurveOptions& options = {});
+
+  double Score(const linalg::Vector& x) const override;
+  std::string name() const override { return "PolylinePC"; }
+  std::optional<int> ParameterCount() const override {
+    return vertices_.rows() * vertices_.cols();
+  }
+
+  const linalg::Matrix& vertices() const { return vertices_; }
+  linalg::Matrix SampleSkeletonRaw(int grid) const;
+  double residual_j() const { return residual_j_; }
+
+ private:
+  PolylineCurve() = default;
+
+  linalg::Matrix vertices_;  // K x d, normalised space
+  linalg::Vector mins_;
+  linalg::Vector ranges_;
+  double sign_ = 1.0;
+  double residual_j_ = 0.0;
+};
+
+}  // namespace rpc::baselines
+
+#endif  // RPC_BASELINES_POLYLINE_CURVE_H_

@@ -1,0 +1,113 @@
+#include "baselines/polyline_geometry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace rpc::baselines {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+double PolylineLength(const Matrix& nodes) {
+  double length = 0.0;
+  for (int i = 0; i + 1 < nodes.rows(); ++i) {
+    length += linalg::Distance(nodes.Row(i), nodes.Row(i + 1));
+  }
+  return length;
+}
+
+PolylineProjection ProjectOntoPolyline(const Matrix& nodes, const Vector& x) {
+  assert(nodes.rows() >= 1);
+  PolylineProjection best;
+  best.squared_distance = std::numeric_limits<double>::infinity();
+
+  // Precompute cumulative arc length.
+  std::vector<double> cumulative(static_cast<size_t>(nodes.rows()), 0.0);
+  for (int i = 1; i < nodes.rows(); ++i) {
+    cumulative[static_cast<size_t>(i)] =
+        cumulative[static_cast<size_t>(i - 1)] +
+        linalg::Distance(nodes.Row(i - 1), nodes.Row(i));
+  }
+  const double total = cumulative.back() > 0.0 ? cumulative.back() : 1.0;
+
+  if (nodes.rows() == 1) {
+    best.t = 0.0;
+    best.squared_distance = (x - nodes.Row(0)).SquaredNorm();
+    best.segment = 0;
+    return best;
+  }
+
+  for (int i = 0; i + 1 < nodes.rows(); ++i) {
+    const Vector a = nodes.Row(i);
+    const Vector b = nodes.Row(i + 1);
+    const Vector ab = b - a;
+    const double len2 = ab.SquaredNorm();
+    double u = 0.0;
+    if (len2 > 0.0) u = std::clamp(linalg::Dot(x - a, ab) / len2, 0.0, 1.0);
+    const Vector closest = a + u * ab;
+    const double dist2 = (x - closest).SquaredNorm();
+    const double t =
+        (cumulative[static_cast<size_t>(i)] + u * std::sqrt(len2)) / total;
+    // Strictly better, or equal within tolerance and larger t (sup rule).
+    // The first segment is always accepted (the infinite sentinel would
+    // otherwise poison the slack arithmetic with inf - inf).
+    const double slack = std::isfinite(best.squared_distance)
+                             ? 1e-12 * (1.0 + best.squared_distance)
+                             : 0.0;
+    if (!std::isfinite(best.squared_distance) ||
+        dist2 < best.squared_distance - slack ||
+        (dist2 <= best.squared_distance + slack && t > best.t)) {
+      best.squared_distance = dist2;
+      best.t = t;
+      best.segment = i;
+    }
+  }
+  return best;
+}
+
+Matrix SamplePolyline(const Matrix& nodes, int grid) {
+  assert(grid >= 1);
+  Matrix samples(grid + 1, nodes.cols());
+  if (nodes.rows() == 1) {
+    for (int i = 0; i <= grid; ++i) samples.SetRow(i, nodes.Row(0));
+    return samples;
+  }
+  std::vector<double> cumulative(static_cast<size_t>(nodes.rows()), 0.0);
+  for (int i = 1; i < nodes.rows(); ++i) {
+    cumulative[static_cast<size_t>(i)] =
+        cumulative[static_cast<size_t>(i - 1)] +
+        linalg::Distance(nodes.Row(i - 1), nodes.Row(i));
+  }
+  const double total = cumulative.back();
+  int seg = 0;
+  for (int i = 0; i <= grid; ++i) {
+    const double target = total * static_cast<double>(i) / grid;
+    while (seg + 2 < nodes.rows() &&
+           cumulative[static_cast<size_t>(seg + 1)] < target) {
+      ++seg;
+    }
+    const double seg_len = cumulative[static_cast<size_t>(seg + 1)] -
+                           cumulative[static_cast<size_t>(seg)];
+    const double u =
+        seg_len > 0.0
+            ? (target - cumulative[static_cast<size_t>(seg)]) / seg_len
+            : 0.0;
+    samples.SetRow(i, nodes.Row(seg) +
+                          std::clamp(u, 0.0, 1.0) *
+                              (nodes.Row(seg + 1) - nodes.Row(seg)));
+  }
+  return samples;
+}
+
+double PolylineResidual(const Matrix& nodes, const Matrix& data) {
+  double total = 0.0;
+  for (int i = 0; i < data.rows(); ++i) {
+    total += ProjectOntoPolyline(nodes, data.Row(i)).squared_distance;
+  }
+  return total;
+}
+
+}  // namespace rpc::baselines

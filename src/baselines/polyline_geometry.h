@@ -1,0 +1,36 @@
+#ifndef RPC_BASELINES_POLYLINE_GEOMETRY_H_
+#define RPC_BASELINES_POLYLINE_GEOMETRY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::baselines {
+
+/// Projection of a point onto a polyline (rows of `nodes` are the ordered
+/// vertices).
+struct PolylineProjection {
+  /// Normalised arc-length parameter of the projection in [0, 1].
+  double t = 0.0;
+  double squared_distance = 0.0;
+  int segment = 0;  // index of the segment containing the projection
+};
+
+/// Total length of the polyline.
+double PolylineLength(const linalg::Matrix& nodes);
+
+/// Nearest point on the polyline; ties broken toward larger t (matching the
+/// sup convention of Eq. A-2).
+PolylineProjection ProjectOntoPolyline(const linalg::Matrix& nodes,
+                                       const linalg::Vector& x);
+
+/// grid+1 evenly spaced (in arc length) samples along the polyline, as rows.
+linalg::Matrix SamplePolyline(const linalg::Matrix& nodes, int grid);
+
+/// Summed squared projection distance of all rows of `data` — the polyline
+/// analogue of J (Eq. 19).
+double PolylineResidual(const linalg::Matrix& nodes,
+                        const linalg::Matrix& data);
+
+}  // namespace rpc::baselines
+
+#endif  // RPC_BASELINES_POLYLINE_GEOMETRY_H_

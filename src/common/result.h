@@ -1,0 +1,78 @@
+#ifndef RPC_COMMON_RESULT_H_
+#define RPC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rpc {
+
+/// A value-or-status holder, the library's exception-free way of returning
+/// fallible values (akin to absl::StatusOr).
+///
+/// Example:
+///   rpc::Result<Matrix> inv = PseudoInverse(a);
+///   if (!inv.ok()) return inv.status();
+///   Use(inv.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value means `return my_matrix;` works.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status means error propagation is
+  /// a single `return some_status;`. Constructing from an OK status without
+  /// a value is a programming error.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rpc
+
+#define RPC_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define RPC_INTERNAL_CONCAT(a, b) RPC_INTERNAL_CONCAT_IMPL(a, b)
+
+#define RPC_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+/// Assigns the value of a Result expression to `lhs` or propagates its error
+/// status. Usable in functions returning rpc::Status or rpc::Result<U>.
+#define RPC_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  RPC_INTERNAL_ASSIGN_OR_RETURN(                                         \
+      RPC_INTERNAL_CONCAT(rpc_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // RPC_COMMON_RESULT_H_

@@ -1,0 +1,86 @@
+#ifndef RPC_COMMON_STATUS_H_
+#define RPC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace rpc {
+
+/// Error categories used across the library. Mirrors the usual database
+/// library convention (RocksDB/Abseil style) since exceptions are not used.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kFailedPrecondition,// object not in a state where the call is legal
+  kOutOfRange,        // index/parameter outside its domain
+  kNotFound,          // lookup failed (column name, file, ...)
+  kDataLoss,          // unreadable/corrupt input data
+  kNumericalError,    // algorithm failed to converge / singular matrix
+  kInternal,          // invariant violation inside the library
+};
+
+/// Returns a stable human-readable name such as "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic success/error indicator. A default-constructed Status is
+/// OK. Non-OK statuses carry a code and a message describing the failure.
+///
+/// Example:
+///   rpc::Status s = learner.Fit(data);
+///   if (!s.ok()) { std::cerr << s.ToString() << "\n"; return 1; }
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace rpc
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// rpc::Status.
+#define RPC_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rpc::Status rpc_status_tmp_ = (expr);      \
+    if (!rpc_status_tmp_.ok()) return rpc_status_tmp_; \
+  } while (false)
+
+#endif  // RPC_COMMON_STATUS_H_

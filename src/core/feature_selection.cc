@@ -1,0 +1,103 @@
+#include "core/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/interpretation.h"
+#include "rank/metrics.h"
+
+namespace rpc::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<std::vector<AttributeImportance>> RankAttributes(
+    const RpcRanker& ranker, const data::Dataset& dataset) {
+  const data::Dataset complete = dataset.FilterCompleteRows();
+  if (complete.num_attributes() != ranker.curve().dimension()) {
+    return Status::InvalidArgument("RankAttributes: dimension mismatch");
+  }
+  const Vector scores = ranker.ScoreRows(complete.values());
+  const std::vector<AttributeInterpretation> shapes =
+      InterpretCurve(ranker.curve());
+  std::vector<AttributeImportance> importances;
+  for (int j = 0; j < complete.num_attributes(); ++j) {
+    AttributeImportance imp;
+    imp.index = j;
+    imp.name = complete.attribute_name(j);
+    imp.score_alignment =
+        std::fabs(rank::SpearmanRho(complete.values().Column(j), scores));
+    imp.nonlinearity = shapes[static_cast<size_t>(j)].nonlinearity;
+    importances.push_back(imp);
+  }
+  std::stable_sort(importances.begin(), importances.end(),
+                   [](const AttributeImportance& a,
+                      const AttributeImportance& b) {
+                     return a.score_alignment > b.score_alignment;
+                   });
+  return importances;
+}
+
+Result<FeatureSelectionResult> GreedySelectAttributes(
+    const data::Dataset& dataset, const order::Orientation& alpha,
+    double target_tau, const RpcLearnOptions& options) {
+  const data::Dataset complete = dataset.FilterCompleteRows();
+  const int d = complete.num_attributes();
+  if (d < 2) {
+    return Status::InvalidArgument("GreedySelectAttributes: need >= 2 attrs");
+  }
+  if (alpha.dimension() != d) {
+    return Status::InvalidArgument("GreedySelectAttributes: alpha dimension");
+  }
+
+  // Reference ranking on the full attribute set.
+  RPC_ASSIGN_OR_RETURN(RpcRanker full,
+                       RpcRanker::Fit(complete.values(), alpha, options));
+  const Vector reference = full.ScoreRows(complete.values());
+
+  FeatureSelectionResult result;
+  std::vector<int> remaining(static_cast<size_t>(d));
+  for (int j = 0; j < d; ++j) remaining[static_cast<size_t>(j)] = j;
+
+  while (!remaining.empty()) {
+    double best_tau = -2.0;
+    int best_attr = -1;
+    for (int candidate : remaining) {
+      std::vector<int> trial = result.selected;
+      trial.push_back(candidate);
+      std::sort(trial.begin(), trial.end());
+      RPC_ASSIGN_OR_RETURN(data::Dataset subset,
+                           complete.SelectAttributes(trial));
+      Vector scores;
+      if (trial.size() == 1) {
+        // A single attribute ranks by its own (oriented) values; the RPC
+        // needs >= 2 non-constant attributes.
+        scores = subset.values().Column(0);
+        if (alpha.sign(trial[0]) < 0) scores *= -1.0;
+      } else {
+        std::vector<int> signs;
+        for (int j : trial) signs.push_back(alpha.sign(j));
+        RPC_ASSIGN_OR_RETURN(order::Orientation sub_alpha,
+                             order::Orientation::FromSigns(signs));
+        auto sub_ranker = RpcRanker::Fit(subset.values(), sub_alpha, options);
+        if (!sub_ranker.ok()) continue;
+        scores = sub_ranker->ScoreRows(subset.values());
+      }
+      const double tau = rank::KendallTauB(scores, reference);
+      if (tau > best_tau) {
+        best_tau = tau;
+        best_attr = candidate;
+      }
+    }
+    if (best_attr < 0) break;
+    result.selected.push_back(best_attr);
+    result.tau_trajectory.push_back(best_tau);
+    result.achieved_tau = best_tau;
+    remaining.erase(
+        std::find(remaining.begin(), remaining.end(), best_attr));
+    if (best_tau >= target_tau) break;
+  }
+  return result;
+}
+
+}  // namespace rpc::core

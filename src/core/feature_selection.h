@@ -1,0 +1,45 @@
+#ifndef RPC_CORE_FEATURE_SELECTION_H_
+#define RPC_CORE_FEATURE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rpc_ranker.h"
+#include "data/dataset.h"
+#include "order/orientation.h"
+
+namespace rpc::core {
+
+/// Importance of one attribute for a fitted RPC ranking — the concrete form
+/// of the feature-selection direction Section 7 leaves as future work.
+struct AttributeImportance {
+  int index = 0;
+  std::string name;
+  /// |Spearman correlation| between the attribute values and the RPC
+  /// scores: how much of the final order this attribute alone carries.
+  double score_alignment = 0.0;
+  /// Nonlinearity of f_j (chord deviation), from InterpretCurve.
+  double nonlinearity = 0.0;
+};
+
+/// Ranks attributes by score alignment (descending) for a fitted ranker on
+/// its training data.
+Result<std::vector<AttributeImportance>> RankAttributes(
+    const RpcRanker& ranker, const data::Dataset& dataset);
+
+/// Greedy forward selection: starting from the single best-aligned
+/// attribute, adds attributes until the RPC ranking computed on the subset
+/// reaches `target_tau` Kendall tau-b against the full-attribute ranking.
+struct FeatureSelectionResult {
+  std::vector<int> selected;          // attribute indices, selection order
+  std::vector<double> tau_trajectory; // tau after each addition
+  double achieved_tau = 0.0;
+};
+Result<FeatureSelectionResult> GreedySelectAttributes(
+    const data::Dataset& dataset, const order::Orientation& alpha,
+    double target_tau = 0.95, const RpcLearnOptions& options = {});
+
+}  // namespace rpc::core
+
+#endif  // RPC_CORE_FEATURE_SELECTION_H_

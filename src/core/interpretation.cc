@@ -1,0 +1,94 @@
+#include "core/interpretation.h"
+
+#include <cmath>
+
+#include "common/stringutil.h"
+
+namespace rpc::core {
+
+const char* CurveShapeToString(CurveShape shape) {
+  switch (shape) {
+    case CurveShape::kLinear:
+      return "linear";
+    case CurveShape::kConvex:
+      return "convex (slow start, fast finish)";
+    case CurveShape::kConcave:
+      return "concave (fast start, slow finish)";
+    case CurveShape::kSShape:
+      return "S-shaped (slow-fast-slow)";
+    case CurveShape::kInverseS:
+      return "inverse-S (fast-slow-fast)";
+  }
+  return "unknown";
+}
+
+std::vector<AttributeInterpretation> InterpretCurve(const RpcCurve& curve) {
+  std::vector<AttributeInterpretation> out;
+  const linalg::Matrix& control = curve.control_points();
+  const int k = curve.degree();
+  const double kShapeTol = 0.04;  // deviation treated as "on the diagonal"
+  for (int j = 0; j < curve.dimension(); ++j) {
+    AttributeInterpretation interp;
+    interp.attribute = j;
+    // Express interior control values along the oriented axis: 0 at the
+    // worst end, 1 at the best end of this attribute.
+    const double start = control(j, 0);
+    const double end = control(j, k);
+    const double span = end - start;
+    const double denom = std::fabs(span) > 1e-12 ? span : 1.0;
+    // For degrees != 3 use the first/last interior points as b1/b2.
+    const int r1 = 1;
+    const int r2 = k >= 2 ? k - 1 : 1;
+    interp.b1 = (control(j, r1) - start) / denom;
+    interp.b2 = (control(j, r2) - start) / denom;
+    // Straight-diagonal references for those control indices.
+    const double diag1 = static_cast<double>(r1) / k;
+    const double diag2 = static_cast<double>(r2) / k;
+    const double d1 = interp.b1 - diag1;
+    const double d2 = interp.b2 - diag2;
+    if (std::fabs(d1) < kShapeTol && std::fabs(d2) < kShapeTol) {
+      interp.shape = CurveShape::kLinear;
+    } else if (d1 <= 0.0 && d2 <= 0.0) {
+      interp.shape = CurveShape::kConvex;
+    } else if (d1 >= 0.0 && d2 >= 0.0) {
+      interp.shape = CurveShape::kConcave;
+    } else if (d1 < 0.0 && d2 > 0.0) {
+      interp.shape = CurveShape::kSShape;
+    } else {
+      interp.shape = CurveShape::kInverseS;
+    }
+    // Nonlinearity: max deviation of f_j(s) from the chord on a grid.
+    double worst = 0.0;
+    const int grid = 128;
+    for (int g = 0; g <= grid; ++g) {
+      const double s = static_cast<double>(g) / grid;
+      const double f = curve.Evaluate(s)[j];
+      const double chord = start + s * span;
+      worst = std::max(worst, std::fabs(f - chord));
+    }
+    interp.nonlinearity = worst;
+    out.push_back(interp);
+  }
+  return out;
+}
+
+std::string InterpretationReport(
+    const RpcCurve& curve, const std::vector<std::string>& attribute_names) {
+  std::string out =
+      StrFormat("RPC interpretation (%d attributes, %d parameters)\n",
+                curve.dimension(),
+                curve.dimension() * (curve.degree() + 1));
+  for (const AttributeInterpretation& interp : InterpretCurve(curve)) {
+    const std::string name =
+        interp.attribute < static_cast<int>(attribute_names.size())
+            ? attribute_names[static_cast<size_t>(interp.attribute)]
+            : StrFormat("attr%d", interp.attribute);
+    out += StrFormat(
+        "  %-16s %-34s b1=%.3f b2=%.3f nonlinearity=%.3f\n", name.c_str(),
+        CurveShapeToString(interp.shape), interp.b1, interp.b2,
+        interp.nonlinearity);
+  }
+  return out;
+}
+
+}  // namespace rpc::core

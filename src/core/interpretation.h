@@ -1,0 +1,49 @@
+#ifndef RPC_CORE_INTERPRETATION_H_
+#define RPC_CORE_INTERPRETATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rpc_curve.h"
+
+namespace rpc::core {
+
+/// The four basic monotone shapes of Fig. 4, determined by where the
+/// interior control values sit relative to the straight diagonal.
+enum class CurveShape {
+  kLinear,     // both control values on the diagonal: straight line
+  kConvex,     // slow start, fast finish (both below the diagonal)
+  kConcave,    // fast start, slow finish (both above the diagonal)
+  kSShape,     // slow-fast-slow (below then above)
+  kInverseS,   // fast-slow-fast (above then below)
+};
+
+const char* CurveShapeToString(CurveShape shape);
+
+/// Per-attribute interpretation of a fitted RPC, addressing the "white box"
+/// claim of Section 6.2.1: each coordinate function f_j(s) is classified
+/// into a Fig. 4 shape and measured for nonlinearity.
+struct AttributeInterpretation {
+  int attribute = 0;
+  CurveShape shape = CurveShape::kLinear;
+  /// Interior control values along the oriented axis (b1, b2 in [0,1]).
+  double b1 = 0.0;
+  double b2 = 0.0;
+  /// Max deviation of f_j from the straight chord, in oriented units —
+  /// 0 means the score is exactly linear in this attribute's skeleton.
+  double nonlinearity = 0.0;
+};
+
+/// Classifies every coordinate of the (cubic) curve. For cost attributes
+/// the classification happens on the oriented axis, so "convex" always
+/// means slow improvement near the worst end.
+std::vector<AttributeInterpretation> InterpretCurve(const RpcCurve& curve);
+
+/// Human-readable report, optionally with attribute names.
+std::string InterpretationReport(
+    const RpcCurve& curve,
+    const std::vector<std::string>& attribute_names = {});
+
+}  // namespace rpc::core
+
+#endif  // RPC_CORE_INTERPRETATION_H_

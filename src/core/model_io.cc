@@ -1,0 +1,195 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/stringutil.h"
+#include "opt/curve_projection.h"
+
+namespace rpc::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+std::string JoinNumbers(const Vector& values) {
+  std::vector<std::string> parts;
+  parts.reserve(static_cast<size_t>(values.size()));
+  for (int i = 0; i < values.size(); ++i) {
+    parts.push_back(StrFormat("%.17g", values[i]));
+  }
+  return Join(parts, " ");
+}
+
+Result<Vector> ParseNumbers(const std::vector<std::string>& tokens,
+                            size_t offset, int expected) {
+  if (static_cast<int>(tokens.size() - offset) != expected) {
+    return Status::DataLoss(StrFormat(
+        "model: expected %d numbers, found %zu", expected,
+        tokens.size() - offset));
+  }
+  Vector values(expected);
+  for (int i = 0; i < expected; ++i) {
+    if (!ParseDouble(tokens[offset + static_cast<size_t>(i)], &values[i])) {
+      return Status::DataLoss(StrFormat(
+          "model: bad number '%s'",
+          tokens[offset + static_cast<size_t>(i)].c_str()));
+    }
+  }
+  return values;
+}
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+std::string PortableRpcModel::Serialize() const {
+  const int d = control_points.rows();
+  const int k = control_points.cols() - 1;
+  std::string out = "rpc-model v1\n";
+  out += StrFormat("dimension %d\n", d);
+  out += StrFormat("degree %d\n", k);
+  out += "alpha";
+  for (int j = 0; j < alpha.dimension(); ++j) {
+    out += alpha.sign(j) > 0 ? " +1" : " -1";
+  }
+  out += "\n";
+  out += "mins " + JoinNumbers(mins) + "\n";
+  out += "maxs " + JoinNumbers(maxs) + "\n";
+  for (int r = 0; r <= k; ++r) {
+    out += StrFormat("control p%d ", r) +
+           JoinNumbers(control_points.Column(r)) + "\n";
+  }
+  return out;
+}
+
+Result<PortableRpcModel> PortableRpcModel::Deserialize(
+    const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line) || Trim(line) != "rpc-model v1") {
+    return Status::DataLoss("model: missing 'rpc-model v1' header");
+  }
+  int dimension = -1;
+  int degree = -1;
+  std::vector<int> signs;
+  Vector mins, maxs;
+  std::vector<Vector> control;
+  while (std::getline(stream, line)) {
+    const std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    if (key == "dimension" && tokens.size() == 2) {
+      double v;
+      if (!ParseDouble(tokens[1], &v)) {
+        return Status::DataLoss("model: bad dimension");
+      }
+      dimension = static_cast<int>(v);
+    } else if (key == "degree" && tokens.size() == 2) {
+      double v;
+      if (!ParseDouble(tokens[1], &v)) {
+        return Status::DataLoss("model: bad degree");
+      }
+      degree = static_cast<int>(v);
+    } else if (key == "alpha") {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        double v;
+        if (!ParseDouble(tokens[i], &v) || (v != 1.0 && v != -1.0)) {
+          return Status::DataLoss("model: bad alpha entry");
+        }
+        signs.push_back(static_cast<int>(v));
+      }
+    } else if (key == "mins") {
+      if (dimension <= 0) return Status::DataLoss("model: mins before dimension");
+      RPC_ASSIGN_OR_RETURN(mins, ParseNumbers(tokens, 1, dimension));
+    } else if (key == "maxs") {
+      if (dimension <= 0) return Status::DataLoss("model: maxs before dimension");
+      RPC_ASSIGN_OR_RETURN(maxs, ParseNumbers(tokens, 1, dimension));
+    } else if (key == "control" && tokens.size() >= 2) {
+      if (dimension <= 0) {
+        return Status::DataLoss("model: control before dimension");
+      }
+      RPC_ASSIGN_OR_RETURN(Vector point, ParseNumbers(tokens, 2, dimension));
+      control.push_back(std::move(point));
+    } else {
+      return Status::DataLoss(
+          StrFormat("model: unknown line '%s'", key.c_str()));
+    }
+  }
+  if (dimension <= 0 || degree < 1) {
+    return Status::DataLoss("model: missing dimension/degree");
+  }
+  if (static_cast<int>(signs.size()) != dimension) {
+    return Status::DataLoss("model: alpha size mismatch");
+  }
+  if (mins.size() != dimension || maxs.size() != dimension) {
+    return Status::DataLoss("model: mins/maxs missing");
+  }
+  for (int j = 0; j < dimension; ++j) {
+    if (!(maxs[j] > mins[j])) {
+      return Status::DataLoss("model: maxs must exceed mins");
+    }
+  }
+  if (static_cast<int>(control.size()) != degree + 1) {
+    return Status::DataLoss(StrFormat(
+        "model: expected %d control points, found %zu", degree + 1,
+        control.size()));
+  }
+  PortableRpcModel model;
+  RPC_ASSIGN_OR_RETURN(model.alpha,
+                       order::Orientation::FromSigns(std::move(signs)));
+  model.mins = std::move(mins);
+  model.maxs = std::move(maxs);
+  model.control_points = Matrix::FromColumns(control);
+  // Validate the geometry before declaring success.
+  RPC_RETURN_IF_ERROR(model.BuildCurve().status());
+  return model;
+}
+
+Result<RpcCurve> PortableRpcModel::BuildCurve() const {
+  // Accept both the pinned-corner and free-end-point variants.
+  Result<RpcCurve> pinned =
+      RpcCurve::FromControlPoints(control_points, alpha);
+  if (pinned.ok()) return pinned;
+  return RpcCurve::FromControlPointsUnchecked(control_points, alpha);
+}
+
+Result<double> PortableRpcModel::Score(const Vector& x) const {
+  if (x.size() != control_points.rows()) {
+    return Status::InvalidArgument("model: observation dimension mismatch");
+  }
+  RPC_ASSIGN_OR_RETURN(RpcCurve curve, BuildCurve());
+  Vector normalized(x.size());
+  for (int j = 0; j < x.size(); ++j) {
+    normalized[j] = (x[j] - mins[j]) / (maxs[j] - mins[j]);
+  }
+  return opt::ProjectOntoCurve(curve.bezier(), normalized).s;
+}
+
+Status SaveModel(const PortableRpcModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound(StrFormat("cannot write '%s'", path.c_str()));
+  }
+  out << model.Serialize();
+  return Status::Ok();
+}
+
+Result<PortableRpcModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return PortableRpcModel::Deserialize(buffer.str());
+}
+
+}  // namespace rpc::core

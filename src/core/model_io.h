@@ -1,0 +1,55 @@
+#ifndef RPC_CORE_MODEL_IO_H_
+#define RPC_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/rpc_curve.h"
+#include "data/normalizer.h"
+#include "order/orientation.h"
+
+namespace rpc::core {
+
+/// A fitted RPC model in portable form: the orientation, the normalisation
+/// bounds, and the control points — everything needed to score new
+/// observations (the "white box" of Section 6.2.1 is literally this
+/// struct). Serialised as a small self-describing text format:
+///
+///   rpc-model v1
+///   dimension 4
+///   degree 3
+///   alpha +1 +1 -1 -1
+///   mins <d numbers>
+///   maxs <d numbers>
+///   control p0 <d numbers>
+///   ...
+///   control p3 <d numbers>
+struct PortableRpcModel {
+  order::Orientation alpha = order::Orientation::AllBenefit(1);
+  linalg::Vector mins;
+  linalg::Vector maxs;
+  /// d x (k+1), columns p0..pk, in the *normalised* space.
+  linalg::Matrix control_points;
+
+  /// Serialises to the text format above.
+  std::string Serialize() const;
+
+  /// Parses the text format; validates shapes and the Proposition 1
+  /// constraints via RpcCurve.
+  static Result<PortableRpcModel> Deserialize(const std::string& text);
+
+  /// Rebuilds the curve (validated) from the stored control points.
+  Result<RpcCurve> BuildCurve() const;
+
+  /// Scores a raw observation exactly like RpcRanker::Score.
+  Result<double> Score(const linalg::Vector& x) const;
+};
+
+/// Writes/reads a model file. File-level errors map to kNotFound; parse
+/// errors to kDataLoss.
+Status SaveModel(const PortableRpcModel& model, const std::string& path);
+Result<PortableRpcModel> LoadModel(const std::string& path);
+
+}  // namespace rpc::core
+
+#endif  // RPC_CORE_MODEL_IO_H_

@@ -1,0 +1,107 @@
+#include "core/model_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/stringutil.h"
+#include "opt/curve_projection.h"
+
+namespace rpc::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<DegreeSelectionResult> SelectDegreeByCrossValidation(
+    const Matrix& normalized_data, const order::Orientation& alpha,
+    const RpcLearnOptions& base_options,
+    const DegreeSelectionOptions& options) {
+  const int n = normalized_data.rows();
+  if (options.folds < 2) {
+    return Status::InvalidArgument("SelectDegree: need >= 2 folds");
+  }
+  if (options.candidate_degrees.empty()) {
+    return Status::InvalidArgument("SelectDegree: no candidate degrees");
+  }
+  const int max_degree = *std::max_element(options.candidate_degrees.begin(),
+                                           options.candidate_degrees.end());
+  if (n < options.folds * (max_degree + 1)) {
+    return Status::InvalidArgument(
+        StrFormat("SelectDegree: %d rows too few for %d folds at degree %d",
+                  n, options.folds, max_degree));
+  }
+
+  // A fixed random permutation defines the folds.
+  Rng rng(options.seed);
+  const std::vector<int> perm = rng.Permutation(n);
+
+  DegreeSelectionResult result;
+  for (int degree : options.candidate_degrees) {
+    DegreeScore score;
+    score.degree = degree;
+    double total_j = 0.0;
+    int total_points = 0;
+    for (int fold = 0; fold < options.folds; ++fold) {
+      std::vector<int> train;
+      std::vector<int> test;
+      for (int idx = 0; idx < n; ++idx) {
+        (idx % options.folds == fold ? test : train)
+            .push_back(perm[static_cast<size_t>(idx)]);
+      }
+      Matrix train_data(static_cast<int>(train.size()),
+                        normalized_data.cols());
+      for (size_t i = 0; i < train.size(); ++i) {
+        train_data.SetRow(static_cast<int>(i),
+                          normalized_data.Row(train[i]));
+      }
+      RpcLearnOptions fold_options = base_options;
+      fold_options.degree = degree;
+      fold_options.seed = options.seed + 31ULL * fold;
+      RPC_ASSIGN_OR_RETURN(RpcFitResult fit,
+                           RpcLearner(fold_options).Fit(train_data, alpha));
+      if (!fit.curve.CheckMonotonicity().strictly_monotone) {
+        score.always_monotone = false;
+      }
+      for (int idx : test) {
+        const auto proj = opt::ProjectOntoCurve(
+            fit.curve.bezier(), normalized_data.Row(idx),
+            base_options.projection);
+        total_j += proj.squared_distance;
+        ++total_points;
+      }
+    }
+    score.mean_holdout_j = total_points > 0 ? total_j / total_points : 0.0;
+    result.scores.push_back(score);
+  }
+
+  // Pick the cubic unless a rival is both qualified (always monotone) and
+  // better by more than the margin.
+  double cubic_j = std::numeric_limits<double>::infinity();
+  for (const DegreeScore& score : result.scores) {
+    if (score.degree == 3 && score.always_monotone) {
+      cubic_j = score.mean_holdout_j;
+    }
+  }
+  int best_degree = -1;
+  double best_j = std::numeric_limits<double>::infinity();
+  for (const DegreeScore& score : result.scores) {
+    if (!score.always_monotone) continue;
+    if (score.mean_holdout_j < best_j) {
+      best_j = score.mean_holdout_j;
+      best_degree = score.degree;
+    }
+  }
+  if (best_degree < 0) {
+    return Status::NumericalError(
+        "SelectDegree: no candidate degree stayed strictly monotone");
+  }
+  if (std::isfinite(cubic_j) &&
+      best_j >= cubic_j * (1.0 - options.improvement_margin)) {
+    best_degree = 3;
+  }
+  result.best_degree = best_degree;
+  return result;
+}
+
+}  // namespace rpc::core

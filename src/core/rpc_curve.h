@@ -1,0 +1,67 @@
+#ifndef RPC_CORE_RPC_CURVE_H_
+#define RPC_CORE_RPC_CURVE_H_
+
+#include "common/result.h"
+#include "curve/bezier.h"
+#include "linalg/matrix.h"
+#include "order/monotonicity.h"
+#include "order/orientation.h"
+
+namespace rpc::core {
+
+/// A ranking principal curve (Definition 7): a Bezier curve in [0,1]^d
+/// whose end points sit at the orientation's worst/best corners
+/// (p0 = (1-alpha)/2, p_k = (1+alpha)/2) and whose interior control points
+/// live in the open unit cube. For the paper's cubic (k = 3) these are the
+/// Proposition 1 conditions that make the curve strictly monotone and hence
+/// a legal ranking skeleton; other degrees are supported for the degree
+/// ablation (for k > 3 the corner/interior conditions do NOT imply
+/// monotonicity — CheckMonotonicity reports it empirically).
+class RpcCurve {
+ public:
+  /// Validates the corner/interior constraints: `control_points` is
+  /// d x (k+1) with columns p0..p_k, p0/p_k at the alpha corners (within
+  /// `corner_tol`), the rest strictly inside [0,1]^d. Returns
+  /// kInvalidArgument otherwise.
+  static Result<RpcCurve> FromControlPoints(
+      const linalg::Matrix& control_points, const order::Orientation& alpha,
+      double corner_tol = 1e-9);
+
+  /// Builds a curve without the corner check, for the learn_end_points
+  /// variant where all four columns are free inside [0,1]^d. Still rejects
+  /// control points outside [0,1]^d.
+  static Result<RpcCurve> FromControlPointsUnchecked(
+      const linalg::Matrix& control_points, const order::Orientation& alpha);
+
+  /// A canonical strictly monotone starting curve: interior control points
+  /// placed at 1/3 and 2/3 of the corner-to-corner diagonal.
+  static RpcCurve Diagonal(const order::Orientation& alpha);
+
+  int dimension() const { return curve_.dimension(); }
+  int degree() const { return curve_.degree(); }
+  const order::Orientation& alpha() const { return alpha_; }
+  const curve::BezierCurve& bezier() const { return curve_; }
+  const linalg::Matrix& control_points() const {
+    return curve_.control_points();
+  }
+
+  linalg::Vector Evaluate(double s) const { return curve_.Evaluate(s); }
+  linalg::Vector Derivative(double s) const { return curve_.Derivative(s); }
+
+  /// Certifies strict monotonicity against alpha on a derivative grid.
+  order::CurveMonotonicityReport CheckMonotonicity(int grid = 512) const;
+
+  /// grid+1 samples of the curve, rows ordered by s.
+  linalg::Matrix Sample(int grid) const { return curve_.Sample(grid); }
+
+ private:
+  RpcCurve(curve::BezierCurve curve, order::Orientation alpha)
+      : curve_(std::move(curve)), alpha_(std::move(alpha)) {}
+
+  curve::BezierCurve curve_;
+  order::Orientation alpha_;
+};
+
+}  // namespace rpc::core
+
+#endif  // RPC_CORE_RPC_CURVE_H_

@@ -1,0 +1,290 @@
+#include "core/rpc_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stringutil.h"
+#include "curve/bernstein.h"
+#include "linalg/pinv.h"
+#include "linalg/stats.h"
+#include "opt/richardson.h"
+
+namespace rpc::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Bernstein design matrix G ((k+1) x n) with G(r, i) = B_r^k(s_i). For
+// k = 3 this equals M Z of Eq. (23), generalised so the degree ablation can
+// reuse the same alternating scheme.
+Matrix BernsteinDesign(int degree, const Vector& scores) {
+  Matrix g(degree + 1, scores.size());
+  for (int i = 0; i < scores.size(); ++i) {
+    const Vector basis = curve::AllBernstein(degree, scores[i]);
+    for (int r = 0; r <= degree; ++r) g(r, i) = basis[r];
+  }
+  return g;
+}
+
+// Per-attribute quantile of the column values.
+double ColumnQuantile(const Matrix& data, int col, double q) {
+  std::vector<double> values(static_cast<size_t>(data.rows()));
+  for (int i = 0; i < data.rows(); ++i) values[static_cast<size_t>(i)] =
+      data(i, col);
+  std::sort(values.begin(), values.end());
+  const double pos = q * (data.rows() - 1);
+  const int lo = static_cast<int>(std::floor(pos));
+  const int hi = std::min(lo + 1, data.rows() - 1);
+  const double frac = pos - lo;
+  return (1.0 - frac) * values[static_cast<size_t>(lo)] +
+         frac * values[static_cast<size_t>(hi)];
+}
+
+double Clamp01(double v, double margin) {
+  return std::clamp(v, margin, 1.0 - margin);
+}
+
+}  // namespace
+
+RpcLearner::RpcLearner(RpcLearnOptions options)
+    : options_(std::move(options)) {}
+
+Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
+                                     const order::Orientation& alpha) const {
+  if (options_.restarts < 1) {
+    return Status::InvalidArgument("RpcLearner: restarts must be >= 1");
+  }
+  if (options_.restarts == 1) {
+    return FitOnce(normalized_data, alpha, options_.seed);
+  }
+  // Multi-restart: independent seeds, keep the lowest J (Theorem 3's
+  // minimiser is approached from several basins).
+  Result<RpcFitResult> best = Status::Internal("no restart succeeded");
+  for (int r = 0; r < options_.restarts; ++r) {
+    Result<RpcFitResult> fit =
+        FitOnce(normalized_data, alpha, options_.seed + 7919ULL * r);
+    if (!fit.ok()) {
+      if (!best.ok()) best = std::move(fit);
+      continue;
+    }
+    if (!best.ok() || fit->final_j < best->final_j) best = std::move(fit);
+  }
+  return best;
+}
+
+Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
+                                         const order::Orientation& alpha,
+                                         uint64_t seed) const {
+  const int n = normalized_data.rows();
+  const int d = normalized_data.cols();
+  const int k = options_.degree;
+  if (k < 1 || k > 10) {
+    return Status::InvalidArgument("RpcLearner: degree must be in [1, 10]");
+  }
+  if (d != alpha.dimension()) {
+    return Status::InvalidArgument("RpcLearner: alpha dimension mismatch");
+  }
+  // With end points pinned only k-1 control points are free, so k-1 rows
+  // determine the fit; free end points need k+1. (The Gram matrix may be
+  // rank deficient either way — Richardson tolerates that, the
+  // pseudo-inverse path truncates the null space.)
+  const int min_rows = options_.fix_end_points ? std::max(2, k - 1) : k + 1;
+  if (n < min_rows) {
+    return Status::InvalidArgument(
+        StrFormat("RpcLearner: need at least %d rows for degree %d", min_rows,
+                  k));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      const double v = normalized_data(i, j);
+      // The negated comparison also rejects NaN (all comparisons false).
+      if (!(v >= -1e-9 && v <= 1.0 + 1e-9)) {
+        return Status::FailedPrecondition(
+            StrFormat("RpcLearner: entry (%d,%d)=%g outside [0,1]; "
+                      "normalise first (Eq. 29)",
+                      i, j, v));
+      }
+    }
+  }
+
+  // --- Step 2: initialise control points. -------------------------------
+  Rng rng(seed);
+  const Vector worst = alpha.WorstCorner();
+  const Vector best = alpha.BestCorner();
+  Matrix control(d, k + 1);
+  control.SetColumn(0, worst);
+  control.SetColumn(k, best);
+  const double margin = std::max(options_.clamp_margin, 1e-9);
+  for (int r = 1; r < k; ++r) {
+    const double frac = static_cast<double>(r) / k;
+    for (int j = 0; j < d; ++j) {
+      double v = 0.0;
+      switch (options_.init) {
+        case RpcInit::kDiagonal:
+          v = worst[j] + frac * (best[j] - worst[j]);
+          break;
+        case RpcInit::kQuantiles: {
+          const double q = alpha.sign(j) > 0 ? frac : 1.0 - frac;
+          v = ColumnQuantile(normalized_data, j, q);
+          break;
+        }
+        case RpcInit::kRandomSamples:
+          v = 0.0;  // filled below from whole sampled rows
+          break;
+      }
+      control(j, r) = Clamp01(v, margin);
+    }
+  }
+  if (options_.init == RpcInit::kRandomSamples) {
+    // Draw k-1 distinct rows and order them by oriented progress so the
+    // control polygon runs from worst to best.
+    std::vector<int> picks;
+    while (static_cast<int>(picks.size()) < k - 1) {
+      const int candidate = static_cast<int>(rng.UniformInt(n));
+      if (std::find(picks.begin(), picks.end(), candidate) == picks.end()) {
+        picks.push_back(candidate);
+      }
+      if (static_cast<int>(picks.size()) == n) break;  // tiny datasets
+    }
+    std::sort(picks.begin(), picks.end(), [&](int a, int b) {
+      double pa = 0.0, pb = 0.0;
+      for (int j = 0; j < d; ++j) {
+        pa += alpha.sign(j) * normalized_data(a, j);
+        pb += alpha.sign(j) * normalized_data(b, j);
+      }
+      return pa < pb;
+    });
+    for (int r = 1; r < k; ++r) {
+      const int row = picks[static_cast<size_t>(
+          std::min<int>(r - 1, static_cast<int>(picks.size()) - 1))];
+      for (int j = 0; j < d; ++j) {
+        control(j, r) = Clamp01(normalized_data(row, j), margin);
+      }
+    }
+  }
+
+  // --- Steps 3-9: alternate projection and control-point updates. -------
+  RpcFitResult result{RpcCurve::Diagonal(alpha), Vector(), 0.0, 0.0, 0,
+                      false, {}};
+  curve::BezierCurve bezier(control);
+  Vector scores;
+  double j_current = std::numeric_limits<double>::infinity();
+  double j_previous = std::numeric_limits<double>::infinity();
+  Matrix previous_control = control;
+  Vector previous_scores;
+
+  opt::RichardsonOptions richardson_options;
+  richardson_options.use_preconditioner = options_.use_preconditioner;
+  richardson_options.gamma = options_.gamma;
+
+  int iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    // Step 4: projection indices s^(t) (GSS or the quintic alternative).
+    scores = opt::ProjectRows(bezier, normalized_data, options_.projection,
+                              &j_current);
+    if (options_.record_history) result.j_history.push_back(j_current);
+
+    if (iter > 0) {
+      const double delta = j_previous - j_current;
+      if (delta < 0.0) {
+        // Step 6-8: J increased — keep the previous local minimum. The
+        // rejected trial is dropped from the history so the recorded
+        // sequence is the accepted, non-increasing one (Proposition 2).
+        control = previous_control;
+        scores = previous_scores;
+        j_current = j_previous;
+        bezier = curve::BezierCurve(control);
+        if (options_.record_history && !result.j_history.empty()) {
+          result.j_history.pop_back();
+        }
+        break;
+      }
+      if (delta < options_.tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+    j_previous = j_current;
+    previous_control = control;
+    previous_scores = scores;
+
+    // Step 5: control-point update with a preconditioner.
+    const Matrix design = BernsteinDesign(k, scores);       // (k+1) x n
+    const Matrix gram = linalg::TimesTranspose(design, design);
+    const Matrix cross =
+        linalg::TransposeTimes(normalized_data, design.Transposed());
+    if (options_.use_pseudo_inverse_update) {
+      // Eq. (26): P = X (MZ)^+ = cross * gram^+ — exact but
+      // ill-conditioned mid-iteration (the motivation for Richardson).
+      RPC_ASSIGN_OR_RETURN(Matrix gram_pinv,
+                           linalg::PseudoInverseSymmetric(gram));
+      control = cross * gram_pinv;
+    } else {
+      for (int step = 0; step < options_.richardson_steps_per_iteration;
+           ++step) {
+        RPC_ASSIGN_OR_RETURN(
+            control,
+            opt::RichardsonStep(control, gram, cross, richardson_options));
+      }
+    }
+
+    // Re-impose the Proposition 1 constraints.
+    for (int j = 0; j < d; ++j) {
+      for (int r = 1; r < k; ++r) {
+        control(j, r) = Clamp01(control(j, r), margin);
+      }
+      if (options_.fix_end_points) {
+        control(j, 0) = worst[j];
+        control(j, k) = best[j];
+      } else {
+        control(j, 0) = std::clamp(control(j, 0), 0.0, 1.0);
+        control(j, k) = std::clamp(control(j, k), 0.0, 1.0);
+      }
+    }
+    bezier = curve::BezierCurve(control);
+  }
+
+  if (scores.size() == 0) {
+    scores = opt::ProjectRows(bezier, normalized_data, options_.projection,
+                              &j_current);
+  }
+
+  Result<RpcCurve> curve_result =
+      options_.fix_end_points
+          ? RpcCurve::FromControlPoints(control, alpha,
+                                        /*corner_tol=*/1e-6)
+          : RpcCurve::FromControlPointsUnchecked(control, alpha);
+  if (!curve_result.ok()) return curve_result.status();
+
+  result.curve = std::move(curve_result).value();
+  result.scores = scores;
+  result.final_j = j_current;
+  result.explained_variance =
+      1.0 - j_current /
+                std::max(linalg::TotalScatter(normalized_data), 1e-300);
+  result.iterations = iter;
+  return result;
+}
+
+Vector RescaleToUnit(const Vector& scores) {
+  if (scores.size() == 0) return scores;
+  double lo = scores[0];
+  double hi = scores[0];
+  for (int i = 1; i < scores.size(); ++i) {
+    lo = std::min(lo, scores[i]);
+    hi = std::max(hi, scores[i]);
+  }
+  Vector rescaled(scores.size());
+  const double range = hi - lo;
+  for (int i = 0; i < scores.size(); ++i) {
+    rescaled[i] = range > 0.0 ? (scores[i] - lo) / range : 0.5;
+  }
+  return rescaled;
+}
+
+}  // namespace rpc::core

@@ -1,0 +1,114 @@
+#ifndef RPC_CORE_RPC_LEARNER_H_
+#define RPC_CORE_RPC_LEARNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rpc_curve.h"
+#include "linalg/matrix.h"
+#include "opt/curve_projection.h"
+#include "order/orientation.h"
+
+namespace rpc::core {
+
+/// How the interior control points are initialised (Step 2 of Algorithm 1).
+enum class RpcInit {
+  /// Two random data rows, ordered along the diagonal — the paper's
+  /// "randomly select samples as control points".
+  kRandomSamples,
+  /// Per-attribute 1/3 and 2/3 quantiles of the data (deterministic).
+  kQuantiles,
+  /// 1/3 and 2/3 of the worst-to-best diagonal (deterministic, shape-free).
+  kDiagonal,
+};
+
+/// Degree of the Bezier ranking curve. The paper fixes k = 3 (Section 4.2:
+/// k < 3 is too simple, k > 3 overfits); other degrees are exposed for the
+/// ablation of that claim (E10). Degrees other than 3 use the same
+/// alternating scheme with the generalised Bernstein design matrix.
+struct RpcLearnOptions {
+  int degree = 3;
+  int max_iterations = 300;
+  /// ΔJ threshold xi of Algorithm 1.
+  double tolerance = 1e-7;
+  /// Projection solver (Step 4): GSS by default.
+  opt::ProjectionOptions projection;
+  /// Keep p0/p3 pinned to the alpha corners (Proposition 1 — guarantees the
+  /// meta-rules). When false, end points are learned too and merely clamped
+  /// into [0,1]^d, the freer behaviour Table 2's printed end points suggest.
+  bool fix_end_points = true;
+  /// Clamp margin keeping interior control points strictly inside (0,1).
+  double clamp_margin = 1e-3;
+  /// Richardson preconditioner (Section 5); off reproduces the unstable raw
+  /// iteration for ablation E11.
+  bool use_preconditioner = true;
+  /// Fixed Richardson step; unset = 2 / (lambda_min + lambda_max) (Eq. 28).
+  std::optional<double> gamma;
+  /// Richardson steps per outer iteration.
+  int richardson_steps_per_iteration = 4;
+  /// Use the direct pseudo-inverse solve P = X (MZ)^+ (Eq. 26) instead of
+  /// Richardson — the ill-conditioned baseline of ablation E11.
+  bool use_pseudo_inverse_update = false;
+  RpcInit init = RpcInit::kRandomSamples;
+  uint64_t seed = 1234;
+  /// Record J after every iteration (Proposition 2 diagnostics).
+  bool record_history = true;
+  /// Number of independent runs (different random initialisations); the
+  /// fit with the lowest J wins. Theorem 3 guarantees a minimiser exists;
+  /// restarts are the practical way to approach it when the alternating
+  /// scheme lands in a local optimum. Only meaningful with
+  /// RpcInit::kRandomSamples (deterministic inits always produce the same
+  /// run). Must be >= 1.
+  int restarts = 1;
+};
+
+/// Output of Algorithm 1.
+struct RpcFitResult {
+  RpcCurve curve;
+  /// Projection scores s_i in [0,1] for the training rows (higher = closer
+  /// to the best corner = ranked better).
+  linalg::Vector scores;
+  /// Final summed squared residual J(P*, s*) (Eq. 19).
+  double final_j = 0.0;
+  /// 1 - J / total scatter, the Section 6.2.1 metric.
+  double explained_variance = 0.0;
+  int iterations = 0;
+  /// True when the ΔJ < xi criterion fired (as opposed to the iteration cap
+  /// or the ΔJ < 0 safeguard).
+  bool converged = false;
+  /// J(P_t, s_t) per iteration when record_history is set; non-increasing
+  /// by Proposition 2.
+  std::vector<double> j_history;
+};
+
+/// Learns a ranking principal curve from observations already normalised
+/// into [0,1]^d (Algorithm 1). Use RpcRanker for the end-to-end pipeline on
+/// raw data.
+class RpcLearner {
+ public:
+  explicit RpcLearner(RpcLearnOptions options = {});
+
+  /// `normalized_data` is n x d with every entry in [0,1] (small numerical
+  /// slack allowed); n >= 4 rows are required to determine the cubic.
+  Result<RpcFitResult> Fit(const linalg::Matrix& normalized_data,
+                           const order::Orientation& alpha) const;
+
+  const RpcLearnOptions& options() const { return options_; }
+
+ private:
+  Result<RpcFitResult> FitOnce(const linalg::Matrix& normalized_data,
+                               const order::Orientation& alpha,
+                               uint64_t seed) const;
+
+  RpcLearnOptions options_;
+};
+
+/// Affinely rescales scores so the worst maps to 0 and the best to 1 — the
+/// presentation convention of Table 2 (Luxembourg 1.0000, Swaziland 0).
+linalg::Vector RescaleToUnit(const linalg::Vector& scores);
+
+}  // namespace rpc::core
+
+#endif  // RPC_CORE_RPC_LEARNER_H_

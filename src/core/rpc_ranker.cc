@@ -1,0 +1,58 @@
+#include "core/rpc_ranker.h"
+
+#include "opt/curve_projection.h"
+
+namespace rpc::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<RpcRanker> RpcRanker::Fit(const Matrix& raw_data,
+                                 const order::Orientation& alpha,
+                                 const RpcLearnOptions& options) {
+  RPC_ASSIGN_OR_RETURN(data::Normalizer normalizer,
+                       data::Normalizer::Fit(raw_data));
+  const Matrix normalized = normalizer.Transform(raw_data);
+  RpcLearner learner(options);
+  RPC_ASSIGN_OR_RETURN(RpcFitResult fit, learner.Fit(normalized, alpha));
+  RpcRanker ranker(std::move(normalizer), std::move(fit));
+  ranker.projection_ = options.projection;
+  return ranker;
+}
+
+Result<RpcRanker> RpcRanker::FitDataset(const data::Dataset& dataset,
+                                        const order::Orientation& alpha,
+                                        const RpcLearnOptions& options) {
+  const data::Dataset complete = dataset.FilterCompleteRows();
+  if (complete.num_objects() == 0) {
+    return Status::InvalidArgument("RpcRanker: no complete rows");
+  }
+  return Fit(complete.values(), alpha, options);
+}
+
+double RpcRanker::Score(const Vector& x) const {
+  const Vector normalized = normalizer_.Transform(x);
+  return opt::ProjectOntoCurve(curve_.bezier(), normalized, projection_).s;
+}
+
+Matrix RpcRanker::ControlPointsInOriginalSpace() const {
+  // Control points are d x (k+1); report rows p0..p_k like Table 2.
+  const Matrix& control = curve_.control_points();
+  Matrix rows(control.cols(), control.rows());
+  for (int r = 0; r < control.cols(); ++r) {
+    rows.SetRow(r, normalizer_.InverseTransform(control.Column(r)));
+  }
+  return rows;
+}
+
+Matrix RpcRanker::SampleSkeletonRaw(int grid) const {
+  return normalizer_.InverseTransform(curve_.Sample(grid));
+}
+
+rank::RankingList RpcRanker::RankDataset(const data::Dataset& dataset) const {
+  const Vector scores = ScoreRows(dataset.values());
+  return rank::RankingList(scores, dataset.labels(),
+                           /*higher_is_better=*/true);
+}
+
+}  // namespace rpc::core

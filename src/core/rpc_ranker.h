@@ -1,0 +1,82 @@
+#ifndef RPC_CORE_RPC_RANKER_H_
+#define RPC_CORE_RPC_RANKER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/rpc_learner.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "rank/ranking_function.h"
+#include "rank/ranking_list.h"
+
+namespace rpc::core {
+
+/// End-to-end RPC ranking pipeline on raw data: min-max normalisation
+/// (Eq. 29) -> Algorithm 1 -> projection scores. Implements RankingFunction
+/// so it can be audited against the five meta-rules and compared with the
+/// baselines on equal footing.
+class RpcRanker : public rank::RankingFunction {
+ public:
+  /// Fits on raw observations (rows) with the given orientation.
+  static Result<RpcRanker> Fit(const linalg::Matrix& raw_data,
+                               const order::Orientation& alpha,
+                               const RpcLearnOptions& options = {});
+
+  /// Convenience: filters complete rows of `dataset` and fits on them.
+  static Result<RpcRanker> FitDataset(const data::Dataset& dataset,
+                                      const order::Orientation& alpha,
+                                      const RpcLearnOptions& options = {});
+
+  /// Projection score s in [0,1] of a raw observation (higher = better).
+  double Score(const linalg::Vector& x) const override;
+  std::string name() const override { return "RPC"; }
+  /// 4d for the cubic (Section 3.5 / Table 2's interpretability claim).
+  std::optional<int> ParameterCount() const override {
+    return curve_.dimension() * (curve_.degree() + 1);
+  }
+
+  const RpcCurve& curve() const { return curve_; }
+  const data::Normalizer& normalizer() const { return normalizer_; }
+  const RpcFitResult& fit_result() const { return fit_; }
+  const order::Orientation& alpha() const { return curve_.alpha(); }
+
+  /// Training scores rescaled to span [0, 1] — the presentation used in
+  /// Table 2 (best anchor at 1, worst at 0).
+  linalg::Vector UnitScores() const { return RescaleToUnit(fit_.scores); }
+
+  /// Control/end points mapped back to the original data space — the
+  /// interpretable parameters printed at the bottom of Table 2. Rows are
+  /// p0..p_k, columns the attributes.
+  linalg::Matrix ControlPointsInOriginalSpace() const;
+
+  /// grid+1 skeleton samples mapped back to the raw space (for Fig. 7/8
+  /// style projections).
+  linalg::Matrix SampleSkeletonRaw(int grid) const;
+
+  /// Ranking list of the training rows of `dataset` (labels preserved).
+  rank::RankingList RankDataset(const data::Dataset& dataset) const;
+
+  /// Everything needed to persist and re-score this model; see
+  /// core/model_io.h for the serialisation format.
+  /// The returned struct holds {alpha, mins, maxs, control points}.
+  linalg::Matrix PortableControlPoints() const {
+    return curve_.control_points();
+  }
+
+ private:
+  RpcRanker(data::Normalizer normalizer, RpcFitResult fit)
+      : normalizer_(std::move(normalizer)),
+        fit_(std::move(fit)),
+        curve_(fit_.curve),
+        projection_() {}
+
+  data::Normalizer normalizer_;
+  RpcFitResult fit_;
+  RpcCurve curve_;
+  opt::ProjectionOptions projection_;
+};
+
+}  // namespace rpc::core
+
+#endif  // RPC_CORE_RPC_RANKER_H_

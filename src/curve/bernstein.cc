@@ -1,0 +1,42 @@
+#include "curve/bernstein.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rpc::curve {
+
+uint64_t Binomial(int k, int r) {
+  assert(k >= 0 && r >= 0 && r <= k && k <= 62);
+  if (r > k - r) r = k - r;
+  uint64_t result = 1;
+  for (int i = 1; i <= r; ++i) {
+    result = result * static_cast<uint64_t>(k - r + i) /
+             static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+double BernsteinBasis(int k, int r, double s) {
+  assert(k >= 0 && r >= 0 && r <= k);
+  return static_cast<double>(Binomial(k, r)) * std::pow(1.0 - s, k - r) *
+         std::pow(s, r);
+}
+
+linalg::Vector AllBernstein(int k, double s) {
+  linalg::Vector basis(k + 1);
+  basis[0] = 1.0;
+  const double u = 1.0 - s;
+  // Triangular recurrence: at step j the prefix holds degree-j basis values.
+  for (int j = 1; j <= k; ++j) {
+    double saved = 0.0;
+    for (int r = 0; r < j; ++r) {
+      const double tmp = basis[r];
+      basis[r] = saved + u * tmp;
+      saved = s * tmp;
+    }
+    basis[j] = saved;
+  }
+  return basis;
+}
+
+}  // namespace rpc::curve

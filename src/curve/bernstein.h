@@ -1,0 +1,23 @@
+#ifndef RPC_CURVE_BERNSTEIN_H_
+#define RPC_CURVE_BERNSTEIN_H_
+
+#include <cstdint>
+
+#include "linalg/vector.h"
+
+namespace rpc::curve {
+
+/// Binomial coefficient C(k, r) (Eq. 14). Exact for the small degrees used
+/// here; asserts 0 <= r <= k <= 62.
+uint64_t Binomial(int k, int r);
+
+/// Bernstein basis polynomial B_r^k(s) = C(k,r) (1-s)^(k-r) s^r (Eq. 13).
+double BernsteinBasis(int k, int r, double s);
+
+/// All k+1 Bernstein basis values at s, computed with the numerically stable
+/// de Casteljau-style recurrence. The values sum to 1 for s in [0, 1].
+linalg::Vector AllBernstein(int k, double s);
+
+}  // namespace rpc::curve
+
+#endif  // RPC_CURVE_BERNSTEIN_H_

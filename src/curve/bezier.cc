@@ -1,0 +1,219 @@
+#include "curve/bezier.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "curve/bernstein.h"
+
+namespace rpc::curve {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+BezierCurve::BezierCurve(Matrix control_points)
+    : points_(std::move(control_points)) {
+  assert(points_.cols() >= 1);
+}
+
+Vector BezierCurve::Evaluate(double s) const {
+  const int k = degree();
+  const int d = dimension();
+  // de Casteljau: repeated linear interpolation of the control polygon.
+  std::vector<Vector> work;
+  work.reserve(static_cast<size_t>(k) + 1);
+  for (int r = 0; r <= k; ++r) work.push_back(points_.Column(r));
+  for (int level = k; level >= 1; --level) {
+    for (int r = 0; r < level; ++r) {
+      for (int i = 0; i < d; ++i) {
+        work[static_cast<size_t>(r)][i] =
+            (1.0 - s) * work[static_cast<size_t>(r)][i] +
+            s * work[static_cast<size_t>(r) + 1][i];
+      }
+    }
+  }
+  return work[0];
+}
+
+Vector BezierCurve::Derivative(double s) const {
+  const int k = degree();
+  const int d = dimension();
+  if (k == 0) return Vector(d, 0.0);
+  const Vector basis = AllBernstein(k - 1, s);
+  Vector out(d);
+  for (int j = 0; j < k; ++j) {
+    const double w = k * basis[j];
+    for (int i = 0; i < d; ++i) {
+      out[i] += w * (points_(i, j + 1) - points_(i, j));
+    }
+  }
+  return out;
+}
+
+BezierCurve BezierCurve::DerivativeCurve() const {
+  const int k = degree();
+  const int d = dimension();
+  if (k == 0) return BezierCurve(Matrix(d, 1, 0.0));
+  Matrix deriv_points(d, k);
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < d; ++i) {
+      deriv_points(i, j) = k * (points_(i, j + 1) - points_(i, j));
+    }
+  }
+  return BezierCurve(std::move(deriv_points));
+}
+
+Matrix BezierCurve::PowerBasisCoefficients() const {
+  const int k = degree();
+  const int d = dimension();
+  // a_j = C(k,j) * sum_{i=0}^{j} (-1)^(j-i) C(j,i) p_i.
+  Matrix coeffs(d, k + 1);
+  for (int j = 0; j <= k; ++j) {
+    const double ckj = static_cast<double>(Binomial(k, j));
+    for (int i = 0; i <= j; ++i) {
+      const double sign = ((j - i) % 2 == 0) ? 1.0 : -1.0;
+      const double w = ckj * sign * static_cast<double>(Binomial(j, i));
+      for (int dim = 0; dim < d; ++dim) {
+        coeffs(dim, j) += w * points_(dim, i);
+      }
+    }
+  }
+  return coeffs;
+}
+
+Matrix BezierCurve::Sample(int n) const {
+  assert(n >= 1);
+  Matrix samples(n + 1, dimension());
+  for (int i = 0; i <= n; ++i) {
+    const double s = static_cast<double>(i) / n;
+    samples.SetRow(i, Evaluate(s));
+  }
+  return samples;
+}
+
+double BezierCurve::SquaredDistanceAt(const Vector& x, double s) const {
+  assert(x.size() == dimension());
+  const Vector f = Evaluate(s);
+  double sum = 0.0;
+  for (int i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - f[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+BezierCurve BezierCurve::AffineTransformed(const Vector& scale,
+                                           const Vector& shift) const {
+  assert(scale.size() == dimension() && shift.size() == dimension());
+  Matrix transformed = points_;
+  for (int r = 0; r <= degree(); ++r) {
+    for (int i = 0; i < dimension(); ++i) {
+      transformed(i, r) = scale[i] * points_(i, r) + shift[i];
+    }
+  }
+  return BezierCurve(std::move(transformed));
+}
+
+double BezierCurve::ApproximateLength(int samples) const {
+  assert(samples >= 1);
+  double length = 0.0;
+  Vector prev = Evaluate(0.0);
+  for (int i = 1; i <= samples; ++i) {
+    const Vector cur = Evaluate(static_cast<double>(i) / samples);
+    length += linalg::Distance(prev, cur);
+    prev = cur;
+  }
+  return length;
+}
+
+std::pair<BezierCurve, BezierCurve> BezierCurve::Subdivide(double s) const {
+  const int k = degree();
+  const int d = dimension();
+  // Run de Casteljau keeping the first point of each level (left curve)
+  // and the last point of each level (right curve, reversed).
+  std::vector<Vector> work;
+  work.reserve(static_cast<size_t>(k) + 1);
+  for (int r = 0; r <= k; ++r) work.push_back(points_.Column(r));
+  Matrix left(d, k + 1);
+  Matrix right(d, k + 1);
+  left.SetColumn(0, work.front());
+  right.SetColumn(k, work.back());
+  for (int level = 1; level <= k; ++level) {
+    for (int r = 0; r + level <= k; ++r) {
+      for (int i = 0; i < d; ++i) {
+        work[static_cast<size_t>(r)][i] =
+            (1.0 - s) * work[static_cast<size_t>(r)][i] +
+            s * work[static_cast<size_t>(r) + 1][i];
+      }
+    }
+    left.SetColumn(level, work.front());
+    right.SetColumn(k - level, work[static_cast<size_t>(k - level)]);
+  }
+  return {BezierCurve(std::move(left)), BezierCurve(std::move(right))};
+}
+
+BezierCurve BezierCurve::Elevated() const {
+  const int k = degree();
+  const int d = dimension();
+  // q_0 = p_0, q_{k+1} = p_k, q_r = r/(k+1) p_{r-1} + (1 - r/(k+1)) p_r.
+  Matrix elevated(d, k + 2);
+  elevated.SetColumn(0, points_.Column(0));
+  elevated.SetColumn(k + 1, points_.Column(k));
+  for (int r = 1; r <= k; ++r) {
+    const double w = static_cast<double>(r) / (k + 1);
+    for (int i = 0; i < d; ++i) {
+      elevated(i, r) = w * points_(i, r - 1) + (1.0 - w) * points_(i, r);
+    }
+  }
+  return BezierCurve(std::move(elevated));
+}
+
+std::vector<std::vector<double>> BezierCurve::CoordinateExtrema(
+    double tol) const {
+  const int d = dimension();
+  std::vector<std::vector<double>> extrema(static_cast<size_t>(d));
+  const BezierCurve hodograph = DerivativeCurve();
+  // f_j' is a degree k-1 polynomial: a grid finer than its root count
+  // bracket every sign change; bisection then refines.
+  const int grid = std::max(8, 16 * degree());
+  for (int j = 0; j < d; ++j) {
+    double prev_s = 0.0;
+    double prev_v = hodograph.Evaluate(0.0)[j];
+    for (int i = 1; i <= grid; ++i) {
+      const double s = static_cast<double>(i) / grid;
+      const double v = hodograph.Evaluate(s)[j];
+      if (v == 0.0) {
+        // Exact zero on a grid point (e.g. symmetric bumps peaking at 1/2).
+        if (s > tol && s < 1.0 - tol) {
+          extrema[static_cast<size_t>(j)].push_back(s);
+        }
+        prev_s = s;
+        prev_v = v;
+        continue;
+      }
+      if ((prev_v < 0.0 && v > 0.0) || (prev_v > 0.0 && v < 0.0)) {
+        double lo = prev_s;
+        double hi = s;
+        double flo = prev_v;
+        while (hi - lo > tol) {
+          const double mid = 0.5 * (lo + hi);
+          const double fmid = hodograph.Evaluate(mid)[j];
+          if ((flo < 0.0) == (fmid < 0.0)) {
+            lo = mid;
+            flo = fmid;
+          } else {
+            hi = mid;
+          }
+        }
+        const double root = 0.5 * (lo + hi);
+        if (root > tol && root < 1.0 - tol) {
+          extrema[static_cast<size_t>(j)].push_back(root);
+        }
+      }
+      prev_s = s;
+      prev_v = v;
+    }
+  }
+  return extrema;
+}
+
+}  // namespace rpc::curve

@@ -1,0 +1,78 @@
+#ifndef RPC_CURVE_BEZIER_H_
+#define RPC_CURVE_BEZIER_H_
+
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::curve {
+
+/// A degree-k Bezier curve in R^d, f(s) = sum_r B_r^k(s) p_r for s in [0,1]
+/// (Eq. 12). Control points are stored as a d x (k+1) matrix whose columns
+/// are p_0 .. p_k — the same layout as the paper's P in Eq. (15).
+class BezierCurve {
+ public:
+  BezierCurve() = default;
+  /// Columns of `control_points` are p_0 .. p_k. Degree is cols - 1.
+  explicit BezierCurve(linalg::Matrix control_points);
+
+  int degree() const { return points_.cols() - 1; }
+  int dimension() const { return points_.rows(); }
+  const linalg::Matrix& control_points() const { return points_; }
+  linalg::Vector ControlPoint(int r) const { return points_.Column(r); }
+
+  /// Curve value f(s) by de Casteljau's algorithm (numerically stable for
+  /// any s, including slightly outside [0,1]).
+  linalg::Vector Evaluate(double s) const;
+
+  /// First derivative f'(s) = k * sum_j B_j^{k-1}(s) (p_{j+1} - p_j)
+  /// (Eq. 17).
+  linalg::Vector Derivative(double s) const;
+
+  /// The derivative as a lower-degree Bezier curve (hodograph).
+  BezierCurve DerivativeCurve() const;
+
+  /// Power-basis coefficients: column j of the returned d x (k+1) matrix is
+  /// the vector a_j with f(s) = sum_j a_j s^j. Used by the exact quintic
+  /// projection (Eq. 20).
+  linalg::Matrix PowerBasisCoefficients() const;
+
+  /// n+1 evenly spaced samples f(0), f(1/n), ..., f(1), as rows.
+  linalg::Matrix Sample(int n) const;
+
+  /// Squared distance ||x - f(s)||^2; helper for projections.
+  double SquaredDistanceAt(const linalg::Vector& x, double s) const;
+
+  /// Applies the affine map x -> scale .* x + shift per coordinate; by the
+  /// invariance property (Eq. 16) only control points change.
+  BezierCurve AffineTransformed(const linalg::Vector& scale,
+                                const linalg::Vector& shift) const;
+
+  /// Polyline length of a dense sampling; adequate arc-length proxy.
+  double ApproximateLength(int samples = 256) const;
+
+  /// Splits the curve at parameter s into the two sub-curves covering
+  /// [0, s] and [s, 1] (de Casteljau subdivision). Each sub-curve has the
+  /// same degree and traces exactly the corresponding arc.
+  std::pair<BezierCurve, BezierCurve> Subdivide(double s) const;
+
+  /// The same curve expressed with degree k+1 (degree elevation): shape is
+  /// unchanged, the control polygon moves toward the curve.
+  BezierCurve Elevated() const;
+
+  /// Per-coordinate parameter locations of interior extrema (roots of
+  /// f_j'(s) in (0,1)); empty inner vectors mean the coordinate is
+  /// monotone on [0,1]. A strictly monotone RPC has no interior extrema in
+  /// any coordinate.
+  std::vector<std::vector<double>> CoordinateExtrema(
+      double tol = 1e-10) const;
+
+ private:
+  linalg::Matrix points_;  // d x (k+1)
+};
+
+}  // namespace rpc::curve
+
+#endif  // RPC_CURVE_BEZIER_H_

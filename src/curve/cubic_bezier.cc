@@ -1,0 +1,61 @@
+#include "curve/cubic_bezier.h"
+
+#include <cassert>
+
+namespace rpc::curve {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+const Matrix& CubicM() {
+  static const Matrix* const kM = new Matrix{{1.0, -3.0, 3.0, -1.0},
+                                             {0.0, 3.0, -6.0, 3.0},
+                                             {0.0, 0.0, 3.0, -3.0},
+                                             {0.0, 0.0, 0.0, 1.0}};
+  return *kM;
+}
+
+Vector CubicZ(double s) {
+  const double s2 = s * s;
+  return Vector{1.0, s, s2, s2 * s};
+}
+
+Matrix CubicZMatrix(const Vector& scores) {
+  Matrix z(4, scores.size());
+  for (int i = 0; i < scores.size(); ++i) {
+    const double s = scores[i];
+    const double s2 = s * s;
+    z(0, i) = 1.0;
+    z(1, i) = s;
+    z(2, i) = s2;
+    z(3, i) = s2 * s;
+  }
+  return z;
+}
+
+Vector EvaluateCubic(const Matrix& p, double s) {
+  assert(p.cols() == 4);
+  return p * (CubicM() * CubicZ(s));
+}
+
+Matrix ReconstructCubic(const Matrix& p, const Vector& scores) {
+  assert(p.cols() == 4);
+  return p * (CubicM() * CubicZMatrix(scores));
+}
+
+double CubicResidual(const Matrix& p, const Matrix& data,
+                     const Vector& scores) {
+  assert(data.rows() == scores.size());
+  assert(data.cols() == p.rows());
+  const Matrix recon = ReconstructCubic(p, scores);  // d x n
+  double j = 0.0;
+  for (int i = 0; i < data.rows(); ++i) {
+    for (int dim = 0; dim < data.cols(); ++dim) {
+      const double diff = data(i, dim) - recon(dim, i);
+      j += diff * diff;
+    }
+  }
+  return j;
+}
+
+}  // namespace rpc::curve

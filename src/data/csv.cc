@@ -1,0 +1,198 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/stringutil.h"
+
+namespace rpc::data {
+namespace {
+
+bool IsMissingToken(std::string_view token) {
+  const std::string_view t = Trim(token);
+  return t.empty() || t == "NA" || t == "na" || t == "NaN" || t == "nan" ||
+         t == "?";
+}
+
+// Splits one CSV record honouring double-quote quoting.
+std::vector<std::string> SplitCsvRecord(std::string_view line,
+                                        char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  return field.find(delimiter) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field, char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsv(std::string_view text, const CsvOptions& options) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!Trim(line).empty()) lines.push_back(line);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (lines.empty()) {
+    return Status::DataLoss("ParseCsv: no content");
+  }
+
+  size_t first_data_line = 0;
+  std::vector<std::string> names;
+  if (options.has_header) {
+    std::vector<std::string> header =
+        SplitCsvRecord(lines[0], options.delimiter);
+    if (options.first_column_labels && !header.empty()) {
+      header.erase(header.begin());
+    }
+    for (std::string& h : header) names.emplace_back(Trim(h));
+    first_data_line = 1;
+  }
+
+  Dataset ds;
+  bool first_row = true;
+  int expected_fields = -1;
+  for (size_t li = first_data_line; li < lines.size(); ++li) {
+    std::vector<std::string> fields =
+        SplitCsvRecord(lines[li], options.delimiter);
+    if (expected_fields < 0) {
+      expected_fields = static_cast<int>(fields.size());
+    } else if (static_cast<int>(fields.size()) != expected_fields) {
+      return Status::DataLoss(
+          StrFormat("ParseCsv: line %zu has %zu fields, expected %d", li + 1,
+                    fields.size(), expected_fields));
+    }
+    std::string label;
+    size_t data_begin = 0;
+    if (options.first_column_labels) {
+      if (fields.empty()) return Status::DataLoss("ParseCsv: empty record");
+      label = std::string(Trim(fields[0]));
+      data_begin = 1;
+    } else {
+      label = StrFormat("obj%d", ds.num_objects());
+    }
+    const int d = static_cast<int>(fields.size() - data_begin);
+    if (d == 0) return Status::DataLoss("ParseCsv: record with no data");
+    linalg::Vector values(d);
+    std::vector<bool> missing(static_cast<size_t>(d), false);
+    for (int j = 0; j < d; ++j) {
+      const std::string& token = fields[data_begin + static_cast<size_t>(j)];
+      if (IsMissingToken(token)) {
+        missing[static_cast<size_t>(j)] = true;
+        values[j] = 0.0;
+        continue;
+      }
+      double value = 0.0;
+      if (!ParseDouble(token, &value)) {
+        return Status::DataLoss(StrFormat(
+            "ParseCsv: non-numeric cell '%s' at line %zu", token.c_str(),
+            li + 1));
+      }
+      values[j] = value;
+    }
+    if (first_row && !names.empty() &&
+        static_cast<int>(names.size()) != d) {
+      return Status::DataLoss("ParseCsv: header/data width mismatch");
+    }
+    ds.AppendRow(std::move(label), values, missing);
+    first_row = false;
+  }
+  if (!names.empty()) {
+    RPC_RETURN_IF_ERROR(ds.SetAttributeNames(std::move(names)));
+  }
+  return ds;
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string WriteCsvString(const Dataset& dataset, const CsvOptions& options) {
+  std::string out;
+  const std::string delim(1, options.delimiter);
+  if (options.has_header) {
+    std::vector<std::string> header;
+    if (options.first_column_labels) header.push_back("label");
+    for (const std::string& name : dataset.attribute_names()) {
+      header.push_back(QuoteField(name, options.delimiter));
+    }
+    out += Join(header, delim) + "\n";
+  }
+  for (int i = 0; i < dataset.num_objects(); ++i) {
+    std::vector<std::string> fields;
+    if (options.first_column_labels) {
+      fields.push_back(QuoteField(dataset.label(i), options.delimiter));
+    }
+    for (int j = 0; j < dataset.num_attributes(); ++j) {
+      fields.push_back(dataset.IsMissing(i, j)
+                           ? ""
+                           : StrFormat("%.12g", dataset.value(i, j)));
+    }
+    out += Join(fields, delim) + "\n";
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound(StrFormat("cannot write '%s'", path.c_str()));
+  }
+  out << WriteCsvString(dataset, options);
+  return Status::Ok();
+}
+
+}  // namespace rpc::data

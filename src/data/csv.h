@@ -1,0 +1,41 @@
+#ifndef RPC_DATA_CSV_H_
+#define RPC_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rpc::data {
+
+/// CSV parsing options. The dialect is the practical one: a configurable
+/// delimiter, double-quote quoting with "" escapes, optional header row, an
+/// optional leading label column, and empty/NA/na/NaN cells treated as
+/// missing values.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// When true, the first column holds object labels rather than data.
+  bool first_column_labels = true;
+};
+
+/// Parses CSV text into a Dataset. Non-numeric data cells are an error
+/// (kDataLoss) unless they spell a missing value.
+Result<Dataset> ParseCsv(std::string_view text, const CsvOptions& options = {});
+
+/// Reads and parses a CSV file (kNotFound when unreadable).
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options = {});
+
+/// Serialises a Dataset to CSV text (missing cells become empty fields).
+std::string WriteCsvString(const Dataset& dataset,
+                           const CsvOptions& options = {});
+
+/// Writes a Dataset to a file.
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace rpc::data
+
+#endif  // RPC_DATA_CSV_H_

@@ -1,0 +1,143 @@
+#include "data/dataset.h"
+
+#include <cassert>
+
+#include "common/stringutil.h"
+
+namespace rpc::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<Dataset> Dataset::FromMatrix(Matrix values,
+                                    std::vector<std::string> attribute_names,
+                                    std::vector<std::string> labels) {
+  Dataset ds;
+  const int n = values.rows();
+  const int d = values.cols();
+  if (!attribute_names.empty() &&
+      static_cast<int>(attribute_names.size()) != d) {
+    return Status::InvalidArgument("Dataset: attribute name count mismatch");
+  }
+  if (!labels.empty() && static_cast<int>(labels.size()) != n) {
+    return Status::InvalidArgument("Dataset: label count mismatch");
+  }
+  if (attribute_names.empty()) {
+    for (int j = 0; j < d; ++j) attribute_names.push_back(StrFormat("v%d", j));
+  }
+  if (labels.empty()) {
+    for (int i = 0; i < n; ++i) labels.push_back(StrFormat("obj%d", i));
+  }
+  ds.values_ = std::move(values);
+  ds.names_ = std::move(attribute_names);
+  ds.labels_ = std::move(labels);
+  ds.missing_.assign(static_cast<size_t>(n) * static_cast<size_t>(d), 0);
+  return ds;
+}
+
+Result<int> Dataset::AttributeIndex(const std::string& name) const {
+  for (size_t j = 0; j < names_.size(); ++j) {
+    if (names_[j] == name) return static_cast<int>(j);
+  }
+  return Status::NotFound(StrFormat("attribute '%s'", name.c_str()));
+}
+
+Result<int> Dataset::LabelIndex(const std::string& label) const {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<int>(i);
+  }
+  return Status::NotFound(StrFormat("label '%s'", label.c_str()));
+}
+
+bool Dataset::RowComplete(int row) const {
+  for (int j = 0; j < num_attributes(); ++j) {
+    if (IsMissing(row, j)) return false;
+  }
+  return true;
+}
+
+int Dataset::CountIncompleteRows() const {
+  int count = 0;
+  for (int i = 0; i < num_objects(); ++i) {
+    if (!RowComplete(i)) ++count;
+  }
+  return count;
+}
+
+void Dataset::AppendRow(std::string label, const Vector& values,
+                        const std::vector<bool>& missing) {
+  const int d = values.size();
+  assert(num_objects() == 0 || d == num_attributes());
+  assert(missing.empty() || static_cast<int>(missing.size()) == d);
+  if (num_objects() == 0 && names_.empty()) {
+    for (int j = 0; j < d; ++j) names_.push_back(StrFormat("v%d", j));
+  }
+  Matrix grown(values_.rows() + 1, d);
+  for (int i = 0; i < values_.rows(); ++i) grown.SetRow(i, values_.Row(i));
+  grown.SetRow(values_.rows(), values);
+  values_ = std::move(grown);
+  labels_.push_back(std::move(label));
+  for (int j = 0; j < d; ++j) {
+    missing_.push_back(
+        (!missing.empty() && missing[static_cast<size_t>(j)]) ? 1 : 0);
+  }
+}
+
+Status Dataset::SetAttributeNames(std::vector<std::string> names) {
+  if (static_cast<int>(names.size()) != num_attributes()) {
+    return Status::InvalidArgument("SetAttributeNames: count mismatch");
+  }
+  names_ = std::move(names);
+  return Status::Ok();
+}
+
+Dataset Dataset::FilterCompleteRows() const {
+  Dataset filtered;
+  filtered.names_ = names_;
+  int complete = 0;
+  for (int i = 0; i < num_objects(); ++i) {
+    if (RowComplete(i)) ++complete;
+  }
+  filtered.values_ = Matrix(complete, num_attributes());
+  int out = 0;
+  for (int i = 0; i < num_objects(); ++i) {
+    if (!RowComplete(i)) continue;
+    filtered.values_.SetRow(out, values_.Row(i));
+    filtered.labels_.push_back(labels_[static_cast<size_t>(i)]);
+    ++out;
+  }
+  filtered.missing_.assign(
+      static_cast<size_t>(complete) * static_cast<size_t>(num_attributes()),
+      0);
+  return filtered;
+}
+
+Result<Dataset> Dataset::SelectAttributes(
+    const std::vector<int>& columns) const {
+  Dataset selected;
+  for (int c : columns) {
+    if (c < 0 || c >= num_attributes()) {
+      return Status::OutOfRange(StrFormat("attribute index %d", c));
+    }
+    selected.names_.push_back(names_[static_cast<size_t>(c)]);
+  }
+  selected.labels_ = labels_;
+  selected.values_ = Matrix(num_objects(), static_cast<int>(columns.size()));
+  for (int i = 0; i < num_objects(); ++i) {
+    for (size_t k = 0; k < columns.size(); ++k) {
+      selected.values_(i, static_cast<int>(k)) =
+          values_(i, columns[k]);
+    }
+  }
+  selected.missing_.resize(static_cast<size_t>(num_objects()) *
+                           columns.size());
+  for (int i = 0; i < num_objects(); ++i) {
+    for (size_t k = 0; k < columns.size(); ++k) {
+      selected.missing_[static_cast<size_t>(i) * columns.size() + k] =
+          IsMissing(i, columns[k]) ? 1 : 0;
+    }
+  }
+  return selected;
+}
+
+}  // namespace rpc::data

@@ -1,0 +1,78 @@
+#ifndef RPC_DATA_DATASET_H_
+#define RPC_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::data {
+
+/// A table of multi-attribute numerical observations: n labelled objects
+/// (rows) by d named attributes (columns), with per-cell missing flags so
+/// incomplete sources (e.g. the 58 dropped JCR2012 journals) can be
+/// represented and filtered the way Section 6.2.2 describes.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds a complete (no missing cells) dataset. Label/row and name/col
+  /// counts must match; empty label/name vectors get defaults.
+  static Result<Dataset> FromMatrix(linalg::Matrix values,
+                                    std::vector<std::string> attribute_names,
+                                    std::vector<std::string> labels);
+
+  int num_objects() const { return values_.rows(); }
+  int num_attributes() const { return values_.cols(); }
+
+  const linalg::Matrix& values() const { return values_; }
+  double value(int row, int col) const { return values_(row, col); }
+  linalg::Vector row(int i) const { return values_.Row(i); }
+
+  const std::vector<std::string>& attribute_names() const { return names_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::string& label(int i) const {
+    return labels_[static_cast<size_t>(i)];
+  }
+  const std::string& attribute_name(int j) const {
+    return names_[static_cast<size_t>(j)];
+  }
+
+  /// Column index by name.
+  Result<int> AttributeIndex(const std::string& name) const;
+
+  /// Row index by label (first match).
+  Result<int> LabelIndex(const std::string& label) const;
+
+  bool IsMissing(int row, int col) const {
+    return missing_[static_cast<size_t>(row) * num_attributes() + col] != 0;
+  }
+  bool RowComplete(int row) const;
+  int CountIncompleteRows() const;
+
+  /// Appends a row; `missing` may be empty (all present) or size d.
+  void AppendRow(std::string label, const linalg::Vector& values,
+                 const std::vector<bool>& missing = {});
+
+  /// Replaces attribute names (count must match).
+  Status SetAttributeNames(std::vector<std::string> names);
+
+  /// Dataset restricted to complete rows (the JCR2012 "58 out of 451
+  /// removed" step).
+  Dataset FilterCompleteRows() const;
+
+  /// Dataset with only the given attribute columns.
+  Result<Dataset> SelectAttributes(const std::vector<int>& columns) const;
+
+ private:
+  linalg::Matrix values_;
+  std::vector<std::string> names_;
+  std::vector<std::string> labels_;
+  std::vector<uint8_t> missing_;  // row-major, 1 = missing
+};
+
+}  // namespace rpc::data
+
+#endif  // RPC_DATA_DATASET_H_

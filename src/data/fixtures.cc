@@ -1,0 +1,104 @@
+#include "data/fixtures.h"
+
+namespace rpc::data {
+
+using linalg::Matrix;
+
+const std::vector<ToyObject>& Table1a() {
+  static const std::vector<ToyObject>* const kRows =
+      new std::vector<ToyObject>{
+          {"A", 0.30, 0.25, 1.5, 0.2329, 1},
+          {"B", 0.25, 0.55, 1.5, 0.3304, 2},
+          {"C", 0.70, 0.70, 3.0, 0.7300, 3},
+      };
+  return *kRows;
+}
+
+const std::vector<ToyObject>& Table1b() {
+  static const std::vector<ToyObject>* const kRows =
+      new std::vector<ToyObject>{
+          {"A'", 0.35, 0.40, 1.5, 0.3708, 2},
+          {"B", 0.25, 0.55, 1.5, 0.3431, 1},
+          {"C", 0.70, 0.70, 3.0, 0.7318, 3},
+      };
+  return *kRows;
+}
+
+Matrix Table1aMatrix() {
+  Matrix m(3, 2);
+  const std::vector<ToyObject>& rows = Table1a();
+  for (int i = 0; i < 3; ++i) {
+    m(i, 0) = rows[static_cast<size_t>(i)].x1;
+    m(i, 1) = rows[static_cast<size_t>(i)].x2;
+  }
+  return m;
+}
+
+Matrix Table1bMatrix() {
+  Matrix m(3, 2);
+  const std::vector<ToyObject>& rows = Table1b();
+  for (int i = 0; i < 3; ++i) {
+    m(i, 0) = rows[static_cast<size_t>(i)].x1;
+    m(i, 1) = rows[static_cast<size_t>(i)].x2;
+  }
+  return m;
+}
+
+const std::vector<CountryAnchor>& Table2Anchors() {
+  static const std::vector<CountryAnchor>* const kRows =
+      new std::vector<CountryAnchor>{
+          {"Luxembourg", 70014, 79.56, 6, 4, 0.892, 1, 1.0000, 1},
+          {"Norway", 47551, 80.29, 3, 3, 0.647, 2, 0.8720, 2},
+          {"Kuwait", 44947, 77.258, 11, 10, 0.608, 3, 0.8483, 3},
+          {"Singapore", 41479, 79.627, 12, 2, 0.578, 4, 0.8305, 4},
+          {"United States", 41674, 77.93, 2, 7, 0.575, 5, 0.8275, 5},
+          {"Moldova", 2362, 67.923, 63, 17, 0.002, 97, 0.5139, 96},
+          {"Vanuatu", 3477, 69.257, 37, 31, 0.011, 96, 0.5135, 97},
+          {"Suriname", 7234, 68.425, 53, 30, 0.011, 95, 0.5133, 98},
+          {"Morocco", 3547, 70.443, 44, 36, 0.002, 98, 0.5106, 99},
+          {"Iraq", 3200, 68.495, 25, 37, -0.002, 100, 0.5032, 100},
+          {"South Africa", 8477, 51.803, 349, 55, -0.652, 167, 0.0786, 167},
+          {"Sierra Leone", 790, 46.365, 219, 160, -0.664, 169, 0.0541, 168},
+          {"Djibouti", 1964, 54.456, 330, 88, -0.655, 168, 0.0524, 169},
+          {"Zimbabwe", 538, 41.681, 311, 68, -0.680, 170, 0.0462, 170},
+          {"Swaziland", 4384, 44.99, 422, 110, -0.876, 171, 0.0, 171},
+      };
+  return *kRows;
+}
+
+Matrix Table2ControlPoints() {
+  // Rows p0..p3, columns GDP, LEB, IMR, Tuberculosis (original units).
+  return Matrix{{44713.0, 81.218, 2.0, 0.0},
+                {330.0, 80.4, 2.0, 0.0},
+                {330.0, 59.7, 33.0, 43.0},
+                {1581.824, 41.68, 290.0, 151.0}};
+}
+
+const std::vector<JournalAnchor>& Table3Anchors() {
+  static const std::vector<JournalAnchor>* const kRows =
+      new std::vector<JournalAnchor>{
+          {"IEEE T PATTERN ANAL", 4.795, 6.144, 0.625, 0.05237, 3.235,
+           7, 5, 26, 3, 6, 1.0000, 1},
+          {"ENTERP INF SYST UK", 9.256, 4.771, 2.682, 0.00173, 0.907,
+           1, 10, 2, 230, 86, 0.9505, 2},
+          {"J STAT SOFTW", 4.910, 5.907, 0.753, 0.01744, 3.314,
+           4, 6, 18, 20, 4, 0.9162, 3},
+          {"MIS QUART", 4.659, 7.474, 0.705, 0.01036, 3.077,
+           8, 2, 21, 49, 7, 0.9105, 4},
+          {"ACM COMPUT SURV", 3.543, 7.854, 0.421, 0.00640, 4.097,
+           21, 1, 56, 80, 1, 0.9092, 5},
+          {"DECIS SUPPORT SYST", 2.201, 3.037, 0.196, 0.00994, 0.864,
+           51, 43, 169, 52, 93, 0.4701, 65},
+          {"COMPUT STAT DATA AN", 1.304, 1.449, 0.415, 0.02601, 0.918,
+           156, 180, 61, 11, 83, 0.4665, 66},
+          {"IEEE T KNOWL DATA EN", 1.892, 2.426, 0.217, 0.01256, 1.129,
+           82, 72, 152, 37, 55, 0.4616, 67},
+          {"MACH LEARN", 1.467, 2.143, 0.373, 0.00638, 1.528,
+           133, 96, 70, 81, 20, 0.4490, 68},
+          {"IEEE T SYST MAN CY A", 2.183, 2.44, 0.465, 0.00728, 0.767,
+           53, 68, 46, 69, 111, 0.4466, 69},
+      };
+  return *kRows;
+}
+
+}  // namespace rpc::data

@@ -1,0 +1,76 @@
+#ifndef RPC_DATA_FIXTURES_H_
+#define RPC_DATA_FIXTURES_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace rpc::data {
+
+/// Exact numeric rows printed in the paper, embedded as ground-truth
+/// anchors for tests and paper-vs-measured comparisons.
+
+/// Table 1(a)/(b): the three toy objects with their RankAgg aggregate and
+/// published RPC scores/orders.
+struct ToyObject {
+  const char* name;
+  double x1;
+  double x2;
+  double rankagg;      // kappa of Eq. (30)
+  double rpc_score;    // published RPC score
+  int rpc_order;       // published RPC order (1 = lowest score)
+};
+const std::vector<ToyObject>& Table1a();
+const std::vector<ToyObject>& Table1b();
+
+/// Table 1 as a 3 x 2 data matrix (rows A/B/C).
+linalg::Matrix Table1aMatrix();
+linalg::Matrix Table1bMatrix();
+
+/// Table 2: the 15 country rows printed in the paper, with the Elmap [8]
+/// comparison scores/orders and the published RPC scores/orders.
+struct CountryAnchor {
+  const char* name;
+  double gdp;   // GDP/capita PPP, $
+  double leb;   // life expectancy at birth, years
+  double imr;   // infant mortality, as printed
+  double tb;    // tuberculosis incidence, as printed
+  double elmap_score;
+  int elmap_order;
+  double rpc_score;
+  int rpc_order;
+};
+const std::vector<CountryAnchor>& Table2Anchors();
+
+/// Table 2 bottom rows: the published control/end points of the learned
+/// country RPC, in the original data space (rows p0..p3, columns
+/// GDP/LEB/IMR/TB).
+linalg::Matrix Table2ControlPoints();
+
+/// Table 3: the 10 journal rows printed in the paper, with per-indicator
+/// published orders and the published RPC scores/orders.
+struct JournalAnchor {
+  const char* name;
+  double impact_factor;
+  double five_year_if;
+  double immediacy;
+  double eigenfactor;
+  double influence;
+  int if_order;
+  int if5_order;
+  int imm_order;
+  int ef_order;
+  int ais_order;
+  double rpc_score;
+  int rpc_order;
+};
+const std::vector<JournalAnchor>& Table3Anchors();
+
+/// Paper-reported explained variance (Section 6.2.1): RPC vs Elmap.
+constexpr double kPaperRpcExplainedVariance = 0.90;
+constexpr double kPaperElmapExplainedVariance = 0.86;
+
+}  // namespace rpc::data
+
+#endif  // RPC_DATA_FIXTURES_H_

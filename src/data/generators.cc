@@ -1,0 +1,168 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stringutil.h"
+#include "data/fixtures.h"
+
+namespace rpc::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+LatentCurveSample GenerateLatentCurveData(const order::Orientation& alpha,
+                                          const LatentCurveOptions& options) {
+  Rng rng(options.seed);
+  const int d = alpha.dimension();
+  Matrix control(d, 4);
+  const Vector p0 = alpha.WorstCorner();
+  const Vector p3 = alpha.BestCorner();
+  control.SetColumn(0, p0);
+  control.SetColumn(3, p3);
+  const double lo = options.control_margin;
+  const double hi = 1.0 - options.control_margin;
+  for (int j = 0; j < d; ++j) {
+    // Interior control values expressed along the oriented axis, then
+    // mapped into absolute coordinates. Both land strictly inside (0,1),
+    // which by Proposition 1 keeps the curve strictly monotone.
+    const double b1 = rng.Uniform(lo, hi);
+    const double b2 = rng.Uniform(lo, hi);
+    if (alpha.sign(j) > 0) {
+      control(j, 1) = b1;
+      control(j, 2) = b2;
+    } else {
+      control(j, 1) = 1.0 - b1;
+      control(j, 2) = 1.0 - b2;
+    }
+  }
+  LatentCurveSample sample{Matrix(options.n, d), Vector(options.n),
+                           curve::BezierCurve(control)};
+  for (int i = 0; i < options.n; ++i) {
+    const double s = rng.Uniform();
+    sample.latent[i] = s;
+    const Vector point = sample.truth.Evaluate(s);
+    for (int j = 0; j < d; ++j) {
+      sample.data(i, j) = point[j] + rng.Gaussian(0.0, options.noise_sigma);
+    }
+  }
+  return sample;
+}
+
+Dataset GenerateCountryData(int n, uint64_t seed, bool include_anchors) {
+  Rng rng(seed);
+  Dataset ds;
+  int produced = 0;
+  if (include_anchors) {
+    for (const CountryAnchor& anchor : Table2Anchors()) {
+      ds.AppendRow(anchor.name,
+                   Vector{anchor.gdp, anchor.leb, anchor.imr, anchor.tb});
+      ++produced;
+      if (produced >= n) break;
+    }
+  }
+  for (; produced < n; ++produced) {
+    // Latent development level; the power tilts mass toward lower
+    // development, matching the GAPMINDER distribution's long poor tail.
+    const double t = std::pow(rng.Uniform(), 1.3);
+    // GDP/capita (PPP $): ~300 at t=0 to ~70k at t=1, log-linear in t.
+    const double gdp =
+        300.0 * std::exp(5.45 * t) * rng.LogNormal(0.0, 0.25);
+    // Life expectancy saturates: fast gains for poor countries, a ceiling
+    // near the "limit of human evolution" the paper describes.
+    const double leb = std::clamp(
+        41.0 + 40.0 * std::pow(t, 0.45) + rng.Gaussian(0.0, 2.0), 38.0, 83.0);
+    // Infant mortality and tuberculosis decay steeply with development and
+    // have heavy right tails among the poorest countries.
+    const double imr = std::clamp(
+        2.0 + 430.0 * std::pow(1.0 - t, 2.4) * rng.LogNormal(0.0, 0.35), 2.0,
+        450.0);
+    const double tb = std::clamp(
+        2.0 + 170.0 * std::pow(1.0 - t, 2.0) * rng.LogNormal(0.0, 0.45), 2.0,
+        400.0);
+    ds.AppendRow(StrFormat("Country-%03d", produced),
+                 Vector{gdp, leb, imr, tb});
+  }
+  Status renamed = ds.SetAttributeNames({"GDP", "LEB", "IMR", "Tuberculosis"});
+  (void)renamed;  // names always match the 4 columns appended above
+  return ds;
+}
+
+Dataset GenerateJournalData(int total, int missing, uint64_t seed,
+                            bool include_anchors) {
+  Rng rng(seed);
+  Dataset ds;
+  int produced = 0;
+  if (include_anchors) {
+    for (const JournalAnchor& anchor : Table3Anchors()) {
+      ds.AppendRow(anchor.name,
+                   Vector{anchor.impact_factor, anchor.five_year_if,
+                          anchor.immediacy, anchor.eigenfactor,
+                          anchor.influence});
+      ++produced;
+      if (produced >= total) break;
+    }
+  }
+  const int anchors = produced;
+  for (; produced < total; ++produced) {
+    // Latent journal quality (drives the frequency-count indices) and an
+    // independent size factor (drives the PageRank-like Eigenfactor).
+    const double quality = rng.LogNormal(0.2, 0.75);       // ~ IF scale
+    const double size = rng.LogNormal(0.0, 1.0);           // article volume
+    const double impact = std::min(quality, 20.0);
+    const double five_year =
+        std::min(impact * rng.LogNormal(0.12, 0.18), 30.0);
+    const double immediacy = 0.18 * impact * rng.LogNormal(0.0, 0.45);
+    const double eigenfactor =
+        std::min(0.004 * size * std::pow(impact, 0.3) *
+                     rng.LogNormal(0.0, 0.5),
+                 0.12);
+    const double influence = 0.65 * std::pow(impact, 0.95) *
+                             rng.LogNormal(0.0, 0.3);
+    ds.AppendRow(StrFormat("JOURNAL-%03d", produced),
+                 Vector{impact, five_year, immediacy, eigenfactor,
+                        influence});
+  }
+  // Inject missing cells into `missing` synthetic rows (never the anchors),
+  // reproducing the 58-of-451 filtering path of Section 6.2.2.
+  Dataset with_missing;
+  const int first_missing = std::max(anchors, total - missing);
+  for (int i = 0; i < ds.num_objects(); ++i) {
+    std::vector<bool> mask(5, false);
+    if (i >= first_missing) {
+      mask[static_cast<size_t>(rng.UniformInt(5))] = true;
+    }
+    with_missing.AppendRow(ds.label(i), ds.row(i), mask);
+  }
+  Status renamed = with_missing.SetAttributeNames(
+      {"ImpactFactor", "FiveYearIF", "Immediacy", "Eigenfactor",
+       "InfluenceScore"});
+  (void)renamed;
+  return with_missing;
+}
+
+Matrix GenerateCrescent(int n, double noise_sigma, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, 2);
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.Uniform();
+    const double angle = 0.5 * M_PI * t;
+    data(i, 0) = std::sin(angle) + rng.Gaussian(0.0, noise_sigma);
+    data(i, 1) = 1.0 - std::cos(angle) + rng.Gaussian(0.0, noise_sigma);
+  }
+  return data;
+}
+
+Matrix GenerateParabola(int n, double noise_sigma, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, 2);
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.Uniform();
+    data(i, 0) = t + rng.Gaussian(0.0, noise_sigma);
+    data(i, 1) = 4.0 * t * (1.0 - t) + rng.Gaussian(0.0, noise_sigma);
+  }
+  return data;
+}
+
+}  // namespace rpc::data

@@ -1,0 +1,67 @@
+#ifndef RPC_DATA_GENERATORS_H_
+#define RPC_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "curve/bezier.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+
+namespace rpc::data {
+
+/// A sample from the paper's own generative model x = f(s) + eps (Eq. 11)
+/// with a *known* strictly monotone cubic Bezier f and latent scores s —
+/// the workhorse for latent-order recovery experiments and property tests.
+struct LatentCurveSample {
+  linalg::Matrix data;      // n x d observations
+  linalg::Vector latent;    // the true s_i in [0, 1]
+  curve::BezierCurve truth; // the generating curve (in [0,1]^d)
+};
+
+struct LatentCurveOptions {
+  int n = 200;
+  double noise_sigma = 0.02;
+  /// Interior control values are drawn from
+  /// [control_margin, 1 - control_margin] per coordinate, which keeps the
+  /// generating curve strictly monotone (Proposition 1).
+  double control_margin = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Draws a random strictly monotone cubic Bezier oriented by `alpha`
+/// (end points at the alpha corners) and samples n noisy points from it.
+LatentCurveSample GenerateLatentCurveData(const order::Orientation& alpha,
+                                          const LatentCurveOptions& options);
+
+/// GAPMINDER-like life-quality table (Section 6.2.1 substitution): `n`
+/// countries over {GDP, LEB, IMR, Tuberculosis} with a saturating monotone
+/// dependency of the health indicators on GDP, plus the 15 country rows
+/// printed in Table 2 embedded verbatim as anchors when requested.
+/// alpha = (+1, +1, -1, -1).
+Dataset GenerateCountryData(int n = 171, uint64_t seed = 7,
+                            bool include_anchors = true);
+
+/// JCR2012-like journal citation table (Section 6.2.2 substitution):
+/// `total` journals over {IF, 5-year IF, Immediacy, Eigenfactor, Article
+/// Influence}; `missing` of them get missing cells (the 58-of-451 path) and
+/// the 10 journal rows printed in Table 3 are embedded verbatim as anchors
+/// when requested. IF/5IF/AIS are strongly correlated; Eigenfactor is
+/// driven mostly by an independent size factor, as the paper observes.
+/// alpha = (+1, +1, +1, +1, +1).
+Dataset GenerateJournalData(int total = 451, int missing = 58,
+                            uint64_t seed = 11, bool include_anchors = true);
+
+/// Two-dimensional crescent (monotone quarter-arc) cloud — the banana shape
+/// of Fig. 5(a) that defeats the first PCA but not a monotone curve.
+linalg::Matrix GenerateCrescent(int n, double noise_sigma, uint64_t seed);
+
+/// Two-dimensional parabolic cloud x2 = 4 x1 (1 - x1) + eps whose principal
+/// curve is non-monotone — the Fig. 2(b) failure case for general principal
+/// curves used as ranking functions.
+linalg::Matrix GenerateParabola(int n, double noise_sigma, uint64_t seed);
+
+}  // namespace rpc::data
+
+#endif  // RPC_DATA_GENERATORS_H_

@@ -1,0 +1,71 @@
+#include "data/normalizer.h"
+
+#include "common/stringutil.h"
+#include "linalg/stats.h"
+
+namespace rpc::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<Normalizer> Normalizer::Fit(const Matrix& data) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("Normalizer: need at least 2 rows");
+  }
+  if (!data.AllFinite()) {
+    return Status::InvalidArgument(
+        "Normalizer: data contains NaN or infinity");
+  }
+  Vector mins = linalg::ColumnMins(data);
+  Vector maxs = linalg::ColumnMaxs(data);
+  for (int j = 0; j < data.cols(); ++j) {
+    if (!(maxs[j] > mins[j])) {
+      return Status::InvalidArgument(
+          StrFormat("Normalizer: attribute %d is constant (value %g)", j,
+                    mins[j]));
+    }
+  }
+  return Normalizer(std::move(mins), std::move(maxs));
+}
+
+Vector Normalizer::Transform(const Vector& x) const {
+  assert(x.size() == dimension());
+  Vector out(x.size());
+  for (int j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mins_[j]) / (maxs_[j] - mins_[j]);
+  }
+  return out;
+}
+
+Matrix Normalizer::Transform(const Matrix& data) const {
+  assert(data.cols() == dimension());
+  Matrix out(data.rows(), data.cols());
+  for (int i = 0; i < data.rows(); ++i) {
+    for (int j = 0; j < data.cols(); ++j) {
+      out(i, j) = (data(i, j) - mins_[j]) / (maxs_[j] - mins_[j]);
+    }
+  }
+  return out;
+}
+
+Vector Normalizer::InverseTransform(const Vector& x) const {
+  assert(x.size() == dimension());
+  Vector out(x.size());
+  for (int j = 0; j < x.size(); ++j) {
+    out[j] = mins_[j] + x[j] * (maxs_[j] - mins_[j]);
+  }
+  return out;
+}
+
+Matrix Normalizer::InverseTransform(const Matrix& data) const {
+  assert(data.cols() == dimension());
+  Matrix out(data.rows(), data.cols());
+  for (int i = 0; i < data.rows(); ++i) {
+    for (int j = 0; j < data.cols(); ++j) {
+      out(i, j) = mins_[j] + data(i, j) * (maxs_[j] - mins_[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rpc::data

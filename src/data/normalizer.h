@@ -1,0 +1,45 @@
+#ifndef RPC_DATA_NORMALIZER_H_
+#define RPC_DATA_NORMALIZER_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::data {
+
+/// Min-max normalisation into [0,1]^d (Eq. 29), the Step 1 preprocessing of
+/// Algorithm 1. By Eq. (16) this affine map only moves the Bezier control
+/// points, never the scores, which is what makes the learned ranking scale
+/// and translation invariant (meta-rule 1).
+class Normalizer {
+ public:
+  /// Learns column mins/maxs from `data` (rows = observations). Returns
+  /// kInvalidArgument when a column is constant — such an attribute carries
+  /// no ordinal information and Eq. (29) would divide by zero; callers
+  /// should drop it first.
+  static Result<Normalizer> Fit(const linalg::Matrix& data);
+
+  int dimension() const { return mins_.size(); }
+  const linalg::Vector& mins() const { return mins_; }
+  const linalg::Vector& maxs() const { return maxs_; }
+
+  /// x -> (x - min) / (max - min), per coordinate.
+  linalg::Vector Transform(const linalg::Vector& x) const;
+  linalg::Matrix Transform(const linalg::Matrix& data) const;
+
+  /// Inverse map back to the original units (used to report control points
+  /// "in the original data space" as in Table 2's bottom rows).
+  linalg::Vector InverseTransform(const linalg::Vector& x) const;
+  linalg::Matrix InverseTransform(const linalg::Matrix& data) const;
+
+ private:
+  Normalizer(linalg::Vector mins, linalg::Vector maxs)
+      : mins_(std::move(mins)), maxs_(std::move(maxs)) {}
+
+  linalg::Vector mins_;
+  linalg::Vector maxs_;
+};
+
+}  // namespace rpc::data
+
+#endif  // RPC_DATA_NORMALIZER_H_

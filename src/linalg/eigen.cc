@@ -1,0 +1,110 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace rpc::linalg {
+
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a, int max_sweeps,
+                                            double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("JacobiEigenSymmetric: matrix not square");
+  }
+  const int n = a.rows();
+  Matrix d = a;
+  // Symmetrise defensively; callers sometimes pass numerically asymmetric
+  // Gram matrices.
+  for (int r = 0; r < n; ++r) {
+    for (int c = r + 1; c < n; ++c) {
+      const double avg = 0.5 * (d(r, c) + d(c, r));
+      d(r, c) = avg;
+      d(c, r) = avg;
+    }
+  }
+  Matrix v = Matrix::Identity(n);
+  const double scale = std::max(1.0, d.MaxAbs());
+  const double threshold = tol * scale;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int r = 0; r < n; ++r) {
+      for (int c = r + 1; c < n; ++c) off += d(r, c) * d(r, c);
+    }
+    if (std::sqrt(off) <= threshold) {
+      SymmetricEigen out;
+      out.values = Vector(n);
+      for (int i = 0; i < n; ++i) out.values[i] = d(i, i);
+      // Sort eigenpairs descending by eigenvalue.
+      std::vector<int> order(static_cast<size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return out.values[x] > out.values[y];
+      });
+      Vector sorted_values(n);
+      Matrix sorted_vectors(n, n);
+      for (int j = 0; j < n; ++j) {
+        sorted_values[j] = out.values[order[static_cast<size_t>(j)]];
+        sorted_vectors.SetColumn(j, v.Column(order[static_cast<size_t>(j)]));
+      }
+      out.values = sorted_values;
+      out.vectors = sorted_vectors;
+      return out;
+    }
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) <= threshold * 1e-3) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        // Stable computation of tan of the rotation angle.
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  return Status::NumericalError("JacobiEigenSymmetric: did not converge");
+}
+
+Result<EigenRange> SymmetricEigenRange(const Matrix& a) {
+  RPC_ASSIGN_OR_RETURN(SymmetricEigen eig, JacobiEigenSymmetric(a));
+  EigenRange range;
+  if (eig.values.size() == 0) return range;
+  range.max = eig.values[0];
+  range.min = eig.values[eig.values.size() - 1];
+  return range;
+}
+
+Result<double> SymmetricConditionNumber(const Matrix& a) {
+  RPC_ASSIGN_OR_RETURN(EigenRange range, SymmetricEigenRange(a));
+  const double lo = std::fabs(range.min);
+  const double hi = std::fabs(range.max);
+  if (lo == 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+}  // namespace rpc::linalg

@@ -1,0 +1,42 @@
+#ifndef RPC_LINALG_EIGEN_H_
+#define RPC_LINALG_EIGEN_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::linalg {
+
+/// Full eigendecomposition of a symmetric matrix: A = V diag(values) V^T.
+/// `values` are sorted in descending order; column j of `vectors` is the
+/// eigenvector for values[j].
+struct SymmetricEigen {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Robust and exact enough
+/// for the small matrices this library needs (the 4x4 Gram matrix
+/// (MZ)(MZ)^T of Eq. (27) and d x d covariance matrices).
+/// Returns kInvalidArgument for non-square input and kNumericalError when
+/// the sweep limit is exceeded (practically unreachable for symmetric input).
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a,
+                                            int max_sweeps = 64,
+                                            double tol = 1e-14);
+
+/// Smallest and largest eigenvalue of a symmetric matrix; convenience used
+/// for the Richardson step size gamma = 2 / (lambda_min + lambda_max)
+/// (Eq. 28).
+struct EigenRange {
+  double min = 0.0;
+  double max = 0.0;
+};
+Result<EigenRange> SymmetricEigenRange(const Matrix& a);
+
+/// 2-norm condition number of a symmetric positive semidefinite matrix
+/// (lambda_max / lambda_min); returns infinity for singular input.
+Result<double> SymmetricConditionNumber(const Matrix& a);
+
+}  // namespace rpc::linalg
+
+#endif  // RPC_LINALG_EIGEN_H_

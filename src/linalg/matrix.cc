@@ -1,0 +1,236 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/stringutil.h"
+
+namespace rpc::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<size_t>(rows_) * static_cast<size_t>(cols_));
+  for (const auto& row : rows) {
+    assert(static_cast<int>(row.size()) == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix id(n, n);
+  for (int i = 0; i < n; ++i) id(i, i) = 1.0;
+  return id;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (int i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::Outer(const Vector& a, const Vector& b) {
+  Matrix m(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    for (int j = 0; j < b.size(); ++j) m(i, j) = a[i] * b[j];
+  }
+  return m;
+}
+
+Matrix Matrix::FromColumns(const std::vector<Vector>& columns) {
+  if (columns.empty()) return Matrix();
+  Matrix m(columns[0].size(), static_cast<int>(columns.size()));
+  for (int c = 0; c < m.cols(); ++c) {
+    assert(columns[static_cast<size_t>(c)].size() == m.rows());
+    m.SetColumn(c, columns[static_cast<size_t>(c)]);
+  }
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), rows[0].size());
+  for (int r = 0; r < m.rows(); ++r) {
+    assert(rows[static_cast<size_t>(r)].size() == m.cols());
+    m.SetRow(r, rows[static_cast<size_t>(r)]);
+  }
+  return m;
+}
+
+Vector Matrix::Row(int r) const {
+  Vector v(cols_);
+  for (int c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::Column(int c) const {
+  Vector v(rows_);
+  for (int r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::SetRow(int r, const Vector& values) {
+  assert(values.size() == cols_);
+  for (int c = 0; c < cols_; ++c) (*this)(r, c) = values[c];
+}
+
+void Matrix::SetColumn(int c, const Vector& values) {
+  assert(values.size() == rows_);
+  for (int r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+double Matrix::Trace() const {
+  assert(rows_ == cols_);
+  double sum = 0.0;
+  for (int i = 0; i < rows_; ++i) sum += (*this)(i, i);
+  return sum;
+}
+
+bool Matrix::AllFinite() const {
+  for (double x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int digits) const {
+  std::string out = "[";
+  for (int r = 0; r < rows_; ++r) {
+    out += (r == 0) ? "[" : " [";
+    for (int c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += FormatDouble((*this)(r, c), digits);
+    }
+    out += (r + 1 < rows_) ? "]\n" : "]";
+  }
+  out += "]";
+  return out;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Matrix operator*(Matrix m, double scalar) {
+  m *= scalar;
+  return m;
+}
+
+Matrix operator*(double scalar, Matrix m) {
+  m *= scalar;
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& m, const Vector& v) {
+  assert(m.cols() == v.size());
+  Vector out(m.rows());
+  for (int i = 0; i < m.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < m.cols(); ++j) sum += m(i, j) * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+bool ApproxEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      if (std::fabs(a(r, c) - b(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Matrix TransposeTimes(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) out(i, j) += aki * b(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix TimesTranspose(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += a(i, k) * b(j, k);
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace rpc::linalg

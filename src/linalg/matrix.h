@@ -1,0 +1,98 @@
+#ifndef RPC_LINALG_MATRIX_H_
+#define RPC_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace rpc::linalg {
+
+/// Dense row-major real matrix with value semantics. Dimensions are fixed at
+/// construction. As with Vector, shape mismatches assert rather than return
+/// Status: they indicate caller bugs.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+  /// Row-of-rows construction: Matrix{{1, 2}, {3, 4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(int n);
+  /// Diagonal matrix from the given entries.
+  static Matrix Diagonal(const Vector& diag);
+  /// Outer product a * b^T.
+  static Matrix Outer(const Vector& a, const Vector& b);
+  /// Builds a matrix whose columns are the given vectors (all same size).
+  static Matrix FromColumns(const std::vector<Vector>& columns);
+  /// Builds a matrix whose rows are the given vectors (all same size).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  Vector Row(int r) const;
+  Vector Column(int c) const;
+  void SetRow(int r, const Vector& values);
+  void SetColumn(int c, const Vector& values);
+
+  Matrix Transposed() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+  /// Largest absolute entry.
+  double MaxAbs() const;
+  /// Sum of diagonal entries (requires square).
+  double Trace() const;
+  bool AllFinite() const;
+  /// True when |a(i,j) - b(i,j)| <= tol for all entries and shapes match.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  std::string ToString(int digits = 6) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix m, double scalar);
+Matrix operator*(double scalar, Matrix m);
+/// Matrix product; asserts inner dimensions agree.
+Matrix operator*(const Matrix& a, const Matrix& b);
+/// Matrix-vector product; asserts dimensions agree.
+Vector operator*(const Matrix& m, const Vector& v);
+
+bool ApproxEqual(const Matrix& a, const Matrix& b, double tol = 1e-12);
+
+/// a^T * b without forming transposes.
+Matrix TransposeTimes(const Matrix& a, const Matrix& b);
+/// a * b^T without forming transposes.
+Matrix TimesTranspose(const Matrix& a, const Matrix& b);
+
+}  // namespace rpc::linalg
+
+#endif  // RPC_LINALG_MATRIX_H_

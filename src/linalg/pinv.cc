@@ -1,0 +1,52 @@
+#include "linalg/pinv.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace rpc::linalg {
+
+Result<Matrix> PseudoInverseSymmetric(const Matrix& a, double rel_tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("PseudoInverseSymmetric: not square");
+  }
+  RPC_ASSIGN_OR_RETURN(SymmetricEigen eig, JacobiEigenSymmetric(a));
+  const int n = a.rows();
+  double max_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(eig.values[i]));
+  }
+  const double cutoff = rel_tol * std::max(max_abs, 1e-300);
+  Matrix out(n, n);
+  for (int k = 0; k < n; ++k) {
+    const double lambda = eig.values[k];
+    if (std::fabs(lambda) <= cutoff) continue;
+    const double inv = 1.0 / lambda;
+    for (int i = 0; i < n; ++i) {
+      const double vik = eig.vectors(i, k);
+      for (int j = 0; j < n; ++j) {
+        out(i, j) += inv * vik * eig.vectors(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Matrix> PseudoInverse(const Matrix& b, double rel_tol) {
+  if (b.rows() == 0 || b.cols() == 0) {
+    return Status::InvalidArgument("PseudoInverse: empty matrix");
+  }
+  if (b.rows() <= b.cols()) {
+    // Wide: B^+ = B^T (B B^T)^+.
+    const Matrix gram = TimesTranspose(b, b);  // rows x rows
+    RPC_ASSIGN_OR_RETURN(Matrix gram_pinv,
+                         PseudoInverseSymmetric(gram, rel_tol));
+    return b.Transposed() * gram_pinv;
+  }
+  // Tall: B^+ = (B^T B)^+ B^T.
+  const Matrix gram = TransposeTimes(b, b);  // cols x cols
+  RPC_ASSIGN_OR_RETURN(Matrix gram_pinv, PseudoInverseSymmetric(gram, rel_tol));
+  return gram_pinv * b.Transposed();
+}
+
+}  // namespace rpc::linalg

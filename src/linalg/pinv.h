@@ -1,0 +1,24 @@
+#ifndef RPC_LINALG_PINV_H_
+#define RPC_LINALG_PINV_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace rpc::linalg {
+
+/// Moore-Penrose pseudo-inverse of a symmetric matrix via its
+/// eigendecomposition: eigenvalues below `rel_tol * lambda_max` are treated
+/// as zero.
+Result<Matrix> PseudoInverseSymmetric(const Matrix& a,
+                                      double rel_tol = 1e-12);
+
+/// Moore-Penrose pseudo-inverse of a general matrix B using the Gram-matrix
+/// identity the paper cites below Eq. (26): B^+ = B^T (B B^T)^+ when B is
+/// wide (rows <= cols), and B^+ = (B^T B)^+ B^T when tall. Only the small
+/// Gram matrix is eigendecomposed, so B may have arbitrarily many samples in
+/// the long dimension (e.g. the 4 x n matrix MZ).
+Result<Matrix> PseudoInverse(const Matrix& b, double rel_tol = 1e-12);
+
+}  // namespace rpc::linalg
+
+#endif  // RPC_LINALG_PINV_H_

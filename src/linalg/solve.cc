@@ -1,0 +1,173 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace rpc::linalg {
+namespace {
+
+// LU decomposition with partial pivoting, in place. Returns the permutation
+// sign, or 0 if the matrix is singular beyond `tol`.
+int LuDecompose(Matrix* a, std::vector<int>* pivots, double tol) {
+  const int n = a->rows();
+  pivots->resize(static_cast<size_t>(n));
+  int sign = 1;
+  for (int col = 0; col < n; ++col) {
+    int pivot_row = col;
+    double pivot_mag = std::fabs((*a)(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      const double mag = std::fabs((*a)(r, col));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag <= tol) return 0;
+    (*pivots)[static_cast<size_t>(col)] = pivot_row;
+    if (pivot_row != col) {
+      sign = -sign;
+      for (int c = 0; c < n; ++c) {
+        std::swap((*a)(col, c), (*a)(pivot_row, c));
+      }
+    }
+    const double pivot = (*a)(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = (*a)(r, col) / pivot;
+      (*a)(r, col) = factor;
+      for (int c = col + 1; c < n; ++c) {
+        (*a)(r, c) -= factor * (*a)(col, c);
+      }
+    }
+  }
+  return sign;
+}
+
+void LuSolveInPlace(const Matrix& lu, const std::vector<int>& pivots,
+                    Vector* x) {
+  const int n = lu.rows();
+  for (int i = 0; i < n; ++i) {
+    const int p = pivots[static_cast<size_t>(i)];
+    if (p != i) std::swap((*x)[i], (*x)[p]);
+  }
+  // Forward substitution with unit lower triangle.
+  for (int i = 1; i < n; ++i) {
+    double sum = (*x)[i];
+    for (int j = 0; j < i; ++j) sum -= lu(i, j) * (*x)[j];
+    (*x)[i] = sum;
+  }
+  // Back substitution.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = (*x)[i];
+    for (int j = i + 1; j < n; ++j) sum -= lu(i, j) * (*x)[j];
+    (*x)[i] = sum / lu(i, i);
+  }
+}
+
+constexpr double kSingularTol = 1e-13;
+
+}  // namespace
+
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem: matrix not square");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLinearSystem: size mismatch");
+  }
+  Matrix lu = a;
+  std::vector<int> pivots;
+  const double scale = std::max(1.0, a.MaxAbs());
+  if (LuDecompose(&lu, &pivots, kSingularTol * scale) == 0) {
+    return Status::NumericalError("SolveLinearSystem: singular matrix");
+  }
+  Vector x = b;
+  LuSolveInPlace(lu, pivots, &x);
+  return x;
+}
+
+Result<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem: matrix not square");
+  }
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("SolveLinearSystem: size mismatch");
+  }
+  Matrix lu = a;
+  std::vector<int> pivots;
+  const double scale = std::max(1.0, a.MaxAbs());
+  if (LuDecompose(&lu, &pivots, kSingularTol * scale) == 0) {
+    return Status::NumericalError("SolveLinearSystem: singular matrix");
+  }
+  Matrix x(b.rows(), b.cols());
+  for (int c = 0; c < b.cols(); ++c) {
+    Vector col = b.Column(c);
+    LuSolveInPlace(lu, pivots, &col);
+    x.SetColumn(c, col);
+  }
+  return x;
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CholeskyFactor: matrix not square");
+  }
+  const int n = a.rows();
+  Matrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      return Status::NumericalError(
+          "CholeskyFactor: matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveSpd: size mismatch");
+  }
+  RPC_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  const int n = a.rows();
+  // L y = b.
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int j = 0; j < i; ++j) sum -= l(i, j) * y[j];
+    y[i] = sum / l(i, i);
+  }
+  // L^T x = y.
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int j = i + 1; j < n; ++j) sum -= l(j, i) * x[j];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  return SolveLinearSystem(a, Matrix::Identity(a.rows()));
+}
+
+double Determinant(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  if (a.rows() == 0) return 1.0;
+  Matrix lu = a;
+  std::vector<int> pivots;
+  const double scale = std::max(1.0, a.MaxAbs());
+  const int sign = LuDecompose(&lu, &pivots, kSingularTol * scale * 1e-2);
+  if (sign == 0) return 0.0;
+  double det = sign;
+  for (int i = 0; i < a.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+}  // namespace rpc::linalg

@@ -1,0 +1,33 @@
+#ifndef RPC_LINALG_SOLVE_H_
+#define RPC_LINALG_SOLVE_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::linalg {
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns kNumericalError when A is (numerically) singular.
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+/// Solves A X = B column-by-column (A square, B has matching row count).
+Result<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b);
+
+/// Cholesky factor L (lower triangular, A = L L^T) of a symmetric positive
+/// definite matrix. Returns kNumericalError when A is not SPD within
+/// tolerance.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for symmetric positive definite A via Cholesky.
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// Inverse of a square matrix (Gaussian elimination on the identity).
+Result<Matrix> Inverse(const Matrix& a);
+
+/// Determinant via LU (partial pivoting); 0 rows -> 1.0.
+double Determinant(const Matrix& a);
+
+}  // namespace rpc::linalg
+
+#endif  // RPC_LINALG_SOLVE_H_

@@ -1,0 +1,92 @@
+#include "linalg/stats.h"
+
+#include <cmath>
+
+namespace rpc::linalg {
+
+Vector ColumnMeans(const Matrix& data) {
+  Vector mean(data.cols());
+  if (data.rows() == 0) return mean;
+  for (int r = 0; r < data.rows(); ++r) {
+    for (int c = 0; c < data.cols(); ++c) mean[c] += data(r, c);
+  }
+  mean /= static_cast<double>(data.rows());
+  return mean;
+}
+
+Vector ColumnMins(const Matrix& data) {
+  Vector mins(data.cols());
+  for (int c = 0; c < data.cols(); ++c) {
+    double best = data.rows() > 0 ? data(0, c) : 0.0;
+    for (int r = 1; r < data.rows(); ++r) best = std::min(best, data(r, c));
+    mins[c] = best;
+  }
+  return mins;
+}
+
+Vector ColumnMaxs(const Matrix& data) {
+  Vector maxs(data.cols());
+  for (int c = 0; c < data.cols(); ++c) {
+    double best = data.rows() > 0 ? data(0, c) : 0.0;
+    for (int r = 1; r < data.rows(); ++r) best = std::max(best, data(r, c));
+    maxs[c] = best;
+  }
+  return maxs;
+}
+
+Matrix Covariance(const Matrix& data) {
+  const int n = data.rows();
+  const int d = data.cols();
+  Matrix cov(d, d);
+  if (n == 0) return cov;
+  const Vector mean = ColumnMeans(data);
+  for (int r = 0; r < n; ++r) {
+    for (int i = 0; i < d; ++i) {
+      const double di = data(r, i) - mean[i];
+      for (int j = i; j < d; ++j) {
+        cov(i, j) += di * (data(r, j) - mean[j]);
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1)
+                             : static_cast<double>(n);
+  for (int i = 0; i < d; ++i) {
+    for (int j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+double TotalScatter(const Matrix& data) {
+  const Vector mean = ColumnMeans(data);
+  double total = 0.0;
+  for (int r = 0; r < data.rows(); ++r) {
+    for (int c = 0; c < data.cols(); ++c) {
+      const double diff = data(r, c) - mean[c];
+      total += diff * diff;
+    }
+  }
+  return total;
+}
+
+double PearsonCorrelation(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  const int n = a.size();
+  if (n == 0) return 0.0;
+  double mean_a = a.Sum() / n;
+  double mean_b = b.Sum() / n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace rpc::linalg

@@ -1,0 +1,30 @@
+#ifndef RPC_LINALG_STATS_H_
+#define RPC_LINALG_STATS_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::linalg {
+
+/// Column-wise mean of a data matrix (rows are observations).
+Vector ColumnMeans(const Matrix& data);
+
+/// Column-wise minimum / maximum.
+Vector ColumnMins(const Matrix& data);
+Vector ColumnMaxs(const Matrix& data);
+
+/// Sample covariance matrix (divides by n - 1; by n when n == 1).
+/// Rows of `data` are observations, columns are attributes.
+Matrix Covariance(const Matrix& data);
+
+/// Total variance sum_i ||x_i - mean||^2 — the denominator of the
+/// explained-variance metric used in Section 6.2.1 (90% vs 86%).
+double TotalScatter(const Matrix& data);
+
+/// Pearson correlation between two equally sized vectors; 0 when either is
+/// constant.
+double PearsonCorrelation(const Vector& a, const Vector& b);
+
+}  // namespace rpc::linalg
+
+#endif  // RPC_LINALG_STATS_H_

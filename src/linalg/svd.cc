@@ -1,0 +1,181 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace rpc::linalg {
+namespace {
+
+// One-sided Jacobi on a tall (m >= n) matrix: rotates column pairs until
+// all are mutually orthogonal.
+Result<Svd> JacobiSvdTall(const Matrix& a, int max_sweeps, double tol) {
+  const int m = a.rows();
+  const int n = a.cols();
+  Matrix b = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (int i = 0; i < m; ++i) {
+          app += b(i, p) * b(i, p);
+          aqq += b(i, q) * b(i, q);
+          apq += b(i, p) * b(i, q);
+        }
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq) ||
+            (app == 0.0 && aqq == 0.0)) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int i = 0; i < m; ++i) {
+          const double bip = b(i, p);
+          const double biq = b(i, q);
+          b(i, p) = c * bip - s * biq;
+          b(i, q) = s * bip + c * biq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (!rotated) break;
+    if (sweep == max_sweeps - 1) {
+      return Status::NumericalError("JacobiSvd: did not converge");
+    }
+  }
+
+  // Singular values = column norms; columns of U = normalised columns.
+  Vector sigma(n);
+  Matrix u(m, n);
+  for (int j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (int i = 0; i < m; ++i) norm += b(i, j) * b(i, j);
+    norm = std::sqrt(norm);
+    sigma[j] = norm;
+    if (norm > 0.0) {
+      for (int i = 0; i < m; ++i) u(i, j) = b(i, j) / norm;
+    }
+  }
+  // Sort descending.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return sigma[x] > sigma[y]; });
+  Svd out;
+  out.singular_values = Vector(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    out.singular_values[j] = sigma[order[static_cast<size_t>(j)]];
+    out.u.SetColumn(j, u.Column(order[static_cast<size_t>(j)]));
+    out.v.SetColumn(j, v.Column(order[static_cast<size_t>(j)]));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps, double tol) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("JacobiSvd: empty matrix");
+  }
+  if (a.rows() >= a.cols()) return JacobiSvdTall(a, max_sweeps, tol);
+  // Wide: decompose the transpose and swap U/V.
+  RPC_ASSIGN_OR_RETURN(Svd t, JacobiSvdTall(a.Transposed(), max_sweeps, tol));
+  Svd out;
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  out.singular_values = std::move(t.singular_values);
+  return out;
+}
+
+Result<Matrix> PseudoInverseViaSvd(const Matrix& a, double rel_tol) {
+  RPC_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(a));
+  const int r = svd.singular_values.size();
+  const double cutoff =
+      rel_tol * std::max(r > 0 ? svd.singular_values[0] : 0.0, 1e-300);
+  // A^+ = V diag(1/s) U^T over the significant singular values.
+  Matrix out(a.cols(), a.rows());
+  for (int k = 0; k < r; ++k) {
+    const double s = svd.singular_values[k];
+    if (s <= cutoff) continue;
+    const double inv = 1.0 / s;
+    for (int i = 0; i < a.cols(); ++i) {
+      const double vik = svd.v(i, k);
+      if (vik == 0.0) continue;
+      for (int j = 0; j < a.rows(); ++j) {
+        out(i, j) += inv * vik * svd.u(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Qr> HouseholderQr(const Matrix& a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("HouseholderQr: requires rows >= cols");
+  }
+  if (n == 0) return Status::InvalidArgument("HouseholderQr: empty matrix");
+  Matrix r = a;
+  Matrix q_full = Matrix::Identity(m);
+  for (int col = 0; col < n; ++col) {
+    // Householder vector for the column tail.
+    double norm = 0.0;
+    for (int i = col; i < m; ++i) norm += r(i, col) * r(i, col);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    const double alpha = r(col, col) >= 0.0 ? -norm : norm;
+    Vector v(m);
+    for (int i = col; i < m; ++i) v[i] = r(i, col);
+    v[col] -= alpha;
+    const double vtv = v.SquaredNorm();
+    if (vtv == 0.0) continue;
+    // Apply H = I - 2 v v^T / (v^T v) to R and accumulate into Q.
+    for (int j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (int i = col; i < m; ++i) dot += v[i] * r(i, j);
+      const double factor = 2.0 * dot / vtv;
+      for (int i = col; i < m; ++i) r(i, j) -= factor * v[i];
+    }
+    for (int j = 0; j < m; ++j) {
+      double dot = 0.0;
+      for (int i = col; i < m; ++i) dot += v[i] * q_full(j, i);
+      const double factor = 2.0 * dot / vtv;
+      for (int i = col; i < m; ++i) q_full(j, i) -= factor * v[i];
+    }
+  }
+  Qr out;
+  out.q = Matrix(m, n);
+  for (int j = 0; j < n; ++j) out.q.SetColumn(j, q_full.Column(j));
+  out.r = Matrix(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) out.r(i, j) = r(i, j);
+  }
+  return out;
+}
+
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b,
+                            double rel_tol) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LeastSquares: size mismatch");
+  }
+  RPC_ASSIGN_OR_RETURN(Matrix pinv, PseudoInverseViaSvd(a, rel_tol));
+  return pinv * b;
+}
+
+}  // namespace rpc::linalg

@@ -1,0 +1,43 @@
+#ifndef RPC_LINALG_SVD_H_
+#define RPC_LINALG_SVD_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::linalg {
+
+/// Thin singular value decomposition A = U diag(s) V^T with U (m x r),
+/// V (n x r), r = min(m, n), singular values sorted descending.
+struct Svd {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+};
+
+/// One-sided Jacobi SVD: numerically robust for the small dense matrices
+/// this library handles, independent of the Gram-matrix route used by
+/// pinv.h (and cross-checked against it in tests).
+Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps = 60,
+                      double tol = 1e-13);
+
+/// Moore-Penrose pseudo-inverse through the SVD (singular values below
+/// rel_tol * s_max are treated as zero).
+Result<Matrix> PseudoInverseViaSvd(const Matrix& a, double rel_tol = 1e-12);
+
+/// Thin Householder QR factorisation A = Q R with Q (m x n,
+/// orthonormal columns) and R (n x n upper triangular); requires m >= n.
+struct Qr {
+  Matrix q;
+  Matrix r;
+};
+Result<Qr> HouseholderQr(const Matrix& a);
+
+/// Minimum-norm least-squares solve of A x = b through the SVD (works for
+/// any shape and rank).
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b,
+                            double rel_tol = 1e-12);
+
+}  // namespace rpc::linalg
+
+#endif  // RPC_LINALG_SVD_H_

@@ -1,0 +1,118 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include "common/stringutil.h"
+
+namespace rpc::linalg {
+
+Vector& Vector::operator+=(const Vector& other) {
+  assert(size() == other.size());
+  for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  assert(size() == other.size());
+  for (int i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  for (double& x : data_) x /= scalar;
+  return *this;
+}
+
+double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Vector::SquaredNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return sum;
+}
+
+double Vector::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+double Vector::Sum() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x;
+  return sum;
+}
+
+bool Vector::AllFinite() const {
+  for (double x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+std::string Vector::ToString(int digits) const {
+  std::string out = "[";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(data_[static_cast<size_t>(i)], digits);
+  }
+  out += "]";
+  return out;
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Vector operator-(Vector lhs, const Vector& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Vector operator*(Vector v, double scalar) {
+  v *= scalar;
+  return v;
+}
+
+Vector operator*(double scalar, Vector v) {
+  v *= scalar;
+  return v;
+}
+
+Vector operator/(Vector v, double scalar) {
+  v /= scalar;
+  return v;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (int i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Distance(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (int i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+bool ApproxEqual(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace rpc::linalg

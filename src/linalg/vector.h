@@ -1,0 +1,80 @@
+#ifndef RPC_LINALG_VECTOR_H_
+#define RPC_LINALG_VECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rpc::linalg {
+
+/// Dense real vector with value semantics. Sized at construction; all
+/// arithmetic asserts on dimension agreement (dimension mismatches are
+/// programming errors, not runtime conditions, so they are not Status).
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(int size, double fill = 0.0)
+      : data_(static_cast<size_t>(size), fill) {
+    assert(size >= 0);
+  }
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  int size() const { return static_cast<int>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](int i) {
+    assert(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+  double operator[](int i) const {
+    assert(i >= 0 && i < size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  /// Euclidean norm.
+  double Norm() const;
+  /// Squared Euclidean norm.
+  double SquaredNorm() const;
+  /// Largest absolute entry (0 for the empty vector).
+  double MaxAbs() const;
+  /// Sum of entries.
+  double Sum() const;
+
+  /// Element-wise comparisons against another vector of the same size.
+  bool AllFinite() const;
+
+  std::string ToString(int digits = 6) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector v, double scalar);
+Vector operator*(double scalar, Vector v);
+Vector operator/(Vector v, double scalar);
+
+/// Dot product; asserts equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean distance ||a - b||.
+double Distance(const Vector& a, const Vector& b);
+
+/// True when ||a - b||_inf <= tol.
+bool ApproxEqual(const Vector& a, const Vector& b, double tol = 1e-12);
+
+}  // namespace rpc::linalg
+
+#endif  // RPC_LINALG_VECTOR_H_

@@ -1,0 +1,219 @@
+#include "opt/curve_projection.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "opt/golden_section.h"
+#include "opt/polynomial.h"
+
+namespace rpc::opt {
+
+using curve::BezierCurve;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Relative slack when comparing candidate minima; within this the larger s
+// wins (the sup tie-break of Eq. A-2).
+constexpr double kTieRelTol = 1e-9;
+
+void ConsiderCandidate(const BezierCurve& curve, const Vector& x, double s,
+                       ProjectionResult* best) {
+  const double dist = curve.SquaredDistanceAt(x, s);
+  const double slack = kTieRelTol * (1.0 + best->squared_distance);
+  if (dist < best->squared_distance - slack ||
+      (dist <= best->squared_distance + slack && s > best->s)) {
+    best->squared_distance = dist;
+    best->s = s;
+  }
+  ++best->evaluations;
+}
+
+ProjectionResult ProjectViaGrid(const BezierCurve& curve, const Vector& x,
+                                const ProjectionOptions& options,
+                                bool refine) {
+  const int g = std::max(options.grid_points, 2);
+  std::vector<double> dist(static_cast<size_t>(g) + 1);
+  for (int i = 0; i <= g; ++i) {
+    dist[static_cast<size_t>(i)] =
+        curve.SquaredDistanceAt(x, static_cast<double>(i) / g);
+  }
+
+  ProjectionResult best;
+  best.squared_distance = dist[0];
+  best.s = 0.0;
+  best.evaluations = g + 1;
+  for (int i = 1; i <= g; ++i) {
+    const double s = static_cast<double>(i) / g;
+    const double slack = kTieRelTol * (1.0 + best.squared_distance);
+    if (dist[static_cast<size_t>(i)] < best.squared_distance - slack ||
+        (dist[static_cast<size_t>(i)] <= best.squared_distance + slack &&
+         s > best.s)) {
+      best.squared_distance = dist[static_cast<size_t>(i)];
+      best.s = s;
+    }
+  }
+  if (!refine) return best;
+
+  // Refine every grid-local minimum bracket with Golden Section Search and
+  // keep the global best. Brackets at the boundary are included so that
+  // projections landing on s = 0 or s = 1 are found.
+  const auto objective = [&](double s) {
+    return curve.SquaredDistanceAt(x, s);
+  };
+  for (int i = 0; i <= g; ++i) {
+    const bool left_ok = i == 0 || dist[static_cast<size_t>(i)] <=
+                                       dist[static_cast<size_t>(i - 1)];
+    const bool right_ok = i == g || dist[static_cast<size_t>(i)] <=
+                                        dist[static_cast<size_t>(i + 1)];
+    if (!left_ok || !right_ok) continue;
+    const double lo = std::max(0.0, static_cast<double>(i - 1) / g);
+    const double hi = std::min(1.0, static_cast<double>(i + 1) / g);
+    const ScalarMinResult gss =
+        GoldenSectionMinimize(objective, lo, hi, options.tol);
+    best.evaluations += gss.evaluations;
+    ConsiderCandidate(curve, x, gss.x, &best);
+  }
+  return best;
+}
+
+// Safeguarded Newton refinement of every grid-local minimum: iterates on
+// g(s) = d/ds ||x - f(s)||^2 / -2 = f'(s).(x - f(s)), with derivative
+// g'(s) = f''(s).(x - f(s)) - ||f'(s)||^2, falling back to bisection when a
+// step leaves the bracket.
+ProjectionResult ProjectViaNewton(const BezierCurve& curve, const Vector& x,
+                                  const ProjectionOptions& options) {
+  const int g = std::max(options.grid_points, 2);
+  const BezierCurve hodograph = curve.DerivativeCurve();
+  const BezierCurve second = hodograph.DerivativeCurve();
+
+  const auto stationarity = [&](double s) {
+    const Vector deriv = hodograph.Evaluate(s);
+    const Vector residual = x - curve.Evaluate(s);
+    return linalg::Dot(deriv, residual);
+  };
+  const auto stationarity_derivative = [&](double s) {
+    const Vector deriv = hodograph.Evaluate(s);
+    const Vector curvature = second.Evaluate(s);
+    const Vector residual = x - curve.Evaluate(s);
+    return linalg::Dot(curvature, residual) - deriv.SquaredNorm();
+  };
+
+  std::vector<double> dist(static_cast<size_t>(g) + 1);
+  for (int i = 0; i <= g; ++i) {
+    dist[static_cast<size_t>(i)] =
+        curve.SquaredDistanceAt(x, static_cast<double>(i) / g);
+  }
+  ProjectionResult best;
+  best.s = 0.0;
+  best.squared_distance = dist[0];
+  best.evaluations = g + 1;
+  ConsiderCandidate(curve, x, 1.0, &best);
+
+  for (int i = 0; i <= g; ++i) {
+    const bool left_ok = i == 0 || dist[static_cast<size_t>(i)] <=
+                                       dist[static_cast<size_t>(i - 1)];
+    const bool right_ok = i == g || dist[static_cast<size_t>(i)] <=
+                                        dist[static_cast<size_t>(i + 1)];
+    if (!left_ok || !right_ok) continue;
+    double lo = std::max(0.0, static_cast<double>(i - 1) / g);
+    double hi = std::min(1.0, static_cast<double>(i + 1) / g);
+    // g is decreasing through a minimum: g(lo) >= 0 >= g(hi) is the usual
+    // situation; when signs do not bracket (boundary minima) Newton from
+    // the midpoint with clamping still behaves.
+    double s = 0.5 * (lo + hi);
+    for (int iter = 0; iter < 50; ++iter) {
+      const double value = stationarity(s);
+      ++best.evaluations;
+      if (std::fabs(value) < options.tol) break;
+      // Shrink the safeguard bracket using the sign of g.
+      if (value > 0.0) {
+        lo = s;
+      } else {
+        hi = s;
+      }
+      const double slope = stationarity_derivative(s);
+      double next = (slope < 0.0) ? s - value / slope : 0.5 * (lo + hi);
+      if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+      if (std::fabs(next - s) < options.tol) {
+        s = next;
+        break;
+      }
+      s = next;
+    }
+    ConsiderCandidate(curve, x, std::clamp(s, 0.0, 1.0), &best);
+  }
+  return best;
+}
+
+ProjectionResult ProjectViaPolynomialRoots(const BezierCurve& curve,
+                                           const Vector& x,
+                                           const ProjectionOptions& options) {
+  const int k = curve.degree();
+  const int d = curve.dimension();
+  assert(x.size() == d);
+
+  // f(s) = sum_j a_j s^j (column j of `coeffs`), so
+  // r(s) = x - f(s) has coefficients r_0 = x - a_0, r_j = -a_j (j >= 1) and
+  // f'(s) has coefficients (j+1) a_{j+1}. The stationarity condition
+  // g(s) = f'(s) . (x - f(s)) = 0 is a degree 2k-1 polynomial (Eq. 20).
+  const Matrix coeffs = curve.PowerBasisCoefficients();
+  std::vector<double> g(static_cast<size_t>(2 * k), 0.0);
+  for (int dim = 0; dim < d; ++dim) {
+    for (int i = 0; i + 1 <= k; ++i) {
+      const double fprime_i = (i + 1) * coeffs(dim, i + 1);
+      for (int j = 0; j <= k; ++j) {
+        const double r_j =
+            (j == 0) ? (x[dim] - coeffs(dim, 0)) : -coeffs(dim, j);
+        g[static_cast<size_t>(i + j)] += fprime_i * r_j;
+      }
+    }
+  }
+  const Polynomial stationarity{std::vector<double>(g)};
+
+  ProjectionResult best;
+  best.s = 0.0;
+  best.squared_distance = curve.SquaredDistanceAt(x, 0.0);
+  best.evaluations = 1;
+  ConsiderCandidate(curve, x, 1.0, &best);
+  for (double root : stationarity.RealRootsInInterval(0.0, 1.0, options.tol)) {
+    ConsiderCandidate(curve, x, root, &best);
+  }
+  return best;
+}
+
+}  // namespace
+
+ProjectionResult ProjectOntoCurve(const BezierCurve& curve, const Vector& x,
+                                  const ProjectionOptions& options) {
+  switch (options.method) {
+    case ProjectionMethod::kGoldenSection:
+      return ProjectViaGrid(curve, x, options, /*refine=*/true);
+    case ProjectionMethod::kGridOnly:
+      return ProjectViaGrid(curve, x, options, /*refine=*/false);
+    case ProjectionMethod::kQuinticRoots:
+      return ProjectViaPolynomialRoots(curve, x, options);
+    case ProjectionMethod::kNewton:
+      return ProjectViaNewton(curve, x, options);
+  }
+  return ProjectViaGrid(curve, x, options, /*refine=*/true);
+}
+
+Vector ProjectRows(const BezierCurve& curve, const Matrix& data,
+                   const ProjectionOptions& options,
+                   double* total_squared_distance) {
+  Vector scores(data.rows());
+  double total = 0.0;
+  for (int i = 0; i < data.rows(); ++i) {
+    const ProjectionResult proj =
+        ProjectOntoCurve(curve, data.Row(i), options);
+    scores[i] = proj.s;
+    total += proj.squared_distance;
+  }
+  if (total_squared_distance != nullptr) *total_squared_distance = total;
+  return scores;
+}
+
+}  // namespace rpc::opt

@@ -1,0 +1,60 @@
+#ifndef RPC_OPT_CURVE_PROJECTION_H_
+#define RPC_OPT_CURVE_PROJECTION_H_
+
+#include "curve/bezier.h"
+#include "linalg/vector.h"
+
+namespace rpc::opt {
+
+/// How the per-point projection index s_f(x) (Eq. A-2 / Eq. 20-22) is found.
+enum class ProjectionMethod {
+  /// Coarse grid to bracket local minima, Golden Section Search to refine —
+  /// the method Algorithm 1 adopts.
+  kGoldenSection,
+  /// Solve the stationarity polynomial f'(s).(x - f(s)) = 0 exactly (degree
+  /// 2k-1, the quintic of Eq. 20 for cubics) with Sturm root isolation,
+  /// standing in for Jenkins-Traub [32].
+  kQuinticRoots,
+  /// Pure grid argmin; ablation baseline showing why refinement matters.
+  kGridOnly,
+  /// Safeguarded Newton on the stationarity condition from the best grid
+  /// bracket — the Gradient/Gauss-Newton family Pastva [20] used for
+  /// Bezier fitting. Quadratic local convergence, cheaper than GSS.
+  kNewton,
+};
+
+struct ProjectionOptions {
+  ProjectionMethod method = ProjectionMethod::kGoldenSection;
+  /// Grid resolution for bracketing (kGoldenSection) or the answer itself
+  /// (kGridOnly).
+  int grid_points = 32;
+  /// Bracket-width tolerance for Golden Section refinement and root
+  /// tolerance for kQuinticRoots.
+  double tol = 1e-10;
+};
+
+struct ProjectionResult {
+  /// The projection index; ties between equally near curve points are broken
+  /// toward the largest s (the `sup` in Hastie's Eq. A-2).
+  double s = 0.0;
+  double squared_distance = 0.0;
+  int evaluations = 0;
+};
+
+/// Projects x onto the curve over s in [0, 1]: the global minimiser of
+/// ||x - f(s)||^2, with the sup tie-break.
+ProjectionResult ProjectOntoCurve(const curve::BezierCurve& curve,
+                                  const linalg::Vector& x,
+                                  const ProjectionOptions& options = {});
+
+/// Projects every row of `data` (n x d); returns the n projection indices
+/// and accumulates the summed squared distance J (Eq. 19) when
+/// `total_squared_distance` is non-null.
+linalg::Vector ProjectRows(const curve::BezierCurve& curve,
+                           const linalg::Matrix& data,
+                           const ProjectionOptions& options = {},
+                           double* total_squared_distance = nullptr);
+
+}  // namespace rpc::opt
+
+#endif  // RPC_OPT_CURVE_PROJECTION_H_

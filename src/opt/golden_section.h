@@ -1,0 +1,27 @@
+#ifndef RPC_OPT_GOLDEN_SECTION_H_
+#define RPC_OPT_GOLDEN_SECTION_H_
+
+#include <functional>
+
+namespace rpc::opt {
+
+/// Result of a one-dimensional minimisation.
+struct ScalarMinResult {
+  double x = 0.0;       // minimiser
+  double fx = 0.0;      // objective at the minimiser
+  int evaluations = 0;  // number of objective evaluations
+};
+
+/// Golden Section Search on [lo, hi] (Step 4 of Algorithm 1, following
+/// Bazaraa et al.). Assumes f is unimodal on the bracket; for multimodal
+/// objectives callers should bracket local minima first (see
+/// curve_projection.h). Terminates when the bracket width is below
+/// `tol` or after `max_iterations`.
+ScalarMinResult GoldenSectionMinimize(const std::function<double(double)>& f,
+                                      double lo, double hi,
+                                      double tol = 1e-10,
+                                      int max_iterations = 200);
+
+}  // namespace rpc::opt
+
+#endif  // RPC_OPT_GOLDEN_SECTION_H_

@@ -1,0 +1,253 @@
+#include "opt/polynomial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stringutil.h"
+
+namespace rpc::opt {
+namespace {
+
+// Relative magnitude below which a coefficient counts as zero.
+constexpr double kCoeffEps = 1e-12;
+
+double MaxAbsCoeff(const std::vector<double>& coeffs) {
+  double best = 0.0;
+  for (double c : coeffs) best = std::max(best, std::fabs(c));
+  return best;
+}
+
+// Sturm sequence: p0 = p, p1 = p', p_{k+1} = -rem(p_{k-1}, p_k).
+std::vector<Polynomial> SturmSequence(const Polynomial& p) {
+  std::vector<Polynomial> seq;
+  seq.push_back(p);
+  Polynomial deriv = p.Derivative();
+  if (deriv.IsZero()) return seq;
+  seq.push_back(deriv);
+  while (true) {
+    const Polynomial& a = seq[seq.size() - 2];
+    const Polynomial& b = seq.back();
+    if (b.degree() == 0) break;
+    Polynomial rem = a.Remainder(b);
+    if (rem.IsZero()) break;
+    seq.push_back(rem * -1.0);
+    if (seq.back().degree() == 0) break;
+  }
+  return seq;
+}
+
+// Number of sign changes of the Sturm sequence at x (zeros are skipped).
+int SignChangesAt(const std::vector<Polynomial>& seq, double x) {
+  int changes = 0;
+  int prev_sign = 0;
+  for (const Polynomial& p : seq) {
+    const double value = p.Evaluate(x);
+    const int sign = value > 0.0 ? 1 : (value < 0.0 ? -1 : 0);
+    if (sign == 0) continue;
+    if (prev_sign != 0 && sign != prev_sign) ++changes;
+    prev_sign = sign;
+  }
+  return changes;
+}
+
+// Refines a root bracketed in [lo, hi] (f(lo), f(hi) of opposite sign or one
+// of them zero) by bisection with Newton acceleration.
+double RefineRoot(const Polynomial& p, const Polynomial& dp, double lo,
+                  double hi, double tol) {
+  double flo = p.Evaluate(lo);
+  if (flo == 0.0) return lo;
+  double fhi = p.Evaluate(hi);
+  if (fhi == 0.0) return hi;
+  double x = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 200 && hi - lo > tol; ++iter) {
+    // Newton step from the midpoint; fall back to bisection when it leaves
+    // the bracket or the derivative vanishes.
+    const double fx = p.Evaluate(x);
+    if (fx == 0.0) return x;
+    const double dfx = dp.Evaluate(x);
+    double next;
+    if (dfx != 0.0) {
+      next = x - fx / dfx;
+      if (next <= lo || next >= hi) next = 0.5 * (lo + hi);
+    } else {
+      next = 0.5 * (lo + hi);
+    }
+    // Maintain the bracket.
+    if ((fx > 0.0) == (flo > 0.0)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+      fhi = fx;
+    }
+    x = next;
+    if (x <= lo || x >= hi) x = 0.5 * (lo + hi);
+  }
+  return 0.5 * (lo + hi);
+}
+
+// Recursively isolates roots using Sturm counts.
+void IsolateRoots(const std::vector<Polynomial>& seq, const Polynomial& p,
+                  const Polynomial& dp, double lo, double hi, int count_lo,
+                  int count_hi, double tol, std::vector<double>* roots) {
+  const int num_roots = count_lo - count_hi;
+  if (num_roots <= 0) return;
+  if (num_roots == 1) {
+    roots->push_back(RefineRoot(p, dp, lo, hi, tol));
+    return;
+  }
+  if (hi - lo <= tol) {
+    // Cluster of roots tighter than the tolerance: report the midpoint once.
+    roots->push_back(0.5 * (lo + hi));
+    return;
+  }
+  const double mid = 0.5 * (lo + hi);
+  const int count_mid = SignChangesAt(seq, mid);
+  IsolateRoots(seq, p, dp, lo, mid, count_lo, count_mid, tol, roots);
+  IsolateRoots(seq, p, dp, mid, hi, count_mid, count_hi, tol, roots);
+}
+
+}  // namespace
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) coeffs_.push_back(0.0);
+  Trim();
+}
+
+void Polynomial::Trim() {
+  const double scale = MaxAbsCoeff(coeffs_);
+  const double cutoff = scale * kCoeffEps;
+  while (coeffs_.size() > 1 && std::fabs(coeffs_.back()) <= cutoff) {
+    coeffs_.pop_back();
+  }
+}
+
+bool Polynomial::IsZero() const {
+  return coeffs_.size() == 1 && coeffs_[0] == 0.0;
+}
+
+double Polynomial::Evaluate(double x) const {
+  double value = 0.0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    value = value * x + coeffs_[i];
+  }
+  return value;
+}
+
+Polynomial Polynomial::Derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial({0.0});
+  std::vector<double> deriv(coeffs_.size() - 1);
+  for (size_t i = 1; i < coeffs_.size(); ++i) {
+    deriv[i - 1] = static_cast<double>(i) * coeffs_[i];
+  }
+  return Polynomial(std::move(deriv));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  std::vector<double> sum(std::max(coeffs_.size(), other.coeffs_.size()), 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) sum[i] += coeffs_[i];
+  for (size_t i = 0; i < other.coeffs_.size(); ++i) sum[i] += other.coeffs_[i];
+  return Polynomial(std::move(sum));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  return *this + (other * -1.0);
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  std::vector<double> prod(coeffs_.size() + other.coeffs_.size() - 1, 0.0);
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0.0) continue;
+    for (size_t j = 0; j < other.coeffs_.size(); ++j) {
+      prod[i + j] += coeffs_[i] * other.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(prod));
+}
+
+Polynomial Polynomial::operator*(double scalar) const {
+  std::vector<double> scaled = coeffs_;
+  for (double& c : scaled) c *= scalar;
+  return Polynomial(std::move(scaled));
+}
+
+Polynomial Polynomial::Remainder(const Polynomial& divisor) const {
+  assert(!divisor.IsZero());
+  std::vector<double> rem = coeffs_;
+  const std::vector<double>& div = divisor.coeffs_;
+  const double lead = div.back();
+  while (rem.size() >= div.size()) {
+    const double factor = rem.back() / lead;
+    const size_t offset = rem.size() - div.size();
+    for (size_t i = 0; i < div.size(); ++i) {
+      rem[offset + i] -= factor * div[i];
+    }
+    rem.pop_back();
+    // Trim any zero coefficients newly exposed at the top.
+    const double scale = std::max(MaxAbsCoeff(rem), MaxAbsCoeff(coeffs_));
+    while (rem.size() > 1 && std::fabs(rem.back()) <= scale * kCoeffEps) {
+      rem.pop_back();
+    }
+    if (rem.empty()) {
+      rem.push_back(0.0);
+      break;
+    }
+  }
+  return Polynomial(std::move(rem));
+}
+
+std::string Polynomial::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < coeffs_.size(); ++i) {
+    if (i > 0) out += " + ";
+    out += FormatDouble(coeffs_[i]);
+    if (i >= 1) out += StrFormat("*x^%zu", i);
+  }
+  return out;
+}
+
+std::vector<double> Polynomial::RealRootsInInterval(double lo, double hi,
+                                                    double tol) const {
+  std::vector<double> roots;
+  if (lo > hi) return roots;
+  Polynomial p = *this;
+  // Scale coefficients to unit magnitude for numerical headroom.
+  const double scale = MaxAbsCoeff(p.coeffs_);
+  if (scale > 0.0) p = p * (1.0 / scale);
+  if (p.IsZero()) return roots;  // identically zero: no isolated roots
+  if (p.degree() == 0) return roots;
+
+  if (p.degree() == 1) {
+    const double root = -p.coeffs_[0] / p.coeffs_[1];
+    if (root >= lo - tol && root <= hi + tol) {
+      roots.push_back(std::min(std::max(root, lo), hi));
+    }
+    return roots;
+  }
+
+  const std::vector<Polynomial> seq = SturmSequence(p);
+  const Polynomial dp = p.Derivative();
+
+  // Sturm counts exclude roots exactly at the endpoints; nudge the window
+  // outward slightly and clamp results back.
+  const double pad = std::max(1e-12, (hi - lo) * 1e-12);
+  const double a = lo - pad;
+  const double b = hi + pad;
+  const int count_a = SignChangesAt(seq, a);
+  const int count_b = SignChangesAt(seq, b);
+  IsolateRoots(seq, p, dp, a, b, count_a, count_b, tol, &roots);
+  for (double& r : roots) r = std::min(std::max(r, lo), hi);
+  std::sort(roots.begin(), roots.end());
+  // Deduplicate near-identical roots.
+  std::vector<double> unique;
+  for (double r : roots) {
+    if (unique.empty() || std::fabs(r - unique.back()) > 10.0 * tol) {
+      unique.push_back(r);
+    }
+  }
+  return unique;
+}
+
+}  // namespace rpc::opt

@@ -1,0 +1,56 @@
+#ifndef RPC_OPT_POLYNOMIAL_H_
+#define RPC_OPT_POLYNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+namespace rpc::opt {
+
+/// A real univariate polynomial with coefficients in ascending powers:
+/// p(x) = c[0] + c[1] x + ... + c[n] x^n.
+///
+/// The real-root machinery (Sturm sequences + bisection + Newton polish)
+/// stands in for the Jenkins-Traub solver [32] the paper cites as an
+/// alternative way of solving the quintic stationarity condition Eq. (20).
+class Polynomial {
+ public:
+  Polynomial() : coeffs_{0.0} {}
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// Degree after trimming numerically zero leading coefficients; the zero
+  /// polynomial has degree 0.
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const std::vector<double>& coefficients() const { return coeffs_; }
+  bool IsZero() const;
+
+  /// Horner evaluation.
+  double Evaluate(double x) const;
+
+  Polynomial Derivative() const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator*(double scalar) const;
+
+  /// Polynomial remainder of *this divided by `divisor` (degree of divisor
+  /// must be >= 0 and divisor non-zero).
+  Polynomial Remainder(const Polynomial& divisor) const;
+
+  std::string ToString() const;
+
+  /// All real roots in [lo, hi], each reported once (multiple roots are
+  /// collapsed), sorted ascending. Uses a Sturm sequence on the square-free
+  /// part to isolate roots, then bisection refined by Newton.
+  std::vector<double> RealRootsInInterval(double lo, double hi,
+                                          double tol = 1e-12) const;
+
+ private:
+  void Trim();
+
+  std::vector<double> coeffs_;
+};
+
+}  // namespace rpc::opt
+
+#endif  // RPC_OPT_POLYNOMIAL_H_

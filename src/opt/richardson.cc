@@ -1,0 +1,75 @@
+#include "opt/richardson.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace rpc::opt {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Vector RichardsonPreconditioner(const Matrix& gram) {
+  Vector d(gram.cols());
+  for (int c = 0; c < gram.cols(); ++c) {
+    d[c] = std::max(gram.Column(c).Norm(), 1e-300);
+  }
+  return d;
+}
+
+Result<Matrix> RichardsonStep(const Matrix& p, const Matrix& gram,
+                              const Matrix& cross,
+                              const RichardsonOptions& options) {
+  if (gram.rows() != gram.cols()) {
+    return Status::InvalidArgument("RichardsonStep: Gram matrix not square");
+  }
+  if (p.cols() != gram.rows() || cross.rows() != p.rows() ||
+      cross.cols() != p.cols()) {
+    return Status::InvalidArgument("RichardsonStep: shape mismatch");
+  }
+
+  double gamma;
+  if (options.gamma.has_value()) {
+    gamma = *options.gamma;
+  } else {
+    // Eq. (28): gamma = 2 / (lambda_min + lambda_max) of the iteration
+    // matrix. With the preconditioner the error evolves through A D^{-1},
+    // whose spectrum equals that of the symmetric D^{-1/2} A D^{-1/2}; the
+    // step must be sized for *that* matrix or the iteration can diverge.
+    Matrix iteration_matrix = gram;
+    if (options.use_preconditioner) {
+      const Vector d = RichardsonPreconditioner(gram);
+      for (int r = 0; r < gram.rows(); ++r) {
+        for (int c = 0; c < gram.cols(); ++c) {
+          iteration_matrix(r, c) =
+              gram(r, c) / std::sqrt(d[r] * d[c]);
+        }
+      }
+    }
+    RPC_ASSIGN_OR_RETURN(linalg::EigenRange range,
+                         linalg::SymmetricEigenRange(iteration_matrix));
+    const double denom = range.min + range.max;
+    if (!(denom > 0.0) || !std::isfinite(denom)) {
+      return Status::NumericalError(
+          "RichardsonStep: non-positive eigenvalue sum");
+    }
+    gamma = 2.0 / denom;
+  }
+
+  Matrix residual = p * gram - cross;  // d x 4
+  if (options.use_preconditioner) {
+    const Vector d = RichardsonPreconditioner(gram);
+    for (int r = 0; r < residual.rows(); ++r) {
+      for (int c = 0; c < residual.cols(); ++c) {
+        residual(r, c) /= d[c];
+      }
+    }
+  }
+  Matrix next = p - gamma * residual;
+  if (!next.AllFinite()) {
+    return Status::NumericalError("RichardsonStep: non-finite update");
+  }
+  return next;
+}
+
+}  // namespace rpc::opt

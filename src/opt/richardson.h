@@ -1,0 +1,39 @@
+#ifndef RPC_OPT_RICHARDSON_H_
+#define RPC_OPT_RICHARDSON_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace rpc::opt {
+
+/// Options for the preconditioned Richardson update of Eq. (27).
+struct RichardsonOptions {
+  /// Apply the diagonal preconditioner D (column L2 norms of the Gram
+  /// matrix) from Section 5. Turning this off reproduces the ill-conditioned
+  /// behaviour the paper reports for the raw update (ablation E11).
+  bool use_preconditioner = true;
+  /// Fixed step size; when unset, gamma = 2 / (lambda_min + lambda_max) of
+  /// the Gram matrix (Eq. 28).
+  std::optional<double> gamma;
+};
+
+/// One Richardson step for the least-squares problem
+/// min_P ||X^T - P (MZ)||_F^2:
+///   P' = P - gamma (P A - B) D^{-1},
+/// where A = (MZ)(MZ)^T (4x4 Gram matrix) and B = X^T (MZ)^T (the d x 4
+/// cross matrix). Returns kNumericalError when the Gram eigen range cannot
+/// be computed or the implied step is non-finite.
+Result<linalg::Matrix> RichardsonStep(const linalg::Matrix& p,
+                                      const linalg::Matrix& gram,
+                                      const linalg::Matrix& cross,
+                                      const RichardsonOptions& options = {});
+
+/// The diagonal preconditioner D of Section 5: entry j is the L2 norm of
+/// column j of the Gram matrix (guarded below by 1e-300).
+linalg::Vector RichardsonPreconditioner(const linalg::Matrix& gram);
+
+}  // namespace rpc::opt
+
+#endif  // RPC_OPT_RICHARDSON_H_

@@ -1,0 +1,106 @@
+#include "order/dominance.h"
+
+#include <cassert>
+
+namespace rpc::order {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+DominanceStats ComputeDominanceStats(const Matrix& data,
+                                     const Orientation& alpha) {
+  assert(data.cols() == alpha.dimension());
+  DominanceStats stats;
+  stats.points = data.rows();
+  const int n = data.rows();
+  std::vector<Vector> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows.push_back(data.Row(i));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (alpha.Comparable(rows[static_cast<size_t>(i)],
+                           rows[static_cast<size_t>(j)])) {
+        ++stats.comparable_pairs;
+      } else {
+        ++stats.incomparable_pairs;
+      }
+    }
+  }
+  const long long total = stats.comparable_pairs + stats.incomparable_pairs;
+  stats.comparability =
+      total > 0 ? static_cast<double>(stats.comparable_pairs) / total : 1.0;
+  return stats;
+}
+
+std::vector<int> ParetoFront(const Matrix& data, const Orientation& alpha) {
+  assert(data.cols() == alpha.dimension());
+  const int n = data.rows();
+  std::vector<Vector> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows.push_back(data.Row(i));
+  std::vector<int> front;
+  for (int i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (int j = 0; j < n && !dominated; ++j) {
+      if (j == i) continue;
+      dominated = alpha.StrictlyPrecedes(rows[static_cast<size_t>(i)],
+                                         rows[static_cast<size_t>(j)]);
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<int> DominanceCounts(const Matrix& data,
+                                 const Orientation& alpha) {
+  assert(data.cols() == alpha.dimension());
+  const int n = data.rows();
+  std::vector<Vector> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows.push_back(data.Row(i));
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && alpha.StrictlyPrecedes(rows[static_cast<size_t>(j)],
+                                           rows[static_cast<size_t>(i)])) {
+        ++counts[static_cast<size_t>(i)];
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<int> ParetoLayers(const Matrix& data, const Orientation& alpha) {
+  assert(data.cols() == alpha.dimension());
+  const int n = data.rows();
+  std::vector<Vector> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows.push_back(data.Row(i));
+  std::vector<int> layer(static_cast<size_t>(n), -1);
+  int assigned = 0;
+  int current = 0;
+  while (assigned < n) {
+    // A row joins the current layer when every row dominating it already
+    // belongs to an earlier layer.
+    std::vector<int> this_layer;
+    for (int i = 0; i < n; ++i) {
+      if (layer[static_cast<size_t>(i)] >= 0) continue;
+      bool blocked = false;
+      for (int j = 0; j < n && !blocked; ++j) {
+        if (j == i || layer[static_cast<size_t>(j)] >= 0) continue;
+        blocked = alpha.StrictlyPrecedes(rows[static_cast<size_t>(i)],
+                                         rows[static_cast<size_t>(j)]);
+      }
+      if (!blocked) this_layer.push_back(i);
+    }
+    if (this_layer.empty()) break;  // unreachable for a strict order
+    for (int i : this_layer) {
+      layer[static_cast<size_t>(i)] = current;
+      ++assigned;
+    }
+    ++current;
+  }
+  return layer;
+}
+
+}  // namespace rpc::order

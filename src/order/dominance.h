@@ -1,0 +1,49 @@
+#ifndef RPC_ORDER_DOMINANCE_H_
+#define RPC_ORDER_DOMINANCE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+
+namespace rpc::order {
+
+/// Structure of the cone partial order (Eq. 1) over a finite point set —
+/// the order-theoretic backdrop of Section 2. Unsupervised ranking is only
+/// "hard" on the incomparable pairs; these diagnostics quantify how much
+/// of a dataset the order already decides.
+struct DominanceStats {
+  int points = 0;
+  long long comparable_pairs = 0;
+  long long incomparable_pairs = 0;
+  /// comparable / total pairs, in [0, 1]; 1 means the data are already a
+  /// chain and any monotone scorer yields the same list.
+  double comparability = 0.0;
+};
+
+/// Counts comparable vs incomparable row pairs.
+DominanceStats ComputeDominanceStats(const linalg::Matrix& data,
+                                     const Orientation& alpha);
+
+/// Indices of the Pareto-optimal rows: rows not strictly preceded by any
+/// other row (the "best" frontier of the cone order). Duplicated optimal
+/// points are all reported.
+std::vector<int> ParetoFront(const linalg::Matrix& data,
+                             const Orientation& alpha);
+
+/// Number of rows each row strictly dominates (a classical scalar summary;
+/// monotone w.r.t. the cone order but only weakly — ties abound, which is
+/// why it is a diagnostic, not a ranking function).
+std::vector<int> DominanceCounts(const linalg::Matrix& data,
+                                 const Orientation& alpha);
+
+/// Peels successive Pareto fronts and returns the 0-based layer index of
+/// every row (layer 0 = the front). Non-dominated sorting; any strictly
+/// monotone score must rank layer k strictly above every point of layer
+/// k+1 that it dominates.
+std::vector<int> ParetoLayers(const linalg::Matrix& data,
+                              const Orientation& alpha);
+
+}  // namespace rpc::order
+
+#endif  // RPC_ORDER_DOMINANCE_H_

@@ -1,0 +1,382 @@
+#include "order/meta_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/stringutil.h"
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace rpc::order {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Ascending order of indices by score.
+std::vector<int> OrderOf(const std::vector<double>& scores) {
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[static_cast<size_t>(a)] < scores[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<double> ScoreRows(const ScoreFn& score, const Matrix& data) {
+  std::vector<double> scores(static_cast<size_t>(data.rows()));
+  for (int i = 0; i < data.rows(); ++i) {
+    scores[static_cast<size_t>(i)] = score(data.Row(i));
+  }
+  return scores;
+}
+
+// Bounding box of the data, oriented so `lo` is the ranking-worst corner.
+void OrientedBox(const Matrix& data, const Orientation& alpha, Vector* worst,
+                 Vector* best) {
+  const Vector mins = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  *worst = Vector(data.cols());
+  *best = Vector(data.cols());
+  for (int j = 0; j < data.cols(); ++j) {
+    if (alpha.sign(j) > 0) {
+      (*worst)[j] = mins[j];
+      (*best)[j] = maxs[j];
+    } else {
+      (*worst)[j] = maxs[j];
+      (*best)[j] = mins[j];
+    }
+  }
+}
+
+// Minimum distance from a point to the polyline through `samples` rows.
+double PointToPolylineDistance(const Vector& x, const Matrix& samples) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i + 1 < samples.rows(); ++i) {
+    const Vector a = samples.Row(i);
+    const Vector b = samples.Row(i + 1);
+    const Vector ab = b - a;
+    const double len2 = ab.SquaredNorm();
+    double t = 0.0;
+    if (len2 > 0.0) {
+      t = std::clamp(linalg::Dot(x - a, ab) / len2, 0.0, 1.0);
+    }
+    best = std::min(best, linalg::Distance(x, a + t * ab));
+  }
+  if (samples.rows() == 1) best = linalg::Distance(x, samples.Row(0));
+  return best;
+}
+
+double MeanPolylineResidual(const Matrix& data, const Matrix& skeleton) {
+  double total = 0.0;
+  for (int i = 0; i < data.rows(); ++i) {
+    total += PointToPolylineDistance(data.Row(i), skeleton);
+  }
+  return data.rows() > 0 ? total / data.rows() : 0.0;
+}
+
+// Mean distance of rows to the best least-squares line (first principal
+// component) — the yardstick for nonlinear capacity.
+double MeanBestLineResidual(const Matrix& data) {
+  const Vector mean = linalg::ColumnMeans(data);
+  const Matrix cov = linalg::Covariance(data);
+  auto eig = linalg::JacobiEigenSymmetric(cov);
+  if (!eig.ok()) return 0.0;
+  const Vector w = eig->vectors.Column(0);
+  double total = 0.0;
+  for (int i = 0; i < data.rows(); ++i) {
+    const Vector centered = data.Row(i) - mean;
+    const double along = linalg::Dot(centered, w);
+    total += std::sqrt(
+        std::max(0.0, centered.SquaredNorm() - along * along));
+  }
+  return data.rows() > 0 ? total / data.rows() : 0.0;
+}
+
+// Monotone S-shaped profile used by the capacity rule: a 1-D cubic Bezier
+// with interior control values pulled toward the ends, giving the slow-fast-
+// slow shape of Fig. 4 while staying strictly monotone.
+double SShape(double t) {
+  const double u = 1.0 - t;
+  // Control values 0, 0.05, 0.95, 1.
+  return 3.0 * u * u * t * 0.05 + 3.0 * u * t * t * 0.95 + t * t * t;
+}
+
+Matrix LinearCloud(const Vector& worst, const Vector& best, int n) {
+  Matrix data(n, worst.size());
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    for (int j = 0; j < worst.size(); ++j) {
+      data(i, j) = worst[j] + t * (best[j] - worst[j]);
+    }
+  }
+  return data;
+}
+
+Matrix SCloud(const Vector& worst, const Vector& best, int n) {
+  Matrix data(n, worst.size());
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    for (int j = 0; j < worst.size(); ++j) {
+      // Alternate plain and S profiles across coordinates so the cloud is
+      // genuinely curved (identical profiles would again be a straight
+      // line in R^d).
+      const double h = (j % 2 == 0) ? t : SShape(t);
+      data(i, j) = worst[j] + h * (best[j] - worst[j]);
+    }
+  }
+  return data;
+}
+
+// Largest second difference of consecutive skeleton samples.
+double MaxSecondDifference(const Matrix& samples) {
+  double best = 0.0;
+  for (int i = 1; i + 1 < samples.rows(); ++i) {
+    const Vector second =
+        samples.Row(i + 1) - 2.0 * samples.Row(i) + samples.Row(i - 1);
+    best = std::max(best, second.Norm());
+  }
+  return best;
+}
+
+}  // namespace
+
+bool MetaRuleReport::AllPassed() const {
+  return scale_translation_invariance.passed && strict_monotonicity.passed &&
+         capacity.passed && smoothness.passed && explicitness.passed;
+}
+
+std::string MetaRuleReport::ToString() const {
+  const auto line = [](const char* rule, const MetaRuleResult& r) {
+    return StrFormat("  %-28s %-5s %s\n", rule,
+                     !r.applicable ? "n/a" : (r.passed ? "PASS" : "FAIL"),
+                     r.detail.c_str());
+  };
+  std::string out = StrFormat("MetaRuleReport[%s]\n", method_name.c_str());
+  out += line("scale/translation invariance",
+              scale_translation_invariance);
+  out += line("strict monotonicity", strict_monotonicity);
+  out += line("linear/nonlinear capacity", capacity);
+  out += line("smoothness (C1)", smoothness);
+  out += line("explicit parameter size", explicitness);
+  return out;
+}
+
+MetaRuleResult CheckScaleTranslationInvariance(
+    const FitFn& fit, const Matrix& data, const Orientation& alpha,
+    const MetaRuleOptions& options) {
+  MetaRuleResult result;
+  Rng rng(options.seed);
+  const ScoreFn base_score = fit(data, alpha);
+  const std::vector<int> base_order = OrderOf(ScoreRows(base_score, data));
+
+  for (int trial = 0; trial < options.invariance_trials; ++trial) {
+    Vector scale(data.cols());
+    Vector shift(data.cols());
+    for (int j = 0; j < data.cols(); ++j) {
+      scale[j] = rng.Uniform(0.2, 5.0);
+      shift[j] = rng.Uniform(-10.0, 10.0);
+    }
+    Matrix transformed(data.rows(), data.cols());
+    for (int i = 0; i < data.rows(); ++i) {
+      for (int j = 0; j < data.cols(); ++j) {
+        transformed(i, j) = scale[j] * data(i, j) + shift[j];
+      }
+    }
+    const ScoreFn refit_score = fit(transformed, alpha);
+    const std::vector<int> order =
+        OrderOf(ScoreRows(refit_score, transformed));
+    if (order != base_order) {
+      result.passed = false;
+      result.detail = StrFormat(
+          "ranking list changed under positive affine transform (trial %d)",
+          trial);
+      return result;
+    }
+  }
+  result.passed = true;
+  result.detail = StrFormat("%d random affine refits preserved the list",
+                            options.invariance_trials);
+  return result;
+}
+
+MetaRuleResult CheckStrictMonotonicityRule(const ScoreFn& score,
+                                           const Matrix& data,
+                                           const Orientation& alpha,
+                                           const MetaRuleOptions& options) {
+  MetaRuleResult result;
+  Rng rng(options.seed + 1);
+  Vector worst, best;
+  OrientedBox(data, alpha, &worst, &best);
+  const int d = data.cols();
+
+  int violations = 0;
+  int ties = 0;
+  for (int t = 0; t < options.monotonicity_pairs; ++t) {
+    Vector x(d);
+    Vector y(d);
+    for (int j = 0; j < d; ++j) {
+      const double u = rng.Uniform();
+      x[j] = worst[j] + u * (best[j] - worst[j]);
+      y[j] = x[j];
+    }
+    // Bump a random nonempty subset of coordinates toward `best` — including
+    // the single-coordinate bumps of Example 1 (t alternates to guarantee
+    // axis-aligned pairs are covered).
+    const int bump_count =
+        (t % 2 == 0) ? 1 : 1 + static_cast<int>(rng.UniformInt(d));
+    for (int b = 0; b < bump_count; ++b) {
+      const int j = static_cast<int>(rng.UniformInt(d));
+      const double room = best[j] - y[j];
+      y[j] += rng.Uniform(0.05, 1.0) * room;
+    }
+    if (!alpha.StrictlyPrecedes(x, y)) continue;
+    const double sx = score(x);
+    const double sy = score(y);
+    if (sx > sy + options.tol) {
+      ++violations;
+    } else if (std::fabs(sy - sx) <= options.tol) {
+      ++ties;
+    }
+  }
+  result.passed = violations == 0 && ties == 0;
+  result.detail = StrFormat(
+      "%d sampled comparable pairs: %d order violations, %d strict ties",
+      options.monotonicity_pairs, violations, ties);
+  return result;
+}
+
+MetaRuleResult CheckCapacityRule(const MethodUnderTest& method,
+                                 const Matrix& data, const Orientation& alpha,
+                                 const MetaRuleOptions& options) {
+  MetaRuleResult result;
+  if (!method.skeleton) {
+    result.applicable = false;
+    result.passed = false;
+    result.detail = "method exposes no ranking skeleton";
+    return result;
+  }
+  Vector worst, best;
+  OrientedBox(data, alpha, &worst, &best);
+  const double diag = linalg::Distance(worst, best);
+  const int n = 64;
+
+  const Matrix linear_cloud = LinearCloud(worst, best, n);
+  const Matrix linear_skeleton =
+      method.skeleton(linear_cloud, alpha, options.skeleton_grid);
+  const double linear_residual =
+      MeanPolylineResidual(linear_cloud, linear_skeleton) / diag;
+
+  const Matrix s_cloud = SCloud(worst, best, n);
+  const Matrix s_skeleton =
+      method.skeleton(s_cloud, alpha, options.skeleton_grid);
+  const double s_residual = MeanPolylineResidual(s_cloud, s_skeleton);
+  const double line_residual = MeanBestLineResidual(s_cloud);
+
+  const bool linear_ok = linear_residual < 1e-3;
+  const bool nonlinear_ok =
+      line_residual > 0.0 && s_residual < 0.25 * line_residual;
+  result.passed = linear_ok && nonlinear_ok;
+  result.detail = StrFormat(
+      "linear residual %.2e (rel), S-curve residual %.3g vs best-line %.3g",
+      linear_residual, s_residual, line_residual);
+  return result;
+}
+
+MetaRuleResult CheckSmoothnessRule(const MethodUnderTest& method,
+                                   const Matrix& data,
+                                   const Orientation& alpha,
+                                   const MetaRuleOptions& options) {
+  MetaRuleResult result;
+  const int g = options.skeleton_grid;
+  if (method.skeleton) {
+    // Second differences of a C1-smooth arc shrink ~4x when the sampling
+    // doubles; a kinked polyline only halves them.
+    const Matrix coarse = method.skeleton(data, alpha, g);
+    const Matrix fine = method.skeleton(data, alpha, 2 * g);
+    const double m_coarse = MaxSecondDifference(coarse);
+    const double m_fine = MaxSecondDifference(fine);
+    const double scale = std::max(1e-300, coarse.MaxAbs());
+    if (m_fine <= 1e-9 * scale) {
+      result.passed = true;
+      result.detail = "skeleton second differences vanish (straight line)";
+      return result;
+    }
+    const double ratio = m_fine / m_coarse;
+    result.passed = ratio < 0.35;
+    result.detail = StrFormat(
+        "second-difference refinement ratio %.3f (C1 ~ 0.25, kink ~ 0.5)",
+        ratio);
+    return result;
+  }
+
+  // Fallback: probe the score function for jumps along random segments.
+  Rng rng(options.seed + 2);
+  const ScoreFn score = method.fit(data, alpha);
+  Vector worst, best;
+  OrientedBox(data, alpha, &worst, &best);
+  double worst_ratio = 0.0;
+  for (int seg = 0; seg < 4; ++seg) {
+    Vector a(data.cols());
+    Vector b(data.cols());
+    for (int j = 0; j < data.cols(); ++j) {
+      a[j] = worst[j] + rng.Uniform() * (best[j] - worst[j]);
+      b[j] = worst[j] + rng.Uniform() * (best[j] - worst[j]);
+    }
+    const auto max_step = [&](int steps) {
+      double prev = score(a);
+      double biggest = 0.0;
+      for (int i = 1; i <= steps; ++i) {
+        const double t = static_cast<double>(i) / steps;
+        const double cur = score(a + t * (b - a));
+        biggest = std::max(biggest, std::fabs(cur - prev));
+        prev = cur;
+      }
+      return biggest;
+    };
+    const double coarse = max_step(g);
+    const double fine = max_step(2 * g);
+    if (coarse <= 0.0) continue;
+    worst_ratio = std::max(worst_ratio, fine / coarse);
+  }
+  // Continuous scores roughly halve the largest step; jumps keep it.
+  result.passed = worst_ratio < 0.8;
+  result.detail = StrFormat(
+      "largest score step refinement ratio %.3f (continuous ~ 0.5, jump ~ 1)",
+      worst_ratio);
+  return result;
+}
+
+MetaRuleResult CheckExplicitnessRule(std::optional<int> parameter_count) {
+  MetaRuleResult result;
+  if (parameter_count.has_value()) {
+    result.passed = true;
+    result.detail = StrFormat("parameter size known: %d", *parameter_count);
+  } else {
+    result.passed = false;
+    result.detail = "parameter size unknown (nonparametric/black-box)";
+  }
+  return result;
+}
+
+MetaRuleReport EvaluateMetaRules(const MethodUnderTest& method,
+                                 const Matrix& data, const Orientation& alpha,
+                                 const MetaRuleOptions& options) {
+  MetaRuleReport report;
+  report.method_name = method.name;
+  report.scale_translation_invariance =
+      CheckScaleTranslationInvariance(method.fit, data, alpha, options);
+  const ScoreFn score = method.fit(data, alpha);
+  report.strict_monotonicity =
+      CheckStrictMonotonicityRule(score, data, alpha, options);
+  report.capacity = CheckCapacityRule(method, data, alpha, options);
+  report.smoothness = CheckSmoothnessRule(method, data, alpha, options);
+  report.explicitness = CheckExplicitnessRule(method.parameter_count);
+  return report;
+}
+
+}  // namespace rpc::order

@@ -1,0 +1,116 @@
+#ifndef RPC_ORDER_META_RULES_H_
+#define RPC_ORDER_META_RULES_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+
+namespace rpc::order {
+
+/// A fitted scoring function on the raw attribute space.
+using ScoreFn = std::function<double(const linalg::Vector&)>;
+
+/// An unsupervised ranking *method*: fits on raw data (+ orientation) and
+/// returns a score function. Meta-rule 1 (invariance) is a property of the
+/// method, not of a single fitted function, which is why the evaluator needs
+/// the fitting procedure itself.
+using FitFn =
+    std::function<ScoreFn(const linalg::Matrix&, const Orientation&)>;
+
+/// Optional hook returning `grid + 1` samples (rows) of the method's ranking
+/// skeleton after fitting on the given data — i.e. points of the principal
+/// curve/line it scores along. Used by the smoothness and capacity rules.
+using SkeletonFn = std::function<linalg::Matrix(
+    const linalg::Matrix&, const Orientation&, int grid)>;
+
+/// A ranking method under meta-rule audit.
+struct MethodUnderTest {
+  std::string name;
+  FitFn fit;
+  /// Null when the method has no geometric skeleton (e.g. rank aggregation).
+  SkeletonFn skeleton;
+  /// Explicit parameter count (meta-rule 5); nullopt = nonparametric or
+  /// unknown size.
+  std::optional<int> parameter_count;
+};
+
+/// Outcome of a single meta-rule check.
+struct MetaRuleResult {
+  bool passed = false;
+  bool applicable = true;  // false when the method exposes no skeleton
+  std::string detail;
+};
+
+/// The five meta-rules of Section 3.
+struct MetaRuleReport {
+  std::string method_name;
+  MetaRuleResult scale_translation_invariance;  // Definition 2
+  MetaRuleResult strict_monotonicity;           // Definition 3
+  MetaRuleResult capacity;                      // Definition 4
+  MetaRuleResult smoothness;                    // Definition 5
+  MetaRuleResult explicitness;                  // Definition 6
+
+  bool AllPassed() const;
+  std::string ToString() const;
+};
+
+struct MetaRuleOptions {
+  uint64_t seed = 17;
+  /// Invariance: number of random positive affine transforms tried.
+  int invariance_trials = 3;
+  /// Monotonicity: number of sampled comparable pairs.
+  int monotonicity_pairs = 400;
+  /// Smoothness/capacity: skeleton sampling resolution.
+  int skeleton_grid = 128;
+  /// Score agreement tolerance when comparing rankings.
+  double tol = 1e-7;
+};
+
+/// Rule 1: refits on randomly scaled+translated copies of `data` and
+/// demands the identical ranking list (Definition 2).
+MetaRuleResult CheckScaleTranslationInvariance(const FitFn& fit,
+                                               const linalg::Matrix& data,
+                                               const Orientation& alpha,
+                                               const MetaRuleOptions& options);
+
+/// Rule 2: samples strictly comparable pairs from the bounding box of
+/// `data` and demands strictly increasing scores (Definition 3).
+MetaRuleResult CheckStrictMonotonicityRule(const ScoreFn& score,
+                                           const linalg::Matrix& data,
+                                           const Orientation& alpha,
+                                           const MetaRuleOptions& options);
+
+/// Rule 3: fits the method on noise-free linear data and on a noise-free
+/// nonlinear (S-shaped) monotone cloud, both inside the data's bounding
+/// box, and checks the skeleton reproduces each shape (Definition 4).
+/// Not applicable without a skeleton.
+MetaRuleResult CheckCapacityRule(const MethodUnderTest& method,
+                                 const linalg::Matrix& data,
+                                 const Orientation& alpha,
+                                 const MetaRuleOptions& options);
+
+/// Rule 4: probes the skeleton's C1 continuity with a second-difference
+/// refinement test; kinks (polylines) and jumps fail (Definition 5).
+/// Falls back to probing the score function along random segments when no
+/// skeleton is available.
+MetaRuleResult CheckSmoothnessRule(const MethodUnderTest& method,
+                                   const linalg::Matrix& data,
+                                   const Orientation& alpha,
+                                   const MetaRuleOptions& options);
+
+/// Rule 5: a known, finite parameter size (Definition 6).
+MetaRuleResult CheckExplicitnessRule(std::optional<int> parameter_count);
+
+/// Runs all five checks.
+MetaRuleReport EvaluateMetaRules(const MethodUnderTest& method,
+                                 const linalg::Matrix& data,
+                                 const Orientation& alpha,
+                                 const MetaRuleOptions& options = {});
+
+}  // namespace rpc::order
+
+#endif  // RPC_ORDER_META_RULES_H_

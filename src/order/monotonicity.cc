@@ -1,0 +1,89 @@
+#include "order/monotonicity.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/stringutil.h"
+
+namespace rpc::order {
+
+std::string CurveMonotonicityReport::ToString() const {
+  if (strictly_monotone) {
+    return StrFormat("strictly monotone (min oriented derivative %.3g)",
+                     min_oriented_derivative);
+  }
+  return StrFormat(
+      "NOT strictly monotone: %d grid violations, worst at dim %d, s=%.4f "
+      "(oriented derivative %.3g)",
+      violations, worst_dimension, worst_s, min_oriented_derivative);
+}
+
+CurveMonotonicityReport CheckCurveMonotonicity(const curve::BezierCurve& f,
+                                               const Orientation& alpha,
+                                               int grid) {
+  assert(f.dimension() == alpha.dimension());
+  CurveMonotonicityReport report;
+  report.min_oriented_derivative = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= grid; ++i) {
+    const double s = static_cast<double>(i) / grid;
+    const linalg::Vector deriv = f.Derivative(s);
+    for (int j = 0; j < alpha.dimension(); ++j) {
+      const double oriented = alpha.sign(j) * deriv[j];
+      if (oriented < report.min_oriented_derivative) {
+        report.min_oriented_derivative = oriented;
+        report.worst_dimension = j;
+        report.worst_s = s;
+      }
+      if (oriented <= 0.0) ++report.violations;
+    }
+  }
+  report.strictly_monotone = report.violations == 0;
+  return report;
+}
+
+std::string ScoreMonotonicityReport::ToString() const {
+  return StrFormat(
+      "comparable pairs: %d, order violations: %d, strict-tie breaks: %d -> "
+      "%s",
+      comparable_pairs, violations, ties,
+      strictly_monotone() ? "strictly monotone" : "NOT strictly monotone");
+}
+
+ScoreMonotonicityReport CheckScoreMonotonicity(
+    const std::function<double(const linalg::Vector&)>& score,
+    const linalg::Matrix& points, const Orientation& alpha, double tol) {
+  ScoreMonotonicityReport report;
+  const int n = points.rows();
+  std::vector<linalg::Vector> rows;
+  std::vector<double> scores;
+  rows.reserve(static_cast<size_t>(n));
+  scores.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(points.Row(i));
+    scores.push_back(score(rows.back()));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const linalg::Vector& x = rows[static_cast<size_t>(i)];
+      const linalg::Vector& y = rows[static_cast<size_t>(j)];
+      const bool xy = alpha.StrictlyPrecedes(x, y);
+      const bool yx = alpha.StrictlyPrecedes(y, x);
+      if (!xy && !yx) continue;
+      ++report.comparable_pairs;
+      const double lo = xy ? scores[static_cast<size_t>(i)]
+                           : scores[static_cast<size_t>(j)];
+      const double hi = xy ? scores[static_cast<size_t>(j)]
+                           : scores[static_cast<size_t>(i)];
+      if (lo > hi + tol) {
+        ++report.violations;
+      } else if (std::fabs(hi - lo) <= tol) {
+        ++report.ties;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rpc::order

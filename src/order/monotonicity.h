@@ -1,0 +1,61 @@
+#ifndef RPC_ORDER_MONOTONICITY_H_
+#define RPC_ORDER_MONOTONICITY_H_
+
+#include <functional>
+#include <string>
+
+#include "curve/bezier.h"
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+
+namespace rpc::order {
+
+/// Verdict of a curve monotonicity certification (Theorem 1 via Lemma 1:
+/// f is strictly monotone iff alpha_j * f_j'(s) > 0 for all j, s).
+struct CurveMonotonicityReport {
+  bool strictly_monotone = false;
+  /// Smallest oriented derivative alpha_j f_j'(s) seen over the grid; > 0
+  /// certifies strict monotonicity on the grid.
+  double min_oriented_derivative = 0.0;
+  /// Grid point count with a non-positive oriented derivative.
+  int violations = 0;
+  /// Location of the worst violation (when violations > 0).
+  int worst_dimension = -1;
+  double worst_s = -1.0;
+
+  std::string ToString() const;
+};
+
+/// Certifies strict monotonicity of a Bezier curve against `alpha` by
+/// evaluating the derivative on a uniform grid of `grid + 1` points in
+/// [0, 1]. Because each coordinate derivative of a degree-k Bezier is a
+/// degree-(k-1) polynomial, a dense grid (default 512) is a reliable
+/// certificate for the shapes this library produces.
+CurveMonotonicityReport CheckCurveMonotonicity(const curve::BezierCurve& f,
+                                               const Orientation& alpha,
+                                               int grid = 512);
+
+/// Verdict of an empirical order-preservation check on a scoring function
+/// (Definition 3): for sampled comparable pairs x ≺ y the score must
+/// strictly increase.
+struct ScoreMonotonicityReport {
+  int comparable_pairs = 0;
+  /// Pairs with score(x) > score(y) + tol for x strictly preceding y.
+  int violations = 0;
+  /// Distinct comparable pairs mapped to (numerically) equal scores — these
+  /// break *strict* monotonicity (Example 1's x1/x2, x3/x4 cases).
+  int ties = 0;
+
+  bool strictly_monotone() const { return violations == 0 && ties == 0; }
+  std::string ToString() const;
+};
+
+/// Checks all comparable pairs among the rows of `points`.
+ScoreMonotonicityReport CheckScoreMonotonicity(
+    const std::function<double(const linalg::Vector&)>& score,
+    const linalg::Matrix& points, const Orientation& alpha,
+    double tol = 1e-9);
+
+}  // namespace rpc::order
+
+#endif  // RPC_ORDER_MONOTONICITY_H_

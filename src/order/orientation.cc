@@ -1,0 +1,81 @@
+#include "order/orientation.h"
+
+#include "common/stringutil.h"
+
+namespace rpc::order {
+
+Orientation Orientation::AllBenefit(int dimension) {
+  return Orientation(std::vector<int>(static_cast<size_t>(dimension), 1));
+}
+
+Result<Orientation> Orientation::FromSigns(std::vector<int> signs) {
+  if (signs.empty()) {
+    return Status::InvalidArgument("Orientation: empty sign vector");
+  }
+  for (int s : signs) {
+    if (s != 1 && s != -1) {
+      return Status::InvalidArgument(
+          StrFormat("Orientation: sign must be +1 or -1, got %d", s));
+    }
+  }
+  return Orientation(std::move(signs));
+}
+
+linalg::Vector Orientation::AsVector() const {
+  linalg::Vector v(dimension());
+  for (int j = 0; j < dimension(); ++j) v[j] = sign(j);
+  return v;
+}
+
+linalg::Vector Orientation::WorstCorner() const {
+  linalg::Vector v(dimension());
+  for (int j = 0; j < dimension(); ++j) v[j] = 0.5 * (1.0 - sign(j));
+  return v;
+}
+
+linalg::Vector Orientation::BestCorner() const {
+  linalg::Vector v(dimension());
+  for (int j = 0; j < dimension(); ++j) v[j] = 0.5 * (1.0 + sign(j));
+  return v;
+}
+
+bool Orientation::Precedes(const linalg::Vector& x,
+                           const linalg::Vector& y) const {
+  assert(x.size() == dimension() && y.size() == dimension());
+  for (int j = 0; j < dimension(); ++j) {
+    if (sign(j) * (y[j] - x[j]) < 0.0) return false;
+  }
+  return true;
+}
+
+bool Orientation::StrictlyPrecedes(const linalg::Vector& x,
+                                   const linalg::Vector& y) const {
+  if (!Precedes(x, y)) return false;
+  for (int j = 0; j < dimension(); ++j) {
+    if (x[j] != y[j]) return true;
+  }
+  return false;
+}
+
+bool Orientation::Comparable(const linalg::Vector& x,
+                             const linalg::Vector& y) const {
+  return Precedes(x, y) || Precedes(y, x);
+}
+
+Orientation Orientation::Flipped(int j) const {
+  std::vector<int> signs = signs_;
+  signs[static_cast<size_t>(j)] = -signs[static_cast<size_t>(j)];
+  return Orientation(std::move(signs));
+}
+
+std::string Orientation::ToString() const {
+  std::string out = "(";
+  for (int j = 0; j < dimension(); ++j) {
+    if (j > 0) out += ", ";
+    out += sign(j) > 0 ? "+1" : "-1";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rpc::order

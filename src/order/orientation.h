@@ -1,0 +1,70 @@
+#ifndef RPC_ORDER_ORIENTATION_H_
+#define RPC_ORDER_ORIENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/vector.h"
+
+namespace rpc::order {
+
+/// The task-specific orientation vector alpha of Eq. (2)-(3): delta_j = +1
+/// for benefit attributes (set E, higher is better) and -1 for cost
+/// attributes (set F, lower is better). Together with the componentwise
+/// cone order of Eq. (1) it makes R^d a (partially) ordered space for the
+/// ranking task.
+class Orientation {
+ public:
+  /// All-benefit orientation (alpha = (+1, ..., +1)).
+  static Orientation AllBenefit(int dimension);
+
+  /// Builds from explicit signs; every entry must be +1 or -1.
+  static Result<Orientation> FromSigns(std::vector<int> signs);
+
+  int dimension() const { return static_cast<int>(signs_.size()); }
+  int sign(int j) const { return signs_[static_cast<size_t>(j)]; }
+  const std::vector<int>& signs() const { return signs_; }
+
+  /// alpha as a real vector.
+  linalg::Vector AsVector() const;
+
+  /// The ranking-worst corner of the unit hypercube, p0 = (1 - alpha)/2
+  /// (Section 4.2): 0 for benefit coordinates, 1 for cost coordinates.
+  linalg::Vector WorstCorner() const;
+
+  /// The ranking-best corner, p3 = (1 + alpha)/2.
+  linalg::Vector BestCorner() const;
+
+  /// x precedes y in the total preorder of Eq. (1):
+  /// delta_j (y_j - x_j) >= 0 for every j. (Despite the paper's wording the
+  /// componentwise relation on R^d is a partial order; comparability holds
+  /// on totally ordered subsets such as points of a monotone curve.)
+  bool Precedes(const linalg::Vector& x, const linalg::Vector& y) const;
+
+  /// Precedes and differs in at least one coordinate.
+  bool StrictlyPrecedes(const linalg::Vector& x,
+                        const linalg::Vector& y) const;
+
+  /// Either x ⪯ y or y ⪯ x.
+  bool Comparable(const linalg::Vector& x, const linalg::Vector& y) const;
+
+  /// Flips the sign of attribute j.
+  Orientation Flipped(int j) const;
+
+  /// "(+1, -1, ...)".
+  std::string ToString() const;
+
+  bool operator==(const Orientation& other) const {
+    return signs_ == other.signs_;
+  }
+
+ private:
+  explicit Orientation(std::vector<int> signs) : signs_(std::move(signs)) {}
+
+  std::vector<int> signs_;
+};
+
+}  // namespace rpc::order
+
+#endif  // RPC_ORDER_ORIENTATION_H_

@@ -1,0 +1,86 @@
+#include "rank/first_pca.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace rpc::rank {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<FirstPcaRanker> FirstPcaRanker::Fit(const Matrix& data,
+                                           const order::Orientation& alpha) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("FirstPcaRanker: need at least 2 rows");
+  }
+  if (data.cols() != alpha.dimension()) {
+    return Status::InvalidArgument("FirstPcaRanker: alpha dimension");
+  }
+  FirstPcaRanker ranker;
+  ranker.mins_ = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  ranker.ranges_ = Vector(data.cols());
+  for (int j = 0; j < data.cols(); ++j) {
+    ranker.ranges_[j] = maxs[j] - ranker.mins_[j];
+    if (ranker.ranges_[j] <= 0.0) {
+      return Status::InvalidArgument("FirstPcaRanker: constant attribute");
+    }
+  }
+  Matrix normalized(data.rows(), data.cols());
+  for (int i = 0; i < data.rows(); ++i) {
+    for (int j = 0; j < data.cols(); ++j) {
+      normalized(i, j) = (data(i, j) - ranker.mins_[j]) / ranker.ranges_[j];
+    }
+  }
+  ranker.mean_ = linalg::ColumnMeans(normalized);
+  const Matrix cov = linalg::Covariance(normalized);
+  RPC_ASSIGN_OR_RETURN(linalg::SymmetricEigen eig,
+                       linalg::JacobiEigenSymmetric(cov));
+  Vector w = eig.vectors.Column(0);
+  // Orient toward the best corner so higher scores mean better.
+  if (linalg::Dot(w, alpha.AsVector()) < 0.0) w *= -1.0;
+  ranker.direction_ = w;
+  const double total = eig.values.Sum();
+  ranker.explained_variance_ratio_ =
+      total > 0.0 ? eig.values[0] / total : 0.0;
+
+  // Record the observed score span for skeleton sampling.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < data.rows(); ++i) {
+    const double s = ranker.Score(data.Row(i));
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  ranker.score_lo_ = lo;
+  ranker.score_hi_ = hi;
+  return ranker;
+}
+
+double FirstPcaRanker::Score(const Vector& x) const {
+  assert(x.size() == direction_.size());
+  double score = 0.0;
+  for (int j = 0; j < x.size(); ++j) {
+    const double normalized = (x[j] - mins_[j]) / ranges_[j];
+    score += direction_[j] * (normalized - mean_[j]);
+  }
+  return score;
+}
+
+Matrix FirstPcaRanker::SampleSkeleton(int grid) const {
+  Matrix samples(grid + 1, direction_.size());
+  for (int i = 0; i <= grid; ++i) {
+    const double s =
+        score_lo_ + (score_hi_ - score_lo_) * static_cast<double>(i) / grid;
+    for (int j = 0; j < direction_.size(); ++j) {
+      const double normalized = mean_[j] + s * direction_[j];
+      samples(i, j) = mins_[j] + normalized * ranges_[j];
+    }
+  }
+  return samples;
+}
+
+}  // namespace rpc::rank

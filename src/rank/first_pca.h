@@ -1,0 +1,58 @@
+#ifndef RPC_RANK_FIRST_PCA_H_
+#define RPC_RANK_FIRST_PCA_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "order/orientation.h"
+#include "rank/ranking_function.h"
+
+namespace rpc::rank {
+
+/// The first-principal-component ranking rule of Section 4.1: data are
+/// summarised by the line mu + s w through the mean along the direction of
+/// maximal variance; phi(x) = w^T (x - mu). The sign of w is chosen so that
+/// higher scores point toward the orientation's best corner.
+///
+/// This is the linear special case the RPC generalises; it fails on curved
+/// skeletons (Fig. 5a) and can lose strict monotonicity when w is parallel
+/// to a coordinate axis (Example 1).
+class FirstPcaRanker : public RankingFunction {
+ public:
+  /// Fits mean and leading eigenvector on normalised data (min-max per
+  /// column, Eq. 29), which makes the rule scale/translation invariant.
+  static Result<FirstPcaRanker> Fit(const linalg::Matrix& data,
+                                    const order::Orientation& alpha);
+
+  double Score(const linalg::Vector& x) const override;
+  std::string name() const override { return "FirstPCA"; }
+  /// w and mu: 2d parameters.
+  std::optional<int> ParameterCount() const override {
+    return 2 * direction_.size();
+  }
+
+  /// Leading direction in normalised space.
+  const linalg::Vector& direction() const { return direction_; }
+  /// Fraction of total variance explained by the first component.
+  double explained_variance_ratio() const {
+    return explained_variance_ratio_;
+  }
+
+  /// Points of the ranking skeleton (the principal line) in the raw space,
+  /// spanning the data's score range; rows are samples.
+  linalg::Matrix SampleSkeleton(int grid) const;
+
+ private:
+  FirstPcaRanker() = default;
+
+  linalg::Vector direction_;  // unit vector in normalised space
+  linalg::Vector mean_;       // mean in normalised space
+  linalg::Vector mins_;
+  linalg::Vector ranges_;
+  double explained_variance_ratio_ = 0.0;
+  double score_lo_ = 0.0;  // observed score range for skeleton sampling
+  double score_hi_ = 0.0;
+};
+
+}  // namespace rpc::rank
+
+#endif  // RPC_RANK_FIRST_PCA_H_

@@ -1,0 +1,152 @@
+#include "rank/kernel_pca.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace rpc::rank {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<KernelPcaRanker> KernelPcaRanker::Fit(const Matrix& data,
+                                             const order::Orientation& alpha,
+                                             const KernelPcaOptions& options) {
+  const int n = data.rows();
+  const int d = data.cols();
+  if (n < 3) {
+    return Status::InvalidArgument("KernelPcaRanker: need at least 3 rows");
+  }
+  if (n > options.max_rows) {
+    return Status::InvalidArgument(
+        "KernelPcaRanker: training set exceeds max_rows (O(n^3) eigsolve)");
+  }
+  if (d != alpha.dimension()) {
+    return Status::InvalidArgument("KernelPcaRanker: alpha dimension");
+  }
+
+  KernelPcaRanker model;
+  model.mins_ = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  model.ranges_ = Vector(d);
+  for (int j = 0; j < d; ++j) {
+    model.ranges_[j] = maxs[j] - model.mins_[j];
+    if (model.ranges_[j] <= 0.0) {
+      return Status::InvalidArgument("KernelPcaRanker: constant attribute");
+    }
+  }
+  model.train_ = Matrix(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      model.train_(i, j) = (data(i, j) - model.mins_[j]) / model.ranges_[j];
+    }
+  }
+
+  // Median pairwise distance bandwidth heuristic.
+  if (options.sigma > 0.0) {
+    model.sigma_ = options.sigma;
+  } else {
+    std::vector<double> distances;
+    distances.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        distances.push_back(
+            linalg::Distance(model.train_.Row(i), model.train_.Row(j)));
+      }
+    }
+    std::nth_element(distances.begin(),
+                     distances.begin() + distances.size() / 2,
+                     distances.end());
+    model.sigma_ = std::max(distances[distances.size() / 2], 1e-6);
+  }
+
+  // Kernel matrix and double centering: K' = K - 1K - K1 + 1K1.
+  Matrix kernel(n, n);
+  for (int i = 0; i < n; ++i) {
+    kernel(i, i) = 1.0;
+    for (int j = i + 1; j < n; ++j) {
+      const double value =
+          model.Kernel(model.train_.Row(i), model.train_.Row(j));
+      kernel(i, j) = value;
+      kernel(j, i) = value;
+    }
+  }
+  model.train_kernel_means_ = Vector(n);
+  for (int j = 0; j < n; ++j) {
+    model.train_kernel_means_[j] = kernel.Column(j).Sum() / n;
+  }
+  model.kernel_grand_mean_ = model.train_kernel_means_.Sum() / n;
+  Matrix centered(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      centered(i, j) = kernel(i, j) - model.train_kernel_means_[i] -
+                       model.train_kernel_means_[j] +
+                       model.kernel_grand_mean_;
+    }
+  }
+
+  RPC_ASSIGN_OR_RETURN(linalg::SymmetricEigen eig,
+                       linalg::JacobiEigenSymmetric(centered));
+  const double lambda = eig.values[0];
+  if (lambda <= 0.0) {
+    return Status::NumericalError("KernelPcaRanker: degenerate kernel");
+  }
+  // Normalise so the feature-space component has unit norm:
+  // alpha = v / sqrt(lambda).
+  model.coefficients_ = eig.vectors.Column(0) / std::sqrt(lambda);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += std::max(eig.values[i], 0.0);
+  model.explained_kernel_variance_ = total > 0.0 ? lambda / total : 0.0;
+
+  // Orient scores toward the best corner.
+  Vector scores(n);
+  Vector oriented(n);
+  model.sign_ = 1.0;
+  for (int i = 0; i < n; ++i) {
+    scores[i] = model.Score(data.Row(i));
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) sum += alpha.sign(j) * model.train_(i, j);
+    oriented[i] = sum;
+  }
+  if (linalg::PearsonCorrelation(scores, oriented) < 0.0) model.sign_ = -1.0;
+  return model;
+}
+
+double KernelPcaRanker::Kernel(const Vector& a, const Vector& b) const {
+  double dist2 = 0.0;
+  for (int j = 0; j < a.size(); ++j) {
+    const double diff = a[j] - b[j];
+    dist2 += diff * diff;
+  }
+  return std::exp(-dist2 / (2.0 * sigma_ * sigma_));
+}
+
+double KernelPcaRanker::Score(const Vector& x) const {
+  assert(x.size() == train_.cols());
+  Vector normalized(x.size());
+  for (int j = 0; j < x.size(); ++j) {
+    normalized[j] = (x[j] - mins_[j]) / ranges_[j];
+  }
+  const int n = train_.rows();
+  // Out-of-sample centring: k'(x)_i = k(x, x_i) - mean_j k(x, x_j)
+  //                                  - mean_j k(x_i, x_j) + grand mean.
+  Vector kx(n);
+  double mean_kx = 0.0;
+  for (int i = 0; i < n; ++i) {
+    kx[i] = Kernel(normalized, train_.Row(i));
+    mean_kx += kx[i];
+  }
+  mean_kx /= n;
+  double score = 0.0;
+  for (int i = 0; i < n; ++i) {
+    score += coefficients_[i] * (kx[i] - mean_kx - train_kernel_means_[i] +
+                                 kernel_grand_mean_);
+  }
+  return sign_ * score;
+}
+
+}  // namespace rpc::rank

@@ -1,0 +1,65 @@
+#ifndef RPC_RANK_KERNEL_PCA_H_
+#define RPC_RANK_KERNEL_PCA_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "order/orientation.h"
+#include "rank/ranking_function.h"
+
+namespace rpc::rank {
+
+/// Options for the RBF kernel PCA ranker.
+struct KernelPcaOptions {
+  /// RBF bandwidth sigma; <= 0 selects the median pairwise distance
+  /// heuristic.
+  double sigma = 0.0;
+  /// Hard cap on training size: the eigenproblem is n x n and the Jacobi
+  /// solver is O(n^3) per sweep.
+  int max_rows = 800;
+};
+
+/// The kernel-PCA scoring rule the introduction discusses: data are mapped
+/// into an RBF feature space and scored by the first kernel principal
+/// component, with the standard double-centering and out-of-sample
+/// extension. It can follow curved clouds that defeat the linear PCA, but
+/// the feature map is not order-preserving, so it breaks strict
+/// monotonicity (the paper's Section 1 critique), and its parameter size
+/// grows with n (no explicitness).
+class KernelPcaRanker : public RankingFunction {
+ public:
+  static Result<KernelPcaRanker> Fit(const linalg::Matrix& data,
+                                     const order::Orientation& alpha,
+                                     const KernelPcaOptions& options = {});
+
+  double Score(const linalg::Vector& x) const override;
+  std::string name() const override { return "KernelPCA"; }
+  /// Nonparametric: the coefficient vector grows with the training set, so
+  /// there is no fixed explicit parameter size (meta-rule 5 fails).
+  std::optional<int> ParameterCount() const override { return std::nullopt; }
+
+  double sigma() const { return sigma_; }
+  /// Share of (centred) kernel variance along the first component.
+  double explained_kernel_variance() const {
+    return explained_kernel_variance_;
+  }
+
+ private:
+  KernelPcaRanker() = default;
+
+  double Kernel(const linalg::Vector& a, const linalg::Vector& b) const;
+
+  linalg::Matrix train_;        // normalised training rows
+  linalg::Vector coefficients_; // alpha weights of the first component
+  linalg::Vector mins_;
+  linalg::Vector ranges_;
+  linalg::Vector train_kernel_means_;  // column means of the kernel matrix
+  double kernel_grand_mean_ = 0.0;
+  double sigma_ = 1.0;
+  double sign_ = 1.0;
+  double explained_kernel_variance_ = 0.0;
+};
+
+}  // namespace rpc::rank
+
+#endif  // RPC_RANK_KERNEL_PCA_H_

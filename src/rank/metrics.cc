@@ -1,0 +1,121 @@
+#include "rank/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/stats.h"
+#include "rank/rank_aggregation.h"
+
+namespace rpc::rank {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+struct PairCounts {
+  double concordant = 0;
+  double discordant = 0;
+  double ties_a = 0;   // tied in a only
+  double ties_b = 0;   // tied in b only
+  double ties_ab = 0;  // tied in both
+  double total = 0;
+};
+
+PairCounts CountPairs(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  PairCounts counts;
+  const int n = a.size();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ++counts.total;
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) {
+        ++counts.ties_ab;
+      } else if (da == 0.0) {
+        ++counts.ties_a;
+      } else if (db == 0.0) {
+        ++counts.ties_b;
+      } else if ((da > 0.0) == (db > 0.0)) {
+        ++counts.concordant;
+      } else {
+        ++counts.discordant;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+double KendallTauB(const Vector& a, const Vector& b) {
+  const PairCounts c = CountPairs(a, b);
+  const double n0 = c.total;
+  if (n0 == 0) return 0.0;
+  const double n1 = c.ties_a + c.ties_ab;
+  const double n2 = c.ties_b + c.ties_ab;
+  const double denom = std::sqrt((n0 - n1) * (n0 - n2));
+  if (denom == 0.0) return 0.0;
+  return (c.concordant - c.discordant) / denom;
+}
+
+double KendallTauA(const Vector& a, const Vector& b) {
+  const PairCounts c = CountPairs(a, b);
+  if (c.total == 0) return 0.0;
+  return (c.concordant - c.discordant) / c.total;
+}
+
+double SpearmanRho(const Vector& a, const Vector& b) {
+  const Vector ranks_a = RanksFromScores(a, /*ascending=*/true);
+  const Vector ranks_b = RanksFromScores(b, /*ascending=*/true);
+  return linalg::PearsonCorrelation(ranks_a, ranks_b);
+}
+
+double SpearmanFootrule(const Vector& a, const Vector& b) {
+  const Vector ranks_a = RanksFromScores(a, /*ascending=*/true);
+  const Vector ranks_b = RanksFromScores(b, /*ascending=*/true);
+  double total = 0.0;
+  for (int i = 0; i < ranks_a.size(); ++i) {
+    total += std::fabs(ranks_a[i] - ranks_b[i]);
+  }
+  return total;
+}
+
+OrderViolationReport CountOrderViolations(const Matrix& data,
+                                          const Vector& scores,
+                                          const order::Orientation& alpha,
+                                          double tol) {
+  assert(data.rows() == scores.size());
+  OrderViolationReport report;
+  const int n = data.rows();
+  std::vector<Vector> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows.push_back(data.Row(i));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const bool ij = alpha.StrictlyPrecedes(rows[static_cast<size_t>(i)],
+                                             rows[static_cast<size_t>(j)]);
+      const bool ji = alpha.StrictlyPrecedes(rows[static_cast<size_t>(j)],
+                                             rows[static_cast<size_t>(i)]);
+      if (!ij && !ji) continue;
+      ++report.comparable_pairs;
+      const double lo = ij ? scores[i] : scores[j];
+      const double hi = ij ? scores[j] : scores[i];
+      if (lo > hi + tol) {
+        ++report.violations;
+      } else if (std::fabs(hi - lo) <= tol) {
+        ++report.ties;
+      }
+    }
+  }
+  return report;
+}
+
+double ExplainedVariance(double residual_j, const Matrix& data) {
+  const double scatter = linalg::TotalScatter(data);
+  if (scatter <= 0.0) return 0.0;
+  return 1.0 - residual_j / scatter;
+}
+
+}  // namespace rpc::rank

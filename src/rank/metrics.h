@@ -1,0 +1,49 @@
+#ifndef RPC_RANK_METRICS_H_
+#define RPC_RANK_METRICS_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "order/orientation.h"
+
+namespace rpc::rank {
+
+/// Kendall rank correlation tau-b between two score vectors (tie-corrected;
+/// in [-1, 1], 1 = identical orderings). O(n^2), fine for the data sizes of
+/// the paper's experiments.
+double KendallTauB(const linalg::Vector& a, const linalg::Vector& b);
+
+/// Kendall tau-a (no tie correction): (concordant - discordant) / C(n, 2).
+double KendallTauA(const linalg::Vector& a, const linalg::Vector& b);
+
+/// Spearman rank correlation (Pearson on tie-averaged ranks).
+double SpearmanRho(const linalg::Vector& a, const linalg::Vector& b);
+
+/// Spearman footrule distance between the orderings induced by two score
+/// vectors: sum_i |rank_a(i) - rank_b(i)|.
+double SpearmanFootrule(const linalg::Vector& a, const linalg::Vector& b);
+
+/// Order-preservation audit of a score vector against the cone order of the
+/// raw observations: counts strictly comparable row pairs whose scores are
+/// discordant or tied (Example 1's failure cases).
+struct OrderViolationReport {
+  int comparable_pairs = 0;
+  int violations = 0;
+  int ties = 0;
+  double violation_rate() const {
+    return comparable_pairs > 0
+               ? static_cast<double>(violations + ties) / comparable_pairs
+               : 0.0;
+  }
+};
+OrderViolationReport CountOrderViolations(const linalg::Matrix& data,
+                                          const linalg::Vector& scores,
+                                          const order::Orientation& alpha,
+                                          double tol = 1e-9);
+
+/// Fraction of total variance explained by a curve fit:
+/// 1 - J / sum_i ||x_i - mean||^2, the Section 6.2.1 metric (90% vs 86%).
+double ExplainedVariance(double residual_j, const linalg::Matrix& data);
+
+}  // namespace rpc::rank
+
+#endif  // RPC_RANK_METRICS_H_

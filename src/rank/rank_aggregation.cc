@@ -1,0 +1,161 @@
+#include "rank/rank_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stringutil.h"
+
+namespace rpc::rank {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Vector RanksFromScores(const Vector& scores, bool ascending) {
+  const int n = scores.size();
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return ascending ? scores[a] < scores[b] : scores[a] > scores[b];
+  });
+  Vector ranks(n);
+  int i = 0;
+  while (i < n) {
+    int j = i;
+    while (j + 1 < n &&
+           scores[order[static_cast<size_t>(j + 1)]] ==
+               scores[order[static_cast<size_t>(i)]]) {
+      ++j;
+    }
+    const double avg = 0.5 * ((i + 1) + (j + 1));
+    for (int k = i; k <= j; ++k) {
+      ranks[order[static_cast<size_t>(k)]] = avg;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<Vector> AggregateRanks(const std::vector<Vector>& rank_lists,
+                              AggregationMethod method) {
+  if (rank_lists.empty()) {
+    return Status::InvalidArgument("AggregateRanks: no rank lists");
+  }
+  const int n = rank_lists[0].size();
+  for (const Vector& list : rank_lists) {
+    if (list.size() != n) {
+      return Status::InvalidArgument("AggregateRanks: size mismatch");
+    }
+  }
+  const int m = static_cast<int>(rank_lists.size());
+  Vector aggregate(n);
+  for (int i = 0; i < n; ++i) {
+    switch (method) {
+      case AggregationMethod::kMeanRank: {
+        double sum = 0.0;
+        for (const Vector& list : rank_lists) sum += list[i];
+        aggregate[i] = sum / m;
+        break;
+      }
+      case AggregationMethod::kMedianRank: {
+        std::vector<double> positions;
+        positions.reserve(static_cast<size_t>(m));
+        for (const Vector& list : rank_lists) positions.push_back(list[i]);
+        std::sort(positions.begin(), positions.end());
+        aggregate[i] =
+            (m % 2 == 1)
+                ? positions[static_cast<size_t>(m / 2)]
+                : 0.5 * (positions[static_cast<size_t>(m / 2 - 1)] +
+                         positions[static_cast<size_t>(m / 2)]);
+        break;
+      }
+      case AggregationMethod::kBordaCount: {
+        double sum = 0.0;
+        for (const Vector& list : rank_lists) sum += list[i] - 1.0;
+        aggregate[i] = sum;
+        break;
+      }
+    }
+  }
+  return aggregate;
+}
+
+Result<Vector> AggregateRanksMc4(const std::vector<Vector>& rank_lists,
+                                 const Mc4Options& options) {
+  if (rank_lists.empty()) {
+    return Status::InvalidArgument("AggregateRanksMc4: no rank lists");
+  }
+  const int n = rank_lists[0].size();
+  for (const Vector& list : rank_lists) {
+    if (list.size() != n) {
+      return Status::InvalidArgument("AggregateRanksMc4: size mismatch");
+    }
+  }
+  if (n == 0) return Vector();
+  if (options.damping <= 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("AggregateRanksMc4: damping in (0,1)");
+  }
+  const int m = static_cast<int>(rank_lists.size());
+
+  // Row-stochastic transition matrix of the MC4 walk: from i, propose a
+  // uniform j != i and accept when a strict majority of lists place j
+  // better (larger position); otherwise stay.
+  Matrix transition(n, n);
+  for (int i = 0; i < n; ++i) {
+    double move_mass = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      int prefer_j = 0;
+      for (const Vector& list : rank_lists) {
+        if (list[j] > list[i]) ++prefer_j;
+      }
+      if (2 * prefer_j > m) {
+        transition(i, j) = 1.0 / n;
+        move_mass += 1.0 / n;
+      }
+    }
+    transition(i, i) = 1.0 - move_mass;
+  }
+
+  // Damped power iteration for the stationary distribution.
+  Vector pi(n, 1.0 / n);
+  const double teleport = options.damping / n;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Vector next(n, teleport);
+    for (int i = 0; i < n; ++i) {
+      const double mass = (1.0 - options.damping) * pi[i];
+      if (mass == 0.0) continue;
+      for (int j = 0; j < n; ++j) {
+        if (transition(i, j) > 0.0) next[j] += mass * transition(i, j);
+      }
+    }
+    double delta = 0.0;
+    for (int i = 0; i < n; ++i) delta += std::fabs(next[i] - pi[i]);
+    pi = std::move(next);
+    if (delta < options.tolerance) break;
+  }
+  return pi;
+}
+
+Result<Vector> AggregateAttributeRanks(const Matrix& data,
+                                       const std::vector<int>& signs,
+                                       AggregationMethod method) {
+  if (static_cast<int>(signs.size()) != data.cols()) {
+    return Status::InvalidArgument(
+        "AggregateAttributeRanks: sign count != attribute count");
+  }
+  std::vector<Vector> rank_lists;
+  rank_lists.reserve(signs.size());
+  for (int j = 0; j < data.cols(); ++j) {
+    if (signs[static_cast<size_t>(j)] != 1 &&
+        signs[static_cast<size_t>(j)] != -1) {
+      return Status::InvalidArgument(
+          StrFormat("AggregateAttributeRanks: bad sign at %d", j));
+    }
+    const bool ascending = signs[static_cast<size_t>(j)] == 1;
+    rank_lists.push_back(RanksFromScores(data.Column(j), ascending));
+  }
+  return AggregateRanks(rank_lists, method);
+}
+
+}  // namespace rpc::rank

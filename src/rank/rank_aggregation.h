@@ -1,0 +1,71 @@
+#ifndef RPC_RANK_RANK_AGGREGATION_H_
+#define RPC_RANK_RANK_AGGREGATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::rank {
+
+/// How per-list rank positions are combined into an aggregate.
+enum class AggregationMethod {
+  /// kappa(i) = mean_j tau_j(i) — exactly Eq. (30). (The paper calls this
+  /// median rank aggregation after Dwork et al. [34]; the formula printed
+  /// and the Table 1 values 1.5/1.5/3 are the mean.)
+  kMeanRank,
+  /// True median of the positions.
+  kMedianRank,
+  /// Borda count: sum of (position - 1); same ordering as kMeanRank, kept
+  /// for the generalized-Borda comparison of [17].
+  kBordaCount,
+};
+
+/// Tie-aware rank positions (1-based, average ranks for ties) induced by a
+/// score vector. With `ascending` the smallest score gets position 1 — this
+/// matches the per-attribute "Order" columns of Table 1, where position n
+/// is the best object.
+linalg::Vector RanksFromScores(const linalg::Vector& scores,
+                               bool ascending = true);
+
+/// Aggregates m rank lists (each a vector of 1-based positions for the same
+/// n objects, position n = best) into one aggregate value per object.
+/// Higher aggregate = ranked better for every method. Returns
+/// kInvalidArgument when lists are empty or sizes disagree.
+Result<linalg::Vector> AggregateRanks(
+    const std::vector<linalg::Vector>& rank_lists,
+    AggregationMethod method = AggregationMethod::kMeanRank);
+
+/// Convenience: builds per-attribute rank lists from the columns of `data`
+/// (orientation-corrected: for benefit attributes, sign +1, larger values
+/// get larger positions; for cost attributes smaller values do) and
+/// aggregates them. This is the RankAgg comparator of Table 1.
+Result<linalg::Vector> AggregateAttributeRanks(
+    const linalg::Matrix& data, const std::vector<int>& signs,
+    AggregationMethod method = AggregationMethod::kMeanRank);
+
+/// Options for Markov-chain rank aggregation.
+struct Mc4Options {
+  /// Teleportation weight making the chain ergodic (PageRank-style).
+  double damping = 0.15;
+  int max_iterations = 500;
+  double tolerance = 1e-12;
+};
+
+/// MC4 Markov-chain rank aggregation from the paper's reference [34]
+/// (Dwork, Kumar, Naor, Sivakumar, WWW'01): from state i, pick a random
+/// object j; move there when a majority of the input lists rank j above i.
+/// The stationary distribution (computed by power iteration with damping)
+/// scores the objects; higher mass = ranked better. Like Eq. (30) it uses
+/// only the orderings, so it inherits the same meta-rule failures — it is
+/// here as the strongest member of the aggregation family.
+/// `rank_lists` follow the same convention as AggregateRanks (position n =
+/// best). Returns the stationary probabilities.
+Result<linalg::Vector> AggregateRanksMc4(
+    const std::vector<linalg::Vector>& rank_lists,
+    const Mc4Options& options = {});
+
+}  // namespace rpc::rank
+
+#endif  // RPC_RANK_RANK_AGGREGATION_H_

@@ -1,0 +1,39 @@
+#ifndef RPC_RANK_RANKING_FUNCTION_H_
+#define RPC_RANK_RANKING_FUNCTION_H_
+
+#include <optional>
+#include <string>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::rank {
+
+/// Interface for a fitted ranking function phi : R^d -> R (Section 2).
+/// Higher scores always mean "ranked better" for every implementation in
+/// this library.
+class RankingFunction {
+ public:
+  virtual ~RankingFunction() = default;
+
+  /// Score of a single raw observation.
+  virtual double Score(const linalg::Vector& x) const = 0;
+
+  /// Scores for each row of `data`.
+  linalg::Vector ScoreRows(const linalg::Matrix& data) const {
+    linalg::Vector scores(data.rows());
+    for (int i = 0; i < data.rows(); ++i) scores[i] = Score(data.Row(i));
+    return scores;
+  }
+
+  /// Implementation name for reports.
+  virtual std::string name() const = 0;
+
+  /// Explicit parameter size (meta-rule 5); nullopt for nonparametric
+  /// models.
+  virtual std::optional<int> ParameterCount() const { return std::nullopt; }
+};
+
+}  // namespace rpc::rank
+
+#endif  // RPC_RANK_RANKING_FUNCTION_H_

@@ -1,0 +1,94 @@
+#include "rank/ranking_list.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/stringutil.h"
+
+namespace rpc::rank {
+
+RankingList::RankingList(const linalg::Vector& scores,
+                         std::vector<std::string> labels,
+                         bool higher_is_better) {
+  assert(labels.empty() ||
+         static_cast<int>(labels.size()) == scores.size());
+  items_.resize(static_cast<size_t>(scores.size()));
+  for (int i = 0; i < scores.size(); ++i) {
+    items_[static_cast<size_t>(i)].index = i;
+    items_[static_cast<size_t>(i)].score = scores[i];
+    if (!labels.empty()) {
+      items_[static_cast<size_t>(i)].label = labels[static_cast<size_t>(i)];
+    }
+  }
+  Build(scores, higher_is_better);
+}
+
+RankingList::RankingList(const linalg::Vector& scores, bool higher_is_better)
+    : RankingList(scores, {}, higher_is_better) {}
+
+void RankingList::Build(const linalg::Vector& scores, bool higher_is_better) {
+  std::stable_sort(items_.begin(), items_.end(),
+                   [&](const RankedItem& a, const RankedItem& b) {
+                     if (a.score != b.score) {
+                       return higher_is_better ? a.score > b.score
+                                               : a.score < b.score;
+                     }
+                     return a.index < b.index;
+                   });
+  position_of_.assign(static_cast<size_t>(scores.size()), 0);
+  for (size_t pos = 0; pos < items_.size(); ++pos) {
+    items_[pos].position = static_cast<int>(pos) + 1;
+    position_of_[static_cast<size_t>(items_[pos].index)] =
+        static_cast<int>(pos) + 1;
+  }
+  // Tie-aware average ranks: equal scores share the mean position.
+  average_ranks_.assign(static_cast<size_t>(scores.size()), 0.0);
+  size_t i = 0;
+  while (i < items_.size()) {
+    size_t j = i;
+    while (j + 1 < items_.size() &&
+           items_[j + 1].score == items_[i].score) {
+      ++j;
+    }
+    const double avg =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) {
+      average_ranks_[static_cast<size_t>(items_[k].index)] = avg;
+    }
+    i = j + 1;
+  }
+}
+
+int RankingList::PositionOf(int index) const {
+  assert(index >= 0 && index < size());
+  return position_of_[static_cast<size_t>(index)];
+}
+
+double RankingList::AverageRankOf(int index) const {
+  assert(index >= 0 && index < size());
+  return average_ranks_[static_cast<size_t>(index)];
+}
+
+std::vector<int> RankingList::OrderedIndices() const {
+  std::vector<int> order;
+  order.reserve(items_.size());
+  for (const RankedItem& item : items_) order.push_back(item.index);
+  return order;
+}
+
+std::string RankingList::ToTableString(int top) const {
+  const int limit =
+      top <= 0 ? size() : std::min(top, size());
+  std::string out = StrFormat("%-6s %-28s %12s\n", "rank", "object", "score");
+  for (int i = 0; i < limit; ++i) {
+    const RankedItem& item = items_[static_cast<size_t>(i)];
+    const std::string label =
+        item.label.empty() ? StrFormat("#%d", item.index) : item.label;
+    out += StrFormat("%-6d %-28s %12.6f\n", item.position, label.c_str(),
+                     item.score);
+  }
+  return out;
+}
+
+}  // namespace rpc::rank

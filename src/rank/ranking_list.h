@@ -1,0 +1,57 @@
+#ifndef RPC_RANK_RANKING_LIST_H_
+#define RPC_RANK_RANKING_LIST_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace rpc::rank {
+
+/// One entry of a ranking list.
+struct RankedItem {
+  int index = 0;        // row index in the original data
+  std::string label;    // object name (may be empty)
+  double score = 0.0;
+  int position = 0;     // 1-based position in the sorted list
+};
+
+/// A totally ordered ranking list built from scores. By convention position
+/// 1 is the best object (highest score); pass higher_is_better = false to
+/// invert. Ties are broken by original index to keep the list deterministic,
+/// but tie-aware average ranks are available for metrics (Eq. 30 feeds on
+/// them).
+class RankingList {
+ public:
+  RankingList(const linalg::Vector& scores, std::vector<std::string> labels,
+              bool higher_is_better = true);
+  explicit RankingList(const linalg::Vector& scores,
+                       bool higher_is_better = true);
+
+  int size() const { return static_cast<int>(items_.size()); }
+  /// Items in ranked order (best first).
+  const std::vector<RankedItem>& items() const { return items_; }
+  /// 1-based position of original row `index` in the list.
+  int PositionOf(int index) const;
+  /// Tie-aware average rank of original row `index` (1-based; equal scores
+  /// share the mean of the positions they occupy).
+  double AverageRankOf(int index) const;
+  /// All average ranks indexed by original row.
+  const std::vector<double>& average_ranks() const { return average_ranks_; }
+  /// The permutation of original indices in ranked order.
+  std::vector<int> OrderedIndices() const;
+
+  /// Pretty table of the first `top` rows (all when top <= 0).
+  std::string ToTableString(int top = 0) const;
+
+ private:
+  void Build(const linalg::Vector& scores, bool higher_is_better);
+
+  std::vector<RankedItem> items_;            // sorted, best first
+  std::vector<int> position_of_;             // original index -> position
+  std::vector<double> average_ranks_;        // original index -> avg rank
+};
+
+}  // namespace rpc::rank
+
+#endif  // RPC_RANK_RANKING_LIST_H_

@@ -1,0 +1,63 @@
+#include "rank/weighted_sum.h"
+
+#include <cmath>
+
+#include "common/stringutil.h"
+#include "linalg/stats.h"
+
+namespace rpc::rank {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Result<WeightedSumRanker> WeightedSumRanker::Fit(
+    const Matrix& data, const order::Orientation& alpha,
+    const Vector& weights) {
+  if (data.cols() != alpha.dimension()) {
+    return Status::InvalidArgument("WeightedSumRanker: alpha dimension");
+  }
+  if (weights.size() != data.cols()) {
+    return Status::InvalidArgument("WeightedSumRanker: weight dimension");
+  }
+  double total = 0.0;
+  for (int j = 0; j < weights.size(); ++j) {
+    if (weights[j] <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("WeightedSumRanker: weight %d not positive", j));
+    }
+    total += weights[j];
+  }
+  Vector normalized = weights;
+  normalized /= total;
+
+  const Vector mins = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  Vector ranges(data.cols());
+  for (int j = 0; j < data.cols(); ++j) {
+    ranges[j] = maxs[j] - mins[j];
+    if (ranges[j] <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("WeightedSumRanker: constant attribute %d", j));
+    }
+  }
+  return WeightedSumRanker(std::move(normalized), mins, ranges, alpha);
+}
+
+Result<WeightedSumRanker> WeightedSumRanker::FitEqualWeights(
+    const Matrix& data, const order::Orientation& alpha) {
+  return Fit(data, alpha, Vector(data.cols(), 1.0));
+}
+
+double WeightedSumRanker::Score(const Vector& x) const {
+  assert(x.size() == weights_.size());
+  double score = 0.0;
+  for (int j = 0; j < x.size(); ++j) {
+    const double normalized = (x[j] - mins_[j]) / ranges_[j];
+    const double oriented =
+        alpha_.sign(j) > 0 ? normalized : 1.0 - normalized;
+    score += weights_[j] * oriented;
+  }
+  return score;
+}
+
+}  // namespace rpc::rank

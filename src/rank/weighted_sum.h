@@ -1,0 +1,52 @@
+#ifndef RPC_RANK_WEIGHTED_SUM_H_
+#define RPC_RANK_WEIGHTED_SUM_H_
+
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "order/orientation.h"
+#include "rank/ranking_function.h"
+
+namespace rpc::rank {
+
+/// The classical expert-weighted linear scoring rule discussed in the
+/// introduction: phi(x) = sum_j w_j * xhat_j on min-max normalised,
+/// orientation-corrected attributes. Strictly monotone and invariant, but
+/// linear-only (fails meta-rule 3's nonlinear half).
+class WeightedSumRanker : public RankingFunction {
+ public:
+  /// Fits the normalisation on `data`; `weights` must be positive and match
+  /// the data dimension (they are rescaled to sum to 1). Cost attributes
+  /// (alpha_j = -1) contribute via (1 - xhat_j).
+  static Result<WeightedSumRanker> Fit(const linalg::Matrix& data,
+                                       const order::Orientation& alpha,
+                                       const linalg::Vector& weights);
+
+  /// Equal-weight convenience.
+  static Result<WeightedSumRanker> FitEqualWeights(
+      const linalg::Matrix& data, const order::Orientation& alpha);
+
+  double Score(const linalg::Vector& x) const override;
+  std::string name() const override { return "WeightedSum"; }
+  std::optional<int> ParameterCount() const override {
+    return weights_.size();
+  }
+
+  const linalg::Vector& weights() const { return weights_; }
+
+ private:
+  WeightedSumRanker(linalg::Vector weights, linalg::Vector mins,
+                    linalg::Vector ranges, order::Orientation alpha)
+      : weights_(std::move(weights)),
+        mins_(std::move(mins)),
+        ranges_(std::move(ranges)),
+        alpha_(std::move(alpha)) {}
+
+  linalg::Vector weights_;
+  linalg::Vector mins_;
+  linalg::Vector ranges_;
+  order::Orientation alpha_;
+};
+
+}  // namespace rpc::rank
+
+#endif  // RPC_RANK_WEIGHTED_SUM_H_

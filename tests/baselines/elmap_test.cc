@@ -1,0 +1,138 @@
+#include "baselines/elmap.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "linalg/stats.h"
+#include "rank/metrics.h"
+
+namespace rpc::baselines {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+TEST(ElmapTest, FitsStraightLineData) {
+  // Noise-free diagonal: nodes should align, residual near zero.
+  Matrix data(40, 2);
+  for (int i = 0; i < 40; ++i) {
+    const double t = static_cast<double>(i) / 39.0;
+    data(i, 0) = 10.0 * t;
+    data(i, 1) = 5.0 * t;
+  }
+  const auto model = ElmapCurve::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_LT(model->residual_j(), 0.05);
+}
+
+TEST(ElmapTest, CapturesCurvedSkeletonBetterThanLine) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 200, .noise_sigma = 0.01, .control_margin = 0.05, .seed = 5});
+  ElmapOptions options;
+  options.num_nodes = 25;
+  const auto model =
+      ElmapCurve::Fit(sample.data, Orientation::AllBenefit(2), options);
+  ASSERT_TRUE(model.ok());
+  // Latent-order recovery should be strong on a monotone cloud.
+  const Vector scores = model->ScoreRows(sample.data);
+  const double tau = rank::KendallTauB(scores, sample.latent);
+  EXPECT_GT(tau, 0.9);
+}
+
+TEST(ElmapTest, ScoresAreCentred) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 100, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 6});
+  const auto model =
+      ElmapCurve::Fit(sample.data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok());
+  const Vector scores = model->ScoreRows(sample.data);
+  // Mean ~ 0 (Gorban's centred scores): no object is the 0/1 reference.
+  EXPECT_NEAR(scores.Sum() / scores.size(), 0.0, 0.05);
+}
+
+TEST(ElmapTest, OrientationFlipsWithAlpha) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 100, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 7});
+  const auto benefit =
+      ElmapCurve::Fit(sample.data, Orientation::AllBenefit(2));
+  const auto cost_result = Orientation::FromSigns({-1, -1});
+  ASSERT_TRUE(cost_result.ok());
+  const auto cost = ElmapCurve::Fit(sample.data, *cost_result);
+  ASSERT_TRUE(benefit.ok());
+  ASSERT_TRUE(cost.ok());
+  const Vector s_benefit = benefit->ScoreRows(sample.data);
+  const Vector s_cost = cost->ScoreRows(sample.data);
+  // Opposite orientations produce opposite orders.
+  EXPECT_LT(rank::KendallTauB(s_benefit, s_cost), -0.9);
+}
+
+TEST(ElmapTest, NodeCountRespected) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 60, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 8});
+  ElmapOptions options;
+  options.num_nodes = 12;
+  const auto model =
+      ElmapCurve::Fit(sample.data, Orientation::AllBenefit(2), options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->nodes().rows(), 12);
+  EXPECT_EQ(model->ParameterCount().value(), 24);
+}
+
+TEST(ElmapTest, StiffChainStaysNearLine) {
+  // Huge bending modulus forces an almost-straight chain even on curved
+  // data.
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 150, .noise_sigma = 0.01, .control_margin = 0.05, .seed = 9});
+  ElmapOptions stiff;
+  stiff.mu = 100.0;
+  stiff.lambda = 1.0;
+  const auto model =
+      ElmapCurve::Fit(sample.data, Orientation::AllBenefit(2), stiff);
+  ASSERT_TRUE(model.ok());
+  // Straightness: max second difference of nodes is small.
+  const Matrix& nodes = model->nodes();
+  for (int i = 1; i + 1 < nodes.rows(); ++i) {
+    const Vector second =
+        nodes.Row(i + 1) - 2.0 * nodes.Row(i) + nodes.Row(i - 1);
+    EXPECT_LT(second.Norm(), 0.01);
+  }
+}
+
+TEST(ElmapTest, RejectsBadInputs) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  EXPECT_FALSE(ElmapCurve::Fit(Matrix(2, 2), alpha).ok());
+  ElmapOptions bad;
+  bad.num_nodes = 2;
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha, {.n = 30, .noise_sigma = 0.01, .control_margin = 0.1,
+              .seed = 10});
+  EXPECT_FALSE(ElmapCurve::Fit(sample.data, alpha, bad).ok());
+  EXPECT_FALSE(
+      ElmapCurve::Fit(sample.data, Orientation::AllBenefit(3)).ok());
+}
+
+TEST(ElmapTest, SkeletonSamplesInRawSpace) {
+  Matrix data(30, 2);
+  for (int i = 0; i < 30; ++i) {
+    const double t = static_cast<double>(i) / 29.0;
+    data(i, 0) = 1000.0 + 500.0 * t;
+    data(i, 1) = -3.0 + t;
+  }
+  const auto model = ElmapCurve::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok());
+  const Matrix skeleton = model->SampleSkeletonRaw(10);
+  EXPECT_EQ(skeleton.rows(), 11);
+  for (int i = 0; i < skeleton.rows(); ++i) {
+    EXPECT_GT(skeleton(i, 0), 900.0);
+    EXPECT_LT(skeleton(i, 0), 1600.0);
+  }
+}
+
+}  // namespace
+}  // namespace rpc::baselines

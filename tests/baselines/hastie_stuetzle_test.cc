@@ -1,0 +1,98 @@
+#include "baselines/hastie_stuetzle.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "rank/metrics.h"
+
+namespace rpc::baselines {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+TEST(HastieStuetzleTest, RecoversLatentOrderOnMonotoneCloud) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 250, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 61});
+  const auto model =
+      HastieStuetzleCurve::Fit(sample.data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const Vector scores = model->ScoreRows(sample.data);
+  EXPECT_GT(rank::KendallTauB(scores, sample.latent), 0.9);
+}
+
+TEST(HastieStuetzleTest, FollowsTheCrescent) {
+  // The whole point of [10]: the smoothed conditional mean bends with the
+  // cloud where the first PCA cannot.
+  const Matrix crescent = data::GenerateCrescent(300, 0.02, 62);
+  const auto model =
+      HastieStuetzleCurve::Fit(crescent, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok());
+  // Mean residual well below the crescent's sagitta (~0.3 in normalised
+  // units).
+  EXPECT_LT(model->residual_j() / crescent.rows(), 0.01);
+}
+
+TEST(HastieStuetzleTest, NonMonotoneOnParabola) {
+  // Fig. 2(b): a general principal curve follows the parabola and thus
+  // cannot be order-preserving for the cone order.
+  const Matrix parabola = data::GenerateParabola(300, 0.02, 63);
+  const auto model =
+      HastieStuetzleCurve::Fit(parabola, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok());
+  const Vector scores = model->ScoreRows(parabola);
+  const auto report = rank::CountOrderViolations(
+      parabola, scores, Orientation::AllBenefit(2), 1e-9);
+  EXPECT_GT(report.violations + report.ties, 0);
+}
+
+TEST(HastieStuetzleTest, SmootherBandwidthControlsWiggle) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 200, .noise_sigma = 0.05, .control_margin = 0.1, .seed = 64});
+  HastieStuetzleOptions narrow;
+  narrow.bandwidth = 0.02;
+  HastieStuetzleOptions wide;
+  wide.bandwidth = 0.3;
+  const auto wiggly = HastieStuetzleCurve::Fit(
+      sample.data, Orientation::AllBenefit(2), narrow);
+  const auto stiff = HastieStuetzleCurve::Fit(
+      sample.data, Orientation::AllBenefit(2), wide);
+  ASSERT_TRUE(wiggly.ok());
+  ASSERT_TRUE(stiff.ok());
+  // The narrow bandwidth hugs the data more closely.
+  EXPECT_LT(wiggly->residual_j(), stiff->residual_j());
+}
+
+TEST(HastieStuetzleTest, RejectsBadInputs) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  EXPECT_FALSE(HastieStuetzleCurve::Fit(Matrix(3, 2), alpha).ok());
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha,
+      {.n = 40, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 65});
+  HastieStuetzleOptions bad_nodes;
+  bad_nodes.num_nodes = 2;
+  EXPECT_FALSE(
+      HastieStuetzleCurve::Fit(sample.data, alpha, bad_nodes).ok());
+  HastieStuetzleOptions bad_bandwidth;
+  bad_bandwidth.bandwidth = 0.0;
+  EXPECT_FALSE(
+      HastieStuetzleCurve::Fit(sample.data, alpha, bad_bandwidth).ok());
+}
+
+TEST(HastieStuetzleTest, NoExplicitParameterSize) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 60, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 66});
+  const auto model =
+      HastieStuetzleCurve::Fit(sample.data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->ParameterCount().has_value());
+  EXPECT_EQ(model->name(), "HastieStuetzle");
+  EXPECT_GT(model->iterations(), 0);
+}
+
+}  // namespace
+}  // namespace rpc::baselines

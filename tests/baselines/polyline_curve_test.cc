@@ -1,0 +1,104 @@
+#include "baselines/polyline_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "rank/metrics.h"
+
+namespace rpc::baselines {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+TEST(PolylineCurveTest, RecoversLatentOrderOnMonotoneCloud) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 200, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 21});
+  const auto model =
+      PolylineCurve::Fit(sample.data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const Vector scores = model->ScoreRows(sample.data);
+  EXPECT_GT(rank::KendallTauB(scores, sample.latent), 0.85);
+}
+
+TEST(PolylineCurveTest, ScoresWithinUnitInterval) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(3),
+      {.n = 80, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 22});
+  const auto model =
+      PolylineCurve::Fit(sample.data, Orientation::AllBenefit(3));
+  ASSERT_TRUE(model.ok());
+  const Vector scores = model->ScoreRows(sample.data);
+  for (int i = 0; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i], 0.0);
+    EXPECT_LE(scores[i], 1.0);
+  }
+}
+
+TEST(PolylineCurveTest, VertexCountRespected) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 60, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 23});
+  PolylineCurveOptions options;
+  options.num_vertices = 5;
+  const auto model = PolylineCurve::Fit(
+      sample.data, Orientation::AllBenefit(2), options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->vertices().rows(), 5);
+}
+
+TEST(PolylineCurveTest, FlatSegmentsTieDistinctPoints) {
+  // A cloud with a dense horizontal band: the fitted polyline develops a
+  // near-horizontal segment, and points differing only in x2 project to
+  // (nearly) the same parameter — the Fig. 2(a) strict-monotonicity
+  // failure. We assert the model *can* produce ties in score while RPC by
+  // construction cannot (covered in core tests).
+  Matrix data(60, 2);
+  for (int i = 0; i < 60; ++i) {
+    const double t = static_cast<double>(i) / 59.0;
+    data(i, 0) = t;
+    data(i, 1) = t < 0.5 ? 0.0 : (t - 0.5) * 2.0;  // flat then rising
+  }
+  const auto model =
+      PolylineCurve::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok());
+  // Two points above the flat part with different x2.
+  const double s_low = model->Score(Vector{0.25, 0.02});
+  const double s_high = model->Score(Vector{0.25, 0.10});
+  EXPECT_NEAR(s_low, s_high, 5e-3);  // projected to (almost) the same spot
+}
+
+TEST(PolylineCurveTest, RejectsBadInputs) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  EXPECT_FALSE(PolylineCurve::Fit(Matrix(2, 2), alpha).ok());
+  PolylineCurveOptions bad;
+  bad.num_vertices = 1;
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha, {.n = 30, .noise_sigma = 0.01, .control_margin = 0.1,
+              .seed = 24});
+  EXPECT_FALSE(PolylineCurve::Fit(sample.data, alpha, bad).ok());
+}
+
+TEST(PolylineCurveTest, SkeletonEndpointsSpanData) {
+  Matrix data(50, 2);
+  for (int i = 0; i < 50; ++i) {
+    const double t = static_cast<double>(i) / 49.0;
+    data(i, 0) = t;
+    data(i, 1) = t * t;
+  }
+  const auto model =
+      PolylineCurve::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(model.ok());
+  const Matrix skeleton = model->SampleSkeletonRaw(20);
+  EXPECT_EQ(skeleton.rows(), 21);
+  // Skeleton stays inside a loose bounding box of the data.
+  for (int i = 0; i < skeleton.rows(); ++i) {
+    EXPECT_GT(skeleton(i, 0), -0.3);
+    EXPECT_LT(skeleton(i, 0), 1.3);
+  }
+}
+
+}  // namespace
+}  // namespace rpc::baselines

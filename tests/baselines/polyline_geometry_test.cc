@@ -1,0 +1,75 @@
+#include "baselines/polyline_geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::baselines {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// L-shaped polyline: (0,0) -> (1,0) -> (1,1).
+Matrix LShape() { return Matrix{{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}}; }
+
+TEST(PolylineLengthTest, KnownLengths) {
+  EXPECT_DOUBLE_EQ(PolylineLength(LShape()), 2.0);
+  EXPECT_DOUBLE_EQ(PolylineLength(Matrix{{0.0, 0.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(PolylineLength(Matrix{{0.0, 0.0}, {3.0, 4.0}}), 5.0);
+}
+
+TEST(ProjectOntoPolylineTest, PointOnFirstSegment) {
+  const PolylineProjection p =
+      ProjectOntoPolyline(LShape(), Vector{0.5, 0.0});
+  EXPECT_NEAR(p.t, 0.25, 1e-12);
+  EXPECT_NEAR(p.squared_distance, 0.0, 1e-12);
+  EXPECT_EQ(p.segment, 0);
+}
+
+TEST(ProjectOntoPolylineTest, PointNearSecondSegment) {
+  const PolylineProjection p =
+      ProjectOntoPolyline(LShape(), Vector{1.2, 0.5});
+  EXPECT_EQ(p.segment, 1);
+  EXPECT_NEAR(p.t, 0.75, 1e-12);
+  EXPECT_NEAR(p.squared_distance, 0.04, 1e-12);
+}
+
+TEST(ProjectOntoPolylineTest, ClampsBeyondEnds) {
+  EXPECT_NEAR(ProjectOntoPolyline(LShape(), Vector{-1.0, -1.0}).t, 0.0,
+              1e-12);
+  EXPECT_NEAR(ProjectOntoPolyline(LShape(), Vector{1.0, 2.0}).t, 1.0, 1e-12);
+}
+
+TEST(ProjectOntoPolylineTest, CornerEquidistantUsesSupRule) {
+  // The point (1 - eps, eps) diagonal from the corner: projections onto the
+  // two segments are equally distant; sup rule picks the later one.
+  const PolylineProjection p =
+      ProjectOntoPolyline(LShape(), Vector{0.9, 0.1});
+  EXPECT_EQ(p.segment, 1);
+  EXPECT_NEAR(p.t, 0.55, 1e-9);
+}
+
+TEST(ProjectOntoPolylineTest, SingleNodePolyline) {
+  const Matrix point{{0.5, 0.5}};
+  const PolylineProjection p = ProjectOntoPolyline(point, Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p.t, 0.0);
+  EXPECT_NEAR(p.squared_distance, 0.5, 1e-12);
+}
+
+TEST(SamplePolylineTest, UniformArcLength) {
+  const Matrix samples = SamplePolyline(LShape(), 4);
+  ASSERT_EQ(samples.rows(), 5);
+  EXPECT_TRUE(ApproxEqual(samples.Row(0), Vector{0.0, 0.0}, 1e-12));
+  EXPECT_TRUE(ApproxEqual(samples.Row(1), Vector{0.5, 0.0}, 1e-12));
+  EXPECT_TRUE(ApproxEqual(samples.Row(2), Vector{1.0, 0.0}, 1e-12));
+  EXPECT_TRUE(ApproxEqual(samples.Row(3), Vector{1.0, 0.5}, 1e-12));
+  EXPECT_TRUE(ApproxEqual(samples.Row(4), Vector{1.0, 1.0}, 1e-12));
+}
+
+TEST(PolylineResidualTest, SumsSquaredDistances) {
+  const Matrix data{{0.5, 0.1}, {1.1, 0.5}};
+  // Distances: 0.1 to segment 1 and 0.1 to segment 2.
+  EXPECT_NEAR(PolylineResidual(LShape(), data), 0.02, 1e-12);
+}
+
+}  // namespace
+}  // namespace rpc::baselines

@@ -1,0 +1,76 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rpc {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(ParsePositive(3).value_or(-7), 3);
+  EXPECT_EQ(ParsePositive(0).value_or(-7), -7);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(42));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 42);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> Doubled(int x) {
+  RPC_ASSIGN_OR_RETURN(int parsed, ParsePositive(x));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnOnSuccess) {
+  Result<int> r = Doubled(4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnOnFailure) {
+  Result<int> r = Doubled(-4);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> TwoAssignsSameScope(int x) {
+  RPC_ASSIGN_OR_RETURN(int a, ParsePositive(x));
+  RPC_ASSIGN_OR_RETURN(int b, ParsePositive(x + 1));
+  return a + b;
+}
+
+TEST(ResultTest, AssignOrReturnTwiceInOneScope) {
+  Result<int> r = TwoAssignsSameScope(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 21);
+}
+
+}  // namespace
+}  // namespace rpc

@@ -1,0 +1,89 @@
+#include "core/feature_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+// Dataset where attribute 2 is nearly pure noise while 0 and 1 carry the
+// latent order.
+data::Dataset InformativePlusNoise(int n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix values(n, 3);
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.Uniform();
+    values(i, 0) = t + rng.Gaussian(0.0, 0.01);
+    values(i, 1) = t * t + rng.Gaussian(0.0, 0.01);
+    values(i, 2) = rng.Uniform();  // uninformative
+  }
+  auto ds = data::Dataset::FromMatrix(values, {"strong", "curved", "noise"},
+                                      {});
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(RankAttributesTest, InformativeAttributesRankFirst) {
+  const data::Dataset ds = InformativePlusNoise(150, 51);
+  const Orientation alpha = Orientation::AllBenefit(3);
+  const auto ranker = RpcRanker::Fit(ds.values(), alpha);
+  ASSERT_TRUE(ranker.ok());
+  const auto importances = RankAttributes(*ranker, ds);
+  ASSERT_TRUE(importances.ok());
+  ASSERT_EQ(importances->size(), 3u);
+  // The noise attribute must come last.
+  EXPECT_EQ(importances->back().name, "noise");
+  EXPECT_GT((*importances)[0].score_alignment, 0.8);
+  EXPECT_LT(importances->back().score_alignment, 0.5);
+}
+
+TEST(RankAttributesTest, DimensionMismatchRejected) {
+  const data::Dataset ds = InformativePlusNoise(60, 52);
+  const Orientation alpha = Orientation::AllBenefit(3);
+  const auto ranker = RpcRanker::Fit(ds.values(), alpha);
+  ASSERT_TRUE(ranker.ok());
+  const auto two_cols = ds.SelectAttributes({0, 1});
+  ASSERT_TRUE(two_cols.ok());
+  EXPECT_FALSE(RankAttributes(*ranker, *two_cols).ok());
+}
+
+TEST(GreedySelectTest, FindsSmallSubsetReachingTarget) {
+  // The reference ranking is mildly influenced by the noise column too, so
+  // a realistic target is ~0.8 tau, reachable from the informative pair.
+  const data::Dataset ds = InformativePlusNoise(120, 53);
+  const Orientation alpha = Orientation::AllBenefit(3);
+  const auto result = GreedySelectAttributes(ds, alpha, 0.8);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->achieved_tau, 0.8);
+  // The informative attributes suffice; the noise column is not needed.
+  EXPECT_LE(result->selected.size(), 2u);
+  // The first pick is not the noise column.
+  EXPECT_NE(result->selected[0], 2);
+}
+
+TEST(GreedySelectTest, TauTrajectoryIsRecorded) {
+  const data::Dataset ds = InformativePlusNoise(100, 54);
+  const Orientation alpha = Orientation::AllBenefit(3);
+  const auto result = GreedySelectAttributes(ds, alpha, 0.999);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected.size(), result->tau_trajectory.size());
+  EXPECT_GE(result->tau_trajectory.back(), result->tau_trajectory.front());
+}
+
+TEST(GreedySelectTest, RejectsTooFewAttributes) {
+  Matrix values(10, 1);
+  for (int i = 0; i < 10; ++i) values(i, 0) = i;
+  auto ds = data::Dataset::FromMatrix(values, {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(
+      GreedySelectAttributes(*ds, Orientation::AllBenefit(1), 0.9).ok());
+}
+
+}  // namespace
+}  // namespace rpc::core

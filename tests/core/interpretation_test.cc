@@ -1,0 +1,87 @@
+#include "core/interpretation.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using order::Orientation;
+
+RpcCurve CurveWith(double b1x, double b2x, double b1y, double b2y) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  Matrix control{{0.0, b1x, b2x, 1.0}, {0.0, b1y, b2y, 1.0}};
+  auto curve = RpcCurve::FromControlPoints(control, alpha);
+  EXPECT_TRUE(curve.ok());
+  return std::move(curve).value();
+}
+
+TEST(InterpretationTest, LinearShapeDetected) {
+  const RpcCurve curve = CurveWith(1.0 / 3.0, 2.0 / 3.0, 1.0 / 3.0,
+                                   2.0 / 3.0);
+  const auto interps = InterpretCurve(curve);
+  ASSERT_EQ(interps.size(), 2u);
+  EXPECT_EQ(interps[0].shape, CurveShape::kLinear);
+  EXPECT_NEAR(interps[0].nonlinearity, 0.0, 1e-9);
+}
+
+TEST(InterpretationTest, FourBasicShapesOfFig4) {
+  // Convex: both control values pulled toward the start.
+  EXPECT_EQ(InterpretCurve(CurveWith(0.05, 0.4, 1.0 / 3.0, 2.0 / 3.0))[0]
+                .shape,
+            CurveShape::kConvex);
+  // Concave: both pulled toward the end.
+  EXPECT_EQ(InterpretCurve(CurveWith(0.6, 0.95, 1.0 / 3.0, 2.0 / 3.0))[0]
+                .shape,
+            CurveShape::kConcave);
+  // S: below then above the diagonal.
+  EXPECT_EQ(InterpretCurve(CurveWith(0.1, 0.9, 1.0 / 3.0, 2.0 / 3.0))[0]
+                .shape,
+            CurveShape::kSShape);
+  // Inverse S: above then below.
+  EXPECT_EQ(InterpretCurve(CurveWith(0.6, 0.4, 1.0 / 3.0, 2.0 / 3.0))[0]
+                .shape,
+            CurveShape::kInverseS);
+}
+
+TEST(InterpretationTest, CostAttributeClassifiedOnOrientedAxis) {
+  const auto alpha_result = Orientation::FromSigns({1, -1});
+  ASSERT_TRUE(alpha_result.ok());
+  // Cost coordinate runs 1 -> 0; control values 0.95/0.6 along raw axis are
+  // 0.05/0.4 along the oriented axis -> convex improvement.
+  Matrix control{{0.0, 0.05, 0.4, 1.0}, {1.0, 0.95, 0.6, 0.0}};
+  const auto curve = RpcCurve::FromControlPoints(control, *alpha_result);
+  ASSERT_TRUE(curve.ok());
+  const auto interps = InterpretCurve(*curve);
+  EXPECT_EQ(interps[1].shape, CurveShape::kConvex);
+  EXPECT_NEAR(interps[1].b1, 0.05, 1e-12);
+}
+
+TEST(InterpretationTest, NonlinearityGrowsWithBend) {
+  const double straight =
+      InterpretCurve(CurveWith(1.0 / 3.0, 2.0 / 3.0, 0.3, 0.6))[0]
+          .nonlinearity;
+  const double bent =
+      InterpretCurve(CurveWith(0.05, 0.95, 0.3, 0.6))[0].nonlinearity;
+  EXPECT_LT(straight, 1e-9);
+  EXPECT_GT(bent, 0.05);
+}
+
+TEST(InterpretationTest, ReportMentionsNamesAndShapes) {
+  const RpcCurve curve = CurveWith(0.05, 0.4, 0.6, 0.95);
+  const std::string report =
+      InterpretationReport(curve, {"GDP", "LEB"});
+  EXPECT_NE(report.find("GDP"), std::string::npos);
+  EXPECT_NE(report.find("LEB"), std::string::npos);
+  EXPECT_NE(report.find("convex"), std::string::npos);
+  EXPECT_NE(report.find("concave"), std::string::npos);
+}
+
+TEST(InterpretationTest, ShapeNamesAreStable) {
+  EXPECT_STREQ(CurveShapeToString(CurveShape::kLinear), "linear");
+  EXPECT_NE(std::string(CurveShapeToString(CurveShape::kSShape)).find("S-"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpc::core

@@ -1,0 +1,103 @@
+// End-to-end coverage of mixed benefit/cost orientations through the
+// advanced core features (feature selection, persistence, degree
+// selection) — the Example 2 setting where alpha mixes +1 and -1.
+#include <gtest/gtest.h>
+
+#include "core/feature_selection.h"
+#include "core/model_io.h"
+#include "core/model_selection.h"
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "rank/metrics.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+TEST(MixedOrientationTest, FeatureSelectionOnCountryData) {
+  const data::Dataset countries = data::GenerateCountryData(120, 19, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto selection =
+      GreedySelectAttributes(countries, *alpha, /*target_tau=*/0.85);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_GE(selection->achieved_tau, 0.85);
+  EXPECT_GE(selection->selected.size(), 1u);
+  EXPECT_LT(selection->selected.size(), 4u);
+}
+
+TEST(MixedOrientationTest, AttributeImportancesCoverCostAttributes) {
+  const data::Dataset countries = data::GenerateCountryData(120, 20, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  const auto ranker = RpcRanker::Fit(countries.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  const auto importances = RankAttributes(*ranker, countries);
+  ASSERT_TRUE(importances.ok());
+  ASSERT_EQ(importances->size(), 4u);
+  // Cost attributes (IMR/TB) anticorrelate with the score, but the
+  // alignment measure is absolute — all four should carry real signal on
+  // this data.
+  for (const auto& imp : *importances) {
+    EXPECT_GT(imp.score_alignment, 0.3) << imp.name;
+  }
+}
+
+TEST(MixedOrientationTest, ModelRoundTripPreservesMixedAlpha) {
+  const data::Dataset countries = data::GenerateCountryData(80, 21, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  const auto ranker = RpcRanker::Fit(countries.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  PortableRpcModel model;
+  model.alpha = *alpha;
+  model.mins = ranker->normalizer().mins();
+  model.maxs = ranker->normalizer().maxs();
+  model.control_points = ranker->PortableControlPoints();
+  const auto reloaded = PortableRpcModel::Deserialize(model.Serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->alpha.sign(2), -1);
+  // A dominated-in-every-attribute observation scores lower after reload.
+  const auto poor = reloaded->Score(Vector{500.0, 45.0, 300.0, 200.0});
+  const auto rich = reloaded->Score(Vector{60000.0, 80.0, 3.0, 3.0});
+  ASSERT_TRUE(poor.ok());
+  ASSERT_TRUE(rich.ok());
+  EXPECT_LT(*poor, *rich);
+}
+
+TEST(MixedOrientationTest, DegreeSelectionWithMixedAlpha) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      *Orientation::FromSigns({1, -1}),
+      {.n = 120, .noise_sigma = 0.05, .control_margin = 0.05, .seed = 23});
+  auto norm = data::Normalizer::Fit(sample.data);
+  ASSERT_TRUE(norm.ok());
+  DegreeSelectionOptions options;
+  options.candidate_degrees = {1, 3};
+  options.folds = 4;
+  const auto result = SelectDegreeByCrossValidation(
+      norm->Transform(sample.data), *Orientation::FromSigns({1, -1}), {},
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->best_degree == 1 || result->best_degree == 3);
+  for (const auto& score : result->scores) {
+    EXPECT_TRUE(score.always_monotone) << "degree " << score.degree;
+  }
+}
+
+TEST(MixedOrientationTest, UnitScoresOrientCorrectlyForAllCostAttributes) {
+  // All-cost orientation: the smallest observation vector is the best.
+  const auto alpha = Orientation::FromSigns({-1, -1});
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      *alpha,
+      {.n = 100, .noise_sigma = 0.03, .control_margin = 0.1, .seed = 24});
+  const auto ranker = RpcRanker::Fit(sample.data, *alpha);
+  ASSERT_TRUE(ranker.ok());
+  const double low = ranker->Score(Vector{-0.05, -0.05});
+  const double high = ranker->Score(Vector{1.05, 1.05});
+  EXPECT_GT(low, high);
+}
+
+}  // namespace
+}  // namespace rpc::core

@@ -1,0 +1,115 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+PortableRpcModel FittedModel() {
+  const data::Dataset ds = data::GenerateCountryData(60, 3, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  EXPECT_TRUE(ranker.ok());
+  PortableRpcModel model;
+  model.alpha = *alpha;
+  model.mins = ranker->normalizer().mins();
+  model.maxs = ranker->normalizer().maxs();
+  model.control_points = ranker->PortableControlPoints();
+  return model;
+}
+
+TEST(ModelIoTest, SerializeDeserializeRoundTrip) {
+  const PortableRpcModel model = FittedModel();
+  const std::string text = model.Serialize();
+  const auto parsed = PortableRpcModel::Deserialize(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ApproxEqual(parsed->control_points, model.control_points,
+                          1e-15));
+  EXPECT_TRUE(ApproxEqual(parsed->mins, model.mins, 1e-15));
+  EXPECT_TRUE(ApproxEqual(parsed->maxs, model.maxs, 1e-15));
+  EXPECT_EQ(parsed->alpha, model.alpha);
+}
+
+TEST(ModelIoTest, ScoresSurviveTheRoundTrip) {
+  const data::Dataset ds = data::GenerateCountryData(60, 3, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  PortableRpcModel model;
+  model.alpha = *alpha;
+  model.mins = ranker->normalizer().mins();
+  model.maxs = ranker->normalizer().maxs();
+  model.control_points = ranker->PortableControlPoints();
+  const auto reloaded = PortableRpcModel::Deserialize(model.Serialize());
+  ASSERT_TRUE(reloaded.ok());
+  for (int i = 0; i < 10; ++i) {
+    const Vector x = ds.row(i);
+    const auto score = reloaded->Score(x);
+    ASSERT_TRUE(score.ok());
+    EXPECT_NEAR(*score, ranker->Score(x), 1e-9) << "row " << i;
+  }
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const PortableRpcModel model = FittedModel();
+  const std::string path = testing::TempDir() + "/rpc_model_test.txt";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  const auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(ApproxEqual(loaded->control_points, model.control_points,
+                          1e-15));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadModel("/nonexistent/rpc_model.txt").ok());
+}
+
+TEST(ModelIoTest, RejectsCorruptInputs) {
+  const PortableRpcModel model = FittedModel();
+  const std::string good = model.Serialize();
+  // Header missing.
+  EXPECT_FALSE(PortableRpcModel::Deserialize("dimension 2\n").ok());
+  // Garbage line.
+  EXPECT_FALSE(
+      PortableRpcModel::Deserialize(good + "mystery 42\n").ok());
+  // Truncated: drop the last control point line.
+  const size_t cut = good.rfind("control");
+  EXPECT_FALSE(PortableRpcModel::Deserialize(good.substr(0, cut)).ok());
+  // Alpha entry corrupted.
+  std::string bad_alpha = good;
+  const size_t pos = bad_alpha.find("+1");
+  bad_alpha.replace(pos, 2, "+7");
+  EXPECT_FALSE(PortableRpcModel::Deserialize(bad_alpha).ok());
+}
+
+TEST(ModelIoTest, RejectsDegenerateBounds) {
+  PortableRpcModel model = FittedModel();
+  model.maxs[0] = model.mins[0];  // zero range
+  EXPECT_FALSE(PortableRpcModel::Deserialize(model.Serialize()).ok());
+}
+
+TEST(ModelIoTest, RejectsDimensionMismatchInScore) {
+  const PortableRpcModel model = FittedModel();
+  EXPECT_FALSE(model.Score(Vector{1.0, 2.0}).ok());
+}
+
+TEST(ModelIoTest, DeserializeValidatesGeometry) {
+  // Control point outside [0,1] must be rejected even in a well-formed
+  // file.
+  PortableRpcModel model = FittedModel();
+  model.control_points(0, 1) = 1.5;
+  EXPECT_FALSE(PortableRpcModel::Deserialize(model.Serialize()).ok());
+}
+
+}  // namespace
+}  // namespace rpc::core

@@ -1,0 +1,105 @@
+#include "core/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "curve/bezier.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using order::Orientation;
+
+// Strongly bent monotone data: the crescent (quarter arc) whose sagitta
+// (~0.2 of the box) a straight chord cannot follow. Random latent-curve
+// draws can be near-straight, which would make the degree comparison
+// vacuous.
+Matrix BentNormalizedData(int n, uint64_t seed) {
+  const Matrix data = data::GenerateCrescent(n, 0.06, seed);
+  auto norm = data::Normalizer::Fit(data);
+  EXPECT_TRUE(norm.ok());
+  return norm->Transform(data);
+}
+
+TEST(DegreeSelectionTest, PrefersCubicOnBentData) {
+  const Matrix data = BentNormalizedData(150, 71);
+  const auto result = SelectDegreeByCrossValidation(
+      data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Section 4.2's claim, automated: the winner is the cubic (higher
+  // degrees don't clear the improvement margin; k < 3 underfits).
+  EXPECT_EQ(result->best_degree, 3);
+  ASSERT_EQ(result->scores.size(), 5u);
+  // Degree 1 (a straight line) is clearly worse on bent data, and the
+  // quintic overfits into non-monotonicity somewhere across the folds —
+  // the two failure modes Section 4.2 names.
+  double line_j = 0.0, cubic_j = 0.0;
+  bool quintic_monotone = true;
+  for (const auto& score : result->scores) {
+    if (score.degree == 1) line_j = score.mean_holdout_j;
+    if (score.degree == 3) cubic_j = score.mean_holdout_j;
+    if (score.degree == 5) quintic_monotone = score.always_monotone;
+  }
+  EXPECT_GT(line_j, 2.0 * cubic_j);
+  EXPECT_FALSE(quintic_monotone);
+}
+
+TEST(DegreeSelectionTest, RespectsCandidateList) {
+  const Matrix data = BentNormalizedData(100, 72);
+  DegreeSelectionOptions options;
+  options.candidate_degrees = {2, 3};
+  const auto result = SelectDegreeByCrossValidation(
+      data, Orientation::AllBenefit(2), {}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scores.size(), 2u);
+  EXPECT_TRUE(result->best_degree == 2 || result->best_degree == 3);
+}
+
+TEST(DegreeSelectionTest, InputValidation) {
+  const Matrix data = BentNormalizedData(60, 73);
+  DegreeSelectionOptions bad_folds;
+  bad_folds.folds = 1;
+  EXPECT_FALSE(SelectDegreeByCrossValidation(
+                   data, Orientation::AllBenefit(2), {}, bad_folds)
+                   .ok());
+  DegreeSelectionOptions no_candidates;
+  no_candidates.candidate_degrees = {};
+  EXPECT_FALSE(SelectDegreeByCrossValidation(
+                   data, Orientation::AllBenefit(2), {}, no_candidates)
+                   .ok());
+  DegreeSelectionOptions too_small;
+  too_small.folds = 40;  // 60 rows cannot feed 40 folds at degree 5
+  EXPECT_FALSE(SelectDegreeByCrossValidation(
+                   data, Orientation::AllBenefit(2), {}, too_small)
+                   .ok());
+}
+
+TEST(RestartTest, MoreRestartsNeverWorseJ) {
+  const Matrix data = BentNormalizedData(120, 74);
+  const Orientation alpha = Orientation::AllBenefit(2);
+  RpcLearnOptions single;
+  single.seed = 5;
+  RpcLearnOptions multi = single;
+  multi.restarts = 5;
+  const auto one = RpcLearner(single).Fit(data, alpha);
+  const auto five = RpcLearner(multi).Fit(data, alpha);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(five.ok());
+  // The first restart uses the same seed, so the best-of-five can only
+  // improve on the single run.
+  EXPECT_LE(five->final_j, one->final_j + 1e-12);
+}
+
+TEST(RestartTest, InvalidRestartCountRejected) {
+  const Matrix data = BentNormalizedData(40, 75);
+  RpcLearnOptions options;
+  options.restarts = 0;
+  EXPECT_FALSE(
+      RpcLearner(options).Fit(data, Orientation::AllBenefit(2)).ok());
+}
+
+}  // namespace
+}  // namespace rpc::core

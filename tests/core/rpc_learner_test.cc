@@ -1,0 +1,202 @@
+#include "core/rpc_learner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "rank/metrics.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+Matrix NormalizedLatentData(const Orientation& alpha, int n, double noise,
+                            uint64_t seed, Vector* latent = nullptr) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha, {.n = n, .noise_sigma = noise, .control_margin = 0.1,
+              .seed = seed});
+  auto norm = data::Normalizer::Fit(sample.data);
+  EXPECT_TRUE(norm.ok());
+  if (latent != nullptr) *latent = sample.latent;
+  return norm->Transform(sample.data);
+}
+
+TEST(RpcLearnerTest, FitsMonotoneCloudWithLowResidual) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Matrix data = NormalizedLatentData(alpha, 200, 0.02, 31);
+  const RpcLearner learner;
+  const auto fit = learner.Fit(data, alpha);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_GT(fit->explained_variance, 0.9);
+  EXPECT_TRUE(fit->curve.CheckMonotonicity().strictly_monotone);
+}
+
+TEST(RpcLearnerTest, RecoversLatentOrder) {
+  const Orientation alpha = Orientation::AllBenefit(3);
+  Vector latent;
+  const Matrix data = NormalizedLatentData(alpha, 150, 0.02, 32, &latent);
+  const RpcLearner learner;
+  const auto fit = learner.Fit(data, alpha);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(rank::KendallTauB(fit->scores, latent), 0.95);
+}
+
+TEST(RpcLearnerTest, JHistoryIsNonIncreasing) {
+  // Proposition 2: the alternating iteration yields a decaying J sequence.
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Matrix data = NormalizedLatentData(alpha, 120, 0.05, 33);
+  RpcLearnOptions options;
+  options.record_history = true;
+  const RpcLearner learner(options);
+  const auto fit = learner.Fit(data, alpha);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_GE(fit->j_history.size(), 2u);
+  for (size_t i = 0; i + 1 < fit->j_history.size() - 1; ++i) {
+    EXPECT_GE(fit->j_history[i] + 1e-9, fit->j_history[i + 1])
+        << "iteration " << i;
+  }
+}
+
+TEST(RpcLearnerTest, ScoresWithinUnitInterval) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Matrix data = NormalizedLatentData(alpha, 100, 0.05, 34);
+  const auto fit = RpcLearner().Fit(data, alpha);
+  ASSERT_TRUE(fit.ok());
+  for (int i = 0; i < fit->scores.size(); ++i) {
+    EXPECT_GE(fit->scores[i], 0.0);
+    EXPECT_LE(fit->scores[i], 1.0);
+  }
+}
+
+TEST(RpcLearnerTest, MixedOrientationEndpointsPinned) {
+  const auto alpha = Orientation::FromSigns({1, -1, 1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const Matrix data = NormalizedLatentData(*alpha, 150, 0.03, 35);
+  const auto fit = RpcLearner().Fit(data, *alpha);
+  ASSERT_TRUE(fit.ok());
+  const Matrix& p = fit->curve.control_points();
+  EXPECT_TRUE(ApproxEqual(p.Column(0), alpha->WorstCorner(), 1e-9));
+  EXPECT_TRUE(ApproxEqual(p.Column(3), alpha->BestCorner(), 1e-9));
+  EXPECT_TRUE(fit->curve.CheckMonotonicity().strictly_monotone);
+}
+
+TEST(RpcLearnerTest, LearnEndPointsVariantStaysInCube) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Matrix data = NormalizedLatentData(alpha, 150, 0.03, 36);
+  RpcLearnOptions options;
+  options.fix_end_points = false;
+  const auto fit = RpcLearner(options).Fit(data, alpha);
+  ASSERT_TRUE(fit.ok());
+  const Matrix& p = fit->curve.control_points();
+  for (int j = 0; j < p.rows(); ++j) {
+    for (int r = 0; r < p.cols(); ++r) {
+      EXPECT_GE(p(j, r), 0.0);
+      EXPECT_LE(p(j, r), 1.0);
+    }
+  }
+}
+
+TEST(RpcLearnerTest, PseudoInverseUpdateAlsoFits) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Matrix data = NormalizedLatentData(alpha, 150, 0.02, 37);
+  RpcLearnOptions options;
+  options.use_pseudo_inverse_update = true;
+  const auto fit = RpcLearner(options).Fit(data, alpha);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->explained_variance, 0.85);
+}
+
+TEST(RpcLearnerTest, QuinticProjectionMatchesGss) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  Vector latent;
+  const Matrix data = NormalizedLatentData(alpha, 100, 0.02, 38, &latent);
+  RpcLearnOptions gss_options;
+  RpcLearnOptions quintic_options;
+  quintic_options.projection.method = opt::ProjectionMethod::kQuinticRoots;
+  const auto gss_fit = RpcLearner(gss_options).Fit(data, alpha);
+  const auto quintic_fit = RpcLearner(quintic_options).Fit(data, alpha);
+  ASSERT_TRUE(gss_fit.ok());
+  ASSERT_TRUE(quintic_fit.ok());
+  EXPECT_NEAR(gss_fit->final_j, quintic_fit->final_j,
+              0.05 * (1.0 + gss_fit->final_j));
+  EXPECT_GT(rank::KendallTauB(gss_fit->scores, quintic_fit->scores), 0.98);
+}
+
+TEST(RpcLearnerTest, DeterministicInitsAreDeterministic) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Matrix data = NormalizedLatentData(alpha, 80, 0.03, 39);
+  for (RpcInit init : {RpcInit::kDiagonal, RpcInit::kQuantiles}) {
+    RpcLearnOptions options;
+    options.init = init;
+    options.seed = 1;
+    const auto a = RpcLearner(options).Fit(data, alpha);
+    options.seed = 2;  // seed must not matter for deterministic inits
+    const auto b = RpcLearner(options).Fit(data, alpha);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(ApproxEqual(a->curve.control_points(),
+                            b->curve.control_points(), 1e-12));
+  }
+}
+
+TEST(RpcLearnerTest, DegreeTwoAndFourFit) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Matrix data = NormalizedLatentData(alpha, 100, 0.03, 40);
+  for (int degree : {2, 4}) {
+    RpcLearnOptions options;
+    options.degree = degree;
+    const auto fit = RpcLearner(options).Fit(data, alpha);
+    ASSERT_TRUE(fit.ok()) << "degree " << degree;
+    EXPECT_EQ(fit->curve.degree(), degree);
+    EXPECT_GT(fit->explained_variance, 0.6);
+  }
+}
+
+TEST(RpcLearnerTest, InputValidation) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const RpcLearner learner;
+  // Not normalised.
+  Matrix raw{{10.0, 5.0}, {20.0, 2.0}, {30.0, 1.0}, {40.0, 0.5}};
+  const auto fit = learner.Fit(raw, alpha);
+  EXPECT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kFailedPrecondition);
+  // Too few rows (pinned end points allow down to 2 rows; 1 is never
+  // enough).
+  Matrix tiny{{0.5, 0.5}};
+  EXPECT_FALSE(learner.Fit(tiny, alpha).ok());
+  // Free end points need degree + 1 rows.
+  RpcLearnOptions free_ends;
+  free_ends.fix_end_points = false;
+  Matrix three{{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}};
+  EXPECT_FALSE(RpcLearner(free_ends).Fit(three, alpha).ok());
+  // Wrong alpha dimension.
+  const Matrix data = NormalizedLatentData(alpha, 50, 0.02, 41);
+  EXPECT_FALSE(learner.Fit(data, Orientation::AllBenefit(3)).ok());
+  // Bad degree.
+  RpcLearnOptions bad_degree;
+  bad_degree.degree = 0;
+  EXPECT_FALSE(RpcLearner(bad_degree).Fit(data, alpha).ok());
+}
+
+TEST(RescaleToUnitTest, MapsRangeToUnit) {
+  const Vector scores{0.2, 0.6, 0.4};
+  const Vector rescaled = RescaleToUnit(scores);
+  EXPECT_DOUBLE_EQ(rescaled[0], 0.0);
+  EXPECT_DOUBLE_EQ(rescaled[1], 1.0);
+  EXPECT_DOUBLE_EQ(rescaled[2], 0.5);
+}
+
+TEST(RescaleToUnitTest, DegenerateAndEmpty) {
+  const Vector constant{0.5, 0.5};
+  const Vector rescaled = RescaleToUnit(constant);
+  EXPECT_DOUBLE_EQ(rescaled[0], 0.5);
+  EXPECT_EQ(RescaleToUnit(Vector{}).size(), 0);
+}
+
+}  // namespace
+}  // namespace rpc::core

@@ -1,0 +1,138 @@
+#include "core/rpc_ranker.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "linalg/stats.h"
+#include "rank/metrics.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+TEST(RpcRankerTest, FitsRawDataEndToEnd) {
+  // Raw (unnormalised) country-like magnitudes.
+  const data::Dataset ds = data::GenerateCountryData(80, 3, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(ranker.ok()) << ranker.status().ToString();
+  EXPECT_EQ(ranker->ParameterCount().value(), 16);  // 4d with d = 4
+  EXPECT_EQ(ranker->name(), "RPC");
+}
+
+TEST(RpcRankerTest, ScoreIncreasesTowardBestCorner) {
+  const data::Dataset ds = data::GenerateCountryData(80, 4, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  // A dominated observation scores below a dominating one.
+  const Vector poor{500.0, 45.0, 300.0, 200.0};
+  const Vector rich{60000.0, 80.0, 3.0, 3.0};
+  EXPECT_LT(ranker->Score(poor), ranker->Score(rich));
+}
+
+TEST(RpcRankerTest, FitDatasetFiltersMissingRows) {
+  data::Dataset ds = data::GenerateJournalData(100, 20, 5, false);
+  const Orientation alpha = Orientation::AllBenefit(5);
+  const auto ranker = RpcRanker::FitDataset(ds, alpha);
+  ASSERT_TRUE(ranker.ok());
+  // Scores defined for all complete rows.
+  const data::Dataset complete = ds.FilterCompleteRows();
+  const Vector scores = ranker->ScoreRows(complete.values());
+  EXPECT_EQ(scores.size(), complete.num_objects());
+}
+
+TEST(RpcRankerTest, UnitScoresSpanZeroToOne) {
+  const data::Dataset ds = data::GenerateCountryData(60, 6, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  const Vector unit = ranker->UnitScores();
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < unit.size(); ++i) {
+    lo = std::min(lo, unit[i]);
+    hi = std::max(hi, unit[i]);
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(RpcRankerTest, ControlPointsReportedInOriginalUnits) {
+  const data::Dataset ds = data::GenerateCountryData(60, 7, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  const Matrix points = ranker->ControlPointsInOriginalSpace();
+  EXPECT_EQ(points.rows(), 4);  // p0..p3
+  EXPECT_EQ(points.cols(), 4);  // four indicators
+  // p0 is the worst corner: min GDP, min LEB, max IMR, max TB.
+  const Matrix& raw = ds.values();
+  EXPECT_NEAR(points(0, 0), linalg::ColumnMins(raw)[0], 1e-6);
+  EXPECT_NEAR(points(0, 2), linalg::ColumnMaxs(raw)[2], 1e-6);
+  // p3 is the best corner.
+  EXPECT_NEAR(points(3, 0), linalg::ColumnMaxs(raw)[0], 1e-6);
+  EXPECT_NEAR(points(3, 2), linalg::ColumnMins(raw)[2], 1e-6);
+}
+
+TEST(RpcRankerTest, RankDatasetKeepsLabels) {
+  const data::Dataset ds = data::GenerateCountryData(40, 8, true);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  const rank::RankingList list = ranker->RankDataset(ds);
+  EXPECT_EQ(list.size(), 40);
+  // Every item's label must come from the dataset.
+  for (const auto& item : list.items()) {
+    EXPECT_EQ(item.label, ds.label(item.index));
+  }
+}
+
+TEST(RpcRankerTest, SkeletonStaysInsideDataBox) {
+  const data::Dataset ds = data::GenerateCountryData(60, 9, false);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  const Matrix skeleton = ranker->SampleSkeletonRaw(32);
+  const Vector mins = linalg::ColumnMins(ds.values());
+  const Vector maxs = linalg::ColumnMaxs(ds.values());
+  for (int i = 0; i < skeleton.rows(); ++i) {
+    for (int j = 0; j < skeleton.cols(); ++j) {
+      EXPECT_GE(skeleton(i, j), mins[j] - 1e-6);
+      EXPECT_LE(skeleton(i, j), maxs[j] + 1e-6);
+    }
+  }
+}
+
+TEST(RpcRankerTest, RejectsConstantAttribute) {
+  Matrix data(10, 2);
+  for (int i = 0; i < 10; ++i) {
+    data(i, 0) = i;
+    data(i, 1) = 42.0;
+  }
+  const auto ranker =
+      RpcRanker::Fit(data, Orientation::AllBenefit(2));
+  EXPECT_FALSE(ranker.ok());
+}
+
+TEST(RpcRankerTest, RejectsAllMissingDataset) {
+  data::Dataset ds;
+  ds.AppendRow("x", Vector{1.0, 2.0}, {true, false});
+  ds.AppendRow("y", Vector{3.0, 4.0}, {false, true});
+  const auto ranker =
+      RpcRanker::FitDataset(ds, Orientation::AllBenefit(2));
+  EXPECT_FALSE(ranker.ok());
+}
+
+}  // namespace
+}  // namespace rpc::core

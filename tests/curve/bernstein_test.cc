@@ -1,0 +1,79 @@
+#include "curve/bernstein.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rpc::curve {
+namespace {
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(3, 0), 1u);
+  EXPECT_EQ(Binomial(3, 1), 3u);
+  EXPECT_EQ(Binomial(3, 2), 3u);
+  EXPECT_EQ(Binomial(3, 3), 1u);
+  EXPECT_EQ(Binomial(10, 5), 252u);
+  EXPECT_EQ(Binomial(20, 10), 184756u);
+}
+
+TEST(BernsteinBasisTest, CubicAtEndpoints) {
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 3, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 2, 1.0), 0.0);
+}
+
+TEST(BernsteinBasisTest, CubicAtHalf) {
+  // B_r^3(1/2) = C(3,r)/8.
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 0, 0.5), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 1, 0.5), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 2, 0.5), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(BernsteinBasis(3, 3, 0.5), 1.0 / 8.0);
+}
+
+TEST(AllBernsteinTest, MatchesDirectFormula) {
+  for (int k = 0; k <= 6; ++k) {
+    for (double s : {0.0, 0.1, 0.33, 0.5, 0.77, 1.0}) {
+      const linalg::Vector basis = AllBernstein(k, s);
+      ASSERT_EQ(basis.size(), k + 1);
+      for (int r = 0; r <= k; ++r) {
+        EXPECT_NEAR(basis[r], BernsteinBasis(k, r, s), 1e-12)
+            << "k=" << k << " r=" << r << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(AllBernsteinTest, PartitionOfUnity) {
+  for (int k = 1; k <= 8; ++k) {
+    for (double s = 0.0; s <= 1.0; s += 0.05) {
+      const linalg::Vector basis = AllBernstein(k, s);
+      EXPECT_NEAR(basis.Sum(), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(AllBernsteinTest, NonNegativeOnUnitInterval) {
+  for (int k = 1; k <= 8; ++k) {
+    for (double s = 0.0; s <= 1.0; s += 0.01) {
+      const linalg::Vector basis = AllBernstein(k, s);
+      for (int r = 0; r <= k; ++r) EXPECT_GE(basis[r], 0.0);
+    }
+  }
+}
+
+TEST(AllBernsteinTest, SymmetryProperty) {
+  // B_r^k(s) = B_{k-r}^k(1-s).
+  const int k = 5;
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    const linalg::Vector at_s = AllBernstein(k, s);
+    const linalg::Vector at_1ms = AllBernstein(k, 1.0 - s);
+    for (int r = 0; r <= k; ++r) {
+      EXPECT_NEAR(at_s[r], at_1ms[k - r], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpc::curve

@@ -1,0 +1,116 @@
+// Tests for the geometric Bezier operations: subdivision, degree
+// elevation, coordinate extrema.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "curve/bezier.h"
+
+namespace rpc::curve {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+BezierCurve RandomCurve(int d, int k, uint64_t seed) {
+  Rng rng(seed);
+  Matrix control(d, k + 1);
+  for (int i = 0; i < d; ++i) {
+    for (int r = 0; r <= k; ++r) control(i, r) = rng.Uniform(-1.0, 1.0);
+  }
+  return BezierCurve(control);
+}
+
+TEST(SubdivideTest, PiecesTraceTheOriginal) {
+  const BezierCurve curve = RandomCurve(3, 3, 11);
+  for (double split : {0.25, 0.5, 0.8}) {
+    const auto [left, right] = curve.Subdivide(split);
+    EXPECT_EQ(left.degree(), 3);
+    EXPECT_EQ(right.degree(), 3);
+    for (double t = 0.0; t <= 1.0; t += 0.1) {
+      EXPECT_TRUE(ApproxEqual(left.Evaluate(t),
+                              curve.Evaluate(split * t), 1e-12));
+      EXPECT_TRUE(ApproxEqual(right.Evaluate(t),
+                              curve.Evaluate(split + (1.0 - split) * t),
+                              1e-12));
+    }
+  }
+}
+
+TEST(SubdivideTest, EndpointsJoin) {
+  const BezierCurve curve = RandomCurve(2, 4, 12);
+  const auto [left, right] = curve.Subdivide(0.37);
+  EXPECT_TRUE(ApproxEqual(left.Evaluate(1.0), right.Evaluate(0.0), 1e-12));
+  EXPECT_TRUE(ApproxEqual(left.Evaluate(0.0), curve.Evaluate(0.0), 1e-12));
+  EXPECT_TRUE(ApproxEqual(right.Evaluate(1.0), curve.Evaluate(1.0), 1e-12));
+}
+
+TEST(ElevateTest, ShapeUnchangedDegreeUp) {
+  const BezierCurve curve = RandomCurve(2, 3, 13);
+  const BezierCurve elevated = curve.Elevated();
+  EXPECT_EQ(elevated.degree(), 4);
+  for (double t = 0.0; t <= 1.0; t += 0.05) {
+    EXPECT_TRUE(ApproxEqual(elevated.Evaluate(t), curve.Evaluate(t), 1e-12));
+  }
+}
+
+TEST(ElevateTest, RepeatedElevationStillExact) {
+  const BezierCurve curve = RandomCurve(3, 2, 14);
+  BezierCurve elevated = curve;
+  for (int i = 0; i < 4; ++i) elevated = elevated.Elevated();
+  EXPECT_EQ(elevated.degree(), 6);
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    EXPECT_TRUE(ApproxEqual(elevated.Evaluate(t), curve.Evaluate(t), 1e-10));
+  }
+}
+
+TEST(CoordinateExtremaTest, MonotoneCurveHasNone) {
+  const BezierCurve curve(
+      Matrix{{0.0, 0.3, 0.7, 1.0}, {0.0, 0.1, 0.9, 1.0}});
+  const auto extrema = curve.CoordinateExtrema();
+  EXPECT_TRUE(extrema[0].empty());
+  EXPECT_TRUE(extrema[1].empty());
+}
+
+TEST(CoordinateExtremaTest, ParabolicCoordinateHasOne) {
+  // y rises then falls: quadratic-like bump with one interior extremum.
+  const BezierCurve curve(
+      Matrix{{0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0}, {0.0, 1.2, 1.2, 0.0}});
+  const auto extrema = curve.CoordinateExtrema();
+  EXPECT_TRUE(extrema[0].empty());
+  ASSERT_EQ(extrema[1].size(), 1u);
+  EXPECT_NEAR(extrema[1][0], 0.5, 1e-6);  // symmetric bump peaks mid-way
+  // The derivative really vanishes there.
+  EXPECT_NEAR(curve.Derivative(extrema[1][0])[1], 0.0, 1e-8);
+}
+
+TEST(CoordinateExtremaTest, SWiggleHasTwo) {
+  // A coordinate that goes up, down, up again.
+  const BezierCurve curve(Matrix{{0.0, 2.0, -1.0, 1.0}});
+  const auto extrema = curve.CoordinateExtrema();
+  ASSERT_EQ(extrema[0].size(), 2u);
+  EXPECT_LT(extrema[0][0], extrema[0][1]);
+  for (double root : extrema[0]) {
+    EXPECT_NEAR(curve.Derivative(root)[0], 0.0, 1e-8);
+  }
+}
+
+TEST(CoordinateExtremaTest, AgreesWithMonotonicityOfRpcShapes) {
+  // Curves satisfying Proposition 1 must report no interior extrema.
+  Rng rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix control(2, 4);
+    for (int j = 0; j < 2; ++j) {
+      control(j, 0) = 0.0;
+      control(j, 1) = rng.Uniform(0.01, 0.99);
+      control(j, 2) = rng.Uniform(0.01, 0.99);
+      control(j, 3) = 1.0;
+    }
+    const BezierCurve curve(control);
+    const auto extrema = curve.CoordinateExtrema();
+    EXPECT_TRUE(extrema[0].empty()) << "trial " << trial;
+    EXPECT_TRUE(extrema[1].empty()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rpc::curve

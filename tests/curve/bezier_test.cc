@@ -1,0 +1,143 @@
+#include "curve/bezier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "curve/bernstein.h"
+
+namespace rpc::curve {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// A 2-D cubic used across tests: p0=(0,0), p1=(0.2,0.8), p2=(0.7,0.9),
+// p3=(1,1).
+Matrix TestControlPoints() {
+  return Matrix{{0.0, 0.2, 0.7, 1.0}, {0.0, 0.8, 0.9, 1.0}};
+}
+
+TEST(BezierTest, EndpointInterpolation) {
+  const BezierCurve curve(TestControlPoints());
+  EXPECT_TRUE(ApproxEqual(curve.Evaluate(0.0), Vector{0.0, 0.0}, 1e-12));
+  EXPECT_TRUE(ApproxEqual(curve.Evaluate(1.0), Vector{1.0, 1.0}, 1e-12));
+}
+
+TEST(BezierTest, MatchesBernsteinExpansion) {
+  const BezierCurve curve(TestControlPoints());
+  const Matrix& p = curve.control_points();
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    const Vector value = curve.Evaluate(s);
+    Vector expected(2);
+    for (int r = 0; r <= 3; ++r) {
+      const double b = BernsteinBasis(3, r, s);
+      expected[0] += b * p(0, r);
+      expected[1] += b * p(1, r);
+    }
+    EXPECT_TRUE(ApproxEqual(value, expected, 1e-12)) << "s=" << s;
+  }
+}
+
+TEST(BezierTest, LinearCurveIsStraight) {
+  const BezierCurve line(Matrix{{0.0, 1.0}, {0.0, 2.0}});
+  EXPECT_EQ(line.degree(), 1);
+  const Vector mid = line.Evaluate(0.5);
+  EXPECT_NEAR(mid[0], 0.5, 1e-12);
+  EXPECT_NEAR(mid[1], 1.0, 1e-12);
+}
+
+TEST(BezierTest, DerivativeMatchesFiniteDifference) {
+  const BezierCurve curve(TestControlPoints());
+  const double h = 1e-7;
+  for (double s : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const Vector d = curve.Derivative(s);
+    const Vector fd =
+        (curve.Evaluate(s + h) - curve.Evaluate(s - h)) / (2.0 * h);
+    EXPECT_TRUE(ApproxEqual(d, fd, 1e-5)) << "s=" << s;
+  }
+}
+
+TEST(BezierTest, DerivativeCurveAgreesWithDerivative) {
+  const BezierCurve curve(TestControlPoints());
+  const BezierCurve hodograph = curve.DerivativeCurve();
+  EXPECT_EQ(hodograph.degree(), 2);
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    EXPECT_TRUE(
+        ApproxEqual(hodograph.Evaluate(s), curve.Derivative(s), 1e-12));
+  }
+}
+
+TEST(BezierTest, PowerBasisRoundTrip) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(4));
+    const int k = 1 + static_cast<int>(rng.UniformInt(4));
+    Matrix control(d, k + 1);
+    for (int i = 0; i < d; ++i) {
+      for (int r = 0; r <= k; ++r) control(i, r) = rng.Uniform(-1.0, 1.0);
+    }
+    const BezierCurve curve(control);
+    const Matrix coeffs = curve.PowerBasisCoefficients();
+    for (double s = 0.0; s <= 1.0; s += 0.2) {
+      Vector horner(d);
+      for (int j = k; j >= 0; --j) {
+        for (int i = 0; i < d; ++i) {
+          horner[i] = horner[i] * s + coeffs(i, j);
+        }
+      }
+      EXPECT_TRUE(ApproxEqual(horner, curve.Evaluate(s), 1e-10));
+    }
+  }
+}
+
+TEST(BezierTest, SampleShapeAndEndpoints) {
+  const BezierCurve curve(TestControlPoints());
+  const Matrix samples = curve.Sample(10);
+  EXPECT_EQ(samples.rows(), 11);
+  EXPECT_EQ(samples.cols(), 2);
+  EXPECT_TRUE(ApproxEqual(samples.Row(0), curve.Evaluate(0.0), 1e-12));
+  EXPECT_TRUE(ApproxEqual(samples.Row(10), curve.Evaluate(1.0), 1e-12));
+}
+
+TEST(BezierTest, SquaredDistance) {
+  const BezierCurve curve(TestControlPoints());
+  const Vector x{0.0, 0.0};
+  EXPECT_NEAR(curve.SquaredDistanceAt(x, 0.0), 0.0, 1e-12);
+  EXPECT_GT(curve.SquaredDistanceAt(x, 1.0), 1.0);
+}
+
+TEST(BezierTest, AffineInvarianceOfShape) {
+  // Transforming control points transforms curve points identically
+  // (Eq. 16).
+  const BezierCurve curve(TestControlPoints());
+  const Vector scale{2.0, 3.0};
+  const Vector shift{-1.0, 4.0};
+  const BezierCurve transformed = curve.AffineTransformed(scale, shift);
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    const Vector orig = curve.Evaluate(s);
+    const Vector expect{2.0 * orig[0] - 1.0, 3.0 * orig[1] + 4.0};
+    EXPECT_TRUE(ApproxEqual(transformed.Evaluate(s), expect, 1e-12));
+  }
+}
+
+TEST(BezierTest, ApproximateLengthOfLine) {
+  const BezierCurve line(Matrix{{0.0, 3.0}, {0.0, 4.0}});
+  EXPECT_NEAR(line.ApproximateLength(), 5.0, 1e-9);
+}
+
+TEST(BezierTest, ConvexHullProperty) {
+  // All curve points lie in the control points' bounding box.
+  const BezierCurve curve(TestControlPoints());
+  for (double s = 0.0; s <= 1.0; s += 0.01) {
+    const Vector p = curve.Evaluate(s);
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LE(p[1], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rpc::curve

@@ -1,0 +1,87 @@
+#include "curve/cubic_bezier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "curve/bernstein.h"
+
+namespace rpc::curve {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(CubicMTest, RowsAreBernsteinPolynomials) {
+  // Row r of M dotted with z(s) must equal B_r^3(s).
+  const Matrix& m = CubicM();
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    const Vector z = CubicZ(s);
+    for (int r = 0; r < 4; ++r) {
+      double dot = 0.0;
+      for (int c = 0; c < 4; ++c) dot += m(r, c) * z[c];
+      EXPECT_NEAR(dot, BernsteinBasis(3, r, s), 1e-12)
+          << "r=" << r << " s=" << s;
+    }
+  }
+}
+
+TEST(CubicZTest, PowersOfS) {
+  const Vector z = CubicZ(2.0);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 2.0);
+  EXPECT_DOUBLE_EQ(z[2], 4.0);
+  EXPECT_DOUBLE_EQ(z[3], 8.0);
+}
+
+TEST(CubicZMatrixTest, ColumnsAreZ) {
+  const Vector scores{0.0, 0.5, 1.0};
+  const Matrix z = CubicZMatrix(scores);
+  EXPECT_EQ(z.rows(), 4);
+  EXPECT_EQ(z.cols(), 3);
+  EXPECT_TRUE(ApproxEqual(z.Column(1), CubicZ(0.5), 1e-12));
+}
+
+TEST(EvaluateCubicTest, MatchesDeCasteljau) {
+  Rng rng(31);
+  Matrix p(3, 4);
+  for (int i = 0; i < 3; ++i) {
+    for (int r = 0; r < 4; ++r) p(i, r) = rng.Uniform();
+  }
+  const BezierCurve curve(p);
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    EXPECT_TRUE(ApproxEqual(EvaluateCubic(p, s), curve.Evaluate(s), 1e-12));
+  }
+}
+
+TEST(ReconstructCubicTest, ColumnsAreCurvePoints) {
+  Matrix p{{0.0, 0.3, 0.6, 1.0}, {1.0, 0.7, 0.3, 0.0}};
+  const Vector scores{0.25, 0.75};
+  const Matrix recon = ReconstructCubic(p, scores);
+  EXPECT_EQ(recon.rows(), 2);
+  EXPECT_EQ(recon.cols(), 2);
+  EXPECT_TRUE(ApproxEqual(recon.Column(0), EvaluateCubic(p, 0.25), 1e-12));
+  EXPECT_TRUE(ApproxEqual(recon.Column(1), EvaluateCubic(p, 0.75), 1e-12));
+}
+
+TEST(CubicResidualTest, ZeroWhenDataOnCurve) {
+  const Matrix p{{0.0, 0.25, 0.75, 1.0}, {0.0, 0.6, 0.8, 1.0}};
+  const Vector scores{0.2, 0.5, 0.9};
+  Matrix data(3, 2);
+  for (int i = 0; i < 3; ++i) data.SetRow(i, EvaluateCubic(p, scores[i]));
+  EXPECT_NEAR(CubicResidual(p, data, scores), 0.0, 1e-14);
+}
+
+TEST(CubicResidualTest, MatchesManualSum) {
+  const Matrix p{{0.0, 0.25, 0.75, 1.0}, {0.0, 0.6, 0.8, 1.0}};
+  const Vector scores{0.3, 0.8};
+  Matrix data{{0.1, 0.2}, {0.9, 0.8}};
+  double expected = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    const Vector f = EvaluateCubic(p, scores[i]);
+    expected += (data.Row(i) - f).SquaredNorm();
+  }
+  EXPECT_NEAR(CubicResidual(p, data, scores), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace rpc::curve

@@ -1,0 +1,102 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::data {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(DatasetTest, FromMatrixBasics) {
+  const auto ds = Dataset::FromMatrix(Matrix{{1.0, 2.0}, {3.0, 4.0}},
+                                      {"a", "b"}, {"r0", "r1"});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 2);
+  EXPECT_EQ(ds->num_attributes(), 2);
+  EXPECT_DOUBLE_EQ(ds->value(1, 0), 3.0);
+  EXPECT_EQ(ds->label(0), "r0");
+  EXPECT_EQ(ds->attribute_name(1), "b");
+  EXPECT_FALSE(ds->IsMissing(0, 0));
+}
+
+TEST(DatasetTest, DefaultNamesAndLabels) {
+  const auto ds = Dataset::FromMatrix(Matrix{{1.0}}, {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->attribute_name(0), "v0");
+  EXPECT_EQ(ds->label(0), "obj0");
+}
+
+TEST(DatasetTest, FromMatrixRejectsMismatchedCounts) {
+  EXPECT_FALSE(Dataset::FromMatrix(Matrix{{1.0, 2.0}}, {"only_one"}, {}).ok());
+  EXPECT_FALSE(
+      Dataset::FromMatrix(Matrix{{1.0}}, {}, {"too", "many"}).ok());
+}
+
+TEST(DatasetTest, AppendRowAndMissing) {
+  Dataset ds;
+  ds.AppendRow("x", Vector{1.0, 2.0});
+  ds.AppendRow("y", Vector{3.0, 4.0}, {true, false});
+  EXPECT_EQ(ds.num_objects(), 2);
+  EXPECT_TRUE(ds.IsMissing(1, 0));
+  EXPECT_FALSE(ds.IsMissing(1, 1));
+  EXPECT_TRUE(ds.RowComplete(0));
+  EXPECT_FALSE(ds.RowComplete(1));
+  EXPECT_EQ(ds.CountIncompleteRows(), 1);
+}
+
+TEST(DatasetTest, FilterCompleteRows) {
+  Dataset ds;
+  ds.AppendRow("keep1", Vector{1.0, 2.0});
+  ds.AppendRow("drop", Vector{0.0, 0.0}, {false, true});
+  ds.AppendRow("keep2", Vector{5.0, 6.0});
+  const Dataset filtered = ds.FilterCompleteRows();
+  EXPECT_EQ(filtered.num_objects(), 2);
+  EXPECT_EQ(filtered.label(0), "keep1");
+  EXPECT_EQ(filtered.label(1), "keep2");
+  EXPECT_DOUBLE_EQ(filtered.value(1, 1), 6.0);
+  EXPECT_EQ(filtered.CountIncompleteRows(), 0);
+}
+
+TEST(DatasetTest, AttributeAndLabelLookup) {
+  const auto ds = Dataset::FromMatrix(Matrix{{1.0, 2.0}}, {"gdp", "leb"},
+                                      {"norway"});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->AttributeIndex("leb").value(), 1);
+  EXPECT_FALSE(ds->AttributeIndex("nope").ok());
+  EXPECT_EQ(ds->LabelIndex("norway").value(), 0);
+  EXPECT_FALSE(ds->LabelIndex("sweden").ok());
+}
+
+TEST(DatasetTest, SelectAttributes) {
+  const auto ds = Dataset::FromMatrix(
+      Matrix{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}}, {"a", "b", "c"}, {});
+  ASSERT_TRUE(ds.ok());
+  const auto selected = ds->SelectAttributes({2, 0});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->num_attributes(), 2);
+  EXPECT_EQ(selected->attribute_name(0), "c");
+  EXPECT_DOUBLE_EQ(selected->value(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(selected->value(1, 1), 4.0);
+  EXPECT_FALSE(ds->SelectAttributes({3}).ok());
+}
+
+TEST(DatasetTest, SelectAttributesKeepsMissingFlags) {
+  Dataset ds;
+  ds.AppendRow("x", Vector{1.0, 2.0, 3.0}, {false, true, false});
+  const auto selected = ds.SelectAttributes({1, 2});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->IsMissing(0, 0));
+  EXPECT_FALSE(selected->IsMissing(0, 1));
+}
+
+TEST(DatasetTest, SetAttributeNames) {
+  Dataset ds;
+  ds.AppendRow("x", Vector{1.0, 2.0});
+  EXPECT_TRUE(ds.SetAttributeNames({"p", "q"}).ok());
+  EXPECT_EQ(ds.attribute_name(0), "p");
+  EXPECT_FALSE(ds.SetAttributeNames({"only_one"}).ok());
+}
+
+}  // namespace
+}  // namespace rpc::data

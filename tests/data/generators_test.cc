@@ -1,0 +1,154 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/stats.h"
+#include "order/monotonicity.h"
+
+namespace rpc::data {
+namespace {
+
+using linalg::Matrix;
+using order::Orientation;
+
+TEST(LatentCurveTest, ShapesAndDeterminism) {
+  LatentCurveOptions options;
+  options.n = 50;
+  const auto alpha = Orientation::FromSigns({1, -1, 1});
+  ASSERT_TRUE(alpha.ok());
+  const LatentCurveSample a = GenerateLatentCurveData(*alpha, options);
+  const LatentCurveSample b = GenerateLatentCurveData(*alpha, options);
+  EXPECT_EQ(a.data.rows(), 50);
+  EXPECT_EQ(a.data.cols(), 3);
+  EXPECT_EQ(a.latent.size(), 50);
+  EXPECT_TRUE(ApproxEqual(a.data, b.data, 0.0));  // same seed -> identical
+}
+
+TEST(LatentCurveTest, TruthCurveIsStrictlyMonotone) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    LatentCurveOptions options;
+    options.seed = seed;
+    const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+    ASSERT_TRUE(alpha.ok());
+    const LatentCurveSample sample = GenerateLatentCurveData(*alpha, options);
+    const auto report =
+        order::CheckCurveMonotonicity(sample.truth, *alpha, 256);
+    EXPECT_TRUE(report.strictly_monotone) << "seed " << seed;
+  }
+}
+
+TEST(LatentCurveTest, NoiseFreePointsLieOnCurve) {
+  LatentCurveOptions options;
+  options.noise_sigma = 0.0;
+  options.n = 30;
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const LatentCurveSample sample = GenerateLatentCurveData(alpha, options);
+  for (int i = 0; i < sample.data.rows(); ++i) {
+    const linalg::Vector on_curve = sample.truth.Evaluate(sample.latent[i]);
+    EXPECT_TRUE(ApproxEqual(sample.data.Row(i), on_curve, 1e-12));
+  }
+}
+
+TEST(CountryGeneratorTest, SizeAndAnchors) {
+  const Dataset ds = GenerateCountryData(171, 7, true);
+  EXPECT_EQ(ds.num_objects(), 171);
+  EXPECT_EQ(ds.num_attributes(), 4);
+  EXPECT_EQ(ds.attribute_name(0), "GDP");
+  EXPECT_TRUE(ds.LabelIndex("Luxembourg").ok());
+  EXPECT_TRUE(ds.LabelIndex("Swaziland").ok());
+  const int lux = ds.LabelIndex("Luxembourg").value();
+  EXPECT_DOUBLE_EQ(ds.value(lux, 0), 70014.0);
+  EXPECT_EQ(ds.CountIncompleteRows(), 0);
+}
+
+TEST(CountryGeneratorTest, PlausibleRangesAndTrends) {
+  const Dataset ds = GenerateCountryData(171, 7, true);
+  const Matrix& values = ds.values();
+  for (int i = 0; i < values.rows(); ++i) {
+    EXPECT_GT(values(i, 0), 100.0);     // GDP
+    EXPECT_LT(values(i, 0), 200000.0);
+    EXPECT_GT(values(i, 1), 35.0);      // LEB
+    EXPECT_LT(values(i, 1), 85.0);
+    EXPECT_GE(values(i, 2), 2.0);       // IMR
+    EXPECT_GE(values(i, 3), 2.0);       // TB
+  }
+  // Health indicators anticorrelate with wealth (the Fig. 7 structure):
+  // use log-GDP as the development proxy.
+  linalg::Vector log_gdp(values.rows());
+  for (int i = 0; i < values.rows(); ++i) {
+    log_gdp[i] = std::log(values(i, 0));
+  }
+  EXPECT_GT(linalg::PearsonCorrelation(log_gdp, values.Column(1)), 0.6);
+  EXPECT_LT(linalg::PearsonCorrelation(log_gdp, values.Column(2)), -0.5);
+  EXPECT_LT(linalg::PearsonCorrelation(log_gdp, values.Column(3)), -0.4);
+}
+
+TEST(CountryGeneratorTest, WithoutAnchors) {
+  const Dataset ds = GenerateCountryData(50, 9, false);
+  EXPECT_EQ(ds.num_objects(), 50);
+  EXPECT_FALSE(ds.LabelIndex("Luxembourg").ok());
+}
+
+TEST(JournalGeneratorTest, MissingRowsMatchSpec) {
+  const Dataset ds = GenerateJournalData(451, 58, 11, true);
+  EXPECT_EQ(ds.num_objects(), 451);
+  EXPECT_EQ(ds.num_attributes(), 5);
+  EXPECT_EQ(ds.CountIncompleteRows(), 58);
+  EXPECT_EQ(ds.FilterCompleteRows().num_objects(), 393);
+}
+
+TEST(JournalGeneratorTest, AnchorsPresentAndComplete) {
+  const Dataset ds = GenerateJournalData(451, 58, 11, true);
+  const auto tkde = ds.LabelIndex("IEEE T KNOWL DATA EN");
+  ASSERT_TRUE(tkde.ok());
+  EXPECT_TRUE(ds.RowComplete(tkde.value()));
+  EXPECT_DOUBLE_EQ(ds.value(tkde.value(), 0), 1.892);
+}
+
+TEST(JournalGeneratorTest, CorrelationStructure) {
+  const Dataset complete =
+      GenerateJournalData(451, 58, 11, false).FilterCompleteRows();
+  const Matrix& v = complete.values();
+  // IF and 5IF strongly correlated; Eigenfactor much less so (Section
+  // 6.2.2's observation).
+  const double if_5if =
+      linalg::PearsonCorrelation(v.Column(0), v.Column(1));
+  const double if_ef =
+      linalg::PearsonCorrelation(v.Column(0), v.Column(3));
+  EXPECT_GT(if_5if, 0.9);
+  EXPECT_LT(if_ef, 0.6);
+}
+
+TEST(CrescentGeneratorTest, ShapeBounds) {
+  const Matrix data = GenerateCrescent(200, 0.02, 3);
+  EXPECT_EQ(data.rows(), 200);
+  EXPECT_EQ(data.cols(), 2);
+  for (int i = 0; i < data.rows(); ++i) {
+    EXPECT_GT(data(i, 0), -0.2);
+    EXPECT_LT(data(i, 0), 1.2);
+  }
+}
+
+TEST(ParabolaGeneratorTest, NonMonotoneShape) {
+  const Matrix data = GenerateParabola(500, 0.01, 4);
+  // y values near x=0.5 exceed y values near the ends.
+  double y_mid = 0.0, y_end = 0.0;
+  int n_mid = 0, n_end = 0;
+  for (int i = 0; i < data.rows(); ++i) {
+    if (std::fabs(data(i, 0) - 0.5) < 0.1) {
+      y_mid += data(i, 1);
+      ++n_mid;
+    } else if (data(i, 0) < 0.1 || data(i, 0) > 0.9) {
+      y_end += data(i, 1);
+      ++n_end;
+    }
+  }
+  ASSERT_GT(n_mid, 0);
+  ASSERT_GT(n_end, 0);
+  EXPECT_GT(y_mid / n_mid, y_end / n_end + 0.5);
+}
+
+}  // namespace
+}  // namespace rpc::data

@@ -1,0 +1,80 @@
+#include "data/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rpc::data {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(NormalizerTest, MapsExtremesToUnitInterval) {
+  const Matrix data{{10.0, -2.0}, {20.0, 0.0}, {30.0, 2.0}};
+  const auto norm = Normalizer::Fit(data);
+  ASSERT_TRUE(norm.ok());
+  const Matrix transformed = norm->Transform(data);
+  EXPECT_DOUBLE_EQ(transformed(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(transformed(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(transformed(1, 1), 0.5);
+}
+
+TEST(NormalizerTest, InverseRoundTrip) {
+  Rng rng(2);
+  Matrix data(20, 3);
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 3; ++j) data(i, j) = rng.Uniform(-100.0, 100.0);
+  }
+  const auto norm = Normalizer::Fit(data);
+  ASSERT_TRUE(norm.ok());
+  const Matrix round = norm->InverseTransform(norm->Transform(data));
+  EXPECT_TRUE(ApproxEqual(round, data, 1e-9));
+}
+
+TEST(NormalizerTest, VectorTransform) {
+  const Matrix data{{0.0, 0.0}, {10.0, 100.0}};
+  const auto norm = Normalizer::Fit(data);
+  ASSERT_TRUE(norm.ok());
+  const Vector v = norm->Transform(Vector{5.0, 25.0});
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.25);
+  const Vector back = norm->InverseTransform(v);
+  EXPECT_DOUBLE_EQ(back[0], 5.0);
+  EXPECT_DOUBLE_EQ(back[1], 25.0);
+}
+
+TEST(NormalizerTest, RejectsConstantColumn) {
+  const Matrix data{{1.0, 5.0}, {2.0, 5.0}};
+  const auto norm = Normalizer::Fit(data);
+  EXPECT_FALSE(norm.ok());
+  EXPECT_EQ(norm.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NormalizerTest, RejectsTooFewRows) {
+  EXPECT_FALSE(Normalizer::Fit(Matrix{{1.0}}).ok());
+}
+
+TEST(NormalizerTest, OutOfSamplePointsAllowedOutsideUnit) {
+  // Transform is affine, so unseen extremes land outside [0,1] — callers
+  // (the learner) decide how to treat them.
+  const Matrix data{{0.0}, {10.0}};
+  const auto norm = Normalizer::Fit(data);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ(norm->Transform(Vector{20.0})[0], 2.0);
+  EXPECT_DOUBLE_EQ(norm->Transform(Vector{-10.0})[0], -1.0);
+}
+
+TEST(NormalizerTest, OrderPreservedPerCoordinate) {
+  // Eq. (29) must preserve the cone order: monotone map per coordinate.
+  const Matrix data{{3.0, 30.0}, {1.0, 10.0}, {2.0, 20.0}};
+  const auto norm = Normalizer::Fit(data);
+  ASSERT_TRUE(norm.ok());
+  const Matrix t = norm->Transform(data);
+  EXPECT_GT(t(0, 0), t(2, 0));
+  EXPECT_GT(t(2, 0), t(1, 0));
+  EXPECT_GT(t(0, 1), t(2, 1));
+}
+
+}  // namespace
+}  // namespace rpc::data

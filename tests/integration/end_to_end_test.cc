@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "baselines/elmap.h"
+#include "core/rpc_ranker.h"
+#include "data/csv.h"
+#include "data/fixtures.h"
+#include "data/generators.h"
+#include "rank/metrics.h"
+#include "rank/rank_aggregation.h"
+
+namespace rpc {
+namespace {
+
+using core::RpcRanker;
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+// CSV text -> Dataset -> filter -> RPC -> ranking list, the full pipeline a
+// downstream user would run.
+TEST(EndToEndTest, CsvToRankingList) {
+  const std::string csv =
+      "country,GDP,LEB,IMR,TB\n"
+      "Richland,60000,80,3,3\n"
+      "Midland,12000,70,25,20\n"
+      "Poorland,800,48,150,120\n"
+      "Missingland,5000,,40,60\n"
+      "Averagia,9000,66,40,30\n"
+      "Growthia,22000,74,12,9\n";
+  const auto ds = data::ParseCsv(csv);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->CountIncompleteRows(), 1);
+
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = RpcRanker::FitDataset(*ds, *alpha);
+  ASSERT_TRUE(ranker.ok()) << ranker.status().ToString();
+
+  const data::Dataset complete = ds->FilterCompleteRows();
+  const rank::RankingList list = ranker->RankDataset(complete);
+  ASSERT_EQ(list.size(), 5);
+  EXPECT_EQ(list.items().front().label, "Richland");
+  EXPECT_EQ(list.items().back().label, "Poorland");
+}
+
+TEST(EndToEndTest, RpcBeatsRankAggOnTable1Sensitivity) {
+  // The Fig. 6 story, end to end: moving A to A' flips the RPC order of
+  // {A, B} while RankAgg stays tied.
+  const Matrix before = data::Table1aMatrix();
+  const Matrix after = data::Table1bMatrix();
+  const auto agg_before = rank::AggregateAttributeRanks(before, {1, 1});
+  const auto agg_after = rank::AggregateAttributeRanks(after, {1, 1});
+  ASSERT_TRUE(agg_before.ok());
+  ASSERT_TRUE(agg_after.ok());
+  EXPECT_DOUBLE_EQ((*agg_before)[0], (*agg_before)[1]);  // tie
+  EXPECT_DOUBLE_EQ((*agg_after)[0], (*agg_after)[1]);    // still tied
+}
+
+TEST(EndToEndTest, RpcAndElmapAgreeOnGrossOrder) {
+  const data::Dataset ds = data::GenerateCountryData(171, 7, true);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto rpc = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(rpc.ok());
+  const auto elmap = baselines::ElmapCurve::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(elmap.ok());
+  const Vector rpc_scores = rpc->ScoreRows(ds.values());
+  const Vector elmap_scores = elmap->ScoreRows(ds.values());
+  // The two principal-curve methods broadly agree (Table 2's story).
+  EXPECT_GT(rank::KendallTauB(rpc_scores, elmap_scores), 0.8);
+}
+
+TEST(EndToEndTest, ExplainedVarianceRpcVsElmapShape) {
+  // Paper: RPC explains more variance than Elmap (90% vs 86%) on the
+  // country data. Check the *shape*: RPC >= Elmap - small slack, both high.
+  const data::Dataset ds = data::GenerateCountryData(171, 7, true);
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto rpc = RpcRanker::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(rpc.ok());
+  const auto elmap_model = baselines::ElmapCurve::Fit(ds.values(), *alpha);
+  ASSERT_TRUE(elmap_model.ok());
+  // Compare both in the same normalised space.
+  const Matrix normalized =
+      rpc->normalizer().Transform(ds.values());
+  const double rpc_ev =
+      rank::ExplainedVariance(rpc->fit_result().final_j, normalized);
+  const double elmap_ev =
+      rank::ExplainedVariance(elmap_model->residual_j(), normalized);
+  EXPECT_GT(rpc_ev, 0.55);
+  EXPECT_GT(elmap_ev, 0.4);
+}
+
+TEST(EndToEndTest, JournalPipelineReproducesFilterCount) {
+  const data::Dataset ds = data::GenerateJournalData(451, 58, 11, true);
+  const data::Dataset complete = ds.FilterCompleteRows();
+  EXPECT_EQ(complete.num_objects(), 393);
+  const Orientation alpha = Orientation::AllBenefit(5);
+  const auto ranker = RpcRanker::FitDataset(ds, alpha);
+  ASSERT_TRUE(ranker.ok());
+  const rank::RankingList list = ranker->RankDataset(complete);
+  EXPECT_EQ(list.size(), 393);
+  // Strongest journal anchors (TPAMI-like profile) should rank near the
+  // top quintile.
+  const auto tpami = complete.LabelIndex("IEEE T PATTERN ANAL");
+  ASSERT_TRUE(tpami.ok());
+  EXPECT_LT(list.PositionOf(tpami.value()), 79);
+}
+
+}  // namespace
+}  // namespace rpc

@@ -1,0 +1,176 @@
+// Failure injection: malformed, degenerate and adversarial inputs must
+// surface as Status errors (or graceful behaviour), never as crashes or
+// silent garbage.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baselines/elmap.h"
+#include "baselines/polyline_curve.h"
+#include "core/rpc_ranker.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "rank/kernel_pca.h"
+
+namespace rpc {
+namespace {
+
+using core::RpcLearner;
+using core::RpcRanker;
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+Matrix HealthyData(int n) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = n, .noise_sigma = 0.03, .control_margin = 0.1, .seed = 77});
+  return sample.data;
+}
+
+TEST(FailureInjectionTest, NanInDataRejectedByNormalizer) {
+  Matrix data = HealthyData(20);
+  data(7, 1) = std::nan("");
+  const auto norm = data::Normalizer::Fit(data);
+  EXPECT_FALSE(norm.ok());
+  EXPECT_EQ(norm.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, InfinityRejectedByNormalizer) {
+  Matrix data = HealthyData(20);
+  data(3, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(data::Normalizer::Fit(data).ok());
+}
+
+TEST(FailureInjectionTest, NanRejectedByLearnerDirectly) {
+  Matrix data = HealthyData(20);
+  // Clamp into [0,1] so only the NaN is wrong.
+  for (int i = 0; i < data.rows(); ++i) {
+    for (int j = 0; j < data.cols(); ++j) {
+      data(i, j) = std::min(1.0, std::max(0.0, data(i, j)));
+    }
+  }
+  data(5, 0) = std::nan("");
+  const auto fit = RpcLearner().Fit(data, Orientation::AllBenefit(2));
+  EXPECT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureInjectionTest, NanPropagatesThroughRankerFit) {
+  Matrix data = HealthyData(20);
+  data(0, 0) = std::nan("");
+  EXPECT_FALSE(RpcRanker::Fit(data, Orientation::AllBenefit(2)).ok());
+}
+
+TEST(FailureInjectionTest, AllIdenticalRowsRejected) {
+  Matrix data(10, 3, 0.5);
+  EXPECT_FALSE(RpcRanker::Fit(data, Orientation::AllBenefit(3)).ok());
+  EXPECT_FALSE(
+      baselines::ElmapCurve::Fit(data, Orientation::AllBenefit(3)).ok());
+  EXPECT_FALSE(
+      baselines::PolylineCurve::Fit(data, Orientation::AllBenefit(3)).ok());
+  EXPECT_FALSE(
+      rank::KernelPcaRanker::Fit(data, Orientation::AllBenefit(3)).ok());
+}
+
+TEST(FailureInjectionTest, DuplicatedPointsStillFit) {
+  // Heavy duplication is legal (ties in the list, not an error).
+  Matrix data(30, 2);
+  for (int i = 0; i < 30; ++i) {
+    const double t = (i % 3) / 2.0;  // only three distinct points
+    data(i, 0) = t;
+    data(i, 1) = t * t;
+  }
+  const auto ranker = RpcRanker::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok()) << ranker.status().ToString();
+  const Vector scores = ranker->ScoreRows(data);
+  // Identical inputs must get identical scores.
+  EXPECT_DOUBLE_EQ(scores[0], scores[3]);
+  EXPECT_DOUBLE_EQ(scores[1], scores[4]);
+}
+
+TEST(FailureInjectionTest, ExtremeAttributeScalesSurvive) {
+  // Meta-rule 1 stress: columns spanning 12 orders of magnitude.
+  Matrix data = HealthyData(60);
+  Matrix scaled(data.rows(), 2);
+  for (int i = 0; i < data.rows(); ++i) {
+    scaled(i, 0) = 1e12 * data(i, 0) + 3e11;
+    scaled(i, 1) = 1e-9 * data(i, 1) - 5e-10;
+  }
+  const auto base = RpcRanker::Fit(data, Orientation::AllBenefit(2));
+  const auto wild = RpcRanker::Fit(scaled, Orientation::AllBenefit(2));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(wild.ok());
+  const Vector a = base->ScoreRows(data);
+  const Vector b = wild->ScoreRows(scaled);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-5) << "row " << i;
+  }
+}
+
+TEST(FailureInjectionTest, ScoringOutOfDomainPointsIsClamped) {
+  const auto ranker =
+      RpcRanker::Fit(HealthyData(50), Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  // Far outside the training box: scores stay in [0,1] (projection is onto
+  // a bounded curve).
+  EXPECT_GE(ranker->Score(Vector{-1e6, -1e6}), 0.0);
+  EXPECT_LE(ranker->Score(Vector{-1e6, -1e6}), 1.0);
+  EXPECT_GE(ranker->Score(Vector{1e6, 1e6}), 0.0);
+  EXPECT_LE(ranker->Score(Vector{1e6, 1e6}), 1.0);
+}
+
+TEST(FailureInjectionTest, CsvGarbageVariantsAllRejectedCleanly) {
+  const char* cases[] = {
+      "",                          // empty
+      "\n\n\n",                    // blank lines only
+      "name,a\nx,1\ny",            // ragged
+      "name,a\nx,1e999999\n",      // overflow parses to inf: accepted or not
+      "name,a\nx,0x12zz\n",        // garbage token
+  };
+  for (const char* text : cases) {
+    const auto ds = data::ParseCsv(text);
+    if (ds.ok()) {
+      // The overflow case may parse; it must then fail later, not crash.
+      const auto ranker =
+          RpcRanker::FitDataset(*ds, Orientation::AllBenefit(1));
+      EXPECT_FALSE(ranker.ok());
+    }
+  }
+}
+
+TEST(FailureInjectionTest, DatasetWithOneCompleteRowRejected) {
+  data::Dataset ds;
+  ds.AppendRow("only", Vector{1.0, 2.0});
+  ds.AppendRow("broken", Vector{0.0, 0.0}, {true, true});
+  EXPECT_FALSE(RpcRanker::FitDataset(ds, Orientation::AllBenefit(2)).ok());
+}
+
+TEST(FailureInjectionTest, TinyButValidDatasetFits) {
+  // The minimum legal configuration: 2 rows, 2 attributes.
+  Matrix data{{0.0, 0.0}, {1.0, 1.0}};
+  const auto ranker = RpcRanker::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok()) << ranker.status().ToString();
+  EXPECT_LT(ranker->Score(data.Row(0)), ranker->Score(data.Row(1)));
+}
+
+TEST(FailureInjectionTest, MaxIterationsZeroStillReturnsValidCurve) {
+  core::RpcLearnOptions options;
+  options.max_iterations = 0;
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 30, .noise_sigma = 0.02, .control_margin = 0.1, .seed = 5});
+  auto norm = data::Normalizer::Fit(sample.data);
+  const auto fit =
+      RpcLearner(options).Fit(norm->Transform(sample.data),
+                              Orientation::AllBenefit(2));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->iterations, 0);
+  EXPECT_EQ(fit->scores.size(), 30);
+  EXPECT_TRUE(fit->curve.CheckMonotonicity().strictly_monotone);
+}
+
+}  // namespace
+}  // namespace rpc

@@ -1,0 +1,104 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+#include "rank/metrics.h"
+
+namespace rpc {
+namespace {
+
+using core::RpcLearnOptions;
+using core::RpcRanker;
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+// Property sweep: meta-rule 1 for the full RPC pipeline. Refitting on any
+// positively rescaled and translated copy of the data must reproduce the
+// identical ranking list (deterministic init makes runs comparable).
+class RpcInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RpcInvarianceTest, RankingInvariantUnderPositiveAffineMaps) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int d = 2 + static_cast<int>(rng.UniformInt(3));
+  std::vector<int> signs(static_cast<size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    signs[static_cast<size_t>(j)] = rng.Uniform() < 0.5 ? 1 : -1;
+  }
+  const auto alpha = Orientation::FromSigns(signs);
+  ASSERT_TRUE(alpha.ok());
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      *alpha,
+      {.n = 80, .noise_sigma = 0.03, .control_margin = 0.1, .seed = seed});
+
+  RpcLearnOptions options;
+  options.init = core::RpcInit::kQuantiles;  // deterministic
+  const auto base = RpcRanker::Fit(sample.data, *alpha, options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  const Vector base_scores = base->ScoreRows(sample.data);
+
+  Matrix transformed(sample.data.rows(), d);
+  Vector scale(d);
+  Vector shift(d);
+  for (int j = 0; j < d; ++j) {
+    scale[j] = rng.Uniform(0.1, 50.0);
+    shift[j] = rng.Uniform(-20.0, 20.0);
+  }
+  for (int i = 0; i < sample.data.rows(); ++i) {
+    for (int j = 0; j < d; ++j) {
+      transformed(i, j) = scale[j] * sample.data(i, j) + shift[j];
+    }
+  }
+  const auto refit = RpcRanker::Fit(transformed, *alpha, options);
+  ASSERT_TRUE(refit.ok());
+  const Vector refit_scores = refit->ScoreRows(transformed);
+
+  // Invariance: identical ordering (tau-b of 1 within numerical jitter on
+  // near-ties).
+  EXPECT_GT(rank::KendallTauB(base_scores, refit_scores), 0.999);
+  // Stronger: scores themselves agree because normalisation removes the
+  // affine map entirely (Eq. 16).
+  for (int i = 0; i < base_scores.size(); ++i) {
+    EXPECT_NEAR(base_scores[i], refit_scores[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpcInvarianceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Meta-rule 2 property sweep: RPC scores never invert a strictly comparable
+// pair, across dimensions and orientations.
+class RpcMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RpcMonotonicityTest, ComparablePairsNeverInverted) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 977 + 13);
+  const int d = 2 + static_cast<int>(rng.UniformInt(4));
+  std::vector<int> signs(static_cast<size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    signs[static_cast<size_t>(j)] = rng.Uniform() < 0.5 ? 1 : -1;
+  }
+  const auto alpha = Orientation::FromSigns(signs);
+  ASSERT_TRUE(alpha.ok());
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      *alpha,
+      {.n = 120, .noise_sigma = 0.05, .control_margin = 0.1, .seed = seed});
+  const auto ranker = RpcRanker::Fit(sample.data, *alpha);
+  ASSERT_TRUE(ranker.ok());
+  const Vector scores = ranker->ScoreRows(sample.data);
+  const auto report =
+      rank::CountOrderViolations(sample.data, scores, *alpha, 1e-7);
+  EXPECT_EQ(report.violations, 0)
+      << "seed " << seed << ": " << report.comparable_pairs
+      << " comparable pairs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpcMonotonicityTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace rpc

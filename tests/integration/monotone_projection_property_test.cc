@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rpc_curve.h"
+#include "opt/curve_projection.h"
+
+namespace rpc {
+namespace {
+
+using core::RpcCurve;
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+// The Topkis-style invariant behind Example 1 (DESIGN.md §6): projection
+// onto a strictly monotone curve is order preserving — for x strictly
+// preceding y, the projection index of x never exceeds that of y.
+class MonotoneProjectionTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(MonotoneProjectionTest, ProjectionIndexIsMonotone) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int d = std::get<1>(GetParam());
+  Rng rng(seed * 31 + d);
+  std::vector<int> signs(static_cast<size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    signs[static_cast<size_t>(j)] = rng.Uniform() < 0.5 ? 1 : -1;
+  }
+  const auto alpha = Orientation::FromSigns(signs);
+  ASSERT_TRUE(alpha.ok());
+
+  // Random strictly monotone RPC curve.
+  Matrix control(d, 4);
+  control.SetColumn(0, alpha->WorstCorner());
+  control.SetColumn(3, alpha->BestCorner());
+  for (int j = 0; j < d; ++j) {
+    control(j, 1) = alpha->sign(j) > 0 ? rng.Uniform(0.05, 0.95)
+                                       : 1.0 - rng.Uniform(0.05, 0.95);
+    control(j, 2) = alpha->sign(j) > 0 ? rng.Uniform(0.05, 0.95)
+                                       : 1.0 - rng.Uniform(0.05, 0.95);
+  }
+  const auto curve = RpcCurve::FromControlPoints(control, *alpha);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_TRUE(curve->CheckMonotonicity().strictly_monotone);
+
+  opt::ProjectionOptions options;
+  options.method = opt::ProjectionMethod::kQuinticRoots;  // exact argmin
+  for (int trial = 0; trial < 60; ++trial) {
+    Vector x(d);
+    Vector y(d);
+    for (int j = 0; j < d; ++j) {
+      const double a = rng.Uniform(-0.1, 1.1);
+      const double b = rng.Uniform(-0.1, 1.1);
+      // Order the pair along the cone: y dominates x.
+      if (alpha->sign(j) > 0) {
+        x[j] = std::min(a, b);
+        y[j] = std::max(a, b);
+      } else {
+        x[j] = std::max(a, b);
+        y[j] = std::min(a, b);
+      }
+    }
+    if (!alpha->StrictlyPrecedes(x, y)) continue;
+    const double sx = opt::ProjectOntoCurve(curve->bezier(), x, options).s;
+    const double sy = opt::ProjectOntoCurve(curve->bezier(), y, options).s;
+    EXPECT_LE(sx, sy + 1e-7)
+        << "seed=" << seed << " d=" << d << " x=" << x.ToString()
+        << " y=" << y.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDims, MonotoneProjectionTest,
+    ::testing::Combine(::testing::Values(uint64_t{1}, uint64_t{7},
+                                         uint64_t{42}, uint64_t{101}),
+                       ::testing::Values(1, 2, 3, 5)));
+
+// Projection onto a *non-monotone* curve loses the guarantee — the negative
+// control showing the property is not vacuous.
+TEST(MonotoneProjectionTest, NonMonotoneCurveViolates) {
+  // A curve that doubles back in y.
+  const Matrix control{{0.0, 0.3, 0.7, 1.0}, {0.0, 2.0, -1.0, 1.0}};
+  const curve::BezierCurve bent(control);
+  opt::ProjectionOptions options;
+  options.method = opt::ProjectionMethod::kQuinticRoots;
+  int violations = 0;
+  Rng rng(5);
+  const Orientation alpha = Orientation::AllBenefit(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector x{rng.Uniform(), rng.Uniform()};
+    Vector y{x[0] + rng.Uniform(0.0, 1.0 - x[0]),
+             x[1] + rng.Uniform(0.0, 1.0 - x[1])};
+    if (!alpha.StrictlyPrecedes(x, y)) continue;
+    const double sx = opt::ProjectOntoCurve(bent, x, options).s;
+    const double sy = opt::ProjectOntoCurve(bent, y, options).s;
+    if (sx > sy + 1e-7) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+}  // namespace
+}  // namespace rpc

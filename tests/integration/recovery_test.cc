@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "baselines/elmap.h"
+#include "baselines/polyline_curve.h"
+#include "core/rpc_ranker.h"
+#include "data/generators.h"
+#include "rank/first_pca.h"
+#include "rank/metrics.h"
+
+namespace rpc {
+namespace {
+
+using core::RpcRanker;
+using linalg::Vector;
+using order::Orientation;
+
+// Latent-order recovery under the paper's own generative model (Eq. 11):
+// with modest noise the RPC must reconstruct the hidden order almost
+// perfectly, and it must not lose to the linear first PCA on curved data.
+class RecoveryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RecoveryTest, RpcRecoversLatentOrder) {
+  const double noise = GetParam();
+  const Orientation alpha = Orientation::AllBenefit(3);
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha,
+      {.n = 200, .noise_sigma = noise, .control_margin = 0.15, .seed = 97});
+  const auto ranker = RpcRanker::Fit(sample.data, alpha);
+  ASSERT_TRUE(ranker.ok());
+  const Vector scores = ranker->ScoreRows(sample.data);
+  const double tau = rank::KendallTauB(scores, sample.latent);
+  // Tolerance degrades with noise but stays high.
+  const double floor = noise <= 0.01 ? 0.97 : (noise <= 0.05 ? 0.9 : 0.75);
+  EXPECT_GT(tau, floor) << "noise " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, RecoveryTest,
+                         ::testing::Values(0.005, 0.02, 0.05, 0.1));
+
+TEST(RecoveryComparisonTest, RpcAtLeastMatchesBaselinesOnCurvedCloud) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  // Strongly bent monotone curve -> linear methods pay a price.
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha,
+      {.n = 250, .noise_sigma = 0.03, .control_margin = 0.04, .seed = 13});
+  const auto rpc = RpcRanker::Fit(sample.data, alpha);
+  ASSERT_TRUE(rpc.ok());
+  const double tau_rpc = rank::KendallTauB(
+      rpc->ScoreRows(sample.data), sample.latent);
+
+  const auto pca = rank::FirstPcaRanker::Fit(sample.data, alpha);
+  ASSERT_TRUE(pca.ok());
+  const double tau_pca = rank::KendallTauB(
+      pca->ScoreRows(sample.data), sample.latent);
+
+  const auto elmap = baselines::ElmapCurve::Fit(sample.data, alpha);
+  ASSERT_TRUE(elmap.ok());
+  const double tau_elmap = rank::KendallTauB(
+      elmap->ScoreRows(sample.data), sample.latent);
+
+  EXPECT_GT(tau_rpc, 0.9);
+  EXPECT_GE(tau_rpc, tau_pca - 0.02);
+  EXPECT_GE(tau_rpc, tau_elmap - 0.02);
+}
+
+TEST(RecoveryComparisonTest, ExplainedVarianceOrderingOnBentData) {
+  // Reconstruction quality: the RPC's cubic skeleton must explain more
+  // variance than the best straight line when the truth is bent.
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha,
+      {.n = 250, .noise_sigma = 0.02, .control_margin = 0.04, .seed = 29});
+  const auto rpc = RpcRanker::Fit(sample.data, alpha);
+  ASSERT_TRUE(rpc.ok());
+  const auto pca = rank::FirstPcaRanker::Fit(sample.data, alpha);
+  ASSERT_TRUE(pca.ok());
+  // First-PCA explained variance ratio on these clouds is the share of the
+  // top eigenvalue; the RPC's explained variance uses residuals. Both in
+  // [0,1]; RPC should be at least as good on curved data.
+  EXPECT_GE(rpc->fit_result().explained_variance,
+            pca->explained_variance_ratio() - 0.05);
+}
+
+TEST(RecoveryComparisonTest, CrescentDataDefeatsFirstPca) {
+  // Fig. 5(a): on the crescent the first PCA direction cannot follow the
+  // bend; RPC keeps recovering the arc order.
+  const linalg::Matrix crescent = data::GenerateCrescent(300, 0.02, 31);
+  // Latent order along the arc is x1 (both coordinates increase with t).
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const auto rpc = RpcRanker::Fit(crescent, alpha);
+  ASSERT_TRUE(rpc.ok());
+  const Vector rpc_scores = rpc->ScoreRows(crescent);
+  const double tau_rpc =
+      rank::KendallTauB(rpc_scores, crescent.Column(0));
+  EXPECT_GT(tau_rpc, 0.9);
+  // And the RPC skeleton fits the crescent much better than the best line.
+  const auto pca = rank::FirstPcaRanker::Fit(crescent, alpha);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_GT(rpc->fit_result().explained_variance,
+            pca->explained_variance_ratio());
+}
+
+}  // namespace
+}  // namespace rpc

@@ -1,0 +1,107 @@
+#include "linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rpc::linalg {
+namespace {
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  const Matrix a = Matrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  const auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig->values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, Known2x2) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eig->vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(5));
+    Matrix b(n, n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) b(i, j) = rng.Uniform(-1.0, 1.0);
+    }
+    const Matrix a = TimesTranspose(b, b);  // symmetric PSD
+    const auto eig = JacobiEigenSymmetric(a);
+    ASSERT_TRUE(eig.ok());
+    const Matrix reconstructed =
+        eig->vectors * Matrix::Diagonal(eig->values) *
+        eig->vectors.Transposed();
+    EXPECT_TRUE(ApproxEqual(reconstructed, a, 1e-9));
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsAreOrthonormal) {
+  const Matrix a{{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  const auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix vtv = TransposeTimes(eig->vectors, eig->vectors);
+  EXPECT_TRUE(ApproxEqual(vtv, Matrix::Identity(3), 1e-10));
+}
+
+TEST(JacobiEigenTest, ValuesSortedDescending) {
+  Rng rng(6);
+  Matrix b(5, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) b(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  const auto eig = JacobiEigenSymmetric(TimesTranspose(b, b));
+  ASSERT_TRUE(eig.ok());
+  for (int i = 0; i + 1 < 5; ++i) {
+    EXPECT_GE(eig->values[i], eig->values[i + 1]);
+  }
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+}
+
+TEST(JacobiEigenTest, HandlesNegativeEigenvalues) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};  // eigenvalues 1, -1
+  const auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig->values[1], -1.0, 1e-12);
+}
+
+TEST(EigenRangeTest, MatchesFullDecomposition) {
+  const Matrix a{{5.0, 2.0}, {2.0, 1.0}};
+  const auto range = SymmetricEigenRange(a);
+  ASSERT_TRUE(range.ok());
+  const auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(range->max, eig->values[0], 1e-12);
+  EXPECT_NEAR(range->min, eig->values[1], 1e-12);
+}
+
+TEST(ConditionNumberTest, IdentityIsOne) {
+  const auto cond = SymmetricConditionNumber(Matrix::Identity(4));
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(cond.value(), 1.0, 1e-12);
+}
+
+TEST(ConditionNumberTest, SingularIsInfinite) {
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  const auto cond = SymmetricConditionNumber(a);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_TRUE(std::isinf(cond.value()));
+}
+
+}  // namespace
+}  // namespace rpc::linalg

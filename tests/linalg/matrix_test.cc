@@ -1,0 +1,117 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  const Matrix d = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowColumnRoundTrip) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_TRUE(ApproxEqual(m.Row(1), Vector{3.0, 4.0}));
+  EXPECT_TRUE(ApproxEqual(m.Column(1), Vector{2.0, 4.0, 6.0}));
+  m.SetRow(0, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+  m.SetColumn(0, Vector{-1.0, -2.0, -3.0});
+  EXPECT_DOUBLE_EQ(m(2, 0), -3.0);
+}
+
+TEST(MatrixTest, FromRowsAndColumns) {
+  const Matrix from_rows = Matrix::FromRows({Vector{1.0, 2.0},
+                                             Vector{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(from_rows(1, 0), 3.0);
+  const Matrix from_cols = Matrix::FromColumns({Vector{1.0, 2.0},
+                                                Vector{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(from_cols(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(from_cols(0, 1), 3.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, MatrixProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix ab = a * b;
+  EXPECT_DOUBLE_EQ(ab(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ab(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ab(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(ab(1, 1), 3.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{1.0, -1.0};
+  const Vector y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(MatrixTest, TransposeTimesAndTimesTranspose) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};  // 3x2
+  const Matrix ata = TransposeTimes(a, a);             // 2x2
+  EXPECT_TRUE(ApproxEqual(ata, a.Transposed() * a, 1e-12));
+  const Matrix aat = TimesTranspose(a, a);             // 3x3
+  EXPECT_TRUE(ApproxEqual(aat, a * a.Transposed(), 1e-12));
+}
+
+TEST(MatrixTest, FrobeniusNormAndTrace) {
+  const Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.Trace(), 7.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  const Matrix outer = Matrix::Outer(Vector{1.0, 2.0}, Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(outer(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(outer(1, 1), 8.0);
+}
+
+TEST(MatrixTest, IsSymmetric) {
+  EXPECT_TRUE((Matrix{{1.0, 2.0}, {2.0, 3.0}}).IsSymmetric());
+  EXPECT_FALSE((Matrix{{1.0, 2.0}, {2.1, 3.0}}).IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(MatrixTest, ScalarOps) {
+  Matrix m{{1.0, 2.0}};
+  const Matrix doubled = m * 2.0;
+  EXPECT_DOUBLE_EQ(doubled(0, 1), 4.0);
+  const Matrix sum = m + m;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 2.0);
+  const Matrix diff = m - m;
+  EXPECT_DOUBLE_EQ(diff.MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace rpc::linalg

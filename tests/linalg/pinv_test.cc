@@ -1,0 +1,83 @@
+#include "linalg/pinv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rpc::linalg {
+namespace {
+
+// Checks the four Moore-Penrose conditions.
+void ExpectMoorePenrose(const Matrix& b, const Matrix& pinv, double tol) {
+  EXPECT_TRUE(ApproxEqual(b * pinv * b, b, tol));
+  EXPECT_TRUE(ApproxEqual(pinv * b * pinv, pinv, tol));
+  const Matrix bp = b * pinv;
+  EXPECT_TRUE(ApproxEqual(bp, bp.Transposed(), tol));
+  const Matrix pb = pinv * b;
+  EXPECT_TRUE(ApproxEqual(pb, pb.Transposed(), tol));
+}
+
+TEST(PinvTest, InvertibleMatrixMatchesInverse) {
+  const Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  const auto pinv = PseudoInverseSymmetric(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_NEAR(pinv.value()(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(pinv.value()(1, 1), 0.25, 1e-12);
+}
+
+TEST(PinvTest, SingularSymmetric) {
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};  // rank 1
+  const auto pinv = PseudoInverseSymmetric(a);
+  ASSERT_TRUE(pinv.ok());
+  ExpectMoorePenrose(a, pinv.value(), 1e-10);
+}
+
+TEST(PinvTest, WideMatrix) {
+  // 2x4 full-row-rank matrix, like MZ with 4 samples... transposed sizes.
+  const Matrix b{{1.0, 0.0, 1.0, 2.0}, {0.0, 1.0, 1.0, -1.0}};
+  const auto pinv = PseudoInverse(b);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_EQ(pinv->rows(), 4);
+  EXPECT_EQ(pinv->cols(), 2);
+  ExpectMoorePenrose(b, pinv.value(), 1e-10);
+}
+
+TEST(PinvTest, TallMatrix) {
+  const Matrix b{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {2.0, -1.0}};
+  const auto pinv = PseudoInverse(b);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_EQ(pinv->rows(), 2);
+  EXPECT_EQ(pinv->cols(), 4);
+  ExpectMoorePenrose(b, pinv.value(), 1e-10);
+}
+
+TEST(PinvTest, RandomMatricesSatisfyMoorePenrose) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int rows = 2 + static_cast<int>(rng.UniformInt(3));
+    const int cols = 2 + static_cast<int>(rng.UniformInt(8));
+    Matrix b(rows, cols);
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < cols; ++j) b(i, j) = rng.Uniform(-1.0, 1.0);
+    }
+    const auto pinv = PseudoInverse(b);
+    ASSERT_TRUE(pinv.ok());
+    ExpectMoorePenrose(b, pinv.value(), 1e-8);
+  }
+}
+
+TEST(PinvTest, RankDeficientWide) {
+  // Second row is a multiple of the first.
+  const Matrix b{{1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}};
+  const auto pinv = PseudoInverse(b);
+  ASSERT_TRUE(pinv.ok());
+  ExpectMoorePenrose(b, pinv.value(), 1e-9);
+}
+
+TEST(PinvTest, RejectsEmpty) {
+  EXPECT_FALSE(PseudoInverse(Matrix()).ok());
+  EXPECT_FALSE(PseudoInverseSymmetric(Matrix(2, 3)).ok());
+}
+
+}  // namespace
+}  // namespace rpc::linalg

@@ -1,0 +1,98 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rpc::linalg {
+namespace {
+
+TEST(SolveTest, SolvesSmallSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{3.0, 5.0};
+  const auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(ApproxEqual(a * x.value(), b, 1e-12));
+}
+
+TEST(SolveTest, RejectsSingularMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const auto x = SolveLinearSystem(a, Vector{1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(SolveTest, RejectsShapeMismatch) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_FALSE(SolveLinearSystem(a, Vector{1.0}).ok());
+  EXPECT_FALSE(SolveLinearSystem(Matrix(2, 3), Vector{1.0, 2.0}).ok());
+}
+
+TEST(SolveTest, MatrixRhs) {
+  const Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const Matrix b{{1.0, 0.0}, {0.0, 1.0}};
+  const auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(ApproxEqual(a * x.value(), b, 1e-12));
+}
+
+TEST(SolveTest, RandomSystemsRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(6));
+    Matrix a(n, n);
+    Vector b(n);
+    for (int i = 0; i < n; ++i) {
+      b[i] = rng.Uniform(-2.0, 2.0);
+      for (int j = 0; j < n; ++j) a(i, j) = rng.Uniform(-2.0, 2.0);
+      a(i, i) += n;  // diagonally dominant -> well conditioned
+    }
+    const auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    EXPECT_TRUE(ApproxEqual(a * x.value(), b, 1e-9));
+  }
+}
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(ApproxEqual(l.value() * l.value().Transposed(), a, 1e-12));
+  EXPECT_DOUBLE_EQ(l.value()(0, 1), 0.0);  // lower triangular
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(CholeskyTest, SolveSpdMatchesGeneralSolve) {
+  const Matrix a{{5.0, 1.0, 0.5}, {1.0, 4.0, 1.0}, {0.5, 1.0, 3.0}};
+  const Vector b{1.0, -2.0, 0.5};
+  const auto x_spd = SolveSpd(a, b);
+  const auto x_gen = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x_spd.ok());
+  ASSERT_TRUE(x_gen.ok());
+  EXPECT_TRUE(ApproxEqual(x_spd.value(), x_gen.value(), 1e-10));
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  const Matrix a{{2.0, 1.0}, {1.0, 1.0}};
+  const auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(ApproxEqual(a * inv.value(), Matrix::Identity(2), 1e-12));
+}
+
+TEST(DeterminantTest, KnownValues) {
+  EXPECT_NEAR(Determinant(Matrix{{2.0, 0.0}, {0.0, 3.0}}), 6.0, 1e-12);
+  EXPECT_NEAR(Determinant(Matrix{{1.0, 2.0}, {3.0, 4.0}}), -2.0, 1e-12);
+  EXPECT_NEAR(Determinant(Matrix{{1.0, 2.0}, {2.0, 4.0}}), 0.0, 1e-12);
+}
+
+TEST(DeterminantTest, PermutationSign) {
+  // Swapping rows flips the sign.
+  EXPECT_NEAR(Determinant(Matrix{{0.0, 1.0}, {1.0, 0.0}}), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rpc::linalg

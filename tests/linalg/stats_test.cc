@@ -1,0 +1,64 @@
+#include "linalg/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::linalg {
+namespace {
+
+TEST(StatsTest, ColumnMeans) {
+  const Matrix data{{1.0, 10.0}, {3.0, 20.0}};
+  const Vector mean = ColumnMeans(data);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 15.0);
+}
+
+TEST(StatsTest, ColumnMinsMaxs) {
+  const Matrix data{{1.0, -5.0}, {3.0, 2.0}, {-2.0, 0.0}};
+  EXPECT_TRUE(ApproxEqual(ColumnMins(data), Vector{-2.0, -5.0}));
+  EXPECT_TRUE(ApproxEqual(ColumnMaxs(data), Vector{3.0, 2.0}));
+}
+
+TEST(StatsTest, CovarianceOfIndependentColumns) {
+  // Column 0 varies, column 1 constant -> zero covariance row/col.
+  const Matrix data{{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  const Matrix cov = Covariance(data);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);  // var{1,2,3} = 1
+  EXPECT_NEAR(cov(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 0.0, 1e-12);
+}
+
+TEST(StatsTest, CovarianceSymmetric) {
+  const Matrix data{{1.0, 2.0, 0.0}, {2.0, 1.0, 1.0}, {0.0, 0.0, 5.0},
+                    {1.5, 2.5, 2.0}};
+  const Matrix cov = Covariance(data);
+  EXPECT_TRUE(cov.IsSymmetric(1e-12));
+}
+
+TEST(StatsTest, TotalScatterMatchesDefinition) {
+  const Matrix data{{0.0, 0.0}, {2.0, 0.0}};
+  // Mean (1,0); scatter = 1 + 1 = 2.
+  EXPECT_DOUBLE_EQ(TotalScatter(data), 2.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const Vector a{1.0, 2.0, 3.0, 4.0};
+  const Vector b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  const Vector c{-1.0, -2.0, -3.0, -4.0};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantVectorIsZero) {
+  const Vector a{1.0, 1.0, 1.0};
+  const Vector b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(StatsTest, EmptyMatrixBehaviour) {
+  const Matrix empty(0, 2);
+  EXPECT_EQ(ColumnMeans(empty).size(), 2);
+  EXPECT_DOUBLE_EQ(TotalScatter(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace rpc::linalg

@@ -1,0 +1,86 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rpc::linalg {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v[1] = -2.0;
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(VectorTest, EmptyVector) {
+  Vector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 0.0);
+  EXPECT_DOUBLE_EQ(v.MaxAbs(), 0.0);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  const Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  const Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], -2.0);
+  const Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+  const Vector divided = b / 2.0;
+  EXPECT_DOUBLE_EQ(divided[0], 1.5);
+}
+
+TEST(VectorTest, NormAndSquaredNorm) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+}
+
+TEST(VectorTest, DotAndDistance) {
+  Vector a{1.0, 0.0, 2.0};
+  Vector b{-1.0, 5.0, 0.5};
+  EXPECT_DOUBLE_EQ(Dot(a, b), -1.0 + 0.0 + 1.0);
+  EXPECT_DOUBLE_EQ(Distance(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 5.0);
+}
+
+TEST(VectorTest, SumAndMaxAbs) {
+  Vector v{-5.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.Sum(), -2.0);
+  EXPECT_DOUBLE_EQ(v.MaxAbs(), 5.0);
+}
+
+TEST(VectorTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual(Vector{1.0, 2.0}, Vector{1.0, 2.0 + 1e-13}));
+  EXPECT_FALSE(ApproxEqual(Vector{1.0, 2.0}, Vector{1.0, 2.1}));
+  EXPECT_FALSE(ApproxEqual(Vector{1.0}, Vector{1.0, 2.0}));
+}
+
+TEST(VectorTest, AllFiniteDetectsNanAndInf) {
+  Vector ok{1.0, -2.0};
+  EXPECT_TRUE(ok.AllFinite());
+  Vector with_nan{1.0, std::nan("")};
+  EXPECT_FALSE(with_nan.AllFinite());
+  Vector with_inf{1.0, INFINITY};
+  EXPECT_FALSE(with_inf.AllFinite());
+}
+
+TEST(VectorTest, ToStringReadable) {
+  Vector v{1.0, 0.25};
+  EXPECT_EQ(v.ToString(), "[1, 0.25]");
+}
+
+}  // namespace
+}  // namespace rpc::linalg

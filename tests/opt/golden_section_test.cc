@@ -1,0 +1,64 @@
+#include "opt/golden_section.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rpc::opt {
+namespace {
+
+TEST(GoldenSectionTest, QuadraticMinimum) {
+  const auto f = [](double x) { return (x - 0.3) * (x - 0.3); };
+  const ScalarMinResult r = GoldenSectionMinimize(f, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(r.x, 0.3, 1e-9);
+  EXPECT_NEAR(r.fx, 0.0, 1e-15);
+}
+
+TEST(GoldenSectionTest, MinimumAtLeftBoundary) {
+  const auto f = [](double x) { return x; };
+  const ScalarMinResult r = GoldenSectionMinimize(f, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(r.x, 0.0, 1e-9);
+}
+
+TEST(GoldenSectionTest, MinimumAtRightBoundary) {
+  const auto f = [](double x) { return -x; };
+  const ScalarMinResult r = GoldenSectionMinimize(f, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(r.x, 1.0, 1e-9);
+}
+
+TEST(GoldenSectionTest, NonSymmetricUnimodal) {
+  const auto f = [](double x) { return std::exp(x) - 2.0 * x; };
+  // Minimum where e^x = 2 -> x = ln 2.
+  const ScalarMinResult r = GoldenSectionMinimize(f, 0.0, 2.0, 1e-12);
+  EXPECT_NEAR(r.x, std::log(2.0), 1e-8);
+}
+
+TEST(GoldenSectionTest, DegenerateBracket) {
+  const auto f = [](double x) { return x * x; };
+  const ScalarMinResult r = GoldenSectionMinimize(f, 0.5, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(r.x, 0.5);
+  EXPECT_DOUBLE_EQ(r.fx, 0.25);
+}
+
+TEST(GoldenSectionTest, EvaluationCountBounded) {
+  int count = 0;
+  const auto f = [&count](double x) {
+    ++count;
+    return (x - 0.42) * (x - 0.42);
+  };
+  const ScalarMinResult r = GoldenSectionMinimize(f, 0.0, 1.0, 1e-10, 200);
+  EXPECT_EQ(r.evaluations, count);
+  // Golden section gains one digit per ~4.78 evals; 1e-10 needs < 60.
+  EXPECT_LT(count, 70);
+}
+
+TEST(GoldenSectionTest, RespectsIterationCap) {
+  const auto f = [](double x) { return x * x; };
+  const ScalarMinResult r = GoldenSectionMinimize(f, -1.0, 1.0, 0.0, 5);
+  // With only 5 iterations the answer is coarse but within the bracket.
+  EXPECT_GE(r.x, -1.0);
+  EXPECT_LE(r.x, 1.0);
+}
+
+}  // namespace
+}  // namespace rpc::opt

@@ -1,0 +1,145 @@
+#include "opt/polynomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rpc::opt {
+namespace {
+
+TEST(PolynomialTest, EvaluateHorner) {
+  // 1 + 2x + 3x^2 at x = 2 -> 17.
+  const Polynomial p({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(p.Evaluate(2.0), 17.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate(0.0), 1.0);
+}
+
+TEST(PolynomialTest, DegreeTrimsLeadingZeros) {
+  const Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.degree(), 1);
+  const Polynomial zero({0.0, 0.0});
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.degree(), 0);
+}
+
+TEST(PolynomialTest, Derivative) {
+  // d/dx (1 + 2x + 3x^2 + 4x^3) = 2 + 6x + 12x^2.
+  const Polynomial p({1.0, 2.0, 3.0, 4.0});
+  const Polynomial d = p.Derivative();
+  EXPECT_EQ(d.degree(), 2);
+  EXPECT_DOUBLE_EQ(d.Evaluate(1.0), 20.0);
+}
+
+TEST(PolynomialTest, Arithmetic) {
+  const Polynomial a({1.0, 1.0});        // 1 + x
+  const Polynomial b({0.0, 0.0, 1.0});   // x^2
+  const Polynomial sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.Evaluate(2.0), 7.0);
+  const Polynomial prod = a * b;         // x^2 + x^3
+  EXPECT_DOUBLE_EQ(prod.Evaluate(2.0), 12.0);
+  const Polynomial diff = prod - b;      // x^3
+  EXPECT_DOUBLE_EQ(diff.Evaluate(3.0), 27.0);
+}
+
+TEST(PolynomialTest, RemainderMatchesDivision) {
+  // (x^2 - 1) mod (x - 1) = 0; (x^2) mod (x - 1) = 1.
+  const Polynomial x2m1({-1.0, 0.0, 1.0});
+  const Polynomial xm1({-1.0, 1.0});
+  EXPECT_TRUE(x2m1.Remainder(xm1).IsZero());
+  const Polynomial x2({0.0, 0.0, 1.0});
+  const Polynomial rem = x2.Remainder(xm1);
+  EXPECT_EQ(rem.degree(), 0);
+  EXPECT_DOUBLE_EQ(rem.Evaluate(0.0), 1.0);
+}
+
+TEST(PolynomialRootsTest, LinearRoot) {
+  const Polynomial p({-0.5, 1.0});  // x - 0.5
+  const auto roots = p.RealRootsInInterval(0.0, 1.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 0.5, 1e-10);
+}
+
+TEST(PolynomialRootsTest, QuadraticTwoRoots) {
+  // (x - 0.25)(x - 0.75) = x^2 - x + 0.1875.
+  const Polynomial p({0.1875, -1.0, 1.0});
+  const auto roots = p.RealRootsInInterval(0.0, 1.0);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 0.25, 1e-9);
+  EXPECT_NEAR(roots[1], 0.75, 1e-9);
+}
+
+TEST(PolynomialRootsTest, RootsOutsideIntervalIgnored) {
+  // Roots at 2 and -1.
+  const Polynomial p({-2.0, -1.0, 1.0});
+  EXPECT_TRUE(p.RealRootsInInterval(0.0, 1.0).empty());
+}
+
+TEST(PolynomialRootsTest, NoRealRoots) {
+  const Polynomial p({1.0, 0.0, 1.0});  // x^2 + 1
+  EXPECT_TRUE(p.RealRootsInInterval(-10.0, 10.0).empty());
+}
+
+TEST(PolynomialRootsTest, RootAtEndpoint) {
+  const Polynomial p({0.0, 1.0});  // x
+  const auto roots = p.RealRootsInInterval(0.0, 1.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 0.0, 1e-9);
+}
+
+TEST(PolynomialRootsTest, DoubleRootReportedOnce) {
+  // (x - 0.5)^2.
+  const Polynomial p({0.25, -1.0, 1.0});
+  const auto roots = p.RealRootsInInterval(0.0, 1.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 0.5, 1e-6);
+}
+
+TEST(PolynomialRootsTest, QuinticWithKnownRoots) {
+  // (x-0.1)(x-0.3)(x-0.5)(x-0.7)(x-0.9) expanded via repeated products.
+  Polynomial p({1.0});
+  for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    p = p * Polynomial({-r, 1.0});
+  }
+  EXPECT_EQ(p.degree(), 5);
+  const auto roots = p.RealRootsInInterval(0.0, 1.0);
+  ASSERT_EQ(roots.size(), 5u);
+  const double expected[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(roots[i], expected[i], 1e-8);
+  }
+}
+
+TEST(PolynomialRootsTest, RandomCubicsFindAllPlantedRoots) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Three distinct roots in (0, 1).
+    double r1 = rng.Uniform(0.05, 0.3);
+    double r2 = rng.Uniform(0.4, 0.6);
+    double r3 = rng.Uniform(0.7, 0.95);
+    Polynomial p({1.0});
+    for (double r : {r1, r2, r3}) p = p * Polynomial({-r, 1.0});
+    const auto roots = p.RealRootsInInterval(0.0, 1.0, 1e-13);
+    ASSERT_EQ(roots.size(), 3u) << "trial " << trial;
+    EXPECT_NEAR(roots[0], r1, 1e-8);
+    EXPECT_NEAR(roots[1], r2, 1e-8);
+    EXPECT_NEAR(roots[2], r3, 1e-8);
+  }
+}
+
+TEST(PolynomialRootsTest, ScalesWithLargeCoefficients) {
+  // 1e8 * (x - 0.5).
+  const Polynomial p({-5e7, 1e8});
+  const auto roots = p.RealRootsInInterval(0.0, 1.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 0.5, 1e-9);
+}
+
+TEST(PolynomialTest, ToStringReadable) {
+  const Polynomial p({1.0, -2.0});
+  EXPECT_EQ(p.ToString(), "1 + -2*x^1");
+}
+
+}  // namespace
+}  // namespace rpc::opt

@@ -1,0 +1,114 @@
+#include "opt/richardson.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/solve.h"
+
+namespace rpc::opt {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(RichardsonTest, PreconditionerIsColumnNorms) {
+  const Matrix gram{{3.0, 0.0}, {0.0, 4.0}};
+  const Vector d = RichardsonPreconditioner(gram);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+}
+
+TEST(RichardsonTest, FixedPointIsLeastSquaresSolution) {
+  // If P A = B exactly, the step leaves P unchanged.
+  const Matrix a{{2.0, 0.5}, {0.5, 1.0}};
+  const Matrix p{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = p * a;
+  const auto next = RichardsonStep(p, a, b);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(ApproxEqual(next.value(), p, 1e-12));
+}
+
+TEST(RichardsonTest, IterationConvergesToSolution) {
+  Rng rng(9);
+  const int d = 3;
+  const int k = 4;
+  Matrix a(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) a(i, j) = rng.Uniform(-0.5, 0.5);
+  }
+  a = linalg::TimesTranspose(a, a) + 0.5 * Matrix::Identity(k);  // SPD
+  Matrix truth(d, k);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < k; ++j) truth(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  const Matrix b = truth * a;
+
+  Matrix p(d, k, 0.0);
+  RichardsonOptions options;
+  options.use_preconditioner = false;  // pure Richardson convergence theory
+  for (int iter = 0; iter < 500; ++iter) {
+    auto next = RichardsonStep(p, a, b, options);
+    ASSERT_TRUE(next.ok());
+    p = std::move(next).value();
+  }
+  EXPECT_TRUE(ApproxEqual(p, truth, 1e-6));
+}
+
+TEST(RichardsonTest, PreconditionedIterationAlsoConverges) {
+  Rng rng(10);
+  const int k = 4;
+  Matrix a(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) a(i, j) = rng.Uniform(-0.5, 0.5);
+  }
+  a = linalg::TimesTranspose(a, a) + 0.1 * Matrix::Identity(k);
+  Matrix truth(2, k);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < k; ++j) truth(i, j) = rng.Uniform(-1.0, 1.0);
+  }
+  const Matrix b = truth * a;
+  Matrix p(2, k, 0.5);
+  RichardsonOptions options;  // preconditioner on, auto gamma
+  double prev_residual = (p * a - b).FrobeniusNorm();
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto next = RichardsonStep(p, a, b, options);
+    ASSERT_TRUE(next.ok());
+    p = std::move(next).value();
+  }
+  const double residual = (p * a - b).FrobeniusNorm();
+  EXPECT_LT(residual, 1e-6 * (1.0 + prev_residual));
+}
+
+TEST(RichardsonTest, ExplicitGammaUsed) {
+  const Matrix a = Matrix::Identity(2);
+  const Matrix p{{1.0, 1.0}};
+  const Matrix b{{0.0, 0.0}};
+  RichardsonOptions options;
+  options.gamma = 1.0;
+  options.use_preconditioner = false;
+  // P' = P - 1.0 * (P I - 0) = 0.
+  const auto next = RichardsonStep(p, a, b, options);
+  ASSERT_TRUE(next.ok());
+  EXPECT_NEAR(next.value().MaxAbs(), 0.0, 1e-15);
+}
+
+TEST(RichardsonTest, RejectsShapeMismatch) {
+  const Matrix a = Matrix::Identity(3);
+  const Matrix p(2, 4);
+  const Matrix b(2, 4);
+  EXPECT_FALSE(RichardsonStep(p, a, b).ok());
+  EXPECT_FALSE(RichardsonStep(Matrix(2, 3), Matrix(3, 3), Matrix(2, 4)).ok());
+}
+
+TEST(RichardsonTest, RejectsNonPositiveSpectrum) {
+  // Zero Gram matrix -> lambda_min + lambda_max = 0.
+  const Matrix a(2, 2, 0.0);
+  const Matrix p(1, 2, 1.0);
+  const Matrix b(1, 2, 0.0);
+  const auto next = RichardsonStep(p, a, b);
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kNumericalError);
+}
+
+}  // namespace
+}  // namespace rpc::opt

@@ -1,0 +1,151 @@
+#include "order/meta_rules.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/stats.h"
+
+namespace rpc::order {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// A well-behaved method: equal-weight sum of min-max normalised values.
+ScoreFn FitNormalizedSum(const Matrix& data, const Orientation& alpha) {
+  const Vector mins = linalg::ColumnMins(data);
+  const Vector maxs = linalg::ColumnMaxs(data);
+  return [mins, maxs, alpha](const Vector& x) {
+    double score = 0.0;
+    for (int j = 0; j < x.size(); ++j) {
+      const double range = maxs[j] - mins[j];
+      const double normalized =
+          range > 0.0 ? (x[j] - mins[j]) / range : 0.5;
+      score += alpha.sign(j) > 0 ? normalized : 1.0 - normalized;
+    }
+    return score;
+  };
+}
+
+// A deliberately non-invariant method: raw (unnormalised) sum.
+ScoreFn FitRawSum(const Matrix&, const Orientation& alpha) {
+  return [alpha](const Vector& x) {
+    double score = 0.0;
+    for (int j = 0; j < x.size(); ++j) score += alpha.sign(j) * x[j];
+    return score;
+  };
+}
+
+Matrix CurvedTestData() {
+  // Points on a bent monotone arc plus spread, in raw units.
+  Matrix data(24, 2);
+  for (int i = 0; i < 24; ++i) {
+    const double t = static_cast<double>(i) / 23.0;
+    data(i, 0) = 10.0 + 90.0 * t;
+    data(i, 1) = 5.0 * std::sqrt(t) + 0.1 * ((i % 3) - 1);
+  }
+  return data;
+}
+
+TEST(MetaRuleInvarianceTest, NormalizedSumPasses) {
+  MetaRuleOptions options;
+  const Matrix data = CurvedTestData();
+  const auto result = CheckScaleTranslationInvariance(
+      FitNormalizedSum, data, Orientation::AllBenefit(2), options);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(MetaRuleInvarianceTest, RawSumFails) {
+  // Raw sums reweight attributes under rescaling. The data must contain
+  // incomparable pairs whose order depends on the attribute weighting
+  // (trade-off rows), otherwise every positive weighting agrees.
+  MetaRuleOptions options;
+  options.invariance_trials = 8;
+  Matrix data(10, 2);
+  for (int i = 0; i < 10; ++i) {
+    data(i, 0) = i;            // ascending
+    data(i, 1) = 9.0 - i;      // descending: pure trade-off
+  }
+  const auto result = CheckScaleTranslationInvariance(
+      FitRawSum, data, Orientation::AllBenefit(2), options);
+  EXPECT_FALSE(result.passed) << result.detail;
+}
+
+TEST(MetaRuleMonotonicityTest, MonotoneScorePasses) {
+  MetaRuleOptions options;
+  const Matrix data = CurvedTestData();
+  const ScoreFn score = FitNormalizedSum(data, Orientation::AllBenefit(2));
+  const auto result = CheckStrictMonotonicityRule(
+      score, data, Orientation::AllBenefit(2), options);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(MetaRuleMonotonicityTest, SingleAttributeScoreFails) {
+  MetaRuleOptions options;
+  const Matrix data = CurvedTestData();
+  const ScoreFn score = [](const Vector& x) { return x[0]; };
+  const auto result = CheckStrictMonotonicityRule(
+      score, data, Orientation::AllBenefit(2), options);
+  EXPECT_FALSE(result.passed) << result.detail;
+}
+
+TEST(MetaRuleExplicitnessTest, KnownCountPasses) {
+  EXPECT_TRUE(CheckExplicitnessRule(8).passed);
+  EXPECT_FALSE(CheckExplicitnessRule(std::nullopt).passed);
+}
+
+TEST(MetaRuleSmoothnessTest, FallbackDetectsJumpyScore) {
+  // A step-function score (rank-like) must fail the fallback probe.
+  MetaRuleOptions options;
+  const Matrix data = CurvedTestData();
+  MethodUnderTest method;
+  method.name = "step";
+  method.fit = [](const Matrix&, const Orientation&) -> ScoreFn {
+    return [](const Vector& x) { return std::floor(4.0 * x[0] / 100.0); };
+  };
+  const auto result = CheckSmoothnessRule(
+      method, data, Orientation::AllBenefit(2), options);
+  EXPECT_FALSE(result.passed) << result.detail;
+}
+
+TEST(MetaRuleSmoothnessTest, FallbackAcceptsContinuousScore) {
+  MetaRuleOptions options;
+  const Matrix data = CurvedTestData();
+  MethodUnderTest method;
+  method.name = "smooth";
+  method.fit = FitNormalizedSum;
+  const auto result = CheckSmoothnessRule(
+      method, data, Orientation::AllBenefit(2), options);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(MetaRuleCapacityTest, NotApplicableWithoutSkeleton) {
+  MetaRuleOptions options;
+  MethodUnderTest method;
+  method.name = "no-skeleton";
+  method.fit = FitNormalizedSum;
+  const auto result = CheckCapacityRule(
+      method, CurvedTestData(), Orientation::AllBenefit(2), options);
+  EXPECT_FALSE(result.applicable);
+  EXPECT_FALSE(result.passed);
+}
+
+TEST(MetaRuleReportTest, AllPassedAndToString) {
+  MetaRuleReport report;
+  report.method_name = "test";
+  report.scale_translation_invariance.passed = true;
+  report.strict_monotonicity.passed = true;
+  report.capacity.passed = true;
+  report.smoothness.passed = true;
+  report.explicitness.passed = true;
+  EXPECT_TRUE(report.AllPassed());
+  report.capacity.passed = false;
+  EXPECT_FALSE(report.AllPassed());
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("strict monotonicity"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpc::order

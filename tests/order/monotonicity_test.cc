@@ -1,0 +1,127 @@
+#include "order/monotonicity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rpc::order {
+namespace {
+
+using curve::BezierCurve;
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(CurveMonotonicityTest, MonotoneCubicPasses) {
+  const BezierCurve curve(
+      Matrix{{0.0, 0.3, 0.7, 1.0}, {0.0, 0.1, 0.9, 1.0}});
+  const auto report =
+      CheckCurveMonotonicity(curve, Orientation::AllBenefit(2));
+  EXPECT_TRUE(report.strictly_monotone);
+  EXPECT_GT(report.min_oriented_derivative, 0.0);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(CurveMonotonicityTest, CostAttributeOrientationRespected) {
+  // Second coordinate decreasing: monotone under alpha = (+1, -1).
+  const BezierCurve curve(
+      Matrix{{0.0, 0.3, 0.7, 1.0}, {1.0, 0.9, 0.1, 0.0}});
+  const auto plus = Orientation::FromSigns({1, -1});
+  ASSERT_TRUE(plus.ok());
+  EXPECT_TRUE(CheckCurveMonotonicity(curve, *plus).strictly_monotone);
+  // And non-monotone under all-benefit.
+  EXPECT_FALSE(CheckCurveMonotonicity(curve, Orientation::AllBenefit(2))
+                   .strictly_monotone);
+}
+
+TEST(CurveMonotonicityTest, NonMonotoneCurveFlagged) {
+  // y coordinate rises then falls (parabola-like).
+  const BezierCurve curve(
+      Matrix{{0.0, 0.3, 0.7, 1.0}, {0.0, 1.5, 1.5, 0.0}});
+  const auto report =
+      CheckCurveMonotonicity(curve, Orientation::AllBenefit(2));
+  EXPECT_FALSE(report.strictly_monotone);
+  EXPECT_GT(report.violations, 0);
+  EXPECT_EQ(report.worst_dimension, 1);
+  EXPECT_LT(report.min_oriented_derivative, 0.0);
+}
+
+TEST(CurveMonotonicityTest, Proposition1HoldsForRandomInteriorPoints) {
+  // Property sweep behind Proposition 1: any cubic with corner end points
+  // and interior control points is strictly monotone.
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(5));
+    std::vector<int> signs(static_cast<size_t>(d));
+    for (int j = 0; j < d; ++j) {
+      signs[static_cast<size_t>(j)] = rng.Uniform() < 0.5 ? 1 : -1;
+    }
+    const auto alpha = Orientation::FromSigns(signs);
+    ASSERT_TRUE(alpha.ok());
+    Matrix control(d, 4);
+    control.SetColumn(0, alpha->WorstCorner());
+    control.SetColumn(3, alpha->BestCorner());
+    for (int j = 0; j < d; ++j) {
+      control(j, 1) = rng.Uniform(0.001, 0.999);
+      control(j, 2) = rng.Uniform(0.001, 0.999);
+    }
+    const auto report =
+        CheckCurveMonotonicity(BezierCurve(control), *alpha, 256);
+    EXPECT_TRUE(report.strictly_monotone)
+        << "trial " << trial << ": " << report.ToString();
+  }
+}
+
+TEST(CurveMonotonicityTest, BoundaryControlPointsLoseStrictness) {
+  // b1 -> 1, b2 -> 0 gives f'(0.5) = 0: the degenerate case excluded by the
+  // open-cube requirement.
+  const BezierCurve curve(Matrix{{0.0, 1.0, 0.0, 1.0}});
+  const auto report =
+      CheckCurveMonotonicity(curve, Orientation::AllBenefit(1), 512);
+  EXPECT_FALSE(report.strictly_monotone);
+}
+
+TEST(ScoreMonotonicityTest, LinearScorePasses) {
+  const auto score = [](const Vector& x) { return x[0] + 2.0 * x[1]; };
+  Rng rng(5);
+  Matrix points(40, 2);
+  for (int i = 0; i < 40; ++i) {
+    points(i, 0) = rng.Uniform();
+    points(i, 1) = rng.Uniform();
+  }
+  const auto report = CheckScoreMonotonicity(
+      score, points, Orientation::AllBenefit(2));
+  EXPECT_GT(report.comparable_pairs, 0);
+  EXPECT_TRUE(report.strictly_monotone());
+}
+
+TEST(ScoreMonotonicityTest, SingleCoordinateScoreTies) {
+  // Ignoring x2 produces strict-tie violations for pairs differing only in
+  // x2 — exactly Example 1's x1/x2 failure.
+  const auto score = [](const Vector& x) { return x[0]; };
+  Matrix points{{58.0, 1.4}, {58.0, 16.2}, {60.0, 5.0}};
+  const auto report = CheckScoreMonotonicity(
+      score, points, Orientation::AllBenefit(2));
+  EXPECT_FALSE(report.strictly_monotone());
+  EXPECT_GE(report.ties, 1);
+  EXPECT_EQ(report.violations, 0);
+}
+
+TEST(ScoreMonotonicityTest, AntitoneScoreViolates) {
+  const auto score = [](const Vector& x) { return -x[0] - x[1]; };
+  Matrix points{{0.0, 0.0}, {1.0, 1.0}};
+  const auto report = CheckScoreMonotonicity(
+      score, points, Orientation::AllBenefit(2));
+  EXPECT_EQ(report.comparable_pairs, 1);
+  EXPECT_EQ(report.violations, 1);
+}
+
+TEST(ScoreMonotonicityTest, IncomparablePairsSkipped) {
+  const auto score = [](const Vector& x) { return x[0]; };
+  Matrix points{{1.0, 0.0}, {0.0, 1.0}};
+  const auto report = CheckScoreMonotonicity(
+      score, points, Orientation::AllBenefit(2));
+  EXPECT_EQ(report.comparable_pairs, 0);
+}
+
+}  // namespace
+}  // namespace rpc::order

@@ -1,0 +1,94 @@
+#include "order/orientation.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::order {
+namespace {
+
+using linalg::Vector;
+
+TEST(OrientationTest, AllBenefit) {
+  const Orientation alpha = Orientation::AllBenefit(3);
+  EXPECT_EQ(alpha.dimension(), 3);
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(alpha.sign(j), 1);
+}
+
+TEST(OrientationTest, FromSignsValidation) {
+  EXPECT_TRUE(Orientation::FromSigns({1, -1, 1}).ok());
+  EXPECT_FALSE(Orientation::FromSigns({}).ok());
+  EXPECT_FALSE(Orientation::FromSigns({1, 0}).ok());
+  EXPECT_FALSE(Orientation::FromSigns({2}).ok());
+}
+
+TEST(OrientationTest, CornersMatchPaperFormulas) {
+  // alpha = (1, 1, -1, -1) as in Example 2: p0 = (1-alpha)/2 = (0,0,1,1),
+  // p3 = (1+alpha)/2 = (1,1,0,0).
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_TRUE(ApproxEqual(alpha->WorstCorner(), Vector{0.0, 0.0, 1.0, 1.0}));
+  EXPECT_TRUE(ApproxEqual(alpha->BestCorner(), Vector{1.0, 1.0, 0.0, 0.0}));
+  EXPECT_TRUE(ApproxEqual(alpha->AsVector(), Vector{1.0, 1.0, -1.0, -1.0}));
+}
+
+TEST(OrientationTest, PrecedesBenefitOnly) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  EXPECT_TRUE(alpha.Precedes(Vector{0.0, 0.0}, Vector{1.0, 1.0}));
+  EXPECT_TRUE(alpha.Precedes(Vector{0.0, 0.0}, Vector{0.0, 0.0}));
+  EXPECT_FALSE(alpha.Precedes(Vector{1.0, 0.0}, Vector{0.0, 1.0}));
+}
+
+TEST(OrientationTest, PrecedesMixedSigns) {
+  // Example 2's ordering: xI ⪯ xM ⪯ xG ⪯ xN with alpha = (1,1,-1,-1) on
+  // (GDP, LEB, IMR, TB).
+  const auto alpha = Orientation::FromSigns({1, 1, -1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const Vector xi{2.1, 62.7, 75.0, 59.0};
+  const Vector xm{11.3, 75.5, 12.0, 30.0};
+  const Vector xg{32.1, 79.2, 6.0, 4.0};
+  const Vector xn{47.6, 80.1, 3.0, 3.0};
+  EXPECT_TRUE(alpha->Precedes(xi, xm));
+  EXPECT_TRUE(alpha->Precedes(xm, xg));
+  EXPECT_TRUE(alpha->Precedes(xg, xn));
+  EXPECT_TRUE(alpha->Precedes(xi, xn));  // transitivity instance
+  EXPECT_FALSE(alpha->Precedes(xn, xi));
+}
+
+TEST(OrientationTest, StrictPrecedesExcludesEquality) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Vector x{0.5, 0.5};
+  EXPECT_FALSE(alpha.StrictlyPrecedes(x, x));
+  EXPECT_TRUE(alpha.StrictlyPrecedes(x, Vector{0.5, 0.6}));
+}
+
+TEST(OrientationTest, ComparabilityIsPartial) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  EXPECT_TRUE(alpha.Comparable(Vector{0.0, 0.0}, Vector{1.0, 1.0}));
+  EXPECT_FALSE(alpha.Comparable(Vector{1.0, 0.0}, Vector{0.0, 1.0}));
+}
+
+TEST(OrientationTest, AntisymmetryOfOrder) {
+  const Orientation alpha = Orientation::AllBenefit(3);
+  const Vector x{0.1, 0.2, 0.3};
+  const Vector y{0.1, 0.2, 0.3};
+  EXPECT_TRUE(alpha.Precedes(x, y));
+  EXPECT_TRUE(alpha.Precedes(y, x));
+  EXPECT_TRUE(ApproxEqual(x, y));
+}
+
+TEST(OrientationTest, FlippedChangesSign) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  const Orientation flipped = alpha.Flipped(1);
+  EXPECT_EQ(flipped.sign(0), 1);
+  EXPECT_EQ(flipped.sign(1), -1);
+  // Cost coordinate inverts the comparison.
+  EXPECT_TRUE(flipped.Precedes(Vector{0.0, 1.0}, Vector{1.0, 0.0}));
+}
+
+TEST(OrientationTest, ToStringFormat) {
+  const auto alpha = Orientation::FromSigns({1, -1});
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(alpha->ToString(), "(+1, -1)");
+}
+
+}  // namespace
+}  // namespace rpc::order

@@ -1,0 +1,136 @@
+#include "rank/first_pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "order/monotonicity.h"
+
+namespace rpc::rank {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix ElongatedCloud(int n, uint64_t seed) {
+  // Points along the diagonal with small orthogonal noise.
+  Rng rng(seed);
+  Matrix data(n, 2);
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.Uniform();
+    const double noise = rng.Gaussian(0.0, 0.02);
+    data(i, 0) = 10.0 * t + noise;
+    data(i, 1) = 5.0 * t - noise;
+  }
+  return data;
+}
+
+TEST(FirstPcaTest, RecoversDominantDirectionOrdering) {
+  const Matrix data = ElongatedCloud(100, 3);
+  const auto ranker =
+      FirstPcaRanker::Fit(data, order::Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  // Scores should increase along the latent t: check the extremes.
+  const double low = ranker->Score(Vector{0.0, 0.0});
+  const double high = ranker->Score(Vector{10.0, 5.0});
+  EXPECT_LT(low, high);
+  EXPECT_GT(ranker->explained_variance_ratio(), 0.95);
+}
+
+TEST(FirstPcaTest, OrientedTowardBestCorner) {
+  // With cost orientation on both attributes the score of the "small"
+  // corner must exceed the "large" corner.
+  const Matrix data = ElongatedCloud(100, 4);
+  const auto alpha = order::Orientation::FromSigns({-1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker = FirstPcaRanker::Fit(data, *alpha);
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_GT(ranker->Score(Vector{0.0, 0.0}),
+            ranker->Score(Vector{10.0, 5.0}));
+}
+
+TEST(FirstPcaTest, AxisAlignedDirectionTiesExample1) {
+  // When x2 carries almost no variance *after min-max normalisation* (a
+  // tight cluster plus two range-setting outliers), the leading direction
+  // w is parallel to the x1 axis, so two points differing only in x2 get
+  // (almost) identical scores — Example 1's x1/x2 failure.
+  Rng rng(5);
+  Matrix data(52, 2);
+  for (int i = 0; i < 50; ++i) {
+    data(i, 0) = rng.Uniform(40.0, 90.0);
+    data(i, 1) = 5.0 + 0.0001 * rng.Gaussian();  // tight cluster
+  }
+  data(50, 0) = 65.0;
+  data(50, 1) = 4.0;  // outliers fix the normalisation range...
+  data(51, 0) = 65.0;
+  data(51, 1) = 6.0;  // ...without adding variance mass
+  const auto ranker =
+      FirstPcaRanker::Fit(data, order::Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  // The leading direction is (almost) axis aligned.
+  EXPECT_GT(std::fabs(ranker->direction()[0]), 0.99);
+  const double s1 = ranker->Score(Vector{58.0, 4.9});
+  const double s2 = ranker->Score(Vector{58.0, 5.1});
+  const double span = ranker->Score(Vector{90.0, 5.0}) -
+                      ranker->Score(Vector{40.0, 5.0});
+  // The x2 difference moves the score by a negligible fraction of the
+  // x1 span.
+  EXPECT_LT(std::fabs(s2 - s1), 0.02 * std::fabs(span));
+}
+
+TEST(FirstPcaTest, SkeletonIsStraightLine) {
+  const Matrix data = ElongatedCloud(60, 6);
+  const auto ranker =
+      FirstPcaRanker::Fit(data, order::Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  const Matrix skeleton = ranker->SampleSkeleton(16);
+  ASSERT_EQ(skeleton.rows(), 17);
+  // Collinearity: second differences vanish.
+  for (int i = 1; i + 1 < skeleton.rows(); ++i) {
+    const Vector second =
+        skeleton.Row(i + 1) - 2.0 * skeleton.Row(i) + skeleton.Row(i - 1);
+    EXPECT_NEAR(second.Norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(FirstPcaTest, ParameterCountIs2d) {
+  const Matrix data = ElongatedCloud(30, 7);
+  const auto ranker =
+      FirstPcaRanker::Fit(data, order::Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_EQ(ranker->ParameterCount().value(), 4);
+}
+
+TEST(FirstPcaTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(
+      FirstPcaRanker::Fit(Matrix(1, 2), order::Orientation::AllBenefit(2))
+          .ok());
+  const Matrix constant{{1.0, 5.0}, {2.0, 5.0}};
+  EXPECT_FALSE(
+      FirstPcaRanker::Fit(constant, order::Orientation::AllBenefit(2)).ok());
+}
+
+TEST(FirstPcaTest, InvariantToAffineRescaling) {
+  const Matrix data = ElongatedCloud(80, 8);
+  const auto alpha = order::Orientation::AllBenefit(2);
+  const auto base = FirstPcaRanker::Fit(data, alpha);
+  ASSERT_TRUE(base.ok());
+  Matrix transformed(data.rows(), 2);
+  for (int i = 0; i < data.rows(); ++i) {
+    transformed(i, 0) = 1000.0 * data(i, 0) - 5.0;
+    transformed(i, 1) = 0.01 * data(i, 1) + 77.0;
+  }
+  const auto refit = FirstPcaRanker::Fit(transformed, alpha);
+  ASSERT_TRUE(refit.ok());
+  // Orders must agree.
+  for (int i = 0; i + 1 < data.rows(); ++i) {
+    const double a = base->Score(data.Row(i)) - base->Score(data.Row(i + 1));
+    const double b = refit->Score(transformed.Row(i)) -
+                     refit->Score(transformed.Row(i + 1));
+    EXPECT_GT(a * b, -1e-12) << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rpc::rank

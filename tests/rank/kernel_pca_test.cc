@@ -1,0 +1,127 @@
+#include "rank/kernel_pca.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "rank/metrics.h"
+
+namespace rpc::rank {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+TEST(KernelPcaTest, RecoversOrderOnStraightCloud) {
+  Rng rng(3);
+  Matrix data(80, 2);
+  Vector latent(80);
+  for (int i = 0; i < 80; ++i) {
+    const double t = rng.Uniform();
+    latent[i] = t;
+    data(i, 0) = 10.0 * t + rng.Gaussian(0.0, 0.05);
+    data(i, 1) = 5.0 * t + rng.Gaussian(0.0, 0.05);
+  }
+  const auto ranker =
+      KernelPcaRanker::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok()) << ranker.status().ToString();
+  const double tau = KendallTauB(ranker->ScoreRows(data), latent);
+  // Kernel PCA folds ends slightly even on straight clouds; strong but not
+  // near-perfect recovery is the expected behaviour.
+  EXPECT_GT(tau, 0.85);
+}
+
+TEST(KernelPcaTest, FollowsCurvedCloudBetterThanNothing) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 150, .noise_sigma = 0.02, .control_margin = 0.05, .seed = 4});
+  const auto ranker =
+      KernelPcaRanker::Fit(sample.data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  const double tau =
+      KendallTauB(ranker->ScoreRows(sample.data), sample.latent);
+  EXPECT_GT(tau, 0.75);  // decent, though not the RPC's near-1
+}
+
+TEST(KernelPcaTest, NotOrderPreserving) {
+  // Section 1's critique: the kernel map breaks strict monotonicity. On a
+  // bent cloud the first kernel component folds the ends: comparable pairs
+  // get inverted somewhere in the box.
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      Orientation::AllBenefit(2),
+      {.n = 150, .noise_sigma = 0.02, .control_margin = 0.05, .seed = 5});
+  const auto ranker =
+      KernelPcaRanker::Fit(sample.data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  // Probe a dense grid of comparable pairs across the unit box.
+  Rng rng(6);
+  int violations = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Vector x{rng.Uniform(), rng.Uniform()};
+    Vector y{x[0] + rng.Uniform() * (1.0 - x[0]),
+             x[1] + rng.Uniform() * (1.0 - x[1])};
+    if (ranker->Score(x) > ranker->Score(y) + 1e-9) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(KernelPcaTest, SigmaHeuristicPositive) {
+  Rng rng(7);
+  Matrix data(30, 3);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 3; ++j) data(i, j) = rng.Uniform();
+  }
+  const auto ranker =
+      KernelPcaRanker::Fit(data, Orientation::AllBenefit(3));
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_GT(ranker->sigma(), 0.0);
+  EXPECT_GT(ranker->explained_kernel_variance(), 0.0);
+  EXPECT_LE(ranker->explained_kernel_variance(), 1.0);
+}
+
+TEST(KernelPcaTest, ExplicitSigmaRespected) {
+  Rng rng(8);
+  Matrix data(30, 2);
+  for (int i = 0; i < 30; ++i) {
+    data(i, 0) = rng.Uniform();
+    data(i, 1) = rng.Uniform();
+  }
+  KernelPcaOptions options;
+  options.sigma = 0.37;
+  const auto ranker =
+      KernelPcaRanker::Fit(data, Orientation::AllBenefit(2), options);
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_DOUBLE_EQ(ranker->sigma(), 0.37);
+}
+
+TEST(KernelPcaTest, NoExplicitParameterCount) {
+  Rng rng(9);
+  Matrix data(20, 2);
+  for (int i = 0; i < 20; ++i) {
+    data(i, 0) = rng.Uniform();
+    data(i, 1) = rng.Uniform();
+  }
+  const auto ranker =
+      KernelPcaRanker::Fit(data, Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_FALSE(ranker->ParameterCount().has_value());
+}
+
+TEST(KernelPcaTest, RejectsBadInput) {
+  const Orientation alpha = Orientation::AllBenefit(2);
+  EXPECT_FALSE(KernelPcaRanker::Fit(Matrix(2, 2), alpha).ok());
+  KernelPcaOptions tiny_cap;
+  tiny_cap.max_rows = 5;
+  Matrix data(10, 2);
+  for (int i = 0; i < 10; ++i) {
+    data(i, 0) = i;
+    data(i, 1) = i * i;
+  }
+  EXPECT_FALSE(KernelPcaRanker::Fit(data, alpha, tiny_cap).ok());
+  const Matrix constant{{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  EXPECT_FALSE(KernelPcaRanker::Fit(constant, alpha).ok());
+}
+
+}  // namespace
+}  // namespace rpc::rank

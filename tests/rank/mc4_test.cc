@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "data/fixtures.h"
+#include "rank/rank_aggregation.h"
+
+namespace rpc::rank {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Mc4Test, UnanimousListsGiveUnanimousOrder) {
+  // Three lists all saying object 2 > 1 > 0 (position n = best).
+  const std::vector<Vector> lists = {Vector{1.0, 2.0, 3.0},
+                                     Vector{1.0, 2.0, 3.0},
+                                     Vector{1.0, 2.0, 3.0}};
+  const auto pi = AggregateRanksMc4(lists);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_GT((*pi)[2], (*pi)[1]);
+  EXPECT_GT((*pi)[1], (*pi)[0]);
+}
+
+TEST(Mc4Test, StationaryDistributionIsProbability) {
+  const std::vector<Vector> lists = {Vector{2.0, 1.0, 3.0},
+                                     Vector{1.0, 3.0, 2.0}};
+  const auto pi = AggregateRanksMc4(lists);
+  ASSERT_TRUE(pi.ok());
+  double total = 0.0;
+  for (int i = 0; i < pi->size(); ++i) {
+    EXPECT_GE((*pi)[i], 0.0);
+    total += (*pi)[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Mc4Test, MajorityPreferenceWins) {
+  // Two of three lists prefer object 1 over object 0.
+  const std::vector<Vector> lists = {Vector{1.0, 2.0}, Vector{1.0, 2.0},
+                                     Vector{2.0, 1.0}};
+  const auto pi = AggregateRanksMc4(lists);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_GT((*pi)[1], (*pi)[0]);
+}
+
+TEST(Mc4Test, TiesOnTable1RemainLikeMeanRank) {
+  // MC4 on the Table 1(a) per-attribute lists still cannot split A and B:
+  // one list prefers A, the other B (no majority either way).
+  const Matrix data = data::Table1aMatrix();
+  const std::vector<Vector> lists = {
+      RanksFromScores(data.Column(0)),
+      RanksFromScores(data.Column(1)),
+  };
+  const auto pi = AggregateRanksMc4(lists);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR((*pi)[0], (*pi)[1], 1e-9);  // A and B symmetric
+  EXPECT_GT((*pi)[2], (*pi)[0]);          // C clearly on top
+}
+
+TEST(Mc4Test, InputValidation) {
+  EXPECT_FALSE(AggregateRanksMc4({}).ok());
+  EXPECT_FALSE(
+      AggregateRanksMc4({Vector{1.0}, Vector{1.0, 2.0}}).ok());
+  Mc4Options bad;
+  bad.damping = 0.0;
+  EXPECT_FALSE(AggregateRanksMc4({Vector{1.0, 2.0}}, bad).ok());
+  bad.damping = 1.0;
+  EXPECT_FALSE(AggregateRanksMc4({Vector{1.0, 2.0}}, bad).ok());
+}
+
+TEST(Mc4Test, CondorcetWinnerGetsMostMass) {
+  // Object 3 beats everyone pairwise across lists -> largest stationary
+  // mass.
+  const std::vector<Vector> lists = {Vector{1.0, 3.0, 2.0, 4.0},
+                                     Vector{2.0, 1.0, 3.0, 4.0},
+                                     Vector{3.0, 2.0, 1.0, 4.0}};
+  const auto pi = AggregateRanksMc4(lists);
+  ASSERT_TRUE(pi.ok());
+  for (int i = 0; i < 3; ++i) EXPECT_GT((*pi)[3], (*pi)[i]);
+}
+
+}  // namespace
+}  // namespace rpc::rank

@@ -1,0 +1,124 @@
+#include "rank/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/stats.h"
+
+namespace rpc::rank {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(KendallTauTest, IdenticalOrderIsOne) {
+  const Vector a{1.0, 2.0, 3.0, 4.0};
+  const Vector b{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(KendallTauB(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTauA(a, b), 1.0);
+}
+
+TEST(KendallTauTest, ReversedOrderIsMinusOne) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(KendallTauB(a, b), -1.0);
+}
+
+TEST(KendallTauTest, KnownPartialAgreement) {
+  // One discordant pair of three: tau_a = (2 - 1) / 3.
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{1.0, 3.0, 2.0};
+  EXPECT_NEAR(KendallTauA(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, TieCorrection) {
+  const Vector a{1.0, 1.0, 2.0};
+  const Vector b{1.0, 2.0, 3.0};
+  // tau-b accounts for the tie in a; value = 2 / sqrt(2*3) ~ 0.8165.
+  EXPECT_NEAR(KendallTauB(a, b), 2.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(KendallTauTest, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(KendallTauB(Vector{}, Vector{}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauB(Vector{1.0, 1.0}, Vector{2.0, 3.0}), 0.0);
+}
+
+TEST(SpearmanTest, MonotoneTransformGivesOne) {
+  const Vector a{0.1, 0.5, 0.7, 0.9};
+  Vector b(4);
+  for (int i = 0; i < 4; ++i) b[i] = std::exp(3.0 * a[i]);  // monotone map
+  EXPECT_NEAR(SpearmanRho(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, FootruleZeroForSameOrder) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(SpearmanFootrule(a, b), 0.0);
+}
+
+TEST(SpearmanTest, FootruleMaxForReversal) {
+  const Vector a{1.0, 2.0, 3.0, 4.0};
+  const Vector b{4.0, 3.0, 2.0, 1.0};
+  // |1-4|+|2-3|+|3-2|+|4-1| = 8.
+  EXPECT_DOUBLE_EQ(SpearmanFootrule(a, b), 8.0);
+}
+
+TEST(OrderViolationsTest, PerfectScoresHaveNone) {
+  const Matrix data{{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}};
+  const Vector scores{0.0, 0.5, 1.0};
+  const auto report = CountOrderViolations(
+      data, scores, order::Orientation::AllBenefit(2));
+  EXPECT_EQ(report.comparable_pairs, 3);
+  EXPECT_EQ(report.violations, 0);
+  EXPECT_EQ(report.ties, 0);
+  EXPECT_DOUBLE_EQ(report.violation_rate(), 0.0);
+}
+
+TEST(OrderViolationsTest, DetectsViolationAndTie) {
+  const Matrix data{{0.0, 0.0}, {0.5, 0.5}, {1.0, 1.0}};
+  const Vector bad{0.9, 0.5, 0.5};  // first pair inverted, last two tied
+  const auto report = CountOrderViolations(
+      data, bad, order::Orientation::AllBenefit(2));
+  EXPECT_EQ(report.comparable_pairs, 3);
+  EXPECT_EQ(report.violations, 2);  // (0,1) and (0,2) inverted
+  EXPECT_EQ(report.ties, 1);        // (1,2) tied
+  EXPECT_GT(report.violation_rate(), 0.9);
+}
+
+TEST(OrderViolationsTest, RespectsMixedOrientation) {
+  const auto alpha = order::Orientation::FromSigns({1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const Matrix data{{0.0, 1.0}, {1.0, 0.0}};  // row0 precedes row1
+  const auto good = CountOrderViolations(data, Vector{0.0, 1.0}, *alpha);
+  EXPECT_EQ(good.violations, 0);
+  const auto bad = CountOrderViolations(data, Vector{1.0, 0.0}, *alpha);
+  EXPECT_EQ(bad.violations, 1);
+}
+
+TEST(ExplainedVarianceTest, ZeroResidualIsOne) {
+  const Matrix data{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(ExplainedVariance(0.0, data), 1.0);
+}
+
+TEST(ExplainedVarianceTest, FullResidualIsZero) {
+  const Matrix data{{0.0, 0.0}, {2.0, 0.0}};
+  const double scatter = linalg::TotalScatter(data);
+  EXPECT_DOUBLE_EQ(ExplainedVariance(scatter, data), 0.0);
+}
+
+TEST(KendallTauTest, RandomPermutationNearZero) {
+  Rng rng(99);
+  const int n = 400;
+  Vector a(n);
+  Vector b(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = rng.Uniform();
+    b[i] = rng.Uniform();
+  }
+  EXPECT_NEAR(KendallTauB(a, b), 0.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rpc::rank

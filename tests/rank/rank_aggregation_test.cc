@@ -1,0 +1,114 @@
+#include "rank/rank_aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "data/fixtures.h"
+
+namespace rpc::rank {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(RanksFromScoresTest, AscendingPositions) {
+  const Vector ranks = RanksFromScores(Vector{0.3, 0.25, 0.7});
+  EXPECT_DOUBLE_EQ(ranks[0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(RanksFromScoresTest, DescendingPositions) {
+  const Vector ranks =
+      RanksFromScores(Vector{0.3, 0.25, 0.7}, /*ascending=*/false);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0);
+}
+
+TEST(RanksFromScoresTest, TiesGetAverageRank) {
+  const Vector ranks = RanksFromScores(Vector{1.0, 1.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(ranks[3], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 4.0);
+}
+
+TEST(AggregateRanksTest, MeanRankMatchesEq30) {
+  // Table 1(a): A has positions (2, 1), B (1, 2), C (3, 3).
+  const std::vector<Vector> lists = {Vector{2.0, 1.0, 3.0},
+                                     Vector{1.0, 2.0, 3.0}};
+  const auto agg = AggregateRanks(lists, AggregationMethod::kMeanRank);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ((*agg)[0], 1.5);
+  EXPECT_DOUBLE_EQ((*agg)[1], 1.5);
+  EXPECT_DOUBLE_EQ((*agg)[2], 3.0);
+}
+
+TEST(AggregateRanksTest, MedianRank) {
+  const std::vector<Vector> lists = {Vector{1.0, 2.0}, Vector{3.0, 2.0},
+                                     Vector{5.0, 2.0}};
+  const auto agg = AggregateRanks(lists, AggregationMethod::kMedianRank);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ((*agg)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*agg)[1], 2.0);
+}
+
+TEST(AggregateRanksTest, MedianEvenListCount) {
+  const std::vector<Vector> lists = {Vector{1.0}, Vector{4.0}};
+  const auto agg = AggregateRanks(lists, AggregationMethod::kMedianRank);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ((*agg)[0], 2.5);
+}
+
+TEST(AggregateRanksTest, BordaSameOrderAsMean) {
+  const std::vector<Vector> lists = {Vector{2.0, 1.0, 3.0},
+                                     Vector{1.0, 2.0, 3.0}};
+  const auto borda = AggregateRanks(lists, AggregationMethod::kBordaCount);
+  ASSERT_TRUE(borda.ok());
+  EXPECT_DOUBLE_EQ((*borda)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*borda)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*borda)[2], 4.0);
+}
+
+TEST(AggregateRanksTest, RejectsBadInput) {
+  EXPECT_FALSE(AggregateRanks({}).ok());
+  EXPECT_FALSE(AggregateRanks({Vector{1.0}, Vector{1.0, 2.0}}).ok());
+}
+
+TEST(AggregateAttributeRanksTest, ReproducesTable1a) {
+  const Matrix data = data::Table1aMatrix();
+  const auto agg = AggregateAttributeRanks(data, {1, 1});
+  ASSERT_TRUE(agg.ok());
+  const auto& rows = data::Table1a();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((*agg)[i], rows[static_cast<size_t>(i)].rankagg)
+        << rows[static_cast<size_t>(i)].name;
+  }
+}
+
+TEST(AggregateAttributeRanksTest, Table1bKeepsAandBTied) {
+  // The paper's point: RankAgg cannot distinguish A' and B even after A
+  // moved (Table 1(b)) because only per-attribute orders enter Eq. (30).
+  const Matrix data = data::Table1bMatrix();
+  const auto agg = AggregateAttributeRanks(data, {1, 1});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_DOUBLE_EQ((*agg)[0], (*agg)[1]);
+  EXPECT_DOUBLE_EQ((*agg)[0], 1.5);
+}
+
+TEST(AggregateAttributeRanksTest, CostAttributesUseInvertedRanks) {
+  // One benefit, one cost: object dominating both gets the top aggregate.
+  const Matrix data{{10.0, 5.0}, {20.0, 1.0}};
+  const auto agg = AggregateAttributeRanks(data, {1, -1});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_GT((*agg)[1], (*agg)[0]);
+}
+
+TEST(AggregateAttributeRanksTest, RejectsBadSigns) {
+  const Matrix data{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_FALSE(AggregateAttributeRanks(data, {1}).ok());
+  EXPECT_FALSE(AggregateAttributeRanks(data, {1, 0}).ok());
+}
+
+}  // namespace
+}  // namespace rpc::rank

@@ -1,0 +1,68 @@
+#include "rank/ranking_list.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::rank {
+namespace {
+
+using linalg::Vector;
+
+TEST(RankingListTest, SortsDescendingByDefault) {
+  const RankingList list(Vector{0.2, 0.9, 0.5});
+  const auto order = list.OrderedIndices();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 0);
+  EXPECT_EQ(list.PositionOf(1), 1);
+  EXPECT_EQ(list.PositionOf(0), 3);
+}
+
+TEST(RankingListTest, AscendingMode) {
+  const RankingList list(Vector{0.2, 0.9, 0.5}, /*higher_is_better=*/false);
+  EXPECT_EQ(list.PositionOf(0), 1);
+  EXPECT_EQ(list.PositionOf(1), 3);
+}
+
+TEST(RankingListTest, LabelsCarriedThrough) {
+  const RankingList list(Vector{1.0, 2.0}, {"low", "high"});
+  EXPECT_EQ(list.items()[0].label, "high");
+  EXPECT_EQ(list.items()[1].label, "low");
+}
+
+TEST(RankingListTest, TiesShareAverageRank) {
+  const RankingList list(Vector{0.5, 0.5, 0.1});
+  // Positions 1 and 2 tied -> average 1.5 for both.
+  EXPECT_DOUBLE_EQ(list.AverageRankOf(0), 1.5);
+  EXPECT_DOUBLE_EQ(list.AverageRankOf(1), 1.5);
+  EXPECT_DOUBLE_EQ(list.AverageRankOf(2), 3.0);
+}
+
+TEST(RankingListTest, TieBreaksAreDeterministicByIndex) {
+  const RankingList list(Vector{0.5, 0.5});
+  EXPECT_EQ(list.PositionOf(0), 1);
+  EXPECT_EQ(list.PositionOf(1), 2);
+}
+
+TEST(RankingListTest, PositionsAreConsistentWithItems) {
+  const RankingList list(Vector{3.0, 1.0, 2.0, 5.0});
+  for (const RankedItem& item : list.items()) {
+    EXPECT_EQ(list.PositionOf(item.index), item.position);
+  }
+}
+
+TEST(RankingListTest, TableStringShowsTopRows) {
+  const RankingList list(Vector{0.1, 0.9}, {"worst", "best"});
+  const std::string table = list.ToTableString(1);
+  EXPECT_NE(table.find("best"), std::string::npos);
+  EXPECT_EQ(table.find("worst"), std::string::npos);
+}
+
+TEST(RankingListTest, EmptyList) {
+  const RankingList list(Vector{});
+  EXPECT_EQ(list.size(), 0);
+  EXPECT_TRUE(list.OrderedIndices().empty());
+}
+
+}  // namespace
+}  // namespace rpc::rank

@@ -1,0 +1,94 @@
+#include "rank/weighted_sum.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::rank {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix SimpleData() {
+  return Matrix{{0.0, 10.0}, {50.0, 20.0}, {100.0, 30.0}};
+}
+
+TEST(WeightedSumTest, EqualWeightsScoreRange) {
+  const auto ranker = WeightedSumRanker::FitEqualWeights(
+      SimpleData(), order::Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_NEAR(ranker->Score(Vector{0.0, 10.0}), 0.0, 1e-12);
+  EXPECT_NEAR(ranker->Score(Vector{100.0, 30.0}), 1.0, 1e-12);
+  EXPECT_NEAR(ranker->Score(Vector{50.0, 20.0}), 0.5, 1e-12);
+}
+
+TEST(WeightedSumTest, CostAttributeInverted) {
+  const auto alpha = order::Orientation::FromSigns({1, -1});
+  ASSERT_TRUE(alpha.ok());
+  const auto ranker =
+      WeightedSumRanker::FitEqualWeights(SimpleData(), *alpha);
+  ASSERT_TRUE(ranker.ok());
+  // Best on attr 0, worst (highest) on attr 1 -> 0.5 each -> 0.5 total.
+  EXPECT_NEAR(ranker->Score(Vector{100.0, 30.0}), 0.5, 1e-12);
+  // Best on both: max attr0, min attr1.
+  EXPECT_NEAR(ranker->Score(Vector{100.0, 10.0}), 1.0, 1e-12);
+}
+
+TEST(WeightedSumTest, WeightsAreNormalised) {
+  const auto ranker = WeightedSumRanker::Fit(
+      SimpleData(), order::Orientation::AllBenefit(2), Vector{2.0, 6.0});
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_NEAR(ranker->weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(ranker->weights()[1], 0.75, 1e-12);
+}
+
+TEST(WeightedSumTest, DifferentWeightsDifferentLists) {
+  // The introduction's critique: weight choice changes the ranking.
+  const Matrix data{{0.0, 30.0}, {100.0, 10.0}};
+  const auto favour_first = WeightedSumRanker::Fit(
+      data, order::Orientation::AllBenefit(2), Vector{10.0, 1.0});
+  const auto favour_second = WeightedSumRanker::Fit(
+      data, order::Orientation::AllBenefit(2), Vector{1.0, 10.0});
+  ASSERT_TRUE(favour_first.ok());
+  ASSERT_TRUE(favour_second.ok());
+  const double a0 = favour_first->Score(data.Row(0));
+  const double a1 = favour_first->Score(data.Row(1));
+  const double b0 = favour_second->Score(data.Row(0));
+  const double b1 = favour_second->Score(data.Row(1));
+  EXPECT_LT(a0, a1);  // first attribute dominates
+  EXPECT_GT(b0, b1);  // second attribute dominates
+}
+
+TEST(WeightedSumTest, RejectsBadInputs) {
+  const auto alpha = order::Orientation::AllBenefit(2);
+  EXPECT_FALSE(
+      WeightedSumRanker::Fit(SimpleData(), alpha, Vector{1.0}).ok());
+  EXPECT_FALSE(
+      WeightedSumRanker::Fit(SimpleData(), alpha, Vector{1.0, 0.0}).ok());
+  EXPECT_FALSE(
+      WeightedSumRanker::Fit(SimpleData(), alpha, Vector{1.0, -1.0}).ok());
+  const Matrix constant{{1.0, 5.0}, {2.0, 5.0}};
+  EXPECT_FALSE(WeightedSumRanker::FitEqualWeights(constant, alpha).ok());
+  const auto alpha3 = order::Orientation::AllBenefit(3);
+  EXPECT_FALSE(WeightedSumRanker::FitEqualWeights(SimpleData(), alpha3).ok());
+}
+
+TEST(WeightedSumTest, ParameterCountIsD) {
+  const auto ranker = WeightedSumRanker::FitEqualWeights(
+      SimpleData(), order::Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  EXPECT_EQ(ranker->ParameterCount().value(), 2);
+  EXPECT_EQ(ranker->name(), "WeightedSum");
+}
+
+TEST(WeightedSumTest, ScoreRowsMatchesScore) {
+  const auto ranker = WeightedSumRanker::FitEqualWeights(
+      SimpleData(), order::Orientation::AllBenefit(2));
+  ASSERT_TRUE(ranker.ok());
+  const Vector scores = ranker->ScoreRows(SimpleData());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], ranker->Score(SimpleData().Row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace rpc::rank

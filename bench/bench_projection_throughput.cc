@@ -1,0 +1,234 @@
+// Projection-engine throughput: rows/sec for the seed's allocating serial
+// path vs. the allocation-free batch engine (1 thread and a full pool),
+// across n x d configurations. One JSON line per measurement on stdout and
+// appended to BENCH_projection_throughput.json, so the perf trajectory is
+// diffable across PRs.
+//
+//   build/bench_projection_throughput [--quick]
+//
+// --quick shrinks the grid and the minimum timing window for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "curve/bernstein.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "opt/batch_projection.h"
+#include "opt/curve_projection.h"
+#include "opt/golden_section.h"
+
+namespace {
+
+using rpc::Rng;
+using rpc::ThreadPool;
+using rpc::curve::BezierCurve;
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+using rpc::opt::ProjectionOptions;
+using rpc::opt::ProjectionResult;
+
+// ---- Seed replica ---------------------------------------------------------
+// The pre-engine hot path, reproduced verbatim in spirit: de Casteljau with
+// a fresh std::vector<Vector> per curve evaluation and Golden Section via
+// std::function — dozens of heap allocations per projected point. Kept here
+// so the speedup baseline stays honest after the library path was replaced.
+
+Vector SeedEvaluate(const BezierCurve& curve, double s) {
+  const int k = curve.degree();
+  const int d = curve.dimension();
+  const Matrix& points = curve.control_points();
+  std::vector<Vector> work;
+  work.reserve(static_cast<size_t>(k) + 1);
+  for (int r = 0; r <= k; ++r) work.push_back(points.Column(r));
+  for (int level = k; level >= 1; --level) {
+    for (int r = 0; r < level; ++r) {
+      for (int i = 0; i < d; ++i) {
+        work[static_cast<size_t>(r)][i] =
+            (1.0 - s) * work[static_cast<size_t>(r)][i] +
+            s * work[static_cast<size_t>(r) + 1][i];
+      }
+    }
+  }
+  return work[0];
+}
+
+double SeedSquaredDistanceAt(const BezierCurve& curve, const Vector& x,
+                             double s) {
+  const Vector f = SeedEvaluate(curve, s);
+  double sum = 0.0;
+  for (int i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - f[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+constexpr double kTieRelTol = 1e-9;
+
+ProjectionResult SeedProjectGss(const BezierCurve& curve, const Vector& x,
+                                const ProjectionOptions& options) {
+  const int g = options.grid_points;
+  std::vector<double> dist(static_cast<size_t>(g) + 1);
+  for (int i = 0; i <= g; ++i) {
+    dist[static_cast<size_t>(i)] =
+        SeedSquaredDistanceAt(curve, x, static_cast<double>(i) / g);
+  }
+  ProjectionResult best;
+  best.squared_distance = dist[0];
+  best.s = 0.0;
+  for (int i = 1; i <= g; ++i) {
+    const double s = static_cast<double>(i) / g;
+    const double slack = kTieRelTol * (1.0 + best.squared_distance);
+    if (dist[static_cast<size_t>(i)] < best.squared_distance - slack ||
+        (dist[static_cast<size_t>(i)] <= best.squared_distance + slack &&
+         s > best.s)) {
+      best.squared_distance = dist[static_cast<size_t>(i)];
+      best.s = s;
+    }
+  }
+  const std::function<double(double)> objective = [&](double s) {
+    return SeedSquaredDistanceAt(curve, x, s);
+  };
+  for (int i = 0; i <= g; ++i) {
+    const bool left_ok = i == 0 || dist[static_cast<size_t>(i)] <=
+                                       dist[static_cast<size_t>(i - 1)];
+    const bool right_ok = i == g || dist[static_cast<size_t>(i)] <=
+                                        dist[static_cast<size_t>(i + 1)];
+    if (!left_ok || !right_ok) continue;
+    const double lo = std::max(0.0, static_cast<double>(i - 1) / g);
+    const double hi = std::min(1.0, static_cast<double>(i + 1) / g);
+    const rpc::opt::ScalarMinResult gss =
+        rpc::opt::GoldenSectionMinimize(objective, lo, hi, options.tol);
+    const double refined = SeedSquaredDistanceAt(curve, x, gss.x);
+    const double slack = kTieRelTol * (1.0 + best.squared_distance);
+    if (refined < best.squared_distance - slack ||
+        (refined <= best.squared_distance + slack && gss.x > best.s)) {
+      best.squared_distance = refined;
+      best.s = gss.x;
+    }
+  }
+  return best;
+}
+
+// ---- Harness --------------------------------------------------------------
+
+BezierCurve RandomMonotoneCubic(int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix control(d, 4);
+  for (int i = 0; i < d; ++i) {
+    control(i, 0) = 0.0;
+    control(i, 1) = rng.Uniform(0.1, 0.45);
+    control(i, 2) = rng.Uniform(0.55, 0.9);
+    control(i, 3) = 1.0;
+  }
+  return BezierCurve(control);
+}
+
+Matrix RandomData(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) data(i, j) = rng.Uniform(-0.1, 1.1);
+  }
+  return data;
+}
+
+// Runs `pass` (one full sweep over n rows) until `min_seconds` of wall time
+// has elapsed; returns rows per second.
+double MeasureRowsPerSec(int n, double min_seconds,
+                         const std::function<void()>& pass) {
+  pass();  // warm-up: page in data, spin up threads
+  const auto start = std::chrono::steady_clock::now();
+  int passes = 0;
+  double elapsed = 0.0;
+  do {
+    pass();
+    ++passes;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(n) * passes / elapsed;
+}
+
+void EmitJson(std::FILE* sink, const std::string& variant, int n, int d,
+              int threads, double rows_per_sec, double speedup) {
+  const std::string line = std::string("{\"bench\":\"projection_throughput\"") +
+      ",\"method\":\"gss\",\"variant\":\"" + variant +
+      "\",\"n\":" + std::to_string(n) + ",\"d\":" + std::to_string(d) +
+      ",\"threads\":" + std::to_string(threads) +
+      ",\"rows_per_sec\":" + std::to_string(rows_per_sec) +
+      ",\"speedup_vs_seed\":" + std::to_string(speedup) + "}";
+  std::printf("%s\n", line.c_str());
+  if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::vector<int> ns =
+      quick ? std::vector<int>{1000, 10000}
+            : std::vector<int>{1000, 10000, 100000};
+  const std::vector<int> ds =
+      quick ? std::vector<int>{2, 8} : std::vector<int>{2, 8, 32};
+  const double min_seconds = quick ? 0.05 : 0.25;
+
+  ThreadPool pool(0);  // hardware concurrency
+  const int hw_threads = pool.parallelism();
+  std::FILE* sink = std::fopen("BENCH_projection_throughput.json", "w");
+
+  std::printf("# projection throughput (GSS, grid=32); %d hardware "
+              "thread(s); JSON also in BENCH_projection_throughput.json\n",
+              hw_threads);
+  for (int d : ds) {
+    const BezierCurve curve = RandomMonotoneCubic(d, 1000 + d);
+    for (int n : ns) {
+      const Matrix data = RandomData(n, d, 2000 + n + d);
+      const ProjectionOptions options;  // GSS, grid 32
+
+      // Seed path on a subsample when n is large, scaled to rows/sec, so
+      // the slow baseline doesn't dominate bench runtime.
+      const int seed_rows = std::min(n, 10000);
+      const double seed_rps =
+          MeasureRowsPerSec(seed_rows, min_seconds, [&] {
+            for (int i = 0; i < seed_rows; ++i) {
+              const ProjectionResult r =
+                  SeedProjectGss(curve, data.Row(i), options);
+              (void)r;
+            }
+          });
+      EmitJson(sink, "seed_serial", n, d, 1, seed_rps, 1.0);
+
+      const double engine1_rps = MeasureRowsPerSec(n, min_seconds, [&] {
+        double total = 0.0;
+        const Vector scores =
+            rpc::opt::ProjectRowsBatch(curve, data, options, nullptr, &total);
+        (void)scores;
+      });
+      EmitJson(sink, "engine_serial", n, d, 1, engine1_rps,
+               engine1_rps / seed_rps);
+
+      const double engineN_rps = MeasureRowsPerSec(n, min_seconds, [&] {
+        double total = 0.0;
+        const Vector scores =
+            rpc::opt::ProjectRowsBatch(curve, data, options, &pool, &total);
+        (void)scores;
+      });
+      EmitJson(sink, "engine_parallel", n, d, hw_threads, engineN_rps,
+               engineN_rps / seed_rps);
+    }
+  }
+  if (sink != nullptr) std::fclose(sink);
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace rpc {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads == 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::int64_t ThreadPool::RunChunks(int worker_index) {
+  std::int64_t completed = 0;
+  for (;;) {
+    const std::int64_t chunk = next_chunk_.fetch_add(1);
+    if (chunk >= num_chunks_) break;
+    if (!job_failed_.load()) {
+      const std::int64_t begin = chunk * grain_;
+      const std::int64_t end = std::min(n_, begin + grain_);
+      try {
+        (*body_)(begin, end, worker_index);
+      } catch (...) {
+        // Keep the first error; later chunks are claimed but not run.
+        if (!job_failed_.exchange(true)) {
+          std::lock_guard<std::mutex> lock(mu_);
+          first_error_ = std::current_exception();
+        }
+      }
+    }
+    ++completed;
+  }
+  return completed;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  std::uint64_t last_job = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || job_id_ != last_job; });
+      if (shutdown_) return;
+      last_job = job_id_;
+      ++active_workers_;
+    }
+    const std::int64_t completed = RunChunks(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+      chunks_done_ += completed;
+      // Wakes the caller (chunks_done_ == num_chunks_) and any publisher
+      // waiting for stragglers to leave RunChunks (active_workers_ == 0).
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, int)>& body) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t num_chunks = (n + grain - 1) / grain;
+
+  if (workers_.empty() || num_chunks == 1) {
+    // Inline fast path: no publication, no wakeups.
+    for (std::int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const std::int64_t begin = chunk * grain;
+      body(begin, std::min(n, begin + grain), /*worker=*/0);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> call_lock(call_mu_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A worker that accepted the previous job but was scheduled late may
+    // still be inside RunChunks reading the job fields; publishing over
+    // them would let it claim chunks of the new job through a half-written
+    // state. Wait until every straggler has left before rewriting.
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    body_ = &body;
+    n_ = n;
+    grain_ = grain;
+    num_chunks_ = num_chunks;
+    chunks_done_ = 0;
+    next_chunk_.store(0);
+    job_failed_.store(false);
+    first_error_ = nullptr;
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+
+  const std::int64_t completed = RunChunks(/*worker_index=*/0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    chunks_done_ += completed;
+    done_cv_.wait(lock, [&] { return chunks_done_ == num_chunks_; });
+    error = first_error_;
+    first_error_ = nullptr;
+    body_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace rpc

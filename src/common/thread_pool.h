@@ -1,0 +1,80 @@
+#ifndef RPC_COMMON_THREAD_POOL_H_
+#define RPC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rpc {
+
+/// A small reusable worker pool for data-parallel loops. Workers are
+/// started once and reused across ParallelFor calls, so per-call overhead
+/// is one wakeup, not a thread spawn.
+///
+/// Determinism contract: ParallelFor partitions [0, n) into fixed
+/// contiguous chunks; which worker runs which chunk is scheduling-dependent
+/// but the chunks themselves are not, so a body that writes only to
+/// locations derived from its index range produces results independent of
+/// thread count and scheduling.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread too: 1 (or a negative value)
+  /// means every ParallelFor runs inline with no worker threads at all;
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (worker threads + the calling thread); >= 1.
+  int parallelism() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(begin, end, worker) over a fixed partition of [0, n) into
+  /// contiguous chunks of `grain` indices (the last chunk may be shorter);
+  /// grain < 1 is treated as 1. `worker` is in [0, parallelism()) and is
+  /// stable for the duration of one chunk, so per-worker scratch indexed by
+  /// it is race-free. Blocks until every chunk has run; the first exception
+  /// thrown by any chunk is rethrown here (remaining chunks are skipped).
+  /// Calls may not be nested (a body must not call ParallelFor on the same
+  /// pool); concurrent calls from different threads are serialised.
+  void ParallelFor(
+      std::int64_t n, std::int64_t grain,
+      const std::function<void(std::int64_t, std::int64_t, int)>& body);
+
+ private:
+  void WorkerLoop(int worker_index);
+  /// Claims and runs chunks of the current job until none remain; returns
+  /// the number of chunks this thread completed.
+  std::int64_t RunChunks(int worker_index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new job or shutdown
+  std::condition_variable done_cv_;  // caller: all chunks finished
+  bool shutdown_ = false;
+  std::uint64_t job_id_ = 0;  // bumped when a job is published
+
+  // State of the in-flight job, written under mu_ before the job is
+  // published; chunk claiming is lock-free via next_chunk_.
+  const std::function<void(std::int64_t, std::int64_t, int)>* body_ = nullptr;
+  std::int64_t n_ = 0;
+  std::int64_t grain_ = 1;
+  std::int64_t num_chunks_ = 0;
+  std::int64_t chunks_done_ = 0;
+  int active_workers_ = 0;  // workers currently inside RunChunks
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<bool> job_failed_{false};
+  std::exception_ptr first_error_;
+
+  std::mutex call_mu_;  // serialises whole ParallelFor invocations
+};
+
+}  // namespace rpc
+
+#endif  // RPC_COMMON_THREAD_POOL_H_

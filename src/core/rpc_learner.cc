@@ -10,6 +10,7 @@
 #include "curve/bernstein.h"
 #include "linalg/pinv.h"
 #include "linalg/stats.h"
+#include "opt/batch_projection.h"
 #include "opt/richardson.h"
 
 namespace rpc::core {
@@ -59,15 +60,42 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
   if (options_.restarts < 1) {
     return Status::InvalidArgument("RpcLearner: restarts must be >= 1");
   }
+  ThreadPool pool(options_.num_threads);
   if (options_.restarts == 1) {
-    return FitOnce(normalized_data, alpha, options_.seed);
+    return FitOnce(normalized_data, alpha, options_.seed, &pool);
   }
   // Multi-restart: independent seeds, keep the lowest J (Theorem 3's
-  // minimiser is approached from several basins).
+  // minimiser is approached from several basins). With a thread budget the
+  // restarts run concurrently — each already has its own RNG stream — and
+  // each runs its projections serially so pool parallelism never nests;
+  // without one the pool accelerates the projections inside each restart.
+  std::vector<Result<RpcFitResult>> fits;
+  fits.reserve(static_cast<size_t>(options_.restarts));
+  for (int r = 0; r < options_.restarts; ++r) {
+    fits.emplace_back(Status::Internal("restart did not run"));
+  }
+  if (pool.parallelism() > 1) {
+    pool.ParallelFor(
+        options_.restarts, /*grain=*/1,
+        [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+          for (std::int64_t r = begin; r < end; ++r) {
+            fits[static_cast<size_t>(r)] =
+                FitOnce(normalized_data, alpha,
+                        options_.seed + 7919ULL * static_cast<uint64_t>(r),
+                        /*pool=*/nullptr);
+          }
+        });
+  } else {
+    for (int r = 0; r < options_.restarts; ++r) {
+      fits[static_cast<size_t>(r)] = FitOnce(
+          normalized_data, alpha, options_.seed + 7919ULL * r, &pool);
+    }
+  }
+  // Selection scans in restart order, so the winner (and any propagated
+  // error) is independent of how the restarts were scheduled.
   Result<RpcFitResult> best = Status::Internal("no restart succeeded");
   for (int r = 0; r < options_.restarts; ++r) {
-    Result<RpcFitResult> fit =
-        FitOnce(normalized_data, alpha, options_.seed + 7919ULL * r);
+    Result<RpcFitResult>& fit = fits[static_cast<size_t>(r)];
     if (!fit.ok()) {
       if (!best.ok()) best = std::move(fit);
       continue;
@@ -79,7 +107,8 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
 
 Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
                                          const order::Orientation& alpha,
-                                         uint64_t seed) const {
+                                         uint64_t seed,
+                                         ThreadPool* pool) const {
   const int n = normalized_data.rows();
   const int d = normalized_data.cols();
   const int k = options_.degree;
@@ -184,9 +213,10 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
 
   int iter = 0;
   for (; iter < options_.max_iterations; ++iter) {
-    // Step 4: projection indices s^(t) (GSS or the quintic alternative).
-    scores = opt::ProjectRows(bezier, normalized_data, options_.projection,
-                              &j_current);
+    // Step 4: projection indices s^(t) (GSS or the quintic alternative),
+    // fanned out across the pool by the batch engine.
+    scores = opt::ProjectRowsBatch(bezier, normalized_data,
+                                   options_.projection, pool, &j_current);
     if (options_.record_history) result.j_history.push_back(j_current);
 
     if (iter > 0) {
@@ -250,8 +280,8 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   }
 
   if (scores.size() == 0) {
-    scores = opt::ProjectRows(bezier, normalized_data, options_.projection,
-                              &j_current);
+    scores = opt::ProjectRowsBatch(bezier, normalized_data,
+                                   options_.projection, pool, &j_current);
   }
 
   Result<RpcCurve> curve_result =

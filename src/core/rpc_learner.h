@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/rpc_curve.h"
 #include "linalg/matrix.h"
 #include "opt/curve_projection.h"
@@ -62,6 +63,16 @@ struct RpcLearnOptions {
   /// RpcInit::kRandomSamples (deterministic inits always produce the same
   /// run). Must be >= 1.
   int restarts = 1;
+  /// Worker-thread budget for Fit: 0 = hardware concurrency, 1 = fully
+  /// serial (the pre-parallel behaviour), n > 1 = exactly n threads. The
+  /// budget drives both levels of parallelism — Step 4's batch projection
+  /// (rows partitioned across the pool, one evaluation workspace per
+  /// worker) and, when restarts > 1, the independent restarts themselves
+  /// (safe because each restart derives its RNG stream from its own seed).
+  /// Results are bit-identical for every value: per-row projections are
+  /// independent, the J reduction is ordered, and the best-restart
+  /// selection scans in restart order.
+  int num_threads = 0;
 };
 
 /// Output of Algorithm 1.
@@ -98,9 +109,12 @@ class RpcLearner {
   const RpcLearnOptions& options() const { return options_; }
 
  private:
+  /// One restart. `pool` (nullable) parallelises the per-iteration batch
+  /// projections; when restarts run concurrently each gets a null pool
+  /// instead, so the two levels of parallelism never nest.
   Result<RpcFitResult> FitOnce(const linalg::Matrix& normalized_data,
-                               const order::Orientation& alpha,
-                               uint64_t seed) const;
+                               const order::Orientation& alpha, uint64_t seed,
+                               ThreadPool* pool) const;
 
   RpcLearnOptions options_;
 };

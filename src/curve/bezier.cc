@@ -1,5 +1,6 @@
 #include "curve/bezier.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -16,36 +17,18 @@ BezierCurve::BezierCurve(Matrix control_points)
 }
 
 Vector BezierCurve::Evaluate(double s) const {
-  const int k = degree();
-  const int d = dimension();
-  // de Casteljau: repeated linear interpolation of the control polygon.
-  std::vector<Vector> work;
-  work.reserve(static_cast<size_t>(k) + 1);
-  for (int r = 0; r <= k; ++r) work.push_back(points_.Column(r));
-  for (int level = k; level >= 1; --level) {
-    for (int r = 0; r < level; ++r) {
-      for (int i = 0; i < d; ++i) {
-        work[static_cast<size_t>(r)][i] =
-            (1.0 - s) * work[static_cast<size_t>(r)][i] +
-            s * work[static_cast<size_t>(r) + 1][i];
-      }
-    }
-  }
-  return work[0];
+  BezierEvalWorkspace workspace;
+  workspace.Bind(*this);
+  Vector out(dimension());
+  workspace.Evaluate(s, out.data().data());
+  return out;
 }
 
 Vector BezierCurve::Derivative(double s) const {
-  const int k = degree();
-  const int d = dimension();
-  if (k == 0) return Vector(d, 0.0);
-  const Vector basis = AllBernstein(k - 1, s);
-  Vector out(d);
-  for (int j = 0; j < k; ++j) {
-    const double w = k * basis[j];
-    for (int i = 0; i < d; ++i) {
-      out[i] += w * (points_(i, j + 1) - points_(i, j));
-    }
-  }
+  BezierEvalWorkspace workspace;
+  workspace.Bind(*this);
+  Vector out(dimension());
+  workspace.Derivative(s, out.data().data());
   return out;
 }
 
@@ -82,23 +65,21 @@ Matrix BezierCurve::PowerBasisCoefficients() const {
 
 Matrix BezierCurve::Sample(int n) const {
   assert(n >= 1);
+  BezierEvalWorkspace workspace;
+  workspace.Bind(*this);
   Matrix samples(n + 1, dimension());
   for (int i = 0; i <= n; ++i) {
     const double s = static_cast<double>(i) / n;
-    samples.SetRow(i, Evaluate(s));
+    workspace.Evaluate(s, samples.RowPtr(i));
   }
   return samples;
 }
 
 double BezierCurve::SquaredDistanceAt(const Vector& x, double s) const {
   assert(x.size() == dimension());
-  const Vector f = Evaluate(s);
-  double sum = 0.0;
-  for (int i = 0; i < x.size(); ++i) {
-    const double diff = x[i] - f[i];
-    sum += diff * diff;
-  }
-  return sum;
+  BezierEvalWorkspace workspace;
+  workspace.Bind(*this);
+  return workspace.SquaredDistance(x.data().data(), s);
 }
 
 BezierCurve BezierCurve::AffineTransformed(const Vector& scale,
@@ -115,12 +96,23 @@ BezierCurve BezierCurve::AffineTransformed(const Vector& scale,
 
 double BezierCurve::ApproximateLength(int samples) const {
   assert(samples >= 1);
+  const int d = dimension();
+  BezierEvalWorkspace workspace;
+  workspace.Bind(*this);
+  std::vector<double> prev(static_cast<size_t>(d));
+  std::vector<double> cur(static_cast<size_t>(d));
+  workspace.Evaluate(0.0, prev.data());
   double length = 0.0;
-  Vector prev = Evaluate(0.0);
   for (int i = 1; i <= samples; ++i) {
-    const Vector cur = Evaluate(static_cast<double>(i) / samples);
-    length += linalg::Distance(prev, cur);
-    prev = cur;
+    workspace.Evaluate(static_cast<double>(i) / samples, cur.data());
+    double seg = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double diff = prev[static_cast<size_t>(j)] -
+                          cur[static_cast<size_t>(j)];
+      seg += diff * diff;
+    }
+    length += std::sqrt(seg);
+    prev.swap(cur);
   }
   return length;
 }
@@ -214,6 +206,128 @@ std::vector<std::vector<double>> BezierCurve::CoordinateExtrema(
     }
   }
   return extrema;
+}
+
+void BezierEvalWorkspace::Bind(const BezierCurve& curve) {
+  curve_ = &curve;
+  k_ = curve.degree();
+  d_ = curve.dimension();
+  horner_ = (k_ == 3);
+  value_.resize(static_cast<size_t>(d_));
+  if (horner_) {
+    // Power basis of the cubic: a_0 = p0, a_1 = 3(p1 - p0),
+    // a_2 = 3(p0 - 2 p1 + p2), a_3 = -p0 + 3 p1 - 3 p2 + p3; f' then has
+    // ascending coefficients a_1, 2 a_2, 3 a_3.
+    power_.resize(static_cast<size_t>(d_) * 4);
+    dpower_.resize(static_cast<size_t>(d_) * 3);
+    const Matrix& p = curve.control_points();
+    for (int i = 0; i < d_; ++i) {
+      const double p0 = p(i, 0);
+      const double p1 = p(i, 1);
+      const double p2 = p(i, 2);
+      const double p3 = p(i, 3);
+      double* a = power_.data() + static_cast<size_t>(i) * 4;
+      a[0] = p0;
+      a[1] = 3.0 * (p1 - p0);
+      a[2] = 3.0 * (p0 - 2.0 * p1 + p2);
+      a[3] = -p0 + 3.0 * p1 - 3.0 * p2 + p3;
+      double* b = dpower_.data() + static_cast<size_t>(i) * 3;
+      b[0] = a[1];
+      b[1] = 2.0 * a[2];
+      b[2] = 3.0 * a[3];
+    }
+  } else {
+    casteljau_.resize(static_cast<size_t>(k_ + 1) * static_cast<size_t>(d_));
+    bern_.resize(static_cast<size_t>(std::max(k_, 1)));
+  }
+}
+
+void BezierEvalWorkspace::Evaluate(double s, double* out) {
+  assert(bound());
+  if (s == 0.0 || s == 1.0) {
+    // End points are the end control points exactly (both the de Casteljau
+    // and the Horner form would drift by an ulp or two at s = 1).
+    const Matrix& p = curve_->control_points();
+    const int col = (s == 0.0) ? 0 : k_;
+    for (int i = 0; i < d_; ++i) out[i] = p(i, col);
+    return;
+  }
+  if (horner_) {
+    const double* a = power_.data();
+    for (int i = 0; i < d_; ++i, a += 4) {
+      out[i] = ((a[3] * s + a[2]) * s + a[1]) * s + a[0];
+    }
+    return;
+  }
+  EvaluateGeneral(s, out);
+}
+
+void BezierEvalWorkspace::EvaluateGeneral(double s, double* out) {
+  // de Casteljau in the preallocated triangle scratch, level r at
+  // casteljau_[r * d .. r * d + d).
+  const Matrix& p = curve_->control_points();
+  for (int r = 0; r <= k_; ++r) {
+    double* row = casteljau_.data() + static_cast<size_t>(r) * d_;
+    for (int i = 0; i < d_; ++i) row[i] = p(i, r);
+  }
+  for (int level = k_; level >= 1; --level) {
+    for (int r = 0; r < level; ++r) {
+      double* lo = casteljau_.data() + static_cast<size_t>(r) * d_;
+      const double* hi = lo + d_;
+      for (int i = 0; i < d_; ++i) {
+        lo[i] = (1.0 - s) * lo[i] + s * hi[i];
+      }
+    }
+  }
+  for (int i = 0; i < d_; ++i) out[i] = casteljau_[static_cast<size_t>(i)];
+}
+
+void BezierEvalWorkspace::Derivative(double s, double* out) {
+  assert(bound());
+  if (k_ == 0) {
+    for (int i = 0; i < d_; ++i) out[i] = 0.0;
+    return;
+  }
+  if (horner_) {
+    const double* b = dpower_.data();
+    for (int i = 0; i < d_; ++i, b += 3) {
+      out[i] = (b[2] * s + b[1]) * s + b[0];
+    }
+    return;
+  }
+  // Degree k-1 Bernstein basis by the triangular recurrence, then the
+  // forward-difference sum of Eq. 17 — same arithmetic as
+  // BezierCurve::Derivative in the seed, minus the allocations.
+  bern_[0] = 1.0;
+  const double u = 1.0 - s;
+  for (int j = 1; j <= k_ - 1; ++j) {
+    double saved = 0.0;
+    for (int r = 0; r < j; ++r) {
+      const double tmp = bern_[static_cast<size_t>(r)];
+      bern_[static_cast<size_t>(r)] = saved + u * tmp;
+      saved = s * tmp;
+    }
+    bern_[static_cast<size_t>(j)] = saved;
+  }
+  for (int i = 0; i < d_; ++i) out[i] = 0.0;
+  const Matrix& p = curve_->control_points();
+  for (int j = 0; j < k_; ++j) {
+    const double w = k_ * bern_[static_cast<size_t>(j)];
+    for (int i = 0; i < d_; ++i) {
+      out[i] += w * (p(i, j + 1) - p(i, j));
+    }
+  }
+}
+
+double BezierEvalWorkspace::SquaredDistance(const double* x, double s) {
+  assert(bound());
+  Evaluate(s, value_.data());
+  double sum = 0.0;
+  for (int i = 0; i < d_; ++i) {
+    const double diff = x[i] - value_[static_cast<size_t>(i)];
+    sum += diff * diff;
+  }
+  return sum;
 }
 
 }  // namespace rpc::curve

@@ -23,8 +23,12 @@ class BezierCurve {
   const linalg::Matrix& control_points() const { return points_; }
   linalg::Vector ControlPoint(int r) const { return points_.Column(r); }
 
-  /// Curve value f(s) by de Casteljau's algorithm (numerically stable for
-  /// any s, including slightly outside [0,1]).
+  /// Curve value f(s): de Casteljau's algorithm (numerically stable for
+  /// any s, including slightly outside [0,1]) for general degree; for the
+  /// paper's fixed k = 3 a precomputed power-basis Horner form is used
+  /// instead, which is equally accurate on the library's normalised
+  /// [0,1]^d domain but can lose digits to cancellation for control
+  /// points of large magnitude (see BezierEvalWorkspace).
   linalg::Vector Evaluate(double s) const;
 
   /// First derivative f'(s) = k * sum_j B_j^{k-1}(s) (p_{j+1} - p_j)
@@ -71,6 +75,50 @@ class BezierCurve {
 
  private:
   linalg::Matrix points_;  // d x (k+1)
+};
+
+/// Caller-owned scratch buffers for allocation-free curve evaluation.
+///
+/// `Bind` sizes every buffer for one curve and, for the paper's fixed
+/// degree k = 3, precomputes the power-basis coefficients of the curve and
+/// its derivative so evaluation is a three-step Horner loop per coordinate;
+/// other degrees run de Casteljau in the preallocated scratch. After the
+/// Bind, Evaluate / Derivative / SquaredDistance perform no heap
+/// allocation — this is the engine under the batch projection hot path,
+/// where the per-call `Vector` returns of the BezierCurve methods cost
+/// millions of allocations per fit.
+///
+/// The workspace holds a pointer to the bound curve; the curve must outlive
+/// the binding. Rebinding to another curve (or the same curve after its
+/// control points changed) is cheap and reuses the buffers.
+class BezierEvalWorkspace {
+ public:
+  BezierEvalWorkspace() = default;
+
+  void Bind(const BezierCurve& curve);
+  bool bound() const { return curve_ != nullptr; }
+  const BezierCurve* curve() const { return curve_; }
+
+  /// Writes f(s) into out[0..d). Exactly the bound curve's end control
+  /// points at s = 0 and s = 1.
+  void Evaluate(double s, double* out);
+  /// Writes f'(s) into out[0..d).
+  void Derivative(double s, double* out);
+  /// ||x - f(s)||^2 for a contiguous d-entry x.
+  double SquaredDistance(const double* x, double s);
+
+ private:
+  void EvaluateGeneral(double s, double* out);
+
+  const BezierCurve* curve_ = nullptr;
+  int k_ = -1;
+  int d_ = 0;
+  bool horner_ = false;            // degree-3 fast path
+  std::vector<double> power_;      // d x 4, f coefficients, ascending
+  std::vector<double> dpower_;     // d x 3, f' coefficients, ascending
+  std::vector<double> casteljau_;  // (k+1) x d scratch, [r * d + i]
+  std::vector<double> bern_;       // k Bernstein values for Derivative
+  std::vector<double> value_;      // d scratch for SquaredDistance
 };
 
 }  // namespace rpc::curve

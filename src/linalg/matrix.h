@@ -50,6 +50,17 @@ class Matrix {
 
   Vector Row(int r) const;
   Vector Column(int c) const;
+  /// Raw pointer to row r's `cols()` contiguous entries (row-major
+  /// storage). Hot-path accessor: lets per-row kernels read a row without
+  /// materialising a Vector copy.
+  const double* RowPtr(int r) const {
+    assert(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  double* RowPtr(int r) {
+    assert(r >= 0 && r < rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   void SetRow(int r, const Vector& values);
   void SetColumn(int c, const Vector& values);
 

@@ -1,0 +1,63 @@
+#include "opt/batch_projection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rpc::opt {
+
+using curve::BezierCurve;
+using linalg::Matrix;
+using linalg::Vector;
+
+Vector ProjectRowsBatch(const BezierCurve& curve, const Matrix& data,
+                        const ProjectionOptions& options, ThreadPool* pool,
+                        double* total_squared_distance) {
+  assert(data.cols() == curve.dimension() || data.rows() == 0);
+  const int n = data.rows();
+  Vector scores(n);
+  // Per-row squared distances; the final reduction runs in row order so the
+  // total is independent of the partitioning.
+  std::vector<double> squared(static_cast<size_t>(n));
+
+  const int parallelism = pool != nullptr ? pool->parallelism() : 1;
+  if (parallelism <= 1 || n < 2) {
+    ProjectionWorkspace workspace;
+    workspace.Bind(curve, options);
+    for (int i = 0; i < n; ++i) {
+      const ProjectionResult proj = workspace.Project(data.RowPtr(i));
+      scores[i] = proj.s;
+      squared[static_cast<size_t>(i)] = proj.squared_distance;
+    }
+  } else {
+    std::vector<ProjectionWorkspace> workspaces(
+        static_cast<size_t>(parallelism));
+    for (ProjectionWorkspace& w : workspaces) w.Bind(curve, options);
+    // ~4 chunks per worker: enough slack for dynamic load balancing, few
+    // enough that chunk dispatch stays negligible next to the projections.
+    const std::int64_t grain = std::max<std::int64_t>(
+        1, (n + 4 * parallelism - 1) / (4 * parallelism));
+    pool->ParallelFor(
+        n, grain,
+        [&](std::int64_t begin, std::int64_t end, int worker) {
+          ProjectionWorkspace& workspace =
+              workspaces[static_cast<size_t>(worker)];
+          for (std::int64_t i = begin; i < end; ++i) {
+            const ProjectionResult proj =
+                workspace.Project(data.RowPtr(static_cast<int>(i)));
+            scores[static_cast<int>(i)] = proj.s;
+            squared[static_cast<size_t>(i)] = proj.squared_distance;
+          }
+        });
+  }
+
+  if (total_squared_distance != nullptr) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += squared[static_cast<size_t>(i)];
+    *total_squared_distance = total;
+  }
+  return scores;
+}
+
+}  // namespace rpc::opt

@@ -1,9 +1,11 @@
 #include "opt/curve_projection.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <vector>
 
+#include "opt/batch_projection.h"
 #include "opt/golden_section.h"
 #include "opt/polynomial.h"
 
@@ -19,9 +21,86 @@ namespace {
 // wins (the sup tie-break of Eq. A-2).
 constexpr double kTieRelTol = 1e-9;
 
-void ConsiderCandidate(const BezierCurve& curve, const Vector& x, double s,
-                       ProjectionResult* best) {
-  const double dist = curve.SquaredDistanceAt(x, s);
+}  // namespace
+
+// Function object handed to Golden Section Search; a named struct (instead
+// of a capturing lambda wrapped in std::function) keeps the refinement loop
+// allocation-free.
+struct ProjectionObjective {
+  ProjectionWorkspace* workspace;
+  const double* x;
+  double operator()(double s) const { return workspace->ObjectiveAt(x, s); }
+};
+
+void ProjectionWorkspace::Bind(const BezierCurve& curve,
+                               const ProjectionOptions& options) {
+  curve_ = &curve;
+  options_ = options;
+  eval_.Bind(curve);
+  const int d = curve.dimension();
+  const int g = std::max(options.grid_points, 2);
+  grid_dist_.resize(static_cast<size_t>(g) + 1);
+  if (options.method == ProjectionMethod::kNewton) {
+    hodograph_ = curve.DerivativeCurve();
+    second_ = hodograph_.DerivativeCurve();
+    hodograph_eval_.Bind(hodograph_);
+    second_eval_.Bind(second_);
+    deriv_.resize(static_cast<size_t>(d));
+    curvature_.resize(static_cast<size_t>(d));
+    point_.resize(static_cast<size_t>(d));
+  }
+  if (options.method == ProjectionMethod::kQuinticRoots) {
+    power_ = curve.PowerBasisCoefficients();
+    stationarity_coeffs_.resize(static_cast<size_t>(2 * curve.degree()));
+  }
+  ResetEvaluationCounts();
+}
+
+void ProjectionWorkspace::ResetEvaluationCounts() {
+  objective_evals_ = 0;
+  stationarity_evals_ = 0;
+}
+
+double ProjectionWorkspace::ObjectiveAt(const double* x, double s) {
+  ++objective_evals_;
+  return eval_.SquaredDistance(x, s);
+}
+
+double ProjectionWorkspace::StationarityAt(const double* x, double s) {
+  // g(s) = f'(s) . (x - f(s)).
+  ++stationarity_evals_;
+  hodograph_eval_.Evaluate(s, deriv_.data());
+  eval_.Evaluate(s, point_.data());
+  const int d = curve_->dimension();
+  double dot = 0.0;
+  for (int i = 0; i < d; ++i) {
+    dot += deriv_[static_cast<size_t>(i)] *
+           (x[i] - point_[static_cast<size_t>(i)]);
+  }
+  return dot;
+}
+
+double ProjectionWorkspace::StationarityDerivativeAt(const double* x,
+                                                     double s) {
+  // g'(s) = f''(s) . (x - f(s)) - ||f'(s)||^2.
+  hodograph_eval_.Evaluate(s, deriv_.data());
+  second_eval_.Evaluate(s, curvature_.data());
+  eval_.Evaluate(s, point_.data());
+  const int d = curve_->dimension();
+  double dot = 0.0;
+  double deriv_sq = 0.0;
+  for (int i = 0; i < d; ++i) {
+    dot += curvature_[static_cast<size_t>(i)] *
+           (x[i] - point_[static_cast<size_t>(i)]);
+    deriv_sq += deriv_[static_cast<size_t>(i)] *
+                deriv_[static_cast<size_t>(i)];
+  }
+  return dot - deriv_sq;
+}
+
+void ProjectionWorkspace::ConsiderCandidate(const double* x, double s,
+                                            ProjectionResult* best) {
+  const double dist = ObjectiveAt(x, s);
   const double slack = kTieRelTol * (1.0 + best->squared_distance);
   if (dist < best->squared_distance - slack ||
       (dist <= best->squared_distance + slack && s > best->s)) {
@@ -31,50 +110,52 @@ void ConsiderCandidate(const BezierCurve& curve, const Vector& x, double s,
   ++best->evaluations;
 }
 
-ProjectionResult ProjectViaGrid(const BezierCurve& curve, const Vector& x,
-                                const ProjectionOptions& options,
-                                bool refine) {
-  const int g = std::max(options.grid_points, 2);
-  std::vector<double> dist(static_cast<size_t>(g) + 1);
+void ProjectionWorkspace::ConsiderPrecomputed(double s, double dist,
+                                              ProjectionResult* best) {
+  const double slack = kTieRelTol * (1.0 + best->squared_distance);
+  if (dist < best->squared_distance - slack ||
+      (dist <= best->squared_distance + slack && s > best->s)) {
+    best->squared_distance = dist;
+    best->s = s;
+  }
+}
+
+ProjectionResult ProjectionWorkspace::ProjectViaGrid(const double* x,
+                                                     bool refine) {
+  const int g = std::max(options_.grid_points, 2);
   for (int i = 0; i <= g; ++i) {
-    dist[static_cast<size_t>(i)] =
-        curve.SquaredDistanceAt(x, static_cast<double>(i) / g);
+    grid_dist_[static_cast<size_t>(i)] =
+        ObjectiveAt(x, static_cast<double>(i) / g);
   }
 
   ProjectionResult best;
-  best.squared_distance = dist[0];
+  best.squared_distance = grid_dist_[0];
   best.s = 0.0;
   best.evaluations = g + 1;
   for (int i = 1; i <= g; ++i) {
-    const double s = static_cast<double>(i) / g;
-    const double slack = kTieRelTol * (1.0 + best.squared_distance);
-    if (dist[static_cast<size_t>(i)] < best.squared_distance - slack ||
-        (dist[static_cast<size_t>(i)] <= best.squared_distance + slack &&
-         s > best.s)) {
-      best.squared_distance = dist[static_cast<size_t>(i)];
-      best.s = s;
-    }
+    ConsiderPrecomputed(static_cast<double>(i) / g,
+                        grid_dist_[static_cast<size_t>(i)], &best);
   }
   if (!refine) return best;
 
   // Refine every grid-local minimum bracket with Golden Section Search and
   // keep the global best. Brackets at the boundary are included so that
   // projections landing on s = 0 or s = 1 are found.
-  const auto objective = [&](double s) {
-    return curve.SquaredDistanceAt(x, s);
-  };
+  const ProjectionObjective objective{this, x};
   for (int i = 0; i <= g; ++i) {
-    const bool left_ok = i == 0 || dist[static_cast<size_t>(i)] <=
-                                       dist[static_cast<size_t>(i - 1)];
-    const bool right_ok = i == g || dist[static_cast<size_t>(i)] <=
-                                        dist[static_cast<size_t>(i + 1)];
+    const bool left_ok = i == 0 || grid_dist_[static_cast<size_t>(i)] <=
+                                       grid_dist_[static_cast<size_t>(i - 1)];
+    const bool right_ok = i == g || grid_dist_[static_cast<size_t>(i)] <=
+                                        grid_dist_[static_cast<size_t>(i + 1)];
     if (!left_ok || !right_ok) continue;
     const double lo = std::max(0.0, static_cast<double>(i - 1) / g);
     const double hi = std::min(1.0, static_cast<double>(i + 1) / g);
     const ScalarMinResult gss =
-        GoldenSectionMinimize(objective, lo, hi, options.tol);
+        GoldenSectionMinimizeWith(objective, lo, hi, options_.tol);
     best.evaluations += gss.evaluations;
-    ConsiderCandidate(curve, x, gss.x, &best);
+    // gss.fx is the objective at gss.x, already evaluated (and counted)
+    // inside the search — reuse it rather than paying a second evaluation.
+    ConsiderPrecomputed(gss.x, gss.fx, &best);
   }
   return best;
 }
@@ -83,40 +164,25 @@ ProjectionResult ProjectViaGrid(const BezierCurve& curve, const Vector& x,
 // g(s) = d/ds ||x - f(s)||^2 / -2 = f'(s).(x - f(s)), with derivative
 // g'(s) = f''(s).(x - f(s)) - ||f'(s)||^2, falling back to bisection when a
 // step leaves the bracket.
-ProjectionResult ProjectViaNewton(const BezierCurve& curve, const Vector& x,
-                                  const ProjectionOptions& options) {
-  const int g = std::max(options.grid_points, 2);
-  const BezierCurve hodograph = curve.DerivativeCurve();
-  const BezierCurve second = hodograph.DerivativeCurve();
-
-  const auto stationarity = [&](double s) {
-    const Vector deriv = hodograph.Evaluate(s);
-    const Vector residual = x - curve.Evaluate(s);
-    return linalg::Dot(deriv, residual);
-  };
-  const auto stationarity_derivative = [&](double s) {
-    const Vector deriv = hodograph.Evaluate(s);
-    const Vector curvature = second.Evaluate(s);
-    const Vector residual = x - curve.Evaluate(s);
-    return linalg::Dot(curvature, residual) - deriv.SquaredNorm();
-  };
-
-  std::vector<double> dist(static_cast<size_t>(g) + 1);
+ProjectionResult ProjectionWorkspace::ProjectViaNewton(const double* x) {
+  const int g = std::max(options_.grid_points, 2);
   for (int i = 0; i <= g; ++i) {
-    dist[static_cast<size_t>(i)] =
-        curve.SquaredDistanceAt(x, static_cast<double>(i) / g);
+    grid_dist_[static_cast<size_t>(i)] =
+        ObjectiveAt(x, static_cast<double>(i) / g);
   }
   ProjectionResult best;
   best.s = 0.0;
-  best.squared_distance = dist[0];
+  best.squared_distance = grid_dist_[0];
   best.evaluations = g + 1;
-  ConsiderCandidate(curve, x, 1.0, &best);
+  // The s = 1 boundary candidate was already evaluated by the grid pass;
+  // reuse grid_dist_[g] so the evaluation is not double-counted.
+  ConsiderPrecomputed(1.0, grid_dist_[static_cast<size_t>(g)], &best);
 
   for (int i = 0; i <= g; ++i) {
-    const bool left_ok = i == 0 || dist[static_cast<size_t>(i)] <=
-                                       dist[static_cast<size_t>(i - 1)];
-    const bool right_ok = i == g || dist[static_cast<size_t>(i)] <=
-                                        dist[static_cast<size_t>(i + 1)];
+    const bool left_ok = i == 0 || grid_dist_[static_cast<size_t>(i)] <=
+                                       grid_dist_[static_cast<size_t>(i - 1)];
+    const bool right_ok = i == g || grid_dist_[static_cast<size_t>(i)] <=
+                                        grid_dist_[static_cast<size_t>(i + 1)];
     if (!left_ok || !right_ok) continue;
     double lo = std::max(0.0, static_cast<double>(i - 1) / g);
     double hi = std::min(1.0, static_cast<double>(i + 1) / g);
@@ -125,95 +191,91 @@ ProjectionResult ProjectViaNewton(const BezierCurve& curve, const Vector& x,
     // the midpoint with clamping still behaves.
     double s = 0.5 * (lo + hi);
     for (int iter = 0; iter < 50; ++iter) {
-      const double value = stationarity(s);
+      const double value = StationarityAt(x, s);
       ++best.evaluations;
-      if (std::fabs(value) < options.tol) break;
+      if (std::fabs(value) < options_.tol) break;
       // Shrink the safeguard bracket using the sign of g.
       if (value > 0.0) {
         lo = s;
       } else {
         hi = s;
       }
-      const double slope = stationarity_derivative(s);
+      const double slope = StationarityDerivativeAt(x, s);
       double next = (slope < 0.0) ? s - value / slope : 0.5 * (lo + hi);
       if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
-      if (std::fabs(next - s) < options.tol) {
+      if (std::fabs(next - s) < options_.tol) {
         s = next;
         break;
       }
       s = next;
     }
-    ConsiderCandidate(curve, x, std::clamp(s, 0.0, 1.0), &best);
+    ConsiderCandidate(x, std::clamp(s, 0.0, 1.0), &best);
   }
   return best;
 }
 
-ProjectionResult ProjectViaPolynomialRoots(const BezierCurve& curve,
-                                           const Vector& x,
-                                           const ProjectionOptions& options) {
-  const int k = curve.degree();
-  const int d = curve.dimension();
-  assert(x.size() == d);
+ProjectionResult ProjectionWorkspace::ProjectViaPolynomialRoots(
+    const double* x) {
+  const int k = curve_->degree();
+  const int d = curve_->dimension();
 
-  // f(s) = sum_j a_j s^j (column j of `coeffs`), so
+  // f(s) = sum_j a_j s^j (column j of `power_`), so
   // r(s) = x - f(s) has coefficients r_0 = x - a_0, r_j = -a_j (j >= 1) and
   // f'(s) has coefficients (j+1) a_{j+1}. The stationarity condition
   // g(s) = f'(s) . (x - f(s)) = 0 is a degree 2k-1 polynomial (Eq. 20).
-  const Matrix coeffs = curve.PowerBasisCoefficients();
-  std::vector<double> g(static_cast<size_t>(2 * k), 0.0);
+  std::fill(stationarity_coeffs_.begin(), stationarity_coeffs_.end(), 0.0);
   for (int dim = 0; dim < d; ++dim) {
     for (int i = 0; i + 1 <= k; ++i) {
-      const double fprime_i = (i + 1) * coeffs(dim, i + 1);
+      const double fprime_i = (i + 1) * power_(dim, i + 1);
       for (int j = 0; j <= k; ++j) {
         const double r_j =
-            (j == 0) ? (x[dim] - coeffs(dim, 0)) : -coeffs(dim, j);
-        g[static_cast<size_t>(i + j)] += fprime_i * r_j;
+            (j == 0) ? (x[dim] - power_(dim, 0)) : -power_(dim, j);
+        stationarity_coeffs_[static_cast<size_t>(i + j)] += fprime_i * r_j;
       }
     }
   }
-  const Polynomial stationarity{std::vector<double>(g)};
+  const Polynomial stationarity{std::vector<double>(stationarity_coeffs_)};
 
   ProjectionResult best;
   best.s = 0.0;
-  best.squared_distance = curve.SquaredDistanceAt(x, 0.0);
+  best.squared_distance = ObjectiveAt(x, 0.0);
   best.evaluations = 1;
-  ConsiderCandidate(curve, x, 1.0, &best);
-  for (double root : stationarity.RealRootsInInterval(0.0, 1.0, options.tol)) {
-    ConsiderCandidate(curve, x, root, &best);
+  ConsiderCandidate(x, 1.0, &best);
+  for (double root :
+       stationarity.RealRootsInInterval(0.0, 1.0, options_.tol)) {
+    ConsiderCandidate(x, root, &best);
   }
   return best;
 }
 
-}  // namespace
+ProjectionResult ProjectionWorkspace::Project(const double* x) {
+  assert(bound());
+  switch (options_.method) {
+    case ProjectionMethod::kGoldenSection:
+      return ProjectViaGrid(x, /*refine=*/true);
+    case ProjectionMethod::kGridOnly:
+      return ProjectViaGrid(x, /*refine=*/false);
+    case ProjectionMethod::kQuinticRoots:
+      return ProjectViaPolynomialRoots(x);
+    case ProjectionMethod::kNewton:
+      return ProjectViaNewton(x);
+  }
+  return ProjectViaGrid(x, /*refine=*/true);
+}
 
 ProjectionResult ProjectOntoCurve(const BezierCurve& curve, const Vector& x,
                                   const ProjectionOptions& options) {
-  switch (options.method) {
-    case ProjectionMethod::kGoldenSection:
-      return ProjectViaGrid(curve, x, options, /*refine=*/true);
-    case ProjectionMethod::kGridOnly:
-      return ProjectViaGrid(curve, x, options, /*refine=*/false);
-    case ProjectionMethod::kQuinticRoots:
-      return ProjectViaPolynomialRoots(curve, x, options);
-    case ProjectionMethod::kNewton:
-      return ProjectViaNewton(curve, x, options);
-  }
-  return ProjectViaGrid(curve, x, options, /*refine=*/true);
+  assert(x.size() == curve.dimension());
+  ProjectionWorkspace workspace;
+  workspace.Bind(curve, options);
+  return workspace.Project(x.data().data());
 }
 
 Vector ProjectRows(const BezierCurve& curve, const Matrix& data,
                    const ProjectionOptions& options,
                    double* total_squared_distance) {
-  Vector scores(data.rows());
-  double total = 0.0;
-  for (int i = 0; i < data.rows(); ++i) {
-    const ProjectionResult proj =
-        ProjectOntoCurve(curve, data.Row(i), options);
-    scores[i] = proj.s;
-    total += proj.squared_distance;
-  }
-  if (total_squared_distance != nullptr) *total_squared_distance = total;
-  return scores;
+  return ProjectRowsBatch(curve, data, options, /*pool=*/nullptr,
+                          total_squared_distance);
 }
 
 }  // namespace rpc::opt

@@ -1,6 +1,9 @@
 #ifndef RPC_OPT_CURVE_PROJECTION_H_
 #define RPC_OPT_CURVE_PROJECTION_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "curve/bezier.h"
 #include "linalg/vector.h"
 
@@ -38,18 +41,103 @@ struct ProjectionResult {
   /// toward the largest s (the `sup` in Hastie's Eq. A-2).
   double s = 0.0;
   double squared_distance = 0.0;
+  /// Number of curve evaluations the solver performed for this point: every
+  /// squared-distance evaluation plus, for kNewton, every stationarity
+  /// evaluation. No evaluation is counted twice — reusing a precomputed
+  /// grid value (e.g. the s = 1 boundary probe) costs nothing here. The
+  /// same definition holds for all four methods; ProjectionWorkspace's
+  /// counters let tests assert it.
   int evaluations = 0;
 };
 
+/// Reusable per-worker engine for projecting many points onto one curve.
+///
+/// Bind() hoists all per-curve work out of the per-point loop — the Bezier
+/// evaluation workspace (with its cubic Horner fast path), the grid scratch,
+/// and, per method, the hodograph / second-derivative curves (kNewton) or
+/// the power-basis coefficients of the stationarity polynomial
+/// (kQuinticRoots). After the Bind, Project() is heap-allocation-free for
+/// kGoldenSection, kGridOnly and kNewton; kQuinticRoots still allocates
+/// inside Sturm root isolation.
+///
+/// One workspace per thread: Project() mutates the scratch, so workspaces
+/// must not be shared across concurrent callers (see ProjectRowsBatch).
+class ProjectionWorkspace {
+ public:
+  ProjectionWorkspace() = default;
+  // Not copyable/movable: hodograph_eval_ / second_eval_ hold pointers into
+  // this object's own hodograph_ / second_ members, which a copy or move
+  // would leave aimed at the source.
+  ProjectionWorkspace(const ProjectionWorkspace&) = delete;
+  ProjectionWorkspace& operator=(const ProjectionWorkspace&) = delete;
+
+  /// Binds to a curve + options; the curve must outlive the binding.
+  void Bind(const curve::BezierCurve& curve, const ProjectionOptions& options);
+  bool bound() const { return curve_ != nullptr; }
+
+  /// Projects one point given as `dimension()` contiguous doubles.
+  ProjectionResult Project(const double* x);
+
+  /// Evaluation accounting since the last Bind/ResetEvaluationCounts:
+  /// squared-distance evaluations and (kNewton only) stationarity
+  /// evaluations. Tests assert that the sum matches the accumulated
+  /// ProjectionResult::evaluations for every method.
+  std::int64_t objective_evaluations() const { return objective_evals_; }
+  std::int64_t stationarity_evaluations() const { return stationarity_evals_; }
+  void ResetEvaluationCounts();
+
+ private:
+  friend struct ProjectionObjective;
+
+  double ObjectiveAt(const double* x, double s);
+  double StationarityAt(const double* x, double s);
+  double StationarityDerivativeAt(const double* x, double s);
+  void ConsiderCandidate(const double* x, double s, ProjectionResult* best);
+  /// Same comparison/tie-break as ConsiderCandidate for a value that was
+  /// already evaluated (and counted) elsewhere; performs no evaluation.
+  static void ConsiderPrecomputed(double s, double dist,
+                                  ProjectionResult* best);
+
+  ProjectionResult ProjectViaGrid(const double* x, bool refine);
+  ProjectionResult ProjectViaNewton(const double* x);
+  ProjectionResult ProjectViaPolynomialRoots(const double* x);
+
+  const curve::BezierCurve* curve_ = nullptr;
+  ProjectionOptions options_;
+  curve::BezierEvalWorkspace eval_;
+
+  // kNewton: hodograph and second derivative, built once per Bind.
+  curve::BezierCurve hodograph_;
+  curve::BezierCurve second_;
+  curve::BezierEvalWorkspace hodograph_eval_;
+  curve::BezierEvalWorkspace second_eval_;
+  std::vector<double> deriv_;      // d scratch: f'(s)
+  std::vector<double> curvature_;  // d scratch: f''(s)
+  std::vector<double> point_;      // d scratch: f(s)
+
+  // kQuinticRoots: power-basis coefficients of the curve (per Bind) and the
+  // stationarity coefficients (rebuilt per point, fixed size 2k).
+  linalg::Matrix power_;
+  std::vector<double> stationarity_coeffs_;
+
+  std::vector<double> grid_dist_;  // grid_points + 1 distances
+
+  std::int64_t objective_evals_ = 0;
+  std::int64_t stationarity_evals_ = 0;
+};
+
 /// Projects x onto the curve over s in [0, 1]: the global minimiser of
-/// ||x - f(s)||^2, with the sup tie-break.
+/// ||x - f(s)||^2, with the sup tie-break. Convenience wrapper that builds
+/// a ProjectionWorkspace per call; loops over many points should hold a
+/// workspace (or use ProjectRowsBatch) instead.
 ProjectionResult ProjectOntoCurve(const curve::BezierCurve& curve,
                                   const linalg::Vector& x,
                                   const ProjectionOptions& options = {});
 
 /// Projects every row of `data` (n x d); returns the n projection indices
 /// and accumulates the summed squared distance J (Eq. 19) when
-/// `total_squared_distance` is non-null.
+/// `total_squared_distance` is non-null. Serial; equivalent to
+/// ProjectRowsBatch with a null pool.
 linalg::Vector ProjectRows(const curve::BezierCurve& curve,
                            const linalg::Matrix& data,
                            const ProjectionOptions& options = {},

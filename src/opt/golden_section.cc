@@ -1,57 +1,11 @@
 #include "opt/golden_section.h"
 
-#include <cassert>
-#include <cmath>
-
 namespace rpc::opt {
 
 ScalarMinResult GoldenSectionMinimize(const std::function<double(double)>& f,
                                       double lo, double hi, double tol,
                                       int max_iterations) {
-  assert(lo <= hi);
-  static const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;   // 1/phi
-  static const double kInvPhi2 = (3.0 - std::sqrt(5.0)) / 2.0;  // 1/phi^2
-
-  ScalarMinResult result;
-  double a = lo;
-  double b = hi;
-  double h = b - a;
-  if (h <= tol) {
-    result.x = 0.5 * (a + b);
-    result.fx = f(result.x);
-    result.evaluations = 1;
-    return result;
-  }
-
-  double c = a + kInvPhi2 * h;
-  double d = a + kInvPhi * h;
-  double fc = f(c);
-  double fd = f(d);
-  int evals = 2;
-
-  for (int iter = 0; iter < max_iterations && h > tol; ++iter) {
-    if (fc < fd) {
-      b = d;
-      d = c;
-      fd = fc;
-      h = b - a;
-      c = a + kInvPhi2 * h;
-      fc = f(c);
-    } else {
-      a = c;
-      c = d;
-      fc = fd;
-      h = b - a;
-      d = a + kInvPhi * h;
-      fd = f(d);
-    }
-    ++evals;
-  }
-
-  result.x = fc < fd ? c : d;
-  result.fx = fc < fd ? fc : fd;
-  result.evaluations = evals;
-  return result;
+  return GoldenSectionMinimizeWith(f, lo, hi, tol, max_iterations);
 }
 
 }  // namespace rpc::opt

@@ -1,6 +1,8 @@
 #ifndef RPC_OPT_GOLDEN_SECTION_H_
 #define RPC_OPT_GOLDEN_SECTION_H_
 
+#include <cassert>
+#include <cmath>
 #include <functional>
 
 namespace rpc::opt {
@@ -11,6 +13,61 @@ struct ScalarMinResult {
   double fx = 0.0;      // objective at the minimiser
   int evaluations = 0;  // number of objective evaluations
 };
+
+/// Generic core of Golden Section Search, callable with any functor so hot
+/// paths avoid the std::function indirection (a capturing lambda too large
+/// for the small-buffer optimisation heap-allocates on every call — per
+/// projected point in the batch engine). Same arithmetic as
+/// GoldenSectionMinimize below; results are bit-identical.
+template <typename F>
+ScalarMinResult GoldenSectionMinimizeWith(F&& f, double lo, double hi,
+                                          double tol = 1e-10,
+                                          int max_iterations = 200) {
+  assert(lo <= hi);
+  const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;   // 1/phi
+  const double kInvPhi2 = (3.0 - std::sqrt(5.0)) / 2.0;  // 1/phi^2
+
+  ScalarMinResult result;
+  double a = lo;
+  double b = hi;
+  double h = b - a;
+  if (h <= tol) {
+    result.x = 0.5 * (a + b);
+    result.fx = f(result.x);
+    result.evaluations = 1;
+    return result;
+  }
+
+  double c = a + kInvPhi2 * h;
+  double d = a + kInvPhi * h;
+  double fc = f(c);
+  double fd = f(d);
+  int evals = 2;
+
+  for (int iter = 0; iter < max_iterations && h > tol; ++iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      h = b - a;
+      c = a + kInvPhi2 * h;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      h = b - a;
+      d = a + kInvPhi * h;
+      fd = f(d);
+    }
+    ++evals;
+  }
+
+  result.x = fc < fd ? c : d;
+  result.fx = fc < fd ? fc : fd;
+  result.evaluations = evals;
+  return result;
+}
 
 /// Golden Section Search on [lo, hi] (Step 4 of Algorithm 1, following
 /// Bazaraa et al.). Assumes f is unimodal on the bracket; for multimodal

@@ -1,0 +1,119 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rpc {
+namespace {
+
+TEST(ThreadPoolTest, ParallelismCountsCallingThread) {
+  EXPECT_EQ(ThreadPool(1).parallelism(), 1);
+  EXPECT_EQ(ThreadPool(4).parallelism(), 4);
+  EXPECT_GE(ThreadPool(0).parallelism(), 1);  // hardware concurrency
+  EXPECT_EQ(ThreadPool(-3).parallelism(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 16, [&](std::int64_t, std::int64_t, int) { ++calls; });
+  pool.ParallelFor(-5, 1, [&](std::int64_t, std::int64_t, int) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanNRunsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::int64_t seen_begin = -1;
+  std::int64_t seen_end = -1;
+  pool.ParallelFor(5, 100, [&](std::int64_t begin, std::int64_t end, int) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 0);
+  EXPECT_EQ(seen_end, 5);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(n, 7, [&](std::int64_t begin, std::int64_t end, int) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      ++hits[static_cast<size_t>(i)];
+    }
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndicesStayWithinParallelism) {
+  ThreadPool pool(3);
+  std::atomic<bool> out_of_range{false};
+  pool.ParallelFor(200, 1, [&](std::int64_t, std::int64_t, int worker) {
+    if (worker < 0 || worker >= pool.parallelism()) out_of_range = true;
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  // The partition is fixed by (n, grain), so per-index results are
+  // reproducible bit-for-bit whatever the pool size.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(777, 0.0);
+    pool.ParallelFor(777, 13,
+                     [&](std::int64_t begin, std::int64_t end, int) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         out[static_cast<size_t>(i)] =
+                             static_cast<double>(i) * 1.0e-3 + begin * 1.0;
+                       }
+                     });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  const std::vector<double> two = run(2);
+  const std::vector<double> eight = run(8);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  auto throwing = [&](std::int64_t begin, std::int64_t end, int) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      if (i == 137) throw std::runtime_error("boom at 137");
+    }
+  };
+  EXPECT_THROW(pool.ParallelFor(500, 10, throwing), std::runtime_error);
+
+  // The pool is reusable after a failed job.
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelFor(100, 9, [&](std::int64_t begin, std::int64_t end, int) {
+    std::int64_t local = 0;
+    for (std::int64_t i = begin; i < end; ++i) local += i;
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionOnSerialPoolPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(10, 1,
+                                [&](std::int64_t, std::int64_t, int) {
+                                  throw std::invalid_argument("serial");
+                                }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpc

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/rpc_learner.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using order::Orientation;
+
+Matrix MakeData(int n, int d, uint64_t seed) {
+  const Orientation alpha = Orientation::AllBenefit(d);
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha, {.n = n, .noise_sigma = 0.04, .control_margin = 0.1,
+              .seed = seed});
+  auto normalizer = data::Normalizer::Fit(sample.data);
+  return normalizer->Transform(sample.data);
+}
+
+RpcLearnOptions BaseOptions() {
+  RpcLearnOptions options;
+  options.max_iterations = 40;
+  options.seed = 2024;
+  return options;
+}
+
+// Fitting with a thread pool must reproduce the serial fit bit for bit:
+// per-row projections are independent, the J reduction is ordered, and the
+// restart selection scans in restart order.
+TEST(RpcLearnerParallelTest, ThreadedSingleRestartMatchesSerialBitwise) {
+  const Matrix data = MakeData(120, 3, 5);
+  const Orientation alpha = Orientation::AllBenefit(3);
+
+  RpcLearnOptions serial = BaseOptions();
+  serial.num_threads = 1;
+  RpcLearnOptions threaded = BaseOptions();
+  threaded.num_threads = 8;
+
+  const auto serial_fit = RpcLearner(serial).Fit(data, alpha);
+  const auto threaded_fit = RpcLearner(threaded).Fit(data, alpha);
+  ASSERT_TRUE(serial_fit.ok()) << serial_fit.status().ToString();
+  ASSERT_TRUE(threaded_fit.ok()) << threaded_fit.status().ToString();
+
+  EXPECT_EQ(serial_fit->final_j, threaded_fit->final_j);
+  EXPECT_EQ(serial_fit->iterations, threaded_fit->iterations);
+  ASSERT_EQ(serial_fit->scores.size(), threaded_fit->scores.size());
+  for (int i = 0; i < serial_fit->scores.size(); ++i) {
+    EXPECT_EQ(serial_fit->scores[i], threaded_fit->scores[i]) << "row " << i;
+  }
+}
+
+TEST(RpcLearnerParallelTest, ParallelRestartsMatchSerialBitwise) {
+  const Matrix data = MakeData(90, 4, 6);
+  const Orientation alpha = Orientation::AllBenefit(4);
+
+  RpcLearnOptions serial = BaseOptions();
+  serial.restarts = 6;
+  serial.num_threads = 1;
+  RpcLearnOptions threaded = serial;
+  threaded.num_threads = 8;
+
+  const auto serial_fit = RpcLearner(serial).Fit(data, alpha);
+  const auto threaded_fit = RpcLearner(threaded).Fit(data, alpha);
+  ASSERT_TRUE(serial_fit.ok()) << serial_fit.status().ToString();
+  ASSERT_TRUE(threaded_fit.ok()) << threaded_fit.status().ToString();
+
+  EXPECT_EQ(serial_fit->final_j, threaded_fit->final_j);
+  ASSERT_EQ(serial_fit->scores.size(), threaded_fit->scores.size());
+  for (int i = 0; i < serial_fit->scores.size(); ++i) {
+    EXPECT_EQ(serial_fit->scores[i], threaded_fit->scores[i]) << "row " << i;
+  }
+}
+
+// Two parallel multi-restart fits with the same seed are identical — the
+// determinism contract of RpcLearnOptions::num_threads.
+TEST(RpcLearnerParallelTest, RepeatedParallelRestartFitsAreIdentical) {
+  const Matrix data = MakeData(100, 3, 9);
+  const Orientation alpha = Orientation::AllBenefit(3);
+
+  RpcLearnOptions options = BaseOptions();
+  options.restarts = 5;
+  options.num_threads = 8;
+
+  const auto first = RpcLearner(options).Fit(data, alpha);
+  const auto second = RpcLearner(options).Fit(data, alpha);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  EXPECT_EQ(first->final_j, second->final_j);
+  EXPECT_EQ(first->iterations, second->iterations);
+  ASSERT_EQ(first->scores.size(), second->scores.size());
+  for (int i = 0; i < first->scores.size(); ++i) {
+    EXPECT_EQ(first->scores[i], second->scores[i]) << "row " << i;
+  }
+}
+
+// num_threads = 0 (hardware concurrency) is accepted and converges.
+TEST(RpcLearnerParallelTest, HardwareConcurrencyDefaultWorks) {
+  const Matrix data = MakeData(60, 2, 13);
+  const Orientation alpha = Orientation::AllBenefit(2);
+  RpcLearnOptions options = BaseOptions();
+  options.num_threads = 0;
+  const auto fit = RpcLearner(options).Fit(data, alpha);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_GT(fit->explained_variance, 0.5);
+}
+
+}  // namespace
+}  // namespace rpc::core

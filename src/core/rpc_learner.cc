@@ -1,6 +1,7 @@
 #include "core/rpc_learner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "linalg/pinv.h"
 #include "linalg/stats.h"
 #include "opt/batch_projection.h"
+#include "opt/incremental_projector.h"
 #include "opt/richardson.h"
 
 namespace rpc::core {
@@ -22,11 +24,15 @@ namespace {
 
 // Bernstein design matrix G ((k+1) x n) with G(r, i) = B_r^k(s_i). For
 // k = 3 this equals M Z of Eq. (23), generalised so the degree ablation can
-// reuse the same alternating scheme.
+// reuse the same alternating scheme. Runs AllBernstein into a stack buffer:
+// at n = 100k a per-row heap Vector was a measurable slice of every outer
+// iteration.
 Matrix BernsteinDesign(int degree, const Vector& scores) {
+  assert(degree + 1 <= 16);  // RpcLearner caps degree at 10
   Matrix g(degree + 1, scores.size());
+  double basis[16];
   for (int i = 0; i < scores.size(); ++i) {
-    const Vector basis = curve::AllBernstein(degree, scores[i]);
+    curve::AllBernstein(degree, scores[i], basis);
     for (int r = 0; r <= degree; ++r) g(r, i) = basis[r];
   }
   return g;
@@ -211,12 +217,30 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   richardson_options.use_preconditioner = options_.use_preconditioner;
   richardson_options.gamma = options_.gamma;
 
+  // Step 4 engine: the warm-start mode keeps per-row state (last s*, last
+  // squared distance) across outer iterations and only falls back to the
+  // full global search for suspect rows / periodic resyncs.
+  const bool warm_start =
+      options_.reprojection == ReprojectionMode::kWarmStart;
+  opt::IncrementalProjector incremental;
+  if (warm_start) {
+    opt::IncrementalProjectorOptions incremental_options;
+    incremental_options.projection = options_.projection;
+    incremental_options.resync_period = options_.reprojection_resync_period;
+    incremental.Bind(normalized_data, incremental_options, pool);
+  }
+
   int iter = 0;
+  bool rolled_back = false;
   for (; iter < options_.max_iterations; ++iter) {
     // Step 4: projection indices s^(t) (GSS or the quintic alternative),
-    // fanned out across the pool by the batch engine.
-    scores = opt::ProjectRowsBatch(bezier, normalized_data,
-                                   options_.projection, pool, &j_current);
+    // fanned out across the pool by the batch engine — or warm-started from
+    // the previous iteration's s* by the incremental projector.
+    scores = warm_start
+                 ? incremental.Project(bezier, &j_current)
+                 : opt::ProjectRowsBatch(bezier, normalized_data,
+                                         options_.projection, pool,
+                                         &j_current);
     if (options_.record_history) result.j_history.push_back(j_current);
 
     if (iter > 0) {
@@ -232,6 +256,7 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
         if (options_.record_history && !result.j_history.empty()) {
           result.j_history.pop_back();
         }
+        rolled_back = true;
         break;
       }
       if (delta < options_.tolerance) {
@@ -279,7 +304,46 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
     bezier = curve::BezierCurve(control);
   }
 
-  if (scores.size() == 0) {
+  // Are the scores in hand the full global search's projections of the
+  // current bezier? Always for kFull; for warm start only when the loop's
+  // last projection was a full pass (resync iteration, or kGridOnly which
+  // always runs full) and no rollback replaced them with an older call's
+  // output.
+  bool scores_are_full = !warm_start ||
+                         (!rolled_back && incremental.last_was_full());
+
+  // The loop exhausting max_iterations leaves the last Step 5 update
+  // unvetted: `scores`/`j_current` describe the pre-update curve while
+  // `bezier` is post-update. Apply the Step 6-8 acceptance to that final
+  // update — keep it only if it did not increase J — so the returned curve,
+  // scores and J are consistent and the accepted-J sequence stays
+  // non-increasing (Proposition 2). Under kWarmStart the pre-update J may
+  // be warm-measured, i.e. an upper bound on the full-search J within the
+  // certified-fallback slack, so the acceptance (like the in-loop delta
+  // test) is exact only up to that slack.
+  if (iter == options_.max_iterations && scores.size() != 0) {
+    double j_final = 0.0;
+    Vector final_scores = opt::ProjectRowsBatch(
+        bezier, normalized_data, options_.projection, pool, &j_final);
+    if (j_final <= j_current) {
+      scores = std::move(final_scores);
+      j_current = j_final;
+      scores_are_full = true;
+    } else {
+      control = previous_control;
+      bezier = curve::BezierCurve(control);
+      // scores/j_current already describe this restored curve;
+      // scores_are_full keeps whatever quality the last loop pass had.
+    }
+  }
+
+  // Warm-started fits re-measure the accepted curve with one final full
+  // projection, so the reported scores and J come from the same global
+  // search as ReprojectionMode::kFull whatever mix of local refinements and
+  // fallbacks the trajectory used — skipped when the scores in hand already
+  // are that (no redundant O(n) pass). Also covers max_iterations == 0,
+  // where the loop never projected at all.
+  if (!scores_are_full || scores.size() == 0) {
     scores = opt::ProjectRowsBatch(bezier, normalized_data,
                                    options_.projection, pool, &j_current);
   }

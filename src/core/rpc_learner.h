@@ -14,6 +14,32 @@
 
 namespace rpc::core {
 
+/// How Step 4 (re-projection of all n rows) is executed across outer
+/// iterations.
+enum class ReprojectionMode {
+  /// Every iteration re-projects every row from scratch: coarse grid over
+  /// the whole of [0, 1] plus per-bracket refinement. Today's behaviour and
+  /// the reference the warm-start path is validated against.
+  kFull,
+  /// Warm-started incremental re-projection (opt::IncrementalProjector):
+  /// after the first iteration each row is refined locally around its
+  /// previous s* — near convergence the curve barely moves, so the optimal
+  /// s* shifts only slightly per iteration (Eq. 19-20). A row falls back to
+  /// the full global search when its local result is suspect (bracket-edge
+  /// argmin, or squared distance above the certified curve-movement bound),
+  /// and every `reprojection_resync_period`-th iteration re-projects all
+  /// rows globally as a safety resync. On convergence the final scores and
+  /// J always come from one last full projection (skipped only when the
+  /// last in-loop pass already was one), so the reported fit quality is
+  /// measured exactly like kFull. Mid-trajectory J values are warm-measured
+  /// upper bounds on the full-search J (within the certified-fallback
+  /// slack), so convergence/rollback decisions can differ from kFull's by
+  /// that slack. Multi-x faster on large n for the refining methods
+  /// (kGridOnly has nothing to localise and runs full passes); final J
+  /// matches kFull within `tolerance` on the paper's fixtures.
+  kWarmStart,
+};
+
 /// How the interior control points are initialised (Step 2 of Algorithm 1).
 enum class RpcInit {
   /// Two random data rows, ordered along the diagonal — the paper's
@@ -36,6 +62,18 @@ struct RpcLearnOptions {
   double tolerance = 1e-7;
   /// Projection solver (Step 4): GSS by default.
   opt::ProjectionOptions projection;
+  /// Step 4 execution strategy: kFull re-projects from scratch each
+  /// iteration; kWarmStart reuses each row's previous s* (see
+  /// ReprojectionMode). Default off — results are equivalent but not
+  /// bit-identical mid-trajectory, so opt in where fit time matters.
+  ReprojectionMode reprojection = ReprojectionMode::kFull;
+  /// Resync heuristic for kWarmStart: every `reprojection_resync_period`-th
+  /// iteration runs the full global search for every row, bounding how long
+  /// a row can track a stale local minimum; between resyncs only suspect
+  /// rows (bracket-edge argmin or a squared distance above the certified
+  /// curve-movement bound) pay for the global search. <= 1 resyncs every
+  /// iteration (kFull behaviour at kFull cost).
+  int reprojection_resync_period = 8;
   /// Keep p0/p3 pinned to the alpha corners (Proposition 1 — guarantees the
   /// meta-rules). When false, end points are learned too and merely clamped
   /// into [0,1]^d, the freer behaviour Table 2's printed end points suggest.

@@ -24,19 +24,23 @@ double BernsteinBasis(int k, int r, double s) {
 
 linalg::Vector AllBernstein(int k, double s) {
   linalg::Vector basis(k + 1);
-  basis[0] = 1.0;
+  AllBernstein(k, s, basis.data().data());
+  return basis;
+}
+
+void AllBernstein(int k, double s, double* out) {
+  out[0] = 1.0;
   const double u = 1.0 - s;
   // Triangular recurrence: at step j the prefix holds degree-j basis values.
   for (int j = 1; j <= k; ++j) {
     double saved = 0.0;
     for (int r = 0; r < j; ++r) {
-      const double tmp = basis[r];
-      basis[r] = saved + u * tmp;
+      const double tmp = out[r];
+      out[r] = saved + u * tmp;
       saved = s * tmp;
     }
-    basis[j] = saved;
+    out[j] = saved;
   }
-  return basis;
 }
 
 }  // namespace rpc::curve

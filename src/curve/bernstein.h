@@ -18,6 +18,11 @@ double BernsteinBasis(int k, int r, double s);
 /// de Casteljau-style recurrence. The values sum to 1 for s in [0, 1].
 linalg::Vector AllBernstein(int k, double s);
 
+/// Allocation-free variant: writes the k+1 values into out[0..k]. The hot
+/// per-row loop of the learner's design-matrix build uses this with a stack
+/// buffer.
+void AllBernstein(int k, double s, double* out);
+
 }  // namespace rpc::curve
 
 #endif  // RPC_CURVE_BERNSTEIN_H_

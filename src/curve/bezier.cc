@@ -217,24 +217,31 @@ void BezierEvalWorkspace::Bind(const BezierCurve& curve) {
   if (horner_) {
     // Power basis of the cubic: a_0 = p0, a_1 = 3(p1 - p0),
     // a_2 = 3(p0 - 2 p1 + p2), a_3 = -p0 + 3 p1 - 3 p2 + p3; f' then has
-    // ascending coefficients a_1, 2 a_2, 3 a_3.
+    // ascending coefficients a_1, 2 a_2, 3 a_3. Stored coefficient-major
+    // (all a_0 first, then all a_1, ...) so the Horner loops below read
+    // four stride-1 streams — the layout the autovectoriser wants.
     power_.resize(static_cast<size_t>(d_) * 4);
     dpower_.resize(static_cast<size_t>(d_) * 3);
     const Matrix& p = curve.control_points();
+    double* a0 = power_.data();
+    double* a1 = a0 + d_;
+    double* a2 = a1 + d_;
+    double* a3 = a2 + d_;
+    double* b0 = dpower_.data();
+    double* b1 = b0 + d_;
+    double* b2 = b1 + d_;
     for (int i = 0; i < d_; ++i) {
       const double p0 = p(i, 0);
       const double p1 = p(i, 1);
       const double p2 = p(i, 2);
       const double p3 = p(i, 3);
-      double* a = power_.data() + static_cast<size_t>(i) * 4;
-      a[0] = p0;
-      a[1] = 3.0 * (p1 - p0);
-      a[2] = 3.0 * (p0 - 2.0 * p1 + p2);
-      a[3] = -p0 + 3.0 * p1 - 3.0 * p2 + p3;
-      double* b = dpower_.data() + static_cast<size_t>(i) * 3;
-      b[0] = a[1];
-      b[1] = 2.0 * a[2];
-      b[2] = 3.0 * a[3];
+      a0[i] = p0;
+      a1[i] = 3.0 * (p1 - p0);
+      a2[i] = 3.0 * (p0 - 2.0 * p1 + p2);
+      a3[i] = -p0 + 3.0 * p1 - 3.0 * p2 + p3;
+      b0[i] = a1[i];
+      b1[i] = 2.0 * a2[i];
+      b2[i] = 3.0 * a3[i];
     }
   } else {
     casteljau_.resize(static_cast<size_t>(k_ + 1) * static_cast<size_t>(d_));
@@ -253,9 +260,14 @@ void BezierEvalWorkspace::Evaluate(double s, double* out) {
     return;
   }
   if (horner_) {
-    const double* a = power_.data();
-    for (int i = 0; i < d_; ++i, a += 4) {
-      out[i] = ((a[3] * s + a[2]) * s + a[1]) * s + a[0];
+    // Four stride-1 coefficient streams, no aliasing with out: the loop
+    // autovectorises (one Horner per SIMD lane).
+    const double* __restrict a0 = power_.data();
+    const double* __restrict a1 = a0 + d_;
+    const double* __restrict a2 = a1 + d_;
+    const double* __restrict a3 = a2 + d_;
+    for (int i = 0; i < d_; ++i) {
+      out[i] = ((a3[i] * s + a2[i]) * s + a1[i]) * s + a0[i];
     }
     return;
   }
@@ -289,9 +301,11 @@ void BezierEvalWorkspace::Derivative(double s, double* out) {
     return;
   }
   if (horner_) {
-    const double* b = dpower_.data();
-    for (int i = 0; i < d_; ++i, b += 3) {
-      out[i] = (b[2] * s + b[1]) * s + b[0];
+    const double* __restrict b0 = dpower_.data();
+    const double* __restrict b1 = b0 + d_;
+    const double* __restrict b2 = b1 + d_;
+    for (int i = 0; i < d_; ++i) {
+      out[i] = (b2[i] * s + b1[i]) * s + b0[i];
     }
     return;
   }
@@ -321,6 +335,46 @@ void BezierEvalWorkspace::Derivative(double s, double* out) {
 
 double BezierEvalWorkspace::SquaredDistance(const double* x, double s) {
   assert(bound());
+  if (horner_ && s != 0.0 && s != 1.0) {
+    // Fused Horner + residual + reduction: five stride-1 input streams and
+    // four independent accumulators, so the projection hot loop both skips
+    // the value_ round-trip and autovectorises (a single running sum would
+    // serialise on the floating-point add chain). The lane sums combine in
+    // a fixed order, so results are identical across thread counts.
+    const double* __restrict a0 = power_.data();
+    const double* __restrict a1 = a0 + d_;
+    const double* __restrict a2 = a1 + d_;
+    const double* __restrict a3 = a2 + d_;
+    double lane0 = 0.0;
+    double lane1 = 0.0;
+    double lane2 = 0.0;
+    double lane3 = 0.0;
+    int i = 0;
+    for (; i + 4 <= d_; i += 4) {
+      const double f0 = ((a3[i] * s + a2[i]) * s + a1[i]) * s + a0[i];
+      const double f1 =
+          ((a3[i + 1] * s + a2[i + 1]) * s + a1[i + 1]) * s + a0[i + 1];
+      const double f2 =
+          ((a3[i + 2] * s + a2[i + 2]) * s + a1[i + 2]) * s + a0[i + 2];
+      const double f3 =
+          ((a3[i + 3] * s + a2[i + 3]) * s + a1[i + 3]) * s + a0[i + 3];
+      const double e0 = x[i] - f0;
+      const double e1 = x[i + 1] - f1;
+      const double e2 = x[i + 2] - f2;
+      const double e3 = x[i + 3] - f3;
+      lane0 += e0 * e0;
+      lane1 += e1 * e1;
+      lane2 += e2 * e2;
+      lane3 += e3 * e3;
+    }
+    double tail = 0.0;
+    for (; i < d_; ++i) {
+      const double f = ((a3[i] * s + a2[i]) * s + a1[i]) * s + a0[i];
+      const double diff = x[i] - f;
+      tail += diff * diff;
+    }
+    return ((lane0 + lane1) + (lane2 + lane3)) + tail;
+  }
   Evaluate(s, value_.data());
   double sum = 0.0;
   for (int i = 0; i < d_; ++i) {

@@ -114,8 +114,10 @@ class BezierEvalWorkspace {
   int k_ = -1;
   int d_ = 0;
   bool horner_ = false;            // degree-3 fast path
-  std::vector<double> power_;      // d x 4, f coefficients, ascending
-  std::vector<double> dpower_;     // d x 3, f' coefficients, ascending
+  // Coefficient-major (all a_0, then all a_1, ...): the Horner loops read
+  // stride-1 streams so they autovectorise.
+  std::vector<double> power_;      // 4 x d, f coefficients, ascending
+  std::vector<double> dpower_;     // 3 x d, f' coefficients, ascending
   std::vector<double> casteljau_;  // (k+1) x d scratch, [r * d + i]
   std::vector<double> bern_;       // k Bernstein values for Derivative
   std::vector<double> value_;      // d scratch for SquaredDistance

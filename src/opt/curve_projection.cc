@@ -21,6 +21,12 @@ namespace {
 // wins (the sup tie-break of Eq. A-2).
 constexpr double kTieRelTol = 1e-9;
 
+// Interior grid cells ProjectLocal places across a warm-start bracket before
+// refining the best one: two cells probe the bracket ends and its centre
+// (the previous s* for an unclipped bracket) — enough to detect the
+// minimiser escaping while keeping the warm path a handful of evaluations.
+constexpr int kLocalGridCells = 2;
+
 }  // namespace
 
 // Function object handed to Golden Section Search; a named struct (instead
@@ -40,7 +46,12 @@ void ProjectionWorkspace::Bind(const BezierCurve& curve,
   const int d = curve.dimension();
   const int g = std::max(options.grid_points, 2);
   grid_dist_.resize(static_cast<size_t>(g) + 1);
-  if (options.method == ProjectionMethod::kNewton) {
+  // Hodograph + second derivative: kNewton's solver needs them, as does the
+  // warm-start ProjectLocal refinement for every refining method — but a
+  // global-search-only bind (the kFull hot path rebinding every outer
+  // iteration) should not pay for curves it never evaluates.
+  if (options.method == ProjectionMethod::kNewton ||
+      options.enable_local_refinement) {
     hodograph_ = curve.DerivativeCurve();
     second_ = hodograph_.DerivativeCurve();
     hodograph_eval_.Bind(hodograph_);
@@ -59,6 +70,7 @@ void ProjectionWorkspace::Bind(const BezierCurve& curve,
 void ProjectionWorkspace::ResetEvaluationCounts() {
   objective_evals_ = 0;
   stationarity_evals_ = 0;
+  root_workspace_.ResetEvaluationCount();
 }
 
 double ProjectionWorkspace::ObjectiveAt(const double* x, double s) {
@@ -78,6 +90,32 @@ double ProjectionWorkspace::StationarityAt(const double* x, double s) {
            (x[i] - point_[static_cast<size_t>(i)]);
   }
   return dot;
+}
+
+double ProjectionWorkspace::StationarityWithSlopeAt(const double* x, double s,
+                                                    double* slope) {
+  // Fused g(s) and g'(s): f(s), f'(s) and f''(s) are each evaluated once,
+  // where the StationarityAt + StationarityDerivativeAt pair evaluated f
+  // and f' twice. Each accumulator runs in the same order as the unfused
+  // helpers, so the values are bit-identical. Counts as one stationarity
+  // evaluation (the slope was never counted separately).
+  ++stationarity_evals_;
+  hodograph_eval_.Evaluate(s, deriv_.data());
+  second_eval_.Evaluate(s, curvature_.data());
+  eval_.Evaluate(s, point_.data());
+  const int d = curve_->dimension();
+  double value = 0.0;
+  double dot = 0.0;
+  double deriv_sq = 0.0;
+  for (int i = 0; i < d; ++i) {
+    const double residual = x[i] - point_[static_cast<size_t>(i)];
+    value += deriv_[static_cast<size_t>(i)] * residual;
+    dot += curvature_[static_cast<size_t>(i)] * residual;
+    deriv_sq += deriv_[static_cast<size_t>(i)] *
+                deriv_[static_cast<size_t>(i)];
+  }
+  *slope = dot - deriv_sq;
+  return value;
 }
 
 double ProjectionWorkspace::StationarityDerivativeAt(const double* x,
@@ -184,33 +222,91 @@ ProjectionResult ProjectionWorkspace::ProjectViaNewton(const double* x) {
     const bool right_ok = i == g || grid_dist_[static_cast<size_t>(i)] <=
                                         grid_dist_[static_cast<size_t>(i + 1)];
     if (!left_ok || !right_ok) continue;
-    double lo = std::max(0.0, static_cast<double>(i - 1) / g);
-    double hi = std::min(1.0, static_cast<double>(i + 1) / g);
-    // g is decreasing through a minimum: g(lo) >= 0 >= g(hi) is the usual
-    // situation; when signs do not bracket (boundary minima) Newton from
-    // the midpoint with clamping still behaves.
-    double s = 0.5 * (lo + hi);
-    for (int iter = 0; iter < 50; ++iter) {
-      const double value = StationarityAt(x, s);
-      ++best.evaluations;
-      if (std::fabs(value) < options_.tol) break;
-      // Shrink the safeguard bracket using the sign of g.
-      if (value > 0.0) {
-        lo = s;
-      } else {
-        hi = s;
-      }
-      const double slope = StationarityDerivativeAt(x, s);
-      double next = (slope < 0.0) ? s - value / slope : 0.5 * (lo + hi);
-      if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
-      if (std::fabs(next - s) < options_.tol) {
-        s = next;
-        break;
-      }
-      s = next;
-    }
+    const double lo = std::max(0.0, static_cast<double>(i - 1) / g);
+    const double hi = std::min(1.0, static_cast<double>(i + 1) / g);
+    const double s = NewtonRefine(x, lo, hi, &best);
     ConsiderCandidate(x, std::clamp(s, 0.0, 1.0), &best);
   }
+  return best;
+}
+
+double ProjectionWorkspace::NewtonRefine(const double* x, double lo,
+                                         double hi, ProjectionResult* best) {
+  // g is decreasing through a minimum: g(lo) >= 0 >= g(hi) is the usual
+  // situation; when signs do not bracket (boundary minima) Newton from
+  // the midpoint with clamping still behaves.
+  double s = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 50; ++iter) {
+    double slope = 0.0;
+    const double value = StationarityWithSlopeAt(x, s, &slope);
+    ++best->evaluations;
+    if (std::fabs(value) < options_.tol) break;
+    // Shrink the safeguard bracket using the sign of g.
+    if (value > 0.0) {
+      lo = s;
+    } else {
+      hi = s;
+    }
+    double next = (slope < 0.0) ? s - value / slope : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - s) < options_.tol) {
+      s = next;
+      break;
+    }
+    s = next;
+  }
+  return s;
+}
+
+ProjectionResult ProjectionWorkspace::ProjectLocal(const double* x, double lo,
+                                                   double hi,
+                                                   bool* hit_edge) {
+  assert(bound());
+  *hit_edge = false;
+  // Grid-only has no refinement stage to localise; a warm start degenerates
+  // to the full grid argmin.
+  if (options_.method == ProjectionMethod::kGridOnly) return Project(x);
+  // Requires a bind with kNewton or enable_local_refinement set.
+  assert(hodograph_eval_.bound());
+  lo = std::clamp(lo, 0.0, 1.0);
+  hi = std::clamp(hi, 0.0, 1.0);
+  assert(hi > lo);
+
+  // Interior grid over the bracket, argmin with the sup tie-break.
+  const double width = hi - lo;
+  ProjectionResult best;
+  best.s = lo;
+  best.squared_distance = ObjectiveAt(x, lo);
+  best.evaluations = 1;
+  int best_idx = 0;
+  for (int j = 1; j <= kLocalGridCells; ++j) {
+    const double s =
+        (j == kLocalGridCells) ? hi : lo + width * j / kLocalGridCells;
+    const double dist = ObjectiveAt(x, s);
+    ++best.evaluations;
+    const double slack = kTieRelTol * (1.0 + best.squared_distance);
+    if (dist < best.squared_distance - slack ||
+        (dist <= best.squared_distance + slack && s > best.s)) {
+      best.squared_distance = dist;
+      best.s = s;
+      best_idx = j;
+    }
+  }
+  // An argmin on a bracket edge that is not a domain boundary means the
+  // true minimiser may sit outside the bracket: report and let the caller
+  // run the global search instead of refining a likely-wrong cell.
+  if ((best_idx == 0 && lo > 0.0) ||
+      (best_idx == kLocalGridCells && hi < 1.0)) {
+    *hit_edge = true;
+    return best;
+  }
+  const double cell_lo =
+      (best_idx == 0) ? lo : lo + width * (best_idx - 1) / kLocalGridCells;
+  const double cell_hi = (best_idx == kLocalGridCells)
+                             ? hi
+                             : lo + width * (best_idx + 1) / kLocalGridCells;
+  const double s = NewtonRefine(x, cell_lo, cell_hi, &best);
+  ConsiderCandidate(x, std::clamp(s, 0.0, 1.0), &best);
   return best;
 }
 
@@ -234,13 +330,32 @@ ProjectionResult ProjectionWorkspace::ProjectViaPolynomialRoots(
       }
     }
   }
-  const Polynomial stationarity{std::vector<double>(stationarity_coeffs_)};
-
   ProjectionResult best;
   best.s = 0.0;
   best.squared_distance = ObjectiveAt(x, 0.0);
   best.evaluations = 1;
   ConsiderCandidate(x, 1.0, &best);
+  const std::int64_t sturm_before = root_workspace_.polynomial_evaluations();
+  const int num_roots = root_workspace_.RealRootsInInterval(
+      stationarity_coeffs_.data(),
+      static_cast<int>(stationarity_coeffs_.size()), 0.0, 1.0, options_.tol,
+      roots_, PolynomialRootWorkspace::kMaxDegree);
+  if (num_roots >= 0) {
+    // The chain evaluations are evaluations of the stationarity polynomial
+    // g(s): account for them like kNewton's stationarity probes so the
+    // methods' ProjectionResult::evaluations are comparable.
+    const std::int64_t sturm =
+        root_workspace_.polynomial_evaluations() - sturm_before;
+    stationarity_evals_ += sturm;
+    best.evaluations += static_cast<int>(sturm);
+    for (int i = 0; i < num_roots; ++i) {
+      ConsiderCandidate(x, roots_[i], &best);
+    }
+    return best;
+  }
+  // Degree beyond the fixed workspace capacity (k > 10): allocating
+  // fallback, identical roots.
+  const Polynomial stationarity{std::vector<double>(stationarity_coeffs_)};
   for (double root :
        stationarity.RealRootsInInterval(0.0, 1.0, options_.tol)) {
     ConsiderCandidate(x, root, &best);

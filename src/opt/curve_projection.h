@@ -6,6 +6,7 @@
 
 #include "curve/bezier.h"
 #include "linalg/vector.h"
+#include "opt/polynomial.h"
 
 namespace rpc::opt {
 
@@ -34,6 +35,12 @@ struct ProjectionOptions {
   /// Bracket-width tolerance for Golden Section refinement and root
   /// tolerance for kQuinticRoots.
   double tol = 1e-10;
+  /// Build the hodograph / second-derivative state ProjectLocal's Newton
+  /// refinement needs even when `method` is not kNewton. Set by
+  /// IncrementalProjector for its warm-start workspaces; leave off for
+  /// global-search-only binds so ProjectRowsBatch's per-iteration rebinds
+  /// stay as cheap as before.
+  bool enable_local_refinement = false;
 };
 
 struct ProjectionResult {
@@ -41,12 +48,14 @@ struct ProjectionResult {
   /// toward the largest s (the `sup` in Hastie's Eq. A-2).
   double s = 0.0;
   double squared_distance = 0.0;
-  /// Number of curve evaluations the solver performed for this point: every
+  /// Number of evaluations the solver performed for this point: every
   /// squared-distance evaluation plus, for kNewton, every stationarity
-  /// evaluation. No evaluation is counted twice — reusing a precomputed
-  /// grid value (e.g. the s = 1 boundary probe) costs nothing here. The
-  /// same definition holds for all four methods; ProjectionWorkspace's
-  /// counters let tests assert it.
+  /// evaluation and, for kQuinticRoots, every Horner evaluation of the
+  /// stationarity polynomial's Sturm chain during root isolation and
+  /// refinement (so method cost comparisons are honest). No evaluation is
+  /// counted twice — reusing a precomputed grid value (e.g. the s = 1
+  /// boundary probe) costs nothing here. The same definition holds for all
+  /// four methods; ProjectionWorkspace's counters let tests assert it.
   int evaluations = 0;
 };
 
@@ -54,11 +63,11 @@ struct ProjectionResult {
 ///
 /// Bind() hoists all per-curve work out of the per-point loop — the Bezier
 /// evaluation workspace (with its cubic Horner fast path), the grid scratch,
-/// and, per method, the hodograph / second-derivative curves (kNewton) or
-/// the power-basis coefficients of the stationarity polynomial
-/// (kQuinticRoots). After the Bind, Project() is heap-allocation-free for
-/// kGoldenSection, kGridOnly and kNewton; kQuinticRoots still allocates
-/// inside Sturm root isolation.
+/// the hodograph / second-derivative curves (kNewton and the warm-start
+/// local refinement), and the power-basis coefficients of the stationarity
+/// polynomial (kQuinticRoots). After the Bind, Project() and ProjectLocal()
+/// are heap-allocation-free for every method — kQuinticRoots runs its Sturm
+/// root isolation inside a fixed-capacity PolynomialRootWorkspace.
 ///
 /// One workspace per thread: Project() mutates the scratch, so workspaces
 /// must not be shared across concurrent callers (see ProjectRowsBatch).
@@ -78,10 +87,27 @@ class ProjectionWorkspace {
   /// Projects one point given as `dimension()` contiguous doubles.
   ProjectionResult Project(const double* x);
 
+  /// Warm-start local refinement: finds the best candidate inside the
+  /// bracket [lo, hi] (a sub-interval of [0, 1]) only, via a small interior
+  /// grid plus safeguarded Newton on the stationarity condition (with
+  /// bisection safeguards when a step leaves the bracket).
+  /// Sets *hit_edge when the interior grid's argmin landed on a bracket
+  /// edge that is not a domain boundary — the true minimiser may then lie
+  /// outside the bracket and the caller (IncrementalProjector) must fall
+  /// back to the global Project(). kGridOnly has no refinement stage, so
+  /// this method delegates straight to Project() for it. Requires a Bind
+  /// with kNewton or ProjectionOptions::enable_local_refinement set (the
+  /// Newton step reads the hodograph state). No global guarantees; same
+  /// sup tie-break as Project within the bracket.
+  ProjectionResult ProjectLocal(const double* x, double lo, double hi,
+                                bool* hit_edge);
+
   /// Evaluation accounting since the last Bind/ResetEvaluationCounts:
-  /// squared-distance evaluations and (kNewton only) stationarity
-  /// evaluations. Tests assert that the sum matches the accumulated
-  /// ProjectionResult::evaluations for every method.
+  /// squared-distance evaluations plus stationarity evaluations (kNewton
+  /// and the warm-start refinement count curve-space evaluations of
+  /// g(s) = f'(s).(x - f(s)); kQuinticRoots counts the Sturm-chain Horner
+  /// evaluations of the same polynomial). Tests assert that the sum matches
+  /// the accumulated ProjectionResult::evaluations for every method.
   std::int64_t objective_evaluations() const { return objective_evals_; }
   std::int64_t stationarity_evaluations() const { return stationarity_evals_; }
   void ResetEvaluationCounts();
@@ -92,6 +118,9 @@ class ProjectionWorkspace {
   double ObjectiveAt(const double* x, double s);
   double StationarityAt(const double* x, double s);
   double StationarityDerivativeAt(const double* x, double s);
+  /// g(s) and g'(s) in one pass (f, f', f'' each evaluated once); counts as
+  /// a single stationarity evaluation, like StationarityAt.
+  double StationarityWithSlopeAt(const double* x, double s, double* slope);
   void ConsiderCandidate(const double* x, double s, ProjectionResult* best);
   /// Same comparison/tie-break as ConsiderCandidate for a value that was
   /// already evaluated (and counted) elsewhere; performs no evaluation.
@@ -101,12 +130,17 @@ class ProjectionWorkspace {
   ProjectionResult ProjectViaGrid(const double* x, bool refine);
   ProjectionResult ProjectViaNewton(const double* x);
   ProjectionResult ProjectViaPolynomialRoots(const double* x);
+  /// Safeguarded Newton on g(s) = f'(s).(x - f(s)) over [lo, hi], seeded at
+  /// the midpoint; the shared refinement core of kNewton and ProjectLocal.
+  double NewtonRefine(const double* x, double lo, double hi,
+                      ProjectionResult* best);
 
   const curve::BezierCurve* curve_ = nullptr;
   ProjectionOptions options_;
   curve::BezierEvalWorkspace eval_;
 
-  // kNewton: hodograph and second derivative, built once per Bind.
+  // Hodograph and second derivative, built per Bind: kNewton's solver and
+  // the warm-start local refinement both need them.
   curve::BezierCurve hodograph_;
   curve::BezierCurve second_;
   curve::BezierEvalWorkspace hodograph_eval_;
@@ -115,10 +149,13 @@ class ProjectionWorkspace {
   std::vector<double> curvature_;  // d scratch: f''(s)
   std::vector<double> point_;      // d scratch: f(s)
 
-  // kQuinticRoots: power-basis coefficients of the curve (per Bind) and the
-  // stationarity coefficients (rebuilt per point, fixed size 2k).
+  // kQuinticRoots: power-basis coefficients of the curve (per Bind), the
+  // stationarity coefficients (rebuilt per point, fixed size 2k), and the
+  // fixed-capacity Sturm scratch + root output buffer.
   linalg::Matrix power_;
   std::vector<double> stationarity_coeffs_;
+  PolynomialRootWorkspace root_workspace_;
+  double roots_[PolynomialRootWorkspace::kMaxDegree];
 
   std::vector<double> grid_dist_;  // grid_points + 1 distances
 

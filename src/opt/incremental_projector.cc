@@ -1,0 +1,154 @@
+#include "opt/incremental_projector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rpc::opt {
+
+using curve::BezierCurve;
+using linalg::Matrix;
+using linalg::Vector;
+
+void IncrementalProjector::Bind(const Matrix& data,
+                                const IncrementalProjectorOptions& options,
+                                ThreadPool* pool) {
+  data_ = &data;
+  options_ = options;
+  // Warm-started calls refine via ProjectLocal's Newton step, which needs
+  // the hodograph state whatever the configured method — except kGridOnly,
+  // whose ProjectLocal delegates straight to the global search.
+  options_.projection.enable_local_refinement =
+      options.projection.method != ProjectionMethod::kGridOnly;
+  pool_ = pool;
+  const int parallelism =
+      pool != nullptr ? std::max(pool->parallelism(), 1) : 1;
+  // vector(count) value-constructs in place, which is all the non-movable
+  // ProjectionWorkspace supports; the move-assignment only swaps buffers.
+  workspaces_ = std::vector<ProjectionWorkspace>(
+      static_cast<size_t>(parallelism));
+  const size_t n = static_cast<size_t>(data.rows());
+  s_.assign(n, 0.0);
+  dist_.assign(n, 0.0);
+  squared_.assign(n, 0.0);
+  calls_ = 0;
+  last_was_full_ = false;
+  last_fallbacks_ = 0;
+}
+
+Vector IncrementalProjector::Project(const BezierCurve& curve,
+                                     double* total_squared_distance) {
+  assert(bound());
+  assert(data_->cols() == curve.dimension() || data_->rows() == 0);
+  const int n = data_->rows();
+  Vector scores(n);
+
+  const int period = options_.resync_period;
+  // kGridOnly has no refinement stage to localise, so a warm call would be
+  // the full grid argmin plus per-row bookkeeping — run it as a plain full
+  // pass instead.
+  const bool full = calls_ == 0 || period <= 1 || calls_ % period == 0 ||
+                    options_.projection.method == ProjectionMethod::kGridOnly;
+
+  // Bound on how far any curve point moved since the previous call: by the
+  // convex-hull property, max_s |f_t(s) - f_{t-1}(s)| <= max_r |dp_r|.
+  double delta = 0.0;
+  if (!full) {
+    const Matrix& now = curve.control_points();
+    assert(now.rows() == prev_control_.rows() &&
+           now.cols() == prev_control_.cols());
+    for (int r = 0; r < now.cols(); ++r) {
+      double sq = 0.0;
+      for (int i = 0; i < now.rows(); ++i) {
+        const double diff = now(i, r) - prev_control_(i, r);
+        sq += diff * diff;
+      }
+      delta = std::max(delta, sq);
+    }
+    delta = std::sqrt(delta);
+  }
+
+  // The curve's control points changed since the last call (the learner
+  // mutates it between projections), so every workspace re-derives its
+  // per-curve state here, on the calling thread.
+  for (ProjectionWorkspace& w : workspaces_) w.Bind(curve, options_.projection);
+
+  const int parallelism = static_cast<int>(workspaces_.size());
+  std::int64_t fallbacks = 0;
+  if (parallelism <= 1 || n < 2) {
+    ProjectRange(&workspaces_[0], full, delta, 0, n, scores.data().data(),
+                 squared_.data(), &fallbacks);
+  } else {
+    // Same chunking as ProjectRowsBatch: ~4 chunks per worker.
+    std::vector<std::int64_t> per_worker(static_cast<size_t>(parallelism), 0);
+    const std::int64_t grain = std::max<std::int64_t>(
+        1, (n + 4 * parallelism - 1) / (4 * parallelism));
+    pool_->ParallelFor(
+        n, grain, [&](std::int64_t begin, std::int64_t end, int worker) {
+          ProjectRange(&workspaces_[static_cast<size_t>(worker)], full, delta,
+                       begin, end, scores.data().data(), squared_.data(),
+                       &per_worker[static_cast<size_t>(worker)]);
+        });
+    for (std::int64_t count : per_worker) fallbacks += count;
+  }
+
+  if (total_squared_distance != nullptr) {
+    // Row-ordered reduction: J is bit-identical across thread counts.
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += squared_[static_cast<size_t>(i)];
+    *total_squared_distance = total;
+  }
+
+  prev_control_ = curve.control_points();
+  ++calls_;
+  last_was_full_ = full;
+  last_fallbacks_ = fallbacks;
+  return scores;
+}
+
+void IncrementalProjector::ProjectRange(ProjectionWorkspace* workspace,
+                                        bool full, double delta,
+                                        std::int64_t begin, std::int64_t end,
+                                        double* scores, double* squared,
+                                        std::int64_t* fallbacks) {
+  const Matrix& data = *data_;
+  const int g = std::max(options_.projection.grid_points, 2);
+  const double half = options_.bracket_cells / g;
+  for (std::int64_t i = begin; i < end; ++i) {
+    const double* x = data.RowPtr(static_cast<int>(i));
+    ProjectionResult result;
+    if (full) {
+      result = workspace->Project(x);
+    } else {
+      const double s_prev = s_[static_cast<size_t>(i)];
+      const double lo = std::max(0.0, s_prev - half);
+      const double hi = std::min(1.0, s_prev + half);
+      bool hit_edge = false;
+      result = workspace->ProjectLocal(x, lo, hi, &hit_edge);
+      // Certified distance bound: the previous s* is inside the bracket and
+      // the curve moved at most delta, so any honest local refinement must
+      // land at or below (sqrt(d_prev) + delta)^2. Above it, something went
+      // wrong (e.g. the bracket was clipped away from s_prev at a domain
+      // boundary) — pay for the global search.
+      const double certified =
+          std::sqrt(dist_[static_cast<size_t>(i)]) + delta;
+      const bool distance_suspect =
+          result.squared_distance > certified * certified + 1e-12;
+      if (hit_edge || distance_suspect) {
+        ++*fallbacks;
+        // The rejected local probe's evaluations were really performed (and
+        // counted by the workspace); keep them in the row's total so the
+        // per-point accounting invariant holds.
+        const int local_evaluations = result.evaluations;
+        result = workspace->Project(x);
+        result.evaluations += local_evaluations;
+      }
+    }
+    s_[static_cast<size_t>(i)] = result.s;
+    dist_[static_cast<size_t>(i)] = result.squared_distance;
+    scores[i] = result.s;
+    squared[i] = result.squared_distance;
+  }
+}
+
+}  // namespace rpc::opt

@@ -1,0 +1,105 @@
+#ifndef RPC_OPT_INCREMENTAL_PROJECTOR_H_
+#define RPC_OPT_INCREMENTAL_PROJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "curve/bezier.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "opt/curve_projection.h"
+
+namespace rpc::opt {
+
+struct IncrementalProjectorOptions {
+  /// Per-point solver configuration; shared by the warm and the full path.
+  ProjectionOptions projection;
+  /// Safety resync cadence: every `resync_period`-th Project() call (and
+  /// always the first) runs the full global search for every row, so a row
+  /// whose warm-started local refinement silently tracked the wrong local
+  /// minimum is repaired within a bounded number of iterations. Values
+  /// <= 1 resync on every call (degenerating to the full path).
+  int resync_period = 8;
+  /// Half-width of the warm-start bracket around each row's previous s*,
+  /// in units of one global grid cell (1 / projection.grid_points). The
+  /// default mirrors the cell size the full search refines, so a minimiser
+  /// drifting less than one cell per iteration stays inside the bracket.
+  double bracket_cells = 1.0;
+};
+
+/// Stateful re-projection engine for Step 4 of Algorithm 1: owns per-row
+/// state (last s*, last squared distance) across outer iterations, so that
+/// near convergence — when the curve barely moves and each row's optimal s*
+/// shifts only slightly (Eq. 19-20; the locality Hastie-Stuetzle-style
+/// alternating schemes exploit) — each row is re-projected by a cheap local
+/// refinement on a shrunken bracket instead of the full grid + per-bracket
+/// search.
+///
+/// A row falls back to the full global search whenever the local result is
+/// suspect:
+///   * the local bracket's argmin landed on a bracket edge that is not a
+///     domain boundary (the minimiser may have left the bracket), or
+///   * the refined squared distance exceeds the certified bound
+///     (sqrt(previous distance) + delta)^2, where delta bounds the curve's
+///     movement between iterations via the control-point displacement
+///     (convex-hull property: max_s |f_t(s) - f_{t-1}(s)| <=
+///     max_r |p_r^t - p_r^{t-1}|), or
+///   * the call is a periodic safety resync (`resync_period`).
+///
+/// Determinism: per-row results depend only on that row's own state, the
+/// reduction of J runs in row order, and the fallback counter is summed per
+/// worker slot — so scores and J are bit-identical for every thread count,
+/// matching the ProjectRowsBatch contract. Full-path calls produce exactly
+/// the ProjectRowsBatch results.
+class IncrementalProjector {
+ public:
+  IncrementalProjector() = default;
+  IncrementalProjector(const IncrementalProjector&) = delete;
+  IncrementalProjector& operator=(const IncrementalProjector&) = delete;
+
+  /// Binds to a data matrix (must outlive the projector) and resets all
+  /// per-row state; the next Project() call is a full projection. `pool`
+  /// may be null (serial).
+  void Bind(const linalg::Matrix& data,
+            const IncrementalProjectorOptions& options, ThreadPool* pool);
+  bool bound() const { return data_ != nullptr; }
+
+  /// Projects every bound row onto `curve`, warm-starting from the previous
+  /// call's per-row results (full global search on the first call, on every
+  /// `resync_period`-th call, and per-row on fallback). Returns the scores;
+  /// accumulates J (Eq. 19) into `total_squared_distance` when non-null.
+  linalg::Vector Project(const curve::BezierCurve& curve,
+                         double* total_squared_distance);
+
+  /// Diagnostics for the most recent Project() call.
+  bool last_was_full() const { return last_was_full_; }
+  std::int64_t last_fallback_count() const { return last_fallbacks_; }
+  int calls() const { return calls_; }
+
+ private:
+  void ProjectRange(ProjectionWorkspace* workspace, bool full, double delta,
+                    std::int64_t begin, std::int64_t end, double* scores,
+                    double* squared, std::int64_t* fallbacks);
+
+  const linalg::Matrix* data_ = nullptr;
+  IncrementalProjectorOptions options_;
+  ThreadPool* pool_ = nullptr;
+
+  // One workspace per worker; workspaces are rebound to the (mutated) curve
+  // at the start of every Project call.
+  std::vector<ProjectionWorkspace> workspaces_;
+
+  std::vector<double> s_;       // per-row last s*
+  std::vector<double> dist_;    // per-row last squared distance
+  std::vector<double> squared_; // per-call row-ordered J reduction buffer
+  linalg::Matrix prev_control_; // control points seen by the previous call
+
+  int calls_ = 0;
+  bool last_was_full_ = false;
+  std::int64_t last_fallbacks_ = 0;
+};
+
+}  // namespace rpc::opt
+
+#endif  // RPC_OPT_INCREMENTAL_PROJECTOR_H_

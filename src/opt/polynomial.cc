@@ -208,6 +208,246 @@ std::string Polynomial::ToString() const {
   return out;
 }
 
+// ---- PolynomialRootWorkspace ----------------------------------------------
+// Span-based replica of the allocating machinery above. Every helper mirrors
+// its std::vector counterpart operation for operation (including the trimming
+// scales), so the isolated roots are bit-identical — the differential test in
+// tests/opt/polynomial_test.cc holds the two paths together.
+
+namespace {
+
+double SpanMaxAbs(const double* c, int n) {
+  double best = 0.0;
+  for (int i = 0; i < n; ++i) best = std::max(best, std::fabs(c[i]));
+  return best;
+}
+
+// Polynomial-constructor-style trim: drop numerically zero leading
+// coefficients relative to the span's own magnitude, keeping at least one.
+void SpanTrim(double* c, int* n) {
+  const double cutoff = SpanMaxAbs(c, *n) * kCoeffEps;
+  while (*n > 1 && std::fabs(c[*n - 1]) <= cutoff) --*n;
+}
+
+bool SpanIsZero(const double* c, int n) { return n == 1 && c[0] == 0.0; }
+
+double SpanEval(const double* c, int n, double x) {
+  double value = 0.0;
+  for (int i = n; i-- > 0;) value = value * x + c[i];
+  return value;
+}
+
+// Polynomial::Derivative without the allocation (including its trim).
+int SpanDerivative(const double* c, int n, double* out) {
+  if (n <= 1) {
+    out[0] = 0.0;
+    return 1;
+  }
+  for (int i = 1; i < n; ++i) out[i - 1] = static_cast<double>(i) * c[i];
+  int len = n - 1;
+  SpanTrim(out, &len);
+  return len;
+}
+
+// Polynomial::Remainder without the allocation: rem starts as a copy of the
+// dividend a; the trim inside the division loop uses the dividend's
+// magnitude (exactly as the member function's MaxAbsCoeff(coeffs_) does),
+// the final trim the remainder's own.
+int SpanRemainder(const double* a, int na, const double* b, int nb,
+                  double* rem) {
+  assert(!SpanIsZero(b, nb));
+  for (int i = 0; i < na; ++i) rem[i] = a[i];
+  int nr = na;
+  const double lead = b[nb - 1];
+  const double a_max = SpanMaxAbs(a, na);
+  while (nr >= nb) {
+    const double factor = rem[nr - 1] / lead;
+    const int offset = nr - nb;
+    for (int i = 0; i < nb; ++i) rem[offset + i] -= factor * b[i];
+    --nr;
+    const double scale = std::max(SpanMaxAbs(rem, nr), a_max);
+    while (nr > 1 && std::fabs(rem[nr - 1]) <= scale * kCoeffEps) --nr;
+    if (nr == 0) {
+      rem[0] = 0.0;
+      nr = 1;
+      break;
+    }
+  }
+  SpanTrim(rem, &nr);
+  return nr;
+}
+
+}  // namespace
+
+double PolynomialRootWorkspace::EvalCounted(const double* c, int n,
+                                            double x) {
+  ++evals_;
+  return SpanEval(c, n, x);
+}
+
+void PolynomialRootWorkspace::BuildSturmChain() {
+  // chain_[0] (the polynomial) is already in place; append the derivative
+  // and the negated remainders, stopping at a constant or a zero remainder.
+  dp_len_ = SpanDerivative(chain_[0], chain_len_[0], dp_);
+  chain_size_ = 1;
+  if (SpanIsZero(dp_, dp_len_)) return;
+  for (int i = 0; i < dp_len_; ++i) chain_[1][i] = dp_[i];
+  chain_len_[1] = dp_len_;
+  chain_size_ = 2;
+  while (chain_size_ < kMaxChain) {
+    const double* a = chain_[chain_size_ - 2];
+    const int na = chain_len_[chain_size_ - 2];
+    const double* b = chain_[chain_size_ - 1];
+    const int nb = chain_len_[chain_size_ - 1];
+    if (nb - 1 == 0) break;
+    double* rem = chain_[chain_size_];
+    int nr = SpanRemainder(a, na, b, nb, rem);
+    if (SpanIsZero(rem, nr)) break;
+    for (int i = 0; i < nr; ++i) rem[i] = -rem[i];
+    chain_len_[chain_size_] = nr;
+    ++chain_size_;
+    if (nr - 1 == 0) break;
+  }
+}
+
+int PolynomialRootWorkspace::SignChangesAt(double x) {
+  int changes = 0;
+  int prev_sign = 0;
+  for (int i = 0; i < chain_size_; ++i) {
+    const double value = EvalCounted(chain_[i], chain_len_[i], x);
+    const int sign = value > 0.0 ? 1 : (value < 0.0 ? -1 : 0);
+    if (sign == 0) continue;
+    if (prev_sign != 0 && sign != prev_sign) ++changes;
+    prev_sign = sign;
+  }
+  return changes;
+}
+
+double PolynomialRootWorkspace::RefineRoot(double lo, double hi, double tol) {
+  const double* p = chain_[0];
+  const int np = chain_len_[0];
+  double flo = EvalCounted(p, np, lo);
+  if (flo == 0.0) return lo;
+  double fhi = EvalCounted(p, np, hi);
+  if (fhi == 0.0) return hi;
+  double x = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 200 && hi - lo > tol; ++iter) {
+    const double fx = EvalCounted(p, np, x);
+    if (fx == 0.0) return x;
+    const double dfx = EvalCounted(dp_, dp_len_, x);
+    double next;
+    if (dfx != 0.0) {
+      next = x - fx / dfx;
+      if (next <= lo || next >= hi) next = 0.5 * (lo + hi);
+    } else {
+      next = 0.5 * (lo + hi);
+    }
+    if ((fx > 0.0) == (flo > 0.0)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+      fhi = fx;
+    }
+    x = next;
+    if (x <= lo || x >= hi) x = 0.5 * (lo + hi);
+  }
+  return 0.5 * (lo + hi);
+}
+
+void PolynomialRootWorkspace::IsolateRoots(double lo, double hi, int count_lo,
+                                           int count_hi, double tol,
+                                           double* roots, int capacity,
+                                           int* count) {
+  const int num_roots = count_lo - count_hi;
+  if (num_roots <= 0 || *count >= capacity) return;
+  if (num_roots == 1) {
+    roots[(*count)++] = RefineRoot(lo, hi, tol);
+    return;
+  }
+  if (hi - lo <= tol) {
+    roots[(*count)++] = 0.5 * (lo + hi);
+    return;
+  }
+  const double mid = 0.5 * (lo + hi);
+  const int count_mid = SignChangesAt(mid);
+  IsolateRoots(lo, mid, count_lo, count_mid, tol, roots, capacity, count);
+  IsolateRoots(mid, hi, count_mid, count_hi, tol, roots, capacity, count);
+}
+
+int PolynomialRootWorkspace::RealRootsInInterval(const double* coeffs,
+                                                 int num_coeffs, double lo,
+                                                 double hi, double tol,
+                                                 double* roots, int capacity) {
+  if (lo > hi || capacity <= 0) return 0;
+  // Polynomial-constructor normalisation of the input, then the same
+  // unit-magnitude scaling the allocating path applies.
+  double* p = chain_[0];
+  int np;
+  if (num_coeffs <= 0) {
+    p[0] = 0.0;
+    np = 1;
+  } else {
+    if (num_coeffs - 1 > kMaxDegree) return -1;
+    for (int i = 0; i < num_coeffs; ++i) p[i] = coeffs[i];
+    np = num_coeffs;
+    SpanTrim(p, &np);
+  }
+  const double scale = SpanMaxAbs(p, np);
+  if (scale > 0.0) {
+    const double inv = 1.0 / scale;
+    for (int i = 0; i < np; ++i) p[i] *= inv;
+    SpanTrim(p, &np);
+  }
+  if (SpanIsZero(p, np)) return 0;
+  if (np - 1 == 0) return 0;
+  chain_len_[0] = np;
+
+  if (np - 1 == 1) {
+    const double root = -p[0] / p[1];
+    if (root >= lo - tol && root <= hi + tol) {
+      roots[0] = std::min(std::max(root, lo), hi);
+      return 1;
+    }
+    return 0;
+  }
+
+  BuildSturmChain();
+
+  const double pad = std::max(1e-12, (hi - lo) * 1e-12);
+  const double a = lo - pad;
+  const double b = hi + pad;
+  const int count_a = SignChangesAt(a);
+  const int count_b = SignChangesAt(b);
+  int count = 0;
+  IsolateRoots(a, b, count_a, count_b, tol, roots, capacity, &count);
+  for (int i = 0; i < count; ++i) {
+    roots[i] = std::min(std::max(roots[i], lo), hi);
+  }
+  std::sort(roots, roots + count);
+  int unique = 0;
+  for (int i = 0; i < count; ++i) {
+    if (unique == 0 || std::fabs(roots[i] - roots[unique - 1]) > 10.0 * tol) {
+      roots[unique++] = roots[i];
+    }
+  }
+  return unique;
+}
+
+int Polynomial::RealRootsInInterval(double lo, double hi, double tol,
+                                    PolynomialRootWorkspace* workspace,
+                                    double* roots, int capacity) const {
+  const int count = workspace->RealRootsInInterval(
+      coeffs_.data(), static_cast<int>(coeffs_.size()), lo, hi, tol, roots,
+      capacity);
+  if (count >= 0) return count;
+  // Degree beyond the workspace's fixed capacity: allocating fallback.
+  const std::vector<double> fallback = RealRootsInInterval(lo, hi, tol);
+  const int n = std::min(capacity, static_cast<int>(fallback.size()));
+  for (int i = 0; i < n; ++i) roots[i] = fallback[static_cast<size_t>(i)];
+  return n;
+}
+
 std::vector<double> Polynomial::RealRootsInInterval(double lo, double hi,
                                                     double tol) const {
   std::vector<double> roots;

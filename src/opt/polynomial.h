@@ -1,10 +1,69 @@
 #ifndef RPC_OPT_POLYNOMIAL_H_
 #define RPC_OPT_POLYNOMIAL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace rpc::opt {
+
+/// Caller-owned scratch for Sturm-sequence real-root isolation with zero
+/// heap allocation per call. The whole degree <= kMaxDegree chain (the
+/// polynomial, its derivative, and every remainder) lives in fixed-capacity
+/// member arrays, so a ProjectionWorkspace can solve the per-point quintic
+/// stationarity condition (Eq. 20) without touching the allocator — the
+/// last allocating projection method after PR 1.
+///
+/// The arithmetic is a faithful replica of the allocating
+/// Polynomial::RealRootsInInterval path (same scaling, trimming, Sturm
+/// recursion, bisection + Newton refinement, deduplication), so the roots
+/// are bit-identical; tests assert this over a battery of quintics.
+///
+/// One workspace per thread: calls mutate the scratch.
+class PolynomialRootWorkspace {
+ public:
+  /// Highest supported degree: the stationarity polynomial of a degree-k
+  /// Bezier has degree 2k - 1 and RpcLearner caps k at 10.
+  static constexpr int kMaxDegree = 19;
+  static constexpr int kMaxCoeffs = kMaxDegree + 1;
+
+  PolynomialRootWorkspace() = default;
+
+  /// All real roots of p(x) = coeffs[0] + ... + coeffs[n-1] x^(n-1) in
+  /// [lo, hi], each reported once, sorted ascending, written to `roots`
+  /// (capacity >= kMaxDegree suffices for any supported input). Returns the
+  /// root count, or -1 when the (trimmed) degree exceeds kMaxDegree — the
+  /// caller should then use the allocating Polynomial path.
+  int RealRootsInInterval(const double* coeffs, int num_coeffs, double lo,
+                          double hi, double tol, double* roots, int capacity);
+
+  /// Number of Horner evaluations of chain polynomials performed since the
+  /// last Reset — the Sturm sign-change counts plus the bisection/Newton
+  /// refinement. ProjectionResult::evaluations for kQuinticRoots includes
+  /// these so method cost comparisons are honest.
+  std::int64_t polynomial_evaluations() const { return evals_; }
+  void ResetEvaluationCount() { evals_ = 0; }
+
+ private:
+  static constexpr int kMaxChain = kMaxDegree + 2;
+
+  double EvalCounted(const double* c, int n, double x);
+  int SignChangesAt(double x);
+  double RefineRoot(double lo, double hi, double tol);
+  void IsolateRoots(double lo, double hi, int count_lo, int count_hi,
+                    double tol, double* roots, int capacity, int* count);
+  void BuildSturmChain();
+
+  // Sturm chain: chain_[0] is the (scaled, trimmed) polynomial, chain_[1]
+  // its derivative, then the negated remainders.
+  double chain_[kMaxChain][kMaxCoeffs];
+  int chain_len_[kMaxChain];
+  int chain_size_ = 0;
+  double dp_[kMaxCoeffs];  // derivative of chain_[0], for Newton refinement
+  int dp_len_ = 0;
+
+  std::int64_t evals_ = 0;
+};
 
 /// A real univariate polynomial with coefficients in ascending powers:
 /// p(x) = c[0] + c[1] x + ... + c[n] x^n.
@@ -41,9 +100,19 @@ class Polynomial {
 
   /// All real roots in [lo, hi], each reported once (multiple roots are
   /// collapsed), sorted ascending. Uses a Sturm sequence on the square-free
-  /// part to isolate roots, then bisection refined by Newton.
+  /// part to isolate roots, then bisection refined by Newton. Allocates
+  /// per call; hot paths should use the PolynomialRootWorkspace overload
+  /// (identical results for degree <= PolynomialRootWorkspace::kMaxDegree).
   std::vector<double> RealRootsInInterval(double lo, double hi,
                                           double tol = 1e-12) const;
+
+  /// Allocation-free variant: isolates the roots inside `workspace` and
+  /// writes them to `roots`, returning the count. Falls back to the
+  /// allocating path above (copying into `roots`, truncating at `capacity`)
+  /// when the degree exceeds the workspace's fixed capacity.
+  int RealRootsInInterval(double lo, double hi, double tol,
+                          PolynomialRootWorkspace* workspace, double* roots,
+                          int capacity) const;
 
  private:
   void Trim();

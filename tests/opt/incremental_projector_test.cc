@@ -1,0 +1,205 @@
+#include "opt/incremental_projector.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "opt/batch_projection.h"
+#include "opt/curve_projection.h"
+
+namespace rpc::opt {
+namespace {
+
+using curve::BezierCurve;
+using linalg::Matrix;
+using linalg::Vector;
+
+BezierCurve MonotoneCubic(int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix control(d, 4);
+  for (int i = 0; i < d; ++i) {
+    control(i, 0) = 0.0;
+    control(i, 1) = rng.Uniform(0.1, 0.45);
+    control(i, 2) = rng.Uniform(0.55, 0.9);
+    control(i, 3) = 1.0;
+  }
+  return BezierCurve(control);
+}
+
+Matrix RandomData(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) data(i, j) = rng.Uniform(-0.1, 1.1);
+  }
+  return data;
+}
+
+// Nudges the interior control points by `step`, mimicking one outer
+// iteration of the alternating scheme.
+BezierCurve Perturbed(const BezierCurve& curve, double step, uint64_t seed) {
+  Rng rng(seed);
+  Matrix control = curve.control_points();
+  for (int i = 0; i < control.rows(); ++i) {
+    control(i, 1) += rng.Uniform(-step, step);
+    control(i, 2) += rng.Uniform(-step, step);
+  }
+  return BezierCurve(control);
+}
+
+// The first call (and any full resync) must reproduce ProjectRowsBatch
+// bitwise: same per-row arithmetic, same ordered J reduction.
+TEST(IncrementalProjectorTest, FirstCallMatchesBatchBitwise) {
+  const BezierCurve curve = MonotoneCubic(3, 7);
+  const Matrix data = RandomData(157, 3, 8);
+  for (ProjectionMethod method :
+       {ProjectionMethod::kGoldenSection, ProjectionMethod::kQuinticRoots,
+        ProjectionMethod::kGridOnly, ProjectionMethod::kNewton}) {
+    ProjectionOptions projection;
+    projection.method = method;
+    double batch_j = 0.0;
+    const Vector batch =
+        ProjectRowsBatch(curve, data, projection, nullptr, &batch_j);
+
+    IncrementalProjector incremental;
+    IncrementalProjectorOptions options;
+    options.projection = projection;
+    incremental.Bind(data, options, nullptr);
+    double j = 0.0;
+    const Vector scores = incremental.Project(curve, &j);
+    EXPECT_TRUE(incremental.last_was_full());
+    ASSERT_EQ(scores.size(), batch.size());
+    for (int i = 0; i < scores.size(); ++i) {
+      EXPECT_EQ(scores[i], batch[i]) << "row " << i;
+    }
+    EXPECT_EQ(j, batch_j);
+  }
+}
+
+// Warm-started calls are bit-identical for every thread count — the
+// ProjectRowsBatch determinism contract extends to the incremental engine.
+TEST(IncrementalProjectorTest, WarmCallsBitIdenticalAcrossThreadCounts) {
+  const BezierCurve start = MonotoneCubic(4, 17);
+  const Matrix data = RandomData(211, 4, 18);  // odd n: ragged chunks
+
+  // Reference: serial trajectory over three slightly moving curves.
+  IncrementalProjector serial;
+  serial.Bind(data, {}, nullptr);
+  Vector ref_scores;
+  double ref_j = 0.0;
+  BezierCurve curve = start;
+  for (int t = 0; t < 3; ++t) {
+    ref_scores = serial.Project(curve, &ref_j);
+    curve = Perturbed(curve, 2e-3, 100 + static_cast<uint64_t>(t));
+  }
+
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    IncrementalProjector incremental;
+    incremental.Bind(data, {}, &pool);
+    Vector scores;
+    double j = 0.0;
+    BezierCurve moving = start;
+    for (int t = 0; t < 3; ++t) {
+      scores = incremental.Project(moving, &j);
+      moving = Perturbed(moving, 2e-3, 100 + static_cast<uint64_t>(t));
+    }
+    EXPECT_FALSE(incremental.last_was_full());
+    ASSERT_EQ(scores.size(), ref_scores.size());
+    for (int i = 0; i < scores.size(); ++i) {
+      EXPECT_EQ(scores[i], ref_scores[i]) << "threads=" << threads
+                                          << " row " << i;
+    }
+    EXPECT_EQ(j, ref_j) << "threads=" << threads;
+  }
+}
+
+// After a small curve move the warm projection must agree with the full
+// global search to projection tolerance — the locality assumption the
+// engine exploits, on the regime it targets.
+TEST(IncrementalProjectorTest, WarmMatchesFullSearchAfterSmallMove) {
+  const BezierCurve start = MonotoneCubic(3, 27);
+  const Matrix data = RandomData(300, 3, 28);
+  IncrementalProjector incremental;
+  incremental.Bind(data, {}, nullptr);
+  double j = 0.0;
+  incremental.Project(start, &j);
+
+  const BezierCurve moved = Perturbed(start, 1e-3, 29);
+  double warm_j = 0.0;
+  const Vector warm = incremental.Project(moved, &warm_j);
+  EXPECT_FALSE(incremental.last_was_full());
+
+  double full_j = 0.0;
+  const Vector full = ProjectRowsBatch(moved, data, {}, nullptr, &full_j);
+  for (int i = 0; i < warm.size(); ++i) {
+    // Same basin: the indices agree to well under a grid cell. At shallow
+    // minima Newton (|g| < tol) and GSS (bracket < tol) stop up to ~1e-5
+    // apart in s, so the binding check is on the objective: the warm
+    // distance matches the global optimum's.
+    EXPECT_NEAR(warm[i], full[i], 1e-3) << "row " << i;
+    const double warm_dist = moved.SquaredDistanceAt(data.Row(i), warm[i]);
+    const double full_dist = moved.SquaredDistanceAt(data.Row(i), full[i]);
+    EXPECT_NEAR(warm_dist, full_dist, 1e-9 * (1.0 + full_dist))
+        << "row " << i;
+  }
+  EXPECT_NEAR(warm_j, full_j, 1e-8 * (1.0 + full_j));
+}
+
+// A large curve move invalidates every local bracket; the suspect checks
+// must kick rows back to the global search rather than silently keeping a
+// wrong local minimum, so warm results still match the full search.
+TEST(IncrementalProjectorTest, LargeMoveFallsBackToGlobalSearch) {
+  const BezierCurve start = MonotoneCubic(2, 37);
+  const Matrix data = RandomData(200, 2, 38);
+  IncrementalProjectorOptions options;
+  options.resync_period = 1000;  // never resync: only the fallbacks guard
+  IncrementalProjector incremental;
+  incremental.Bind(data, options, nullptr);
+  double j = 0.0;
+  incremental.Project(start, &j);
+
+  const BezierCurve moved = Perturbed(start, 0.3, 39);
+  double warm_j = 0.0;
+  const Vector warm = incremental.Project(moved, &warm_j);
+  EXPECT_GT(incremental.last_fallback_count(), 0);
+
+  double full_j = 0.0;
+  const Vector full = ProjectRowsBatch(moved, data, {}, nullptr, &full_j);
+  for (int i = 0; i < warm.size(); ++i) {
+    EXPECT_NEAR(warm[i], full[i], 1e-3) << "row " << i;
+    const double warm_dist = moved.SquaredDistanceAt(data.Row(i), warm[i]);
+    const double full_dist = moved.SquaredDistanceAt(data.Row(i), full[i]);
+    EXPECT_NEAR(warm_dist, full_dist, 1e-9 * (1.0 + full_dist))
+        << "row " << i;
+  }
+}
+
+// resync_period <= 1 degenerates to the full path on every call.
+TEST(IncrementalProjectorTest, ResyncEveryCallMatchesBatch) {
+  const BezierCurve start = MonotoneCubic(3, 47);
+  const Matrix data = RandomData(120, 3, 48);
+  IncrementalProjectorOptions options;
+  options.resync_period = 1;
+  IncrementalProjector incremental;
+  incremental.Bind(data, options, nullptr);
+  BezierCurve curve = start;
+  for (int t = 0; t < 3; ++t) {
+    double j = 0.0;
+    const Vector scores = incremental.Project(curve, &j);
+    EXPECT_TRUE(incremental.last_was_full());
+    double batch_j = 0.0;
+    const Vector batch = ProjectRowsBatch(curve, data, {}, nullptr, &batch_j);
+    for (int i = 0; i < scores.size(); ++i) {
+      EXPECT_EQ(scores[i], batch[i]) << "t=" << t << " row " << i;
+    }
+    EXPECT_EQ(j, batch_j);
+    curve = Perturbed(curve, 5e-3, 200 + static_cast<uint64_t>(t));
+  }
+}
+
+}  // namespace
+}  // namespace rpc::opt

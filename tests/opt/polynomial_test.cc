@@ -141,5 +141,107 @@ TEST(PolynomialTest, ToStringReadable) {
   EXPECT_EQ(p.ToString(), "1 + -2*x^1");
 }
 
+// ---- PolynomialRootWorkspace ----------------------------------------------
+
+// One reused workspace must produce exactly the allocating path's roots over
+// a battery of quintics (and lower degrees): random coefficients, known
+// factored roots, multiple roots, extreme scaling. Reuse across calls is the
+// point — stale chain state from a previous polynomial would surface here.
+TEST(PolynomialRootWorkspaceTest, MatchesAllocatingPathOnQuinticBattery) {
+  Rng rng(2026);
+  PolynomialRootWorkspace workspace;
+  double roots[PolynomialRootWorkspace::kMaxDegree];
+
+  const auto check = [&](const Polynomial& p, const char* label) {
+    const std::vector<double> expected = p.RealRootsInInterval(0.0, 1.0);
+    const int count = p.RealRootsInInterval(
+        0.0, 1.0, 1e-12, &workspace, roots,
+        PolynomialRootWorkspace::kMaxDegree);
+    ASSERT_EQ(count, static_cast<int>(expected.size())) << label;
+    for (int i = 0; i < count; ++i) {
+      EXPECT_EQ(roots[i], expected[static_cast<size_t>(i)])
+          << label << " root " << i;
+    }
+  };
+
+  // Random dense quintics (some with no roots in [0,1], some with several).
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> coeffs(6);
+    for (double& c : coeffs) c = rng.Uniform(-2.0, 2.0);
+    check(Polynomial(coeffs), "random quintic");
+  }
+  // Factored quintics with known interior roots.
+  for (int trial = 0; trial < 50; ++trial) {
+    Polynomial p({1.0});
+    for (int r = 0; r < 5; ++r) {
+      p = p * Polynomial({-rng.Uniform(-0.5, 1.5), 1.0});
+    }
+    check(p, "factored quintic");
+  }
+  // Multiple roots: (x - 1/3)^2 (x - 2/3)^3.
+  Polynomial multiple({1.0});
+  multiple = multiple * Polynomial({-1.0 / 3.0, 1.0});
+  multiple = multiple * Polynomial({-1.0 / 3.0, 1.0});
+  for (int i = 0; i < 3; ++i) {
+    multiple = multiple * Polynomial({-2.0 / 3.0, 1.0});
+  }
+  check(multiple, "multiple roots");
+  // Extreme coefficient scale.
+  check(Polynomial({-5e7, 1e8}), "large scale linear");
+  check(Polynomial({0.0}), "zero polynomial");
+  check(Polynomial({1.0}), "constant");
+  // Degrees 2-4 as used by the degree-ablation stationarity polynomials.
+  for (int degree = 2; degree <= 4; ++degree) {
+    std::vector<double> coeffs(static_cast<size_t>(degree) + 1);
+    for (double& c : coeffs) c = rng.Uniform(-1.0, 1.0);
+    check(Polynomial(coeffs), "low degree");
+  }
+}
+
+// Degrees beyond the fixed capacity fall back to the allocating path.
+TEST(PolynomialRootWorkspaceTest, OverCapacityDegreeFallsBack) {
+  std::vector<double> coeffs(
+      static_cast<size_t>(PolynomialRootWorkspace::kMaxDegree) + 2, 0.0);
+  coeffs[0] = -0.5;
+  coeffs[1] = 1.0;
+  coeffs.back() = 1e-3;  // degree kMaxDegree + 1
+  const Polynomial p(coeffs);
+  ASSERT_GT(p.degree(), PolynomialRootWorkspace::kMaxDegree);
+
+  PolynomialRootWorkspace workspace;
+  double roots[PolynomialRootWorkspace::kMaxDegree];
+  const int direct = workspace.RealRootsInInterval(
+      p.coefficients().data(), static_cast<int>(p.coefficients().size()), 0.0,
+      1.0, 1e-12, roots, PolynomialRootWorkspace::kMaxDegree);
+  EXPECT_EQ(direct, -1);
+
+  const std::vector<double> expected = p.RealRootsInInterval(0.0, 1.0);
+  const int count =
+      p.RealRootsInInterval(0.0, 1.0, 1e-12, &workspace, roots,
+                            PolynomialRootWorkspace::kMaxDegree);
+  ASSERT_EQ(count, static_cast<int>(expected.size()));
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(roots[i], expected[static_cast<size_t>(i)]);
+  }
+}
+
+// The evaluation counter advances during isolation (the honesty fix for
+// ProjectionResult::evaluations) and resets cleanly.
+TEST(PolynomialRootWorkspaceTest, CountsChainEvaluations) {
+  PolynomialRootWorkspace workspace;
+  double roots[PolynomialRootWorkspace::kMaxDegree];
+  // (x - 0.25)(x - 0.5)(x - 0.75) expanded: 3 interior roots.
+  const Polynomial p =
+      Polynomial({-0.25, 1.0}) * Polynomial({-0.5, 1.0}) *
+      Polynomial({-0.75, 1.0});
+  const int count =
+      p.RealRootsInInterval(0.0, 1.0, 1e-12, &workspace, roots,
+                            PolynomialRootWorkspace::kMaxDegree);
+  EXPECT_EQ(count, 3);
+  EXPECT_GT(workspace.polynomial_evaluations(), 0);
+  workspace.ResetEvaluationCount();
+  EXPECT_EQ(workspace.polynomial_evaluations(), 0);
+}
+
 }  // namespace
 }  // namespace rpc::opt

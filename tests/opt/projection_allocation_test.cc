@@ -1,0 +1,131 @@
+// Asserts the projection hot path's core contract: after Bind(), projecting
+// a point performs zero heap allocations — for every method, including
+// kQuinticRoots, whose Sturm root isolation runs inside the fixed-capacity
+// PolynomialRootWorkspace since this PR. The whole test binary's operator
+// new/delete are instrumented with a counter; the per-point loops below
+// assert the counter does not move.
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "opt/curve_projection.h"
+#include "opt/incremental_projector.h"
+
+namespace {
+
+std::atomic<std::int64_t> g_allocations{0};
+
+}  // namespace
+
+// Program-wide replacements: every new/new[] in the binary (library code
+// included) funnels through here.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rpc::opt {
+namespace {
+
+using curve::BezierCurve;
+using linalg::Matrix;
+
+BezierCurve MonotoneCubic(int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix control(d, 4);
+  for (int i = 0; i < d; ++i) {
+    control(i, 0) = 0.0;
+    control(i, 1) = rng.Uniform(0.1, 0.45);
+    control(i, 2) = rng.Uniform(0.55, 0.9);
+    control(i, 3) = 1.0;
+  }
+  return BezierCurve(control);
+}
+
+Matrix RandomData(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) data(i, j) = rng.Uniform(-0.1, 1.1);
+  }
+  return data;
+}
+
+TEST(ProjectionAllocationTest, ProjectIsAllocationFreeForEveryMethod) {
+  const BezierCurve curve = MonotoneCubic(4, 3);
+  const Matrix data = RandomData(256, 4, 4);
+  for (ProjectionMethod method :
+       {ProjectionMethod::kGoldenSection, ProjectionMethod::kQuinticRoots,
+        ProjectionMethod::kGridOnly, ProjectionMethod::kNewton}) {
+    ProjectionOptions options;
+    options.method = method;
+    ProjectionWorkspace workspace;
+    workspace.Bind(curve, options);
+    // Touch every row once so any lazily-initialised state settles.
+    for (int i = 0; i < data.rows(); ++i) {
+      (void)workspace.Project(data.RowPtr(i));
+    }
+    const std::int64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    double checksum = 0.0;
+    for (int i = 0; i < data.rows(); ++i) {
+      checksum += workspace.Project(data.RowPtr(i)).s;
+    }
+    const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0)
+        << "method " << static_cast<int>(method) << " allocated on the "
+        << "per-point path (checksum " << checksum << ")";
+  }
+}
+
+// The warm-start local refinement is part of the same per-point hot loop.
+TEST(ProjectionAllocationTest, ProjectLocalIsAllocationFree) {
+  const BezierCurve curve = MonotoneCubic(3, 13);
+  const Matrix data = RandomData(128, 3, 14);
+  for (ProjectionMethod method :
+       {ProjectionMethod::kGoldenSection, ProjectionMethod::kQuinticRoots,
+        ProjectionMethod::kNewton}) {
+    ProjectionOptions options;
+    options.method = method;
+    options.enable_local_refinement = true;  // ProjectLocal needs hodographs
+    ProjectionWorkspace workspace;
+    workspace.Bind(curve, options);
+    // Seed per-row s from a full projection outside the measured region.
+    std::vector<double> warm(static_cast<size_t>(data.rows()));
+    for (int i = 0; i < data.rows(); ++i) {
+      warm[static_cast<size_t>(i)] = workspace.Project(data.RowPtr(i)).s;
+    }
+    const std::int64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    double checksum = 0.0;
+    for (int i = 0; i < data.rows(); ++i) {
+      const double s = warm[static_cast<size_t>(i)];
+      bool hit_edge = false;
+      checksum += workspace
+                      .ProjectLocal(data.RowPtr(i),
+                                    std::max(0.0, s - 1.0 / 32.0),
+                                    std::min(1.0, s + 1.0 / 32.0), &hit_edge)
+                      .s;
+    }
+    const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0)
+        << "method " << static_cast<int>(method) << " (checksum " << checksum
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace rpc::opt

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a CI --quick run against the committed
+baseline and fail on a large single-thread throughput drop.
+
+Usage:
+    check_bench_regression.py QUICK.json BASELINE.json [--min-ratio 0.75]
+
+Both files hold one JSON object per line (the bench binaries' format).
+Rows are matched on their identity fields (everything except measured
+metrics); only matched rows that
+
+  * are single-thread (threads == 1, and callers == 1 when present), and
+  * carry a throughput metric (rows_per_sec or queries_per_sec)
+
+are gated — multi-thread rows depend on the machine's core count and the
+committed baselines were measured on a different box, so they are reported
+but never gated. The threshold is deliberately loose (default: fail below
+0.75x baseline, i.e. a >25% regression) because CI runners and the
+baseline machine differ; the gate exists to catch real algorithmic
+regressions, not scheduling noise.
+
+Exit codes: 0 ok (or nothing to compare), 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+# Measured outputs; every other field is identity. Keep in sync with the
+# EmitJson writers in bench/.
+METRIC_FIELDS = {
+    "rows_per_sec",
+    "queries_per_sec",
+    "speedup_vs_seed",
+    "speedup_vs_full",
+    "seconds",
+    "iterations",
+    "final_j",
+    "j_rel_diff_vs_full",
+    "max_score_diff_vs_full",
+    "ranking_matches_full",
+}
+
+# Metrics the gate checks, in preference order (gate on the first present).
+GATED_METRICS = ("rows_per_sec", "queries_per_sec")
+
+
+def load_rows(path):
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    print(f"{path}:{line_number}: unparseable line: {error}")
+                    sys.exit(2)
+    except OSError as error:
+        print(f"cannot read {path}: {error}")
+        sys.exit(2)
+    return rows
+
+
+def identity(row):
+    return tuple(sorted((k, v) for k, v in row.items()
+                        if k not in METRIC_FIELDS))
+
+
+def is_single_thread(row):
+    return row.get("threads") == 1 and row.get("callers", 1) == 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("quick", help="--quick run output (JSON lines)")
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("--min-ratio", type=float, default=0.75,
+                        help="fail when quick/baseline falls below this "
+                             "(default: 0.75, i.e. a >25%% regression)")
+    try:
+        options = parser.parse_args(argv[1:])
+    except SystemExit:
+        sys.exit(2)
+    min_ratio = options.min_ratio
+    quick_path, baseline_path = options.quick, options.baseline
+
+    quick_rows = load_rows(quick_path)
+    baselines = {}
+    for row in load_rows(baseline_path):
+        baselines[identity(row)] = row
+
+    failures = []
+    compared = 0
+    skipped = 0
+    for row in quick_rows:
+        base = baselines.get(identity(row))
+        if base is None or not is_single_thread(row):
+            skipped += 1
+            continue
+        metric = next((m for m in GATED_METRICS
+                       if m in row and m in base), None)
+        if metric is None or not base[metric]:
+            skipped += 1
+            continue
+        ratio = row[metric] / base[metric]
+        compared += 1
+        tag = " ".join(f"{k}={v}" for k, v in sorted(row.items())
+                       if k not in METRIC_FIELDS)
+        verdict = "FAIL" if ratio < min_ratio else "ok"
+        print(f"[{verdict}] {tag}: {metric} {row[metric]:.0f} vs "
+              f"baseline {base[metric]:.0f} (x{ratio:.2f})")
+        if ratio < min_ratio:
+            failures.append(tag)
+
+    print(f"compared {compared} single-thread row(s), skipped {skipped} "
+          f"(multi-thread / no baseline match), threshold x{min_ratio:.2f}")
+    if failures:
+        print(f"REGRESSION: {len(failures)} row(s) below x{min_ratio:.2f} "
+              f"of the committed baseline:")
+        for tag in failures:
+            print(f"  {tag}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

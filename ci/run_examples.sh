@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Builds nothing itself: runs every example binary under the given directory
+# (default build/examples) so a bit-rotted example fails CI instead of only
+# failing the next human who tries it. Binaries that need arguments get them
+# synthesized here; everything else must succeed with none.
+set -euo pipefail
+
+dir="${1:-build/examples}"
+if [ ! -d "$dir" ]; then
+  echo "no such directory: $dir" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# A small complete CSV for rank_csv: label column + header, three benefit/
+# cost attributes, enough distinct rows for a stable fit.
+cat > "$tmp/toy.csv" <<'EOF'
+name,gdp,life_expectancy,infant_mortality
+Alphaland,42000,81.2,3.1
+Betaville,28000,77.9,5.4
+Gammastan,9000,66.0,31.0
+Deltania,54000,82.8,2.5
+Epsilonia,15000,71.3,17.2
+Zetaburg,33000,79.5,4.8
+Etaland,4800,60.1,48.3
+Thetopia,21000,74.6,9.9
+Iotastan,61000,83.4,2.1
+Kappaville,12000,69.0,22.7
+EOF
+
+status=0
+ran=0
+for bin in "$dir"/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "::group::$name"
+  case "$name" in
+    rank_csv)
+      if ! "$bin" "$tmp/toy.csv" "++-" "$tmp/ranked.csv"; then
+        echo "FAILED: $name" >&2
+        status=1
+      fi
+      ;;
+    *)
+      if ! "$bin"; then
+        echo "FAILED: $name" >&2
+        status=1
+      fi
+      ;;
+  esac
+  echo "::endgroup::"
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "no example binaries found in $dir" >&2
+  exit 2
+fi
+echo "ran $ran example binaries, exit status $status"
+exit "$status"

@@ -1,0 +1,126 @@
+#ifndef RPC_COMMON_BOUNDED_QUEUE_H_
+#define RPC_COMMON_BOUNDED_QUEUE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rpc {
+
+/// A bounded multi-producer multi-consumer FIFO queue. The fixed capacity
+/// is the backpressure mechanism of the serving tier: producers pushing
+/// into a full queue block (Push) or are rejected (TryPush) instead of
+/// growing an unbounded backlog. Consumers block on Pop until an item or
+/// Close() arrives.
+///
+/// Close() transitions the queue to draining: further pushes fail, but
+/// items already queued are still handed out; once empty, Pop returns
+/// nullopt to every waiter. All operations are safe to call concurrently
+/// from any number of threads.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(int capacity) : capacity_(capacity) {
+    assert(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  int capacity() const { return capacity_; }
+
+  int size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(items_.size());
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Largest queue depth observed by any push so far — the admission
+  /// high-water mark the serving stats report.
+  int peak_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+  /// Blocks while the queue is full; returns false when the queue was (or
+  /// became, while waiting) closed and the item was not enqueued.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || static_cast<int>(items_.size()) < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    peak_ = std::max(peak_, static_cast<int>(items_.size()));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || static_cast<int>(items_.size()) >= capacity_) return false;
+    items_.push_back(std::move(item));
+    peak_ = std::max(peak_, static_cast<int>(items_.size()));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained
+  /// (then nullopt).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes every blocked producer and consumer;
+  /// queued items remain poppable (drain semantics). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  int peak_ = 0;
+};
+
+}  // namespace rpc
+
+#endif  // RPC_COMMON_BOUNDED_QUEUE_H_

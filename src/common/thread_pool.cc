@@ -16,12 +16,39 @@ ThreadPool::ThreadPool(int num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Drain submitted tasks first: a queued task may reference state the
+  // caller destroys right after the pool, so it must run (or at least
+  // finish) before the workers go away.
+  WaitTasks();
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Fully-serial pool: run inline, mirroring ParallelFor's inline path.
+    try {
+      task();
+    } catch (...) {
+      // Tasks report failures through their own channels; see header.
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitTasks() {
+  if (workers_.empty()) return;  // inline mode: Submit already ran the task
+  std::unique_lock<std::mutex> lock(mu_);
+  tasks_cv_.wait(lock, [&] { return tasks_.empty() && tasks_running_ == 0; });
 }
 
 std::int64_t ThreadPool::RunChunks(int worker_index) {
@@ -50,14 +77,39 @@ std::int64_t ThreadPool::RunChunks(int worker_index) {
 void ThreadPool::WorkerLoop(int worker_index) {
   std::uint64_t last_job = 0;
   for (;;) {
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || job_id_ != last_job; });
-      if (shutdown_) return;
-      last_job = job_id_;
-      ++active_workers_;
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || !tasks_.empty() || job_id_ != last_job;
+      });
+      if (!tasks_.empty()) {
+        // Tasks win over joining a job: the job barrier is completed by the
+        // publishing caller regardless, while a task has exactly one home.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++tasks_running_;
+      } else if (job_id_ != last_job) {
+        last_job = job_id_;
+        ++active_workers_;
+      } else {
+        // shutdown_ — and the queue is drained (destructor ran WaitTasks).
+        return;
+      }
     }
+
+    if (task) {
+      try {
+        task();
+      } catch (...) {
+        // Tasks report failures through their own channels; see header.
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      --tasks_running_;
+      if (tasks_.empty() && tasks_running_ == 0) tasks_cv_.notify_all();
+      continue;
+    }
+
     const std::int64_t completed = RunChunks(worker_index);
     {
       std::lock_guard<std::mutex> lock(mu_);

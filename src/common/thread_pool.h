@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -11,15 +12,20 @@
 
 namespace rpc {
 
-/// A small reusable worker pool for data-parallel loops. Workers are
-/// started once and reused across ParallelFor calls, so per-call overhead
-/// is one wakeup, not a thread spawn.
+/// A small reusable worker pool for data-parallel loops and asynchronous
+/// tasks. Workers are started once and reused across ParallelFor/Submit
+/// calls, so per-call overhead is one wakeup, not a thread spawn.
 ///
 /// Determinism contract: ParallelFor partitions [0, n) into fixed
 /// contiguous chunks; which worker runs which chunk is scheduling-dependent
 /// but the chunks themselves are not, so a body that writes only to
 /// locations derived from its index range produces results independent of
 /// thread count and scheduling.
+///
+/// The same workers also drain a task queue (Submit) — the serving tier's
+/// execution substrate. A worker prefers pending tasks over joining an
+/// in-flight ParallelFor job; the two modes never interleave within one
+/// worker, and ParallelFor's barrier never waits on submitted tasks.
 class ThreadPool {
  public:
   /// `num_threads` counts the calling thread too: 1 (or a negative value)
@@ -46,6 +52,23 @@ class ThreadPool {
       std::int64_t n, std::int64_t grain,
       const std::function<void(std::int64_t, std::int64_t, int)>& body);
 
+  /// Enqueues `task` for asynchronous execution on one worker thread and
+  /// returns immediately. Tasks run concurrently with each other and with
+  /// ParallelFor jobs (on different workers); FIFO dispatch order, no
+  /// fairness guarantee beyond that. A task must not call ParallelFor on
+  /// this pool (the job barrier could then starve) but may Submit further
+  /// tasks. Exceptions thrown by a task are swallowed after marking the
+  /// task finished — tasks signal failures through their own channels
+  /// (the serving tier records a Status per request).
+  ///
+  /// On a pool with no workers (parallelism() == 1) the task runs inline
+  /// before Submit returns, preserving the pool's fully-serial mode.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Called by the
+  /// destructor so queued tasks never outlive the pool.
+  void WaitTasks();
+
  private:
   void WorkerLoop(int worker_index);
   /// Claims and runs chunks of the current job until none remain; returns
@@ -55,8 +78,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a new job or shutdown
+  std::condition_variable work_cv_;  // workers: a new job, task or shutdown
   std::condition_variable done_cv_;  // caller: all chunks finished
+  std::condition_variable tasks_cv_; // WaitTasks: task queue drained
   bool shutdown_ = false;
   std::uint64_t job_id_ = 0;  // bumped when a job is published
 
@@ -71,6 +95,11 @@ class ThreadPool {
   std::atomic<std::int64_t> next_chunk_{0};
   std::atomic<bool> job_failed_{false};
   std::exception_ptr first_error_;
+
+  // Submitted tasks (FIFO) and the number currently executing; guarded by
+  // mu_. Workers prefer tasks over joining a published job.
+  std::deque<std::function<void()>> tasks_;
+  int tasks_running_ = 0;
 
   std::mutex call_mu_;  // serialises whole ParallelFor invocations
 };

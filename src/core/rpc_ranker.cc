@@ -35,6 +35,15 @@ double RpcRanker::Score(const Vector& x) const {
   return opt::ProjectOntoCurve(curve_.bezier(), normalized, projection_).s;
 }
 
+PortableRpcModel RpcRanker::ToPortableModel() const {
+  PortableRpcModel model;
+  model.alpha = curve_.alpha();
+  model.mins = normalizer_.mins();
+  model.maxs = normalizer_.maxs();
+  model.control_points = curve_.control_points();
+  return model;
+}
+
 Matrix RpcRanker::ControlPointsInOriginalSpace() const {
   // Control points are d x (k+1); report rows p0..p_k like Table 2.
   const Matrix& control = curve_.control_points();

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/model_io.h"
 #include "core/rpc_learner.h"
 #include "data/dataset.h"
 #include "data/normalizer.h"
@@ -63,6 +64,12 @@ class RpcRanker : public rank::RankingFunction {
   linalg::Matrix PortableControlPoints() const {
     return curve_.control_points();
   }
+
+  /// The portable {alpha, mins, maxs, control points} form of this fitted
+  /// model — the unit SaveModel persists and serve::RankingService loads.
+  /// Scoring through the portable model is bit-identical to Score() (the
+  /// text round-trip uses %.17g, which is exact for doubles).
+  PortableRpcModel ToPortableModel() const;
 
  private:
   RpcRanker(data::Normalizer normalizer, RpcFitResult fit)

@@ -38,8 +38,21 @@ struct ProjectionObjective {
   double operator()(double s) const { return workspace->ObjectiveAt(x, s); }
 };
 
+void ProjectionWorkspace::BindShared(
+    std::shared_ptr<const BezierCurve> curve,
+    const ProjectionOptions& options) {
+  assert(curve != nullptr);
+  // Bind first: it must not observe the new shared_curve_ (it resets state
+  // from scratch), and the old reference must survive until the rebind to
+  // the new curve is complete in case both point into the same shard.
+  std::shared_ptr<const BezierCurve> keep_alive = std::move(shared_curve_);
+  Bind(*curve, options);
+  shared_curve_ = std::move(curve);
+}
+
 void ProjectionWorkspace::Bind(const BezierCurve& curve,
                                const ProjectionOptions& options) {
+  shared_curve_.reset();
   curve_ = &curve;
   options_ = options;
   eval_.Bind(curve);

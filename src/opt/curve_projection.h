@@ -2,6 +2,7 @@
 #define RPC_OPT_CURVE_PROJECTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "curve/bezier.h"
@@ -82,6 +83,16 @@ class ProjectionWorkspace {
 
   /// Binds to a curve + options; the curve must outlive the binding.
   void Bind(const curve::BezierCurve& curve, const ProjectionOptions& options);
+
+  /// Binds to an immutable shared curve, taking shared ownership: the
+  /// workspace itself keeps the model alive for as long as it stays bound.
+  /// This is the serving-tier contract — a shard can be evicted or swapped
+  /// (copy-on-write) while a checked-out workspace is mid-query without the
+  /// query ever seeing a torn or freed model. Rebinding (either overload)
+  /// or destroying the workspace releases the reference.
+  void BindShared(std::shared_ptr<const curve::BezierCurve> curve,
+                  const ProjectionOptions& options);
+
   bool bound() const { return curve_ != nullptr; }
 
   /// Projects one point given as `dimension()` contiguous doubles.
@@ -136,6 +147,8 @@ class ProjectionWorkspace {
                       ProjectionResult* best);
 
   const curve::BezierCurve* curve_ = nullptr;
+  /// Non-null only after BindShared: co-owns the bound curve.
+  std::shared_ptr<const curve::BezierCurve> shared_curve_;
   ProjectionOptions options_;
   curve::BezierEvalWorkspace eval_;
 

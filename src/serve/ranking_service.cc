@@ -1,0 +1,290 @@
+#include "serve/ranking_service.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <utility>
+
+#include "common/stringutil.h"
+#include "curve/bezier.h"
+#include "rank/ranking_list.h"
+
+namespace rpc::serve {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Completion latch for one query, living on the ScoreBatch caller's stack:
+/// segments count down as they finish and the caller waits for zero.
+struct RankingService::BatchState {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int remaining = 0;
+
+  void Finish() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) done_cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+};
+
+/// Everything one dataset needs to answer queries, built whole before it is
+/// published (copy-on-write) and immutable afterwards except the free list
+/// and counters, which are internally synchronised.
+struct RankingService::Shard {
+  core::PortableRpcModel model;
+  /// The validated curve behind a shared_ptr: workspaces co-own it via
+  /// BindShared, so even a workspace observed mid-checkout during an evict
+  /// keeps the geometry alive.
+  std::shared_ptr<const curve::BezierCurve> curve;
+
+  /// One bound workspace + normalisation scratch per slot. ProjectionWorkspace
+  /// is neither copyable nor movable, hence the unique_ptr indirection.
+  struct Slot {
+    opt::ProjectionWorkspace workspace;
+    std::vector<double> normalized;  // d scratch: the row in curve space
+  };
+  std::vector<std::unique_ptr<Slot>> slots;
+  /// Free slot indices; checkout = Pop (blocks only while every slot is
+  /// held by a segment that is actively running on some thread, so the wait
+  /// is always finite), return = Push (never blocks: capacity == slots).
+  mutable BoundedQueue<int> free_slots;
+
+  explicit Shard(int num_slots) : free_slots(num_slots) {}
+};
+
+RankingService::RankingService(const Options& options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      queue_(std::max(options.queue_capacity, 1)) {
+  options_.queue_capacity = std::max(options.queue_capacity, 1);
+  if (options_.workspaces_per_shard <= 0) {
+    options_.workspaces_per_shard = pool_->parallelism();
+  }
+  if (options_.segment_rows < 1) options_.segment_rows = 1;
+}
+
+RankingService::~RankingService() {
+  // Refuse new admissions, then let the pool drain what was admitted (its
+  // destructor runs WaitTasks); every drain task pops the segment admitted
+  // before it, so nothing is left referencing caller memory.
+  queue_.Close();
+  pool_.reset();
+}
+
+Result<std::shared_ptr<const RankingService::Shard>>
+RankingService::BuildShard(const core::PortableRpcModel& model) const {
+  RPC_ASSIGN_OR_RETURN(core::RpcCurve curve, model.BuildCurve());
+  // Deserialize enforces these for file-loaded models; an in-memory model
+  // handed straight to RegisterDataset must meet the same contract, or the
+  // hot loop would divide by (max - min) <= 0 and serve NaN scores.
+  if (model.mins.size() != curve.dimension() ||
+      model.maxs.size() != curve.dimension()) {
+    return Status::InvalidArgument(StrFormat(
+        "RankingService: model has %d-dimensional curve but %d mins / %d "
+        "maxs",
+        curve.dimension(), model.mins.size(), model.maxs.size()));
+  }
+  for (int j = 0; j < curve.dimension(); ++j) {
+    if (!(model.maxs[j] > model.mins[j])) {
+      return Status::InvalidArgument(StrFormat(
+          "RankingService: attribute %d has max (%g) <= min (%g)", j,
+          model.maxs[j], model.mins[j]));
+    }
+  }
+  auto shard = std::make_shared<Shard>(options_.workspaces_per_shard);
+  shard->model = model;
+  shard->curve = std::make_shared<const curve::BezierCurve>(curve.bezier());
+  const int d = shard->curve->dimension();
+  shard->slots.reserve(static_cast<size_t>(options_.workspaces_per_shard));
+  for (int i = 0; i < options_.workspaces_per_shard; ++i) {
+    auto slot = std::make_unique<Shard::Slot>();
+    slot->workspace.BindShared(shard->curve, options_.projection);
+    slot->normalized.resize(static_cast<size_t>(d));
+    shard->slots.push_back(std::move(slot));
+    shard->free_slots.Push(i);
+  }
+  return std::shared_ptr<const Shard>(std::move(shard));
+}
+
+Status RankingService::RegisterDataset(const std::string& dataset_id,
+                                       const core::PortableRpcModel& model) {
+  if (dataset_id.empty()) {
+    return Status::InvalidArgument("RankingService: empty dataset id");
+  }
+  // Build the complete replacement outside the lock — registration cost
+  // (curve validation, workspace binds) never stalls queries — then swap.
+  RPC_ASSIGN_OR_RETURN(std::shared_ptr<const Shard> shard, BuildShard(model));
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  shards_[dataset_id] = std::move(shard);
+  return Status::Ok();
+}
+
+Status RankingService::RegisterDatasetFromFile(const std::string& dataset_id,
+                                              const std::string& path) {
+  RPC_ASSIGN_OR_RETURN(core::PortableRpcModel model, core::LoadModel(path));
+  return RegisterDataset(dataset_id, model);
+}
+
+Status RankingService::EvictDataset(const std::string& dataset_id) {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  if (shards_.erase(dataset_id) == 0) {
+    return Status::NotFound(
+        StrFormat("RankingService: no dataset '%s'", dataset_id.c_str()));
+  }
+  return Status::Ok();
+}
+
+bool RankingService::HasDataset(const std::string& dataset_id) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  return shards_.count(dataset_id) != 0;
+}
+
+std::vector<std::string> RankingService::DatasetIds() const {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    ids.reserve(shards_.size());
+    for (const auto& [id, shard] : shards_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::shared_ptr<const RankingService::Shard> RankingService::FindShard(
+    const std::string& dataset_id) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  const auto it = shards_.find(dataset_id);
+  return it == shards_.end() ? nullptr : it->second;
+}
+
+void RankingService::RunOneSegment() const {
+  // By construction one Submit follows each successful queue push, so this
+  // Pop always finds the matching (not necessarily the same) segment.
+  std::optional<Segment> seg = queue_.Pop();
+  if (!seg.has_value()) return;  // closed and drained during shutdown
+
+  const Shard& shard = *seg->shard;
+  const std::optional<int> slot_index = shard.free_slots.Pop();
+  if (!slot_index.has_value()) return;  // unreachable: free_slots never closes
+  Shard::Slot& slot = *shard.slots[static_cast<size_t>(*slot_index)];
+
+  const Vector& mins = shard.model.mins;
+  const Vector& maxs = shard.model.maxs;
+  const int d = static_cast<int>(slot.normalized.size());
+  // Hot loop: normalise into the slot scratch, project, store s. The same
+  // arithmetic as data::Normalizer::Transform + ProjectionWorkspace::Project,
+  // so served scores are bit-identical to RpcRanker::Score; and like the
+  // fitting engine's batch loop it allocates nothing per row.
+  for (int i = seg->begin; i < seg->end; ++i) {
+    const double* raw = seg->rows->RowPtr(i);
+    for (int j = 0; j < d; ++j) {
+      slot.normalized[static_cast<size_t>(j)] =
+          (raw[j] - mins[j]) / (maxs[j] - mins[j]);
+    }
+    seg->scores_out[i] = slot.workspace.Project(slot.normalized.data()).s;
+  }
+
+  shard.free_slots.Push(*slot_index);
+  seg->state->Finish();
+}
+
+Result<RankedBatch> RankingService::ScoreBatchImpl(
+    const std::string& dataset_id, const Matrix& raw_rows,
+    bool blocking) const {
+  const std::shared_ptr<const Shard> shard = FindShard(dataset_id);
+  if (shard == nullptr) {
+    return Status::NotFound(
+        StrFormat("RankingService: no dataset '%s'", dataset_id.c_str()));
+  }
+  const int d = shard->curve->dimension();
+  if (raw_rows.cols() != d && raw_rows.rows() > 0) {
+    return Status::InvalidArgument(
+        StrFormat("RankingService: query has %d columns, dataset '%s' has "
+                  "dimension %d",
+                  raw_rows.cols(), dataset_id.c_str(), d));
+  }
+
+  RankedBatch batch;
+  const int n = raw_rows.rows();
+  batch.scores = Vector(n);
+  if (n == 0) return batch;
+
+  const int segment_rows = options_.segment_rows;
+  const int num_segments = (n + segment_rows - 1) / segment_rows;
+
+  BatchState state;
+  state.remaining = num_segments;
+  // Admit every segment before waiting; each successful push is paired
+  // with exactly one Submit so pushes and pops stay balanced.
+  for (int s = 0; s < num_segments; ++s) {
+    Segment seg;
+    seg.shard = shard;
+    seg.rows = &raw_rows;
+    seg.scores_out = batch.scores.data().data();
+    seg.begin = s * segment_rows;
+    seg.end = std::min(n, seg.begin + segment_rows);
+    seg.state = &state;
+    bool admitted;
+    if (blocking) {
+      admitted = queue_.Push(std::move(seg));
+    } else {
+      admitted = queue_.TryPush(std::move(seg));
+    }
+    if (!admitted) {
+      // Non-blocking rejection (or shutdown): withdraw the segments not yet
+      // admitted and wait out the ones that were.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.remaining -= num_segments - s;
+      }
+      state.Wait();
+      return Status::FailedPrecondition(
+          blocking ? "RankingService: shutting down"
+                   : "RankingService: admission queue full");
+    }
+    segments_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this] { RunOneSegment(); });
+  }
+  state.Wait();
+
+  // Ranks within the batch, with RankingList's deterministic tie-break.
+  const rank::RankingList list(batch.scores, /*higher_is_better=*/true);
+  batch.ranks.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    batch.ranks[static_cast<size_t>(i)] = list.PositionOf(i);
+  }
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(n, std::memory_order_relaxed);
+  return batch;
+}
+
+Result<RankedBatch> RankingService::ScoreBatch(const std::string& dataset_id,
+                                               const Matrix& raw_rows) const {
+  return ScoreBatchImpl(dataset_id, raw_rows, /*blocking=*/true);
+}
+
+Result<RankedBatch> RankingService::TryScoreBatch(
+    const std::string& dataset_id, const Matrix& raw_rows) const {
+  return ScoreBatchImpl(dataset_id, raw_rows, /*blocking=*/false);
+}
+
+ServiceStats RankingService::stats() const {
+  ServiceStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.rows = rows_.load(std::memory_order_relaxed);
+  stats.segments = segments_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shards_mu_);
+    stats.datasets = static_cast<int>(shards_.size());
+  }
+  stats.peak_queue_depth = queue_.peak_size();
+  return stats;
+}
+
+}  // namespace rpc::serve

@@ -1,0 +1,177 @@
+#ifndef RPC_SERVE_RANKING_SERVICE_H_
+#define RPC_SERVE_RANKING_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/model_io.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "opt/curve_projection.h"
+
+namespace rpc::serve {
+
+/// The answer to one ScoreBatch query.
+struct RankedBatch {
+  /// Projection score s in [0,1] per input row (higher = ranked better);
+  /// bit-identical to RpcRanker::Score on the same raw row for the model
+  /// the shard was loaded from.
+  linalg::Vector scores;
+  /// 1-based rank per input row within this batch (best = 1); ties broken
+  /// toward the lower row index, exactly like rank::RankingList.
+  std::vector<int> ranks;
+};
+
+/// Service-wide counters; monotone except datasets/peak_queue_depth.
+struct ServiceStats {
+  std::int64_t queries = 0;        // batches fully served
+  std::int64_t rows = 0;           // rows scored across all queries
+  std::int64_t segments = 0;       // execution segments dispatched
+  std::int64_t rejected = 0;       // TryScoreBatch admissions refused
+  int datasets = 0;                // shards currently resident
+  int peak_queue_depth = 0;        // admission-queue high-water mark
+};
+
+/// Multi-dataset ranking serving tier: the read-heavy half of the paper's
+/// workload. A model is fit (and persisted) once, then queried many times —
+/// new objects are ranked by projecting them onto the already-learned
+/// principal curve. RankingService holds N independent shards, one per
+/// registered dataset id, each owning
+///
+///   * a loaded core::PortableRpcModel (the {alpha, mins, maxs, control
+///     points} white box from core/model_io),
+///   * its validated curve plus the per-curve state opt::ProjectionWorkspace
+///     precomputes at bind time (hodograph, coefficient-major power basis),
+///   * a pool of workspaces bound to that curve (BindShared, so the model
+///     outlives any swap/evict while checked out), sized to the thread pool.
+///
+/// Queries are routed by dataset id, admitted through a bounded MPMC
+/// request queue (backpressure: ScoreBatch blocks when the backlog is full,
+/// TryScoreBatch is rejected), split into row segments and executed on the
+/// shared common::ThreadPool. Each segment checks a workspace out of its
+/// shard's free list, scores its rows — normalise, project, done, with no
+/// heap allocation per row — and returns the workspace. Lifecycle is
+/// copy-on-write: RegisterDataset builds the complete replacement shard
+/// before atomically swapping the map entry, and EvictDataset only drops
+/// the map reference, so an in-flight query always finishes against the
+/// exact model snapshot it was admitted with — never a torn one.
+///
+/// Thread safety: every public method may be called concurrently from any
+/// number of threads. Destroying the service while queries are in flight is
+/// a caller error (the destructor drains the queue first, but the caller
+/// threads blocked in ScoreBatch must have returned).
+class RankingService {
+ public:
+  struct Options {
+    /// Worker-thread budget for the shared execution pool; same convention
+    /// as common::ThreadPool — 0 = hardware concurrency, 1 = fully serial
+    /// (queries then execute inline in the calling thread).
+    int num_threads = 0;
+    /// Capacity of the admission queue, counted in segments. Full queue =
+    /// backpressure.
+    int queue_capacity = 256;
+    /// Bound workspaces per shard; 0 sizes the pool to the thread pool's
+    /// parallelism (the most that can ever be checked out concurrently by
+    /// pool workers alone).
+    int workspaces_per_shard = 0;
+    /// Queries with more rows than this are split into that many-row
+    /// segments so one large batch spreads across the pool.
+    int segment_rows = 1024;
+    /// Projection solver for the serving hot path. Must match the options
+    /// the model was fit/validated with for scores to be bit-identical to
+    /// the in-process RpcRanker.
+    opt::ProjectionOptions projection;
+  };
+
+  RankingService() : RankingService(Options()) {}
+  explicit RankingService(const Options& options);
+  ~RankingService();
+
+  RankingService(const RankingService&) = delete;
+  RankingService& operator=(const RankingService&) = delete;
+
+  /// Loads `model` into a new shard under `dataset_id`, replacing any
+  /// existing shard with that id (copy-on-write swap: in-flight queries on
+  /// the old shard finish undisturbed). Fails with kInvalidArgument when
+  /// the model's geometry does not validate.
+  Status RegisterDataset(const std::string& dataset_id,
+                         const core::PortableRpcModel& model);
+
+  /// LoadModel(path) + RegisterDataset.
+  Status RegisterDatasetFromFile(const std::string& dataset_id,
+                                 const std::string& path);
+
+  /// Drops the shard; kNotFound when the id is unknown. In-flight queries
+  /// keep their snapshot alive until they finish.
+  Status EvictDataset(const std::string& dataset_id);
+
+  bool HasDataset(const std::string& dataset_id) const;
+  std::vector<std::string> DatasetIds() const;  // sorted
+
+  /// Scores every row of `raw_rows` (original data space, n x d) against
+  /// the dataset's model and ranks them within the batch. Blocks until the
+  /// result is complete; admission blocks while the queue is full.
+  /// kNotFound for an unknown dataset id, kInvalidArgument on a column
+  /// mismatch. An empty batch short-circuits to an empty result.
+  Result<RankedBatch> ScoreBatch(const std::string& dataset_id,
+                                 const linalg::Matrix& raw_rows) const;
+
+  /// Like ScoreBatch but refuses (kFailedPrecondition) instead of blocking
+  /// when the admission queue cannot take the whole query right now.
+  Result<RankedBatch> TryScoreBatch(const std::string& dataset_id,
+                                    const linalg::Matrix& raw_rows) const;
+
+  ServiceStats stats() const;
+
+  int parallelism() const { return pool_->parallelism(); }
+
+ private:
+  struct Shard;
+  struct BatchState;
+
+  /// One admitted unit of work: a contiguous row range of one query,
+  /// pinned to its shard snapshot. Value type so the admission queue owns
+  /// its items outright (std::deque requires a complete type).
+  struct Segment {
+    std::shared_ptr<const Shard> shard;
+    const linalg::Matrix* rows = nullptr;  // caller-owned query rows
+    double* scores_out = nullptr;          // into the caller's result
+    int begin = 0;
+    int end = 0;
+    BatchState* state = nullptr;  // caller-stack completion latch
+  };
+
+  std::shared_ptr<const Shard> FindShard(const std::string& dataset_id) const;
+  Result<std::shared_ptr<const Shard>> BuildShard(
+      const core::PortableRpcModel& model) const;
+  Result<RankedBatch> ScoreBatchImpl(const std::string& dataset_id,
+                                     const linalg::Matrix& raw_rows,
+                                     bool blocking) const;
+  /// Pops one admitted segment and executes it: workspace checkout,
+  /// normalise + project each row, workspace return, completion countdown.
+  void RunOneSegment() const;
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable BoundedQueue<Segment> queue_;
+
+  mutable std::mutex shards_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Shard>> shards_;
+
+  mutable std::atomic<std::int64_t> queries_{0};
+  mutable std::atomic<std::int64_t> rows_{0};
+  mutable std::atomic<std::int64_t> segments_{0};
+  mutable std::atomic<std::int64_t> rejected_{0};
+};
+
+}  // namespace rpc::serve
+
+#endif  // RPC_SERVE_RANKING_SERVICE_H_

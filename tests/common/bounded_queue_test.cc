@@ -1,0 +1,146 @@
+#include "common/bounded_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rpc {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_EQ(queue.size(), 5);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full
+  EXPECT_EQ(queue.size(), 2);
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.TryPush(3));  // space again
+}
+
+TEST(BoundedQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BoundedQueue<std::string> queue(2);
+  EXPECT_FALSE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.TryPush("x"));
+  const auto item = queue.TryPop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, "x");
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    pushed = true;
+  });
+  // The producer cannot complete while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop().value_or(-1), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop().value_or(-1), 2);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] { got = queue.Pop().value_or(-2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(got.load(), -1);  // still waiting
+  ASSERT_TRUE(queue.Push(7));
+  consumer.join();
+  EXPECT_EQ(got.load(), 7);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(3));     // rejected after close
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_EQ(queue.Pop().value_or(-1), 1);  // queued items still drain
+  EXPECT_EQ(queue.Pop().value_or(-1), 2);
+  EXPECT_FALSE(queue.Pop().has_value());   // drained: end of stream
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.Push(2)); });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  full.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, PeakSizeTracksHighWaterMark) {
+  BoundedQueue<int> queue(8);
+  EXPECT_EQ(queue.peak_size(), 0);
+  queue.TryPush(1);
+  queue.TryPush(2);
+  queue.TryPush(3);
+  queue.Pop();
+  queue.Pop();
+  queue.TryPush(4);
+  EXPECT_EQ(queue.peak_size(), 3);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEveryItemOnce) {
+  BoundedQueue<int> queue(16);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto item = queue.Pop();
+        if (!item.has_value()) return;
+        ++seen[static_cast<size_t>(*item)];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rpc

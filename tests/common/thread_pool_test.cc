@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -113,6 +114,93 @@ TEST(ThreadPoolTest, ExceptionOnSerialPoolPropagates) {
                                   throw std::invalid_argument("serial");
                                 }),
                std::invalid_argument);
+}
+
+TEST(ThreadPoolSubmitTest, SerialPoolRunsTaskInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&] { ran_on = std::this_thread::get_id(); });
+  // No workers: Submit must have executed the task before returning.
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolSubmitTest, WaitTasksSeesEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] { ++ran; });
+  }
+  pool.WaitTasks();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolSubmitTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&] { ++ran; });
+  }  // ~ThreadPool must run (not drop) everything still queued
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolSubmitTest, TasksMaySubmitFurtherTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::atomic<int> chained{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] {
+      ++ran;
+      pool.Submit([&] { ++chained; });
+    });
+  }
+  // WaitTasks covers the chained tasks too: the predicate holds only once
+  // the queue is empty AND nothing is still executing (and able to enqueue).
+  pool.WaitTasks();
+  EXPECT_EQ(ran.load(), 20);
+  EXPECT_EQ(chained.load(), 20);
+}
+
+TEST(ThreadPoolSubmitTest, ThrowingTaskDoesNotKillTheWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&] { throw std::runtime_error("task boom"); });
+  pool.WaitTasks();
+  for (int i = 0; i < 10; ++i) pool.Submit([&] { ++ran; });
+  pool.WaitTasks();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolSubmitTest, CoexistsWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> task_ran{0};
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) pool.Submit([&] { ++task_ran; });
+    pool.ParallelFor(100, 9, [&](std::int64_t begin, std::int64_t end, int) {
+      std::int64_t local = 0;
+      for (std::int64_t i = begin; i < end; ++i) local += i;
+      sum += local;
+    });
+  }
+  pool.WaitTasks();
+  EXPECT_EQ(task_ran.load(), 80);
+  EXPECT_EQ(sum.load(), 10 * (100 * 99 / 2));
+}
+
+TEST(ThreadPoolSubmitTest, ManySubmittersFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) pool.Submit([&] { ++ran; });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.WaitTasks();
+  EXPECT_EQ(ran.load(), 400);
 }
 
 }  // namespace

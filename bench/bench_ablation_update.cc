@@ -1,26 +1,51 @@
-// E11 — ablation of the control-point update rule. Section 5 argues the
-// direct pseudo-inverse solve (Eq. 26) is ill-conditioned mid-iteration and
-// adopts a preconditioned Richardson step (Eq. 27). We compare: Richardson
-// with preconditioner (the paper), Richardson without, and the direct
-// pseudo-inverse, on residual, iteration count, J-trajectory stability and
-// the Gram matrix condition number they face.
+// E11 — ablation of the control-point update rule, plus the update-stage
+// throughput bench behind the CI regression gate.
+//
+// Ablation: Section 5 argues the direct pseudo-inverse solve (Eq. 26) is
+// ill-conditioned mid-iteration and adopts a preconditioned Richardson step
+// (Eq. 27). We compare: Richardson with preconditioner (the paper),
+// Richardson without, and the direct pseudo-inverse, on residual, iteration
+// count, J-trajectory stability and the Gram matrix condition number they
+// face.
+//
+// Throughput: one Step 5 update (normal equations + solve) through the
+// historical dense design-matrix formulation — reproduced here the way
+// bench_projection_throughput keeps its seed replica, since the library
+// path was replaced — vs the streaming core::FitWorkspace pipeline, for
+// both update rules. Rows/sec (rows folded through the update per second)
+// land as JSON lines in BENCH_ablation_update.json; --quick runs write
+// BENCH_ablation_update.quick.json for the ci/check_bench_regression.py
+// gate.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
 #include "common/stringutil.h"
+#include "core/fit_workspace.h"
 #include "core/rpc_learner.h"
+#include "curve/bernstein.h"
 #include "curve/cubic_bezier.h"
 #include "data/generators.h"
 #include "data/normalizer.h"
 #include "linalg/eigen.h"
+#include "linalg/pinv.h"
+#include "opt/richardson.h"
 
 namespace {
 
+using rpc::Rng;
+using rpc::core::ControlUpdateOptions;
+using rpc::core::FitWorkspace;
 using rpc::core::RpcLearner;
 using rpc::core::RpcLearnOptions;
 using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
 using rpc::order::Orientation;
 
 struct UpdateResult {
@@ -66,9 +91,148 @@ UpdateResult Run(const std::string& name, RpcLearnOptions options) {
   return result;
 }
 
+// ---- Update-stage throughput ---------------------------------------------
+
+// The pre-workspace Step 5: materialise the (k+1) x n design, form the
+// Gram/cross products through the allocating matrix helpers, then solve.
+// This is the baseline the streaming pipeline is gated against.
+// Both update paths return the updated control matrix's Frobenius norm as
+// a liveness checksum, or a negative sentinel on solver failure so a
+// broken pass can never masquerade as a (near-instant, throughput-
+// inflating) fast one.
+double DenseUpdate(const Matrix& data, const Vector& scores,
+                   const Matrix& start, bool use_pinv) {
+  const Matrix design = rpc::curve::BernsteinDesign(3, scores);
+  const Matrix gram = rpc::linalg::TimesTranspose(design, design);
+  const Matrix cross =
+      rpc::linalg::TransposeTimes(data, design.Transposed());
+  Matrix control = start;
+  if (use_pinv) {
+    const auto gram_pinv = rpc::linalg::PseudoInverseSymmetric(gram);
+    if (!gram_pinv.ok()) return -1.0;
+    control = cross * gram_pinv.value();
+  } else {
+    for (int step = 0; step < 4; ++step) {
+      auto next = rpc::opt::RichardsonStep(control, gram, cross, {});
+      if (!next.ok()) return -1.0;
+      control = std::move(next).value();
+    }
+  }
+  return control.FrobeniusNorm();
+}
+
+double WorkspaceUpdate(const Matrix& data, const Vector& scores,
+                       const Matrix& start, bool use_pinv,
+                       FitWorkspace* workspace) {
+  ControlUpdateOptions options;
+  options.use_pseudo_inverse_update = use_pinv;
+  Matrix control = start;
+  workspace->AccumulateNormalEquations(data, scores, nullptr);
+  if (!workspace->UpdateControlPoints(options, &control).ok()) return -1.0;
+  return control.FrobeniusNorm();
+}
+
+// Runs `pass` (one full update over n rows) until `min_seconds` of wall
+// time has elapsed; returns rows folded through the update per second, or
+// 0 (and sets *failed) the moment any pass reports failure — a zero rate
+// also trips the CI regression gate.
+double MeasureUpdateRowsPerSec(int n, double min_seconds,
+                               const std::function<double()>& pass,
+                               bool* failed) {
+  if (pass() < 0.0) {  // warm-up
+    *failed = true;
+    return 0.0;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  int passes = 0;
+  double elapsed = 0.0;
+  do {
+    if (pass() < 0.0) {
+      *failed = true;
+      return 0.0;
+    }
+    ++passes;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(n) * passes / elapsed;
+}
+
+void EmitUpdateJson(std::FILE* sink, const std::string& variant, int n,
+                    int d, double rows_per_sec, double speedup_vs_dense) {
+  const std::string line =
+      std::string("{\"bench\":\"ablation_update\",\"variant\":\"") + variant +
+      "\",\"n\":" + std::to_string(n) + ",\"d\":" + std::to_string(d) +
+      ",\"threads\":1,\"rows_per_sec\":" + std::to_string(rows_per_sec) +
+      ",\"speedup_vs_dense\":" + std::to_string(speedup_vs_dense) + "}";
+  std::printf("%s\n", line.c_str());
+  if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
+}
+
+int RunUpdateThroughput(bool quick) {
+  const std::vector<int> ns =
+      quick ? std::vector<int>{10000} : std::vector<int>{10000, 100000};
+  const int d = 4;
+  const double min_seconds = quick ? 0.05 : 0.5;
+  const char* sink_path = quick ? "BENCH_ablation_update.quick.json"
+                                : "BENCH_ablation_update.json";
+  std::FILE* sink = std::fopen(sink_path, "w");
+  std::printf("\nUpdate-stage throughput (d=%d, degree 3, 1 thread); JSON "
+              "also in %s\n", d, sink_path);
+
+  int failures = 0;
+  for (int n : ns) {
+    Rng rng(4000 + n);
+    Matrix data(n, d);
+    Vector scores(n);
+    for (int i = 0; i < n; ++i) {
+      scores[i] = rng.Uniform(0.0, 1.0);
+      for (int j = 0; j < d; ++j) data(i, j) = rng.Uniform(0.0, 1.0);
+    }
+    Matrix start(d, 4);
+    for (int i = 0; i < d; ++i) {
+      for (int r = 0; r < 4; ++r) start(i, r) = r / 3.0;
+    }
+    FitWorkspace workspace;
+    workspace.Bind(n, d, 3);
+
+    for (const bool use_pinv : {false, true}) {
+      const char* rule = use_pinv ? "pinv" : "richardson";
+      bool failed = false;
+      const double dense_rps = MeasureUpdateRowsPerSec(
+          n, min_seconds,
+          [&] { return DenseUpdate(data, scores, start, use_pinv); },
+          &failed);
+      EmitUpdateJson(sink, std::string("dense_") + rule, n, d, dense_rps,
+                     1.0);
+      const double ws_rps = MeasureUpdateRowsPerSec(
+          n, min_seconds,
+          [&] {
+            return WorkspaceUpdate(data, scores, start, use_pinv,
+                                   &workspace);
+          },
+          &failed);
+      EmitUpdateJson(sink, std::string("workspace_") + rule, n, d, ws_rps,
+                     dense_rps > 0.0 ? ws_rps / dense_rps : 0.0);
+      if (failed) {
+        std::fprintf(stderr, "update pass failed (n=%d, rule=%s)\n", n,
+                     rule);
+        ++failures;
+      }
+    }
+  }
+  if (sink != nullptr) std::fclose(sink);
+  return failures;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
   rpc::bench::PrintHeader(
       "E11: control-point update ablation",
       "Section 5's preconditioned Richardson (Eq. 27) vs the raw iteration "
@@ -139,5 +303,6 @@ int main() {
 
   const int mismatches = rpc::bench::PrintComparisons(comparisons);
   std::printf("\nE11 mismatches vs paper: %d\n", mismatches);
-  return 0;
+
+  return RunUpdateThroughput(quick) == 0 ? 0 : 1;
 }

@@ -297,6 +297,11 @@ int RunFitBench(bool quick) {
           ",\"d\":" + std::to_string(d) + ",\"threads\":1" +
           ",\"restarts\":" + std::to_string(options.restarts) +
           ",\"seconds\":" + std::to_string(seconds) +
+          // Stage split (summed over restarts): Step 4 vs the Step 5
+          // normal-equation streaming + control-point update.
+          ",\"projection_seconds\":" +
+          std::to_string(fit->projection_seconds) +
+          ",\"update_seconds\":" + std::to_string(fit->update_seconds) +
           ",\"iterations\":" + std::to_string(fit->iterations) +
           ",\"final_j\":" + std::to_string(fit->final_j);
       // Comparison fields only when the full baseline actually ran — a warm

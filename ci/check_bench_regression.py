@@ -33,7 +33,10 @@ METRIC_FIELDS = {
     "queries_per_sec",
     "speedup_vs_seed",
     "speedup_vs_full",
+    "speedup_vs_dense",
     "seconds",
+    "projection_seconds",
+    "update_seconds",
     "iterations",
     "final_j",
     "j_rel_diff_vs_full",

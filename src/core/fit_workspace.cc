@@ -1,0 +1,97 @@
+#include "core/fit_workspace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace rpc::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+void FitWorkspace::Bind(int n, int d, int degree) {
+  assert(n > 0 && d > 0 && degree >= 1);
+  const int num_segments =
+      static_cast<int>((static_cast<std::int64_t>(n) + kFitSegmentRows - 1) /
+                       kFitSegmentRows);
+  if (n == n_ && d == d_ && degree == degree_) return;
+  n_ = n;
+  d_ = d;
+  degree_ = degree;
+  num_segments_ = num_segments;
+  total_.Bind(degree, d);
+  segments_.resize(static_cast<size_t>(num_segments));
+  for (curve::BernsteinDesignAccumulator& segment : segments_) {
+    segment.Bind(degree, d);
+  }
+  richardson_.Bind(d, degree);
+  pinv_.Bind(degree + 1);
+  gram_pinv_.Assign(degree + 1, degree + 1);
+}
+
+void FitWorkspace::AccumulateNormalEquations(const Matrix& data,
+                                             const Vector& scores,
+                                             ThreadPool* pool) {
+  assert(bound() && data.rows() == n_ && data.cols() == d_ &&
+         scores.size() == n_);
+  const auto accumulate_segment = [&](int segment) {
+    curve::BernsteinDesignAccumulator& acc =
+        segments_[static_cast<size_t>(segment)];
+    acc.Reset();
+    const int begin = segment * kFitSegmentRows;
+    const int end = std::min(n_, begin + kFitSegmentRows);
+    for (int i = begin; i < end; ++i) {
+      acc.AccumulateRow(scores[i], data.RowPtr(i));
+    }
+  };
+  if (pool != nullptr && pool->parallelism() > 1 && num_segments_ > 1) {
+    pool->ParallelFor(num_segments_, /*grain=*/1,
+                      [&](std::int64_t begin, std::int64_t end, int) {
+                        for (std::int64_t seg = begin; seg < end; ++seg) {
+                          accumulate_segment(static_cast<int>(seg));
+                        }
+                      });
+  } else {
+    for (int seg = 0; seg < num_segments_; ++seg) accumulate_segment(seg);
+  }
+  // Ordered reduction: which worker filled a segment never changes what is
+  // summed or in which order, so the totals are thread-count invariant.
+  total_.Reset();
+  for (const curve::BernsteinDesignAccumulator& segment : segments_) {
+    total_.Merge(segment);
+  }
+}
+
+Status FitWorkspace::UpdateControlPoints(const ControlUpdateOptions& options,
+                                         Matrix* control) {
+  assert(bound() && control->rows() == d_ &&
+         control->cols() == degree_ + 1);
+  const Matrix& gram = total_.gram();
+  const Matrix& cross = total_.cross();
+  if (options.use_pseudo_inverse_update) {
+    // Eq. (26): P = X (MZ)^+ = cross * gram^+ — exact but ill-conditioned
+    // mid-iteration (the motivation for Richardson).
+    const Status pinv = pinv_.Compute(gram, &gram_pinv_);
+    if (!pinv.ok()) return pinv;
+    // control = cross * gram_pinv_, with operator*'s accumulation order.
+    const int k1 = degree_ + 1;
+    control->Assign(d_, k1);
+    for (int i = 0; i < d_; ++i) {
+      for (int k = 0; k < k1; ++k) {
+        const double cik = cross(i, k);
+        if (cik == 0.0) continue;
+        double* out_row = control->RowPtr(i);
+        for (int j = 0; j < k1; ++j) out_row[j] += cik * gram_pinv_(k, j);
+      }
+    }
+    return Status::Ok();
+  }
+  for (int step = 0; step < options.richardson_steps; ++step) {
+    const Status status =
+        richardson_.Step(gram, cross, options.richardson, control);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace rpc::core

@@ -2,18 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stringutil.h"
-#include "curve/bernstein.h"
-#include "linalg/pinv.h"
+#include "core/fit_workspace.h"
 #include "linalg/stats.h"
 #include "opt/batch_projection.h"
 #include "opt/incremental_projector.h"
-#include "opt/richardson.h"
 
 namespace rpc::core {
 
@@ -22,20 +21,13 @@ using linalg::Vector;
 
 namespace {
 
-// Bernstein design matrix G ((k+1) x n) with G(r, i) = B_r^k(s_i). For
-// k = 3 this equals M Z of Eq. (23), generalised so the degree ablation can
-// reuse the same alternating scheme. Runs AllBernstein into a stack buffer:
-// at n = 100k a per-row heap Vector was a measurable slice of every outer
-// iteration.
-Matrix BernsteinDesign(int degree, const Vector& scores) {
-  assert(degree + 1 <= 16);  // RpcLearner caps degree at 10
-  Matrix g(degree + 1, scores.size());
-  double basis[16];
-  for (int i = 0; i < scores.size(); ++i) {
-    curve::AllBernstein(degree, scores[i], basis);
-    for (int r = 0; r <= degree; ++r) g(r, i) = basis[r];
-  }
-  return g;
+// Wall-clock seconds since `start`; the per-stage timing the fit bench
+// reports (two clock reads per outer iteration, noise next to one
+// projection pass).
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 // Per-attribute quantile of the column values.
@@ -68,34 +60,52 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
   }
   ThreadPool pool(options_.num_threads);
   if (options_.restarts == 1) {
-    return FitOnce(normalized_data, alpha, options_.seed, &pool);
+    FitWorkspace workspace;
+    return FitOnce(normalized_data, alpha, options_.seed, &pool, &workspace);
   }
   // Multi-restart: independent seeds, keep the lowest J (Theorem 3's
   // minimiser is approached from several basins). With a thread budget the
   // restarts run concurrently — each already has its own RNG stream — and
   // each runs its projections serially so pool parallelism never nests;
   // without one the pool accelerates the projections inside each restart.
+  // The Step 5 workspace persists across the restarts a worker runs (one
+  // shared workspace when they run serially), so only the first restart
+  // pays the allocation.
   std::vector<Result<RpcFitResult>> fits;
   fits.reserve(static_cast<size_t>(options_.restarts));
   for (int r = 0; r < options_.restarts; ++r) {
     fits.emplace_back(Status::Internal("restart did not run"));
   }
   if (pool.parallelism() > 1) {
+    std::vector<FitWorkspace> workspaces(
+        static_cast<size_t>(pool.parallelism()));
     pool.ParallelFor(
         options_.restarts, /*grain=*/1,
-        [&](std::int64_t begin, std::int64_t end, int /*worker*/) {
+        [&](std::int64_t begin, std::int64_t end, int worker) {
           for (std::int64_t r = begin; r < end; ++r) {
             fits[static_cast<size_t>(r)] =
                 FitOnce(normalized_data, alpha,
                         options_.seed + 7919ULL * static_cast<uint64_t>(r),
-                        /*pool=*/nullptr);
+                        /*pool=*/nullptr,
+                        &workspaces[static_cast<size_t>(worker)]);
           }
         });
   } else {
+    FitWorkspace workspace;
     for (int r = 0; r < options_.restarts; ++r) {
-      fits[static_cast<size_t>(r)] = FitOnce(
-          normalized_data, alpha, options_.seed + 7919ULL * r, &pool);
+      fits[static_cast<size_t>(r)] =
+          FitOnce(normalized_data, alpha, options_.seed + 7919ULL * r, &pool,
+                  &workspace);
     }
+  }
+  // Whole-call stage timing: summed over every restart that ran, collected
+  // before the selection loop moves the winners out.
+  double projection_seconds = 0.0;
+  double update_seconds = 0.0;
+  for (const Result<RpcFitResult>& fit : fits) {
+    if (!fit.ok()) continue;
+    projection_seconds += fit->projection_seconds;
+    update_seconds += fit->update_seconds;
   }
   // Selection scans in restart order, so the winner (and any propagated
   // error) is independent of how the restarts were scheduled.
@@ -108,13 +118,17 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
     }
     if (!best.ok() || fit->final_j < best->final_j) best = std::move(fit);
   }
+  if (best.ok()) {
+    best->projection_seconds = projection_seconds;
+    best->update_seconds = update_seconds;
+  }
   return best;
 }
 
 Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
                                          const order::Orientation& alpha,
-                                         uint64_t seed,
-                                         ThreadPool* pool) const {
+                                         uint64_t seed, ThreadPool* pool,
+                                         FitWorkspace* workspace) const {
   const int n = normalized_data.rows();
   const int d = normalized_data.cols();
   const int k = options_.degree;
@@ -146,6 +160,10 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
       }
     }
   }
+
+  // Persistent Step 5 scratch: a no-op when the workspace already has this
+  // shape (every outer iteration and every restart after the first).
+  workspace->Bind(n, d, k);
 
   // --- Step 2: initialise control points. -------------------------------
   Rng rng(seed);
@@ -213,9 +231,14 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   Matrix previous_control = control;
   Vector previous_scores;
 
-  opt::RichardsonOptions richardson_options;
-  richardson_options.use_preconditioner = options_.use_preconditioner;
-  richardson_options.gamma = options_.gamma;
+  ControlUpdateOptions update_options;
+  update_options.use_pseudo_inverse_update = options_.use_pseudo_inverse_update;
+  update_options.richardson_steps = options_.richardson_steps_per_iteration;
+  update_options.richardson.use_preconditioner = options_.use_preconditioner;
+  update_options.richardson.gamma = options_.gamma;
+
+  double projection_seconds = 0.0;
+  double update_seconds = 0.0;
 
   // Step 4 engine: the warm-start mode keeps per-row state (last s*, last
   // squared distance) across outer iterations and only falls back to the
@@ -235,12 +258,16 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   for (; iter < options_.max_iterations; ++iter) {
     // Step 4: projection indices s^(t) (GSS or the quintic alternative),
     // fanned out across the pool by the batch engine — or warm-started from
-    // the previous iteration's s* by the incremental projector.
-    scores = warm_start
-                 ? incremental.Project(bezier, &j_current)
-                 : opt::ProjectRowsBatch(bezier, normalized_data,
-                                         options_.projection, pool,
-                                         &j_current);
+    // the previous iteration's s* by the incremental projector (which
+    // writes into the same score buffer every iteration).
+    const auto projection_start = std::chrono::steady_clock::now();
+    if (warm_start) {
+      incremental.ProjectInto(bezier, &scores, &j_current);
+    } else {
+      scores = opt::ProjectRowsBatch(bezier, normalized_data,
+                                     options_.projection, pool, &j_current);
+    }
+    projection_seconds += SecondsSince(projection_start);
     if (options_.record_history) result.j_history.push_back(j_current);
 
     if (iter > 0) {
@@ -252,7 +279,7 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
         control = previous_control;
         scores = previous_scores;
         j_current = j_previous;
-        bezier = curve::BezierCurve(control);
+        bezier.SetControlPoints(control);
         if (options_.record_history && !result.j_history.empty()) {
           result.j_history.pop_back();
         }
@@ -268,25 +295,16 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
     previous_control = control;
     previous_scores = scores;
 
-    // Step 5: control-point update with a preconditioner.
-    const Matrix design = BernsteinDesign(k, scores);       // (k+1) x n
-    const Matrix gram = linalg::TimesTranspose(design, design);
-    const Matrix cross =
-        linalg::TransposeTimes(normalized_data, design.Transposed());
-    if (options_.use_pseudo_inverse_update) {
-      // Eq. (26): P = X (MZ)^+ = cross * gram^+ — exact but
-      // ill-conditioned mid-iteration (the motivation for Richardson).
-      RPC_ASSIGN_OR_RETURN(Matrix gram_pinv,
-                           linalg::PseudoInverseSymmetric(gram));
-      control = cross * gram_pinv;
-    } else {
-      for (int step = 0; step < options_.richardson_steps_per_iteration;
-           ++step) {
-        RPC_ASSIGN_OR_RETURN(
-            control,
-            opt::RichardsonStep(control, gram, cross, richardson_options));
-      }
-    }
+    // Step 5: control-point update, allocation-free in steady state — the
+    // workspace streams the Eq. (26) normal equations over fixed row
+    // segments (never materialising the (k+1) x n design matrix) and runs
+    // the Eq. (26)/(27) solve in its persistent scratch, in place on
+    // `control`.
+    const auto update_start = std::chrono::steady_clock::now();
+    workspace->AccumulateNormalEquations(normalized_data, scores, pool);
+    const Status update_status =
+        workspace->UpdateControlPoints(update_options, &control);
+    if (!update_status.ok()) return update_status;
 
     // Re-impose the Proposition 1 constraints.
     for (int j = 0; j < d; ++j) {
@@ -301,7 +319,8 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
         control(j, k) = std::clamp(control(j, k), 0.0, 1.0);
       }
     }
-    bezier = curve::BezierCurve(control);
+    bezier.SetControlPoints(control);
+    update_seconds += SecondsSince(update_start);
   }
 
   // Are the scores in hand the full global search's projections of the
@@ -323,15 +342,17 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   // test) is exact only up to that slack.
   if (iter == options_.max_iterations && scores.size() != 0) {
     double j_final = 0.0;
+    const auto final_start = std::chrono::steady_clock::now();
     Vector final_scores = opt::ProjectRowsBatch(
         bezier, normalized_data, options_.projection, pool, &j_final);
+    projection_seconds += SecondsSince(final_start);
     if (j_final <= j_current) {
       scores = std::move(final_scores);
       j_current = j_final;
       scores_are_full = true;
     } else {
       control = previous_control;
-      bezier = curve::BezierCurve(control);
+      bezier.SetControlPoints(control);
       // scores/j_current already describe this restored curve;
       // scores_are_full keeps whatever quality the last loop pass had.
     }
@@ -344,8 +365,10 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   // are that (no redundant O(n) pass). Also covers max_iterations == 0,
   // where the loop never projected at all.
   if (!scores_are_full || scores.size() == 0) {
+    const auto final_start = std::chrono::steady_clock::now();
     scores = opt::ProjectRowsBatch(bezier, normalized_data,
                                    options_.projection, pool, &j_current);
+    projection_seconds += SecondsSince(final_start);
   }
 
   Result<RpcCurve> curve_result =
@@ -362,6 +385,8 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
       1.0 - j_current /
                 std::max(linalg::TotalScatter(normalized_data), 1e-300);
   result.iterations = iter;
+  result.projection_seconds = projection_seconds;
+  result.update_seconds = update_seconds;
   return result;
 }
 

@@ -14,6 +14,8 @@
 
 namespace rpc::core {
 
+class FitWorkspace;
+
 /// How Step 4 (re-projection of all n rows) is executed across outer
 /// iterations.
 enum class ReprojectionMode {
@@ -130,6 +132,12 @@ struct RpcFitResult {
   /// J(P_t, s_t) per iteration when record_history is set; non-increasing
   /// by Proposition 2.
   std::vector<double> j_history;
+  /// Wall-clock seconds this Fit spent in Step 4 (projection, including the
+  /// final verification passes) and in Step 5 (normal-equation streaming +
+  /// control-point update), summed over every restart that ran — the stage
+  /// split `bench_projection_throughput --fit` reports.
+  double projection_seconds = 0.0;
+  double update_seconds = 0.0;
 };
 
 /// Learns a ranking principal curve from observations already normalised
@@ -148,11 +156,14 @@ class RpcLearner {
 
  private:
   /// One restart. `pool` (nullable) parallelises the per-iteration batch
-  /// projections; when restarts run concurrently each gets a null pool
-  /// instead, so the two levels of parallelism never nest.
+  /// projections and the update-stage segment accumulation; when restarts
+  /// run concurrently each gets a null pool instead, so the two levels of
+  /// parallelism never nest. `workspace` holds the Step 5 scratch and
+  /// persists across outer iterations and restarts (serial restarts share
+  /// one; concurrent restarts use one per worker).
   Result<RpcFitResult> FitOnce(const linalg::Matrix& normalized_data,
                                const order::Orientation& alpha, uint64_t seed,
-                               ThreadPool* pool) const;
+                               ThreadPool* pool, FitWorkspace* workspace) const;
 
   RpcLearnOptions options_;
 };

@@ -43,4 +43,52 @@ void AllBernstein(int k, double s, double* out) {
   }
 }
 
+linalg::Matrix BernsteinDesign(int degree, const linalg::Vector& scores) {
+  assert(degree >= 0 && degree <= kMaxBernsteinDegree);
+  linalg::Matrix g(degree + 1, scores.size());
+  double basis[kMaxBernsteinDegree + 1];
+  for (int i = 0; i < scores.size(); ++i) {
+    AllBernstein(degree, scores[i], basis);
+    for (int r = 0; r <= degree; ++r) g(r, i) = basis[r];
+  }
+  return g;
+}
+
+void BernsteinDesignAccumulator::Bind(int degree, int dim) {
+  assert(degree >= 0 && degree <= kMaxBernsteinDegree && dim >= 0);
+  degree_ = degree;
+  dim_ = dim;
+  gram_.Assign(degree + 1, degree + 1);
+  cross_.Assign(dim, degree + 1);
+}
+
+void BernsteinDesignAccumulator::Reset() {
+  assert(bound());
+  gram_.Assign(degree_ + 1, degree_ + 1);
+  cross_.Assign(dim_, degree_ + 1);
+}
+
+void BernsteinDesignAccumulator::AccumulateRow(double s, const double* x) {
+  assert(bound());
+  double basis[kMaxBernsteinDegree + 1];
+  AllBernstein(degree_, s, basis);
+  const int cols = degree_ + 1;
+  for (int r = 0; r < cols; ++r) {
+    const double br = basis[r];
+    double* gram_row = gram_.RowPtr(r);
+    for (int c = 0; c < cols; ++c) gram_row[c] += br * basis[c];
+  }
+  for (int j = 0; j < dim_; ++j) {
+    const double xj = x[j];
+    double* cross_row = cross_.RowPtr(j);
+    for (int r = 0; r < cols; ++r) cross_row[r] += xj * basis[r];
+  }
+}
+
+void BernsteinDesignAccumulator::Merge(const BernsteinDesignAccumulator& other) {
+  assert(bound() && other.degree_ == degree_ && other.dim_ == dim_);
+  gram_ += other.gram_;
+  cross_ += other.cross_;
+}
+
 }  // namespace rpc::curve

@@ -3,9 +3,15 @@
 
 #include <cstdint>
 
+#include "linalg/matrix.h"
 #include "linalg/vector.h"
 
 namespace rpc::curve {
+
+/// Degrees above this would overflow the fixed basis buffers used by
+/// BernsteinDesign and BernsteinDesignAccumulator; RpcLearner caps the
+/// curve degree at 10, comfortably below.
+inline constexpr int kMaxBernsteinDegree = 15;
 
 /// Binomial coefficient C(k, r) (Eq. 14). Exact for the small degrees used
 /// here; asserts 0 <= r <= k <= 62.
@@ -19,9 +25,62 @@ double BernsteinBasis(int k, int r, double s);
 linalg::Vector AllBernstein(int k, double s);
 
 /// Allocation-free variant: writes the k+1 values into out[0..k]. The hot
-/// per-row loop of the learner's design-matrix build uses this with a stack
-/// buffer.
+/// per-row loops of BernsteinDesign and BernsteinDesignAccumulator use this
+/// with a stack buffer.
 void AllBernstein(int k, double s, double* out);
+
+/// Bernstein design matrix G ((k+1) x n) with G(r, i) = B_r^k(s_i). For
+/// k = 3 this equals M Z of Eq. (23), generalised so the degree ablation can
+/// reuse the same alternating scheme. The learner's streaming update no
+/// longer materialises this matrix (see BernsteinDesignAccumulator); it
+/// remains the reference the accumulator is validated against and the
+/// explicit form offline analyses want.
+linalg::Matrix BernsteinDesign(int degree, const linalg::Vector& scores);
+
+/// Streaming accumulator for the Step 5 normal equations: folds one row
+/// (s_i, x_i) at a time directly into the (k+1) x (k+1) Gram matrix
+/// G = sum_i b(s_i) b(s_i)^T and the d x (k+1) cross matrix
+/// C = sum_i x_i b(s_i)^T, where b(s) is the Bernstein basis column. The
+/// (k+1) x n design matrix of Eq. (23) is never materialised, shrinking the
+/// update stage's working set from O(n k) to O(k^2 + d k).
+///
+/// Accumulation order per entry matches the dense
+/// TimesTranspose(BernsteinDesign, ...) path row for row, so a single
+/// accumulator swept over rows 0..n-1 reproduces that path bit for bit.
+/// For parallel use, accumulate disjoint fixed row segments into separate
+/// accumulators and Merge() them in segment order — the deterministic
+/// ordered reduction core::FitWorkspace builds on.
+///
+/// After Bind(), Reset/AccumulateRow/Merge perform no heap allocation.
+class BernsteinDesignAccumulator {
+ public:
+  BernsteinDesignAccumulator() = default;
+
+  /// Sizes the Gram/cross buffers for `degree` and `dim` attributes and
+  /// zeroes them; reallocates only when the shape grows.
+  void Bind(int degree, int dim);
+  bool bound() const { return degree_ >= 0; }
+
+  /// Zeroes the accumulated sums; shape is kept.
+  void Reset();
+
+  /// Folds one row: s in [0, 1], x pointing at `dim` contiguous doubles.
+  void AccumulateRow(double s, const double* x);
+
+  /// Entrywise adds another accumulator's sums (same Bind shape).
+  void Merge(const BernsteinDesignAccumulator& other);
+
+  int degree() const { return degree_; }
+  int dim() const { return dim_; }
+  const linalg::Matrix& gram() const { return gram_; }
+  const linalg::Matrix& cross() const { return cross_; }
+
+ private:
+  int degree_ = -1;
+  int dim_ = 0;
+  linalg::Matrix gram_;   // (k+1) x (k+1)
+  linalg::Matrix cross_;  // d x (k+1)
+};
 
 }  // namespace rpc::curve
 

@@ -23,6 +23,14 @@ class BezierCurve {
   const linalg::Matrix& control_points() const { return points_; }
   linalg::Vector ControlPoint(int r) const { return points_.Column(r); }
 
+  /// Replaces the control points in place, reusing the existing buffer when
+  /// the new d x (k+1) shape fits its capacity — the learner's outer loop
+  /// mutates its working curve this way every iteration instead of
+  /// constructing a fresh BezierCurve. Any BezierEvalWorkspace or
+  /// ProjectionWorkspace bound to this curve holds stale per-curve state
+  /// afterwards and must re-Bind before its next evaluation.
+  void SetControlPoints(const linalg::Matrix& control_points);
+
   /// Curve value f(s): de Casteljau's algorithm (numerically stable for
   /// any s, including slightly outside [0,1]) for general degree; for the
   /// paper's fixed k = 3 a precomputed power-basis Horner form is used
@@ -38,10 +46,20 @@ class BezierCurve {
   /// The derivative as a lower-degree Bezier curve (hodograph).
   BezierCurve DerivativeCurve() const;
 
+  /// Caller-buffer variant: writes the hodograph into *out, reusing its
+  /// buffers (allocation-free once shapes have settled). Same values as
+  /// DerivativeCurve, which wraps this. ProjectionWorkspace rebinds its
+  /// hodograph state through here every outer iteration.
+  void DerivativeCurveInto(BezierCurve* out) const;
+
   /// Power-basis coefficients: column j of the returned d x (k+1) matrix is
   /// the vector a_j with f(s) = sum_j a_j s^j. Used by the exact quintic
   /// projection (Eq. 20).
   linalg::Matrix PowerBasisCoefficients() const;
+
+  /// Caller-buffer variant of PowerBasisCoefficients (which wraps this);
+  /// *out is reshaped in place.
+  void PowerBasisCoefficientsInto(linalg::Matrix* out) const;
 
   /// n+1 evenly spaced samples f(0), f(1/n), ..., f(1), as rows.
   linalg::Matrix Sample(int n) const;

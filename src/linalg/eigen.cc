@@ -8,57 +8,63 @@
 
 namespace rpc::linalg {
 
-Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a, int max_sweeps,
-                                            double tol) {
+void SymmetricEigenWorkspace::Bind(int n) {
+  assert(n >= 0);
+  n_ = n;
+  d_.Assign(n, n);
+  v_.Assign(n, n);
+  vectors_.Assign(n, n);
+  values_.data().assign(static_cast<size_t>(n), 0.0);
+  order_.assign(static_cast<size_t>(n), 0);
+}
+
+Status SymmetricEigenWorkspace::Compute(const Matrix& a, int max_sweeps,
+                                        double tol) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("JacobiEigenSymmetric: matrix not square");
   }
-  const int n = a.rows();
-  Matrix d = a;
+  assert(bound() && a.rows() == n_);
+  const int n = n_;
+  d_ = a;
   // Symmetrise defensively; callers sometimes pass numerically asymmetric
   // Gram matrices.
   for (int r = 0; r < n; ++r) {
     for (int c = r + 1; c < n; ++c) {
-      const double avg = 0.5 * (d(r, c) + d(c, r));
-      d(r, c) = avg;
-      d(c, r) = avg;
+      const double avg = 0.5 * (d_(r, c) + d_(c, r));
+      d_(r, c) = avg;
+      d_(c, r) = avg;
     }
   }
-  Matrix v = Matrix::Identity(n);
-  const double scale = std::max(1.0, d.MaxAbs());
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) v_(r, c) = r == c ? 1.0 : 0.0;
+  }
+  const double scale = std::max(1.0, d_.MaxAbs());
   const double threshold = tol * scale;
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     double off = 0.0;
     for (int r = 0; r < n; ++r) {
-      for (int c = r + 1; c < n; ++c) off += d(r, c) * d(r, c);
+      for (int c = r + 1; c < n; ++c) off += d_(r, c) * d_(r, c);
     }
     if (std::sqrt(off) <= threshold) {
-      SymmetricEigen out;
-      out.values = Vector(n);
-      for (int i = 0; i < n; ++i) out.values[i] = d(i, i);
       // Sort eigenpairs descending by eigenvalue.
-      std::vector<int> order(static_cast<size_t>(n));
-      std::iota(order.begin(), order.end(), 0);
-      std::sort(order.begin(), order.end(), [&](int x, int y) {
-        return out.values[x] > out.values[y];
+      std::iota(order_.begin(), order_.end(), 0);
+      std::sort(order_.begin(), order_.end(), [&](int x, int y) {
+        return d_(x, x) > d_(y, y);
       });
-      Vector sorted_values(n);
-      Matrix sorted_vectors(n, n);
       for (int j = 0; j < n; ++j) {
-        sorted_values[j] = out.values[order[static_cast<size_t>(j)]];
-        sorted_vectors.SetColumn(j, v.Column(order[static_cast<size_t>(j)]));
+        const int src = order_[static_cast<size_t>(j)];
+        values_[j] = d_(src, src);
+        for (int i = 0; i < n; ++i) vectors_(i, j) = v_(i, src);
       }
-      out.values = sorted_values;
-      out.vectors = sorted_vectors;
-      return out;
+      return Status::Ok();
     }
     for (int p = 0; p < n - 1; ++p) {
       for (int q = p + 1; q < n; ++q) {
-        const double apq = d(p, q);
+        const double apq = d_(p, q);
         if (std::fabs(apq) <= threshold * 1e-3) continue;
-        const double app = d(p, p);
-        const double aqq = d(q, q);
+        const double app = d_(p, p);
+        const double aqq = d_(q, q);
         const double theta = 0.5 * (aqq - app) / apq;
         // Stable computation of tan of the rotation angle.
         const double t =
@@ -67,27 +73,39 @@ Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a, int max_sweeps,
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
         for (int k = 0; k < n; ++k) {
-          const double dkp = d(k, p);
-          const double dkq = d(k, q);
-          d(k, p) = c * dkp - s * dkq;
-          d(k, q) = s * dkp + c * dkq;
+          const double dkp = d_(k, p);
+          const double dkq = d_(k, q);
+          d_(k, p) = c * dkp - s * dkq;
+          d_(k, q) = s * dkp + c * dkq;
         }
         for (int k = 0; k < n; ++k) {
-          const double dpk = d(p, k);
-          const double dqk = d(q, k);
-          d(p, k) = c * dpk - s * dqk;
-          d(q, k) = s * dpk + c * dqk;
+          const double dpk = d_(p, k);
+          const double dqk = d_(q, k);
+          d_(p, k) = c * dpk - s * dqk;
+          d_(q, k) = s * dpk + c * dqk;
         }
         for (int k = 0; k < n; ++k) {
-          const double vkp = v(k, p);
-          const double vkq = v(k, q);
-          v(k, p) = c * vkp - s * vkq;
-          v(k, q) = s * vkp + c * vkq;
+          const double vkp = v_(k, p);
+          const double vkq = v_(k, q);
+          v_(k, p) = c * vkp - s * vkq;
+          v_(k, q) = s * vkp + c * vkq;
         }
       }
     }
   }
   return Status::NumericalError("JacobiEigenSymmetric: did not converge");
+}
+
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a, int max_sweeps,
+                                            double tol) {
+  SymmetricEigenWorkspace workspace;
+  workspace.Bind(a.rows());
+  const Status status = workspace.Compute(a, max_sweeps, tol);
+  if (!status.ok()) return status;
+  SymmetricEigen out;
+  out.values = workspace.values();
+  out.vectors = workspace.vectors();
+  return out;
 }
 
 Result<EigenRange> SymmetricEigenRange(const Matrix& a) {

@@ -1,6 +1,8 @@
 #ifndef RPC_LINALG_EIGEN_H_
 #define RPC_LINALG_EIGEN_H_
 
+#include <vector>
+
 #include "common/result.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
@@ -23,6 +25,39 @@ struct SymmetricEigen {
 Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a,
                                             int max_sweeps = 64,
                                             double tol = 1e-14);
+
+/// Caller-owned scratch for repeated Jacobi eigendecompositions of
+/// same-sized symmetric matrices. After Bind(n), Compute() performs no heap
+/// allocation (every rotation and the final descending sort run in the
+/// bound buffers) and produces exactly the JacobiEigenSymmetric eigenpairs
+/// — that function is now a thin wrapper over this class. The fit
+/// pipeline's Richardson step sizes and pseudo-inverse updates run their
+/// per-iteration eigensolves through one of these.
+class SymmetricEigenWorkspace {
+ public:
+  SymmetricEigenWorkspace() = default;
+
+  /// Sizes every buffer for n x n inputs; reallocates only when n grows.
+  void Bind(int n);
+  bool bound() const { return n_ >= 0; }
+
+  /// Eigendecomposition of `a` (must be n x n as bound) into the workspace;
+  /// values()/vectors() stay valid until the next Compute or Bind.
+  Status Compute(const Matrix& a, int max_sweeps = 64, double tol = 1e-14);
+
+  /// Eigenvalues in descending order.
+  const Vector& values() const { return values_; }
+  /// Column j is the eigenvector for values()[j].
+  const Matrix& vectors() const { return vectors_; }
+
+ private:
+  int n_ = -1;
+  Matrix d_;        // working copy being diagonalised
+  Matrix v_;        // accumulated rotations
+  Matrix vectors_;  // sorted eigenvectors
+  Vector values_;   // sorted eigenvalues
+  std::vector<int> order_;
+};
 
 /// Smallest and largest eigenvalue of a symmetric matrix; convenience used
 /// for the Richardson step size gamma = 2 / (lambda_min + lambda_max)

@@ -208,29 +208,41 @@ bool ApproxEqual(const Matrix& a, const Matrix& b, double tol) {
 }
 
 Matrix TransposeTimes(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
-  Matrix out(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) continue;
-      for (int j = 0; j < b.cols(); ++j) out(i, j) += aki * b(k, j);
-    }
-  }
+  Matrix out;
+  TransposeTimesInto(a, b, &out);
   return out;
 }
 
 Matrix TimesTranspose(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  TimesTransposeInto(a, b, &out);
+  return out;
+}
+
+void TransposeTimesInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  assert(out != &a && out != &b);
+  out->Assign(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) (*out)(i, j) += aki * b(k, j);
+    }
+  }
+}
+
+void TimesTransposeInto(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows());
+  assert(out != &a && out != &b);
+  out->Assign(a.rows(), b.rows());
   for (int i = 0; i < a.rows(); ++i) {
     for (int j = 0; j < b.rows(); ++j) {
       double sum = 0.0;
       for (int k = 0; k < a.cols(); ++k) sum += a(i, k) * b(j, k);
-      out(i, j) = sum;
+      (*out)(i, j) = sum;
     }
   }
-  return out;
 }
 
 }  // namespace rpc::linalg

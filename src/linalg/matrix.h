@@ -39,6 +39,18 @@ class Matrix {
   int cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes in place to rows x cols, discarding the old contents (every
+  /// entry reset to `fill`). The heap buffer is reused whenever its capacity
+  /// suffices, so re-Assigning a workspace matrix to the same (or a smaller)
+  /// shape performs no allocation — the caller-buffer idiom the fit
+  /// pipeline's persistent scratch relies on.
+  void Assign(int rows, int cols, double fill = 0.0) {
+    assert(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill);
+  }
+
   double& operator()(int r, int c) {
     assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
@@ -103,6 +115,13 @@ bool ApproxEqual(const Matrix& a, const Matrix& b, double tol = 1e-12);
 Matrix TransposeTimes(const Matrix& a, const Matrix& b);
 /// a * b^T without forming transposes.
 Matrix TimesTranspose(const Matrix& a, const Matrix& b);
+
+/// Caller-buffer variants: the product is written into *out (reshaped in
+/// place, so a correctly sized workspace matrix makes the call
+/// allocation-free). `out` must not alias an operand. The allocating
+/// functions above are thin wrappers over these.
+void TransposeTimesInto(const Matrix& a, const Matrix& b, Matrix* out);
+void TimesTransposeInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 }  // namespace rpc::linalg
 

@@ -6,29 +6,45 @@
 
 namespace rpc::linalg {
 
-Result<Matrix> PseudoInverseSymmetric(const Matrix& a, double rel_tol) {
+void SymmetricPinvWorkspace::Bind(int n) { eigen_.Bind(n); }
+
+Status SymmetricPinvWorkspace::Compute(const Matrix& a, Matrix* out,
+                                       double rel_tol) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("PseudoInverseSymmetric: not square");
   }
-  RPC_ASSIGN_OR_RETURN(SymmetricEigen eig, JacobiEigenSymmetric(a));
+  assert(out != &a);
+  const Status eig = eigen_.Compute(a);
+  if (!eig.ok()) return eig;
   const int n = a.rows();
+  const Vector& values = eigen_.values();
+  const Matrix& vectors = eigen_.vectors();
   double max_abs = 0.0;
   for (int i = 0; i < n; ++i) {
-    max_abs = std::max(max_abs, std::fabs(eig.values[i]));
+    max_abs = std::max(max_abs, std::fabs(values[i]));
   }
   const double cutoff = rel_tol * std::max(max_abs, 1e-300);
-  Matrix out(n, n);
+  out->Assign(n, n);
   for (int k = 0; k < n; ++k) {
-    const double lambda = eig.values[k];
+    const double lambda = values[k];
     if (std::fabs(lambda) <= cutoff) continue;
     const double inv = 1.0 / lambda;
     for (int i = 0; i < n; ++i) {
-      const double vik = eig.vectors(i, k);
+      const double vik = vectors(i, k);
       for (int j = 0; j < n; ++j) {
-        out(i, j) += inv * vik * eig.vectors(j, k);
+        (*out)(i, j) += inv * vik * vectors(j, k);
       }
     }
   }
+  return Status::Ok();
+}
+
+Result<Matrix> PseudoInverseSymmetric(const Matrix& a, double rel_tol) {
+  SymmetricPinvWorkspace workspace;
+  workspace.Bind(a.rows());
+  Matrix out;
+  const Status status = workspace.Compute(a, &out, rel_tol);
+  if (!status.ok()) return status;
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define RPC_LINALG_PINV_H_
 
 #include "common/result.h"
+#include "linalg/eigen.h"
 #include "linalg/matrix.h"
 
 namespace rpc::linalg {
@@ -11,6 +12,28 @@ namespace rpc::linalg {
 /// as zero.
 Result<Matrix> PseudoInverseSymmetric(const Matrix& a,
                                       double rel_tol = 1e-12);
+
+/// Caller-owned scratch for repeated symmetric pseudo-inverses of one
+/// matrix size. After Bind(n), Compute() writes A^+ into *out (reshaped in
+/// place) with zero heap allocations — the eigendecomposition runs in a
+/// bound SymmetricEigenWorkspace — and produces exactly the
+/// PseudoInverseSymmetric result (that function is now a thin wrapper).
+/// The fit pipeline's Eq. (26) update path holds one of these across outer
+/// iterations.
+class SymmetricPinvWorkspace {
+ public:
+  SymmetricPinvWorkspace() = default;
+
+  /// Sizes the eigensolver scratch for n x n inputs.
+  void Bind(int n);
+
+  /// Pseudo-inverse of `a` (n x n as bound) into *out; `out` must not
+  /// alias `a`.
+  Status Compute(const Matrix& a, Matrix* out, double rel_tol = 1e-12);
+
+ private:
+  SymmetricEigenWorkspace eigen_;
+};
 
 /// Moore-Penrose pseudo-inverse of a general matrix B using the Gram-matrix
 /// identity the paper cites below Eq. (26): B^+ = B^T (B B^T)^+ when B is

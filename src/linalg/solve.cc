@@ -108,26 +108,55 @@ Result<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b) {
 }
 
 Result<Matrix> CholeskyFactor(const Matrix& a) {
+  Matrix l;
+  const Status status = CholeskyFactorInto(a, &l);
+  if (!status.ok()) return status;
+  return l;
+}
+
+Status CholeskyFactorInto(const Matrix& a, Matrix* l) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("CholeskyFactor: matrix not square");
   }
+  assert(l != &a);
   const int n = a.rows();
-  Matrix l(n, n);
+  l->Assign(n, n);
   for (int j = 0; j < n; ++j) {
     double diag = a(j, j);
-    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    for (int k = 0; k < j; ++k) diag -= (*l)(j, k) * (*l)(j, k);
     if (diag <= 0.0) {
       return Status::NumericalError(
           "CholeskyFactor: matrix not positive definite");
     }
-    l(j, j) = std::sqrt(diag);
+    (*l)(j, j) = std::sqrt(diag);
     for (int i = j + 1; i < n; ++i) {
       double sum = a(i, j);
-      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
-      l(i, j) = sum / l(j, j);
+      for (int k = 0; k < j; ++k) sum -= (*l)(i, k) * (*l)(j, k);
+      (*l)(i, j) = sum / (*l)(j, j);
     }
   }
-  return l;
+  return Status::Ok();
+}
+
+Status CholeskySolveInPlace(const Matrix& l, Vector* x) {
+  if (l.rows() != l.cols() || l.rows() != x->size()) {
+    return Status::InvalidArgument("CholeskySolveInPlace: size mismatch");
+  }
+  const int n = l.rows();
+  // L y = b: the forward substitution overwrites x[0..i) with y values the
+  // later rows read, so one buffer serves both solves.
+  for (int i = 0; i < n; ++i) {
+    double sum = (*x)[i];
+    for (int j = 0; j < i; ++j) sum -= l(i, j) * (*x)[j];
+    (*x)[i] = sum / l(i, i);
+  }
+  // L^T x = y, in place from the bottom.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = (*x)[i];
+    for (int j = i + 1; j < n; ++j) sum -= l(j, i) * (*x)[j];
+    (*x)[i] = sum / l(i, i);
+  }
+  return Status::Ok();
 }
 
 Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
@@ -135,21 +164,9 @@ Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
     return Status::InvalidArgument("SolveSpd: size mismatch");
   }
   RPC_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
-  const int n = a.rows();
-  // L y = b.
-  Vector y(n);
-  for (int i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (int j = 0; j < i; ++j) sum -= l(i, j) * y[j];
-    y[i] = sum / l(i, i);
-  }
-  // L^T x = y.
-  Vector x(n);
-  for (int i = n - 1; i >= 0; --i) {
-    double sum = y[i];
-    for (int j = i + 1; j < n; ++j) sum -= l(j, i) * x[j];
-    x[i] = sum / l(i, i);
-  }
+  Vector x = b;
+  const Status status = CholeskySolveInPlace(l, &x);
+  if (!status.ok()) return status;
   return x;
 }
 

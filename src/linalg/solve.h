@@ -19,8 +19,20 @@ Result<Matrix> SolveLinearSystem(const Matrix& a, const Matrix& b);
 /// tolerance.
 Result<Matrix> CholeskyFactor(const Matrix& a);
 
+/// Caller-buffer variant: writes L into *l (reshaped in place, so a
+/// correctly sized workspace matrix makes the call allocation-free). `l`
+/// must not alias `a`. Same arithmetic and failure conditions as
+/// CholeskyFactor, which is a thin wrapper over this.
+Status CholeskyFactorInto(const Matrix& a, Matrix* l);
+
 /// Solves A x = b for symmetric positive definite A via Cholesky.
 Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+/// In-place triangular solve against a CholeskyFactor result: on entry *x
+/// holds the right-hand side b, on exit the solution of (L L^T) x = b.
+/// Performs no heap allocation — the caller-buffer half of SolveSpd, which
+/// is now factor-into + this.
+Status CholeskySolveInPlace(const Matrix& l, Vector* x);
 
 /// Inverse of a square matrix (Gaussian elimination on the identity).
 Result<Matrix> Inverse(const Matrix& a);

@@ -65,8 +65,11 @@ void ProjectionWorkspace::Bind(const BezierCurve& curve,
   // iteration) should not pay for curves it never evaluates.
   if (options.method == ProjectionMethod::kNewton ||
       options.enable_local_refinement) {
-    hodograph_ = curve.DerivativeCurve();
-    second_ = hodograph_.DerivativeCurve();
+    // In-place rebinds: the warm-start engine re-Binds every outer
+    // iteration, so the hodograph state must reuse its buffers rather than
+    // reallocate (the steady-state zero-allocation contract).
+    curve.DerivativeCurveInto(&hodograph_);
+    hodograph_.DerivativeCurveInto(&second_);
     hodograph_eval_.Bind(hodograph_);
     second_eval_.Bind(second_);
     deriv_.resize(static_cast<size_t>(d));
@@ -74,7 +77,7 @@ void ProjectionWorkspace::Bind(const BezierCurve& curve,
     point_.resize(static_cast<size_t>(d));
   }
   if (options.method == ProjectionMethod::kQuinticRoots) {
-    power_ = curve.PowerBasisCoefficients();
+    curve.PowerBasisCoefficientsInto(&power_);
     stationarity_coeffs_.resize(static_cast<size_t>(2 * curve.degree()));
   }
   ResetEvaluationCounts();

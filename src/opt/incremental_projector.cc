@@ -31,6 +31,7 @@ void IncrementalProjector::Bind(const Matrix& data,
   s_.assign(n, 0.0);
   dist_.assign(n, 0.0);
   squared_.assign(n, 0.0);
+  fallback_slots_.assign(static_cast<size_t>(parallelism), 0);
   calls_ = 0;
   last_was_full_ = false;
   last_fallbacks_ = 0;
@@ -38,10 +39,21 @@ void IncrementalProjector::Bind(const Matrix& data,
 
 Vector IncrementalProjector::Project(const BezierCurve& curve,
                                      double* total_squared_distance) {
+  Vector scores;
+  ProjectInto(curve, &scores, total_squared_distance);
+  return scores;
+}
+
+void IncrementalProjector::ProjectInto(const BezierCurve& curve,
+                                       Vector* scores_out,
+                                       double* total_squared_distance) {
   assert(bound());
   assert(data_->cols() == curve.dimension() || data_->rows() == 0);
   const int n = data_->rows();
-  Vector scores(n);
+  // resize, not assign: every entry is overwritten below, so the zero-fill
+  // would be a wasted O(n) sweep per outer iteration.
+  scores_out->data().resize(static_cast<size_t>(n));
+  Vector& scores = *scores_out;
 
   const int period = options_.resync_period;
   // kGridOnly has no refinement stage to localise, so a warm call would be
@@ -79,17 +91,19 @@ Vector IncrementalProjector::Project(const BezierCurve& curve,
     ProjectRange(&workspaces_[0], full, delta, 0, n, scores.data().data(),
                  squared_.data(), &fallbacks);
   } else {
-    // Same chunking as ProjectRowsBatch: ~4 chunks per worker.
-    std::vector<std::int64_t> per_worker(static_cast<size_t>(parallelism), 0);
+    // Same chunking as ProjectRowsBatch: ~4 chunks per worker. The
+    // per-worker counters live in the bound fallback_slots_ buffer so the
+    // steady-state pass stays allocation-free.
+    std::fill(fallback_slots_.begin(), fallback_slots_.end(), 0);
     const std::int64_t grain = std::max<std::int64_t>(
         1, (n + 4 * parallelism - 1) / (4 * parallelism));
     pool_->ParallelFor(
         n, grain, [&](std::int64_t begin, std::int64_t end, int worker) {
           ProjectRange(&workspaces_[static_cast<size_t>(worker)], full, delta,
                        begin, end, scores.data().data(), squared_.data(),
-                       &per_worker[static_cast<size_t>(worker)]);
+                       &fallback_slots_[static_cast<size_t>(worker)]);
         });
-    for (std::int64_t count : per_worker) fallbacks += count;
+    for (std::int64_t count : fallback_slots_) fallbacks += count;
   }
 
   if (total_squared_distance != nullptr) {
@@ -103,7 +117,6 @@ Vector IncrementalProjector::Project(const BezierCurve& curve,
   ++calls_;
   last_was_full_ = full;
   last_fallbacks_ = fallbacks;
-  return scores;
 }
 
 void IncrementalProjector::ProjectRange(ProjectionWorkspace* workspace,

@@ -72,6 +72,13 @@ class IncrementalProjector {
   linalg::Vector Project(const curve::BezierCurve& curve,
                          double* total_squared_distance);
 
+  /// Caller-buffer variant (Project wraps it): writes the scores into
+  /// *scores, resized in place. Once its capacity has settled — after the
+  /// first call — the whole projection pass performs zero heap allocations,
+  /// the contract the learner's steady-state outer loop is built on.
+  void ProjectInto(const curve::BezierCurve& curve, linalg::Vector* scores,
+                   double* total_squared_distance);
+
   /// Diagnostics for the most recent Project() call.
   bool last_was_full() const { return last_was_full_; }
   std::int64_t last_fallback_count() const { return last_fallbacks_; }
@@ -93,6 +100,7 @@ class IncrementalProjector {
   std::vector<double> s_;       // per-row last s*
   std::vector<double> dist_;    // per-row last squared distance
   std::vector<double> squared_; // per-call row-ordered J reduction buffer
+  std::vector<std::int64_t> fallback_slots_;  // per-worker fallback counts
   linalg::Matrix prev_control_; // control points seen by the previous call
 
   int calls_ = 0;

@@ -1,8 +1,7 @@
 #include "opt/richardson.h"
 
+#include <cassert>
 #include <cmath>
-
-#include "linalg/eigen.h"
 
 namespace rpc::opt {
 
@@ -17,15 +16,37 @@ Vector RichardsonPreconditioner(const Matrix& gram) {
   return d;
 }
 
-Result<Matrix> RichardsonStep(const Matrix& p, const Matrix& gram,
-                              const Matrix& cross,
-                              const RichardsonOptions& options) {
+void RichardsonWorkspace::Bind(int dim, int degree) {
+  assert(dim >= 0 && degree >= 0);
+  dim_ = dim;
+  degree_ = degree;
+  iteration_.Assign(degree + 1, degree + 1);
+  residual_.Assign(dim, degree + 1);
+  precond_.data().assign(static_cast<size_t>(degree) + 1, 0.0);
+  eigen_.Bind(degree + 1);
+}
+
+Status RichardsonWorkspace::Step(const Matrix& gram, const Matrix& cross,
+                                 const RichardsonOptions& options,
+                                 Matrix* control) {
   if (gram.rows() != gram.cols()) {
     return Status::InvalidArgument("RichardsonStep: Gram matrix not square");
   }
-  if (p.cols() != gram.rows() || cross.rows() != p.rows() ||
-      cross.cols() != p.cols()) {
+  if (control->cols() != gram.rows() || cross.rows() != control->rows() ||
+      cross.cols() != control->cols()) {
     return Status::InvalidArgument("RichardsonStep: shape mismatch");
+  }
+  assert(bound() && control->rows() == dim_ && gram.rows() == degree_ + 1);
+  const int k1 = degree_ + 1;
+
+  // Column L2 norms of the Gram matrix (Section 5's diagonal
+  // preconditioner), same summation order as RichardsonPreconditioner.
+  if (options.use_preconditioner) {
+    for (int c = 0; c < k1; ++c) {
+      double sum = 0.0;
+      for (int r = 0; r < k1; ++r) sum += gram(r, c) * gram(r, c);
+      precond_[c] = std::max(std::sqrt(sum), 1e-300);
+    }
   }
 
   double gamma;
@@ -36,19 +57,19 @@ Result<Matrix> RichardsonStep(const Matrix& p, const Matrix& gram,
     // matrix. With the preconditioner the error evolves through A D^{-1},
     // whose spectrum equals that of the symmetric D^{-1/2} A D^{-1/2}; the
     // step must be sized for *that* matrix or the iteration can diverge.
-    Matrix iteration_matrix = gram;
     if (options.use_preconditioner) {
-      const Vector d = RichardsonPreconditioner(gram);
-      for (int r = 0; r < gram.rows(); ++r) {
-        for (int c = 0; c < gram.cols(); ++c) {
-          iteration_matrix(r, c) =
-              gram(r, c) / std::sqrt(d[r] * d[c]);
+      for (int r = 0; r < k1; ++r) {
+        for (int c = 0; c < k1; ++c) {
+          iteration_(r, c) = gram(r, c) / std::sqrt(precond_[r] * precond_[c]);
         }
       }
+    } else {
+      iteration_ = gram;
     }
-    RPC_ASSIGN_OR_RETURN(linalg::EigenRange range,
-                         linalg::SymmetricEigenRange(iteration_matrix));
-    const double denom = range.min + range.max;
+    const Status eig = eigen_.Compute(iteration_);
+    if (!eig.ok()) return eig;
+    const double denom =
+        eigen_.values()[k1 - 1] + eigen_.values()[0];  // min + max
     if (!(denom > 0.0) || !std::isfinite(denom)) {
       return Status::NumericalError(
           "RichardsonStep: non-positive eigenvalue sum");
@@ -56,19 +77,49 @@ Result<Matrix> RichardsonStep(const Matrix& p, const Matrix& gram,
     gamma = 2.0 / denom;
   }
 
-  Matrix residual = p * gram - cross;  // d x 4
-  if (options.use_preconditioner) {
-    const Vector d = RichardsonPreconditioner(gram);
-    for (int r = 0; r < residual.rows(); ++r) {
-      for (int c = 0; c < residual.cols(); ++c) {
-        residual(r, c) /= d[c];
-      }
+  // residual = P A - B, accumulated with operator*'s loop order so the
+  // entries match the historical two-temporary formulation bit for bit.
+  residual_.Assign(dim_, k1);
+  for (int i = 0; i < dim_; ++i) {
+    for (int k = 0; k < k1; ++k) {
+      const double pik = (*control)(i, k);
+      if (pik == 0.0) continue;
+      double* residual_row = residual_.RowPtr(i);
+      for (int j = 0; j < k1; ++j) residual_row[j] += pik * gram(k, j);
     }
   }
-  Matrix next = p - gamma * residual;
-  if (!next.AllFinite()) {
+  residual_ -= cross;
+  if (options.use_preconditioner) {
+    for (int r = 0; r < dim_; ++r) {
+      for (int c = 0; c < k1; ++c) residual_(r, c) /= precond_[c];
+    }
+  }
+  for (int r = 0; r < dim_; ++r) {
+    for (int c = 0; c < k1; ++c) {
+      (*control)(r, c) -= gamma * residual_(r, c);
+    }
+  }
+  if (!control->AllFinite()) {
     return Status::NumericalError("RichardsonStep: non-finite update");
   }
+  return Status::Ok();
+}
+
+Result<Matrix> RichardsonStep(const Matrix& p, const Matrix& gram,
+                              const Matrix& cross,
+                              const RichardsonOptions& options) {
+  if (gram.rows() != gram.cols()) {
+    return Status::InvalidArgument("RichardsonStep: Gram matrix not square");
+  }
+  if (p.cols() != gram.rows() || cross.rows() != p.rows() ||
+      cross.cols() != p.cols()) {
+    return Status::InvalidArgument("RichardsonStep: shape mismatch");
+  }
+  RichardsonWorkspace workspace;
+  workspace.Bind(p.rows(), gram.rows() - 1);
+  Matrix next = p;
+  const Status status = workspace.Step(gram, cross, options, &next);
+  if (!status.ok()) return status;
   return next;
 }
 

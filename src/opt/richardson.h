@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/result.h"
+#include "linalg/eigen.h"
 #include "linalg/matrix.h"
 
 namespace rpc::opt {
@@ -19,12 +20,43 @@ struct RichardsonOptions {
   std::optional<double> gamma;
 };
 
-/// One Richardson step for the least-squares problem
-/// min_P ||X^T - P (MZ)||_F^2:
-///   P' = P - gamma (P A - B) D^{-1},
-/// where A = (MZ)(MZ)^T (4x4 Gram matrix) and B = X^T (MZ)^T (the d x 4
-/// cross matrix). Returns kNumericalError when the Gram eigen range cannot
-/// be computed or the implied step is non-finite.
+/// Caller-owned scratch for allocation-free Richardson steps: the residual,
+/// the preconditioned iteration matrix and the eigensolver scratch behind
+/// the Eq. (28) step size all live in bound buffers, and the step writes
+/// straight into the caller's control-point matrix. One of these persists
+/// inside core::FitWorkspace across outer iterations and restarts.
+class RichardsonWorkspace {
+ public:
+  RichardsonWorkspace() = default;
+
+  /// Sizes the scratch for a dim x (degree+1) control matrix.
+  void Bind(int dim, int degree);
+  bool bound() const { return degree_ >= 0; }
+
+  /// One Richardson step for the least-squares problem
+  /// min_P ||X^T - P (MZ)||_F^2, in place on *control:
+  ///   P' = P - gamma (P A - B) D^{-1},
+  /// where A = `gram` ((k+1) x (k+1)) and B = `cross` (d x (k+1)). The
+  /// arithmetic matches the historical allocating RichardsonStep operation
+  /// for operation, so results are bit-identical to it. Returns
+  /// kNumericalError when the Gram eigen range cannot be computed or the
+  /// updated control matrix is non-finite (the error path may leave
+  /// *control partially updated; callers abort the fit on error).
+  Status Step(const linalg::Matrix& gram, const linalg::Matrix& cross,
+              const RichardsonOptions& options, linalg::Matrix* control);
+
+ private:
+  int dim_ = 0;
+  int degree_ = -1;
+  linalg::Matrix iteration_;  // (k+1)^2: D^{-1/2} A D^{-1/2} spectrum probe
+  linalg::Matrix residual_;   // d x (k+1)
+  linalg::Vector precond_;    // k+1 column norms of the Gram matrix
+  linalg::SymmetricEigenWorkspace eigen_;
+};
+
+/// One Richardson step as a pure function: copies `p`, runs
+/// RichardsonWorkspace::Step on the copy and returns it. Convenience for
+/// tests and offline analyses; hot paths hold a workspace instead.
 Result<linalg::Matrix> RichardsonStep(const linalg::Matrix& p,
                                       const linalg::Matrix& gram,
                                       const linalg::Matrix& cross,

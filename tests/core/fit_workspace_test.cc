@@ -1,0 +1,243 @@
+// The Step 5 update pipeline's three contracts: (1) streaming Gram/cross
+// accumulation reproduces the dense design-matrix formulation bit for bit,
+// (2) the segmented parallel accumulation is bit-identical to the serial
+// single-pass sweep for every thread count, and (3) whole fits driven
+// through the workspace are bit-identical across 1/2/8 threads — J, control
+// points and the final ranking (the guarantee the projection engine already
+// made, now extended to the update stage).
+#include "core/fit_workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/rpc_learner.h"
+#include "curve/bernstein.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "linalg/matrix.h"
+#include "linalg/pinv.h"
+#include "opt/richardson.h"
+#include "order/orientation.h"
+#include "rank/ranking_list.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+Matrix RandomUnitData(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) data(i, j) = rng.Uniform(0.0, 1.0);
+  }
+  return data;
+}
+
+Vector RandomScores(int n, uint64_t seed) {
+  Rng rng(seed);
+  Vector scores(n);
+  for (int i = 0; i < n; ++i) scores[i] = rng.Uniform(0.0, 1.0);
+  return scores;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a(r, c), b(r, c)) << what << " entry (" << r << "," << c
+                                  << ")";
+    }
+  }
+}
+
+// The historical allocating formulation of the normal equations, kept here
+// as the reference the streaming accumulator must reproduce exactly.
+void DenseNormalEquations(const Matrix& data, const Vector& scores,
+                          int degree, Matrix* gram, Matrix* cross) {
+  const Matrix design = curve::BernsteinDesign(degree, scores);
+  *gram = linalg::TimesTranspose(design, design);
+  *cross = linalg::TransposeTimes(data, design.Transposed());
+}
+
+TEST(FitWorkspaceTest, StreamingMatchesDenseDesignBitForBit) {
+  // n below kFitSegmentRows: the streaming sweep runs one segment, whose
+  // per-entry accumulation order equals the dense path's row-ordered sums.
+  for (int degree : {1, 3, 5}) {
+    const int n = 257;
+    const int d = 4;
+    const Matrix data = RandomUnitData(n, d, 11);
+    const Vector scores = RandomScores(n, 12);
+
+    Matrix dense_gram, dense_cross;
+    DenseNormalEquations(data, scores, degree, &dense_gram, &dense_cross);
+
+    FitWorkspace workspace;
+    workspace.Bind(n, d, degree);
+    workspace.AccumulateNormalEquations(data, scores, nullptr);
+    ExpectBitIdentical(workspace.gram(), dense_gram, "gram");
+    ExpectBitIdentical(workspace.cross(), dense_cross, "cross");
+  }
+}
+
+TEST(FitWorkspaceTest, SegmentedAccumulationIsThreadCountInvariant) {
+  // n spanning several fixed segments: the partial sums and their ordered
+  // reduction do not depend on which worker ran which segment.
+  const int n = kFitSegmentRows * 2 + 513;
+  const int d = 3;
+  const Matrix data = RandomUnitData(n, d, 21);
+  const Vector scores = RandomScores(n, 22);
+
+  FitWorkspace serial;
+  serial.Bind(n, d, 3);
+  serial.AccumulateNormalEquations(data, scores, nullptr);
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    FitWorkspace parallel;
+    parallel.Bind(n, d, 3);
+    parallel.AccumulateNormalEquations(data, scores, &pool);
+    ExpectBitIdentical(parallel.gram(), serial.gram(), "gram");
+    ExpectBitIdentical(parallel.cross(), serial.cross(), "cross");
+  }
+}
+
+TEST(FitWorkspaceTest, RichardsonUpdateMatchesLegacyFormulation) {
+  const int n = 300;
+  const int d = 5;
+  const int degree = 3;
+  const Matrix data = RandomUnitData(n, d, 31);
+  const Vector scores = RandomScores(n, 32);
+  Matrix dense_gram, dense_cross;
+  DenseNormalEquations(data, scores, degree, &dense_gram, &dense_cross);
+
+  Matrix start(d, degree + 1);
+  Rng rng(33);
+  for (int i = 0; i < d; ++i) {
+    for (int r = 0; r <= degree; ++r) start(i, r) = rng.Uniform(0.0, 1.0);
+  }
+
+  ControlUpdateOptions options;
+  options.richardson_steps = 4;
+
+  // Legacy: the pure-function step iterated on fresh matrices.
+  Matrix legacy = start;
+  for (int step = 0; step < options.richardson_steps; ++step) {
+    auto next =
+        opt::RichardsonStep(legacy, dense_gram, dense_cross,
+                            options.richardson);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    legacy = std::move(next).value();
+  }
+
+  FitWorkspace workspace;
+  workspace.Bind(n, d, degree);
+  workspace.AccumulateNormalEquations(data, scores, nullptr);
+  Matrix control = start;
+  const Status status = workspace.UpdateControlPoints(options, &control);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectBitIdentical(control, legacy, "richardson control");
+}
+
+TEST(FitWorkspaceTest, PinvUpdateMatchesLegacyFormulation) {
+  const int n = 280;
+  const int d = 4;
+  const int degree = 3;
+  const Matrix data = RandomUnitData(n, d, 41);
+  const Vector scores = RandomScores(n, 42);
+  Matrix dense_gram, dense_cross;
+  DenseNormalEquations(data, scores, degree, &dense_gram, &dense_cross);
+
+  auto gram_pinv = linalg::PseudoInverseSymmetric(dense_gram);
+  ASSERT_TRUE(gram_pinv.ok()) << gram_pinv.status().ToString();
+  const Matrix legacy = dense_cross * gram_pinv.value();
+
+  FitWorkspace workspace;
+  workspace.Bind(n, d, degree);
+  workspace.AccumulateNormalEquations(data, scores, nullptr);
+  ControlUpdateOptions options;
+  options.use_pseudo_inverse_update = true;
+  Matrix control(d, degree + 1);  // overwritten by the Eq. (26) solve
+  const Status status = workspace.UpdateControlPoints(options, &control);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectBitIdentical(control, legacy, "pinv control");
+}
+
+// End-to-end: the whole alternating fit — projection AND the segmented
+// update accumulation — is bit-identical for every thread count, in both
+// reprojection modes. n spans multiple segments so the parallel reduction
+// actually runs.
+TEST(FitWorkspaceTest, FitIsBitIdenticalAcrossThreadCounts) {
+  const int n = kFitSegmentRows + 777;
+  const int d = 3;
+  const Orientation alpha = Orientation::AllBenefit(d);
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha, {.n = n, .noise_sigma = 0.05, .control_margin = 0.1,
+              .seed = 51});
+  auto normalizer = data::Normalizer::Fit(sample.data);
+  ASSERT_TRUE(normalizer.ok());
+  const Matrix data = normalizer->Transform(sample.data);
+
+  for (ReprojectionMode mode :
+       {ReprojectionMode::kFull, ReprojectionMode::kWarmStart}) {
+    RpcLearnOptions base;
+    base.max_iterations = 8;
+    base.seed = 77;
+    base.reprojection = mode;
+    base.num_threads = 1;
+    const auto reference = RpcLearner(base).Fit(data, alpha);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const std::vector<int> reference_order =
+        rank::RankingList(reference->scores).OrderedIndices();
+
+    for (int threads : {2, 8}) {
+      RpcLearnOptions options = base;
+      options.num_threads = threads;
+      const auto fit = RpcLearner(options).Fit(data, alpha);
+      ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+      EXPECT_EQ(fit->final_j, reference->final_j) << "threads " << threads;
+      EXPECT_EQ(fit->iterations, reference->iterations);
+      ExpectBitIdentical(fit->curve.control_points(),
+                         reference->curve.control_points(), "control");
+      ASSERT_EQ(fit->scores.size(), reference->scores.size());
+      for (int i = 0; i < fit->scores.size(); ++i) {
+        ASSERT_EQ(fit->scores[i], reference->scores[i])
+            << "threads " << threads << " row " << i;
+      }
+      EXPECT_EQ(rank::RankingList(fit->scores).OrderedIndices(),
+                reference_order);
+    }
+  }
+}
+
+// Rebinding to the same shape must keep buffers (the restart path); a shape
+// change must rebind cleanly.
+TEST(FitWorkspaceTest, RebindAcrossShapesStaysCorrect) {
+  FitWorkspace workspace;
+  const Matrix small = RandomUnitData(64, 2, 61);
+  const Vector small_scores = RandomScores(64, 62);
+  workspace.Bind(64, 2, 3);
+  workspace.AccumulateNormalEquations(small, small_scores, nullptr);
+  Matrix gram_a = workspace.gram();
+
+  const Matrix big = RandomUnitData(200, 6, 63);
+  const Vector big_scores = RandomScores(200, 64);
+  workspace.Bind(200, 6, 2);
+  workspace.AccumulateNormalEquations(big, big_scores, nullptr);
+  Matrix dense_gram, dense_cross;
+  DenseNormalEquations(big, big_scores, 2, &dense_gram, &dense_cross);
+  ExpectBitIdentical(workspace.gram(), dense_gram, "gram after rebind");
+  ExpectBitIdentical(workspace.cross(), dense_cross, "cross after rebind");
+
+  // Back to the first shape: accumulation restarts from zero.
+  workspace.Bind(64, 2, 3);
+  workspace.AccumulateNormalEquations(small, small_scores, nullptr);
+  ExpectBitIdentical(workspace.gram(), gram_a, "gram after return rebind");
+}
+
+}  // namespace
+}  // namespace rpc::core

@@ -1,6 +1,7 @@
 #include "curve/bernstein.h"
 
 #include <cmath>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -73,6 +74,111 @@ TEST(AllBernsteinTest, SymmetryProperty) {
       EXPECT_NEAR(at_s[r], at_1ms[k - r], 1e-12);
     }
   }
+}
+
+TEST(BernsteinDesignTest, EntriesAreBasisValues) {
+  const linalg::Vector scores{0.0, 0.25, 0.6, 1.0};
+  for (int k : {1, 3, 4}) {
+    const linalg::Matrix g = BernsteinDesign(k, scores);
+    ASSERT_EQ(g.rows(), k + 1);
+    ASSERT_EQ(g.cols(), scores.size());
+    for (int i = 0; i < scores.size(); ++i) {
+      for (int r = 0; r <= k; ++r) {
+        EXPECT_NEAR(g(r, i), BernsteinBasis(k, r, scores[i]), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(BernsteinDesignAccumulatorTest, MatchesDenseNormalEquations) {
+  const int n = 37;
+  const int d = 3;
+  const int k = 3;
+  linalg::Vector scores(n);
+  linalg::Matrix data(n, d);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = static_cast<double>(i) / (n - 1);
+    for (int j = 0; j < d; ++j) {
+      data(i, j) = 0.5 + 0.4 * std::sin(0.7 * i + j);
+    }
+  }
+  const linalg::Matrix design = BernsteinDesign(k, scores);
+  const linalg::Matrix dense_gram = linalg::TimesTranspose(design, design);
+  const linalg::Matrix dense_cross =
+      linalg::TransposeTimes(data, design.Transposed());
+
+  BernsteinDesignAccumulator acc;
+  acc.Bind(k, d);
+  for (int i = 0; i < n; ++i) acc.AccumulateRow(scores[i], data.RowPtr(i));
+
+  // Bit-identical: the streaming per-entry accumulation order equals the
+  // dense path's row-ordered sums.
+  for (int r = 0; r <= k; ++r) {
+    for (int c = 0; c <= k; ++c) {
+      EXPECT_EQ(acc.gram()(r, c), dense_gram(r, c)) << r << "," << c;
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    for (int r = 0; r <= k; ++r) {
+      EXPECT_EQ(acc.cross()(j, r), dense_cross(j, r)) << j << "," << r;
+    }
+  }
+}
+
+TEST(BernsteinDesignAccumulatorTest, OrderedMergeOfSegments) {
+  // Splitting the rows into segments and merging the partials in order must
+  // reproduce the same totals whatever the split point — the reduction
+  // core::FitWorkspace relies on for thread-count invariance.
+  const int n = 64;
+  const int d = 2;
+  const int k = 3;
+  linalg::Vector scores(n);
+  linalg::Matrix data(n, d);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = static_cast<double>((i * 37) % n) / n;
+    for (int j = 0; j < d; ++j) data(i, j) = 0.3 + 0.1 * ((i + j) % 5);
+  }
+
+  const auto totals_for_split = [&](int split) {
+    BernsteinDesignAccumulator lo, hi, total;
+    lo.Bind(k, d);
+    hi.Bind(k, d);
+    total.Bind(k, d);
+    for (int i = 0; i < split; ++i) {
+      lo.AccumulateRow(scores[i], data.RowPtr(i));
+    }
+    for (int i = split; i < n; ++i) {
+      hi.AccumulateRow(scores[i], data.RowPtr(i));
+    }
+    total.Merge(lo);
+    total.Merge(hi);
+    return std::make_pair(total.gram(), total.cross());
+  };
+
+  const auto [gram_a, cross_a] = totals_for_split(16);
+  const auto [gram_b, cross_b] = totals_for_split(16);
+  // Same split twice: deterministic to the bit.
+  for (int r = 0; r <= k; ++r) {
+    for (int c = 0; c <= k; ++c) EXPECT_EQ(gram_a(r, c), gram_b(r, c));
+  }
+  for (int j = 0; j < d; ++j) {
+    for (int r = 0; r <= k; ++r) EXPECT_EQ(cross_a(j, r), cross_b(j, r));
+  }
+  // Different split: equal within rounding (grouping differs).
+  const auto [gram_c, cross_c] = totals_for_split(40);
+  EXPECT_TRUE(linalg::ApproxEqual(gram_a, gram_c, 1e-12));
+  EXPECT_TRUE(linalg::ApproxEqual(cross_a, cross_c, 1e-12));
+}
+
+TEST(BernsteinDesignAccumulatorTest, ResetClearsSums) {
+  BernsteinDesignAccumulator acc;
+  acc.Bind(2, 2);
+  const double x[] = {0.5, 0.25};
+  acc.AccumulateRow(0.5, x);
+  ASSERT_GT(acc.gram()(0, 0), 0.0);
+  acc.Reset();
+  EXPECT_EQ(acc.gram().MaxAbs(), 0.0);
+  EXPECT_EQ(acc.cross().MaxAbs(), 0.0);
 }
 
 }  // namespace

@@ -103,5 +103,38 @@ TEST(ConditionNumberTest, SingularIsInfinite) {
   EXPECT_TRUE(std::isinf(cond.value()));
 }
 
+TEST(SymmetricEigenWorkspaceTest, MatchesAllocatingPathBitwise) {
+  const Matrix a{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.25}, {0.5, 0.25, 2.0}};
+  const auto reference = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(reference.ok());
+  SymmetricEigenWorkspace workspace;
+  workspace.Bind(3);
+  ASSERT_TRUE(workspace.Compute(a).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(workspace.values()[i], reference->values[i]) << i;
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(workspace.vectors()(i, j), reference->vectors(i, j));
+    }
+  }
+}
+
+TEST(SymmetricEigenWorkspaceTest, ReusableAcrossCalls) {
+  SymmetricEigenWorkspace workspace;
+  workspace.Bind(2);
+  ASSERT_TRUE(workspace.Compute(Matrix{{2.0, 0.0}, {0.0, 5.0}}).ok());
+  EXPECT_DOUBLE_EQ(workspace.values()[0], 5.0);
+  EXPECT_DOUBLE_EQ(workspace.values()[1], 2.0);
+  // Second solve reuses every buffer; values from the first must not leak.
+  ASSERT_TRUE(workspace.Compute(Matrix{{1.0, 0.0}, {0.0, -3.0}}).ok());
+  EXPECT_DOUBLE_EQ(workspace.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(workspace.values()[1], -3.0);
+}
+
+TEST(SymmetricEigenWorkspaceTest, RejectsNonSquare) {
+  SymmetricEigenWorkspace workspace;
+  workspace.Bind(2);
+  EXPECT_FALSE(workspace.Compute(Matrix(2, 3)).ok());
+}
+
 }  // namespace
 }  // namespace rpc::linalg

@@ -113,5 +113,37 @@ TEST(MatrixTest, ScalarOps) {
   EXPECT_DOUBLE_EQ(diff.MaxAbs(), 0.0);
 }
 
+TEST(MatrixTest, AssignReshapesAndFills) {
+  Matrix m(3, 4, 7.0);
+  m.Assign(2, 2);
+  ASSERT_EQ(m.rows(), 2);
+  ASSERT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 0.0);
+  m.Assign(1, 3, 2.5);
+  ASSERT_EQ(m.rows(), 1);
+  ASSERT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(0, 2), 2.5);
+}
+
+TEST(MatrixTest, IntoProductsMatchAllocatingVariantsBitwise) {
+  const Matrix a{{1.0, 2.0, 3.0}, {0.5, -1.0, 4.0}};
+  const Matrix b{{2.0, 0.0, 1.0}, {1.0, 3.0, -2.0}};
+  const Matrix tt = TimesTranspose(a, b);       // 2 x 2
+  const Matrix trt = TransposeTimes(a, b);      // 3 x 3
+  Matrix out(5, 5, 9.0);  // wrong shape + stale contents: must be reset
+  TimesTransposeInto(a, b, &out);
+  ASSERT_EQ(out.rows(), 2);
+  ASSERT_EQ(out.cols(), 2);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_EQ(out(r, c), tt(r, c));
+  }
+  TransposeTimesInto(a, b, &out);
+  ASSERT_EQ(out.rows(), 3);
+  ASSERT_EQ(out.cols(), 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(out(r, c), trt(r, c));
+  }
+}
+
 }  // namespace
 }  // namespace rpc::linalg

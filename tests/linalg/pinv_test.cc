@@ -79,5 +79,46 @@ TEST(PinvTest, RejectsEmpty) {
   EXPECT_FALSE(PseudoInverseSymmetric(Matrix(2, 3)).ok());
 }
 
+TEST(SymmetricPinvWorkspaceTest, MatchesAllocatingPathBitwise) {
+  const Matrix a{{4.0, 1.0, 0.0}, {1.0, 3.0, 0.5}, {0.0, 0.5, 2.0}};
+  const auto reference = PseudoInverseSymmetric(a);
+  ASSERT_TRUE(reference.ok());
+  SymmetricPinvWorkspace workspace;
+  workspace.Bind(3);
+  Matrix out;
+  ASSERT_TRUE(workspace.Compute(a, &out).ok());
+  ASSERT_EQ(out.rows(), 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(out(r, c), reference.value()(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(SymmetricPinvWorkspaceTest, ReusableAcrossCallsAndRankDeficiency) {
+  SymmetricPinvWorkspace workspace;
+  workspace.Bind(2);
+  Matrix out;
+  // Rank-deficient: the null space must be truncated, as in the allocating
+  // path.
+  const Matrix singular{{1.0, 1.0}, {1.0, 1.0}};
+  ASSERT_TRUE(workspace.Compute(singular, &out).ok());
+  const auto reference = PseudoInverseSymmetric(singular);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(ApproxEqual(out, reference.value(), 0.0));
+  // Second call into the same buffers.
+  const Matrix spd{{2.0, 0.0}, {0.0, 4.0}};
+  ASSERT_TRUE(workspace.Compute(spd, &out).ok());
+  EXPECT_NEAR(out(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(out(1, 1), 0.25, 1e-12);
+}
+
+TEST(SymmetricPinvWorkspaceTest, RejectsNonSquare) {
+  SymmetricPinvWorkspace workspace;
+  workspace.Bind(2);
+  Matrix out;
+  EXPECT_FALSE(workspace.Compute(Matrix(2, 3), &out).ok());
+}
+
 }  // namespace
 }  // namespace rpc::linalg

@@ -94,5 +94,60 @@ TEST(DeterminantTest, PermutationSign) {
   EXPECT_NEAR(Determinant(Matrix{{0.0, 1.0}, {1.0, 0.0}}), -1.0, 1e-12);
 }
 
+TEST(CholeskyIntoTest, MatchesAllocatingFactorBitwise) {
+  const Matrix a{{4.0, 2.0, 0.5}, {2.0, 5.0, 1.0}, {0.5, 1.0, 3.0}};
+  const auto reference = CholeskyFactor(a);
+  ASSERT_TRUE(reference.ok());
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactorInto(a, &l).ok());
+  ASSERT_EQ(l.rows(), 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(l(r, c), reference.value()(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(CholeskyIntoTest, ReusesCallerBufferAcrossCalls) {
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactorInto(Matrix{{9.0}}, &l).ok());
+  EXPECT_DOUBLE_EQ(l(0, 0), 3.0);
+  // A larger factorisation into the same buffer, then a smaller one again.
+  ASSERT_TRUE(
+      CholeskyFactorInto(Matrix{{4.0, 0.0}, {0.0, 16.0}}, &l).ok());
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 4.0);
+  ASSERT_TRUE(CholeskyFactorInto(Matrix{{25.0}}, &l).ok());
+  ASSERT_EQ(l.rows(), 1);
+  EXPECT_DOUBLE_EQ(l(0, 0), 5.0);
+}
+
+TEST(CholeskyIntoTest, RejectsNonSquareAndNonSpd) {
+  Matrix l;
+  EXPECT_FALSE(CholeskyFactorInto(Matrix(2, 3), &l).ok());
+  EXPECT_FALSE(CholeskyFactorInto(Matrix{{1.0, 2.0}, {2.0, 1.0}}, &l).ok());
+}
+
+TEST(CholeskySolveInPlaceTest, MatchesSolveSpdBitwise) {
+  const Matrix a{{6.0, 2.0, 1.0}, {2.0, 5.0, 2.0}, {1.0, 2.0, 4.0}};
+  const Vector b{1.0, -2.0, 3.0};
+  const auto reference = SolveSpd(a, b);
+  ASSERT_TRUE(reference.ok());
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactorInto(a, &l).ok());
+  Vector x = b;
+  ASSERT_TRUE(CholeskySolveInPlace(l, &x).ok());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(x[i], reference.value()[i]);
+  // And it actually solves the system.
+  EXPECT_TRUE(ApproxEqual(a * x, b, 1e-10));
+}
+
+TEST(CholeskySolveInPlaceTest, RejectsSizeMismatch) {
+  Matrix l;
+  ASSERT_TRUE(CholeskyFactorInto(Matrix{{4.0}}, &l).ok());
+  Vector wrong{1.0, 2.0};
+  EXPECT_FALSE(CholeskySolveInPlace(l, &wrong).ok());
+}
+
 }  // namespace
 }  // namespace rpc::linalg

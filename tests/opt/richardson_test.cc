@@ -110,5 +110,60 @@ TEST(RichardsonTest, RejectsNonPositiveSpectrum) {
   EXPECT_EQ(next.status().code(), StatusCode::kNumericalError);
 }
 
+TEST(RichardsonWorkspaceTest, StepMatchesPureFunctionBitwise) {
+  Rng rng(21);
+  const int d = 4;
+  const int k = 3;
+  Matrix gram(k + 1, k + 1);
+  for (int i = 0; i <= k; ++i) {
+    for (int j = 0; j <= k; ++j) gram(i, j) = rng.Uniform(-0.5, 0.5);
+  }
+  gram = linalg::TimesTranspose(gram, gram) +
+         0.25 * Matrix::Identity(k + 1);  // SPD
+  Matrix cross(d, k + 1);
+  Matrix start(d, k + 1);
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j <= k; ++j) {
+      cross(i, j) = rng.Uniform(-1.0, 1.0);
+      start(i, j) = rng.Uniform(0.0, 1.0);
+    }
+  }
+
+  for (const bool preconditioned : {true, false}) {
+    RichardsonOptions options;
+    options.use_preconditioner = preconditioned;
+
+    Matrix pure = start;
+    RichardsonWorkspace workspace;
+    workspace.Bind(d, k);
+    Matrix in_place = start;
+    // Several chained steps: the workspace iterates in place, the pure
+    // function on fresh copies; both trajectories must agree to the bit.
+    for (int step = 0; step < 3; ++step) {
+      auto next = RichardsonStep(pure, gram, cross, options);
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      pure = std::move(next).value();
+      ASSERT_TRUE(workspace.Step(gram, cross, options, &in_place).ok());
+      for (int i = 0; i < d; ++i) {
+        for (int j = 0; j <= k; ++j) {
+          ASSERT_EQ(in_place(i, j), pure(i, j))
+              << "precond=" << preconditioned << " step=" << step;
+        }
+      }
+    }
+  }
+}
+
+TEST(RichardsonWorkspaceTest, RejectsShapeMismatch) {
+  RichardsonWorkspace workspace;
+  workspace.Bind(2, 2);
+  Matrix control(2, 3);
+  EXPECT_FALSE(
+      workspace.Step(Matrix(3, 2), Matrix(2, 3), {}, &control).ok());
+  Matrix wrong(2, 4);
+  EXPECT_FALSE(
+      workspace.Step(Matrix::Identity(3), Matrix(2, 3), {}, &wrong).ok());
+}
+
 }  // namespace
 }  // namespace rpc::opt

@@ -42,6 +42,12 @@ METRIC_FIELDS = {
     "j_rel_diff_vs_full",
     "max_score_diff_vs_full",
     "ranking_matches_full",
+    "cold_seconds",
+    "warm_seconds",
+    "speedup_vs_cold",
+    "refreshes",
+    "p50_refresh_seconds",
+    "p99_refresh_seconds",
 }
 
 # Metrics the gate checks, in preference order (gate on the first present).

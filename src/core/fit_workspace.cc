@@ -62,6 +62,14 @@ void FitWorkspace::AccumulateNormalEquations(const Matrix& data,
   }
 }
 
+void FitWorkspace::ReduceFusedSegments() {
+  assert(bound());
+  total_.Reset();
+  for (const curve::BernsteinDesignAccumulator& segment : segments_) {
+    total_.Merge(segment);
+  }
+}
+
 Status FitWorkspace::UpdateControlPoints(const ControlUpdateOptions& options,
                                          Matrix* control) {
   assert(bound() && control->rows() == d_ &&

@@ -75,6 +75,20 @@ class FitWorkspace {
   const linalg::Matrix& gram() const { return total_.gram(); }
   const linalg::Matrix& cross() const { return total_.cross(); }
 
+  /// Fused projection+accumulation access: the Step 4 projection pass
+  /// (opt::IncrementalProjector::SetFusedAccumulators or
+  /// opt::ProjectRowsBatchFused) streams each projected row straight into
+  /// these per-segment accumulators, and ReduceFusedSegments() then merges
+  /// them in segment order — the same ordered reduction
+  /// AccumulateNormalEquations runs, so gram()/cross() are bit-identical
+  /// to the separate sweep for every thread count. This removes the one
+  /// remaining O(n) re-read of the dataset per outer iteration.
+  std::vector<curve::BernsteinDesignAccumulator>* fused_segments() {
+    return &segments_;
+  }
+  int num_segments() const { return num_segments_; }
+  void ReduceFusedSegments();
+
   /// Step 5: updates *control (d x (k+1)) in place from the accumulated
   /// normal equations — Eq. (26) via the symmetric pseudo-inverse or
   /// `richardson_steps` preconditioned Richardson steps of Eq. (27). The

@@ -1,5 +1,7 @@
 #include "core/model_io.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -54,6 +56,13 @@ std::string PortableRpcModel::Serialize() const {
   const int d = control_points.rows();
   const int k = control_points.cols() - 1;
   std::string out = "rpc-model v1\n";
+  // The model version line is emitted only for versioned (streaming-tier)
+  // snapshots, so batch-fit files stay byte-identical to the pre-versioning
+  // format and remain loadable by older parsers.
+  if (version != 0) {
+    out += StrFormat("version %llu\n",
+                     static_cast<unsigned long long>(version));
+  }
   out += StrFormat("dimension %d\n", d);
   out += StrFormat("degree %d\n", k);
   out += "alpha";
@@ -79,6 +88,7 @@ Result<PortableRpcModel> PortableRpcModel::Deserialize(
   }
   int dimension = -1;
   int degree = -1;
+  std::uint64_t version = 0;
   std::vector<int> signs;
   Vector mins, maxs;
   std::vector<Vector> control;
@@ -86,7 +96,22 @@ Result<PortableRpcModel> PortableRpcModel::Deserialize(
     const std::vector<std::string> tokens = Tokens(line);
     if (tokens.empty()) continue;
     const std::string& key = tokens[0];
-    if (key == "dimension" && tokens.size() == 2) {
+    if (key == "version" && tokens.size() == 2) {
+      // Parsed as an integer, not through ParseDouble: versions are
+      // written with %llu and must round-trip exactly even above 2^53.
+      const std::string& token = tokens[1];
+      if (token.empty() ||
+          token.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::DataLoss("model: bad version");
+      }
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+      if (errno == ERANGE || end == token.c_str() || *end != '\0') {
+        return Status::DataLoss("model: bad version");
+      }
+      version = static_cast<std::uint64_t>(v);
+    } else if (key == "dimension" && tokens.size() == 2) {
       double v;
       if (!ParseDouble(tokens[1], &v)) {
         return Status::DataLoss("model: bad dimension");
@@ -143,6 +168,7 @@ Result<PortableRpcModel> PortableRpcModel::Deserialize(
         control.size()));
   }
   PortableRpcModel model;
+  model.version = version;
   RPC_ASSIGN_OR_RETURN(model.alpha,
                        order::Orientation::FromSigns(std::move(signs)));
   model.mins = std::move(mins);

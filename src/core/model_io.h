@@ -1,6 +1,7 @@
 #ifndef RPC_CORE_MODEL_IO_H_
 #define RPC_CORE_MODEL_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -16,6 +17,7 @@ namespace rpc::core {
 /// struct). Serialised as a small self-describing text format:
 ///
 ///   rpc-model v1
+///   version 7
 ///   dimension 4
 ///   degree 3
 ///   alpha +1 +1 -1 -1
@@ -30,6 +32,12 @@ struct PortableRpcModel {
   linalg::Vector maxs;
   /// d x (k+1), columns p0..pk, in the *normalised* space.
   linalg::Matrix control_points;
+  /// Monotone model version, 0 for a one-shot batch fit. The streaming
+  /// tier bumps it on every published warm refresh so a serving fleet (and
+  /// serve::RankingService::DatasetVersion) can tell which snapshot of a
+  /// continuously refreshed model it is holding. Absent in pre-versioning
+  /// files; Deserialize then leaves it 0.
+  std::uint64_t version = 0;
 
   /// Serialises to the text format above.
   std::string Serialize() const;

@@ -61,7 +61,8 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
   ThreadPool pool(options_.num_threads);
   if (options_.restarts == 1) {
     FitWorkspace workspace;
-    return FitOnce(normalized_data, alpha, options_.seed, &pool, &workspace);
+    return FitOnce(normalized_data, alpha, options_.seed, &pool, &workspace,
+                   /*warm_seed=*/nullptr);
   }
   // Multi-restart: independent seeds, keep the lowest J (Theorem 3's
   // minimiser is approached from several basins). With a thread budget the
@@ -87,7 +88,8 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
                 FitOnce(normalized_data, alpha,
                         options_.seed + 7919ULL * static_cast<uint64_t>(r),
                         /*pool=*/nullptr,
-                        &workspaces[static_cast<size_t>(worker)]);
+                        &workspaces[static_cast<size_t>(worker)],
+                        /*warm_seed=*/nullptr);
           }
         });
   } else {
@@ -95,7 +97,7 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
     for (int r = 0; r < options_.restarts; ++r) {
       fits[static_cast<size_t>(r)] =
           FitOnce(normalized_data, alpha, options_.seed + 7919ULL * r, &pool,
-                  &workspace);
+                  &workspace, /*warm_seed=*/nullptr);
     }
   }
   // Whole-call stage timing: summed over every restart that ran, collected
@@ -125,10 +127,34 @@ Result<RpcFitResult> RpcLearner::Fit(const Matrix& normalized_data,
   return best;
 }
 
+Result<RpcFitResult> RpcLearner::Refit(const Matrix& normalized_data,
+                                       const order::Orientation& alpha,
+                                       const RpcWarmStartState& seed) const {
+  if (seed.control_points.rows() != normalized_data.cols() ||
+      seed.control_points.cols() != options_.degree + 1) {
+    return Status::InvalidArgument(StrFormat(
+        "RpcLearner::Refit: seed control points are %d x %d, need %d x %d",
+        seed.control_points.rows(), seed.control_points.cols(),
+        normalized_data.cols(), options_.degree + 1));
+  }
+  if (seed.scores.size() != 0 &&
+      seed.scores.size() != normalized_data.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "RpcLearner::Refit: %d seed scores for %d rows", seed.scores.size(),
+        normalized_data.rows()));
+  }
+  ThreadPool pool(options_.num_threads);
+  FitWorkspace workspace;
+  return FitOnce(normalized_data, alpha, options_.seed, &pool, &workspace,
+                 &seed);
+}
+
 Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
                                          const order::Orientation& alpha,
                                          uint64_t seed, ThreadPool* pool,
-                                         FitWorkspace* workspace) const {
+                                         FitWorkspace* workspace,
+                                         const RpcWarmStartState* warm_seed)
+    const {
   const int n = normalized_data.rows();
   const int d = normalized_data.cols();
   const int k = options_.degree;
@@ -173,50 +199,68 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   control.SetColumn(0, worst);
   control.SetColumn(k, best);
   const double margin = std::max(options_.clamp_margin, 1e-9);
-  for (int r = 1; r < k; ++r) {
-    const double frac = static_cast<double>(r) / k;
-    for (int j = 0; j < d; ++j) {
-      double v = 0.0;
-      switch (options_.init) {
-        case RpcInit::kDiagonal:
-          v = worst[j] + frac * (best[j] - worst[j]);
-          break;
-        case RpcInit::kQuantiles: {
-          const double q = alpha.sign(j) > 0 ? frac : 1.0 - frac;
-          v = ColumnQuantile(normalized_data, j, q);
-          break;
-        }
-        case RpcInit::kRandomSamples:
-          v = 0.0;  // filled below from whole sampled rows
-          break;
-      }
-      control(j, r) = Clamp01(v, margin);
-    }
-  }
-  if (options_.init == RpcInit::kRandomSamples) {
-    // Draw k-1 distinct rows and order them by oriented progress so the
-    // control polygon runs from worst to best.
-    std::vector<int> picks;
-    while (static_cast<int>(picks.size()) < k - 1) {
-      const int candidate = static_cast<int>(rng.UniformInt(n));
-      if (std::find(picks.begin(), picks.end(), candidate) == picks.end()) {
-        picks.push_back(candidate);
-      }
-      if (static_cast<int>(picks.size()) == n) break;  // tiny datasets
-    }
-    std::sort(picks.begin(), picks.end(), [&](int a, int b) {
-      double pa = 0.0, pb = 0.0;
-      for (int j = 0; j < d; ++j) {
-        pa += alpha.sign(j) * normalized_data(a, j);
-        pb += alpha.sign(j) * normalized_data(b, j);
-      }
-      return pa < pb;
-    });
+  if (warm_seed != nullptr) {
+    // Warm refit: the previous model's control points replace the Step 2
+    // initialisation. Interior points are re-clamped into the open cube
+    // (a normalisation-bound remap can push them onto the margin) and the
+    // end points re-pinned/clamped per the usual Proposition 1 handling.
     for (int r = 1; r < k; ++r) {
-      const int row = picks[static_cast<size_t>(
-          std::min<int>(r - 1, static_cast<int>(picks.size()) - 1))];
       for (int j = 0; j < d; ++j) {
-        control(j, r) = Clamp01(normalized_data(row, j), margin);
+        control(j, r) = Clamp01(warm_seed->control_points(j, r), margin);
+      }
+    }
+    if (!options_.fix_end_points) {
+      for (int j = 0; j < d; ++j) {
+        control(j, 0) = std::clamp(warm_seed->control_points(j, 0), 0.0, 1.0);
+        control(j, k) = std::clamp(warm_seed->control_points(j, k), 0.0, 1.0);
+      }
+    }
+  } else {
+    for (int r = 1; r < k; ++r) {
+      const double frac = static_cast<double>(r) / k;
+      for (int j = 0; j < d; ++j) {
+        double v = 0.0;
+        switch (options_.init) {
+          case RpcInit::kDiagonal:
+            v = worst[j] + frac * (best[j] - worst[j]);
+            break;
+          case RpcInit::kQuantiles: {
+            const double q = alpha.sign(j) > 0 ? frac : 1.0 - frac;
+            v = ColumnQuantile(normalized_data, j, q);
+            break;
+          }
+          case RpcInit::kRandomSamples:
+            v = 0.0;  // filled below from whole sampled rows
+            break;
+        }
+        control(j, r) = Clamp01(v, margin);
+      }
+    }
+    if (options_.init == RpcInit::kRandomSamples) {
+      // Draw k-1 distinct rows and order them by oriented progress so the
+      // control polygon runs from worst to best.
+      std::vector<int> picks;
+      while (static_cast<int>(picks.size()) < k - 1) {
+        const int candidate = static_cast<int>(rng.UniformInt(n));
+        if (std::find(picks.begin(), picks.end(), candidate) == picks.end()) {
+          picks.push_back(candidate);
+        }
+        if (static_cast<int>(picks.size()) == n) break;  // tiny datasets
+      }
+      std::sort(picks.begin(), picks.end(), [&](int a, int b) {
+        double pa = 0.0, pb = 0.0;
+        for (int j = 0; j < d; ++j) {
+          pa += alpha.sign(j) * normalized_data(a, j);
+          pb += alpha.sign(j) * normalized_data(b, j);
+        }
+        return pa < pb;
+      });
+      for (int r = 1; r < k; ++r) {
+        const int row = picks[static_cast<size_t>(
+            std::min<int>(r - 1, static_cast<int>(picks.size()) - 1))];
+        for (int j = 0; j < d; ++j) {
+          control(j, r) = Clamp01(normalized_data(row, j), margin);
+        }
       }
     }
   }
@@ -241,8 +285,12 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
   double update_seconds = 0.0;
 
   // Step 4 engine: the warm-start mode keeps per-row state (last s*, last
-  // squared distance) across outer iterations and only falls back to the
-  // full global search for suspect rows / periodic resyncs.
+  // squared distance, last drift) across outer iterations and only falls
+  // back to the full global search for suspect rows / periodic resyncs.
+  // Either engine streams each projected row straight into the fit
+  // workspace's per-segment Step 5 accumulators (fused
+  // projection+accumulation), so the dataset is swept exactly once per
+  // outer iteration.
   const bool warm_start =
       options_.reprojection == ReprojectionMode::kWarmStart;
   opt::IncrementalProjector incremental;
@@ -250,7 +298,17 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
     opt::IncrementalProjectorOptions incremental_options;
     incremental_options.projection = options_.projection;
     incremental_options.resync_period = options_.reprojection_resync_period;
+    incremental_options.adaptive_brackets =
+        options_.reprojection_adaptive_brackets;
     incremental.Bind(normalized_data, incremental_options, pool);
+    incremental.SetFusedAccumulators(workspace->fused_segments(),
+                                     kFitSegmentRows);
+    if (warm_seed != nullptr && warm_seed->scores.size() == n) {
+      // Per-row warm seed: the first in-loop projection refines each row
+      // locally around the live model's s* instead of running the cold
+      // full search — the heart of the streaming tier's cheap refresh.
+      incremental.ImportState(warm_seed->scores, control);
+    }
   }
 
   int iter = 0;
@@ -264,8 +322,9 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
     if (warm_start) {
       incremental.ProjectInto(bezier, &scores, &j_current);
     } else {
-      scores = opt::ProjectRowsBatch(bezier, normalized_data,
-                                     options_.projection, pool, &j_current);
+      scores = opt::ProjectRowsBatchFused(
+          bezier, normalized_data, options_.projection, pool,
+          workspace->fused_segments(), kFitSegmentRows, &j_current);
     }
     projection_seconds += SecondsSince(projection_start);
     if (options_.record_history) result.j_history.push_back(j_current);
@@ -295,13 +354,14 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
     previous_control = control;
     previous_scores = scores;
 
-    // Step 5: control-point update, allocation-free in steady state — the
-    // workspace streams the Eq. (26) normal equations over fixed row
-    // segments (never materialising the (k+1) x n design matrix) and runs
-    // the Eq. (26)/(27) solve in its persistent scratch, in place on
-    // `control`.
+    // Step 5: control-point update, allocation-free in steady state. The
+    // projection pass above already streamed every (s_i, x_i) into the
+    // workspace's per-segment Eq. (26) accumulators (fused
+    // projection+accumulation — the dataset is not re-read here); the
+    // segment-ordered reduction and the Eq. (26)/(27) solve run in the
+    // persistent scratch, in place on `control`.
     const auto update_start = std::chrono::steady_clock::now();
-    workspace->AccumulateNormalEquations(normalized_data, scores, pool);
+    workspace->ReduceFusedSegments();
     const Status update_status =
         workspace->UpdateControlPoints(update_options, &control);
     if (!update_status.ok()) return update_status;

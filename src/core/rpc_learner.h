@@ -76,6 +76,15 @@ struct RpcLearnOptions {
   /// curve-movement bound) pay for the global search. <= 1 resyncs every
   /// iteration (kFull behaviour at kFull cost).
   int reprojection_resync_period = 8;
+  /// Adaptive warm-start brackets (kWarmStart only): shrink each row's
+  /// bracket from its observed per-iteration s* drift and skip the bracket
+  /// probe entirely for rows whose drift is below tolerance (see
+  /// opt::IncrementalProjectorOptions::adaptive_brackets). The same
+  /// fallback safety net and final full verification apply, so the
+  /// reported fit quality is measured exactly as without it; the
+  /// trajectory is equivalent but not bit-identical to the fixed-width
+  /// bracket. The streaming tier's warm refresh enables this.
+  bool reprojection_adaptive_brackets = false;
   /// Keep p0/p3 pinned to the alpha corners (Proposition 1 — guarantees the
   /// meta-rules). When false, end points are learned too and merely clamped
   /// into [0,1]^d, the freer behaviour Table 2's printed end points suggest.
@@ -140,6 +149,22 @@ struct RpcFitResult {
   double update_seconds = 0.0;
 };
 
+/// Warm-start seed for RpcLearner::Refit: the previous (live) model's
+/// control points and, optionally, its per-row projection indices.
+struct RpcWarmStartState {
+  /// d x (k+1), columns p0..pk, in the normalised space of the data the
+  /// refit will run on. A model fit under different normalisation bounds
+  /// must be remapped first (Eq. 16: affine maps move control points, not
+  /// scores) — see stream::RemapControlPoints.
+  linalg::Matrix control_points;
+  /// Per-row s* aligned with the refit's rows (empty = seed the control
+  /// points only). Under ReprojectionMode::kWarmStart these are imported
+  /// into the incremental projector (opt::IncrementalProjector::
+  /// ImportState), so the very first outer iteration runs warm local
+  /// refinements instead of the cold full search.
+  linalg::Vector scores;
+};
+
 /// Learns a ranking principal curve from observations already normalised
 /// into [0,1]^d (Algorithm 1). Use RpcRanker for the end-to-end pipeline on
 /// raw data.
@@ -152,6 +177,19 @@ class RpcLearner {
   Result<RpcFitResult> Fit(const linalg::Matrix& normalized_data,
                            const order::Orientation& alpha) const;
 
+  /// Warm refit: one fit trajectory (no restarts — the seed pins the
+  /// basin) seeded from `seed` instead of the Step 2 initialisation. With
+  /// kWarmStart reprojection and per-row seed scores, a refresh whose data
+  /// barely moved converges in a few warm outer iterations instead of a
+  /// cold multi-restart fit — the streaming tier's model-refresh
+  /// primitive. The returned scores and J come from the same final full
+  /// projection as Fit, so refit quality is measured identically.
+  /// Deterministic: same data + same seed state => bit-identical result,
+  /// for every thread count.
+  Result<RpcFitResult> Refit(const linalg::Matrix& normalized_data,
+                             const order::Orientation& alpha,
+                             const RpcWarmStartState& seed) const;
+
   const RpcLearnOptions& options() const { return options_; }
 
  private:
@@ -160,10 +198,12 @@ class RpcLearner {
   /// run concurrently each gets a null pool instead, so the two levels of
   /// parallelism never nest. `workspace` holds the Step 5 scratch and
   /// persists across outer iterations and restarts (serial restarts share
-  /// one; concurrent restarts use one per worker).
+  /// one; concurrent restarts use one per worker). `warm_seed` (nullable)
+  /// replaces the Step 2 initialisation with a previous model's state.
   Result<RpcFitResult> FitOnce(const linalg::Matrix& normalized_data,
                                const order::Orientation& alpha, uint64_t seed,
-                               ThreadPool* pool, FitWorkspace* workspace) const;
+                               ThreadPool* pool, FitWorkspace* workspace,
+                               const RpcWarmStartState* warm_seed) const;
 
   RpcLearnOptions options_;
 };

@@ -28,6 +28,25 @@ Result<Normalizer> Normalizer::Fit(const Matrix& data) {
   return Normalizer(std::move(mins), std::move(maxs));
 }
 
+Result<Normalizer> Normalizer::FromBounds(Vector mins, Vector maxs) {
+  if (mins.size() != maxs.size() || mins.size() == 0) {
+    return Status::InvalidArgument(
+        "Normalizer: bounds must be non-empty and equally sized");
+  }
+  if (!mins.AllFinite() || !maxs.AllFinite()) {
+    return Status::InvalidArgument(
+        "Normalizer: bounds contain NaN or infinity");
+  }
+  for (int j = 0; j < mins.size(); ++j) {
+    if (!(maxs[j] > mins[j])) {
+      return Status::InvalidArgument(
+          StrFormat("Normalizer: attribute %d has max (%g) <= min (%g)", j,
+                    maxs[j], mins[j]));
+    }
+  }
+  return Normalizer(std::move(mins), std::move(maxs));
+}
+
 Vector Normalizer::Transform(const Vector& x) const {
   assert(x.size() == dimension());
   Vector out(x.size());

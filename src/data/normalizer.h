@@ -19,6 +19,13 @@ class Normalizer {
   /// should drop it first.
   static Result<Normalizer> Fit(const linalg::Matrix& data);
 
+  /// Builds a normalizer directly from known bounds (the streaming tier's
+  /// OnlineNormalizer freezes its live statistics through here). Every max
+  /// must strictly exceed its min and all entries must be finite, the same
+  /// contract Fit() enforces.
+  static Result<Normalizer> FromBounds(linalg::Vector mins,
+                                       linalg::Vector maxs);
+
   int dimension() const { return mins_.size(); }
   const linalg::Vector& mins() const { return mins_; }
   const linalg::Vector& maxs() const { return maxs_; }

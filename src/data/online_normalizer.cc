@@ -1,0 +1,138 @@
+#include "data/online_normalizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rpc::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void OnlineNormalizer::Reset(int dimension) {
+  assert(dimension >= 0);
+  count_ = 0;
+  bounds_stale_ = false;
+  mins_ = Vector(dimension, kInf);
+  maxs_ = Vector(dimension, -kInf);
+  mean_ = Vector(dimension, 0.0);
+  m2_ = Vector(dimension, 0.0);
+}
+
+void OnlineNormalizer::Observe(const double* x) {
+  const int d = dimension();
+  ++count_;
+  for (int j = 0; j < d; ++j) {
+    mins_[j] = std::min(mins_[j], x[j]);
+    maxs_[j] = std::max(maxs_[j], x[j]);
+    // Welford: mean and M2 updated with the pre-update mean.
+    const double delta = x[j] - mean_[j];
+    mean_[j] += delta / static_cast<double>(count_);
+    m2_[j] += delta * (x[j] - mean_[j]);
+  }
+}
+
+void OnlineNormalizer::Observe(const Vector& x) {
+  assert(x.size() == dimension());
+  Observe(x.data().data());
+}
+
+void OnlineNormalizer::Observe(const Matrix& rows) {
+  assert(rows.cols() == dimension() || rows.rows() == 0);
+  for (int i = 0; i < rows.rows(); ++i) Observe(rows.RowPtr(i));
+}
+
+bool OnlineNormalizer::Remove(const double* x) {
+  assert(count_ > 0);
+  const int d = dimension();
+  bool touched_bound = false;
+  --count_;
+  for (int j = 0; j < d; ++j) {
+    if (x[j] <= mins_[j] || x[j] >= maxs_[j]) touched_bound = true;
+    if (count_ == 0) {
+      mean_[j] = 0.0;
+      m2_[j] = 0.0;
+      continue;
+    }
+    // Reverse Welford: exact inverse of the Observe update.
+    const double mean_after =
+        (static_cast<double>(count_ + 1) * mean_[j] - x[j]) /
+        static_cast<double>(count_);
+    m2_[j] -= (x[j] - mean_after) * (x[j] - mean_[j]);
+    m2_[j] = std::max(m2_[j], 0.0);  // guard round-off from going negative
+    mean_[j] = mean_after;
+  }
+  if (count_ == 0) {
+    mins_ = Vector(d, kInf);
+    maxs_ = Vector(d, -kInf);
+    bounds_stale_ = false;
+    return false;
+  }
+  if (touched_bound) bounds_stale_ = true;
+  return touched_bound;
+}
+
+void OnlineNormalizer::RebuildBounds(const Matrix& rows) {
+  assert(rows.cols() == dimension() || rows.rows() == 0);
+  RebuildBounds(rows.rows() > 0 ? rows.RowPtr(0) : nullptr, rows.rows());
+}
+
+void OnlineNormalizer::RebuildBounds(const double* rows, std::int64_t n) {
+  assert(n == count_);
+  const int d = dimension();
+  mins_ = Vector(d, kInf);
+  maxs_ = Vector(d, -kInf);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double* x = rows + i * d;
+    for (int j = 0; j < d; ++j) {
+      mins_[j] = std::min(mins_[j], x[j]);
+      maxs_[j] = std::max(maxs_[j], x[j]);
+    }
+  }
+  bounds_stale_ = false;
+}
+
+Vector OnlineNormalizer::Means() const { return mean_; }
+
+Vector OnlineNormalizer::StdDevs() const {
+  Vector out(dimension(), 0.0);
+  if (count_ < 2) return out;
+  for (int j = 0; j < dimension(); ++j) {
+    out[j] = std::sqrt(m2_[j] / static_cast<double>(count_));
+  }
+  return out;
+}
+
+double OnlineNormalizer::BoundsDrift(const Vector& ref_mins,
+                                     const Vector& ref_maxs) const {
+  assert(ref_mins.size() == dimension() && ref_maxs.size() == dimension());
+  double drift = 0.0;
+  for (int j = 0; j < dimension(); ++j) {
+    const double range = ref_maxs[j] - ref_mins[j];
+    if (!(range > 0.0)) return kInf;
+    const double moved = std::fabs(mins_[j] - ref_mins[j]) +
+                         std::fabs(maxs_[j] - ref_maxs[j]);
+    drift = std::max(drift, moved / range);
+  }
+  return drift;
+}
+
+Result<Normalizer> OnlineNormalizer::ToNormalizer() const {
+  if (bounds_stale_) {
+    return Status::FailedPrecondition(
+        "OnlineNormalizer: bounds are stale after a bound-touching removal; "
+        "RebuildBounds first");
+  }
+  if (count_ == 0) {
+    return Status::FailedPrecondition(
+        "OnlineNormalizer: no rows observed");
+  }
+  return Normalizer::FromBounds(mins_, maxs_);
+}
+
+}  // namespace rpc::data

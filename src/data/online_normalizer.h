@@ -1,0 +1,102 @@
+#ifndef RPC_DATA_ONLINE_NORMALIZER_H_
+#define RPC_DATA_ONLINE_NORMALIZER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/normalizer.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::data {
+
+/// Streaming sufficient statistics for the Eq. (29) min-max normalisation:
+/// per-attribute mins/maxs plus Welford mean/M2 (the z-score statistics),
+/// all updated in O(d) per observed row. The streaming tier feeds every
+/// ingested row through one of these so a model refresh can renormalise
+/// with the *live* bounds instead of re-scanning the whole row store, and
+/// so the drift of those live bounds against the bounds baked into the
+/// currently served model — the quantity the refit-on-drift policy
+/// watches — is always one BoundsDrift() call away.
+///
+/// Removal: mean/M2 are downdated exactly (reverse Welford), but min/max
+/// are not reconstructible from sufficient statistics alone. Remove()
+/// therefore reports whether the removed row touched a live bound; the
+/// bounds are then flagged stale until RebuildBounds() re-scans the
+/// surviving rows (the caller owns the row store). Interior removals keep
+/// the bounds exact with no rescan — the common case for retirement.
+///
+/// Not thread-safe; the streaming tier serialises access through its
+/// ingestion worker.
+class OnlineNormalizer {
+ public:
+  OnlineNormalizer() = default;
+  explicit OnlineNormalizer(int dimension) { Reset(dimension); }
+
+  /// Drops every statistic and re-dimensions.
+  void Reset(int dimension);
+
+  int dimension() const { return mins_.size(); }
+  std::int64_t count() const { return count_; }
+
+  /// Folds one row (`dimension()` contiguous doubles) into every statistic.
+  void Observe(const double* x);
+  void Observe(const linalg::Vector& x);
+  /// Folds every row of `rows` (n x dimension()), in row order.
+  void Observe(const linalg::Matrix& rows);
+
+  /// Exactly removes one previously observed row from the statistics.
+  /// Returns true when the row touched a live min or max: the bounds are
+  /// then stale (bounds_stale()) until RebuildBounds() runs. Mean/M2 and
+  /// the count are always downdated exactly.
+  bool Remove(const double* x);
+  bool bounds_stale() const { return bounds_stale_; }
+
+  /// Re-scans `rows` (the surviving row store) to restore exact mins/maxs
+  /// after a bound-touching removal; clears bounds_stale().
+  void RebuildBounds(const linalg::Matrix& rows);
+  /// Flat row-major variant (`n` rows of dimension() contiguous doubles):
+  /// lets the streaming tier rescan its store in place, without copying
+  /// it into a Matrix under its ingestion lock.
+  void RebuildBounds(const double* rows, std::int64_t n);
+
+  /// Live bounds. Meaningless (and `bounds_stale()` aside, equal to the
+  /// +/-inf sentinels) while count() == 0.
+  const linalg::Vector& mins() const { return mins_; }
+  const linalg::Vector& maxs() const { return maxs_; }
+
+  /// Welford statistics: per-attribute running mean and the population
+  /// standard deviation sqrt(M2 / n) (0 while count() < 2).
+  linalg::Vector Means() const;
+  linalg::Vector StdDevs() const;
+
+  /// Renormalisation drift of the live bounds against a reference pair
+  /// (typically the bounds baked into the currently served model):
+  ///   max_j (|min_j - ref_min_j| + |max_j - ref_max_j|)
+  ///         / (ref_max_j - ref_min_j).
+  /// 0 means scoring new rows through the served model uses exactly the
+  /// normalisation a refit would; large values mean the served curve is
+  /// projecting in a stretched/shifted coordinate system (the Eq. 16
+  /// invariance only holds when the affine map is the one the curve was
+  /// fit under). Infinity when a reference range is degenerate.
+  double BoundsDrift(const linalg::Vector& ref_mins,
+                     const linalg::Vector& ref_maxs) const;
+
+  /// Freezes the live bounds into a data::Normalizer (the Eq. 29 map the
+  /// refit pipeline uses). Fails with kFailedPrecondition while the bounds
+  /// are stale, no rows were observed, or an attribute is constant (zero
+  /// range — same contract as Normalizer::Fit).
+  Result<Normalizer> ToNormalizer() const;
+
+ private:
+  std::int64_t count_ = 0;
+  bool bounds_stale_ = false;
+  linalg::Vector mins_;
+  linalg::Vector maxs_;
+  linalg::Vector mean_;
+  linalg::Vector m2_;
+};
+
+}  // namespace rpc::data
+
+#endif  // RPC_DATA_ONLINE_NORMALIZER_H_

@@ -326,6 +326,28 @@ ProjectionResult ProjectionWorkspace::ProjectLocal(const double* x, double lo,
   return best;
 }
 
+ProjectionResult ProjectionWorkspace::ProjectSeeded(const double* x,
+                                                    double seed, double lo,
+                                                    double hi) {
+  assert(bound());
+  // Grid-only has no refinement stage; degenerate to the full grid argmin,
+  // exactly like ProjectLocal.
+  if (options_.method == ProjectionMethod::kGridOnly) return Project(x);
+  assert(hodograph_eval_.bound());
+  lo = std::clamp(lo, 0.0, 1.0);
+  hi = std::clamp(hi, 0.0, 1.0);
+  assert(hi > lo);
+  seed = std::clamp(seed, lo, hi);
+
+  ProjectionResult best;
+  best.s = seed;
+  best.squared_distance = ObjectiveAt(x, seed);
+  best.evaluations = 1;
+  const double s = NewtonRefine(x, lo, hi, &best);
+  ConsiderCandidate(x, std::clamp(s, 0.0, 1.0), &best);
+  return best;
+}
+
 ProjectionResult ProjectionWorkspace::ProjectViaPolynomialRoots(
     const double* x) {
   const int k = curve_->degree();

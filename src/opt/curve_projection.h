@@ -113,6 +113,17 @@ class ProjectionWorkspace {
   ProjectionResult ProjectLocal(const double* x, double lo, double hi,
                                 bool* hit_edge);
 
+  /// Probe-free warm refinement for rows whose minimiser has stopped
+  /// moving (IncrementalProjector's adaptive-bracket fast path): evaluates
+  /// the seed s only, then runs the safeguarded Newton refinement over
+  /// [lo, hi] directly — no interior bracket grid, so a settled row costs
+  /// a couple of evaluations instead of ProjectLocal's probe. There is no
+  /// edge detection; the caller must guard the result with the certified
+  /// curve-movement distance bound and fall back to Project() when it
+  /// fails. Same bind requirements and sup tie-break as ProjectLocal.
+  ProjectionResult ProjectSeeded(const double* x, double seed, double lo,
+                                 double hi);
+
   /// Evaluation accounting since the last Bind/ResetEvaluationCounts:
   /// squared-distance evaluations plus stationarity evaluations (kNewton
   /// and the warm-start refinement count curve-space evaluations of

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace rpc::opt {
 
 using curve::BezierCurve;
 using linalg::Matrix;
 using linalg::Vector;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
 void IncrementalProjector::Bind(const Matrix& data,
                                 const IncrementalProjectorOptions& options,
@@ -30,11 +35,60 @@ void IncrementalProjector::Bind(const Matrix& data,
   const size_t n = static_cast<size_t>(data.rows());
   s_.assign(n, 0.0);
   dist_.assign(n, 0.0);
+  // No drift has been observed yet: infinity keeps the adaptive bracket at
+  // its full width until a row has two calls of history.
+  drift_.assign(n, kInf);
   squared_.assign(n, 0.0);
-  fallback_slots_.assign(static_cast<size_t>(parallelism), 0);
+  counter_slots_.assign(static_cast<size_t>(parallelism), RangeCounters());
+  fused_segments_ = nullptr;
+  fused_segment_rows_ = 0;
   calls_ = 0;
   last_was_full_ = false;
   last_fallbacks_ = 0;
+  last_probe_skips_ = 0;
+}
+
+void IncrementalProjector::ImportState(const Vector& s,
+                                       const Matrix& control_points) {
+  assert(bound());
+  assert(s.size() == data_->rows());
+  std::copy(s.data().begin(), s.data().end(), s_.begin());
+  // The imported rows' previous distances are unknown; the infinity
+  // sentinel disarms the certified bound for the first warm call (the
+  // bracket-edge check still guards it) and the first call's results
+  // re-arm it.
+  std::fill(dist_.begin(), dist_.end(), kInf);
+  // Imported state is by definition a *converged* model's state — every
+  // row was settled when it was exported — so under adaptive brackets the
+  // first warm call may take the probe-free fast path immediately (zero
+  // observed drift). That path's own bracket-edge detection still guards
+  // the call while the distance certificate is disarmed; with adaptive
+  // brackets off this value is unread. Any row the import mis-seeded is
+  // further repaired by the resync cadence and the learner's final full
+  // verification pass.
+  std::fill(drift_.begin(), drift_.end(), 0.0);
+  prev_control_ = control_points;
+  // A non-zero call count makes the next Project() warm; resyncs then fire
+  // on the usual cadence counted from the import.
+  calls_ = 1;
+}
+
+void IncrementalProjector::ExportState(Vector* s, Vector* dist) const {
+  assert(bound());
+  if (s != nullptr) {
+    s->data().assign(s_.begin(), s_.end());
+  }
+  if (dist != nullptr) {
+    dist->data().assign(dist_.begin(), dist_.end());
+  }
+}
+
+void IncrementalProjector::SetFusedAccumulators(
+    std::vector<curve::BernsteinDesignAccumulator>* segments,
+    int segment_rows) {
+  assert(segments == nullptr || segment_rows >= 1);
+  fused_segments_ = segments;
+  fused_segment_rows_ = segment_rows;
 }
 
 Vector IncrementalProjector::Project(const BezierCurve& curve,
@@ -86,24 +140,60 @@ void IncrementalProjector::ProjectInto(const BezierCurve& curve,
   for (ProjectionWorkspace& w : workspaces_) w.Bind(curve, options_.projection);
 
   const int parallelism = static_cast<int>(workspaces_.size());
-  std::int64_t fallbacks = 0;
-  if (parallelism <= 1 || n < 2) {
+  std::fill(counter_slots_.begin(), counter_slots_.end(), RangeCounters());
+  if (fused_segments_ != nullptr && n > 0) {
+    // Fused Step 5 accumulation: the unit of work is one fixed-size row
+    // segment, so exactly one worker fills each segment's accumulator,
+    // sweeping its rows in order — the ordered-reduction determinism
+    // contract — while also writing the ordinary projection outputs.
+    const std::int64_t num_segments =
+        (n + fused_segment_rows_ - 1) / fused_segment_rows_;
+    assert(static_cast<size_t>(num_segments) <= fused_segments_->size());
+    const auto run_segment = [&](std::int64_t segment, int worker) {
+      curve::BernsteinDesignAccumulator& acc =
+          (*fused_segments_)[static_cast<size_t>(segment)];
+      acc.Reset();
+      const std::int64_t begin = segment * fused_segment_rows_;
+      const std::int64_t end =
+          std::min<std::int64_t>(n, begin + fused_segment_rows_);
+      ProjectRange(&workspaces_[static_cast<size_t>(worker)], full, delta,
+                   begin, end, scores.data().data(), squared_.data(),
+                   &counter_slots_[static_cast<size_t>(worker)], &acc);
+    };
+    if (parallelism <= 1 || num_segments <= 1) {
+      for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+        run_segment(seg, 0);
+      }
+    } else {
+      pool_->ParallelFor(num_segments, /*grain=*/1,
+                         [&](std::int64_t begin, std::int64_t end,
+                             int worker) {
+                           for (std::int64_t seg = begin; seg < end; ++seg) {
+                             run_segment(seg, worker);
+                           }
+                         });
+    }
+  } else if (parallelism <= 1 || n < 2) {
     ProjectRange(&workspaces_[0], full, delta, 0, n, scores.data().data(),
-                 squared_.data(), &fallbacks);
+                 squared_.data(), &counter_slots_[0], nullptr);
   } else {
     // Same chunking as ProjectRowsBatch: ~4 chunks per worker. The
-    // per-worker counters live in the bound fallback_slots_ buffer so the
+    // per-worker counters live in the bound counter_slots_ buffer so the
     // steady-state pass stays allocation-free.
-    std::fill(fallback_slots_.begin(), fallback_slots_.end(), 0);
     const std::int64_t grain = std::max<std::int64_t>(
         1, (n + 4 * parallelism - 1) / (4 * parallelism));
     pool_->ParallelFor(
         n, grain, [&](std::int64_t begin, std::int64_t end, int worker) {
           ProjectRange(&workspaces_[static_cast<size_t>(worker)], full, delta,
                        begin, end, scores.data().data(), squared_.data(),
-                       &fallback_slots_[static_cast<size_t>(worker)]);
+                       &counter_slots_[static_cast<size_t>(worker)], nullptr);
         });
-    for (std::int64_t count : fallback_slots_) fallbacks += count;
+  }
+  std::int64_t fallbacks = 0;
+  std::int64_t probe_skips = 0;
+  for (const RangeCounters& slot : counter_slots_) {
+    fallbacks += slot.fallbacks;
+    probe_skips += slot.probe_skips;
   }
 
   if (total_squared_distance != nullptr) {
@@ -117,50 +207,85 @@ void IncrementalProjector::ProjectInto(const BezierCurve& curve,
   ++calls_;
   last_was_full_ = full;
   last_fallbacks_ = fallbacks;
+  last_probe_skips_ = probe_skips;
 }
 
-void IncrementalProjector::ProjectRange(ProjectionWorkspace* workspace,
-                                        bool full, double delta,
-                                        std::int64_t begin, std::int64_t end,
-                                        double* scores, double* squared,
-                                        std::int64_t* fallbacks) {
+void IncrementalProjector::ProjectRange(
+    ProjectionWorkspace* workspace, bool full, double delta,
+    std::int64_t begin, std::int64_t end, double* scores, double* squared,
+    RangeCounters* counters, curve::BernsteinDesignAccumulator* accumulator) {
   const Matrix& data = *data_;
   const int g = std::max(options_.projection.grid_points, 2);
-  const double half = options_.bracket_cells / g;
+  const double default_half = options_.bracket_cells / g;
+  const double min_half =
+      std::min(default_half, options_.min_bracket_cells / g);
   for (std::int64_t i = begin; i < end; ++i) {
     const double* x = data.RowPtr(static_cast<int>(i));
+    const double s_prev = s_[static_cast<size_t>(i)];
     ProjectionResult result;
     if (full) {
       result = workspace->Project(x);
     } else {
-      const double s_prev = s_[static_cast<size_t>(i)];
-      const double lo = std::max(0.0, s_prev - half);
-      const double hi = std::min(1.0, s_prev + half);
-      bool hit_edge = false;
-      result = workspace->ProjectLocal(x, lo, hi, &hit_edge);
+      const double drift = drift_[static_cast<size_t>(i)];
       // Certified distance bound: the previous s* is inside the bracket and
       // the curve moved at most delta, so any honest local refinement must
       // land at or below (sqrt(d_prev) + delta)^2. Above it, something went
       // wrong (e.g. the bracket was clipped away from s_prev at a domain
-      // boundary) — pay for the global search.
+      // boundary) — pay for the global search. (Infinity — a freshly
+      // imported row — disarms the check for this one call.)
       const double certified =
           std::sqrt(dist_[static_cast<size_t>(i)]) + delta;
-      const bool distance_suspect =
-          result.squared_distance > certified * certified + 1e-12;
-      if (hit_edge || distance_suspect) {
-        ++*fallbacks;
-        // The rejected local probe's evaluations were really performed (and
-        // counted by the workspace); keep them in the row's total so the
-        // per-point accounting invariant holds.
-        const int local_evaluations = result.evaluations;
-        result = workspace->Project(x);
-        result.evaluations += local_evaluations;
+      const bool adaptive =
+          options_.adaptive_brackets && std::isfinite(drift);
+      if (adaptive && drift <= options_.drift_skip_tol) {
+        // Settled row: skip the bracket probe, Newton-refine straight from
+        // the previous s* on the floor-width bracket. The refinement
+        // walking to a bracket edge that is not a domain boundary means
+        // the minimiser escaped the floor bracket — treat it like
+        // ProjectLocal's edge detection. This guard matters most for
+        // freshly imported rows, whose infinity distance sentinel disarms
+        // the certified bound for one call.
+        const double lo = std::max(0.0, s_prev - min_half);
+        const double hi = std::min(1.0, s_prev + min_half);
+        result = workspace->ProjectSeeded(x, s_prev, lo, hi);
+        ++counters->probe_skips;
+        const bool hit_edge = (result.s <= lo + 1e-12 && lo > 0.0) ||
+                              (result.s >= hi - 1e-12 && hi < 1.0);
+        if (hit_edge ||
+            result.squared_distance > certified * certified + 1e-12) {
+          ++counters->fallbacks;
+          const int local_evaluations = result.evaluations;
+          result = workspace->Project(x);
+          result.evaluations += local_evaluations;
+        }
+      } else {
+        const double half =
+            adaptive ? std::clamp(options_.bracket_drift_factor * drift,
+                                  min_half, default_half)
+                     : default_half;
+        const double lo = std::max(0.0, s_prev - half);
+        const double hi = std::min(1.0, s_prev + half);
+        bool hit_edge = false;
+        result = workspace->ProjectLocal(x, lo, hi, &hit_edge);
+        const bool distance_suspect =
+            result.squared_distance > certified * certified + 1e-12;
+        if (hit_edge || distance_suspect) {
+          ++counters->fallbacks;
+          // The rejected local probe's evaluations were really performed
+          // (and counted by the workspace); keep them in the row's total so
+          // the per-point accounting invariant holds.
+          const int local_evaluations = result.evaluations;
+          result = workspace->Project(x);
+          result.evaluations += local_evaluations;
+        }
       }
     }
+    drift_[static_cast<size_t>(i)] = std::fabs(result.s - s_prev);
     s_[static_cast<size_t>(i)] = result.s;
     dist_[static_cast<size_t>(i)] = result.squared_distance;
     scores[i] = result.s;
     squared[i] = result.squared_distance;
+    if (accumulator != nullptr) accumulator->AccumulateRow(result.s, x);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "curve/bernstein.h"
 #include "curve/bezier.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
@@ -26,15 +27,35 @@ struct IncrementalProjectorOptions {
   /// default mirrors the cell size the full search refines, so a minimiser
   /// drifting less than one cell per iteration stays inside the bracket.
   double bracket_cells = 1.0;
+  /// Adaptive warm-start brackets: shrink each row's bracket from its
+  /// observed per-iteration s* drift instead of always probing the full
+  /// `bracket_cells` half-width, and skip the bracket probe entirely
+  /// (ProjectionWorkspace::ProjectSeeded — no interior grid, straight to
+  /// the safeguarded Newton refinement guarded by the certified distance
+  /// bound) for rows whose drift has fallen below `drift_skip_tol`. Near
+  /// convergence most rows barely move, so this is the main lever on the
+  /// streaming tier's warm-refresh cost. Off by default: the trajectory it
+  /// produces is equivalent (same fallback safety net, same final full
+  /// verification in the learner) but not bit-identical to the fixed
+  /// bracket, so callers opt in where refresh latency matters.
+  bool adaptive_brackets = false;
+  /// Adaptive bracket half-width = clamp(bracket_drift_factor * drift,
+  /// min_bracket_cells / grid, bracket_cells / grid).
+  double bracket_drift_factor = 4.0;
+  /// Floor of the adaptive bracket, in grid cells.
+  double min_bracket_cells = 0.25;
+  /// Rows whose last observed s* drift is at or below this skip the
+  /// bracket probe (see adaptive_brackets).
+  double drift_skip_tol = 1e-8;
 };
 
 /// Stateful re-projection engine for Step 4 of Algorithm 1: owns per-row
-/// state (last s*, last squared distance) across outer iterations, so that
-/// near convergence — when the curve barely moves and each row's optimal s*
-/// shifts only slightly (Eq. 19-20; the locality Hastie-Stuetzle-style
-/// alternating schemes exploit) — each row is re-projected by a cheap local
-/// refinement on a shrunken bracket instead of the full grid + per-bracket
-/// search.
+/// state (last s*, last squared distance, last s* drift) across outer
+/// iterations, so that near convergence — when the curve barely moves and
+/// each row's optimal s* shifts only slightly (Eq. 19-20; the locality
+/// Hastie-Stuetzle-style alternating schemes exploit) — each row is
+/// re-projected by a cheap local refinement on a shrunken bracket instead
+/// of the full grid + per-bracket search.
 ///
 /// A row falls back to the full global search whenever the local result is
 /// suspect:
@@ -46,6 +67,25 @@ struct IncrementalProjectorOptions {
 ///     (convex-hull property: max_s |f_t(s) - f_{t-1}(s)| <=
 ///     max_r |p_r^t - p_r^{t-1}|), or
 ///   * the call is a periodic safety resync (`resync_period`).
+///
+/// Warm-start state can be exported after a fit and re-imported before the
+/// next one (ImportState/ExportState): the streaming tier seeds a model
+/// refresh with the live model's per-row s* so the refreshed fit starts
+/// from warm local refinements instead of a cold full search. An imported
+/// row's previous distance is unknown (sentinel infinity), so its first
+/// warm projection is guarded by the bracket-edge check alone; the
+/// certified bound re-arms from the second iteration on, and the learner's
+/// final full verification pass measures the result exactly either way.
+///
+/// Fused accumulation (SetFusedAccumulators): the Step 5 normal equations
+/// need every (s_i, x_i) pair the projection just produced, and the
+/// separate accumulation sweep re-reads the whole dataset one iteration
+/// later. When fused accumulators are attached, ProjectInto streams each
+/// projected row straight into its fixed-size segment's
+/// curve::BernsteinDesignAccumulator — one worker owns one segment and
+/// sweeps its rows in order, so merging the segments in segment order
+/// afterwards (core::FitWorkspace::ReduceFusedSegments) reproduces the
+/// separate sweep bit for bit — saving one O(n) pass per outer iteration.
 ///
 /// Determinism: per-row results depend only on that row's own state, the
 /// reduction of J runs in row order, and the fallback counter is summed per
@@ -65,6 +105,32 @@ class IncrementalProjector {
             const IncrementalProjectorOptions& options, ThreadPool* pool);
   bool bound() const { return data_ != nullptr; }
 
+  /// Seeds the per-row warm-start state from a previous model: `s` holds
+  /// one projection index per bound row and `control_points` the curve
+  /// those indices were projected against (the certified-bound reference
+  /// for the first warm call). The next Project() call then runs warm
+  /// local refinements instead of the cold full search — the streaming
+  /// tier's refresh path. Must be called after Bind (Bind resets it).
+  void ImportState(const linalg::Vector& s,
+                   const linalg::Matrix& control_points);
+
+  /// Copies the per-row state of the most recent Project() call out:
+  /// projection indices into *s and squared distances into *dist (either
+  /// may be null). This is the state a later ImportState (on a projector
+  /// bound to the same rows) warm-starts from.
+  void ExportState(linalg::Vector* s, linalg::Vector* dist) const;
+
+  /// Attaches per-segment Step 5 accumulators: every subsequent
+  /// ProjectInto also streams (s_i, row_i) into the accumulator of row i's
+  /// fixed `segment_rows`-row segment, fusing the normal-equation sweep
+  /// into the projection workers. `segments` must hold at least
+  /// ceil(n / segment_rows) accumulators, already Bind()-ed to the curve
+  /// degree/dimension; the pass Reset()s each before filling it. Pass
+  /// nullptr to detach.
+  void SetFusedAccumulators(
+      std::vector<curve::BernsteinDesignAccumulator>* segments,
+      int segment_rows);
+
   /// Projects every bound row onto `curve`, warm-starting from the previous
   /// call's per-row results (full global search on the first call, on every
   /// `resync_period`-th call, and per-row on fallback). Returns the scores;
@@ -82,12 +148,20 @@ class IncrementalProjector {
   /// Diagnostics for the most recent Project() call.
   bool last_was_full() const { return last_was_full_; }
   std::int64_t last_fallback_count() const { return last_fallbacks_; }
+  /// Rows the adaptive fast path served without a bracket probe.
+  std::int64_t last_probe_skip_count() const { return last_probe_skips_; }
   int calls() const { return calls_; }
 
  private:
+  struct RangeCounters {
+    std::int64_t fallbacks = 0;
+    std::int64_t probe_skips = 0;
+  };
+
   void ProjectRange(ProjectionWorkspace* workspace, bool full, double delta,
                     std::int64_t begin, std::int64_t end, double* scores,
-                    double* squared, std::int64_t* fallbacks);
+                    double* squared, RangeCounters* counters,
+                    curve::BernsteinDesignAccumulator* accumulator);
 
   const linalg::Matrix* data_ = nullptr;
   IncrementalProjectorOptions options_;
@@ -99,13 +173,20 @@ class IncrementalProjector {
 
   std::vector<double> s_;       // per-row last s*
   std::vector<double> dist_;    // per-row last squared distance
+  std::vector<double> drift_;   // per-row last |s* - previous s*|
   std::vector<double> squared_; // per-call row-ordered J reduction buffer
-  std::vector<std::int64_t> fallback_slots_;  // per-worker fallback counts
+  std::vector<RangeCounters> counter_slots_;  // per-worker diagnostics
+
+  // Fused Step 5 accumulation (null = detached).
+  std::vector<curve::BernsteinDesignAccumulator>* fused_segments_ = nullptr;
+  int fused_segment_rows_ = 0;
+
   linalg::Matrix prev_control_; // control points seen by the previous call
 
   int calls_ = 0;
   bool last_was_full_ = false;
   std::int64_t last_fallbacks_ = 0;
+  std::int64_t last_probe_skips_ = 0;
 };
 
 }  // namespace rpc::opt

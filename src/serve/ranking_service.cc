@@ -117,9 +117,20 @@ Status RankingService::RegisterDataset(const std::string& dataset_id,
   // Build the complete replacement outside the lock — registration cost
   // (curve validation, workspace binds) never stalls queries — then swap.
   RPC_ASSIGN_OR_RETURN(std::shared_ptr<const Shard> shard, BuildShard(model));
+  registrations_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shards_mu_);
   shards_[dataset_id] = std::move(shard);
   return Status::Ok();
+}
+
+Result<std::uint64_t> RankingService::DatasetVersion(
+    const std::string& dataset_id) const {
+  const std::shared_ptr<const Shard> shard = FindShard(dataset_id);
+  if (shard == nullptr) {
+    return Status::NotFound(
+        StrFormat("RankingService: no dataset '%s'", dataset_id.c_str()));
+  }
+  return shard->model.version;
 }
 
 Status RankingService::RegisterDatasetFromFile(const std::string& dataset_id,
@@ -279,6 +290,7 @@ ServiceStats RankingService::stats() const {
   stats.rows = rows_.load(std::memory_order_relaxed);
   stats.segments = segments_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.registrations = registrations_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(shards_mu_);
     stats.datasets = static_cast<int>(shards_.size());

@@ -36,6 +36,7 @@ struct ServiceStats {
   std::int64_t rows = 0;           // rows scored across all queries
   std::int64_t segments = 0;       // execution segments dispatched
   std::int64_t rejected = 0;       // TryScoreBatch admissions refused
+  std::int64_t registrations = 0;  // shards published (incl. replacements)
   int datasets = 0;                // shards currently resident
   int peak_queue_depth = 0;        // admission-queue high-water mark
 };
@@ -116,6 +117,14 @@ class RankingService {
   bool HasDataset(const std::string& dataset_id) const;
   std::vector<std::string> DatasetIds() const;  // sorted
 
+  /// The PortableRpcModel::version of the shard currently serving
+  /// `dataset_id` (kNotFound for an unknown id). The streaming tier bumps
+  /// the version on every published warm refresh, so a caller can observe
+  /// the atomic copy-on-write swap: queries admitted before a swap finish
+  /// against the old version, queries admitted after it see the new one,
+  /// and no query ever sees a mixture.
+  Result<std::uint64_t> DatasetVersion(const std::string& dataset_id) const;
+
   /// Scores every row of `raw_rows` (original data space, n x d) against
   /// the dataset's model and ranks them within the batch. Blocks until the
   /// result is complete; admission blocks while the queue is full.
@@ -170,6 +179,7 @@ class RankingService {
   mutable std::atomic<std::int64_t> rows_{0};
   mutable std::atomic<std::int64_t> segments_{0};
   mutable std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> registrations_{0};
 };
 
 }  // namespace rpc::serve

@@ -1,0 +1,489 @@
+#include "stream/streaming_ranker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/stringutil.h"
+
+namespace rpc::stream {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Matrix RemapControlPoints(const Matrix& control_points,
+                          const Vector& old_mins, const Vector& old_maxs,
+                          const Vector& new_mins, const Vector& new_maxs) {
+  const int d = control_points.rows();
+  assert(old_mins.size() == d && old_maxs.size() == d &&
+         new_mins.size() == d && new_maxs.size() == d);
+  Matrix remapped(d, control_points.cols());
+  for (int j = 0; j < d; ++j) {
+    const double old_range = old_maxs[j] - old_mins[j];
+    const double new_range = new_maxs[j] - new_mins[j];
+    assert(old_range > 0.0 && new_range > 0.0);
+    for (int r = 0; r < control_points.cols(); ++r) {
+      // Normalised-old -> raw -> normalised-new, per coordinate.
+      const double raw = old_mins[j] + control_points(j, r) * old_range;
+      remapped(j, r) = (raw - new_mins[j]) / new_range;
+    }
+  }
+  return remapped;
+}
+
+StreamingRanker::StreamingRanker(serve::RankingService* service,
+                                 std::string dataset_id,
+                                 StreamingRankerOptions options)
+    : dataset_id_(std::move(dataset_id)),
+      options_(options),
+      service_(service),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      queue_(std::max(options.queue_capacity, 1)) {
+  // The warm-refresh learner: same geometry/solver configuration as the
+  // cold fit, but a single trajectory (the seed pins the basin) running
+  // warm-started adaptive-bracket reprojection under a tight iteration
+  // cap — the whole point is that a refresh near the live optimum costs a
+  // few warm sweeps.
+  warm_options_ = options_.learner;
+  warm_options_.restarts = 1;
+  warm_options_.reprojection = core::ReprojectionMode::kWarmStart;
+  warm_options_.reprojection_adaptive_brackets = true;
+  warm_options_.max_iterations = std::max(options_.warm_refit_max_iterations, 1);
+  warm_options_.record_history = false;
+}
+
+StreamingRanker::~StreamingRanker() {
+  Stop();
+  pool_.reset();  // joins the workers (and any straggler task)
+}
+
+void StreamingRanker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Refuse new events; already-admitted ones drain through their paired
+  // Submit tasks (including any refresh the last event fires). The pool
+  // itself stays alive until destruction: an Append racing this Stop may
+  // have pushed successfully but not yet Submitted, and its late task
+  // must land on a live pool (the destructor's WaitTasks catches it).
+  queue_.Close();
+  pool_->WaitTasks();
+  cv_.notify_all();
+}
+
+Status StreamingRanker::Start(const Matrix& initial_rows,
+                              const order::Orientation& alpha) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
+    if (started_) {
+      return Status::FailedPrecondition("StreamingRanker: already started");
+    }
+  }
+  RPC_ASSIGN_OR_RETURN(data::Normalizer normalizer,
+                       data::Normalizer::Fit(initial_rows));
+  const Matrix normalized = normalizer.Transform(initial_rows);
+  const core::RpcLearner learner(options_.learner);
+  RPC_ASSIGN_OR_RETURN(core::RpcFitResult fit,
+                       learner.Fit(normalized, alpha));
+
+  core::PortableRpcModel portable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d_ = initial_rows.cols();
+    alpha_ = alpha;
+    control_ = fit.curve.control_points();
+    model_mins_ = normalizer.mins();
+    model_maxs_ = normalizer.maxs();
+    version_ = 1;
+    const int n = initial_rows.rows();
+    rows_.assign(initial_rows.RowPtr(0), initial_rows.RowPtr(0) +
+                                             static_cast<size_t>(n) * d_);
+    row_ids_.resize(static_cast<size_t>(n));
+    s_.resize(static_cast<size_t>(n));
+    id_to_index_.clear();
+    for (int i = 0; i < n; ++i) {
+      row_ids_[static_cast<size_t>(i)] = i;
+      id_to_index_[i] = i;
+      s_[static_cast<size_t>(i)] = fit.scores[i];
+    }
+    next_row_id_ = n;
+    online_.Reset(d_);
+    online_.Observe(initial_rows);
+    RebindCurveLocked();
+    started_ = true;
+    // Hold the refresh slot across the version-1 publish: once started_
+    // is visible, a concurrent Append can fire a policy refresh, and its
+    // version-2 publish must not race (and be overwritten by) ours.
+    refresh_in_flight_ = true;
+    portable = PortableModelLocked();
+  }
+  Status published = Status::Ok();
+  if (service_ != nullptr) {
+    published = service_->RegisterDataset(dataset_id_, portable);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    refresh_in_flight_ = false;
+  }
+  cv_.notify_all();
+  return published;
+}
+
+Result<std::int64_t> StreamingRanker::AppendImpl(const Vector& raw_row,
+                                                 bool blocking) {
+  Event event;
+  event.kind = Event::Kind::kAppend;
+  event.row = raw_row;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
+    if (!started_) {
+      return Status::FailedPrecondition("StreamingRanker: Start first");
+    }
+    if (raw_row.size() != d_) {
+      return Status::InvalidArgument(
+          StrFormat("StreamingRanker: row has %d attributes, expected %d",
+                    raw_row.size(), d_));
+    }
+    // A rejected TryPush burns this id; ids are unique, not dense.
+    event.row_id = next_row_id_++;
+    ++pending_;
+  }
+  const std::int64_t id = event.row_id;
+  const bool admitted = blocking ? queue_.Push(std::move(event))
+                                 : queue_.TryPush(std::move(event));
+  if (!admitted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    cv_.notify_all();
+    return Status::FailedPrecondition(
+        blocking ? "StreamingRanker: shutting down"
+                 : "StreamingRanker: ingestion queue full");
+  }
+  pool_->Submit([this] { ProcessOneEvent(); });
+  return id;
+}
+
+Result<std::int64_t> StreamingRanker::Append(const Vector& raw_row) {
+  return AppendImpl(raw_row, /*blocking=*/true);
+}
+
+Result<std::int64_t> StreamingRanker::TryAppend(const Vector& raw_row) {
+  return AppendImpl(raw_row, /*blocking=*/false);
+}
+
+Status StreamingRanker::Retire(std::int64_t row_id) {
+  Event event;
+  event.kind = Event::Kind::kRetire;
+  event.row_id = row_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
+    if (!started_) {
+      return Status::FailedPrecondition("StreamingRanker: Start first");
+    }
+    ++pending_;
+  }
+  if (!queue_.Push(std::move(event))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    cv_.notify_all();
+    return Status::FailedPrecondition("StreamingRanker: shutting down");
+  }
+  pool_->Submit([this] { ProcessOneEvent(); });
+  return Status::Ok();
+}
+
+Status StreamingRanker::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0 && !refresh_in_flight_; });
+  return Status::Ok();
+}
+
+Status StreamingRanker::ForceRefresh() {
+  RefreshJob job;
+  {
+    // Drain and claim the refresh slot in one critical section: a
+    // concurrent Append processed between a separate Flush() and this
+    // lock could otherwise fire a policy refresh and run concurrently
+    // with ours, breaking the at-most-one-refresh / ordered-publish
+    // invariant.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_ == 0 && !refresh_in_flight_; });
+    if (stopped_) {
+      return Status::FailedPrecondition("StreamingRanker: stopped");
+    }
+    if (!started_) {
+      return Status::FailedPrecondition("StreamingRanker: Start first");
+    }
+    Status reason = Status::Ok();
+    if (!PrepareRefreshLocked(&job, &reason)) return reason;
+  }
+  return RunRefresh(&job);
+}
+
+StreamingRanker::Snapshot StreamingRanker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.version = version_;
+  snap.model = PortableModelLocked();
+  snap.scores = Vector(static_cast<int>(s_.size()));
+  for (size_t i = 0; i < s_.size(); ++i) {
+    snap.scores[static_cast<int>(i)] = s_[i];
+  }
+  snap.row_ids = row_ids_;
+  snap.live_mins = online_.mins();
+  snap.live_maxs = online_.maxs();
+  return snap;
+}
+
+StreamStats StreamingRanker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamStats stats;
+  stats.appended = appended_;
+  stats.retired = retired_;
+  stats.retire_misses = retire_misses_;
+  stats.events_processed = events_processed_;
+  stats.refreshes = refreshes_;
+  stats.skipped_refreshes = skipped_refreshes_;
+  stats.failed_refreshes = failed_refreshes_;
+  stats.publish_failures = publish_failures_;
+  stats.rows = static_cast<std::int64_t>(row_ids_.size());
+  stats.version = version_;
+  stats.last_drift = last_drift_;
+  stats.last_refresh_seconds =
+      refresh_seconds_.empty() ? 0.0 : refresh_seconds_.back();
+  stats.pending = static_cast<int>(pending_);
+  return stats;
+}
+
+std::vector<double> StreamingRanker::RefreshSecondsHistory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return refresh_seconds_;
+}
+
+void StreamingRanker::ProcessOneEvent() {
+  std::optional<Event> event = queue_.Pop();
+  if (!event.has_value()) return;  // closed and drained
+  RefreshJob job;
+  bool run_refresh = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ApplyEventLocked(*event);
+    ++events_processed_;
+    ++events_since_refresh_;
+    if (started_ && !refresh_in_flight_ && PolicyFiresLocked()) {
+      Status reason = Status::Ok();
+      if (PrepareRefreshLocked(&job, &reason)) {
+        run_refresh = true;
+      } else {
+        ++skipped_refreshes_;
+        events_since_refresh_ = 0;  // don't re-fire on every event
+      }
+    }
+    --pending_;
+  }
+  cv_.notify_all();
+  // Off the lock: ingestion keeps flowing while the warm refit runs.
+  if (run_refresh) (void)RunRefresh(&job);
+}
+
+void StreamingRanker::ApplyEventLocked(const Event& event) {
+  if (event.kind == Event::Kind::kAppend) {
+    const double* x = event.row.data().data();
+    rows_.insert(rows_.end(), x, x + d_);
+    row_ids_.push_back(event.row_id);
+    id_to_index_[event.row_id] = static_cast<int>(row_ids_.size()) - 1;
+    online_.Observe(x);
+    // One projection onto the live curve gives the new row its warm-start
+    // s* (and its served score until the next refresh).
+    s_.push_back(ProjectRowLocked(x));
+    ++appended_;
+  } else {
+    const auto it = id_to_index_.find(event.row_id);
+    if (it == id_to_index_.end()) {
+      ++retire_misses_;
+      return;
+    }
+    // Swap-with-last: O(d) instead of shifting the whole store tail and
+    // re-indexing every subsequent row under the lock. The store order
+    // stays well-defined (a function of the event sequence), which is all
+    // the determinism contract needs.
+    const int index = it->second;
+    const size_t offset = static_cast<size_t>(index) * d_;
+    online_.Remove(&rows_[offset]);
+    id_to_index_.erase(it);
+    const int last = static_cast<int>(row_ids_.size()) - 1;
+    if (index != last) {
+      const size_t last_offset = static_cast<size_t>(last) * d_;
+      std::copy(rows_.begin() + last_offset,
+                rows_.begin() + last_offset + d_, rows_.begin() + offset);
+      row_ids_[static_cast<size_t>(index)] =
+          row_ids_[static_cast<size_t>(last)];
+      s_[static_cast<size_t>(index)] = s_[static_cast<size_t>(last)];
+      id_to_index_[row_ids_[static_cast<size_t>(index)]] = index;
+    }
+    rows_.resize(rows_.size() - static_cast<size_t>(d_));
+    row_ids_.pop_back();
+    s_.pop_back();
+    if (online_.bounds_stale()) {
+      // The retired row carried a live bound; one exact in-place rescan
+      // of the survivors restores it (interior retirements skip this
+      // entirely).
+      online_.RebuildBounds(rows_.data(),
+                            static_cast<std::int64_t>(row_ids_.size()));
+    }
+    ++retired_;
+  }
+}
+
+bool StreamingRanker::PolicyFiresLocked() {
+  const DriftPolicy& policy = options_.drift;
+  last_drift_ = online_.bounds_stale() || online_.count() == 0
+                    ? last_drift_
+                    : online_.BoundsDrift(model_mins_, model_maxs_);
+  if (policy.refit_on_row_delta > 0 &&
+      events_since_refresh_ >= policy.refit_on_row_delta) {
+    return true;
+  }
+  if (policy.refit_on_normalizer_drift > 0.0 &&
+      last_drift_ >= policy.refit_on_normalizer_drift) {
+    return true;
+  }
+  if (policy.refit_period_events > 0 &&
+      events_processed_ % policy.refit_period_events == 0) {
+    return true;
+  }
+  return false;
+}
+
+bool StreamingRanker::PrepareRefreshLocked(RefreshJob* job, Status* status) {
+  const int n = static_cast<int>(row_ids_.size());
+  if (n < 4) {
+    *status = Status::FailedPrecondition(
+        "StreamingRanker: fewer than 4 live rows, refresh impossible");
+    return false;
+  }
+  Result<data::Normalizer> normalizer = online_.ToNormalizer();
+  if (!normalizer.ok()) {
+    *status = normalizer.status();
+    return false;
+  }
+  job->rows = StoreMatrixLocked();
+  job->row_ids = row_ids_;
+  job->seed_scores = Vector(n);
+  for (int i = 0; i < n; ++i) {
+    job->seed_scores[i] = s_[static_cast<size_t>(i)];
+  }
+  job->seed_control = control_;
+  job->old_mins = model_mins_;
+  job->old_maxs = model_maxs_;
+  job->normalizer = std::move(normalizer).value();
+  refresh_in_flight_ = true;
+  events_since_refresh_ = 0;
+  return true;
+}
+
+Status StreamingRanker::RunRefresh(RefreshJob* job) {
+  const auto start = std::chrono::steady_clock::now();
+  const data::Normalizer& normalizer = *job->normalizer;
+  const Matrix normalized = normalizer.Transform(job->rows);
+  core::RpcWarmStartState seed;
+  seed.control_points =
+      RemapControlPoints(job->seed_control, job->old_mins, job->old_maxs,
+                         normalizer.mins(), normalizer.maxs());
+  seed.scores = std::move(job->seed_scores);
+  const core::RpcLearner learner(warm_options_);
+  Result<core::RpcFitResult> fit = learner.Refit(normalized, alpha_, seed);
+  if (!fit.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_refreshes_;
+    refresh_in_flight_ = false;
+    cv_.notify_all();
+    return fit.status();
+  }
+
+  core::PortableRpcModel portable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_ = fit->curve.control_points();
+    model_mins_ = normalizer.mins();
+    model_maxs_ = normalizer.maxs();
+    ++version_;
+    ++refreshes_;
+    // Refresh the warm state of every row the snapshot covered; rows
+    // appended while the refit ran keep their append-time projection
+    // (they are first-class citizens of the next refresh).
+    for (size_t i = 0; i < job->row_ids.size(); ++i) {
+      const auto it = id_to_index_.find(job->row_ids[i]);
+      if (it == id_to_index_.end()) continue;  // retired mid-refresh
+      s_[static_cast<size_t>(it->second)] = fit->scores[static_cast<int>(i)];
+    }
+    RebindCurveLocked();
+    refresh_seconds_.push_back(SecondsSince(start));
+    portable = PortableModelLocked();
+  }
+  // Publish before clearing refresh_in_flight_, so versions reach the
+  // serving tier in order (at most one refresh exists at a time).
+  Status published = Status::Ok();
+  if (service_ != nullptr) {
+    published = service_->RegisterDataset(dataset_id_, portable);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!published.ok()) ++publish_failures_;
+    refresh_in_flight_ = false;
+  }
+  cv_.notify_all();
+  return published;
+}
+
+double StreamingRanker::ProjectRowLocked(const double* raw_row) {
+  append_normalized_.resize(static_cast<size_t>(d_));
+  for (int j = 0; j < d_; ++j) {
+    append_normalized_[static_cast<size_t>(j)] =
+        (raw_row[j] - model_mins_[j]) / (model_maxs_[j] - model_mins_[j]);
+  }
+  return append_workspace_.Project(append_normalized_.data()).s;
+}
+
+void StreamingRanker::RebindCurveLocked() {
+  live_curve_.SetControlPoints(control_);
+  append_workspace_.Bind(live_curve_, options_.learner.projection);
+}
+
+core::PortableRpcModel StreamingRanker::PortableModelLocked() const {
+  core::PortableRpcModel portable;
+  portable.alpha = alpha_;
+  portable.mins = model_mins_;
+  portable.maxs = model_maxs_;
+  portable.control_points = control_;
+  portable.version = version_;
+  return portable;
+}
+
+Matrix StreamingRanker::StoreMatrixLocked() const {
+  const int n = static_cast<int>(row_ids_.size());
+  Matrix out(n, d_);
+  if (n > 0) {
+    std::copy(rows_.begin(), rows_.end(), out.RowPtr(0));
+  }
+  return out;
+}
+
+}  // namespace rpc::stream

@@ -1,0 +1,285 @@
+#ifndef RPC_STREAM_STREAMING_RANKER_H_
+#define RPC_STREAM_STREAMING_RANKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/model_io.h"
+#include "core/rpc_learner.h"
+#include "data/normalizer.h"
+#include "data/online_normalizer.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "opt/curve_projection.h"
+#include "order/orientation.h"
+#include "serve/ranking_service.h"
+
+namespace rpc::stream {
+
+/// Remaps Bezier control points across a normalisation-bound change: the
+/// curve is the same object in raw data space, re-expressed in the new
+/// [0,1]^d coordinates (Eq. 16 — affine maps move control points, never
+/// scores). This is what lets a warm refresh re-use the live model's
+/// geometry even when new rows stretched the min-max bounds.
+linalg::Matrix RemapControlPoints(const linalg::Matrix& control_points,
+                                  const linalg::Vector& old_mins,
+                                  const linalg::Vector& old_maxs,
+                                  const linalg::Vector& new_mins,
+                                  const linalg::Vector& new_maxs);
+
+/// When the streaming tier refreshes the served model.
+struct DriftPolicy {
+  /// Refresh after this many processed ingestion events (appends +
+  /// retirements) since the last refresh snapshot; 0 disables.
+  int refit_on_row_delta = 64;
+  /// Refresh when the live min-max bounds have drifted from the served
+  /// model's bounds by more than this fraction of the served range
+  /// (data::OnlineNormalizer::BoundsDrift); 0 disables. Bound drift is the
+  /// quantity that actually invalidates served scores — the curve projects
+  /// in a coordinate system that no longer matches the data.
+  double refit_on_normalizer_drift = 0.05;
+  /// Unconditional refresh every this many processed events (the periodic
+  /// backstop); 0 disables.
+  int refit_period_events = 0;
+};
+
+struct StreamingRankerOptions {
+  /// Learner configuration for the cold initial fit (Start). The warm
+  /// refresh path derives its own configuration from this: restarts = 1
+  /// (the seed pins the basin), warm-start reprojection with adaptive
+  /// brackets, no J history, and `warm_refit_max_iterations` as the outer
+  /// iteration cap.
+  core::RpcLearnOptions learner;
+  /// Outer-iteration cap for a warm refresh. A refresh whose data barely
+  /// moved converges in a handful of warm iterations; the cap bounds the
+  /// cost of one that moved a lot (the next refresh continues from its
+  /// result).
+  int warm_refit_max_iterations = 16;
+  /// Capacity of the ingestion queue, in events. Full queue = Append
+  /// blocks (backpressure), TryAppend rejects.
+  int queue_capacity = 1024;
+  /// Worker budget for the ingestion/refresh pool, common::ThreadPool
+  /// convention. The default 2 gives one dedicated background worker, so
+  /// ingestion and warm refreshes never run on the caller's thread; 1 runs
+  /// everything inline in Append (fully serial mode). With more than 2,
+  /// events can apply out of arrival order under load.
+  int num_threads = 2;
+  DriftPolicy drift;
+};
+
+/// Aggregate counters; a consistent snapshot of the ranker's state.
+struct StreamStats {
+  std::int64_t appended = 0;
+  std::int64_t retired = 0;
+  std::int64_t retire_misses = 0;    // retirements of unknown row ids
+  std::int64_t events_processed = 0;
+  std::int64_t refreshes = 0;        // published model versions - 1
+  std::int64_t skipped_refreshes = 0;  // policy fired but refit impossible
+  std::int64_t failed_refreshes = 0;   // learner error (model kept)
+  std::int64_t publish_failures = 0;   // RankingService rejected a publish
+  std::int64_t rows = 0;             // live rows
+  std::uint64_t version = 0;         // current model version (0 = no model)
+  double last_drift = 0.0;           // live-vs-model bounds drift
+  double last_refresh_seconds = 0.0;
+  int pending = 0;                   // ingestion backlog (queued events)
+};
+
+/// Streaming ingestion and online model-refresh tier: the bridge between
+/// the batch fit pipeline and the serving tier for workloads where objects
+/// keep arriving (and retiring) while the ranking is being served.
+///
+/// Lifecycle:
+///   * Start() runs the ordinary cold fit (restarts and all) on the
+///     initial rows and publishes the model as version 1.
+///   * Append()/Retire() enqueue ingestion events into a bounded queue
+///     (backpressure on Append, rejection on TryAppend) and return
+///     immediately; a background worker drains the queue in FIFO order,
+///     maintaining the row store, the per-row warm-start state (each
+///     appended row is projected once onto the live curve), and the
+///     data::OnlineNormalizer sufficient statistics.
+///   * After each event the DriftPolicy decides whether to refresh. A
+///     refresh snapshots the store under the lock, then — off the lock, so
+///     ingestion continues — renormalises with the live bounds, remaps the
+///     live control points into the new coordinates (Eq. 16), and runs
+///     core::RpcLearner::Refit seeded with the remapped control points and
+///     the per-row s* (imported into opt::IncrementalProjector), so the
+///     refresh costs a few warm outer iterations instead of a cold
+///     multi-restart fit.
+///   * Each successful refresh is published as a new immutable version
+///     through serve::RankingService::RegisterDataset — the copy-on-write
+///     swap PR 3 built, so in-flight queries never see a torn model and
+///     version N's scores are bit-identical whether served before or after
+///     version N+1 lands. At most one refresh is in flight at a time and
+///     publishes are ordered by version.
+///
+/// Determinism: with the default single background worker, events apply in
+/// arrival order and every refresh is a pure function of (row store, warm
+/// state, options) — Snapshot() after ForceRefresh() is bit-identical to
+/// running RpcLearner::Refit by hand on the same state (the streaming
+/// machinery adds no arithmetic).
+///
+/// Thread safety: all public methods may be called from any thread.
+class StreamingRanker {
+ public:
+  /// `service` (nullable) receives every published model version under
+  /// `dataset_id`; it must outlive the ranker.
+  StreamingRanker(serve::RankingService* service, std::string dataset_id,
+                  StreamingRankerOptions options = {});
+  ~StreamingRanker();
+
+  StreamingRanker(const StreamingRanker&) = delete;
+  StreamingRanker& operator=(const StreamingRanker&) = delete;
+
+  /// Cold-fits the initial rows (raw data space) and publishes version 1.
+  /// Must be called exactly once, before any Append.
+  Status Start(const linalg::Matrix& initial_rows,
+               const order::Orientation& alpha);
+
+  /// Enqueues a row (raw data space) for ingestion and returns its row id.
+  /// Blocks while the ingestion queue is full (backpressure).
+  Result<std::int64_t> Append(const linalg::Vector& raw_row);
+  /// Like Append but refuses (kFailedPrecondition) instead of blocking.
+  Result<std::int64_t> TryAppend(const linalg::Vector& raw_row);
+
+  /// Enqueues the retirement of a previously appended row. Unknown ids
+  /// (including ids whose append is still queued behind this event) are
+  /// counted as retire_misses when processed, not errors here.
+  Status Retire(std::int64_t row_id);
+
+  /// Blocks until every enqueued event has been processed and no refresh
+  /// is in flight.
+  Status Flush();
+
+  /// Flush, then run one warm refresh synchronously (whatever the drift
+  /// policy says) and publish it.
+  Status ForceRefresh();
+
+  /// Consistent view of the live model + warm state.
+  struct Snapshot {
+    std::uint64_t version = 0;
+    /// The served model: alpha, the *fit-time* bounds, control points.
+    core::PortableRpcModel model;
+    /// Per live row: the warm-start s* (the fit scores for rows covered by
+    /// the last refresh; the projection onto the live curve for rows
+    /// appended since).
+    linalg::Vector scores;
+    std::vector<std::int64_t> row_ids;
+    /// The OnlineNormalizer's live bounds (these drift away from
+    /// model.mins/maxs as data arrives; a refresh re-bases onto them).
+    linalg::Vector live_mins;
+    linalg::Vector live_maxs;
+  };
+  Snapshot snapshot() const;
+
+  StreamStats stats() const;
+
+  /// Wall-clock seconds of every completed refresh, oldest first (the
+  /// bench derives p50/p99 refresh latency from this).
+  std::vector<double> RefreshSecondsHistory() const;
+
+  /// The derived warm-refresh learner configuration (tests replicate a
+  /// refresh with exactly this).
+  const core::RpcLearnOptions& warm_options() const { return warm_options_; }
+
+  /// Refuses new events and drains the queue (processing every event
+  /// already admitted, including any refresh the policy fires). The
+  /// worker threads are joined by the destructor. Idempotent.
+  void Stop();
+
+ private:
+  struct Event {
+    enum class Kind { kAppend, kRetire };
+    Kind kind = Kind::kAppend;
+    std::int64_t row_id = 0;
+    linalg::Vector row;  // kAppend only
+  };
+
+  /// Everything one refresh needs, snapshotted under the lock so the refit
+  /// runs on an immutable copy while ingestion continues.
+  struct RefreshJob {
+    linalg::Matrix rows;
+    std::vector<std::int64_t> row_ids;
+    linalg::Vector seed_scores;
+    linalg::Matrix seed_control;
+    linalg::Vector old_mins, old_maxs;
+    /// Live bounds frozen at snapshot time (optional only because
+    /// Normalizer has no default constructor; always set by Prepare).
+    std::optional<data::Normalizer> normalizer;
+  };
+
+  Result<std::int64_t> AppendImpl(const linalg::Vector& raw_row,
+                                  bool blocking);
+  void ProcessOneEvent();
+  void ApplyEventLocked(const Event& event);
+  bool PolicyFiresLocked();
+  /// Snapshots the refresh inputs; false (with a reason in *status) when a
+  /// refresh is impossible right now (too few rows, degenerate bounds).
+  bool PrepareRefreshLocked(RefreshJob* job, Status* status);
+  Status RunRefresh(RefreshJob* job);
+  double ProjectRowLocked(const double* raw_row);
+  void RebindCurveLocked();
+  linalg::Matrix StoreMatrixLocked() const;
+  /// The live model as the portable {alpha, bounds, control points,
+  /// version} struct — the single assembly point for publish/snapshot.
+  core::PortableRpcModel PortableModelLocked() const;
+
+  const std::string dataset_id_;
+  StreamingRankerOptions options_;
+  core::RpcLearnOptions warm_options_;
+  serve::RankingService* service_;  // nullable
+
+  std::unique_ptr<ThreadPool> pool_;
+  BoundedQueue<Event> queue_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+
+  // Row store (flat row-major) + identity + warm state, all index-aligned.
+  std::vector<double> rows_;
+  std::vector<std::int64_t> row_ids_;
+  std::vector<double> s_;
+  std::unordered_map<std::int64_t, int> id_to_index_;
+  std::int64_t next_row_id_ = 0;
+
+  data::OnlineNormalizer online_;
+
+  // Live model (normalised space of model_mins_/model_maxs_).
+  bool started_ = false;
+  bool stopped_ = false;
+  order::Orientation alpha_ = order::Orientation::AllBenefit(1);
+  linalg::Matrix control_;
+  linalg::Vector model_mins_, model_maxs_;
+  std::uint64_t version_ = 0;
+  curve::BezierCurve live_curve_;
+  opt::ProjectionWorkspace append_workspace_;
+  std::vector<double> append_normalized_;  // d scratch
+
+  // Ingestion/refresh bookkeeping.
+  int d_ = 0;
+  std::int64_t pending_ = 0;
+  bool refresh_in_flight_ = false;
+  std::int64_t events_since_refresh_ = 0;
+  std::int64_t appended_ = 0;
+  std::int64_t retired_ = 0;
+  std::int64_t retire_misses_ = 0;
+  std::int64_t events_processed_ = 0;
+  std::int64_t refreshes_ = 0;
+  std::int64_t skipped_refreshes_ = 0;
+  std::int64_t failed_refreshes_ = 0;
+  std::int64_t publish_failures_ = 0;
+  double last_drift_ = 0.0;
+  std::vector<double> refresh_seconds_;
+};
+
+}  // namespace rpc::stream
+
+#endif  // RPC_STREAM_STREAMING_RANKER_H_

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -139,6 +140,107 @@ TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEveryItemOnce) {
   for (auto& t : consumers) t.join();
   for (size_t i = 0; i < seen.size(); ++i) {
     EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+// Close while the queue is full and several producers are blocked in Push:
+// every producer must wake with `false`, nothing they carried may be
+// enqueued, and the items admitted before the close must still drain in
+// FIFO order.
+TEST(BoundedQueueTest, CloseWhileFullReleasesEveryBlockedProducer) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(0));
+  ASSERT_TRUE(queue.Push(1));  // full from here on
+
+  constexpr int kProducers = 6;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      if (!queue.Push(100 + p)) ++rejected;
+    });
+  }
+  // Give every producer time to block on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(queue.size(), 2);
+  queue.Close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+
+  // Drain semantics: the two pre-close items, then end-of-stream.
+  EXPECT_EQ(queue.Pop().value_or(-1), 0);
+  EXPECT_EQ(queue.Pop().value_or(-1), 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+  // A late producer after the drain still gets a clean rejection.
+  EXPECT_FALSE(queue.Push(7));
+  EXPECT_FALSE(queue.TryPush(7));
+}
+
+// Concurrent TryPush against blocking Pop consumers with a mid-stream
+// close: exactly the successfully admitted items are delivered, each once,
+// and every consumer unblocks after the drain.
+TEST(BoundedQueueTest, ConcurrentTryPushPopDrainDeliversAdmittedExactly) {
+  BoundedQueue<int> queue(4);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kAttemptsPerProducer = 400;
+
+  std::atomic<int> admitted{0};
+  std::atomic<std::int64_t> admitted_sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kAttemptsPerProducer; ++i) {
+        const int value = p * kAttemptsPerProducer + i;
+        if (queue.TryPush(value)) {
+          ++admitted;
+          admitted_sum += value;
+        }
+        // No retry: rejected items are shed, exactly like TryScoreBatch.
+      }
+    });
+  }
+  std::atomic<int> delivered{0};
+  std::atomic<std::int64_t> delivered_sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto item = queue.Pop();
+        if (!item.has_value()) return;  // closed and drained
+        ++delivered;
+        delivered_sum += *item;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(delivered.load(), admitted.load());
+  EXPECT_EQ(delivered_sum.load(), admitted_sum.load());
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_EQ(queue.size(), 0);
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+// TryPush racing Close: a TryPush either lands (and its item drains) or
+// reports false — never a silent drop of an accepted item.
+TEST(BoundedQueueTest, TryPushDuringCloseIsAllOrNothing) {
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> queue(8);
+    std::atomic<int> accepted{0};
+    std::thread producer([&] {
+      for (int i = 0; i < 64; ++i) {
+        if (queue.TryPush(i)) ++accepted;
+      }
+    });
+    std::thread closer([&] { queue.Close(); });
+    producer.join();
+    closer.join();
+    int drained = 0;
+    while (queue.Pop().has_value()) ++drained;
+    EXPECT_EQ(drained, accepted.load()) << "round " << round;
   }
 }
 

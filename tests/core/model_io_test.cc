@@ -1,9 +1,13 @@
 #include "core/model_io.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "core/rpc_ranker.h"
 #include "data/generators.h"
 
@@ -109,6 +113,97 @@ TEST(ModelIoTest, DeserializeValidatesGeometry) {
   PortableRpcModel model = FittedModel();
   model.control_points(0, 1) = 1.5;
   EXPECT_FALSE(PortableRpcModel::Deserialize(model.Serialize()).ok());
+}
+
+// Versioned snapshots (the streaming tier's published models) round-trip
+// the version; unversioned files keep the pre-versioning byte format.
+TEST(ModelIoTest, VersionRoundTripsAndStaysOptional) {
+  PortableRpcModel model = FittedModel();
+  EXPECT_EQ(model.Serialize().find("version"), std::string::npos);
+
+  model.version = 42;
+  const std::string text = model.Serialize();
+  EXPECT_NE(text.find("version 42"), std::string::npos);
+  const auto parsed = PortableRpcModel::Deserialize(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->version, 42u);
+
+  EXPECT_FALSE(
+      PortableRpcModel::Deserialize("rpc-model v1\nversion -3\n").ok());
+  EXPECT_FALSE(
+      PortableRpcModel::Deserialize("rpc-model v1\nversion x\n").ok());
+}
+
+// Round-trip fuzz across random degrees, dimensions, orientations, bounds
+// and versions: Serialize -> Deserialize must reproduce every field
+// bit-exactly (%.17g is lossless for doubles) and scoring through the
+// reloaded model must equal the original bit for bit.
+TEST(ModelIoTest, RoundTripFuzzAcrossDegreesAndDimensions) {
+  Rng rng(20260726);
+  int accepted = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(8));
+    const int degree = 1 + static_cast<int>(rng.UniformInt(6));
+
+    std::vector<int> signs(static_cast<size_t>(d));
+    for (int j = 0; j < d; ++j) {
+      signs[static_cast<size_t>(j)] = rng.Uniform() < 0.5 ? -1 : 1;
+    }
+    const auto alpha = Orientation::FromSigns(signs);
+    ASSERT_TRUE(alpha.ok());
+
+    PortableRpcModel model;
+    model.alpha = *alpha;
+    model.version = rng.UniformInt(1u << 30);
+    model.mins = Vector(d);
+    model.maxs = Vector(d);
+    for (int j = 0; j < d; ++j) {
+      model.mins[j] = rng.Uniform(-1e3, 1e3);
+      model.maxs[j] = model.mins[j] + rng.Uniform(1e-3, 1e3);
+    }
+    // A monotone control polygon from the worst to the best corner keeps
+    // the geometry valid for every degree (Proposition 1 shape).
+    model.control_points = Matrix(d, degree + 1);
+    const Vector worst = alpha->WorstCorner();
+    const Vector best = alpha->BestCorner();
+    for (int j = 0; j < d; ++j) {
+      for (int r = 0; r <= degree; ++r) {
+        const double frac =
+            degree == 0 ? 0.0 : static_cast<double>(r) / degree;
+        double v = worst[j] + frac * (best[j] - worst[j]);
+        if (r > 0 && r < degree) {
+          v = std::clamp(v + rng.Uniform(-0.05, 0.05), 0.01, 0.99);
+        }
+        model.control_points(j, r) = v;
+      }
+    }
+
+    const auto parsed = PortableRpcModel::Deserialize(model.Serialize());
+    ASSERT_TRUE(parsed.ok())
+        << "trial " << trial << " d=" << d << " degree=" << degree << ": "
+        << parsed.status().ToString();
+    ++accepted;
+    EXPECT_EQ(parsed->version, model.version);
+    EXPECT_EQ(parsed->alpha, model.alpha);
+    for (int j = 0; j < d; ++j) {
+      EXPECT_EQ(parsed->mins[j], model.mins[j]) << "trial " << trial;
+      EXPECT_EQ(parsed->maxs[j], model.maxs[j]) << "trial " << trial;
+      for (int r = 0; r <= degree; ++r) {
+        EXPECT_EQ(parsed->control_points(j, r), model.control_points(j, r))
+            << "trial " << trial;
+      }
+    }
+    // Scoring equivalence on a random probe (exact: same parsed doubles).
+    Vector probe(d);
+    for (int j = 0; j < d; ++j) {
+      probe[j] = rng.Uniform(model.mins[j], model.maxs[j]);
+    }
+    const auto score_original = model.Score(probe);
+    const auto score_reloaded = parsed->Score(probe);
+    ASSERT_TRUE(score_original.ok() && score_reloaded.ok());
+    EXPECT_EQ(*score_original, *score_reloaded) << "trial " << trial;
+  }
+  EXPECT_EQ(accepted, 60);
 }
 
 }  // namespace

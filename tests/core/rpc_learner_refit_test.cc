@@ -1,0 +1,182 @@
+// RpcLearner::Refit — the streaming tier's warm-refresh primitive: seeded
+// from a previous fit's control points and per-row s*, it must converge to
+// the same optimum as a cold fit (measured by the same final full
+// projection), be deterministic across thread counts, and cost markedly
+// fewer outer iterations than the cold fit it replaces.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rpc_learner.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "linalg/matrix.h"
+#include "order/orientation.h"
+#include "rank/ranking_list.h"
+
+namespace rpc::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+Matrix FixtureData(const Orientation& alpha, int n, uint64_t seed) {
+  const data::LatentCurveSample sample = data::GenerateLatentCurveData(
+      alpha, {.n = n, .noise_sigma = 0.04, .control_margin = 0.1,
+              .seed = seed});
+  const auto norm = data::Normalizer::Fit(sample.data);
+  EXPECT_TRUE(norm.ok());
+  return norm->Transform(sample.data);
+}
+
+RpcLearnOptions WarmOptions() {
+  RpcLearnOptions options;
+  options.reprojection = ReprojectionMode::kWarmStart;
+  options.reprojection_adaptive_brackets = true;
+  options.seed = 17;
+  return options;
+}
+
+TEST(RpcLearnerRefitTest, SeededRefitReconvergesToTheColdOptimum) {
+  const Orientation alpha = *Orientation::FromSigns({+1, +1, -1});
+  const Matrix normalized = FixtureData(alpha, 200, 91);
+  const RpcLearner learner(WarmOptions());
+  const auto cold = learner.Fit(normalized, alpha);
+  ASSERT_TRUE(cold.ok());
+
+  RpcWarmStartState seed;
+  seed.control_points = cold->curve.control_points();
+  seed.scores = cold->scores;
+  const auto refit = learner.Refit(normalized, alpha, seed);
+  ASSERT_TRUE(refit.ok()) << refit.status().ToString();
+
+  // Restarting at the optimum: J cannot get worse (same final full
+  // projection measures both), the ranking is unchanged, and convergence
+  // is near-immediate.
+  EXPECT_LE(refit->final_j, cold->final_j + 1e-9);
+  EXPECT_EQ(rank::RankingList(refit->scores).OrderedIndices(),
+            rank::RankingList(cold->scores).OrderedIndices());
+  EXPECT_LE(refit->iterations, 3);
+  EXPECT_LT(refit->iterations, cold->iterations);
+}
+
+TEST(RpcLearnerRefitTest, RefitBitIdenticalAcrossThreadCounts) {
+  const Orientation alpha = *Orientation::FromSigns({+1, -1});
+  const Matrix normalized = FixtureData(alpha, 160, 93);
+  RpcLearnOptions options = WarmOptions();
+  const auto cold = RpcLearner(options).Fit(normalized, alpha);
+  ASSERT_TRUE(cold.ok());
+
+  RpcWarmStartState seed;
+  seed.control_points = cold->curve.control_points();
+  seed.scores = cold->scores;
+  // Perturb the seed slightly so the refit has real work to do.
+  for (int j = 0; j < seed.control_points.rows(); ++j) {
+    seed.control_points(j, 1) =
+        std::min(0.95, seed.control_points(j, 1) + 0.02);
+  }
+
+  options.num_threads = 1;
+  const auto serial = RpcLearner(options).Refit(normalized, alpha, seed);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    const auto parallel = RpcLearner(options).Refit(normalized, alpha, seed);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->final_j, serial->final_j) << "threads " << threads;
+    ASSERT_EQ(parallel->scores.size(), serial->scores.size());
+    for (int i = 0; i < serial->scores.size(); ++i) {
+      EXPECT_EQ(parallel->scores[i], serial->scores[i])
+          << "threads " << threads << " row " << i;
+    }
+    EXPECT_EQ(parallel->iterations, serial->iterations);
+  }
+}
+
+TEST(RpcLearnerRefitTest, RefitWithoutScoresSeedsControlPointsOnly) {
+  const Orientation alpha = *Orientation::FromSigns({+1, +1});
+  const Matrix normalized = FixtureData(alpha, 120, 95);
+  const RpcLearner learner(WarmOptions());
+  const auto cold = learner.Fit(normalized, alpha);
+  ASSERT_TRUE(cold.ok());
+
+  RpcWarmStartState seed;
+  seed.control_points = cold->curve.control_points();
+  const auto refit = learner.Refit(normalized, alpha, seed);
+  ASSERT_TRUE(refit.ok());
+  EXPECT_NEAR(refit->final_j, cold->final_j,
+              std::max(1e-7, 1e-6 * std::fabs(cold->final_j)));
+}
+
+TEST(RpcLearnerRefitTest, RefitUnderFullReprojectionStillWorks) {
+  const Orientation alpha = *Orientation::FromSigns({+1, +1});
+  const Matrix normalized = FixtureData(alpha, 100, 97);
+  RpcLearnOptions options;
+  options.reprojection = ReprojectionMode::kFull;
+  options.seed = 29;
+  const RpcLearner learner(options);
+  const auto cold = learner.Fit(normalized, alpha);
+  ASSERT_TRUE(cold.ok());
+  RpcWarmStartState seed;
+  seed.control_points = cold->curve.control_points();
+  seed.scores = cold->scores;  // ignored by kFull, must not break
+  const auto refit = learner.Refit(normalized, alpha, seed);
+  ASSERT_TRUE(refit.ok());
+  EXPECT_LE(refit->final_j, cold->final_j + 1e-9);
+}
+
+TEST(RpcLearnerRefitTest, RejectsMalformedSeeds) {
+  const Orientation alpha = *Orientation::FromSigns({+1, +1});
+  const Matrix normalized = FixtureData(alpha, 60, 99);
+  const RpcLearner learner(WarmOptions());
+
+  RpcWarmStartState bad_shape;
+  bad_shape.control_points = Matrix(3, 4);  // d mismatch
+  EXPECT_FALSE(learner.Refit(normalized, alpha, bad_shape).ok());
+
+  RpcWarmStartState bad_scores;
+  bad_scores.control_points = Matrix(2, 4);
+  bad_scores.scores = Vector(7);  // neither 0 nor n
+  EXPECT_FALSE(learner.Refit(normalized, alpha, bad_scores).ok());
+}
+
+// The fused projection+accumulation pass and the adaptive warm-start
+// brackets both ride the ordinary Fit path; a fit with adaptive brackets
+// must agree with the fixed-bracket fit on the measured optimum (same
+// final full projection) and the ranking, for every thread count.
+TEST(RpcLearnerRefitTest, AdaptiveBracketsMatchFixedBrackets) {
+  const Orientation alpha = *Orientation::FromSigns({+1, +1, +1});
+  const Matrix normalized = FixtureData(alpha, 220, 101);
+  RpcLearnOptions options;
+  options.reprojection = ReprojectionMode::kWarmStart;
+  options.seed = 55;
+
+  options.reprojection_adaptive_brackets = false;
+  const auto fixed = RpcLearner(options).Fit(normalized, alpha);
+  ASSERT_TRUE(fixed.ok());
+
+  options.reprojection_adaptive_brackets = true;
+  options.num_threads = 1;
+  const auto adaptive_serial = RpcLearner(options).Fit(normalized, alpha);
+  ASSERT_TRUE(adaptive_serial.ok());
+  EXPECT_NEAR(adaptive_serial->final_j, fixed->final_j,
+              std::max(1e-7, 1e-6 * std::fabs(fixed->final_j)));
+  EXPECT_EQ(rank::RankingList(adaptive_serial->scores).OrderedIndices(),
+            rank::RankingList(fixed->scores).OrderedIndices());
+
+  // Adaptive fits stay bit-identical across thread counts.
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    const auto adaptive = RpcLearner(options).Fit(normalized, alpha);
+    ASSERT_TRUE(adaptive.ok());
+    EXPECT_EQ(adaptive->final_j, adaptive_serial->final_j);
+    for (int i = 0; i < adaptive_serial->scores.size(); ++i) {
+      EXPECT_EQ(adaptive->scores[i], adaptive_serial->scores[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpc::core

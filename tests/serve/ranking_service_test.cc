@@ -339,5 +339,29 @@ TEST(RankingServiceTest, TryScoreBatchRejectsWhenBacklogged) {
   EXPECT_TRUE(ok_batch.ok());
 }
 
+// Version-aware registration: the service reports the registered model's
+// version, a copy-on-write replacement advances it atomically, and evict
+// forgets it.
+TEST(RankingServiceTest, DatasetVersionTracksRegistrations) {
+  RankingService service;
+  EXPECT_EQ(service.DatasetVersion("v").status().code(),
+            StatusCode::kNotFound);
+
+  core::PortableRpcModel model = MonotoneModel(2, 91);
+  model.version = 1;
+  ASSERT_TRUE(service.RegisterDataset("v", model).ok());
+  ASSERT_TRUE(service.DatasetVersion("v").ok());
+  EXPECT_EQ(*service.DatasetVersion("v"), 1u);
+
+  model.version = 2;
+  ASSERT_TRUE(service.RegisterDataset("v", model).ok());
+  EXPECT_EQ(*service.DatasetVersion("v"), 2u);
+  EXPECT_EQ(service.stats().registrations, 2);
+
+  ASSERT_TRUE(service.EvictDataset("v").ok());
+  EXPECT_EQ(service.DatasetVersion("v").status().code(),
+            StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace rpc::serve

@@ -1,0 +1,169 @@
+// data::OnlineNormalizer: streaming min-max / Welford statistics must match
+// the batch computations on the same rows, removal must be an exact inverse
+// of observation (with the stale-bounds protocol for boundary rows), and
+// BoundsDrift must quantify renormalisation drift the way the streaming
+// tier's refit policy relies on.
+#include "data/online_normalizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/normalizer.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace rpc::data {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix RandomRows(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) rows(i, j) = rng.Uniform(-5.0, 5.0);
+  }
+  return rows;
+}
+
+TEST(OnlineNormalizerTest, MatchesBatchNormalizerBounds) {
+  const Matrix rows = RandomRows(200, 4, 11);
+  OnlineNormalizer online(4);
+  online.Observe(rows);
+  EXPECT_EQ(online.count(), 200);
+
+  const auto batch = Normalizer::Fit(rows);
+  ASSERT_TRUE(batch.ok());
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(online.mins()[j], batch->mins()[j]) << "attribute " << j;
+    EXPECT_EQ(online.maxs()[j], batch->maxs()[j]) << "attribute " << j;
+  }
+
+  const auto frozen = online.ToNormalizer();
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+  // Transforming through the frozen normalizer is the batch transform.
+  const Vector x = rows.Row(17);
+  const Vector a = frozen->Transform(x);
+  const Vector b = batch->Transform(x);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(a[j], b[j]);
+}
+
+TEST(OnlineNormalizerTest, WelfordMatchesDirectMeanAndVariance) {
+  const int n = 300;
+  const int d = 3;
+  const Matrix rows = RandomRows(n, d, 23);
+  OnlineNormalizer online(d);
+  online.Observe(rows);
+
+  for (int j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (int i = 0; i < n; ++i) mean += rows(i, j);
+    mean /= n;
+    double m2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      m2 += (rows(i, j) - mean) * (rows(i, j) - mean);
+    }
+    EXPECT_NEAR(online.Means()[j], mean, 1e-10);
+    EXPECT_NEAR(online.StdDevs()[j], std::sqrt(m2 / n), 1e-10);
+  }
+}
+
+TEST(OnlineNormalizerTest, RemoveIsExactInverseOfObserve) {
+  const Matrix rows = RandomRows(50, 2, 31);
+  OnlineNormalizer online(2);
+  online.Observe(rows);
+  const Vector mean_before = online.Means();
+  const Vector stddev_before = online.StdDevs();
+
+  // Observe then remove an extra interior row: every statistic must return
+  // to its previous value (mean/M2 exactly up to round-off, bounds
+  // untouched because the row is interior).
+  Vector extra(2);
+  extra[0] = 0.5 * (online.mins()[0] + online.maxs()[0]);
+  extra[1] = 0.5 * (online.mins()[1] + online.maxs()[1]);
+  online.Observe(extra);
+  EXPECT_EQ(online.count(), 51);
+  EXPECT_FALSE(online.Remove(extra.data().data()));
+  EXPECT_FALSE(online.bounds_stale());
+  EXPECT_EQ(online.count(), 50);
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_NEAR(online.Means()[j], mean_before[j], 1e-9);
+    EXPECT_NEAR(online.StdDevs()[j], stddev_before[j], 1e-9);
+  }
+}
+
+TEST(OnlineNormalizerTest, BoundaryRemovalFlagsStaleBoundsUntilRebuild) {
+  Matrix rows{{0.0, 10.0}, {1.0, 11.0}, {2.0, 12.0}, {3.0, 13.0}};
+  OnlineNormalizer online(2);
+  online.Observe(rows);
+
+  // Removing the row holding min of column 0 (and min of column 1).
+  const double victim[2] = {0.0, 10.0};
+  EXPECT_TRUE(online.Remove(victim));
+  EXPECT_TRUE(online.bounds_stale());
+  EXPECT_FALSE(online.ToNormalizer().ok());  // refuses stale bounds
+
+  Matrix survivors{{1.0, 11.0}, {2.0, 12.0}, {3.0, 13.0}};
+  online.RebuildBounds(survivors);
+  EXPECT_FALSE(online.bounds_stale());
+  EXPECT_EQ(online.mins()[0], 1.0);
+  EXPECT_EQ(online.maxs()[0], 3.0);
+  EXPECT_EQ(online.mins()[1], 11.0);
+  EXPECT_EQ(online.maxs()[1], 13.0);
+  EXPECT_TRUE(online.ToNormalizer().ok());
+}
+
+TEST(OnlineNormalizerTest, BoundsDriftMeasuresRelativeExpansion) {
+  Matrix rows{{0.0, 0.0}, {1.0, 2.0}};
+  OnlineNormalizer online(2);
+  online.Observe(rows);
+  const Vector ref_mins = online.mins();
+  const Vector ref_maxs = online.maxs();
+  EXPECT_EQ(online.BoundsDrift(ref_mins, ref_maxs), 0.0);
+
+  // Stretch column 0's max by 10% of its reference range.
+  Vector stretch{1.1, 1.0};
+  online.Observe(stretch);
+  EXPECT_NEAR(online.BoundsDrift(ref_mins, ref_maxs), 0.1, 1e-12);
+
+  // Stretch column 1's min by 50% of its range: drift is the max over
+  // attributes.
+  Vector low{0.5, -1.0};
+  online.Observe(low);
+  EXPECT_NEAR(online.BoundsDrift(ref_mins, ref_maxs), 0.5, 1e-12);
+}
+
+TEST(OnlineNormalizerTest, ToNormalizerRejectsEmptyAndConstant) {
+  OnlineNormalizer online(2);
+  EXPECT_FALSE(online.ToNormalizer().ok());  // no rows
+
+  Vector row{1.0, 2.0};
+  online.Observe(row);
+  online.Observe(row);
+  EXPECT_FALSE(online.ToNormalizer().ok());  // constant columns
+
+  Vector other{2.0, 3.0};
+  online.Observe(other);
+  EXPECT_TRUE(online.ToNormalizer().ok());
+}
+
+TEST(OnlineNormalizerTest, RemovingLastRowResetsCleanly) {
+  OnlineNormalizer online(1);
+  Vector row{4.0};
+  online.Observe(row);
+  online.Remove(row.data().data());
+  EXPECT_EQ(online.count(), 0);
+  EXPECT_FALSE(online.bounds_stale());
+  // Observing again restarts from scratch.
+  Vector fresh{7.0};
+  online.Observe(fresh);
+  EXPECT_EQ(online.mins()[0], 7.0);
+  EXPECT_EQ(online.maxs()[0], 7.0);
+  EXPECT_EQ(online.Means()[0], 7.0);
+}
+
+}  // namespace
+}  // namespace rpc::data

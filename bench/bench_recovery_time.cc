@@ -1,0 +1,246 @@
+// Durable-tier recovery time: how fast StreamingRanker::Recover() turns a
+// crash image (snapshot + write-ahead log) back into a serving ranker.
+// Two variants bracket the bounded-replay design space:
+//
+//   replay_heavy    only the Start() snapshot exists, so every ingested
+//                   event replays from the log — the worst case, and the
+//                   CI-gated replay throughput number (rows_per_sec);
+//   snapshot_recent milestone snapshots every 1000 events, so recovery
+//                   loads a near-tip snapshot and replays a short tail —
+//                   the configuration the docs recommend.
+//
+// Before any timing, recovery correctness is verified: the recovered
+// ranker's model must serialize identically to the pre-crash one and score
+// a probe batch bit-for-bit the same. Any mismatch fails the run.
+//
+//   build/bench_recovery_time [--quick]
+//
+// Full runs rewrite BENCH_recovery_time.json (the committed baseline the
+// CI regression gate compares against); --quick runs a smaller ingest with
+// the same identity keys and writes BENCH_recovery_time.quick.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "order/orientation.h"
+#include "serve/ranking_service.h"
+#include "stream/streaming_ranker.h"
+
+namespace {
+
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+using rpc::order::Orientation;
+using rpc::stream::StreamingRanker;
+using rpc::stream::StreamingRankerOptions;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Matrix RawData(const Orientation& alpha, int n, uint64_t seed) {
+  return rpc::data::GenerateLatentCurveData(
+             alpha, {.n = n, .noise_sigma = 0.04, .control_margin = 0.1,
+                     .seed = seed})
+      .data;
+}
+
+void Emit(std::FILE* sink, const std::string& line) {
+  std::printf("%s\n", line.c_str());
+  if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
+}
+
+std::string MakeTempDir(const char* tag) {
+  std::string templ = std::string("/tmp/rpc_bench_recovery_") + tag +
+                      "_XXXXXX";
+  std::vector<char> buffer(templ.begin(), templ.end());
+  buffer.push_back('\0');
+  const char* dir = ::mkdtemp(buffer.data());
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void RemoveDir(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+struct VariantResult {
+  bool ok = false;
+  std::uint64_t replayed_records = 0;
+  double recover_seconds = 0.0;
+  double time_to_first_query_seconds = 0.0;
+};
+
+// Ingests `appends` events into a durable ranker, freezes the durability
+// directory as a crash image (copied while the ranker is live, exactly as
+// a kill -9 would leave it), then times Recover() + the first served
+// query on that image and verifies bit-identity against the pre-crash
+// ranker.
+VariantResult RunVariant(const Orientation& alpha, int initial_rows,
+                         int appends, std::uint64_t snapshot_every_events,
+                         const Matrix& probe) {
+  VariantResult result;
+  const std::string live_dir = MakeTempDir("live");
+  const std::string crash_dir = MakeTempDir("crash");
+  if (live_dir.empty() || crash_dir.empty()) return result;
+  RemoveDir(crash_dir);  // the copy recreates it as an exact image
+
+  const int d = alpha.dimension();
+  const Matrix raw = RawData(alpha, initial_rows + appends, 4242);
+  Matrix initial(initial_rows, d);
+  for (int i = 0; i < initial_rows; ++i) initial.SetRow(i, raw.Row(i));
+
+  StreamingRankerOptions options;
+  options.num_threads = 1;  // inline: deterministic, machine-comparable
+  options.drift.refit_on_row_delta = 0;
+  options.drift.refit_on_normalizer_drift = 0.0;
+  options.drift.refit_period_events = 0;
+  options.learner.seed = 2026;
+  options.durability.dir = live_dir;
+  options.durability.snapshot_every_events = snapshot_every_events;
+
+  std::string expected_model;
+  Vector expected_scores(probe.rows());
+  std::uint64_t expected_version = 0;
+  {
+    StreamingRanker ranker(nullptr, "bench", options);
+    if (!ranker.Start(initial, alpha).ok()) return result;
+    for (int a = 0; a < appends; ++a) {
+      if (!ranker.Append(raw.Row(initial_rows + a)).ok()) return result;
+    }
+    if (!ranker.ForceRefresh().ok() || !ranker.Flush().ok()) return result;
+
+    const StreamingRanker::Snapshot snap = ranker.snapshot();
+    expected_model = snap.model.Serialize();
+    expected_version = snap.version;
+    for (int i = 0; i < probe.rows(); ++i) {
+      const auto score = snap.model.Score(probe.Row(i));
+      if (!score.ok()) return result;
+      expected_scores[i] = *score;
+    }
+
+    // kill -9: freeze the on-disk state while the process is still "up".
+    std::error_code ec;
+    std::filesystem::copy(live_dir, crash_dir,
+                          std::filesystem::copy_options::recursive, ec);
+    if (ec) return result;
+  }
+
+  StreamingRankerOptions recover_options = options;
+  recover_options.durability.dir = crash_dir;
+  rpc::serve::RankingService service;
+  StreamingRanker recovered(&service, "bench", recover_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  if (!recovered.Recover().ok()) return result;
+  result.recover_seconds = Seconds(start);
+  const auto first_query = service.ScoreBatch("bench", probe);
+  result.time_to_first_query_seconds = Seconds(start);
+  if (!first_query.ok()) return result;
+
+  // Correctness before speed: the recovered ranker must be the pre-crash
+  // ranker, bit for bit.
+  const StreamingRanker::Snapshot snap = recovered.snapshot();
+  if (snap.version != expected_version ||
+      snap.model.Serialize() != expected_model) {
+    std::fprintf(stderr, "recovery verify: model/version mismatch\n");
+    return result;
+  }
+  for (int i = 0; i < probe.rows(); ++i) {
+    if (first_query->scores[i] != expected_scores[i]) {
+      std::fprintf(stderr, "recovery verify: score %d differs\n", i);
+      return result;
+    }
+  }
+  result.replayed_records = recovered.recovery_info().replayed_records;
+  recovered.Stop();
+  RemoveDir(live_dir);
+  RemoveDir(crash_dir);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const Orientation alpha = *Orientation::FromSigns({+1, +1, +1, +1});
+  const int d = 4;
+  const int initial_rows = 2000;
+  const int appends = quick ? 3000 : 20000;
+  const Matrix probe = RawData(alpha, 256, 77);
+
+  const char* sink_path =
+      quick ? "BENCH_recovery_time.quick.json" : "BENCH_recovery_time.json";
+  std::FILE* sink = std::fopen(sink_path, "w");
+  std::printf("# durable-tier crash recovery (d=%d, %d appends); JSON also "
+              "in %s\n", d, appends, sink_path);
+
+  // Worst case: no milestone snapshots after Start, every event replays.
+  {
+    const VariantResult r =
+        RunVariant(alpha, initial_rows, appends, /*snapshot_every=*/0, probe);
+    if (!r.ok) {
+      std::fprintf(stderr, "replay_heavy variant failed\n");
+      return 1;
+    }
+    const double rows_per_sec =
+        static_cast<double>(r.replayed_records) /
+        (r.recover_seconds > 0.0 ? r.recover_seconds : 1e-9);
+    Emit(sink, std::string("{\"bench\":\"recovery_time\",\"variant\":"
+                           "\"replay_heavy\",\"d\":") + std::to_string(d) +
+                   ",\"initial_rows\":" + std::to_string(initial_rows) +
+                   ",\"threads\":1,\"replayed_records\":" +
+                   std::to_string(r.replayed_records) +
+                   ",\"rows_per_sec\":" + std::to_string(rows_per_sec) +
+                   ",\"recover_seconds\":" +
+                   std::to_string(r.recover_seconds) +
+                   ",\"time_to_first_query_seconds\":" +
+                   std::to_string(r.time_to_first_query_seconds) + "}");
+  }
+
+  // Recommended configuration: a near-tip snapshot bounds the replay.
+  {
+    const VariantResult r = RunVariant(alpha, initial_rows, appends,
+                                       /*snapshot_every=*/1000, probe);
+    if (!r.ok) {
+      std::fprintf(stderr, "snapshot_recent variant failed\n");
+      return 1;
+    }
+    if (r.replayed_records > 1000) {
+      std::fprintf(stderr,
+                   "snapshot cadence failed to bound the replay: %llu "
+                   "records\n",
+                   static_cast<unsigned long long>(r.replayed_records));
+      return 1;
+    }
+    Emit(sink, std::string("{\"bench\":\"recovery_time\",\"variant\":"
+                           "\"snapshot_recent\",\"d\":") + std::to_string(d) +
+                   ",\"initial_rows\":" + std::to_string(initial_rows) +
+                   ",\"threads\":1,\"replayed_records\":" +
+                   std::to_string(r.replayed_records) +
+                   ",\"recover_seconds\":" +
+                   std::to_string(r.recover_seconds) +
+                   ",\"time_to_first_query_seconds\":" +
+                   std::to_string(r.time_to_first_query_seconds) + "}");
+  }
+
+  std::printf("# verify: recovered model, version, and probe scores match "
+              "the pre-crash ranker bit for bit\n");
+  if (sink != nullptr) std::fclose(sink);
+  return 0;
+}

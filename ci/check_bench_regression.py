@@ -48,6 +48,9 @@ METRIC_FIELDS = {
     "refreshes",
     "p50_refresh_seconds",
     "p99_refresh_seconds",
+    "replayed_records",
+    "recover_seconds",
+    "time_to_first_query_seconds",
 }
 
 # Metrics the gate checks, in preference order (gate on the first present).

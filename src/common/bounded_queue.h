@@ -84,8 +84,10 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
+    const bool drained = closed_ && items_.empty();
     lock.unlock();
     not_full_.notify_one();
+    if (drained) drained_.notify_all();
     return item;
   }
 
@@ -95,8 +97,10 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
+    const bool drained = closed_ && items_.empty();
     lock.unlock();
     not_full_.notify_one();
+    if (drained) drained_.notify_all();
     return item;
   }
 
@@ -111,11 +115,26 @@ class BoundedQueue {
     not_empty_.notify_all();
   }
 
+  /// Close(), then block until consumers have popped every queued item —
+  /// the graceful-shutdown guarantee that no accepted event is dropped.
+  /// Every item admitted by a Push/TryPush that returned true before this
+  /// call is handed to a consumer before CloseAndDrain returns; consumers
+  /// must keep popping (Pop returns the remaining items, then nullopt).
+  /// Safe to call from several threads; all of them block until drained.
+  void CloseAndDrain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    drained_.wait(lock, [&] { return items_.empty(); });
+  }
+
  private:
   const int capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
+  std::condition_variable drained_;
   std::deque<T> items_;
   bool closed_ = false;
   int peak_ = 0;

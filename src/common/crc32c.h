@@ -1,0 +1,26 @@
+#ifndef RPC_COMMON_CRC32C_H_
+#define RPC_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpc {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum the durable tier stamps on every write-ahead-log record and
+/// snapshot payload. Software slice-by-8 table implementation: ~1 GB/s,
+/// far above the fsync-bound log path it protects.
+///
+/// `Crc32c(data, n)` is the one-shot form; `Crc32cExtend` continues a
+/// running checksum (pass the previous return value) so multi-buffer
+/// payloads need no concatenation.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t length);
+
+inline std::uint32_t Crc32c(const void* data, std::size_t length) {
+  return Crc32cExtend(0, data, length);
+}
+
+}  // namespace rpc
+
+#endif  // RPC_COMMON_CRC32C_H_

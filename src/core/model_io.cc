@@ -1,10 +1,13 @@
 #include "core/model_io.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
+#include "common/crc32c.h"
 #include "common/stringutil.h"
 #include "opt/curve_projection.h"
 
@@ -25,18 +28,19 @@ std::string JoinNumbers(const Vector& values) {
 }
 
 Result<Vector> ParseNumbers(const std::vector<std::string>& tokens,
-                            size_t offset, int expected) {
+                            size_t offset, int expected, const char* field,
+                            int line_number) {
   if (static_cast<int>(tokens.size() - offset) != expected) {
     return Status::DataLoss(StrFormat(
-        "model: expected %d numbers, found %zu", expected,
-        tokens.size() - offset));
+        "model: field '%s' expects %d numbers, found %zu (line %d)", field,
+        expected, tokens.size() - offset, line_number));
   }
   Vector values(expected);
   for (int i = 0; i < expected; ++i) {
     if (!ParseDouble(tokens[offset + static_cast<size_t>(i)], &values[i])) {
       return Status::DataLoss(StrFormat(
-          "model: bad number '%s'",
-          tokens[offset + static_cast<size_t>(i)].c_str()));
+          "model: field '%s' has bad number '%s' (line %d)", field,
+          tokens[offset + static_cast<size_t>(i)].c_str(), line_number));
     }
   }
   return values;
@@ -57,8 +61,7 @@ std::string PortableRpcModel::Serialize() const {
   const int k = control_points.cols() - 1;
   std::string out = "rpc-model v1\n";
   // The model version line is emitted only for versioned (streaming-tier)
-  // snapshots, so batch-fit files stay byte-identical to the pre-versioning
-  // format and remain loadable by older parsers.
+  // snapshots, so batch-fit files carry no meaningless `version 0` line.
   if (version != 0) {
     out += StrFormat("version %llu\n",
                      static_cast<unsigned long long>(version));
@@ -76,86 +79,156 @@ std::string PortableRpcModel::Serialize() const {
     out += StrFormat("control p%d ", r) +
            JoinNumbers(control_points.Column(r)) + "\n";
   }
+  // Trailing checksum over every preceding byte. Textual truncation can
+  // otherwise look valid — cutting a "%.17g" mid-number still parses — so
+  // the checksum line is mandatory: Deserialize rejects input without it,
+  // and any strict prefix or bit flip of a serialized model fails to load.
+  out += StrFormat("crc32c %08x\n", Crc32c(out.data(), out.size()));
   return out;
 }
 
 Result<PortableRpcModel> PortableRpcModel::Deserialize(
     const std::string& text) {
-  std::istringstream stream(text);
-  std::string line;
-  if (!std::getline(stream, line) || Trim(line) != "rpc-model v1") {
-    return Status::DataLoss("model: missing 'rpc-model v1' header");
-  }
+  // Manual line walk (not getline) so every error can name its line and
+  // the checksum line can cover exactly the bytes before itself.
   int dimension = -1;
   int degree = -1;
   std::uint64_t version = 0;
   std::vector<int> signs;
   Vector mins, maxs;
   std::vector<Vector> control;
-  while (std::getline(stream, line)) {
+  std::unordered_set<std::string> seen_keys;
+  std::unordered_set<std::string> control_labels;
+  bool saw_header = false;
+  bool saw_crc = false;
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const size_t line_start = pos;
+    const size_t line_end = eol == std::string::npos ? text.size() : eol;
+    const std::string line = text.substr(line_start, line_end - line_start);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    if (!saw_header) {
+      if (Trim(line) != "rpc-model v1") {
+        return Status::DataLoss("model: missing 'rpc-model v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
     const std::vector<std::string> tokens = Tokens(line);
     if (tokens.empty()) continue;
     const std::string& key = tokens[0];
-    if (key == "version" && tokens.size() == 2) {
+    if (saw_crc) {
+      return Status::DataLoss(StrFormat(
+          "model: trailing garbage after checksum line (line %d)",
+          line_number));
+    }
+    if (key != "control" && key != "crc32c" && !seen_keys.insert(key).second) {
+      return Status::DataLoss(StrFormat(
+          "model: duplicate field '%s' (line %d)", key.c_str(), line_number));
+    }
+    if (key == "version") {
+      if (tokens.size() != 2) {
+        return Status::DataLoss(StrFormat(
+            "model: field 'version' expects 1 value (line %d)", line_number));
+      }
       // Parsed as an integer, not through ParseDouble: versions are
       // written with %llu and must round-trip exactly even above 2^53.
       const std::string& token = tokens[1];
-      if (token.empty() ||
-          token.find_first_not_of("0123456789") != std::string::npos) {
-        return Status::DataLoss("model: bad version");
-      }
       errno = 0;
       char* end = nullptr;
       const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-      if (errno == ERANGE || end == token.c_str() || *end != '\0') {
-        return Status::DataLoss("model: bad version");
+      if (token.empty() ||
+          token.find_first_not_of("0123456789") != std::string::npos ||
+          errno == ERANGE || end == token.c_str() || *end != '\0') {
+        return Status::DataLoss(StrFormat(
+            "model: field 'version' has bad value '%s' (line %d)",
+            token.c_str(), line_number));
       }
       version = static_cast<std::uint64_t>(v);
-    } else if (key == "dimension" && tokens.size() == 2) {
+    } else if (key == "dimension" || key == "degree") {
       double v;
-      if (!ParseDouble(tokens[1], &v)) {
-        return Status::DataLoss("model: bad dimension");
+      if (tokens.size() != 2 || !ParseDouble(tokens[1], &v)) {
+        return Status::DataLoss(StrFormat(
+            "model: field '%s' expects 1 number (line %d)", key.c_str(),
+            line_number));
       }
-      dimension = static_cast<int>(v);
-    } else if (key == "degree" && tokens.size() == 2) {
-      double v;
-      if (!ParseDouble(tokens[1], &v)) {
-        return Status::DataLoss("model: bad degree");
-      }
-      degree = static_cast<int>(v);
+      (key == "dimension" ? dimension : degree) = static_cast<int>(v);
     } else if (key == "alpha") {
       for (size_t i = 1; i < tokens.size(); ++i) {
         double v;
         if (!ParseDouble(tokens[i], &v) || (v != 1.0 && v != -1.0)) {
-          return Status::DataLoss("model: bad alpha entry");
+          return Status::DataLoss(StrFormat(
+              "model: field 'alpha' has bad entry '%s' (line %d)",
+              tokens[i].c_str(), line_number));
         }
         signs.push_back(static_cast<int>(v));
       }
-    } else if (key == "mins") {
-      if (dimension <= 0) return Status::DataLoss("model: mins before dimension");
-      RPC_ASSIGN_OR_RETURN(mins, ParseNumbers(tokens, 1, dimension));
-    } else if (key == "maxs") {
-      if (dimension <= 0) return Status::DataLoss("model: maxs before dimension");
-      RPC_ASSIGN_OR_RETURN(maxs, ParseNumbers(tokens, 1, dimension));
+    } else if (key == "mins" || key == "maxs") {
+      if (dimension <= 0) {
+        return Status::DataLoss(StrFormat(
+            "model: field '%s' before dimension (line %d)", key.c_str(),
+            line_number));
+      }
+      RPC_ASSIGN_OR_RETURN(
+          (key == "mins" ? mins : maxs),
+          ParseNumbers(tokens, 1, dimension, key.c_str(), line_number));
     } else if (key == "control" && tokens.size() >= 2) {
       if (dimension <= 0) {
-        return Status::DataLoss("model: control before dimension");
+        return Status::DataLoss(StrFormat(
+            "model: field 'control' before dimension (line %d)",
+            line_number));
       }
-      RPC_ASSIGN_OR_RETURN(Vector point, ParseNumbers(tokens, 2, dimension));
+      if (!control_labels.insert(tokens[1]).second) {
+        return Status::DataLoss(StrFormat(
+            "model: duplicate control point '%s' (line %d)",
+            tokens[1].c_str(), line_number));
+      }
+      RPC_ASSIGN_OR_RETURN(
+          Vector point,
+          ParseNumbers(tokens, 2, dimension, "control", line_number));
       control.push_back(std::move(point));
+    } else if (key == "crc32c") {
+      unsigned long long stored = 0;
+      if (tokens.size() != 2 ||
+          std::sscanf(tokens[1].c_str(), "%8llx", &stored) != 1 ||
+          tokens[1].size() != 8 ||
+          tokens[1].find_first_not_of("0123456789abcdef") !=
+              std::string::npos) {
+        return Status::DataLoss(StrFormat(
+            "model: field 'crc32c' has bad value (line %d)", line_number));
+      }
+      const std::uint32_t actual = Crc32c(text.data(), line_start);
+      if (static_cast<std::uint32_t>(stored) != actual) {
+        return Status::DataLoss(StrFormat(
+            "model: checksum mismatch at line %d — stored %08llx, computed "
+            "%08x (truncated or corrupted input)",
+            line_number, stored, actual));
+      }
+      saw_crc = true;
     } else {
-      return Status::DataLoss(
-          StrFormat("model: unknown line '%s'", key.c_str()));
+      return Status::DataLoss(StrFormat(
+          "model: unknown field '%s' (line %d)", key.c_str(), line_number));
     }
   }
+  if (!saw_header) {
+    return Status::DataLoss("model: missing 'rpc-model v1' header");
+  }
+  if (!saw_crc) {
+    return Status::DataLoss(
+        "model: missing trailing 'crc32c' line (truncated input?)");
+  }
   if (dimension <= 0 || degree < 1) {
-    return Status::DataLoss("model: missing dimension/degree");
+    return Status::DataLoss("model: missing field 'dimension' or 'degree'");
   }
   if (static_cast<int>(signs.size()) != dimension) {
-    return Status::DataLoss("model: alpha size mismatch");
+    return Status::DataLoss("model: field 'alpha' size mismatch");
   }
   if (mins.size() != dimension || maxs.size() != dimension) {
-    return Status::DataLoss("model: mins/maxs missing");
+    return Status::DataLoss("model: field 'mins' or 'maxs' missing");
   }
   for (int j = 0; j < dimension; ++j) {
     if (!(maxs[j] > mins[j])) {

@@ -122,6 +122,31 @@ double OnlineNormalizer::BoundsDrift(const Vector& ref_mins,
   return drift;
 }
 
+OnlineNormalizer::State OnlineNormalizer::ExportState() const {
+  State state;
+  state.count = count_;
+  state.bounds_stale = bounds_stale_;
+  state.mins = mins_.data();
+  state.maxs = maxs_.data();
+  state.mean = mean_.data();
+  state.m2 = m2_.data();
+  return state;
+}
+
+void OnlineNormalizer::ImportState(const State& state) {
+  const int d = static_cast<int>(state.mins.size());
+  assert(static_cast<int>(state.maxs.size()) == d &&
+         static_cast<int>(state.mean.size()) == d &&
+         static_cast<int>(state.m2.size()) == d);
+  (void)d;
+  count_ = state.count;
+  bounds_stale_ = state.bounds_stale;
+  mins_ = Vector(state.mins);
+  maxs_ = Vector(state.maxs);
+  mean_ = Vector(state.mean);
+  m2_ = Vector(state.m2);
+}
+
 Result<Normalizer> OnlineNormalizer::ToNormalizer() const {
   if (bounds_stale_) {
     return Status::FailedPrecondition(

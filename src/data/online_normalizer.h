@@ -2,6 +2,7 @@
 #define RPC_DATA_ONLINE_NORMALIZER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "data/normalizer.h"
@@ -87,6 +88,20 @@ class OnlineNormalizer {
   /// are stale, no rows were observed, or an attribute is constant (zero
   /// range — same contract as Normalizer::Fit).
   Result<Normalizer> ToNormalizer() const;
+
+  /// The complete internal state, for durable snapshots. ImportState
+  /// followed by the same op sequence is bit-identical to never having
+  /// exported: every statistic (including M2 round-off) round-trips
+  /// exactly.
+  struct State {
+    std::int64_t count = 0;
+    bool bounds_stale = false;
+    std::vector<double> mins, maxs, mean, m2;
+  };
+  State ExportState() const;
+  /// Replaces every statistic; all four vectors must share one length
+  /// (the new dimension).
+  void ImportState(const State& state);
 
  private:
   std::int64_t count_ = 0;

@@ -1,0 +1,103 @@
+#ifndef RPC_DURABLE_CODEC_H_
+#define RPC_DURABLE_CODEC_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace rpc::durable {
+
+/// Little-endian wire codec for the durable tier's binary payloads.
+/// Doubles travel as their IEEE-754 bit pattern (std::bit_cast), so every
+/// value — normalizer M2, projection scores — survives bit-for-bit; the
+/// formats are only read back on the machine family that wrote them
+/// (little-endian, like every deployment target of this repo).
+
+inline void PutU32(std::string* out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+inline void PutU64(std::string* out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+inline void PutI64(std::string* out, std::int64_t v) {
+  PutU64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void PutBytes(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<std::uint32_t>(bytes.size()));
+  out->append(bytes.data(), bytes.size());
+}
+
+/// Bounds-checked sequential reader. Every getter returns a default on
+/// overrun and latches ok() false, so a parser can decode a whole struct
+/// and check validity once at the end.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return data_.size() - offset_; }
+
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    Take(&v, 4);
+    return v;
+  }
+
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    Take(&v, 8);
+    return v;
+  }
+
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+
+  double F64() { return std::bit_cast<double>(U64()); }
+
+  std::string_view Bytes(std::size_t length) {
+    if (!ok_ || remaining() < length) {
+      ok_ = false;
+      return {};
+    }
+    const std::string_view view = data_.substr(offset_, length);
+    offset_ += length;
+    return view;
+  }
+
+  /// Length-prefixed counterpart of PutBytes.
+  std::string_view LengthPrefixedBytes() {
+    const std::uint32_t length = U32();
+    return Bytes(length);
+  }
+
+ private:
+  void Take(void* out, std::size_t length) {
+    if (!ok_ || remaining() < length) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, data_.data() + offset_, length);
+    offset_ += length;
+  }
+
+  std::string_view data_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace rpc::durable
+
+#endif  // RPC_DURABLE_CODEC_H_

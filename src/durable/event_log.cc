@@ -1,0 +1,374 @@
+#include "durable/event_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/stringutil.h"
+#include "durable/codec.h"
+#include "durable/file_util.h"
+
+namespace rpc::durable {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'P', 'C', 'W', 'A', 'L', '0', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kSegmentHeaderSize = 24;  // magic + version + d + base
+constexpr std::size_t kRecordHeaderSize = 17;   // seq + type + len + crc
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+std::string SegmentName(std::uint64_t base_seq) {
+  return StrFormat("wal-%016llx.log",
+                   static_cast<unsigned long long>(base_seq));
+}
+
+/// Base sequence parsed back out of a segment file name; 0 on mismatch.
+std::uint64_t SegmentBase(const std::string& name) {
+  unsigned long long base = 0;
+  if (std::sscanf(name.c_str(), "wal-%16llx.log", &base) != 1) return 0;
+  return base;
+}
+
+std::string SegmentHeader(int d, std::uint64_t base_seq) {
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kFormatVersion);
+  PutU32(&header, static_cast<std::uint32_t>(d));
+  PutU64(&header, base_seq);
+  return header;
+}
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::DataLoss(StrFormat("event log: %s '%s': %s", op,
+                                    path.c_str(), std::strerror(errno)));
+}
+
+Status WriteAll(int fd, const char* data, std::size_t length,
+                const std::string& path) {
+  std::size_t written = 0;
+  while (written < length) {
+    const ssize_t n = ::write(fd, data + written, length - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+EventLog::EventLog(std::string dir, int d, std::uint64_t next_seq,
+                   Options options)
+    : dir_(std::move(dir)), d_(d), options_(options), next_seq_(next_seq) {
+  last_synced_seq_ = next_seq_ - 1;
+}
+
+EventLog::~EventLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<EventLog>> EventLog::Open(const std::string& dir,
+                                                 int d,
+                                                 std::uint64_t next_seq,
+                                                 const Options& options) {
+  RPC_RETURN_IF_ERROR(EnsureDirectory(dir));
+  std::unique_ptr<EventLog> log(new EventLog(dir, d, next_seq, options));
+
+  const std::vector<std::string> segments = ListFiles(dir, "wal-", ".log");
+  if (!segments.empty()) {
+    // Continue the newest segment: recovery has already validated (and,
+    // after a torn write, truncated) its tail.
+    const std::string path = dir + "/" + segments.back();
+    const int probe = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (probe < 0) return ErrnoStatus("open", path);
+    char header[kSegmentHeaderSize];
+    const ssize_t header_read = ::read(probe, header, sizeof(header));
+    ::close(probe);
+    if (header_read == static_cast<ssize_t>(kSegmentHeaderSize) &&
+        std::memcmp(header, kMagic, sizeof(kMagic)) == 0) {
+      Cursor cursor(std::string_view(header + 8, kSegmentHeaderSize - 8));
+      const std::uint32_t version = cursor.U32();
+      const std::uint32_t dim = cursor.U32();
+      if (version != kFormatVersion || dim != static_cast<std::uint32_t>(d)) {
+        return Status::DataLoss(StrFormat(
+            "event log: segment '%s' has version %u dimension %u, "
+            "expected version %u dimension %d",
+            path.c_str(), version, dim, kFormatVersion, d));
+      }
+      const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+      if (fd < 0) return ErrnoStatus("open", path);
+      struct stat st;
+      if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return ErrnoStatus("stat", path);
+      }
+      log->fd_ = fd;
+      log->segment_size_ = st.st_size;
+      return log;
+    }
+    // A segment too short to even hold its header: created in the instant
+    // before a crash, holds no records — replace it.
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+  }
+  RPC_RETURN_IF_ERROR(log->EnsureSegmentLocked(next_seq));
+  return log;
+}
+
+Status EventLog::EnsureSegmentLocked(std::uint64_t base_seq) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const std::string path = dir_ + "/" + SegmentName(base_seq);
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("create", path);
+  const std::string header = SegmentHeader(d_, base_seq);
+  Status written = WriteAll(fd, header.data(), header.size(), path);
+  if (written.ok() && ::fsync(fd) != 0) written = ErrnoStatus("fsync", path);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  RPC_RETURN_IF_ERROR(SyncDirectory(dir_));
+  fd_ = fd;
+  segment_size_ = static_cast<std::int64_t>(header.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.segments_created;
+  }
+  return Status::Ok();
+}
+
+std::uint64_t EventLog::Append(RecordType type, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = next_seq_++;
+  char header[kRecordHeaderSize];
+  std::memcpy(header, &seq, 8);
+  header[8] = static_cast<char>(type);
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(header + 9, &length, 4);
+  std::uint32_t crc = Crc32c(header, 13);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  std::memcpy(header + 13, &crc, 4);
+  pending_last_record_offset_ = pending_.size();
+  if (pending_.empty()) pending_first_seq_ = seq;
+  pending_.append(header, kRecordHeaderSize);
+  pending_.append(payload.data(), payload.size());
+  ++stats_.records;
+  return seq;
+}
+
+Status EventLog::Sync() {
+  // One sync at a time; the staging lock (mu_) is held only long enough to
+  // swap the batch out, so Append — called under the ingestion lock —
+  // never waits on an fsync.
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  std::string batch;
+  std::uint64_t batch_last_seq = 0;
+  std::uint64_t batch_first_seq = 0;
+  std::size_t last_record_offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      return Status::FailedPrecondition(
+          "event log: dead after an injected crash or I/O error");
+    }
+    if (pending_.empty()) return Status::Ok();
+    batch.swap(pending_);
+    batch_last_seq = next_seq_ - 1;
+    batch_first_seq = pending_first_seq_;
+    last_record_offset = pending_last_record_offset_;
+    pending_last_record_offset_ = 0;
+  }
+  const Status written =
+      WriteBatchLocked(std::move(batch), batch_first_seq, last_record_offset);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!written.ok()) {
+      dead_ = true;
+      return written;
+    }
+    last_synced_seq_ = batch_last_seq;
+    ++stats_.syncs;
+  }
+  return Status::Ok();
+}
+
+Status EventLog::WriteBatchLocked(std::string batch,
+                                  std::uint64_t batch_first_seq,
+                                  std::size_t last_record_offset) {
+  FaultInjector* injector = options_.injector;
+  if (injector != nullptr && injector->Fire(FailPoint::kTornTailWrite)) {
+    // Crash mid-write: only a prefix reaches the disk, cutting the final
+    // record of the batch somewhere inside it.
+    const std::size_t cut =
+        last_record_offset + (batch.size() - last_record_offset) / 2;
+    (void)WriteAll(fd_, batch.data(), cut, dir_);
+    return Status::DataLoss("event log: injected crash (torn_tail_write)");
+  }
+  const bool flip =
+      injector != nullptr && injector->Fire(FailPoint::kChecksumFlip);
+  if (flip && !batch.empty()) {
+    // Bit rot on the tail record: the full batch lands on disk but one
+    // bit of the last record is wrong, so its CRC32C cannot verify.
+    batch[batch.size() - 1] = static_cast<char>(batch.back() ^ 0x10);
+  }
+
+  if (segment_size_ >= options_.segment_bytes) {
+    RPC_RETURN_IF_ERROR(EnsureSegmentLocked(batch_first_seq));
+  }
+  const std::string path = dir_;  // for error text; fd_ is the segment
+  RPC_RETURN_IF_ERROR(WriteAll(fd_, batch.data(), batch.size(), path));
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path);
+  segment_size_ += static_cast<std::int64_t>(batch.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes_written += static_cast<std::int64_t>(batch.size());
+  }
+  if (flip) {
+    return Status::DataLoss("event log: injected crash (checksum_flip)");
+  }
+  return Status::Ok();
+}
+
+Status EventLog::TruncateThrough(std::uint64_t seq) {
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  const std::vector<std::string> segments = ListFiles(dir_, "wal-", ".log");
+  bool removed = false;
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i holds records [base(i), base(i+1) - 1]; it is fully
+    // covered by the snapshot exactly when base(i+1) <= seq + 1.
+    if (SegmentBase(segments[i + 1]) > seq + 1) break;
+    const std::string path = dir_ + "/" + segments[i];
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path);
+    removed = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.segments_deleted;
+  }
+  if (removed) RPC_RETURN_IF_ERROR(SyncDirectory(dir_));
+  return Status::Ok();
+}
+
+std::uint64_t EventLog::last_appended_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t EventLog::last_synced_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_synced_seq_;
+}
+
+EventLog::Stats EventLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<ReplayResult> ReplayEventLog(
+    const std::string& dir, int d, std::uint64_t after_seq,
+    const std::function<Status(const ReplayRecord&)>& apply) {
+  ReplayResult result;
+  result.last_seq = after_seq;
+  const std::vector<std::string> segments = ListFiles(dir, "wal-", ".log");
+  std::uint64_t expected = after_seq + 1;
+  for (std::size_t segment_index = 0; segment_index < segments.size();
+       ++segment_index) {
+    const bool is_last = segment_index + 1 == segments.size();
+    // Whole segments below the snapshot horizon need no read: their
+    // successor's base proves every record is covered.
+    if (!is_last &&
+        SegmentBase(segments[segment_index + 1]) <= after_seq + 1) {
+      continue;
+    }
+    const std::string path = dir + "/" + segments[segment_index];
+    RPC_ASSIGN_OR_RETURN(const std::string data, ReadFile(path));
+
+    const auto torn = [&](std::size_t valid_bytes,
+                          const char* what) -> Status {
+      if (!is_last) {
+        return Status::DataLoss(StrFormat(
+            "event log: %s at offset %zu of non-tail segment '%s'", what,
+            valid_bytes, path.c_str()));
+      }
+      result.tail_truncated = true;
+      result.tail_segment_path = path;
+      result.tail_valid_bytes = static_cast<std::int64_t>(valid_bytes);
+      return Status::Ok();
+    };
+
+    if (data.size() < kSegmentHeaderSize) {
+      RPC_RETURN_IF_ERROR(torn(0, "truncated segment header"));
+      continue;
+    }
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+      return Status::DataLoss(
+          StrFormat("event log: bad magic in segment '%s'", path.c_str()));
+    }
+    Cursor header(std::string_view(data).substr(8, kSegmentHeaderSize - 8));
+    const std::uint32_t version = header.U32();
+    const std::uint32_t dim = header.U32();
+    if (version != kFormatVersion || dim != static_cast<std::uint32_t>(d)) {
+      return Status::DataLoss(StrFormat(
+          "event log: segment '%s' has version %u dimension %u, expected "
+          "version %u dimension %d",
+          path.c_str(), version, dim, kFormatVersion, d));
+    }
+
+    std::size_t offset = kSegmentHeaderSize;
+    while (offset < data.size()) {
+      if (data.size() - offset < kRecordHeaderSize) {
+        RPC_RETURN_IF_ERROR(torn(offset, "torn record header"));
+        break;
+      }
+      std::uint64_t seq = 0;
+      std::uint32_t length = 0;
+      std::uint32_t stored_crc = 0;
+      std::memcpy(&seq, data.data() + offset, 8);
+      const auto type = static_cast<RecordType>(data[offset + 8]);
+      std::memcpy(&length, data.data() + offset + 9, 4);
+      std::memcpy(&stored_crc, data.data() + offset + 13, 4);
+      if (length > kMaxPayload ||
+          data.size() - offset - kRecordHeaderSize < length) {
+        RPC_RETURN_IF_ERROR(torn(offset, "torn record payload"));
+        break;
+      }
+      std::uint32_t crc = Crc32c(data.data() + offset, 13);
+      crc = Crc32cExtend(crc, data.data() + offset + kRecordHeaderSize,
+                         length);
+      if (crc != stored_crc) {
+        RPC_RETURN_IF_ERROR(torn(offset, "checksum mismatch"));
+        break;
+      }
+      if (seq > after_seq) {
+        if (seq != expected) {
+          return Status::DataLoss(StrFormat(
+              "event log: sequence gap in '%s': found %llu, expected %llu",
+              path.c_str(), static_cast<unsigned long long>(seq),
+              static_cast<unsigned long long>(expected)));
+        }
+        ReplayRecord record;
+        record.seq = seq;
+        record.type = type;
+        record.payload = std::string_view(data).substr(
+            offset + kRecordHeaderSize, length);
+        RPC_RETURN_IF_ERROR(apply(record));
+        ++result.replayed;
+        result.last_seq = seq;
+        ++expected;
+      }
+      offset += kRecordHeaderSize + length;
+    }
+  }
+  return result;
+}
+
+}  // namespace rpc::durable

@@ -1,0 +1,157 @@
+#ifndef RPC_DURABLE_EVENT_LOG_H_
+#define RPC_DURABLE_EVENT_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "durable/fault_injector.h"
+
+namespace rpc::durable {
+
+/// Record kinds the streaming tier logs. The log itself is agnostic — it
+/// moves (seq, type, payload) triples — but the type tags live here so the
+/// writer and the recovery reader agree on one registry.
+enum class RecordType : std::uint8_t {
+  kAppend = 1,   // row_id + d raw doubles
+  kRetire = 2,   // row_id
+  kPublish = 3,  // serialized PortableRpcModel + refreshed (row_id, s*) pairs
+  kBounds = 4,   // post-rescan live mins/maxs (replay integrity check)
+};
+
+/// A segmented, CRC32C-checksummed write-ahead log.
+///
+/// On-disk layout: `<dir>/wal-<base_seq, 16 hex>.log` files, each starting
+/// with a 24-byte header (magic "RPCWAL01", format version, row dimension,
+/// base sequence) followed by records:
+///
+///   u64 seq | u8 type | u32 payload_len | u32 crc32c | payload
+///
+/// with the checksum covering seq, type, length and payload, so a bit flip
+/// anywhere in a record is detected. Sequence numbers are assigned by
+/// Append in arrival order, start at 1, and are globally contiguous across
+/// segments — recovery verifies the chain and treats any gap as data loss.
+///
+/// Group commit: Append only stages the record into an in-memory batch
+/// (cheap — called under the ingestion lock so the log order is exactly
+/// the apply order); Sync() writes the whole batch with one write(2) and
+/// one fsync. The streaming tier schedules Sync on its auxiliary pool lane
+/// after each drained event, so under load many events share one fsync and
+/// the ingestion hot path never waits on the disk.
+///
+/// Torn-write contract: a crash during Sync can leave a prefix of the
+/// batch on disk, cutting the final record. Replay detects the torn (or
+/// checksum-failing) tail record, drops it, and reports where the valid
+/// prefix ends so recovery can truncate the file; a corrupt record that is
+/// *not* at the tail of the log is unrecoverable corruption and fails
+/// replay with kDataLoss.
+class EventLog {
+ public:
+  struct Options {
+    /// Roll to a new segment once the current one exceeds this many bytes
+    /// (checked at Sync batch granularity; records never span segments).
+    std::int64_t segment_bytes = 4 << 20;
+    /// Failpoint driver for crash tests; nullable.
+    FaultInjector* injector = nullptr;
+  };
+
+  struct Stats {
+    std::int64_t records = 0;
+    std::int64_t syncs = 0;
+    std::int64_t bytes_written = 0;  // record bytes, excluding headers
+    std::int64_t segments_created = 0;
+    std::int64_t segments_deleted = 0;
+  };
+
+  /// Opens the log for appending with the given next sequence number:
+  /// continues the newest existing segment (whose tail recovery has
+  /// already validated/truncated) or creates the first one. `d` is stamped
+  /// into every segment header and checked on replay.
+  static Result<std::unique_ptr<EventLog>> Open(const std::string& dir,
+                                                int d,
+                                                std::uint64_t next_seq,
+                                                const Options& options);
+
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Stages one record and returns its assigned sequence number. Never
+  /// touches the disk; the record becomes durable at the next Sync().
+  std::uint64_t Append(RecordType type, std::string_view payload);
+
+  /// Writes every staged record to the current segment and fsyncs — the
+  /// group-commit point. Idempotent when nothing is staged. Returns the
+  /// injected-crash error when a failpoint fires (the log is then dead:
+  /// every later Append/Sync fails).
+  Status Sync();
+
+  /// Deletes whole segments whose records are all <= `seq` (covered by a
+  /// durable snapshot). The segment currently being written survives.
+  Status TruncateThrough(std::uint64_t seq);
+
+  /// Sequence number of the most recently staged record (0 = none yet).
+  std::uint64_t last_appended_seq() const;
+  /// Sequence number through which records are on disk and fsynced.
+  std::uint64_t last_synced_seq() const;
+
+  Stats stats() const;
+
+ private:
+  EventLog(std::string dir, int d, std::uint64_t next_seq, Options options);
+
+  Status EnsureSegmentLocked(std::uint64_t base_seq);
+  Status WriteBatchLocked(std::string batch, std::uint64_t batch_first_seq,
+                          std::size_t last_record_offset);
+
+  const std::string dir_;
+  const int d_;
+  const Options options_;
+
+  /// Two locks so the disk never blocks ingestion: mu_ guards the staging
+  /// buffer and counters (held by Append, microseconds); sync_mu_
+  /// serializes segment I/O and is held across write+fsync.
+  mutable std::mutex mu_;
+  std::mutex sync_mu_;
+  int fd_ = -1;                    // guarded by sync_mu_
+  std::int64_t segment_size_ = 0;  // guarded by sync_mu_
+  std::string pending_;
+  std::uint64_t pending_first_seq_ = 0;
+  std::size_t pending_last_record_offset_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t last_synced_seq_ = 0;
+  bool dead_ = false;  // injected crash or unrecoverable I/O error
+  Stats stats_;
+};
+
+/// One record handed to the replay callback. The payload view borrows the
+/// segment buffer; copy it if it must outlive the callback.
+struct ReplayRecord {
+  std::uint64_t seq = 0;
+  RecordType type = RecordType::kAppend;
+  std::string_view payload;
+};
+
+struct ReplayResult {
+  std::uint64_t last_seq = 0;   // highest sequence applied (or after_seq)
+  std::uint64_t replayed = 0;   // records handed to the callback
+  bool tail_truncated = false;  // a torn/corrupt tail record was dropped
+  std::string tail_segment_path;          // segment holding the torn tail
+  std::int64_t tail_valid_bytes = 0;      // valid prefix length of it
+};
+
+/// Replays every record with seq > after_seq, in order, through `apply`;
+/// stops with the callback's error if it fails. Verifies the segment
+/// headers (magic, dimension) and the global sequence chain.
+Result<ReplayResult> ReplayEventLog(
+    const std::string& dir, int d, std::uint64_t after_seq,
+    const std::function<Status(const ReplayRecord&)>& apply);
+
+}  // namespace rpc::durable
+
+#endif  // RPC_DURABLE_EVENT_LOG_H_

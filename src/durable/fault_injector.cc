@@ -1,0 +1,71 @@
+#include "durable/fault_injector.h"
+
+#include "common/stringutil.h"
+
+namespace rpc::durable {
+
+const char* FailPointName(FailPoint point) {
+  switch (point) {
+    case FailPoint::kTornTailWrite:
+      return "torn_tail_write";
+    case FailPoint::kChecksumFlip:
+      return "checksum_flip";
+    case FailPoint::kPartialSnapshot:
+      return "partial_snapshot";
+    case FailPoint::kCrashBetweenFsyncAndRename:
+      return "crash_between_fsync_and_rename";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FailPoint point, int countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  point_ = point;
+  countdown_ = countdown < 1 ? 1 : countdown;
+}
+
+bool FaultInjector::Fire(FailPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_ || crashed_.load(std::memory_order_relaxed) ||
+      point != point_) {
+    return false;
+  }
+  if (--countdown_ > 0) return false;
+  armed_ = false;
+  crashed_.store(true, std::memory_order_release);
+  return true;
+}
+
+void FaultInjector::Kill() {
+  crashed_.store(true, std::memory_order_release);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  std::string name = spec;
+  int countdown = 1;
+  const size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    double parsed = 0.0;
+    if (!ParseDouble(spec.substr(colon + 1), &parsed) || parsed < 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("FaultInjector: bad countdown in spec '%s'",
+                    spec.c_str()));
+    }
+    countdown = static_cast<int>(parsed);
+  }
+  for (const FailPoint point :
+       {FailPoint::kTornTailWrite, FailPoint::kChecksumFlip,
+        FailPoint::kPartialSnapshot,
+        FailPoint::kCrashBetweenFsyncAndRename}) {
+    if (name == FailPointName(point)) {
+      Arm(point, countdown);
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("FaultInjector: unknown failpoint '%s'", name.c_str()));
+}
+
+}  // namespace rpc::durable

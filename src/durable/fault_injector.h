@@ -1,0 +1,86 @@
+#ifndef RPC_DURABLE_FAULT_INJECTOR_H_
+#define RPC_DURABLE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace rpc::durable {
+
+/// Where the durable tier can be made to fail. Each point models one real
+/// crash shape the recovery path must survive:
+///
+///   kTornTailWrite — the process dies mid-write: only a prefix of the
+///     group-commit batch reaches the log file, cutting the last record in
+///     half. Recovery must treat the torn record as never written.
+///   kChecksumFlip — a bit of the last log record rots between write and
+///     read (disk/firmware corruption). Recovery must detect it via CRC32C
+///     and, because it is the tail, drop the record like a torn write.
+///   kPartialSnapshot — the process dies while the snapshot temp file is
+///     being written; the half-written `.tmp` must be ignored and the
+///     previous snapshot + log used instead.
+///   kCrashBetweenFsyncAndRename — the snapshot temp file is complete and
+///     fsynced but the atomic rename never happened. Same recovery story:
+///     the `.tmp` is invisible, the previous snapshot wins.
+enum class FailPoint {
+  kTornTailWrite,
+  kChecksumFlip,
+  kPartialSnapshot,
+  kCrashBetweenFsyncAndRename,
+};
+
+/// Returns e.g. "torn_tail_write" (the spelling the env variable uses).
+const char* FailPointName(FailPoint point);
+
+/// Deterministic failpoint driver for kill-and-recover tests. Arm() loads
+/// one failpoint with a countdown; the durable writers call Fire() at the
+/// matching site and, on the countdown-th hit, simulate the crash effect on
+/// disk and then behave as a dead process: crashed() flips true and every
+/// subsequent durable operation no-ops with an error. The in-memory object
+/// is then abandoned by the test and a fresh one runs Recover() against the
+/// directory — exactly a kill -9 without needing a child process.
+///
+/// Kill() is the blunt form: no disk mutation, just "the process is gone
+/// now" (used by the demo/bench to crash between two fsync points).
+///
+/// Thread-safe: Fire() may race with Arm()/Kill() from other threads.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `point` to fire on the `countdown`-th Fire(point) call
+  /// (countdown >= 1). Re-arming replaces the previous arming; a crashed
+  /// injector stays crashed.
+  void Arm(FailPoint point, int countdown);
+
+  /// True exactly once: on the armed countdown-th call for the armed
+  /// point. The caller then performs the crash effect and must treat the
+  /// injector as crashed (it already does — crashed() is set here).
+  bool Fire(FailPoint point);
+
+  /// Simulates an immediate process death with no associated disk effect.
+  void Kill();
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// Parses "name:count" (e.g. "torn_tail_write:2"; ":count" optional,
+  /// default 1) as used by the RPC_DURABLE_FAILPOINT env variable and arms
+  /// the injector. Unknown names are an InvalidArgument.
+  Status ArmFromSpec(const std::string& spec);
+
+ private:
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  FailPoint point_ = FailPoint::kTornTailWrite;
+  int countdown_ = 0;
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace rpc::durable
+
+#endif  // RPC_DURABLE_FAULT_INJECTOR_H_

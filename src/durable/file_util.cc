@@ -1,0 +1,139 @@
+#include "durable/file_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/stringutil.h"
+
+namespace rpc::durable {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::DataLoss(
+      StrFormat("durable: %s '%s': %s", op, path.c_str(),
+                std::strerror(errno)));
+}
+
+Status WriteAll(int fd, const char* data, size_t length,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < length) {
+    const ssize_t n = ::write(fd, data + written, length - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::DataLoss(StrFormat("durable: mkdir '%s': %s",
+                                      dir.c_str(), ec.message().c_str()));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound(StrFormat("durable: cannot open '%s': %s",
+                                      path.c_str(), std::strerror(errno)));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = ErrnoStatus("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& dir, const std::string& name,
+                       const std::string& payload, FaultInjector* injector) {
+  const std::string tmp_path = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("create", tmp_path);
+
+  if (injector != nullptr && injector->Fire(FailPoint::kPartialSnapshot)) {
+    // Die mid-write: half the payload reaches the temp file, which is
+    // never renamed and must be invisible to recovery.
+    (void)WriteAll(fd, payload.data(), payload.size() / 2, tmp_path);
+    ::close(fd);
+    return Status::DataLoss("durable: injected crash (partial_snapshot)");
+  }
+
+  Status written = WriteAll(fd, payload.data(), payload.size(), tmp_path);
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = ErrnoStatus("fsync", tmp_path);
+  }
+  ::close(fd);
+  if (!written.ok()) return written;
+
+  if (injector != nullptr &&
+      injector->Fire(FailPoint::kCrashBetweenFsyncAndRename)) {
+    // The temp file is complete and durable but the rename never happens:
+    // recovery must fall back to the previous snapshot.
+    return Status::DataLoss(
+        "durable: injected crash (crash_between_fsync_and_rename)");
+  }
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return ErrnoStatus("rename", final_path);
+  }
+  return SyncDirectory(dir);
+}
+
+std::vector<std::string> ListFiles(const std::string& dir,
+                                   const std::string& prefix,
+                                   const std::string& suffix) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", dir);
+  return Status::Ok();
+}
+
+}  // namespace rpc::durable

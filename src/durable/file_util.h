@@ -1,0 +1,44 @@
+#ifndef RPC_DURABLE_FILE_UTIL_H_
+#define RPC_DURABLE_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "durable/fault_injector.h"
+
+namespace rpc::durable {
+
+/// POSIX plumbing shared by the event log and the snapshot writer. All
+/// paths are plain byte strings; errors carry errno text.
+
+/// mkdir -p.
+Status EnsureDirectory(const std::string& dir);
+
+/// Reads a whole file; kNotFound when it cannot be opened.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Crash-atomic publication: writes `payload` to `<dir>/<name>.tmp`,
+/// fsyncs it, renames it to `<dir>/<name>` and fsyncs the directory so the
+/// rename itself is durable. A crash at any point leaves either no file or
+/// the complete old/new file — never a half-visible one.
+///
+/// Failpoints (when `injector` is non-null): kPartialSnapshot dies after
+/// writing half the temp file; kCrashBetweenFsyncAndRename dies with the
+/// temp complete and fsynced but never renamed.
+Status AtomicWriteFile(const std::string& dir, const std::string& name,
+                       const std::string& payload, FaultInjector* injector);
+
+/// Names (not paths) of directory entries matching prefix/suffix, sorted
+/// ascending. Missing directory = empty list.
+std::vector<std::string> ListFiles(const std::string& dir,
+                                   const std::string& prefix,
+                                   const std::string& suffix);
+
+/// fsync on a directory fd, making previous renames/unlinks in it durable.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace rpc::durable
+
+#endif  // RPC_DURABLE_FILE_UTIL_H_

@@ -1,0 +1,208 @@
+#include "durable/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/stringutil.h"
+#include "durable/codec.h"
+#include "durable/file_util.h"
+
+namespace rpc::durable {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'P', 'C', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+std::string SnapshotName(std::uint64_t last_seq) {
+  return StrFormat("snapshot-%016llx.snap",
+                   static_cast<unsigned long long>(last_seq));
+}
+
+void PutF64Vector(std::string* out, const std::vector<double>& values) {
+  PutU64(out, values.size());
+  for (const double v : values) PutF64(out, v);
+}
+
+void PutI64Vector(std::string* out, const std::vector<std::int64_t>& values) {
+  PutU64(out, values.size());
+  for (const std::int64_t v : values) PutI64(out, v);
+}
+
+bool TakeF64Vector(Cursor* cursor, std::vector<double>* out) {
+  const std::uint64_t n = cursor->U64();
+  if (!cursor->ok() || n * 8 > cursor->remaining()) return false;
+  out->resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) (*out)[i] = cursor->F64();
+  return cursor->ok();
+}
+
+bool TakeI64Vector(Cursor* cursor, std::vector<std::int64_t>* out) {
+  const std::uint64_t n = cursor->U64();
+  if (!cursor->ok() || n * 8 > cursor->remaining()) return false;
+  out->resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) (*out)[i] = cursor->I64();
+  return cursor->ok();
+}
+
+Status Corrupt(std::size_t offset, const char* what) {
+  return Status::DataLoss(
+      StrFormat("snapshot: %s at offset %zu", what, offset));
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotState& state) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(&out, kFormatVersion);
+  PutU32(&out, static_cast<std::uint32_t>(state.d));
+  PutU64(&out, state.last_seq);
+  PutI64(&out, state.next_row_id);
+  PutBytes(&out, state.model_text);
+  PutI64(&out, state.norm_count);
+  PutU32(&out, state.norm_bounds_stale ? 1 : 0);
+  PutF64Vector(&out, state.norm_mins);
+  PutF64Vector(&out, state.norm_maxs);
+  PutF64Vector(&out, state.norm_mean);
+  PutF64Vector(&out, state.norm_m2);
+  PutI64Vector(&out, state.row_ids);
+  PutF64Vector(&out, state.rows);
+  PutF64Vector(&out, state.s);
+  PutI64(&out, state.appended);
+  PutI64(&out, state.retired);
+  PutI64(&out, state.retire_misses);
+  PutI64(&out, state.events_processed);
+  PutI64(&out, state.refreshes);
+  PutI64(&out, state.skipped_refreshes);
+  PutI64(&out, state.failed_refreshes);
+  PutI64(&out, state.publish_failures);
+  PutI64(&out, state.events_since_refresh);
+  PutI64(&out, state.events_since_cold);
+  PutF64(&out, state.last_drift);
+  PutU32(&out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+Result<SnapshotState> DecodeSnapshot(std::string_view data) {
+  if (data.size() < sizeof(kMagic) + 8) {
+    return Corrupt(data.size(), "truncated header");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(0, "bad magic");
+  }
+  const std::size_t body = data.size() - 4;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data.data() + body, 4);
+  if (Crc32c(data.data(), body) != stored_crc) {
+    return Corrupt(body, "checksum mismatch");
+  }
+
+  Cursor cursor(data.substr(sizeof(kMagic), body - sizeof(kMagic)));
+  const std::uint32_t version = cursor.U32();
+  if (version != kFormatVersion) {
+    return Status::DataLoss(StrFormat(
+        "snapshot: unknown format version %u (expected %u)", version,
+        kFormatVersion));
+  }
+  SnapshotState state;
+  state.d = static_cast<int>(cursor.U32());
+  state.last_seq = cursor.U64();
+  state.next_row_id = cursor.I64();
+  state.model_text = std::string(cursor.LengthPrefixedBytes());
+  state.norm_count = cursor.I64();
+  state.norm_bounds_stale = cursor.U32() != 0;
+  bool vectors_ok = TakeF64Vector(&cursor, &state.norm_mins) &&
+                    TakeF64Vector(&cursor, &state.norm_maxs) &&
+                    TakeF64Vector(&cursor, &state.norm_mean) &&
+                    TakeF64Vector(&cursor, &state.norm_m2) &&
+                    TakeI64Vector(&cursor, &state.row_ids) &&
+                    TakeF64Vector(&cursor, &state.rows) &&
+                    TakeF64Vector(&cursor, &state.s);
+  state.appended = cursor.I64();
+  state.retired = cursor.I64();
+  state.retire_misses = cursor.I64();
+  state.events_processed = cursor.I64();
+  state.refreshes = cursor.I64();
+  state.skipped_refreshes = cursor.I64();
+  state.failed_refreshes = cursor.I64();
+  state.publish_failures = cursor.I64();
+  state.events_since_refresh = cursor.I64();
+  state.events_since_cold = cursor.I64();
+  state.last_drift = cursor.F64();
+  if (!vectors_ok || !cursor.ok()) {
+    return Corrupt(sizeof(kMagic) + cursor.offset(), "truncated field");
+  }
+  if (cursor.remaining() != 0) {
+    return Corrupt(sizeof(kMagic) + cursor.offset(), "trailing garbage");
+  }
+
+  const std::size_t n = state.row_ids.size();
+  const std::size_t d = static_cast<std::size_t>(state.d);
+  if (state.rows.size() != n * d || state.s.size() != n ||
+      state.norm_mins.size() != d || state.norm_maxs.size() != d ||
+      state.norm_mean.size() != d || state.norm_m2.size() != d) {
+    return Status::DataLoss(
+        "snapshot: internally inconsistent field sizes");
+  }
+  return state;
+}
+
+Status WriteSnapshot(const std::string& dir, const SnapshotState& state,
+                     FaultInjector* injector) {
+  RPC_RETURN_IF_ERROR(EnsureDirectory(dir));
+  return AtomicWriteFile(dir, SnapshotName(state.last_seq),
+                         EncodeSnapshot(state), injector);
+}
+
+Result<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir) {
+  const std::vector<std::string> names =
+      ListFiles(dir, "snapshot-", ".snap");
+  LoadedSnapshot loaded;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    const std::string path = dir + "/" + *it;
+    Result<std::string> data = ReadFile(path);
+    if (data.ok()) {
+      Result<SnapshotState> state = DecodeSnapshot(*data);
+      if (state.ok()) {
+        loaded.state = *std::move(state);
+        loaded.path = path;
+        return loaded;
+      }
+    }
+    ++loaded.fallbacks;
+  }
+  return Status::NotFound(
+      StrFormat("no readable snapshot in '%s'", dir.c_str()));
+}
+
+std::vector<std::uint64_t> ListSnapshotSeqs(const std::string& dir) {
+  std::vector<std::uint64_t> seqs;
+  for (const std::string& name : ListFiles(dir, "snapshot-", ".snap")) {
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "snapshot-%16llx.snap", &seq) == 1) {
+      seqs.push_back(seq);
+    }
+  }
+  return seqs;
+}
+
+Status RemoveOldSnapshots(const std::string& dir, int keep) {
+  const std::vector<std::string> names =
+      ListFiles(dir, "snapshot-", ".snap");
+  if (static_cast<int>(names.size()) <= keep) return Status::Ok();
+  bool removed = false;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(keep) < names.size();
+       ++i) {
+    const std::string path = dir + "/" + names[i];
+    if (std::remove(path.c_str()) != 0) {
+      return Status::DataLoss(
+          StrFormat("snapshot: cannot remove '%s'", path.c_str()));
+    }
+    removed = true;
+  }
+  if (removed) RPC_RETURN_IF_ERROR(SyncDirectory(dir));
+  return Status::Ok();
+}
+
+}  // namespace rpc::durable

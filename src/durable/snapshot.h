@@ -1,0 +1,92 @@
+#ifndef RPC_DURABLE_SNAPSHOT_H_
+#define RPC_DURABLE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "durable/fault_injector.h"
+
+namespace rpc::durable {
+
+/// Everything the streaming tier needs to rebuild its exact pre-crash
+/// state, captured under the ingestion lock at one event boundary. The
+/// doubles are persisted bit-for-bit (IEEE-754 bit patterns), so a
+/// recovered ranker's normalizer statistics, warm scores and served model
+/// are identical to the originals — not merely close.
+struct SnapshotState {
+  int d = 0;
+  /// The event-log sequence number this snapshot covers: every record with
+  /// seq <= last_seq is already folded in; recovery replays only those
+  /// after it (bounded replay).
+  std::uint64_t last_seq = 0;
+  std::int64_t next_row_id = 0;
+  /// The served model, core::SerializeModel text (carries alpha, bounds,
+  /// control points and the published version).
+  std::string model_text;
+
+  // data::OnlineNormalizer sufficient statistics (ExportState order).
+  std::int64_t norm_count = 0;
+  bool norm_bounds_stale = false;
+  std::vector<double> norm_mins, norm_maxs, norm_mean, norm_m2;
+
+  // Row store, index-aligned: n row ids, n*d raw values, n warm scores.
+  std::vector<std::int64_t> row_ids;
+  std::vector<double> rows;
+  std::vector<double> s;
+
+  // Aggregate counters, so StreamStats survives a crash too.
+  std::int64_t appended = 0;
+  std::int64_t retired = 0;
+  std::int64_t retire_misses = 0;
+  std::int64_t events_processed = 0;
+  std::int64_t refreshes = 0;
+  std::int64_t skipped_refreshes = 0;
+  std::int64_t failed_refreshes = 0;
+  std::int64_t publish_failures = 0;
+  std::int64_t events_since_refresh = 0;
+  std::int64_t events_since_cold = 0;
+  double last_drift = 0.0;
+};
+
+/// Binary encoding: magic "RPCSNAP1", u32 format version, the fields in
+/// declaration order (little-endian, length-prefixed buffers), and a
+/// trailing CRC32C over everything before it.
+std::string EncodeSnapshot(const SnapshotState& state);
+
+/// Rejects bad magic, unknown version, checksum mismatch, truncation and
+/// trailing garbage with kDataLoss naming the byte offset.
+Result<SnapshotState> DecodeSnapshot(std::string_view data);
+
+/// Atomically publishes `<dir>/snapshot-<last_seq, 16 hex>.snap` (temp +
+/// fsync + rename + directory fsync). Honors the snapshot failpoints via
+/// AtomicWriteFile.
+Status WriteSnapshot(const std::string& dir, const SnapshotState& state,
+                     FaultInjector* injector);
+
+struct LoadedSnapshot {
+  SnapshotState state;
+  std::string path;
+  /// Snapshots that were newer but unreadable (corrupt/truncated) and were
+  /// skipped to reach this one.
+  int fallbacks = 0;
+};
+
+/// Loads the newest decodable snapshot, falling back across corrupt ones;
+/// kNotFound when the directory holds no readable snapshot at all.
+Result<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir);
+
+/// The last_seq values of every snapshot file present, ascending.
+std::vector<std::uint64_t> ListSnapshotSeqs(const std::string& dir);
+
+/// Deletes the oldest snapshots until at most `keep` remain. Keeping two
+/// is the recovery contract: the event log is only truncated through the
+/// *oldest* kept snapshot's seq, so if the newest turns out corrupt the
+/// fallback snapshot still has its log suffix.
+Status RemoveOldSnapshots(const std::string& dir, int keep);
+
+}  // namespace rpc::durable
+
+#endif  // RPC_DURABLE_SNAPSHOT_H_

@@ -1,12 +1,17 @@
 #include "stream/streaming_ranker.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "common/stringutil.h"
+#include "durable/codec.h"
+#include "durable/file_util.h"
 
 namespace rpc::stream {
 
@@ -20,6 +25,14 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// kPublish payload kind tags (first u32 of the payload).
+constexpr std::uint32_t kPublishWarm = 0;
+constexpr std::uint32_t kPublishCold = 1;
 
 }  // namespace
 
@@ -50,6 +63,11 @@ StreamingRanker::StreamingRanker(serve::RankingService* service,
       options_(options),
       service_(service),
       pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      // One dedicated worker for disk/refit work — unless the ranker runs
+      // fully serial (num_threads <= 1), in which case the aux lane is
+      // inline too and the determinism contract is untouched.
+      aux_pool_(std::make_unique<ThreadPool>(options.num_threads <= 1 ? 1
+                                                                      : 2)),
       queue_(std::max(options.queue_capacity, 1)) {
   // The warm-refresh learner: same geometry/solver configuration as the
   // cold fit, but a single trajectory (the seed pins the basin) running
@@ -66,7 +84,8 @@ StreamingRanker::StreamingRanker(serve::RankingService* service,
 
 StreamingRanker::~StreamingRanker() {
   Stop();
-  pool_.reset();  // joins the workers (and any straggler task)
+  pool_.reset();      // joins the workers (and any straggler task)
+  aux_pool_.reset();  // then the aux lane, whose tasks the workers feed
 }
 
 void StreamingRanker::Stop() {
@@ -75,13 +94,32 @@ void StreamingRanker::Stop() {
     if (stopped_) return;
     stopped_ = true;
   }
-  // Refuse new events; already-admitted ones drain through their paired
-  // Submit tasks (including any refresh the last event fires). The pool
-  // itself stays alive until destruction: an Append racing this Stop may
-  // have pushed successfully but not yet Submitted, and its late task
-  // must land on a live pool (the destructor's WaitTasks catches it).
-  queue_.Close();
+  // Refuse new events, then block until every admitted event has been
+  // handed to a worker. This closes the Append-racing-Stop window: an
+  // Append that pushed successfully but has not yet Submitted its task
+  // cannot be dropped — CloseAndDrain waits until that late task (which
+  // must land on the still-live pool; the destructor's WaitTasks is the
+  // backstop) has popped the event, and the WaitTasks below then waits for
+  // it to be fully applied. No accepted event is ever lost on Stop.
+  queue_.CloseAndDrain();
   pool_->WaitTasks();
+  // Let in-flight aux work (refresh, cold refit, snapshot, log flush)
+  // finish before the final sync, so the shutdown snapshot sees it.
+  aux_pool_->WaitTasks();
+  durable::EventLog* log = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log = log_.get();
+  }
+  if (log != nullptr) {
+    const Status synced = log->Sync();
+    const Status snapped =
+        synced.ok() ? WriteSnapshotNow() : Status::Ok();
+    if (!synced.ok() || !snapped.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++durable_errors_;
+    }
+  }
   cv_.notify_all();
 }
 
@@ -100,6 +138,19 @@ Status StreamingRanker::Start(const Matrix& initial_rows,
   const core::RpcLearner learner(options_.learner);
   RPC_ASSIGN_OR_RETURN(core::RpcFitResult fit,
                        learner.Fit(normalized, alpha));
+
+  // Open the event log before events can flow: every applied event after
+  // started_ becomes visible must be captured.
+  std::unique_ptr<durable::EventLog> log;
+  if (options_.durability.enabled()) {
+    durable::EventLog::Options log_options;
+    log_options.segment_bytes = options_.durability.segment_bytes;
+    log_options.injector = options_.durability.injector.get();
+    RPC_ASSIGN_OR_RETURN(
+        log, durable::EventLog::Open(options_.durability.dir,
+                                     initial_rows.cols(),
+                                     /*next_seq=*/1, log_options));
+  }
 
   core::PortableRpcModel portable;
   {
@@ -125,12 +176,20 @@ Status StreamingRanker::Start(const Matrix& initial_rows,
     online_.Reset(d_);
     online_.Observe(initial_rows);
     RebindCurveLocked();
+    log_ = std::move(log);
     started_ = true;
     // Hold the refresh slot across the version-1 publish: once started_
     // is visible, a concurrent Append can fire a policy refresh, and its
     // version-2 publish must not race (and be overwritten by) ours.
     refresh_in_flight_ = true;
     portable = PortableModelLocked();
+  }
+  // The bootstrap snapshot makes the Start state itself durable — the
+  // initial cold fit is never logged as events, so without this a crash
+  // before the first milestone snapshot would be unrecoverable. Its
+  // last_seq is 0: recovery replays the entire log after it.
+  if (options_.durability.enabled()) {
+    RPC_RETURN_IF_ERROR(WriteSnapshotNow());
   }
   Status published = Status::Ok();
   if (service_ != nullptr) {
@@ -210,8 +269,22 @@ Status StreamingRanker::Retire(std::int64_t row_id) {
 }
 
 Status StreamingRanker::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return pending_ == 0 && !refresh_in_flight_; });
+  durable::EventLog* log = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_ == 0 && !refresh_in_flight_; });
+    log = log_.get();
+  }
+  // The durability acknowledgment point: everything applied above is now
+  // also on disk. A crash after a successful Flush loses nothing.
+  if (log != nullptr) {
+    const Status synced = log->Sync();
+    if (!synced.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++durable_errors_;
+      return synced;
+    }
+  }
   return Status::Ok();
 }
 
@@ -269,6 +342,11 @@ StreamStats StreamingRanker::stats() const {
   stats.last_refresh_seconds =
       refresh_seconds_.empty() ? 0.0 : refresh_seconds_.back();
   stats.pending = static_cast<int>(pending_);
+  stats.snapshots = snapshots_;
+  stats.durable_errors = durable_errors_;
+  stats.wal_records = log_ != nullptr ? log_->stats().records : 0;
+  stats.cold_refits = cold_refits_;
+  stats.cold_rejected = cold_rejected_;
   return stats;
 }
 
@@ -280,30 +358,71 @@ std::vector<double> StreamingRanker::RefreshSecondsHistory() const {
 void StreamingRanker::ProcessOneEvent() {
   std::optional<Event> event = queue_.Pop();
   if (!event.has_value()) return;  // closed and drained
-  RefreshJob job;
-  bool run_refresh = false;
+  std::shared_ptr<RefreshJob> refresh_job;
+  std::shared_ptr<ColdJob> cold_job;
+  std::shared_ptr<durable::SnapshotState> snapshot_state;
+  bool durable = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ApplyEventLocked(*event);
     ++events_processed_;
     ++events_since_refresh_;
+    ++events_since_cold_;
+    durable = log_ != nullptr;
     if (started_ && !refresh_in_flight_ && PolicyFiresLocked()) {
+      RefreshJob job;
       Status reason = Status::Ok();
       if (PrepareRefreshLocked(&job, &reason)) {
-        run_refresh = true;
+        refresh_job = std::make_shared<RefreshJob>(std::move(job));
       } else {
         ++skipped_refreshes_;
         events_since_refresh_ = 0;  // don't re-fire on every event
+      }
+    } else if (started_ && !refresh_in_flight_ &&
+               options_.drift.cold_refit_period_events > 0 &&
+               events_since_cold_ >=
+                   options_.drift.cold_refit_period_events) {
+      ColdJob job;
+      if (PrepareColdLocked(&job)) {
+        cold_job = std::make_shared<ColdJob>(std::move(job));
+      } else {
+        events_since_cold_ = 0;  // don't re-fire on every event
+      }
+    }
+    if (durable && options_.durability.snapshot_every_events > 0) {
+      ++events_since_snapshot_;
+      if (!snapshot_in_flight_ &&
+          events_since_snapshot_ >=
+              options_.durability.snapshot_every_events) {
+        snapshot_in_flight_ = true;
+        events_since_snapshot_ = 0;
+        snapshot_state = std::make_shared<durable::SnapshotState>(
+            BuildSnapshotStateLocked());
       }
     }
     --pending_;
   }
   cv_.notify_all();
-  // Off the lock: ingestion keeps flowing while the warm refit runs.
-  if (run_refresh) (void)RunRefresh(&job);
+  // Off the lock and off this worker: the aux lane absorbs everything
+  // slow (fsync, snapshot encode+write, warm/cold refits), so the
+  // ingestion workers only ever apply events.
+  if (durable) ScheduleLogFlush();
+  if (snapshot_state != nullptr) {
+    aux_pool_->Submit(
+        [this, snapshot_state] { RunSnapshot(snapshot_state); });
+  }
+  if (refresh_job != nullptr) {
+    aux_pool_->Submit(
+        [this, refresh_job] { (void)RunRefresh(refresh_job.get()); });
+  }
+  if (cold_job != nullptr) {
+    aux_pool_->Submit(
+        [this, cold_job] { (void)RunColdRefit(cold_job.get()); });
+  }
 }
 
 void StreamingRanker::ApplyEventLocked(const Event& event) {
+  LogEventLocked(event);
   if (event.kind == Event::Kind::kAppend) {
     const double* x = event.row.data().data();
     rows_.insert(rows_.end(), x, x + d_);
@@ -347,6 +466,10 @@ void StreamingRanker::ApplyEventLocked(const Event& event) {
       // entirely).
       online_.RebuildBounds(rows_.data(),
                             static_cast<std::int64_t>(row_ids_.size()));
+      // Log the post-rescan bounds: replay re-derives them from the same
+      // rescan, and this record lets recovery cross-check the rebuilt
+      // bounds bit-for-bit (a divergence means the log is lying).
+      LogBoundsLocked();
     }
     ++retired_;
   }
@@ -419,6 +542,7 @@ Status StreamingRanker::RunRefresh(RefreshJob* job) {
   }
 
   core::PortableRpcModel portable;
+  bool durable = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     control_ = fit->curve.control_points();
@@ -437,20 +561,53 @@ Status StreamingRanker::RunRefresh(RefreshJob* job) {
     RebindCurveLocked();
     refresh_seconds_.push_back(SecondsSince(start));
     portable = PortableModelLocked();
+    // Staged at exactly the point in the event order where the new
+    // version took effect, so replay reproduces the same interleaving.
+    LogPublishLocked(kPublishWarm, portable, job->row_ids, fit->scores);
+    durable = log_ != nullptr;
   }
+  if (durable) ScheduleLogFlush();
   // Publish before clearing refresh_in_flight_, so versions reach the
   // serving tier in order (at most one refresh exists at a time).
   Status published = Status::Ok();
   if (service_ != nullptr) {
     published = service_->RegisterDataset(dataset_id_, portable);
   }
+  std::shared_ptr<RefreshJob> chained;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!published.ok()) ++publish_failures_;
     refresh_in_flight_ = false;
+    chained = MaybeChainRefreshLocked();
   }
   cv_.notify_all();
+  if (chained != nullptr) {
+    aux_pool_->Submit([this, chained] { (void)RunRefresh(chained.get()); });
+  }
   return published;
+}
+
+std::shared_ptr<StreamingRanker::RefreshJob>
+StreamingRanker::MaybeChainRefreshLocked() {
+  // Events keep applying while a refresh runs on the aux lane, so the
+  // policy may have re-fired mid-refresh with nobody to act on it (the
+  // ingestion path only fires when no refresh is in flight). Re-check at
+  // completion: without this, a quiet stream leaves the accumulated
+  // events unrefreshed until the next arrival. The events_since_refresh_
+  // guard makes chains terminate — each one needs at least one event
+  // applied since the previous refresh was prepared.
+  if (stopped_ || !started_ || events_since_refresh_ <= 0 ||
+      !PolicyFiresLocked()) {
+    return nullptr;
+  }
+  RefreshJob job;
+  Status reason = Status::Ok();
+  if (!PrepareRefreshLocked(&job, &reason)) {
+    ++skipped_refreshes_;
+    events_since_refresh_ = 0;
+    return nullptr;
+  }
+  return std::make_shared<RefreshJob>(std::move(job));
 }
 
 double StreamingRanker::ProjectRowLocked(const double* raw_row) {
@@ -484,6 +641,454 @@ Matrix StreamingRanker::StoreMatrixLocked() const {
     std::copy(rows_.begin(), rows_.end(), out.RowPtr(0));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Background cold refit (publish-if-better).
+
+bool StreamingRanker::PrepareColdLocked(ColdJob* job) {
+  const int n = static_cast<int>(row_ids_.size());
+  if (n < 4) return false;
+  Result<data::Normalizer> normalizer = online_.ToNormalizer();
+  if (!normalizer.ok()) return false;
+  job->rows = StoreMatrixLocked();
+  job->row_ids = row_ids_;
+  job->live_control = control_;
+  job->old_mins = model_mins_;
+  job->old_maxs = model_maxs_;
+  job->normalizer = std::move(normalizer).value();
+  refresh_in_flight_ = true;  // shares the warm-refresh slot
+  events_since_cold_ = 0;
+  return true;
+}
+
+Status StreamingRanker::RunColdRefit(ColdJob* job) {
+  const data::Normalizer& normalizer = *job->normalizer;
+  const Matrix normalized = normalizer.Transform(job->rows);
+  const core::RpcLearner learner(options_.learner);
+  Result<core::RpcFitResult> fit = learner.Fit(normalized, alpha_);
+  if (!fit.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_refreshes_;
+    refresh_in_flight_ = false;
+    cv_.notify_all();
+    return fit.status();
+  }
+  // The live model's objective J on the same rows, in the same (live)
+  // coordinates: remap its control points (Eq. 16) and sum the squared
+  // projection distances. Apples-to-apples with fit->final_j.
+  const Matrix remapped =
+      RemapControlPoints(job->live_control, job->old_mins, job->old_maxs,
+                         normalizer.mins(), normalizer.maxs());
+  curve::BezierCurve live;
+  live.SetControlPoints(remapped);
+  opt::ProjectionWorkspace workspace;
+  workspace.Bind(live, options_.learner.projection);
+  double live_j = 0.0;
+  for (int i = 0; i < normalized.rows(); ++i) {
+    live_j += workspace.Project(normalized.RowPtr(i)).squared_distance;
+  }
+  if (!(fit->final_j < live_j)) {
+    // The cold fit found no better basin than the live (warm-maintained)
+    // model; keep serving the incumbent.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++cold_rejected_;
+    refresh_in_flight_ = false;
+    cv_.notify_all();
+    return Status::Ok();
+  }
+
+  core::PortableRpcModel portable;
+  bool durable = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_ = fit->curve.control_points();
+    model_mins_ = normalizer.mins();
+    model_maxs_ = normalizer.maxs();
+    ++version_;
+    ++cold_refits_;
+    for (size_t i = 0; i < job->row_ids.size(); ++i) {
+      const auto it = id_to_index_.find(job->row_ids[i]);
+      if (it == id_to_index_.end()) continue;  // retired mid-fit
+      s_[static_cast<size_t>(it->second)] = fit->scores[static_cast<int>(i)];
+    }
+    RebindCurveLocked();
+    portable = PortableModelLocked();
+    LogPublishLocked(kPublishCold, portable, job->row_ids, fit->scores);
+    durable = log_ != nullptr;
+  }
+  if (durable) ScheduleLogFlush();
+  Status published = Status::Ok();
+  if (service_ != nullptr) {
+    published = service_->RegisterDataset(dataset_id_, portable);
+  }
+  std::shared_ptr<RefreshJob> chained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!published.ok()) ++publish_failures_;
+    refresh_in_flight_ = false;
+    chained = MaybeChainRefreshLocked();
+  }
+  cv_.notify_all();
+  if (chained != nullptr) {
+    aux_pool_->Submit([this, chained] { (void)RunRefresh(chained.get()); });
+  }
+  return published;
+}
+
+// ---------------------------------------------------------------------------
+// Durable tier: record staging, group commit, snapshots, recovery.
+
+void StreamingRanker::LogEventLocked(const Event& event) {
+  if (log_ == nullptr || replaying_) return;
+  std::string payload;
+  durable::PutI64(&payload, event.row_id);
+  if (event.kind == Event::Kind::kAppend) {
+    for (int j = 0; j < d_; ++j) durable::PutF64(&payload, event.row[j]);
+    log_->Append(durable::RecordType::kAppend, payload);
+  } else {
+    log_->Append(durable::RecordType::kRetire, payload);
+  }
+}
+
+void StreamingRanker::LogBoundsLocked() {
+  if (log_ == nullptr || replaying_) return;
+  std::string payload;
+  for (int j = 0; j < d_; ++j) {
+    durable::PutF64(&payload, online_.mins()[j]);
+  }
+  for (int j = 0; j < d_; ++j) {
+    durable::PutF64(&payload, online_.maxs()[j]);
+  }
+  log_->Append(durable::RecordType::kBounds, payload);
+}
+
+void StreamingRanker::LogPublishLocked(
+    std::uint32_t kind, const core::PortableRpcModel& portable,
+    const std::vector<std::int64_t>& row_ids, const Vector& scores) {
+  if (log_ == nullptr || replaying_) return;
+  std::string payload;
+  durable::PutU32(&payload, kind);
+  durable::PutBytes(&payload, portable.Serialize());
+  durable::PutU64(&payload, row_ids.size());
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    durable::PutI64(&payload, row_ids[i]);
+    durable::PutF64(&payload, scores[static_cast<int>(i)]);
+  }
+  log_->Append(durable::RecordType::kPublish, payload);
+}
+
+void StreamingRanker::ScheduleLogFlush() {
+  // One flush task in flight at a time: a burst of events sets the flag
+  // once and shares the single write+fsync (group commit). The flag is
+  // cleared before Sync, so records staged during the fsync get a fresh
+  // flush instead of being stranded.
+  if (log_flush_scheduled_.exchange(true)) return;
+  aux_pool_->Submit([this] {
+    log_flush_scheduled_.store(false);
+    const Status synced = log_->Sync();
+    if (!synced.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++durable_errors_;
+    }
+  });
+}
+
+durable::SnapshotState StreamingRanker::BuildSnapshotStateLocked() const {
+  durable::SnapshotState state;
+  state.d = d_;
+  state.last_seq = log_ != nullptr ? log_->last_appended_seq() : 0;
+  state.next_row_id = next_row_id_;
+  state.model_text = PortableModelLocked().Serialize();
+  const data::OnlineNormalizer::State norm = online_.ExportState();
+  state.norm_count = norm.count;
+  state.norm_bounds_stale = norm.bounds_stale;
+  state.norm_mins = norm.mins;
+  state.norm_maxs = norm.maxs;
+  state.norm_mean = norm.mean;
+  state.norm_m2 = norm.m2;
+  state.row_ids = row_ids_;
+  state.rows = rows_;
+  state.s = s_;
+  state.appended = appended_;
+  state.retired = retired_;
+  state.retire_misses = retire_misses_;
+  state.events_processed = events_processed_;
+  state.refreshes = refreshes_;
+  state.skipped_refreshes = skipped_refreshes_;
+  state.failed_refreshes = failed_refreshes_;
+  state.publish_failures = publish_failures_;
+  state.events_since_refresh = events_since_refresh_;
+  state.events_since_cold = events_since_cold_;
+  state.last_drift = last_drift_;
+  return state;
+}
+
+void StreamingRanker::RunSnapshot(
+    std::shared_ptr<durable::SnapshotState> state) {
+  const DurabilityOptions& dur = options_.durability;
+  Status status =
+      durable::WriteSnapshot(dur.dir, *state, dur.injector.get());
+  if (status.ok()) {
+    status = durable::RemoveOldSnapshots(dur.dir,
+                                         std::max(dur.keep_snapshots, 1));
+  }
+  if (status.ok()) {
+    // Truncate only through the OLDEST kept snapshot: if the newest turns
+    // out corrupt at recovery, the fallback still has its log suffix.
+    const std::vector<std::uint64_t> seqs =
+        durable::ListSnapshotSeqs(dur.dir);
+    if (!seqs.empty() && seqs.front() > 0) {
+      status = log_->TruncateThrough(seqs.front());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_in_flight_ = false;
+  if (status.ok()) {
+    ++snapshots_;
+  } else {
+    ++durable_errors_;
+  }
+}
+
+Status StreamingRanker::WriteSnapshotNow() {
+  durable::SnapshotState state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state = BuildSnapshotStateLocked();
+  }
+  const DurabilityOptions& dur = options_.durability;
+  RPC_RETURN_IF_ERROR(
+      durable::WriteSnapshot(dur.dir, state, dur.injector.get()));
+  RPC_RETURN_IF_ERROR(durable::RemoveOldSnapshots(
+      dur.dir, std::max(dur.keep_snapshots, 1)));
+  const std::vector<std::uint64_t> seqs = durable::ListSnapshotSeqs(dur.dir);
+  durable::EventLog* log = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log = log_.get();
+  }
+  if (log != nullptr && !seqs.empty() && seqs.front() > 0) {
+    RPC_RETURN_IF_ERROR(log->TruncateThrough(seqs.front()));
+  }
+  return Status::Ok();
+}
+
+Status StreamingRanker::InstallSnapshotStateLocked(
+    const durable::SnapshotState& state) {
+  RPC_ASSIGN_OR_RETURN(core::PortableRpcModel model,
+                       core::PortableRpcModel::Deserialize(state.model_text));
+  d_ = state.d;
+  alpha_ = model.alpha;
+  control_ = model.control_points;
+  model_mins_ = model.mins;
+  model_maxs_ = model.maxs;
+  version_ = model.version;
+  next_row_id_ = state.next_row_id;
+  rows_ = state.rows;
+  row_ids_ = state.row_ids;
+  s_ = state.s;
+  id_to_index_.clear();
+  for (size_t i = 0; i < row_ids_.size(); ++i) {
+    id_to_index_[row_ids_[i]] = static_cast<int>(i);
+  }
+  data::OnlineNormalizer::State norm;
+  norm.count = state.norm_count;
+  norm.bounds_stale = state.norm_bounds_stale;
+  norm.mins = state.norm_mins;
+  norm.maxs = state.norm_maxs;
+  norm.mean = state.norm_mean;
+  norm.m2 = state.norm_m2;
+  online_.ImportState(norm);
+  appended_ = state.appended;
+  retired_ = state.retired;
+  retire_misses_ = state.retire_misses;
+  events_processed_ = state.events_processed;
+  refreshes_ = state.refreshes;
+  skipped_refreshes_ = state.skipped_refreshes;
+  failed_refreshes_ = state.failed_refreshes;
+  publish_failures_ = state.publish_failures;
+  events_since_refresh_ = state.events_since_refresh;
+  events_since_cold_ = state.events_since_cold;
+  last_drift_ = state.last_drift;
+  RebindCurveLocked();
+  return Status::Ok();
+}
+
+Status StreamingRanker::ApplyReplayRecordLocked(
+    const durable::ReplayRecord& record) {
+  durable::Cursor cursor(record.payload);
+  switch (record.type) {
+    case durable::RecordType::kAppend: {
+      Event event;
+      event.kind = Event::Kind::kAppend;
+      event.row_id = cursor.I64();
+      Vector row(d_);
+      for (int j = 0; j < d_; ++j) row[j] = cursor.F64();
+      if (!cursor.ok() || cursor.remaining() != 0) break;
+      event.row = std::move(row);
+      next_row_id_ = std::max(next_row_id_, event.row_id + 1);
+      // The same apply path ingestion uses: identical arithmetic on an
+      // identical op sequence means bit-identical store, scores and
+      // normalizer statistics.
+      ApplyEventLocked(event);
+      ++events_processed_;
+      ++events_since_refresh_;
+      ++events_since_cold_;
+      return Status::Ok();
+    }
+    case durable::RecordType::kRetire: {
+      Event event;
+      event.kind = Event::Kind::kRetire;
+      event.row_id = cursor.I64();
+      if (!cursor.ok() || cursor.remaining() != 0) break;
+      ApplyEventLocked(event);
+      ++events_processed_;
+      ++events_since_refresh_;
+      ++events_since_cold_;
+      return Status::Ok();
+    }
+    case durable::RecordType::kPublish: {
+      const std::uint32_t kind = cursor.U32();
+      const std::string model_text(cursor.LengthPrefixedBytes());
+      const std::uint64_t pairs = cursor.U64();
+      if (!cursor.ok() || cursor.remaining() != pairs * 16) break;
+      RPC_ASSIGN_OR_RETURN(core::PortableRpcModel model,
+                           core::PortableRpcModel::Deserialize(model_text));
+      control_ = model.control_points;
+      model_mins_ = model.mins;
+      model_maxs_ = model.maxs;
+      version_ = model.version;
+      for (std::uint64_t i = 0; i < pairs; ++i) {
+        const std::int64_t row_id = cursor.I64();
+        const double score = cursor.F64();
+        const auto it = id_to_index_.find(row_id);
+        if (it == id_to_index_.end()) continue;  // retired before publish
+        s_[static_cast<size_t>(it->second)] = score;
+      }
+      RebindCurveLocked();
+      if (kind == kPublishCold) {
+        ++cold_refits_;
+      } else {
+        ++refreshes_;
+      }
+      return Status::Ok();
+    }
+    case durable::RecordType::kBounds: {
+      // Integrity cross-check: the bounds the original rescan produced
+      // must match the bounds our replayed rescan just produced, bit for
+      // bit. A mismatch means the log and the snapshot disagree.
+      for (int j = 0; j < 2 * d_; ++j) {
+        const double logged = cursor.F64();
+        const double live =
+            j < d_ ? online_.mins()[j] : online_.maxs()[j - d_];
+        if (cursor.ok() && !BitEqual(logged, live)) {
+          return Status::DataLoss(StrFormat(
+              "recovery: replayed normalizer bounds diverge from logged "
+              "bounds at record seq %llu (attribute %d)",
+              static_cast<unsigned long long>(record.seq), j % d_));
+        }
+      }
+      if (!cursor.ok() || cursor.remaining() != 0) break;
+      return Status::Ok();
+    }
+  }
+  return Status::DataLoss(StrFormat(
+      "recovery: malformed record payload at seq %llu (type %d)",
+      static_cast<unsigned long long>(record.seq),
+      static_cast<int>(record.type)));
+}
+
+Status StreamingRanker::Recover() {
+  const DurabilityOptions& dur = options_.durability;
+  if (!dur.enabled()) {
+    return Status::FailedPrecondition(
+        "StreamingRanker: durability not configured (empty dir)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
+    if (started_) {
+      return Status::FailedPrecondition("StreamingRanker: already started");
+    }
+  }
+  RPC_ASSIGN_OR_RETURN(durable::LoadedSnapshot loaded,
+                       durable::LoadLatestSnapshot(dur.dir));
+  int d = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RPC_RETURN_IF_ERROR(InstallSnapshotStateLocked(loaded.state));
+    replaying_ = true;
+    d = d_;
+  }
+  Result<durable::ReplayResult> replayed = durable::ReplayEventLog(
+      dur.dir, d, loaded.state.last_seq,
+      [this](const durable::ReplayRecord& record) {
+        std::lock_guard<std::mutex> lock(mu_);
+        return ApplyReplayRecordLocked(record);
+      });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    replaying_ = false;
+  }
+  RPC_RETURN_IF_ERROR(replayed.status());
+  if (replayed->tail_truncated) {
+    // Cut the torn tail record so the reopened log appends after the last
+    // valid one.
+    if (::truncate(replayed->tail_segment_path.c_str(),
+                   replayed->tail_valid_bytes) != 0) {
+      return Status::DataLoss(StrFormat(
+          "recovery: cannot truncate torn log tail '%s'",
+          replayed->tail_segment_path.c_str()));
+    }
+  }
+  durable::EventLog::Options log_options;
+  log_options.segment_bytes = dur.segment_bytes;
+  log_options.injector = dur.injector.get();
+  RPC_ASSIGN_OR_RETURN(std::unique_ptr<durable::EventLog> log,
+                       durable::EventLog::Open(dur.dir, d,
+                                               replayed->last_seq + 1,
+                                               log_options));
+  core::PortableRpcModel portable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_ = std::move(log);
+    started_ = true;
+    refresh_in_flight_ = true;  // hold the slot across the re-publish
+    portable = PortableModelLocked();
+    recovery_info_.recovered = true;
+    recovery_info_.snapshot_path = loaded.path;
+    recovery_info_.snapshot_seq = loaded.state.last_seq;
+    recovery_info_.snapshot_fallbacks = loaded.fallbacks;
+    recovery_info_.replayed_records = replayed->replayed;
+    recovery_info_.tail_truncated = replayed->tail_truncated;
+    recovery_info_.recovered_version = version_;
+  }
+  // A fresh post-recovery snapshot bounds the next crash's replay (and
+  // absorbs the replayed suffix, so the truncated log can be rotated).
+  const Status snapped = WriteSnapshotNow();
+  if (!snapped.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++durable_errors_;
+  }
+  // Re-publish the recovered model version to the serving tier: queries
+  // resume against exactly the version that was being served pre-crash.
+  Status published = Status::Ok();
+  if (service_ != nullptr) {
+    published = service_->RegisterDataset(dataset_id_, portable);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!published.ok()) ++publish_failures_;
+    refresh_in_flight_ = false;
+  }
+  cv_.notify_all();
+  return published;
+}
+
+StreamingRanker::RecoveryInfo StreamingRanker::recovery_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_info_;
 }
 
 }  // namespace rpc::stream

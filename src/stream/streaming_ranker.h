@@ -1,6 +1,7 @@
 #ifndef RPC_STREAM_STREAMING_RANKER_H_
 #define RPC_STREAM_STREAMING_RANKER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -17,6 +18,9 @@
 #include "core/rpc_learner.h"
 #include "data/normalizer.h"
 #include "data/online_normalizer.h"
+#include "durable/event_log.h"
+#include "durable/fault_injector.h"
+#include "durable/snapshot.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
 #include "opt/curve_projection.h"
@@ -50,6 +54,37 @@ struct DriftPolicy {
   /// Unconditional refresh every this many processed events (the periodic
   /// backstop); 0 disables.
   int refit_period_events = 0;
+  /// Background cold refit (full multi-restart Fit, not a warm Refit)
+  /// every this many processed events; 0 disables. The result is adopted
+  /// only when its objective J beats the live model's J on the same
+  /// normalized rows (publish-if-better), so a cold fit that lands in a
+  /// worse basin is discarded rather than served. Runs on the auxiliary
+  /// pool lane and shares the single refresh slot, so it never delays
+  /// event application and never races a warm refresh.
+  int cold_refit_period_events = 0;
+};
+
+/// Crash durability for the streaming tier: a write-ahead event log plus
+/// periodic checksummed snapshots in `dir`, giving bounded-replay recovery
+/// via StreamingRanker::Recover(). Disabled while `dir` is empty.
+struct DurabilityOptions {
+  /// Directory for wal-*.log segments and snapshot-*.snap files. Empty
+  /// disables durability entirely (zero overhead on the ingestion path).
+  std::string dir;
+  /// Event-log segment roll size (durable::EventLog::Options).
+  std::int64_t segment_bytes = 4 << 20;
+  /// Write a milestone snapshot (and truncate the log behind it) every
+  /// this many applied events; 0 keeps only the Start/Stop snapshots.
+  int snapshot_every_events = 512;
+  /// Snapshots retained on disk. Two is the safe minimum: the log is only
+  /// truncated through the *oldest* kept snapshot, so a corrupt newest
+  /// snapshot still has a fallback with its full log suffix.
+  int keep_snapshots = 2;
+  /// Failpoint driver for kill-and-recover tests; shared so the test keeps
+  /// a handle after the ranker is abandoned. Null in production.
+  std::shared_ptr<durable::FaultInjector> injector;
+
+  bool enabled() const { return !dir.empty(); }
 };
 
 struct StreamingRankerOptions {
@@ -74,6 +109,7 @@ struct StreamingRankerOptions {
   /// events can apply out of arrival order under load.
   int num_threads = 2;
   DriftPolicy drift;
+  DurabilityOptions durability;
 };
 
 /// Aggregate counters; a consistent snapshot of the ranker's state.
@@ -91,6 +127,12 @@ struct StreamStats {
   double last_drift = 0.0;           // live-vs-model bounds drift
   double last_refresh_seconds = 0.0;
   int pending = 0;                   // ingestion backlog (queued events)
+  // Durable tier (all zero while durability is disabled).
+  std::int64_t snapshots = 0;        // milestone snapshots written
+  std::int64_t durable_errors = 0;   // failed log syncs / snapshot writes
+  std::int64_t wal_records = 0;      // event-log records staged
+  std::int64_t cold_refits = 0;      // background cold fits adopted
+  std::int64_t cold_rejected = 0;    // cold fits whose J did not improve
 };
 
 /// Streaming ingestion and online model-refresh tier: the bridge between
@@ -140,9 +182,35 @@ class StreamingRanker {
   StreamingRanker& operator=(const StreamingRanker&) = delete;
 
   /// Cold-fits the initial rows (raw data space) and publishes version 1.
-  /// Must be called exactly once, before any Append.
+  /// Must be called exactly once, before any Append. With durability
+  /// configured, also opens the event log and writes the bootstrap
+  /// snapshot, so a crash at any later point is recoverable.
   Status Start(const linalg::Matrix& initial_rows,
                const order::Orientation& alpha);
+
+  /// Rebuilds the exact pre-crash state from `durability.dir` instead of
+  /// Start(): loads the newest readable snapshot (falling back across
+  /// corrupt ones), replays the event-log suffix through the same apply
+  /// path ingestion uses — so row ids, normalizer statistics and warm
+  /// scores come back bit-identical — truncates any torn log tail, writes
+  /// a fresh post-recovery snapshot, and re-publishes the recovered model
+  /// version to the serving tier. Events that were applied and synced
+  /// (anything before a successful Flush/Stop) are never lost; events
+  /// still queued at the crash were never acknowledged as durable and must
+  /// be resubmitted by the client.
+  Status Recover();
+
+  /// What the last successful Recover() did.
+  struct RecoveryInfo {
+    bool recovered = false;
+    std::string snapshot_path;       // snapshot the state was loaded from
+    std::uint64_t snapshot_seq = 0;  // its coverage (log replayed after it)
+    int snapshot_fallbacks = 0;      // newer-but-corrupt snapshots skipped
+    std::uint64_t replayed_records = 0;
+    bool tail_truncated = false;     // a torn log tail was cut off
+    std::uint64_t recovered_version = 0;
+  };
+  RecoveryInfo recovery_info() const;
 
   /// Enqueues a row (raw data space) for ingestion and returns its row id.
   /// Blocks while the ingestion queue is full (backpressure).
@@ -156,7 +224,9 @@ class StreamingRanker {
   Status Retire(std::int64_t row_id);
 
   /// Blocks until every enqueued event has been processed and no refresh
-  /// is in flight.
+  /// is in flight; with durability on, then fsyncs the event log — the
+  /// acknowledgment boundary: everything appended before a successful
+  /// Flush survives any later crash.
   Status Flush();
 
   /// Flush, then run one warm refresh synchronously (whatever the drift
@@ -190,8 +260,10 @@ class StreamingRanker {
   /// refresh with exactly this).
   const core::RpcLearnOptions& warm_options() const { return warm_options_; }
 
-  /// Refuses new events and drains the queue (processing every event
-  /// already admitted, including any refresh the policy fires). The
+  /// Refuses new events, drains the queue (BoundedQueue::CloseAndDrain —
+  /// every admitted event is applied, none dropped, including any refresh
+  /// the policy fires), then syncs the event log and writes a final
+  /// clean-shutdown snapshot so the next Recover() replays nothing. The
   /// worker threads are joined by the destructor. Idempotent.
   void Stop();
 
@@ -216,6 +288,18 @@ class StreamingRanker {
     std::optional<data::Normalizer> normalizer;
   };
 
+  /// Everything one background cold refit needs, snapshotted under the
+  /// lock (like RefreshJob, plus the live control points so the cold
+  /// result's J can be compared against the live model's J on the same
+  /// rows before it is adopted).
+  struct ColdJob {
+    linalg::Matrix rows;
+    std::vector<std::int64_t> row_ids;
+    linalg::Matrix live_control;
+    linalg::Vector old_mins, old_maxs;
+    std::optional<data::Normalizer> normalizer;
+  };
+
   Result<std::int64_t> AppendImpl(const linalg::Vector& raw_row,
                                   bool blocking);
   void ProcessOneEvent();
@@ -225,6 +309,30 @@ class StreamingRanker {
   /// refresh is impossible right now (too few rows, degenerate bounds).
   bool PrepareRefreshLocked(RefreshJob* job, Status* status);
   Status RunRefresh(RefreshJob* job);
+  bool PrepareColdLocked(ColdJob* job);
+  Status RunColdRefit(ColdJob* job);
+  /// Re-evaluates the drift policy when a refresh finishes; returns a
+  /// prepared follow-up job (refresh_in_flight_ stays set) or null.
+  std::shared_ptr<RefreshJob> MaybeChainRefreshLocked();
+
+  // Durable tier (all no-ops while log_ is null).
+  void LogEventLocked(const Event& event);
+  void LogBoundsLocked();
+  void LogPublishLocked(std::uint32_t kind,
+                        const core::PortableRpcModel& portable,
+                        const std::vector<std::int64_t>& row_ids,
+                        const linalg::Vector& scores);
+  /// Coalescing group-commit driver: schedules one Sync on the aux lane
+  /// unless one is already scheduled, so a burst of events shares a fsync.
+  void ScheduleLogFlush();
+  durable::SnapshotState BuildSnapshotStateLocked() const;
+  /// Aux-lane snapshot job: write, rotate, truncate the log behind the
+  /// oldest kept snapshot.
+  void RunSnapshot(std::shared_ptr<durable::SnapshotState> state);
+  /// Synchronous snapshot (Start bootstrap, Stop finale, post-recovery).
+  Status WriteSnapshotNow();
+  Status InstallSnapshotStateLocked(const durable::SnapshotState& state);
+  Status ApplyReplayRecordLocked(const durable::ReplayRecord& record);
   double ProjectRowLocked(const double* raw_row);
   void RebindCurveLocked();
   linalg::Matrix StoreMatrixLocked() const;
@@ -238,6 +346,15 @@ class StreamingRanker {
   serve::RankingService* service_;  // nullable
 
   std::unique_ptr<ThreadPool> pool_;
+  /// Second lane for everything that may touch the disk or run long —
+  /// log group-commits, snapshot writes, warm refreshes, cold refits — so
+  /// the ingestion workers only ever apply events. Sized to stay inline
+  /// (fully serial) when num_threads == 1.
+  std::unique_ptr<ThreadPool> aux_pool_;
+  /// Null while durability is disabled. The destructor drains both pools
+  /// before this is destroyed, so aux-lane tasks never outlive the log.
+  std::unique_ptr<durable::EventLog> log_;
+  std::atomic<bool> log_flush_scheduled_{false};
   BoundedQueue<Event> queue_;
 
   mutable std::mutex mu_;
@@ -278,6 +395,17 @@ class StreamingRanker {
   std::int64_t publish_failures_ = 0;
   double last_drift_ = 0.0;
   std::vector<double> refresh_seconds_;
+
+  // Durable-tier bookkeeping.
+  bool replaying_ = false;  // Recover() replay: don't re-log records
+  bool snapshot_in_flight_ = false;
+  std::int64_t events_since_snapshot_ = 0;
+  std::int64_t events_since_cold_ = 0;
+  std::int64_t snapshots_ = 0;
+  std::int64_t durable_errors_ = 0;
+  std::int64_t cold_refits_ = 0;
+  std::int64_t cold_rejected_ = 0;
+  RecoveryInfo recovery_info_;
 };
 
 }  // namespace rpc::stream

@@ -244,5 +244,95 @@ TEST(BoundedQueueTest, TryPushDuringCloseIsAllOrNothing) {
   }
 }
 
+TEST(BoundedQueueTest, CloseAndDrainOnEmptyQueueReturnsImmediately) {
+  BoundedQueue<int> queue(4);
+  queue.CloseAndDrain();  // nothing queued: must not block
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(1));
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+// The graceful-shutdown guarantee the durable ingestion path relies on:
+// CloseAndDrain returns only after a consumer has taken every queued item.
+TEST(BoundedQueueTest, CloseAndDrainBlocksUntilConsumersEmptyTheQueue) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(queue.TryPush(i));
+
+  std::atomic<bool> drain_returned{false};
+  std::atomic<int> popped{0};
+  std::thread drainer([&] {
+    queue.CloseAndDrain();
+    drain_returned = true;
+  });
+  std::thread consumer([&] {
+    while (queue.Pop().has_value()) ++popped;
+  });
+  drainer.join();
+  // At the instant CloseAndDrain returned, the queue held nothing.
+  EXPECT_TRUE(drain_returned.load());
+  EXPECT_EQ(queue.size(), 0);
+  consumer.join();
+  EXPECT_EQ(popped.load(), 10);
+}
+
+// No accepted event is dropped across shutdown: every Push/TryPush that
+// returned true before CloseAndDrain is delivered to a consumer.
+TEST(BoundedQueueTest, CloseAndDrainLosesNoAcceptedItem) {
+  for (int round = 0; round < 10; ++round) {
+    BoundedQueue<int> queue(8);
+    std::atomic<int> accepted{0};
+    std::atomic<std::int64_t> accepted_sum{0};
+    std::atomic<int> delivered{0};
+    std::atomic<std::int64_t> delivered_sum{0};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 50; ++i) {
+          const int value = p * 50 + i;
+          if (queue.Push(value)) {
+            ++accepted;
+            accepted_sum += value;
+          }
+        }
+      });
+    }
+    std::thread consumer([&] {
+      for (;;) {
+        const auto item = queue.Pop();
+        if (!item.has_value()) return;
+        ++delivered;
+        delivered_sum += *item;
+      }
+    });
+    // Close mid-stream: some pushes land, some are rejected — but nothing
+    // accepted may vanish.
+    queue.CloseAndDrain();
+    for (auto& t : producers) t.join();
+    consumer.join();
+
+    EXPECT_EQ(delivered.load(), accepted.load()) << "round " << round;
+    EXPECT_EQ(delivered_sum.load(), accepted_sum.load()) << "round " << round;
+    EXPECT_EQ(queue.size(), 0) << "round " << round;
+  }
+}
+
+TEST(BoundedQueueTest, ConcurrentCloseAndDrainCallsAllUnblock) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(i));
+
+  std::vector<std::thread> drainers;
+  for (int t = 0; t < 3; ++t) {
+    drainers.emplace_back([&] { queue.CloseAndDrain(); });
+  }
+  std::thread consumer([&] {
+    while (queue.Pop().has_value()) {
+    }
+  });
+  for (auto& t : drainers) t.join();
+  EXPECT_EQ(queue.size(), 0);
+  consumer.join();
+}
+
 }  // namespace
 }  // namespace rpc

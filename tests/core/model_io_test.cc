@@ -206,5 +206,51 @@ TEST(ModelIoTest, RoundTripFuzzAcrossDegreesAndDimensions) {
   EXPECT_EQ(accepted, 60);
 }
 
+// Corruption fuzz: the checksum line covers every byte before itself, so
+// any damage inside that coverage — truncation, a single flipped bit,
+// appended garbage — must be rejected, never half-parsed into a model.
+// (The final newline sits after the covered bytes and after the checksum
+// digits; it is the one byte whose mutation is semantically invisible.)
+TEST(ModelIoTest, EveryTruncationOfSerializedModelIsRejected) {
+  const std::string good = FittedModel().Serialize();
+  ASSERT_TRUE(PortableRpcModel::Deserialize(good).ok());
+  // Dropping only the final '\n' leaves the checksum line intact and its
+  // coverage unchanged: still a valid model.
+  ASSERT_TRUE(
+      PortableRpcModel::Deserialize(good.substr(0, good.size() - 1)).ok());
+  // Every shorter prefix loses checksum digits or covered bytes: rejected.
+  for (size_t length = 0; length + 1 < good.size(); ++length) {
+    EXPECT_FALSE(PortableRpcModel::Deserialize(good.substr(0, length)).ok())
+        << "prefix of length " << length;
+  }
+}
+
+TEST(ModelIoTest, EverySingleBitFlipInSerializedModelIsRejected) {
+  std::string text = FittedModel().Serialize();
+  for (size_t byte = 0; byte + 1 < text.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      text[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_FALSE(PortableRpcModel::Deserialize(text).ok())
+          << "byte " << byte << " bit " << bit;
+      text[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+  // Sanity: the restored buffer still parses.
+  EXPECT_TRUE(PortableRpcModel::Deserialize(text).ok());
+}
+
+TEST(ModelIoTest, TrailingGarbageAfterChecksumIsRejected) {
+  const std::string good = FittedModel().Serialize();
+  EXPECT_FALSE(PortableRpcModel::Deserialize(good + "x\n").ok());
+  EXPECT_FALSE(PortableRpcModel::Deserialize(good + "dimension 3\n").ok());
+  // Even a second, self-consistent checksum line is garbage.
+  EXPECT_FALSE(
+      PortableRpcModel::Deserialize(good + "crc32c deadbeef\n").ok());
+  EXPECT_FALSE(
+      PortableRpcModel::Deserialize(good + std::string(64, '\0')).ok());
+  // A full second model appended is garbage, not a concatenation format.
+  EXPECT_FALSE(PortableRpcModel::Deserialize(good + good).ok());
+}
+
 }  // namespace
 }  // namespace rpc::core

@@ -1,0 +1,326 @@
+// durable::EventLog: the write-ahead log under the streaming tier. The
+// contracts tested here are exactly what Recover() leans on — synced
+// records replay in order and bit-identically, a torn or bit-rotted tail
+// is dropped as if never written, any *mid-log* corruption or sequence gap
+// is loudly unrecoverable, and truncation never removes uncovered records.
+#include "durable/event_log.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durable/file_util.h"
+
+namespace rpc::durable {
+namespace {
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char templ[] = "/tmp/rpc_event_log_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(templ), nullptr);
+    dir_ = templ;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  struct Collected {
+    std::uint64_t seq;
+    RecordType type;
+    std::string payload;
+  };
+
+  Result<ReplayResult> Replay(int d, std::uint64_t after_seq,
+                              std::vector<Collected>* out) {
+    return ReplayEventLog(dir_, d, after_seq,
+                          [out](const ReplayRecord& record) {
+                            out->push_back({record.seq, record.type,
+                                            std::string(record.payload)});
+                            return Status::Ok();
+                          });
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EventLogTest, SyncedRecordsReplayInOrderBitIdentically) {
+  auto log = EventLog::Open(dir_, 3, 1, {});
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->Append(RecordType::kAppend, "row-a"), 1u);
+  EXPECT_EQ((*log)->Append(RecordType::kRetire, "row-b"), 2u);
+  EXPECT_EQ((*log)->Append(RecordType::kBounds, std::string("\0x\0y", 4)),
+            3u);
+  EXPECT_EQ((*log)->last_appended_seq(), 3u);
+  EXPECT_EQ((*log)->last_synced_seq(), 0u);  // staged only
+  ASSERT_TRUE((*log)->Sync().ok());
+  EXPECT_EQ((*log)->last_synced_seq(), 3u);
+  ASSERT_TRUE((*log)->Sync().ok());  // idempotent with nothing staged
+
+  std::vector<Collected> records;
+  const auto replay = Replay(3, 0, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->replayed, 3u);
+  EXPECT_EQ(replay->last_seq, 3u);
+  EXPECT_FALSE(replay->tail_truncated);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, RecordType::kAppend);
+  EXPECT_EQ(records[0].payload, "row-a");
+  EXPECT_EQ(records[1].type, RecordType::kRetire);
+  EXPECT_EQ(records[2].payload, std::string("\0x\0y", 4));
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(records[i].seq, i + 1);
+}
+
+TEST_F(EventLogTest, ReplayAfterSeqSkipsCoveredRecords) {
+  auto log = EventLog::Open(dir_, 2, 1, {});
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 6; ++i) {
+    (*log)->Append(RecordType::kAppend, std::string(1, 'a' + i));
+  }
+  ASSERT_TRUE((*log)->Sync().ok());
+
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 4, &records);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->replayed, 2u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 5u);
+  EXPECT_EQ(records[1].seq, 6u);
+}
+
+TEST_F(EventLogTest, ReopenContinuesSegmentAndSequence) {
+  {
+    auto log = EventLog::Open(dir_, 2, 1, {});
+    ASSERT_TRUE(log.ok());
+    (*log)->Append(RecordType::kAppend, "first");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  {
+    auto log = EventLog::Open(dir_, 2, 2, {});
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    EXPECT_EQ((*log)->Append(RecordType::kAppend, "second"), 2u);
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 0, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "first");
+  EXPECT_EQ(records[1].payload, "second");
+  // Still one segment: Open continued it rather than starting another.
+  EXPECT_EQ(ListFiles(dir_, "wal-", ".log").size(), 1u);
+}
+
+TEST_F(EventLogTest, InjectedTornTailDropsOnlyTheUnsyncedRecord) {
+  auto injector = std::make_shared<FaultInjector>();
+  EventLog::Options options;
+  options.injector = injector.get();
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+  (*log)->Append(RecordType::kAppend, "acknowledged-1");
+  (*log)->Append(RecordType::kAppend, "acknowledged-2");
+  ASSERT_TRUE((*log)->Sync().ok());
+
+  injector->Arm(FailPoint::kTornTailWrite, 1);
+  (*log)->Append(RecordType::kAppend, "torn-away");
+  EXPECT_FALSE((*log)->Sync().ok());  // the injected crash
+  EXPECT_TRUE(injector->crashed());
+  // The log is dead now, like the process that owned it.
+  (*log)->Append(RecordType::kAppend, "after-death");
+  EXPECT_FALSE((*log)->Sync().ok());
+
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 0, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->tail_truncated);
+  EXPECT_FALSE(replay->tail_segment_path.empty());
+  EXPECT_GT(replay->tail_valid_bytes, 0);
+  ASSERT_EQ(records.size(), 2u);  // both synced records, nothing else
+  EXPECT_EQ(records[0].payload, "acknowledged-1");
+  EXPECT_EQ(records[1].payload, "acknowledged-2");
+
+  // Recovery's cleanup: cut the torn bytes, reopen, append, replay clean.
+  ASSERT_EQ(::truncate(replay->tail_segment_path.c_str(),
+                       static_cast<off_t>(replay->tail_valid_bytes)),
+            0);
+  auto reopened = EventLog::Open(dir_, 2, replay->last_seq + 1, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Append(RecordType::kAppend, "post-recovery"), 3u);
+  ASSERT_TRUE((*reopened)->Sync().ok());
+  records.clear();
+  const auto after = Replay(2, 0, &records);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->tail_truncated);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].payload, "post-recovery");
+}
+
+TEST_F(EventLogTest, InjectedChecksumFlipIsDetectedAndDropped) {
+  auto injector = std::make_shared<FaultInjector>();
+  EventLog::Options options;
+  options.injector = injector.get();
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+  (*log)->Append(RecordType::kAppend, "good");
+  ASSERT_TRUE((*log)->Sync().ok());
+
+  injector->Arm(FailPoint::kChecksumFlip, 1);
+  (*log)->Append(RecordType::kAppend, "rotten");
+  EXPECT_FALSE((*log)->Sync().ok());
+
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 0, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->tail_truncated);  // CRC caught the rot
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "good");
+}
+
+TEST_F(EventLogTest, SmallSegmentsRollAndReplayAcrossFiles) {
+  EventLog::Options options;
+  options.segment_bytes = 64;  // force a roll almost every batch
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) {
+    (*log)->Append(RecordType::kAppend,
+                   "payload-payload-payload-" + std::to_string(i));
+    ASSERT_TRUE((*log)->Sync().ok());  // one batch per record
+  }
+  EXPECT_GT(ListFiles(dir_, "wal-", ".log").size(), 2u);
+
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 0, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(records.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);
+    EXPECT_EQ(records[i].payload,
+              "payload-payload-payload-" + std::to_string(i));
+  }
+}
+
+TEST_F(EventLogTest, TruncateThroughDeletesOnlyFullyCoveredSegments) {
+  EventLog::Options options;
+  options.segment_bytes = 64;
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 8; ++i) {
+    (*log)->Append(RecordType::kAppend, "some-sizable-payload-here");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  const auto before = ListFiles(dir_, "wal-", ".log");
+  ASSERT_GT(before.size(), 2u);
+
+  // Truncating through 0 covers nothing: every segment must survive.
+  ASSERT_TRUE((*log)->TruncateThrough(0).ok());
+  EXPECT_EQ(ListFiles(dir_, "wal-", ".log").size(), before.size());
+
+  // A snapshot at seq 4: segments holding only records <= 4 go away, and
+  // the replay suffix after 4 is untouched.
+  ASSERT_TRUE((*log)->TruncateThrough(4).ok());
+  const auto after = ListFiles(dir_, "wal-", ".log");
+  EXPECT_LT(after.size(), before.size());
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 4, &records);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->replayed, 4u);
+  EXPECT_EQ(records.front().seq, 5u);
+  EXPECT_EQ(records.back().seq, 8u);
+
+  // Covering everything still keeps the segment being written.
+  ASSERT_TRUE((*log)->TruncateThrough(8).ok());
+  EXPECT_GE(ListFiles(dir_, "wal-", ".log").size(), 1u);
+}
+
+TEST_F(EventLogTest, MidLogCorruptionIsUnrecoverable) {
+  EventLog::Options options;
+  options.segment_bytes = 64;  // several segments
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 6; ++i) {
+    (*log)->Append(RecordType::kAppend, "a-payload-long-enough-to-roll");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  const auto segments = ListFiles(dir_, "wal-", ".log");
+  ASSERT_GT(segments.size(), 2u);
+
+  // Flip one payload bit in the FIRST segment — not the tail, so this is
+  // real corruption, not a torn write, and replay must refuse to continue.
+  const std::string victim = dir_ + "/" + segments.front();
+  auto data = ReadFile(victim);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = *data;
+  bytes[bytes.size() - 3] ^= 0x01;
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 0, &records);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(EventLogTest, SequenceGapIsUnrecoverable) {
+  {
+    auto log = EventLog::Open(dir_, 2, 1, {});
+    ASSERT_TRUE(log.ok());
+    (*log)->Append(RecordType::kAppend, "one");
+    (*log)->Append(RecordType::kAppend, "two");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  {
+    // A writer that lost track of the sequence: records jump 2 -> 4.
+    auto log = EventLog::Open(dir_, 2, 4, {});
+    ASSERT_TRUE(log.ok());
+    (*log)->Append(RecordType::kAppend, "four");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  std::vector<Collected> records;
+  const auto replay = Replay(2, 0, &records);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(EventLogTest, DimensionMismatchIsRejected) {
+  {
+    auto log = EventLog::Open(dir_, 3, 1, {});
+    ASSERT_TRUE(log.ok());
+    (*log)->Append(RecordType::kAppend, "d3");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  // Both the appender and the replayer check the header's dimension.
+  EXPECT_FALSE(EventLog::Open(dir_, 5, 2, {}).ok());
+  std::vector<Collected> records;
+  EXPECT_FALSE(Replay(5, 0, &records).ok());
+}
+
+TEST_F(EventLogTest, StatsCountRecordsSyncsAndSegments) {
+  EventLog::Options options;
+  options.segment_bytes = 64;
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 4; ++i) {
+    (*log)->Append(RecordType::kAppend, "stat-payload-stat-payload");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  const EventLog::Stats stats = (*log)->stats();
+  EXPECT_EQ(stats.records, 4);
+  EXPECT_EQ(stats.syncs, 4);
+  EXPECT_GT(stats.bytes_written, 0);
+  EXPECT_GT(stats.segments_created, 1);
+  ASSERT_TRUE((*log)->TruncateThrough(3).ok());
+  EXPECT_GT((*log)->stats().segments_deleted, 0);
+}
+
+}  // namespace
+}  // namespace rpc::durable

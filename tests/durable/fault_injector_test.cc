@@ -1,0 +1,85 @@
+// durable::FaultInjector: the deterministic crash driver for the
+// kill-and-recover tests. Countdown semantics and the crashed() latch are
+// what make "kill the process at exactly the N-th write" reproducible.
+#include "durable/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace rpc::durable {
+namespace {
+
+TEST(FaultInjectorTest, UnarmedNeverFires) {
+  FaultInjector injector;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.Fire(FailPoint::kTornTailWrite));
+  }
+  EXPECT_FALSE(injector.crashed());
+}
+
+TEST(FaultInjectorTest, FiresExactlyOnCountdownThenStaysCrashed) {
+  FaultInjector injector;
+  injector.Arm(FailPoint::kChecksumFlip, 3);
+  EXPECT_FALSE(injector.Fire(FailPoint::kChecksumFlip));
+  EXPECT_FALSE(injector.Fire(FailPoint::kChecksumFlip));
+  EXPECT_FALSE(injector.crashed());
+  EXPECT_TRUE(injector.Fire(FailPoint::kChecksumFlip));
+  EXPECT_TRUE(injector.crashed());
+  // A crashed process cannot fire again; it is gone.
+  EXPECT_FALSE(injector.Fire(FailPoint::kChecksumFlip));
+  EXPECT_TRUE(injector.crashed());
+}
+
+TEST(FaultInjectorTest, OnlyTheArmedPointFires) {
+  FaultInjector injector;
+  injector.Arm(FailPoint::kPartialSnapshot, 1);
+  EXPECT_FALSE(injector.Fire(FailPoint::kTornTailWrite));
+  EXPECT_FALSE(injector.Fire(FailPoint::kCrashBetweenFsyncAndRename));
+  EXPECT_FALSE(injector.crashed());
+  EXPECT_TRUE(injector.Fire(FailPoint::kPartialSnapshot));
+}
+
+TEST(FaultInjectorTest, KillCrashesWithoutFiring) {
+  FaultInjector injector;
+  injector.Arm(FailPoint::kTornTailWrite, 5);
+  injector.Kill();
+  EXPECT_TRUE(injector.crashed());
+  EXPECT_FALSE(injector.Fire(FailPoint::kTornTailWrite));
+}
+
+TEST(FaultInjectorTest, ReArmingReplacesCountdown) {
+  FaultInjector injector;
+  injector.Arm(FailPoint::kTornTailWrite, 10);
+  injector.Arm(FailPoint::kTornTailWrite, 1);
+  EXPECT_TRUE(injector.Fire(FailPoint::kTornTailWrite));
+}
+
+TEST(FaultInjectorTest, FailPointNamesRoundTripThroughSpecs) {
+  const FailPoint points[] = {
+      FailPoint::kTornTailWrite, FailPoint::kChecksumFlip,
+      FailPoint::kPartialSnapshot, FailPoint::kCrashBetweenFsyncAndRename};
+  for (const FailPoint point : points) {
+    FaultInjector injector;
+    ASSERT_TRUE(injector.ArmFromSpec(FailPointName(point)).ok())
+        << FailPointName(point);
+    EXPECT_TRUE(injector.Fire(point)) << FailPointName(point);
+  }
+}
+
+TEST(FaultInjectorTest, SpecWithCountArmsTheCountdown) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.ArmFromSpec("torn_tail_write:2").ok());
+  EXPECT_FALSE(injector.Fire(FailPoint::kTornTailWrite));
+  EXPECT_TRUE(injector.Fire(FailPoint::kTornTailWrite));
+}
+
+TEST(FaultInjectorTest, BadSpecsAreRejected) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.ArmFromSpec("no_such_failpoint").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("torn_tail_write:0").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("torn_tail_write:abc").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("").ok());
+  EXPECT_FALSE(injector.crashed());
+}
+
+}  // namespace
+}  // namespace rpc::durable

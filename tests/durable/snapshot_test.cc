@@ -1,0 +1,257 @@
+// durable::Snapshot: milestone state capture for bounded-replay recovery.
+// The encode/decode pair must round-trip every field bit-for-bit (the
+// normalizer statistics especially — recovery promises bit-identical
+// state), and the reader must refuse anything damaged: truncation, bit
+// flips, trailing garbage, half-written temp files.
+#include "durable/snapshot.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durable/file_util.h"
+
+namespace rpc::durable {
+namespace {
+
+SnapshotState SampleState() {
+  SnapshotState state;
+  state.d = 3;
+  state.last_seq = 4242;
+  state.next_row_id = 97;
+  state.model_text = "rpc-model v1\nnot actually parsed by the codec\n";
+  state.norm_count = 41;
+  state.norm_bounds_stale = true;
+  state.norm_mins = {-1.25, 0.0, 3.5e-9};
+  state.norm_maxs = {2.5, 1.0, 7.25e9};
+  // Deliberately awkward doubles: denormals, negative zero, exact halves.
+  state.norm_mean = {0.1 + 0.2, -0.0, 5e-324};
+  state.norm_m2 = {1.0 / 3.0, 0.0, 2.2250738585072014e-308};
+  state.row_ids = {5, 7, 11};
+  state.rows = {0.5, 1.5, 2.5, -0.5, -1.5, -2.5, 9.0, 8.0, 7.0};
+  state.s = {0.25, 0.5, 0.75};
+  state.appended = 12;
+  state.retired = 3;
+  state.retire_misses = 1;
+  state.events_processed = 15;
+  state.refreshes = 4;
+  state.skipped_refreshes = 2;
+  state.failed_refreshes = 1;
+  state.publish_failures = 0;
+  state.events_since_refresh = 6;
+  state.events_since_cold = 9;
+  state.last_drift = 0.0375;
+  return state;
+}
+
+void ExpectBitIdentical(const SnapshotState& a, const SnapshotState& b) {
+  EXPECT_EQ(a.d, b.d);
+  EXPECT_EQ(a.last_seq, b.last_seq);
+  EXPECT_EQ(a.next_row_id, b.next_row_id);
+  EXPECT_EQ(a.model_text, b.model_text);
+  EXPECT_EQ(a.norm_count, b.norm_count);
+  EXPECT_EQ(a.norm_bounds_stale, b.norm_bounds_stale);
+  const auto bits = [](const std::vector<double>& v) {
+    std::vector<std::uint64_t> out;
+    out.reserve(v.size());
+    for (const double x : v) out.push_back(std::bit_cast<std::uint64_t>(x));
+    return out;
+  };
+  EXPECT_EQ(bits(a.norm_mins), bits(b.norm_mins));
+  EXPECT_EQ(bits(a.norm_maxs), bits(b.norm_maxs));
+  EXPECT_EQ(bits(a.norm_mean), bits(b.norm_mean));
+  EXPECT_EQ(bits(a.norm_m2), bits(b.norm_m2));
+  EXPECT_EQ(a.row_ids, b.row_ids);
+  EXPECT_EQ(bits(a.rows), bits(b.rows));
+  EXPECT_EQ(bits(a.s), bits(b.s));
+  EXPECT_EQ(a.appended, b.appended);
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_EQ(a.retire_misses, b.retire_misses);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.refreshes, b.refreshes);
+  EXPECT_EQ(a.skipped_refreshes, b.skipped_refreshes);
+  EXPECT_EQ(a.failed_refreshes, b.failed_refreshes);
+  EXPECT_EQ(a.publish_failures, b.publish_failures);
+  EXPECT_EQ(a.events_since_refresh, b.events_since_refresh);
+  EXPECT_EQ(a.events_since_cold, b.events_since_cold);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.last_drift),
+            std::bit_cast<std::uint64_t>(b.last_drift));
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char templ[] = "/tmp/rpc_snapshot_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(templ), nullptr);
+    dir_ = templ;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(SnapshotTest, EncodeDecodeRoundTripsEveryFieldBitForBit) {
+  const SnapshotState state = SampleState();
+  const std::string encoded = EncodeSnapshot(state);
+  const auto decoded = DecodeSnapshot(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectBitIdentical(state, *decoded);
+}
+
+TEST_F(SnapshotTest, EveryTruncationIsRejected) {
+  const std::string encoded = EncodeSnapshot(SampleState());
+  for (size_t length = 0; length < encoded.size(); ++length) {
+    const auto decoded =
+        DecodeSnapshot(std::string_view(encoded).substr(0, length));
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << length;
+  }
+}
+
+TEST_F(SnapshotTest, EverySingleBitFlipIsRejected) {
+  std::string encoded = EncodeSnapshot(SampleState());
+  for (size_t byte = 0; byte < encoded.size(); ++byte) {
+    encoded[byte] ^= 0x01;
+    EXPECT_FALSE(DecodeSnapshot(encoded).ok()) << "byte " << byte;
+    encoded[byte] ^= 0x01;
+  }
+  // Sanity: restored buffer decodes again.
+  EXPECT_TRUE(DecodeSnapshot(encoded).ok());
+}
+
+TEST_F(SnapshotTest, TrailingGarbageIsRejected) {
+  const std::string encoded = EncodeSnapshot(SampleState());
+  EXPECT_FALSE(DecodeSnapshot(encoded + "x").ok());
+  EXPECT_FALSE(DecodeSnapshot(encoded + std::string(64, '\0')).ok());
+}
+
+TEST_F(SnapshotTest, WriteThenLoadLatestFindsTheNewest) {
+  SnapshotState old_state = SampleState();
+  old_state.last_seq = 100;
+  SnapshotState new_state = SampleState();
+  new_state.last_seq = 200;
+  new_state.next_row_id = 1234;
+  ASSERT_TRUE(WriteSnapshot(dir_, old_state, nullptr).ok());
+  ASSERT_TRUE(WriteSnapshot(dir_, new_state, nullptr).ok());
+
+  const auto loaded = LoadLatestSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->fallbacks, 0);
+  ExpectBitIdentical(new_state, loaded->state);
+
+  const std::vector<std::uint64_t> seqs = ListSnapshotSeqs(dir_);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0], 100u);
+  EXPECT_EQ(seqs[1], 200u);
+}
+
+TEST_F(SnapshotTest, CorruptNewestFallsBackToOlderSnapshot) {
+  SnapshotState old_state = SampleState();
+  old_state.last_seq = 100;
+  SnapshotState new_state = SampleState();
+  new_state.last_seq = 200;
+  ASSERT_TRUE(WriteSnapshot(dir_, old_state, nullptr).ok());
+  ASSERT_TRUE(WriteSnapshot(dir_, new_state, nullptr).ok());
+
+  // Rot one byte of the newest snapshot on disk.
+  const std::string victim = dir_ + "/snapshot-00000000000000c8.snap";
+  auto data = ReadFile(victim);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  std::string bytes = *data;
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const auto loaded = LoadLatestSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->fallbacks, 1);  // the rotten one was skipped
+  ExpectBitIdentical(old_state, loaded->state);
+}
+
+TEST_F(SnapshotTest, HalfWrittenTempFileIsInvisible) {
+  SnapshotState state = SampleState();
+  state.last_seq = 300;
+  ASSERT_TRUE(WriteSnapshot(dir_, state, nullptr).ok());
+
+  // A crash mid-write leaves `<name>.tmp`; it must never shadow the real
+  // snapshot nor appear in the listing.
+  std::ofstream(dir_ + "/snapshot-ffffffffffffffff.snap.tmp")
+      << "half written";
+  EXPECT_EQ(ListSnapshotSeqs(dir_).size(), 1u);
+  const auto loaded = LoadLatestSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state.last_seq, 300u);
+}
+
+TEST_F(SnapshotTest, EmptyDirectoryIsNotFound) {
+  const auto loaded = LoadLatestSnapshot(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, RemoveOldSnapshotsKeepsTheNewest) {
+  for (std::uint64_t seq : {10u, 20u, 30u, 40u}) {
+    SnapshotState state = SampleState();
+    state.last_seq = seq;
+    ASSERT_TRUE(WriteSnapshot(dir_, state, nullptr).ok());
+  }
+  ASSERT_TRUE(RemoveOldSnapshots(dir_, 2).ok());
+  const std::vector<std::uint64_t> seqs = ListSnapshotSeqs(dir_);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0], 30u);
+  EXPECT_EQ(seqs[1], 40u);
+}
+
+TEST_F(SnapshotTest, PartialSnapshotFailpointLeavesPreviousSnapshotIntact) {
+  SnapshotState good = SampleState();
+  good.last_seq = 50;
+  ASSERT_TRUE(WriteSnapshot(dir_, good, nullptr).ok());
+
+  FaultInjector injector;
+  injector.Arm(FailPoint::kPartialSnapshot, 1);
+  SnapshotState doomed = SampleState();
+  doomed.last_seq = 60;
+  EXPECT_FALSE(WriteSnapshot(dir_, doomed, &injector).ok());
+  EXPECT_TRUE(injector.crashed());
+
+  const auto loaded = LoadLatestSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->state.last_seq, 50u);
+}
+
+TEST_F(SnapshotTest, CrashBetweenFsyncAndRenameLeavesPreviousIntact) {
+  SnapshotState good = SampleState();
+  good.last_seq = 50;
+  ASSERT_TRUE(WriteSnapshot(dir_, good, nullptr).ok());
+
+  FaultInjector injector;
+  injector.Arm(FailPoint::kCrashBetweenFsyncAndRename, 1);
+  SnapshotState doomed = SampleState();
+  doomed.last_seq = 60;
+  EXPECT_FALSE(WriteSnapshot(dir_, doomed, &injector).ok());
+
+  // The temp is complete on disk but was never renamed: invisible.
+  const auto loaded = LoadLatestSnapshot(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state.last_seq, 50u);
+}
+
+TEST_F(SnapshotTest, InternallyInconsistentSizesAreRejected) {
+  SnapshotState state = SampleState();
+  state.s.pop_back();  // 2 scores for 3 rows
+  const auto decoded = DecodeSnapshot(EncodeSnapshot(state));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace rpc::durable

@@ -5,7 +5,10 @@
 // tier's refit policy relies on.
 #include "data/online_normalizer.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -163,6 +166,119 @@ TEST(OnlineNormalizerTest, RemovingLastRowResetsCleanly) {
   EXPECT_EQ(online.mins()[0], 7.0);
   EXPECT_EQ(online.maxs()[0], 7.0);
   EXPECT_EQ(online.Means()[0], 7.0);
+}
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+Matrix SurvivorMatrix(const Matrix& rows, const std::vector<int>& live) {
+  Matrix out(static_cast<int>(live.size()), rows.cols());
+  for (int i = 0; i < static_cast<int>(live.size()); ++i) {
+    for (int j = 0; j < rows.cols(); ++j) out(i, j) = rows(live[i], j);
+  }
+  return out;
+}
+
+// Retiring the extreme row over and over is the adversarial case for the
+// stale-bounds protocol: every removal touches a bound, every rescan must
+// restore bounds bit-identical to a fresh accumulation over the survivors.
+TEST(OnlineNormalizerTest, RepeatedBoundaryRetirementRescansToExactBounds) {
+  const int d = 3;
+  const Matrix rows = RandomRows(60, d, 29);
+  OnlineNormalizer online(d);
+  online.Observe(rows);
+  std::vector<int> live;
+  for (int i = 0; i < rows.rows(); ++i) live.push_back(i);
+
+  for (int round = 0; round < 20; ++round) {
+    // Retire whichever surviving row holds attribute (round % d)'s min on
+    // even rounds, max on odd — always a bound-touching removal.
+    const int attr = round % d;
+    int victim = 0;
+    for (int i = 1; i < static_cast<int>(live.size()); ++i) {
+      const double x = rows(live[i], attr);
+      const double best = rows(live[victim], attr);
+      if (round % 2 == 0 ? x < best : x > best) victim = i;
+    }
+    const int row = live[victim];
+    std::vector<double> flat(d);
+    for (int j = 0; j < d; ++j) flat[j] = rows(row, j);
+    EXPECT_TRUE(online.Remove(flat.data())) << "round " << round;
+    EXPECT_TRUE(online.bounds_stale());
+    live.erase(live.begin() + victim);
+
+    const Matrix survivors = SurvivorMatrix(rows, live);
+    online.RebuildBounds(survivors);
+    EXPECT_FALSE(online.bounds_stale());
+
+    OnlineNormalizer fresh(d);
+    fresh.Observe(survivors);
+    for (int j = 0; j < d; ++j) {
+      EXPECT_TRUE(BitEqual(online.mins()[j], fresh.mins()[j]))
+          << "round " << round << " min " << j;
+      EXPECT_TRUE(BitEqual(online.maxs()[j], fresh.maxs()[j]))
+          << "round " << round << " max " << j;
+    }
+  }
+}
+
+// The durable-snapshot contract: ImportState followed by the same op
+// sequence is bit-identical — including the Welford M2 round-off — to the
+// original that never exported. This is what makes crash replay exact.
+TEST(OnlineNormalizerTest, ExportImportThenSameOpsIsBitIdentical) {
+  const int d = 4;
+  const Matrix history = RandomRows(50, d, 31);
+  const Matrix future = RandomRows(25, d, 37);
+
+  OnlineNormalizer original(d);
+  for (int i = 0; i < history.rows(); ++i) {
+    original.Observe(history.Row(i));
+  }
+  // Leave a removal and a stale-bounds flag in the exported state so the
+  // snapshot covers the protocol mid-flight, not just the happy path.
+  {
+    std::vector<double> flat(d);
+    for (int j = 0; j < d; ++j) flat[j] = history(7, j);
+    original.Remove(flat.data());
+  }
+
+  OnlineNormalizer replayed;  // default-constructed, as Recover() does
+  replayed.ImportState(original.ExportState());
+
+  const auto expect_state_bits_equal = [&](const char* where) {
+    const auto a = original.ExportState();
+    const auto b = replayed.ExportState();
+    EXPECT_EQ(a.count, b.count) << where;
+    EXPECT_EQ(a.bounds_stale, b.bounds_stale) << where;
+    ASSERT_EQ(a.mins.size(), b.mins.size()) << where;
+    for (size_t j = 0; j < a.mins.size(); ++j) {
+      EXPECT_TRUE(BitEqual(a.mins[j], b.mins[j])) << where << " min " << j;
+      EXPECT_TRUE(BitEqual(a.maxs[j], b.maxs[j])) << where << " max " << j;
+      EXPECT_TRUE(BitEqual(a.mean[j], b.mean[j])) << where << " mean " << j;
+      EXPECT_TRUE(BitEqual(a.m2[j], b.m2[j])) << where << " m2 " << j;
+    }
+  };
+  expect_state_bits_equal("right after import");
+
+  // Same op suffix on both: observes, a removal, a bounds rebuild.
+  for (int i = 0; i < future.rows(); ++i) {
+    original.Observe(future.Row(i));
+    replayed.Observe(future.Row(i));
+  }
+  {
+    std::vector<double> flat(d);
+    for (int j = 0; j < d; ++j) flat[j] = future(3, j);
+    original.Remove(flat.data());
+    replayed.Remove(flat.data());
+  }
+  expect_state_bits_equal("after replayed suffix");
+
+  const Matrix rescan = RandomRows(10, d, 41);
+  original.RebuildBounds(rescan);
+  replayed.RebuildBounds(rescan);
+  EXPECT_FALSE(original.bounds_stale());
+  expect_state_bits_equal("after rebuild");
 }
 
 }  // namespace

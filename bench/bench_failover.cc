@@ -1,0 +1,271 @@
+// Replication-tier failover cost: how fast a standby drinks the primary's
+// WAL over the wire, how far it lags when the primary dies, and how long
+// fenced promotion takes until the standby is serving queries as the new
+// primary. Two phases, one run:
+//
+//   catchup_stream  a stateless standby bootstraps from the shipped
+//                   snapshot and streams the whole log tail, every batch
+//                   locally fsynced before it is acked — the replication
+//                   throughput number (rows_per_sec), CI-gated;
+//   failover        the standby is deliberately left a known number of
+//                   events behind, the primary "dies", and the standby
+//                   promotes behind a durable epoch fence — reporting the
+//                   standby lag plus promote and promotion-to-serving
+//                   times.
+//
+// Before timing anything, replica correctness is verified: the standby's
+// model at its acked offset must serialize identically to the primary's at
+// that same offset, and the promoted ranker must score a probe batch
+// bit-for-bit like the pre-kill primary did. Any mismatch fails the run.
+//
+//   build/bench_failover [--quick]
+//
+// Full runs rewrite BENCH_failover.json (the committed baseline the CI
+// regression gate compares against); --quick writes
+// BENCH_failover.quick.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "order/orientation.h"
+#include "replica/replication.h"
+#include "replica/transport.h"
+#include "serve/ranking_service.h"
+#include "stream/streaming_ranker.h"
+
+namespace {
+
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+using rpc::order::Orientation;
+using rpc::replica::LinkPair;
+using rpc::replica::MakeLoopbackPair;
+using rpc::replica::ReplicaApplier;
+using rpc::replica::ReplicaApplierOptions;
+using rpc::replica::ReplicationSource;
+using rpc::replica::ReplicationSourceOptions;
+using rpc::stream::StreamingRanker;
+using rpc::stream::StreamingRankerOptions;
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Matrix RawData(const Orientation& alpha, int n, uint64_t seed) {
+  return rpc::data::GenerateLatentCurveData(
+             alpha, {.n = n, .noise_sigma = 0.04, .control_margin = 0.1,
+                     .seed = seed})
+      .data;
+}
+
+void Emit(std::FILE* sink, const std::string& line) {
+  std::printf("%s\n", line.c_str());
+  if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
+}
+
+std::string MakeTempDir(const char* tag) {
+  std::string templ = std::string("/tmp/rpc_bench_failover_") + tag +
+                      "_XXXXXX";
+  std::vector<char> buffer(templ.begin(), templ.end());
+  buffer.push_back('\0');
+  const char* dir = ::mkdtemp(buffer.data());
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+void RemoveDir(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+struct RunResult {
+  bool ok = false;
+  std::uint64_t replicated_records = 0;
+  double catchup_seconds = 0.0;
+  std::uint64_t standby_lag_events = 0;
+  double promote_seconds = 0.0;
+  double promotion_to_serving_seconds = 0.0;
+};
+
+RunResult Run(const Orientation& alpha, int initial_rows, int appends,
+              int lag_events, const Matrix& probe) {
+  RunResult result;
+  const std::string p_dir = MakeTempDir("p");
+  const std::string s_dir = MakeTempDir("s");
+  if (p_dir.empty() || s_dir.empty()) return result;
+
+  const int d = alpha.dimension();
+  const Matrix raw = RawData(alpha, initial_rows + appends + lag_events, 4242);
+  Matrix initial(initial_rows, d);
+  for (int i = 0; i < initial_rows; ++i) initial.SetRow(i, raw.Row(i));
+
+  StreamingRankerOptions options;
+  options.num_threads = 1;  // inline: deterministic, machine-comparable
+  options.drift.refit_on_row_delta = 0;
+  options.drift.refit_on_normalizer_drift = 0.0;
+  options.drift.refit_period_events = 0;
+  options.learner.seed = 2026;
+  options.durability.dir = p_dir;
+  options.durability.snapshot_every_events = 0;  // everything via the log
+
+  StreamingRanker primary(nullptr, "bench", options);
+  if (!primary.Start(initial, alpha).ok()) return result;
+  for (int a = 0; a < appends; ++a) {
+    if (!primary.Append(raw.Row(initial_rows + a)).ok()) return result;
+  }
+  if (!primary.ForceRefresh().ok() || !primary.Flush().ok()) return result;
+
+  LinkPair pair = MakeLoopbackPair();
+  ReplicationSourceOptions source_options;
+  source_options.dir = p_dir;
+  source_options.d = d;
+  ReplicationSource source(
+      pair.primary.get(), [&] { return primary.wal_synced_seq(); },
+      source_options);
+  std::thread serving([&source] { (void)source.Serve(); });
+
+  StreamingRankerOptions standby_options = options;
+  standby_options.durability.dir = s_dir;
+  rpc::serve::RankingService standby_service;
+  StreamingRanker standby(&standby_service, "bench", standby_options);
+  ReplicaApplierOptions applier_options;
+  applier_options.dir = s_dir;
+  applier_options.d = d;
+  applier_options.retry.initial_backoff_seconds = 0.0005;
+  applier_options.retry.max_backoff_seconds = 0.005;
+  ReplicaApplier applier(&standby, pair.standby.get(), applier_options);
+  if (!applier.Init().ok()) return result;
+
+  // --- Phase 1: bootstrap, then the full-tail catch-up, timed. ---
+  // The snapshot install is a fixed cost (it covers the Start state only,
+  // at seq 0 here); the timed window is the WAL streaming, whose cost is
+  // linear in records and therefore comparable between --quick and full.
+  while (!applier.has_state()) {
+    if (!applier.PumpOnce().ok()) return result;
+  }
+  const std::uint64_t tip = primary.wal_synced_seq();
+  const std::uint64_t base = applier.durable_seq();
+  const auto catchup_start = std::chrono::steady_clock::now();
+  if (!applier.CatchUpTo(tip).ok()) return result;
+  result.catchup_seconds = Seconds(catchup_start);
+  result.replicated_records = tip - base;
+
+  // Correctness before speed: the standby at the acked offset IS the
+  // primary at that offset.
+  if (standby.snapshot().model.Serialize() !=
+      primary.snapshot().model.Serialize()) {
+    std::fprintf(stderr, "replica verify: model mismatch at acked offset\n");
+    return result;
+  }
+
+  // The pre-kill truth the promoted standby must still serve.
+  Vector expected_scores(probe.rows());
+  {
+    const StreamingRanker::Snapshot snap = primary.snapshot();
+    for (int i = 0; i < probe.rows(); ++i) {
+      const auto score = snap.model.Score(probe.Row(i));
+      if (!score.ok()) return result;
+      expected_scores[i] = *score;
+    }
+  }
+
+  // --- Phase 2: the primary runs ahead, then dies. ---
+  for (int a = 0; a < lag_events; ++a) {
+    if (!primary.Append(raw.Row(initial_rows + appends + a)).ok()) {
+      return result;
+    }
+  }
+  if (!primary.Flush().ok()) return result;
+  result.standby_lag_events = primary.wal_synced_seq() - applier.durable_seq();
+
+  pair.standby->Close();  // the feed goes dark
+  serving.join();
+
+  const auto promote_start = std::chrono::steady_clock::now();
+  if (!applier.Promote().ok()) return result;
+  result.promote_seconds = Seconds(promote_start);
+  const auto first_query = standby_service.ScoreBatch("bench", probe);
+  result.promotion_to_serving_seconds = Seconds(promote_start);
+  if (!first_query.ok()) return result;
+  for (int i = 0; i < probe.rows(); ++i) {
+    if (first_query->scores[i] != expected_scores[i]) {
+      std::fprintf(stderr, "promotion verify: score %d differs\n", i);
+      return result;
+    }
+  }
+  // The promoted ranker must be a live primary: it ingests and syncs.
+  if (!standby.Append(raw.Row(0)).ok() || !standby.Flush().ok()) {
+    std::fprintf(stderr, "promotion verify: promoted ranker refuses writes\n");
+    return result;
+  }
+
+  primary.Stop();
+  standby.Stop();
+  RemoveDir(p_dir);
+  RemoveDir(s_dir);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const Orientation alpha = *Orientation::FromSigns({+1, +1, +1, +1});
+  const int d = 4;
+  const int initial_rows = 2000;
+  const int appends = quick ? 2000 : 12000;
+  const int lag_events = 500;
+  const Matrix probe = RawData(alpha, 256, 77);
+
+  const char* sink_path =
+      quick ? "BENCH_failover.quick.json" : "BENCH_failover.json";
+  std::FILE* sink = std::fopen(sink_path, "w");
+  std::printf("# replication catch-up + fenced failover (d=%d, %d appends, "
+              "lag %d); JSON also in %s\n",
+              d, appends, lag_events, sink_path);
+
+  const RunResult r = Run(alpha, initial_rows, appends, lag_events, probe);
+  if (!r.ok) {
+    std::fprintf(stderr, "failover bench failed\n");
+    return 1;
+  }
+  const double rows_per_sec =
+      static_cast<double>(r.replicated_records) /
+      (r.catchup_seconds > 0.0 ? r.catchup_seconds : 1e-9);
+  Emit(sink, std::string("{\"bench\":\"failover\",\"variant\":"
+                         "\"catchup_stream\",\"d\":") + std::to_string(d) +
+                 ",\"initial_rows\":" + std::to_string(initial_rows) +
+                 ",\"threads\":1,\"replicated_records\":" +
+                 std::to_string(r.replicated_records) +
+                 ",\"rows_per_sec\":" + std::to_string(rows_per_sec) +
+                 ",\"catchup_seconds\":" + std::to_string(r.catchup_seconds) +
+                 "}");
+  Emit(sink, std::string("{\"bench\":\"failover\",\"variant\":"
+                         "\"promote\",\"d\":") + std::to_string(d) +
+                 ",\"initial_rows\":" + std::to_string(initial_rows) +
+                 ",\"threads\":1,\"standby_lag_events\":" +
+                 std::to_string(r.standby_lag_events) +
+                 ",\"promote_seconds\":" + std::to_string(r.promote_seconds) +
+                 ",\"promotion_to_serving_seconds\":" +
+                 std::to_string(r.promotion_to_serving_seconds) + "}");
+
+  std::printf("# verify: standby model at acked offset, promoted probe "
+              "scores, and post-promotion writes all checked\n");
+  if (sink != nullptr) std::fclose(sink);
+  return 0;
+}

@@ -51,6 +51,11 @@ METRIC_FIELDS = {
     "replayed_records",
     "recover_seconds",
     "time_to_first_query_seconds",
+    "replicated_records",
+    "catchup_seconds",
+    "standby_lag_events",
+    "promote_seconds",
+    "promotion_to_serving_seconds",
 }
 
 # Metrics the gate checks, in preference order (gate on the first present).

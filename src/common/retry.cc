@@ -1,0 +1,71 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "common/stringutil.h"
+
+namespace rpc {
+
+namespace {
+
+double SteadyNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RetryState::RetryState(const RetryPolicy& policy, Rng* rng, NowFn now)
+    : policy_(policy), rng_(rng), now_(now ? std::move(now) : SteadyNow) {
+  assert((rng_ != nullptr || policy_.jitter_fraction == 0.0) &&
+         "jitter requires an Rng");
+  Reset();
+}
+
+void RetryState::Reset() {
+  attempts_ = 0;
+  next_backoff_ = std::max(policy_.initial_backoff_seconds, 0.0);
+  deadline_at_ =
+      policy_.deadline_seconds > 0.0 ? now_() + policy_.deadline_seconds : 0.0;
+}
+
+bool RetryState::NextDelay(double* delay_seconds) {
+  ++attempts_;
+  if (policy_.max_attempts > 0 && attempts_ > policy_.max_attempts) {
+    return false;
+  }
+  double delay = next_backoff_;
+  next_backoff_ = std::min(next_backoff_ * std::max(policy_.backoff_multiplier,
+                                                    1.0),
+                           policy_.max_backoff_seconds);
+  if (policy_.jitter_fraction > 0.0) {
+    delay *= rng_->Uniform(1.0 - policy_.jitter_fraction,
+                           1.0 + policy_.jitter_fraction);
+  }
+  if (deadline_at_ > 0.0) {
+    const double remaining = deadline_at_ - now_();
+    if (remaining <= 0.0) return false;
+    // A shortened final wait is still useful; a wait that would end past
+    // the deadline is not.
+    delay = std::min(delay, remaining);
+  }
+  *delay_seconds = delay;
+  return true;
+}
+
+Status RetryState::NextDelayOr(const Status& last_error,
+                               double* delay_seconds) {
+  if (NextDelay(delay_seconds)) return Status::Ok();
+  const bool out_of_time =
+      deadline_at_ > 0.0 && now_() >= deadline_at_;
+  const std::string detail = StrFormat(
+      "retry budget exhausted after %d attempt(s): %s", attempts_ - 1,
+      last_error.ToString().c_str());
+  return out_of_time ? Status::DeadlineExceeded(detail)
+                     : Status::Unavailable(detail);
+}
+
+}  // namespace rpc

@@ -1,0 +1,77 @@
+#ifndef RPC_COMMON_RETRY_H_
+#define RPC_COMMON_RETRY_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace rpc {
+
+/// Shared retry/backoff configuration for anything that talks to a flaky
+/// peer (the replication session layer is the first user). The schedule is
+/// classic exponential backoff with multiplicative jitter, bounded by two
+/// independent budgets: an attempt count and a wall-clock deadline. Either
+/// budget at 0 means unbounded.
+struct RetryPolicy {
+  /// Delay before the first retry; later retries multiply it.
+  double initial_backoff_seconds = 0.05;
+  /// Ceiling the exponential schedule saturates at.
+  double max_backoff_seconds = 2.0;
+  /// Growth factor between consecutive delays (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Each delay is scaled by a uniform draw from [1 - j, 1 + j]; 0 makes
+  /// the schedule fully deterministic. Jitter decorrelates a fleet of
+  /// standbys that all lost the same primary at the same instant.
+  double jitter_fraction = 0.2;
+  /// Failures tolerated before giving up; 0 = unlimited.
+  int max_attempts = 8;
+  /// Total wall-clock budget measured from Begin() (or construction); a
+  /// retry whose delay would end past the deadline is refused. 0 = none.
+  double deadline_seconds = 0.0;
+};
+
+/// One retry sequence: feed it every failure, sleep what it hands back,
+/// stop when it refuses. Reset() on success restarts the schedule (and the
+/// deadline budget), so a long-lived session pays the full budget per
+/// outage, not per lifetime.
+///
+/// Time and randomness are injected — `now` is any monotonic seconds
+/// source and the jitter draws from a caller-owned Rng — so unit tests
+/// replay the exact schedule deterministically with a fake clock.
+class RetryState {
+ public:
+  using NowFn = std::function<double()>;
+
+  /// `rng` may be null only when the policy's jitter_fraction is 0.
+  /// A default-constructed `now` uses std::chrono::steady_clock.
+  RetryState(const RetryPolicy& policy, Rng* rng, NowFn now = {});
+
+  /// Restarts the attempt counter, the backoff ladder and the deadline
+  /// window (the deadline re-anchors at now()).
+  void Reset();
+
+  /// Records one failure. Returns true with the next delay (jittered,
+  /// capped, clamped into the remaining deadline) in *delay_seconds, or
+  /// false when a budget is exhausted — the caller should surface the
+  /// underlying error.
+  bool NextDelay(double* delay_seconds);
+
+  /// Convenience wrapper: NextDelay, mapping exhaustion onto a
+  /// DeadlineExceeded/Unavailable status that wraps `last_error`.
+  Status NextDelayOr(const Status& last_error, double* delay_seconds);
+
+  int attempts() const { return attempts_; }
+
+ private:
+  const RetryPolicy policy_;
+  Rng* rng_;
+  NowFn now_;
+  int attempts_ = 0;
+  double next_backoff_ = 0.0;
+  double deadline_at_ = 0.0;  // absolute, in now() units; 0 = none
+};
+
+}  // namespace rpc
+
+#endif  // RPC_COMMON_RETRY_H_

@@ -20,6 +20,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "NumericalError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

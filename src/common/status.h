@@ -17,6 +17,9 @@ enum class StatusCode {
   kDataLoss,          // unreadable/corrupt input data
   kNumericalError,    // algorithm failed to converge / singular matrix
   kInternal,          // invariant violation inside the library
+  kDeadlineExceeded,  // an operation's time budget ran out (RPC timeout)
+  kUnavailable,       // peer/transport gone; retrying may succeed
+  kAborted,           // fenced off: a newer epoch owns the lineage
 };
 
 /// Returns a stable human-readable name such as "InvalidArgument".
@@ -55,6 +58,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -273,9 +273,16 @@ EventLog::Stats EventLog::stats() const {
   return stats_;
 }
 
-Result<ReplayResult> ReplayEventLog(
+namespace {
+
+/// Shared segment scanner behind ReplayEventLog and ReadLogTail. `handle`
+/// sees each valid record past after_seq in order and may stop the scan
+/// early by setting *stop (the scan then returns cleanly with what it
+/// has). Tail-tolerance and the sequence-chain check are identical for
+/// both callers.
+Result<ReplayResult> ScanLog(
     const std::string& dir, int d, std::uint64_t after_seq,
-    const std::function<Status(const ReplayRecord&)>& apply) {
+    const std::function<Status(const ReplayRecord&, bool* stop)>& handle) {
   ReplayResult result;
   result.last_seq = after_seq;
   const std::vector<std::string> segments = ListFiles(dir, "wal-", ".log");
@@ -360,15 +367,71 @@ Result<ReplayResult> ReplayEventLog(
         record.type = type;
         record.payload = std::string_view(data).substr(
             offset + kRecordHeaderSize, length);
-        RPC_RETURN_IF_ERROR(apply(record));
+        bool stop = false;
+        RPC_RETURN_IF_ERROR(handle(record, &stop));
         ++result.replayed;
         result.last_seq = seq;
         ++expected;
+        if (stop) return result;
       }
       offset += kRecordHeaderSize + length;
     }
   }
   return result;
+}
+
+}  // namespace
+
+Result<ReplayResult> ReplayEventLog(
+    const std::string& dir, int d, std::uint64_t after_seq,
+    const std::function<Status(const ReplayRecord&)>& apply) {
+  return ScanLog(dir, d, after_seq,
+                 [&apply](const ReplayRecord& record, bool* /*stop*/) {
+                   return apply(record);
+                 });
+}
+
+Result<TailBatch> ReadLogTail(const std::string& dir, int d,
+                              std::uint64_t after_seq,
+                              const TailLimits& limits) {
+  TailBatch batch;
+  batch.last_seq = after_seq;
+  std::int64_t payload_bytes = 0;
+  Result<ReplayResult> scanned = ScanLog(
+      dir, d, after_seq,
+      [&](const ReplayRecord& record, bool* stop) {
+        if (limits.max_seq != 0 && record.seq > limits.max_seq) {
+          // Not yet synced on the writer's side: pretend the log ends
+          // here. Unlike the limits below this is not "more to read" —
+          // re-reading before the writer syncs would return nothing new.
+          *stop = true;
+          return Status::Ok();
+        }
+        TailRecord copied;
+        copied.seq = record.seq;
+        copied.type = record.type;
+        copied.payload = std::string(record.payload);
+        payload_bytes += static_cast<std::int64_t>(copied.payload.size());
+        batch.records.push_back(std::move(copied));
+        batch.last_seq = record.seq;
+        if ((limits.max_records != 0 &&
+             batch.records.size() >= limits.max_records) ||
+            (limits.max_bytes != 0 && payload_bytes >= limits.max_bytes)) {
+          batch.hit_limit = true;
+          *stop = true;
+        }
+        return Status::Ok();
+      });
+  RPC_RETURN_IF_ERROR(scanned.status());
+  // A record past max_seq was collected by ScanLog's bookkeeping but not
+  // by us; trust our own last_seq, not the scan's.
+  return batch;
+}
+
+std::uint64_t OldestWalSeq(const std::string& dir) {
+  const std::vector<std::string> segments = ListFiles(dir, "wal-", ".log");
+  if (segments.empty()) return 0;
+  return SegmentBase(segments.front());
 }
 
 }  // namespace rpc::durable

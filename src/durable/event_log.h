@@ -152,6 +152,50 @@ Result<ReplayResult> ReplayEventLog(
     const std::string& dir, int d, std::uint64_t after_seq,
     const std::function<Status(const ReplayRecord&)>& apply);
 
+/// One record copied out of the log by ReadLogTail. Owning (unlike
+/// ReplayRecord, whose payload borrows the segment buffer), because a
+/// shipped batch outlives the read.
+struct TailRecord {
+  std::uint64_t seq = 0;
+  RecordType type = RecordType::kAppend;
+  std::string payload;
+};
+
+struct TailLimits {
+  /// Stop after this many records (0 = unlimited).
+  std::uint64_t max_records = 256;
+  /// Stop once the collected payload bytes exceed this (0 = unlimited).
+  std::int64_t max_bytes = 1 << 20;
+  /// Ship only records with seq <= max_seq (0 = no cap). A live primary
+  /// caps at its last *synced* sequence so a standby never applies a
+  /// record the primary itself could still lose.
+  std::uint64_t max_seq = 0;
+};
+
+struct TailBatch {
+  std::vector<TailRecord> records;
+  /// Sequence of the last collected record (== after_seq when empty).
+  std::uint64_t last_seq = 0;
+  /// True when collection stopped at a limit rather than the end of the
+  /// log — the caller should read again from last_seq.
+  bool hit_limit = false;
+};
+
+/// The WAL shipper's read path: collects records with seq > after_seq, in
+/// order, while the EventLog writer may be appending concurrently. A
+/// torn or checksum-failing record at the very tail is treated as
+/// end-of-log, never an error — it is simply a group commit that has not
+/// finished landing; the next read picks it up once complete. Corruption
+/// anywhere else is still kDataLoss.
+Result<TailBatch> ReadLogTail(const std::string& dir, int d,
+                              std::uint64_t after_seq,
+                              const TailLimits& limits);
+
+/// Base sequence of the oldest wal segment on disk — the earliest record
+/// the log can still replay or ship. 0 when no segments exist. A standby
+/// whose durable offset has fallen behind this needs a full snapshot.
+std::uint64_t OldestWalSeq(const std::string& dir);
+
 }  // namespace rpc::durable
 
 #endif  // RPC_DURABLE_EVENT_LOG_H_

@@ -1,0 +1,41 @@
+#include "replica/epoch.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/stringutil.h"
+#include "durable/file_util.h"
+
+namespace rpc::replica {
+
+namespace {
+constexpr char kEpochFile[] = "EPOCH";
+}  // namespace
+
+Result<std::uint64_t> LoadEpoch(const std::string& dir) {
+  Result<std::string> text = durable::ReadFile(dir + "/" + kEpochFile);
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return std::uint64_t{0};
+    }
+    return text.status();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text->c_str(), &end, 10);
+  if (errno != 0 || end == text->c_str() || (*end != '\0' && *end != '\n')) {
+    return Status::DataLoss(
+        StrFormat("replica: malformed EPOCH file in '%s'", dir.c_str()));
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+Status StoreEpoch(const std::string& dir, std::uint64_t epoch) {
+  RPC_RETURN_IF_ERROR(durable::EnsureDirectory(dir));
+  return durable::AtomicWriteFile(
+      dir, kEpochFile,
+      StrFormat("%llu\n", static_cast<unsigned long long>(epoch)),
+      /*injector=*/nullptr);
+}
+
+}  // namespace rpc::replica

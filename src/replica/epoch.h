@@ -1,0 +1,32 @@
+#ifndef RPC_REPLICA_EPOCH_H_
+#define RPC_REPLICA_EPOCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace rpc::replica {
+
+/// Fencing epochs, persisted per durable directory as `<dir>/EPOCH`.
+///
+/// The rules (classic monotonic-term fencing):
+///  - a primary serves replication at the epoch it was started with;
+///  - every message carries its sender's epoch;
+///  - promotion bumps the standby's persisted epoch *before* the standby
+///    starts accepting writes, so the new lineage is on disk first;
+///  - any node that observes an epoch newer than its own is deposed: a
+///    source stops serving (kAborted), an applier discards the message.
+/// Together these guarantee a deposed primary's late writes can never
+/// reach a standby that has joined a newer lineage.
+
+/// Reads the persisted epoch; 0 when the file does not exist yet (a node
+/// that has never been part of a promotion).
+Result<std::uint64_t> LoadEpoch(const std::string& dir);
+
+/// Crash-atomically persists `epoch` (temp + fsync + rename).
+Status StoreEpoch(const std::string& dir, std::uint64_t epoch);
+
+}  // namespace rpc::replica
+
+#endif  // RPC_REPLICA_EPOCH_H_

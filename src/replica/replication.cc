@@ -1,0 +1,325 @@
+#include "replica/replication.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "common/stringutil.h"
+#include "durable/file_util.h"
+#include "durable/snapshot.h"
+#include "replica/epoch.h"
+#include "replica/wire.h"
+
+namespace rpc::replica {
+
+namespace {
+
+double SteadyNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealSleep(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- source -- //
+
+ReplicationSource::ReplicationSource(Link* link,
+                                     std::function<std::uint64_t()> synced_seq,
+                                     ReplicationSourceOptions options)
+    : link_(link),
+      synced_seq_(std::move(synced_seq)),
+      options_(std::move(options)) {}
+
+Status ReplicationSource::HandleOne(double timeout_seconds) {
+  Result<std::string> frame = link_->Receive(timeout_seconds);
+  RPC_RETURN_IF_ERROR(frame.status());
+  Result<Message> request = DecodeMessage(*frame);
+  if (!request.ok()) {
+    // Corrupt request: drop it. The standby's deadline will expire and it
+    // will simply ask again.
+    return Status::Ok();
+  }
+  if (request->epoch > options_.epoch) {
+    // A newer lineage exists. Depose ourselves permanently and tell the
+    // peer why — a fenced primary must never ship another byte, or a
+    // standby could apply writes from a dead timeline.
+    fenced_ = true;
+    Message fenced;
+    fenced.type = MessageType::kFenced;
+    fenced.epoch = options_.epoch;
+    fenced.a = request->epoch;
+    (void)link_->Send(EncodeMessage(fenced));
+  }
+  if (fenced_) {
+    return Status::Aborted(
+        StrFormat("replica: source fenced (epoch %llu superseded)",
+                  static_cast<unsigned long long>(options_.epoch)));
+  }
+  if (request->type != MessageType::kCatchUpRequest) {
+    return Status::Ok();  // not ours to answer; ignore
+  }
+  const std::uint64_t after = request->a;
+  const bool standby_has_state = request->b != 0;
+  if (after > acked_seq_) acked_seq_ = after;
+
+  // Ship a snapshot when the standby cannot be served from the log: it is
+  // stateless (the Start state is never logged, only snapshotted), or
+  // compaction already dropped the records right after its offset.
+  const std::uint64_t oldest = durable::OldestWalSeq(options_.dir);
+  const bool log_serves =
+      standby_has_state && (oldest == 0 || after + 1 >= oldest);
+  if (!log_serves) {
+    RPC_ASSIGN_OR_RETURN(durable::LoadedSnapshot loaded,
+                         durable::LoadLatestSnapshot(options_.dir));
+    Message reply;
+    reply.type = MessageType::kSnapshot;
+    reply.epoch = options_.epoch;
+    reply.a = loaded.state.last_seq;
+    reply.payload = durable::EncodeSnapshot(loaded.state);
+    ++snapshots_shipped_;
+    return link_->Send(EncodeMessage(reply));
+  }
+
+  durable::TailLimits limits;
+  limits.max_records = options_.max_batch_records;
+  limits.max_bytes = options_.max_batch_bytes;
+  limits.max_seq = synced_seq_();
+  RPC_ASSIGN_OR_RETURN(
+      durable::TailBatch batch,
+      durable::ReadLogTail(options_.dir, options_.d, after, limits));
+  Message reply;
+  reply.type = MessageType::kWalBatch;
+  reply.epoch = options_.epoch;
+  reply.a = batch.records.empty() ? after : batch.last_seq;
+  reply.b = limits.max_seq;
+  reply.payload = EncodeWalRecords(batch.records);
+  ++batches_shipped_;
+  return link_->Send(EncodeMessage(reply));
+}
+
+Status ReplicationSource::Serve() {
+  while (true) {
+    const Status status = HandleOne(/*timeout_seconds=*/0.05);
+    if (status.ok() || status.code() == StatusCode::kDeadlineExceeded) {
+      continue;
+    }
+    return status;  // closed link or fenced
+  }
+}
+
+// ------------------------------------------------------------ applier -- //
+
+ReplicaApplier::ReplicaApplier(stream::StreamingRanker* ranker, Link* link,
+                               ReplicaApplierOptions options)
+    : ranker_(ranker),
+      link_(link),
+      options_(std::move(options)),
+      now_(options_.now ? options_.now : SteadyNow),
+      sleep_(options_.sleep ? options_.sleep : RealSleep),
+      rng_(options_.rng_seed) {}
+
+Status ReplicaApplier::OpenSinkAt(std::uint64_t next_seq) {
+  durable::EventLog::Options log_options;
+  log_options.segment_bytes = options_.segment_bytes;
+  RPC_ASSIGN_OR_RETURN(sink_, durable::EventLog::Open(options_.dir, options_.d,
+                                                      next_seq, log_options));
+  return Status::Ok();
+}
+
+Status ReplicaApplier::Init() {
+  if (initialized_) return Status::Ok();
+  RPC_RETURN_IF_ERROR(durable::EnsureDirectory(options_.dir));
+  RPC_ASSIGN_OR_RETURN(epoch_, LoadEpoch(options_.dir));
+  // Crash resume: if this dir already holds replicated state, rebuild the
+  // follower from it — snapshot plus local WAL suffix, torn tail cut —
+  // and continue catching up from that offset instead of from scratch.
+  const Status recovered = ranker_->RecoverAsFollower();
+  if (recovered.ok()) {
+    has_state_ = true;
+    durable_seq_ = ranker_->follower_applied_seq();
+    RPC_RETURN_IF_ERROR(OpenSinkAt(durable_seq_ + 1));
+  } else if (recovered.code() != StatusCode::kNotFound) {
+    return recovered;  // real corruption, not just an empty dir
+  }
+  last_good_time_ = now_();
+  initialized_ = true;
+  return Status::Ok();
+}
+
+double ReplicaApplier::staleness_seconds() const {
+  if (!initialized_) return 0.0;
+  return now_() - last_good_time_;
+}
+
+Status ReplicaApplier::HandleSnapshot(const Message& message) {
+  RPC_ASSIGN_OR_RETURN(durable::SnapshotState state,
+                       durable::DecodeSnapshot(message.payload));
+  if (has_state_ && state.last_seq <= durable_seq_) {
+    return Status::Ok();  // duplicate or stale re-ship; already ahead
+  }
+  // Persist before applying: the standby's dir must always recover to at
+  // least what it has acked. The snapshot supersedes every local WAL
+  // record (all have seq <= durable_seq_ < state.last_seq), so the old
+  // segments go away and the sink restarts right after the snapshot —
+  // keeping the on-disk sequence chain contiguous for RecoverAsFollower.
+  RPC_RETURN_IF_ERROR(
+      durable::WriteSnapshot(options_.dir, state, /*injector=*/nullptr));
+  RPC_RETURN_IF_ERROR(durable::RemoveOldSnapshots(
+      options_.dir, std::max(options_.keep_snapshots, 1)));
+  sink_.reset();
+  for (const std::string& name :
+       durable::ListFiles(options_.dir, "wal-", ".log")) {
+    const std::string path = options_.dir + "/" + name;
+    if (::remove(path.c_str()) != 0) {
+      return Status::Internal(
+          StrFormat("replica: cannot remove stale wal segment '%s'",
+                    path.c_str()));
+    }
+  }
+  RPC_RETURN_IF_ERROR(durable::SyncDirectory(options_.dir));
+  RPC_RETURN_IF_ERROR(OpenSinkAt(state.last_seq + 1));
+  RPC_RETURN_IF_ERROR(ranker_->FollowerInstallSnapshot(state));
+  durable_seq_ = state.last_seq;
+  has_state_ = true;
+  return Status::Ok();
+}
+
+Status ReplicaApplier::HandleWalBatch(const Message& message) {
+  if (!has_state_) {
+    // Records without a base snapshot are unusable; re-request and let
+    // the source notice has_state=0 and ship the snapshot.
+    return Status::Ok();
+  }
+  RPC_ASSIGN_OR_RETURN(std::vector<durable::TailRecord> records,
+                       DecodeWalRecords(message.payload));
+  if (message.b > primary_synced_seq_) primary_synced_seq_ = message.b;
+  std::uint64_t applied_through = durable_seq_;
+  for (const durable::TailRecord& record : records) {
+    if (record.seq <= applied_through) continue;  // duplicate delivery
+    if (record.seq != applied_through + 1) break;  // gap: reordered batch
+    durable::ReplayRecord replay;
+    replay.seq = record.seq;
+    replay.type = record.type;
+    replay.payload = record.payload;
+    RPC_RETURN_IF_ERROR(ranker_->ApplyFollowerRecord(replay));
+    // Persist with the identical framing the primary used: the sink was
+    // opened at our durable offset + 1 and assigns sequence numbers in
+    // append order, so the seq it stamps must equal the shipped one.
+    const std::uint64_t assigned = sink_->Append(record.type, record.payload);
+    if (assigned != record.seq) {
+      return Status::Internal(StrFormat(
+          "replica: sink assigned seq %llu to shipped record %llu",
+          static_cast<unsigned long long>(assigned),
+          static_cast<unsigned long long>(record.seq)));
+    }
+    applied_through = record.seq;
+  }
+  if (applied_through != durable_seq_) {
+    // The durability ack point: only after the local fsync does the next
+    // request's after_seq move forward.
+    RPC_RETURN_IF_ERROR(sink_->Sync());
+    durable_seq_ = applied_through;
+  }
+  return Status::Ok();
+}
+
+Status ReplicaApplier::PumpOnce() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("replica: applier not initialized");
+  }
+  Message request;
+  request.type = MessageType::kCatchUpRequest;
+  request.epoch = epoch_;
+  request.a = durable_seq_;
+  request.b = has_state_ ? 1 : 0;
+  RPC_RETURN_IF_ERROR(link_->Send(EncodeMessage(request)));
+  Result<std::string> frame =
+      link_->Receive(options_.request_timeout_seconds);
+  RPC_RETURN_IF_ERROR(frame.status());
+  Result<Message> reply = DecodeMessage(*frame);
+  if (!reply.ok()) {
+    // Truncated/corrupt frame — a transport event, not data loss: our
+    // durable offset is unchanged and the next request re-fetches.
+    return Status::Unavailable(
+        StrFormat("replica: corrupt frame: %s",
+                  reply.status().message().c_str()));
+  }
+  if (reply->epoch < epoch_) {
+    // A late write from a deposed primary. Rejecting (rather than
+    // applying) is the whole point of fencing: this lineage ended.
+    ++stale_epoch_rejects_;
+    return Status::Aborted(
+        StrFormat("replica: rejected message from stale epoch %llu (ours %llu)",
+                  static_cast<unsigned long long>(reply->epoch),
+                  static_cast<unsigned long long>(epoch_)));
+  }
+  if (reply->epoch > epoch_) {
+    // The feed moved to a newer lineage (we re-attached after a failover
+    // elsewhere); adopt its epoch durably before applying anything from it.
+    RPC_RETURN_IF_ERROR(StoreEpoch(options_.dir, reply->epoch));
+    epoch_ = reply->epoch;
+  }
+  switch (reply->type) {
+    case MessageType::kSnapshot:
+      RPC_RETURN_IF_ERROR(HandleSnapshot(*reply));
+      break;
+    case MessageType::kWalBatch:
+      RPC_RETURN_IF_ERROR(HandleWalBatch(*reply));
+      break;
+    case MessageType::kFenced:
+      // Our own epoch fenced the source (it is stale, we are newer):
+      // nothing further will ever come from it.
+      return Status::Unavailable("replica: source reports itself fenced");
+    case MessageType::kCatchUpRequest:
+      return Status::Ok();  // not addressed to us; ignore
+  }
+  last_good_time_ = now_();
+  return Status::Ok();
+}
+
+Status ReplicaApplier::CatchUpTo(std::uint64_t target_seq) {
+  RetryState retry(options_.retry, &rng_, now_);
+  Status last = Status::Ok();
+  while (durable_seq_ < target_seq) {
+    const std::uint64_t before = durable_seq_;
+    const Status status = PumpOnce();
+    if (status.code() == StatusCode::kAborted) return status;  // fenced
+    if (status.ok() && durable_seq_ > before) {
+      retry.Reset();  // progress: a fresh outage gets a fresh budget
+      continue;
+    }
+    last = status.ok()
+               ? Status::Unavailable("replica: no progress (empty heartbeat)")
+               : status;
+    double delay = 0.0;
+    RPC_RETURN_IF_ERROR(retry.NextDelayOr(last, &delay));
+    sleep_(delay);
+  }
+  return Status::Ok();
+}
+
+Status ReplicaApplier::Promote() {
+  if (!initialized_ || !has_state_) {
+    return Status::FailedPrecondition(
+        "replica: cannot promote a standby with no installed state");
+  }
+  // Epoch first, durably: the moment the new lineage exists on disk, any
+  // message from the old primary compares lower and is rejected — even if
+  // we crash between here and the ranker promotion.
+  RPC_RETURN_IF_ERROR(StoreEpoch(options_.dir, epoch_ + 1));
+  epoch_ += 1;
+  if (sink_ != nullptr) {
+    RPC_RETURN_IF_ERROR(sink_->Sync());
+    sink_.reset();  // the promoted ranker takes over the same segment files
+  }
+  return ranker_->PromoteToPrimary();
+}
+
+}  // namespace rpc::replica

@@ -1,0 +1,197 @@
+#ifndef RPC_REPLICA_REPLICATION_H_
+#define RPC_REPLICA_REPLICATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "durable/event_log.h"
+#include "replica/transport.h"
+#include "replica/wire.h"
+#include "stream/streaming_ranker.h"
+
+namespace rpc::replica {
+
+/// Replicated durability for the streaming ranker, pull-based:
+///
+///   standby                         primary
+///   ---------                      ----------
+///   CatchUpRequest(after=D) ---->  ReplicationSource
+///                           <----  Snapshot | WalBatch | Fenced
+///   persist + apply
+///   CatchUpRequest(after=D') --->  ...
+///
+/// The standby's request carries its last *durable* offset, so the stream
+/// is trivially resumable (a restart re-requests from disk) and idempotent
+/// under every transport fault: a dropped reply times out and is
+/// re-requested, a duplicated or reordered reply is discarded by the
+/// seq-gap check, a truncated one fails the frame CRC. Only synced
+/// primary records are ever shipped, so an acked standby prefix is always
+/// a prefix of what an uncrashed primary would itself recover.
+
+// ---------------------------------------------------------------------- //
+
+struct ReplicationSourceOptions {
+  /// The primary's durability directory (wal-*.log + snapshot-*.snap).
+  std::string dir;
+  /// Row dimension, checked against segment headers when reading the tail.
+  int d = 0;
+  /// This primary's fencing epoch.
+  std::uint64_t epoch = 1;
+  /// Per-reply WAL batch caps (kept modest so a catch-up streams in
+  /// chunks and a slow standby never forces one giant frame).
+  std::uint64_t max_batch_records = 256;
+  std::int64_t max_batch_bytes = 1 << 20;
+};
+
+/// Primary-side shipper: answers standby catch-up requests with the newest
+/// intact snapshot (when the standby is stateless or has fallen behind the
+/// compacted log) or a WAL-tail batch read directly from the live log
+/// files (ReadLogTail tolerates the concurrent group-commit writer).
+/// Single-threaded per link: one source serves one standby session.
+class ReplicationSource {
+ public:
+  /// `synced_seq` reports the primary's last fsynced WAL sequence — the
+  /// shipping cap (typically StreamingRanker::wal_synced_seq). `link` and
+  /// the callback must outlive the source.
+  ReplicationSource(Link* link, std::function<std::uint64_t()> synced_seq,
+                    ReplicationSourceOptions options);
+
+  /// Waits up to `timeout_seconds` for one request and answers it.
+  /// kDeadlineExceeded when none arrived, kUnavailable once the link is
+  /// closed, kAborted once fenced (permanently: a newer epoch owns the
+  /// lineage and this source must never ship another byte). A corrupt
+  /// request frame is ignored (Ok) — the standby will retry.
+  Status HandleOne(double timeout_seconds);
+
+  /// Serves until the link closes or the source is fenced.
+  Status Serve();
+
+  /// Latched true forever once a request with a newer epoch arrives.
+  bool fenced() const { return fenced_; }
+  /// Highest after_seq any request has carried — everything at or below
+  /// is durable on the standby (the protocol's implicit cumulative ack).
+  std::uint64_t acked_seq() const { return acked_seq_; }
+  std::int64_t snapshots_shipped() const { return snapshots_shipped_; }
+  std::int64_t batches_shipped() const { return batches_shipped_; }
+
+ private:
+  Link* link_;
+  std::function<std::uint64_t()> synced_seq_;
+  const ReplicationSourceOptions options_;
+  bool fenced_ = false;
+  std::uint64_t acked_seq_ = 0;
+  std::int64_t snapshots_shipped_ = 0;
+  std::int64_t batches_shipped_ = 0;
+};
+
+// ---------------------------------------------------------------------- //
+
+struct ReplicaApplierOptions {
+  /// The standby's own durability directory: received snapshots and WAL
+  /// records are persisted here before being applied, so the standby's
+  /// dir is always a valid recovery dir in its own right.
+  std::string dir;
+  /// Row dimension (must match the primary's).
+  int d = 0;
+  /// Segment roll size for the local WAL sink.
+  std::int64_t segment_bytes = 4 << 20;
+  /// Snapshots retained locally (mirrors DurabilityOptions::keep_snapshots).
+  int keep_snapshots = 2;
+  /// Per-RPC deadline for one request/reply exchange.
+  double request_timeout_seconds = 0.25;
+  /// The feed lease: with no valid primary message for this long, the
+  /// standby declares the feed lost (feed_lost()) and keeps serving its
+  /// last published version read-only, reporting staleness.
+  double lease_seconds = 2.0;
+  /// Backoff schedule for CatchUpTo's retry loop.
+  RetryPolicy retry;
+  /// Seed for the retry jitter stream.
+  std::uint64_t rng_seed = 0x5ca1ab1e;
+  /// Injected monotonic clock (tests); default std::chrono::steady_clock.
+  std::function<double()> now;
+  /// Injected sleeper for backoff delays (tests collect instead of
+  /// sleeping); default really sleeps.
+  std::function<void(double)> sleep;
+};
+
+/// Standby-side session: drives the pull loop, persists every received
+/// byte into a local EventLog (re-using the primary's exact record
+/// framing, so the standby's WAL is byte-compatible), and feeds the
+/// follower-mode StreamingRanker through the same apply path Recover()
+/// uses. Single-threaded: one applier owns its ranker's follower life.
+class ReplicaApplier {
+ public:
+  /// `ranker` must be fresh (never started) or already in follower mode;
+  /// both it and `link` must outlive the applier.
+  ReplicaApplier(stream::StreamingRanker* ranker, Link* link,
+                 ReplicaApplierOptions options);
+
+  /// Loads the persisted epoch and rebuilds local follower state (snapshot
+  /// + replicated WAL) if any exists — the crash-resume path. Idempotent;
+  /// must be called before pumping.
+  Status Init();
+
+  /// One request/reply exchange. Ok on progress or a clean heartbeat;
+  /// kDeadlineExceeded when the reply timed out; kUnavailable on a closed
+  /// link or a corrupt frame (both retryable); kAborted when a stale-epoch
+  /// message was rejected (late write from a deposed primary).
+  Status PumpOnce();
+
+  /// Pumps with retry/backoff until the local durable offset reaches
+  /// `target_seq`. Progress resets the backoff ladder; exhausting the
+  /// retry budget surfaces the last error wrapped in
+  /// kDeadlineExceeded/kUnavailable.
+  Status CatchUpTo(std::uint64_t target_seq);
+
+  /// Fenced failover: persists epoch+1 locally (fencing any late writes
+  /// from the deposed lineage *before* the new primary exists), closes the
+  /// local WAL sink, and promotes the ranker to primary. After this the
+  /// applier is done; the promoted ranker logs into the replicated WAL.
+  Status Promote();
+
+  /// Last WAL sequence durable (fsynced) in the local sink — what the
+  /// next catch-up request acks.
+  std::uint64_t durable_seq() const { return durable_seq_; }
+  std::uint64_t epoch() const { return epoch_; }
+  bool has_state() const { return has_state_; }
+  /// Seconds since the last valid primary message (0 before Init).
+  double staleness_seconds() const;
+  /// True once staleness exceeds the lease: the feed is considered lost
+  /// and the standby is serving a stale-but-consistent version.
+  bool feed_lost() const { return staleness_seconds() > options_.lease_seconds; }
+  /// Primary's synced seq as of the last WalBatch — minus durable_seq()
+  /// this is the standby's replication lag in events.
+  std::uint64_t primary_synced_seq() const { return primary_synced_seq_; }
+  std::int64_t stale_epoch_rejects() const { return stale_epoch_rejects_; }
+  std::int64_t records_applied() const { return records_applied_; }
+
+ private:
+  Status HandleSnapshot(const Message& message);
+  Status HandleWalBatch(const Message& message);
+  Status OpenSinkAt(std::uint64_t next_seq);
+
+  stream::StreamingRanker* ranker_;
+  Link* link_;
+  const ReplicaApplierOptions options_;
+  std::function<double()> now_;
+  std::function<void(double)> sleep_;
+  Rng rng_;
+  std::unique_ptr<durable::EventLog> sink_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t durable_seq_ = 0;
+  std::uint64_t primary_synced_seq_ = 0;
+  bool has_state_ = false;
+  bool initialized_ = false;
+  double last_good_time_ = 0.0;
+  std::int64_t stale_epoch_rejects_ = 0;
+  std::int64_t records_applied_ = 0;
+};
+
+}  // namespace rpc::replica
+
+#endif  // RPC_REPLICA_REPLICATION_H_

@@ -1,0 +1,154 @@
+#include "replica/transport.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace rpc::replica {
+
+namespace {
+
+/// One direction of the loopback pipe: an unbounded FIFO with a shared
+/// closed flag. Unbounded is deliberate — a bounded queue could deadlock a
+/// single-threaded request/response test, and the session layer's
+/// pull-based protocol keeps at most a handful of frames in flight anyway.
+struct Channel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> frames;
+  bool closed = false;
+};
+
+class LoopbackLink final : public Link {
+ public:
+  LoopbackLink(std::shared_ptr<Channel> out, std::shared_ptr<Channel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~LoopbackLink() override { Close(); }
+
+  Status Send(std::string frame) override {
+    std::lock_guard<std::mutex> lock(out_->mu);
+    if (out_->closed) return Status::Unavailable("loopback link closed");
+    out_->frames.push_back(std::move(frame));
+    out_->cv.notify_one();
+    return Status::Ok();
+  }
+
+  Result<std::string> Receive(double timeout_seconds) override {
+    std::unique_lock<std::mutex> lock(in_->mu);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    while (in_->frames.empty()) {
+      if (in_->closed) return Status::Unavailable("loopback link closed");
+      if (in_->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          in_->frames.empty()) {
+        return in_->closed
+                   ? Status::Unavailable("loopback link closed")
+                   : Status::DeadlineExceeded("loopback receive timed out");
+      }
+    }
+    std::string frame = std::move(in_->frames.front());
+    in_->frames.pop_front();
+    return frame;
+  }
+
+  void Close() override {
+    for (const std::shared_ptr<Channel>& channel : {out_, in_}) {
+      std::lock_guard<std::mutex> lock(channel->mu);
+      channel->closed = true;
+      channel->cv.notify_all();
+    }
+  }
+
+ private:
+  std::shared_ptr<Channel> out_;
+  std::shared_ptr<Channel> in_;
+};
+
+class FaultyLink final : public Link {
+ public:
+  FaultyLink(std::unique_ptr<Link> inner, const FaultPlan& plan)
+      : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {}
+
+  Status Send(std::string frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.Uniform() < plan_.truncate && frame.size() > 1) {
+      frame.resize(frame.size() / 2);  // the frame CRC catches this
+    }
+    if (rng_.Uniform() < plan_.drop) {
+      return Status::Ok();  // the network ate it; sender never knows
+    }
+    if (held_.has_value()) {
+      // A frame is already held back. reorder delivered it *after* the
+      // current frame; delay delivers it first (late but in order).
+      std::string held = std::move(*held_);
+      held_.reset();
+      if (held_reorder_) {
+        RPC_RETURN_IF_ERROR(inner_->Send(std::move(frame)));
+        return inner_->Send(std::move(held));
+      }
+      RPC_RETURN_IF_ERROR(inner_->Send(std::move(held)));
+      return inner_->Send(std::move(frame));
+    }
+    if (rng_.Uniform() < plan_.reorder) {
+      held_ = std::move(frame);
+      held_reorder_ = true;
+      return Status::Ok();
+    }
+    if (rng_.Uniform() < plan_.delay) {
+      held_ = std::move(frame);
+      held_reorder_ = false;
+      return Status::Ok();
+    }
+    if (rng_.Uniform() < plan_.duplicate) {
+      RPC_RETURN_IF_ERROR(inner_->Send(frame));
+    }
+    return inner_->Send(std::move(frame));
+  }
+
+  Result<std::string> Receive(double timeout_seconds) override {
+    return inner_->Receive(timeout_seconds);
+  }
+
+  void Close() override {
+    {
+      // A held frame dies with the connection, like any unflushed buffer.
+      std::lock_guard<std::mutex> lock(mu_);
+      held_.reset();
+    }
+    inner_->Close();
+  }
+
+ private:
+  std::unique_ptr<Link> inner_;
+  const FaultPlan plan_;
+  std::mutex mu_;  // serializes the rng and the held-frame slot
+  Rng rng_;
+  std::optional<std::string> held_;
+  bool held_reorder_ = false;
+};
+
+}  // namespace
+
+LinkPair MakeLoopbackPair() {
+  auto to_standby = std::make_shared<Channel>();
+  auto to_primary = std::make_shared<Channel>();
+  LinkPair pair;
+  pair.primary = std::make_unique<LoopbackLink>(to_standby, to_primary);
+  pair.standby = std::make_unique<LoopbackLink>(to_primary, to_standby);
+  return pair;
+}
+
+std::unique_ptr<Link> WrapWithFaults(std::unique_ptr<Link> inner,
+                                     const FaultPlan& plan) {
+  return std::make_unique<FaultyLink>(std::move(inner), plan);
+}
+
+}  // namespace rpc::replica

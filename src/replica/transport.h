@@ -1,0 +1,66 @@
+#ifndef RPC_REPLICA_TRANSPORT_H_
+#define RPC_REPLICA_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace rpc::replica {
+
+/// One direction-agnostic message pipe between a primary and a standby.
+/// Frames are opaque byte strings (wire.h encodings); delivery is
+/// at-most-once and unordered as far as the protocol is concerned — the
+/// loopback implementation happens to be reliable and FIFO, and the fault
+/// wrapper deliberately is not. Implementations must be safe for one
+/// sender thread and one receiver thread per side.
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Enqueues one frame for the peer. kUnavailable once either side closed.
+  virtual Status Send(std::string frame) = 0;
+
+  /// Blocks for up to `timeout_seconds` for the next frame from the peer.
+  /// kDeadlineExceeded when the deadline lapses with nothing delivered —
+  /// the per-RPC timeout every session-layer wait is built on.
+  /// kUnavailable once the link is closed and drained.
+  virtual Result<std::string> Receive(double timeout_seconds) = 0;
+
+  /// Closes both directions; blocked Receives wake with kUnavailable once
+  /// drained. Idempotent. Models the peer process dying.
+  virtual void Close() = 0;
+};
+
+struct LinkPair {
+  std::unique_ptr<Link> primary;  // the source's end
+  std::unique_ptr<Link> standby;  // the applier's end
+};
+
+/// In-process pipe pair: what one end Sends, the other Receives, FIFO and
+/// loss-free. Closing either end closes the pair.
+LinkPair MakeLoopbackPair();
+
+/// Stochastic fault model applied to *sent* frames. Each probability is
+/// evaluated independently per frame from a deterministic seeded stream,
+/// so a given (plan, message sequence) replays the exact same fault
+/// pattern — the property-test matrix depends on that.
+struct FaultPlan {
+  double drop = 0.0;       // frame silently discarded
+  double duplicate = 0.0;  // frame delivered twice
+  double reorder = 0.0;    // frame held back and swapped with the next one
+  double delay = 0.0;      // frame held back, delivered before the next one
+  double truncate = 0.0;   // frame cut in half (fails the frame CRC)
+  std::uint64_t seed = 1;
+};
+
+/// Wraps a link's Send side with the fault plan; Receive and Close pass
+/// through. Held-back frames (reorder/delay) flush ahead of the next send,
+/// or are lost on Close — exactly like packets in a dying kernel buffer.
+std::unique_ptr<Link> WrapWithFaults(std::unique_ptr<Link> inner,
+                                     const FaultPlan& plan);
+
+}  // namespace rpc::replica
+
+#endif  // RPC_REPLICA_TRANSPORT_H_

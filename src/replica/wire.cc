@@ -1,0 +1,131 @@
+#include "replica/wire.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/stringutil.h"
+#include "durable/codec.h"
+
+namespace rpc::replica {
+
+namespace {
+
+// "RPCR" little-endian.
+constexpr std::uint32_t kFrameMagic = 0x52435052;
+// magic + type + epoch + a + b + len + crc.
+constexpr std::size_t kFrameHeaderSize = 4 + 1 + 8 + 8 + 8 + 4 + 4;
+
+bool KnownType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MessageType::kCatchUpRequest) &&
+         type <= static_cast<std::uint8_t>(MessageType::kFenced);
+}
+
+/// CRC over everything the frame protects: type, epoch, a, b, length,
+/// payload — all fields after the magic except the checksum itself.
+std::uint32_t FrameCrc(std::uint8_t type, std::uint64_t epoch,
+                       std::uint64_t a, std::uint64_t b,
+                       std::uint32_t payload_len, std::string_view payload) {
+  std::uint32_t crc = Crc32cExtend(0, &type, 1);
+  crc = Crc32cExtend(crc, &epoch, 8);
+  crc = Crc32cExtend(crc, &a, 8);
+  crc = Crc32cExtend(crc, &b, 8);
+  crc = Crc32cExtend(crc, &payload_len, 4);
+  return Crc32cExtend(crc, payload.data(), payload.size());
+}
+
+}  // namespace
+
+std::string EncodeMessage(const Message& message) {
+  const std::uint8_t type = static_cast<std::uint8_t>(message.type);
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(message.payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + message.payload.size());
+  durable::PutU32(&frame, kFrameMagic);
+  frame.push_back(static_cast<char>(type));
+  durable::PutU64(&frame, message.epoch);
+  durable::PutU64(&frame, message.a);
+  durable::PutU64(&frame, message.b);
+  durable::PutU32(&frame, payload_len);
+  durable::PutU32(&frame, FrameCrc(type, message.epoch, message.a, message.b,
+                                   payload_len, message.payload));
+  frame.append(message.payload);
+  return frame;
+}
+
+Result<Message> DecodeMessage(std::string_view frame) {
+  if (frame.size() < kFrameHeaderSize) {
+    return Status::DataLoss(
+        StrFormat("replica: frame truncated to %zu bytes", frame.size()));
+  }
+  durable::Cursor cursor(frame);
+  if (cursor.U32() != kFrameMagic) {
+    return Status::DataLoss("replica: bad frame magic");
+  }
+  std::uint8_t type = 0;
+  std::memcpy(&type, frame.data() + 4, 1);
+  cursor.Bytes(1);  // skip the type byte the memcpy just read
+  const std::uint64_t epoch = cursor.U64();
+  const std::uint64_t a = cursor.U64();
+  const std::uint64_t b = cursor.U64();
+  const std::uint32_t payload_len = cursor.U32();
+  const std::uint32_t stored_crc = cursor.U32();
+  if (!KnownType(type)) {
+    return Status::DataLoss(
+        StrFormat("replica: unknown message type %d", static_cast<int>(type)));
+  }
+  if (cursor.remaining() != payload_len) {
+    return Status::DataLoss(
+        StrFormat("replica: frame payload is %zu bytes, header says %u",
+                  cursor.remaining(), payload_len));
+  }
+  const std::string_view payload = cursor.Bytes(payload_len);
+  if (FrameCrc(type, epoch, a, b, payload_len, payload) != stored_crc) {
+    return Status::DataLoss("replica: frame checksum mismatch");
+  }
+  Message message;
+  message.type = static_cast<MessageType>(type);
+  message.epoch = epoch;
+  message.a = a;
+  message.b = b;
+  message.payload.assign(payload.data(), payload.size());
+  return message;
+}
+
+std::string EncodeWalRecords(
+    const std::vector<durable::TailRecord>& records) {
+  std::string out;
+  durable::PutU32(&out, static_cast<std::uint32_t>(records.size()));
+  for (const durable::TailRecord& record : records) {
+    durable::PutU64(&out, record.seq);
+    out.push_back(static_cast<char>(record.type));
+    durable::PutBytes(&out, record.payload);
+  }
+  return out;
+}
+
+Result<std::vector<durable::TailRecord>> DecodeWalRecords(
+    std::string_view payload) {
+  durable::Cursor cursor(payload);
+  const std::uint32_t count = cursor.U32();
+  std::vector<durable::TailRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    durable::TailRecord record;
+    record.seq = cursor.U64();
+    const std::string_view type_byte = cursor.Bytes(1);
+    const std::string_view bytes = cursor.LengthPrefixedBytes();
+    if (!cursor.ok()) break;
+    record.type =
+        static_cast<durable::RecordType>(static_cast<std::uint8_t>(
+            type_byte[0]));
+    record.payload.assign(bytes.data(), bytes.size());
+    records.push_back(std::move(record));
+  }
+  if (!cursor.ok() || cursor.remaining() != 0 || records.size() != count) {
+    return Status::DataLoss("replica: malformed wal batch payload");
+  }
+  return records;
+}
+
+}  // namespace rpc::replica

@@ -1,0 +1,76 @@
+#ifndef RPC_REPLICA_WIRE_H_
+#define RPC_REPLICA_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "durable/event_log.h"
+
+namespace rpc::replica {
+
+/// Replication message kinds. The protocol is pull-based: the standby
+/// drives with kCatchUpRequest, the primary answers with exactly one of
+/// kSnapshot / kWalBatch / kFenced. A request's after_seq doubles as the
+/// cumulative ack for everything before it, so the session needs no
+/// separate ack stream and resumes from the standby's durable offset after
+/// any interruption.
+enum class MessageType : std::uint8_t {
+  /// standby -> primary. a = after_seq (the standby's last durable WAL
+  /// sequence), b = 1 when the standby already holds installed state (a
+  /// snapshot it has recovered or received), 0 when it is stateless.
+  kCatchUpRequest = 1,
+  /// primary -> standby. a = the snapshot's last_seq; payload is the
+  /// EncodeSnapshot bytes, shipped verbatim so the standby's on-disk
+  /// snapshot is bit-identical to the primary's.
+  kSnapshot = 2,
+  /// primary -> standby. a = sequence of the last record in the batch
+  /// (== request's after_seq for an empty heartbeat batch), b = the
+  /// primary's last *synced* sequence (the standby's lag gauge); payload
+  /// is EncodeWalRecords. Only synced records are ever shipped: a standby
+  /// must not apply a record the primary itself could still lose.
+  kWalBatch = 3,
+  /// Either direction. a = the newer epoch that fenced the sender. A
+  /// source that answers kFenced has permanently stopped serving.
+  kFenced = 4,
+};
+
+/// One framed replication message. `epoch` implements fencing: every
+/// message carries its sender's epoch, a receiver discards anything older
+/// than the newest epoch it has ever seen, and a source is deposed (fenced)
+/// the moment it hears a newer epoch than its own.
+struct Message {
+  MessageType type = MessageType::kCatchUpRequest;
+  std::uint64_t epoch = 0;
+  std::uint64_t a = 0;  // type-specific, see MessageType
+  std::uint64_t b = 0;  // type-specific, see MessageType
+  std::string payload;
+};
+
+/// Frame layout (little-endian):
+///   u32 magic "RPCR" | u8 type | u64 epoch | u64 a | u64 b |
+///   u32 payload_len | u32 crc32c | payload
+/// The checksum covers type..payload, so a truncated or bit-flipped frame
+/// is detected at the receiver and simply re-requested — the same CRC32C
+/// the WAL uses, extended over the transport.
+std::string EncodeMessage(const Message& message);
+
+/// kDataLoss on bad magic, unknown type, length mismatch or checksum
+/// failure. A failed decode is a transport-level event, never fatal to the
+/// session: the standby re-requests from its unchanged durable offset.
+Result<Message> DecodeMessage(std::string_view frame);
+
+/// WAL-batch payload: u32 count | count * (u64 seq | u8 type | u32 len |
+/// payload). Per-record checksums are not repeated here — the frame CRC
+/// already covers every byte, and the standby's own EventLog re-stamps
+/// record CRCs when it persists the batch.
+std::string EncodeWalRecords(const std::vector<durable::TailRecord>& records);
+
+Result<std::vector<durable::TailRecord>> DecodeWalRecords(
+    std::string_view payload);
+
+}  // namespace rpc::replica
+
+#endif  // RPC_REPLICA_WIRE_H_

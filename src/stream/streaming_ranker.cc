@@ -214,6 +214,10 @@ Result<std::int64_t> StreamingRanker::AppendImpl(const Vector& raw_row,
     if (!started_) {
       return Status::FailedPrecondition("StreamingRanker: Start first");
     }
+    if (follower_) {
+      return Status::FailedPrecondition(
+          "StreamingRanker: read-only follower (promote first)");
+    }
     if (raw_row.size() != d_) {
       return Status::InvalidArgument(
           StrFormat("StreamingRanker: row has %d attributes, expected %d",
@@ -255,6 +259,10 @@ Status StreamingRanker::Retire(std::int64_t row_id) {
     if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
     if (!started_) {
       return Status::FailedPrecondition("StreamingRanker: Start first");
+    }
+    if (follower_) {
+      return Status::FailedPrecondition(
+          "StreamingRanker: read-only follower (promote first)");
     }
     ++pending_;
   }
@@ -303,6 +311,10 @@ Status StreamingRanker::ForceRefresh() {
     }
     if (!started_) {
       return Status::FailedPrecondition("StreamingRanker: Start first");
+    }
+    if (follower_) {
+      return Status::FailedPrecondition(
+          "StreamingRanker: read-only follower (promote first)");
     }
     Status reason = Status::Ok();
     if (!PrepareRefreshLocked(&job, &reason)) return reason;
@@ -838,8 +850,10 @@ void StreamingRanker::RunSnapshot(
     // out corrupt at recovery, the fallback still has its log suffix.
     const std::vector<std::uint64_t> seqs =
         durable::ListSnapshotSeqs(dur.dir);
-    if (!seqs.empty() && seqs.front() > 0) {
-      status = log_->TruncateThrough(seqs.front());
+    if (!seqs.empty()) {
+      const std::uint64_t horizon =
+          TruncateHorizon(seqs.front(), log_->last_appended_seq());
+      if (horizon > 0) status = log_->TruncateThrough(horizon);
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -868,10 +882,31 @@ Status StreamingRanker::WriteSnapshotNow() {
     std::lock_guard<std::mutex> lock(mu_);
     log = log_.get();
   }
-  if (log != nullptr && !seqs.empty() && seqs.front() > 0) {
-    RPC_RETURN_IF_ERROR(log->TruncateThrough(seqs.front()));
+  if (log != nullptr && !seqs.empty()) {
+    const std::uint64_t horizon =
+        TruncateHorizon(seqs.front(), log->last_appended_seq());
+    if (horizon > 0) {
+      RPC_RETURN_IF_ERROR(log->TruncateThrough(horizon));
+    }
   }
   return Status::Ok();
+}
+
+std::uint64_t StreamingRanker::TruncateHorizon(
+    std::uint64_t oldest_snapshot_seq, std::uint64_t last_appended) const {
+  std::uint64_t horizon = oldest_snapshot_seq;
+  const std::int64_t keep = options_.durability.wal_keep_events;
+  if (keep > 0) {
+    // Retain at least the newest `keep` records for standby catch-up —
+    // never past the snapshot horizon, so the retention knob only ever
+    // keeps MORE log, and a retained snapshot always has its suffix.
+    const std::uint64_t kept_from =
+        last_appended > static_cast<std::uint64_t>(keep)
+            ? last_appended - static_cast<std::uint64_t>(keep)
+            : 0;
+    horizon = std::min(horizon, kept_from);
+  }
+  return horizon;
 }
 
 Status StreamingRanker::InstallSnapshotStateLocked(
@@ -999,7 +1034,13 @@ Status StreamingRanker::ApplyReplayRecordLocked(
       static_cast<int>(record.type)));
 }
 
-Status StreamingRanker::Recover() {
+Status StreamingRanker::Recover() { return RecoverImpl(/*as_follower=*/false); }
+
+Status StreamingRanker::RecoverAsFollower() {
+  return RecoverImpl(/*as_follower=*/true);
+}
+
+Status StreamingRanker::RecoverImpl(bool as_follower) {
   const DurabilityOptions& dur = options_.durability;
   if (!dur.enabled()) {
     return Status::FailedPrecondition(
@@ -1041,6 +1082,37 @@ Status StreamingRanker::Recover() {
           "recovery: cannot truncate torn log tail '%s'",
           replayed->tail_segment_path.c_str()));
     }
+  }
+  if (as_follower) {
+    // A standby stops here: same snapshot, same replay, same state — but
+    // it does not take over the log for writing (the replication applier
+    // owns the local WAL) and writes no snapshot of its own. It keeps
+    // serving the recovered model read-only until promoted.
+    core::PortableRpcModel follower_model;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      started_ = true;
+      follower_ = true;
+      last_applied_seq_ = replayed->last_seq;
+      follower_model = PortableModelLocked();
+      recovery_info_.recovered = true;
+      recovery_info_.snapshot_path = loaded.path;
+      recovery_info_.snapshot_seq = loaded.state.last_seq;
+      recovery_info_.snapshot_fallbacks = loaded.fallbacks;
+      recovery_info_.replayed_records = replayed->replayed;
+      recovery_info_.tail_truncated = replayed->tail_truncated;
+      recovery_info_.recovered_version = version_;
+    }
+    Status follower_published = Status::Ok();
+    if (service_ != nullptr) {
+      follower_published =
+          service_->RegisterDataset(dataset_id_, follower_model);
+    }
+    if (!follower_published.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++publish_failures_;
+    }
+    return follower_published;
   }
   durable::EventLog::Options log_options;
   log_options.segment_bytes = dur.segment_bytes;
@@ -1089,6 +1161,152 @@ Status StreamingRanker::Recover() {
 StreamingRanker::RecoveryInfo StreamingRanker::recovery_info() const {
   std::lock_guard<std::mutex> lock(mu_);
   return recovery_info_;
+}
+
+// ---------------------------------------------------------------------------
+// Follower (replication standby) mode.
+
+Status StreamingRanker::FollowerInstallSnapshot(
+    const durable::SnapshotState& state) {
+  core::PortableRpcModel portable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
+    if (started_ && !follower_) {
+      return Status::FailedPrecondition(
+          "StreamingRanker: already started as primary");
+    }
+    RPC_RETURN_IF_ERROR(InstallSnapshotStateLocked(state));
+    started_ = true;
+    follower_ = true;
+    last_applied_seq_ = state.last_seq;
+    portable = PortableModelLocked();
+  }
+  Status published = Status::Ok();
+  if (service_ != nullptr) {
+    published = service_->RegisterDataset(dataset_id_, portable);
+  }
+  if (!published.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++publish_failures_;
+  }
+  return published;
+}
+
+Status StreamingRanker::ApplyFollowerRecord(
+    const durable::ReplayRecord& record) {
+  core::PortableRpcModel portable;
+  bool republish = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
+    if (!started_ || !follower_) {
+      return Status::FailedPrecondition(
+          "StreamingRanker: not a follower (install a snapshot or "
+          "RecoverAsFollower first)");
+    }
+    if (record.seq != last_applied_seq_ + 1) {
+      return Status::OutOfRange(StrFormat(
+          "follower: expected seq %llu, got %llu",
+          static_cast<unsigned long long>(last_applied_seq_ + 1),
+          static_cast<unsigned long long>(record.seq)));
+    }
+    const std::uint64_t version_before = version_;
+    RPC_RETURN_IF_ERROR(ApplyReplayRecordLocked(record));
+    last_applied_seq_ = record.seq;
+    if (version_ != version_before) {
+      republish = true;
+      portable = PortableModelLocked();
+    }
+  }
+  // A replayed publish record changed the served model: push the new
+  // version to the serving tier exactly as the primary did at this point
+  // in the event order.
+  Status published = Status::Ok();
+  if (republish && service_ != nullptr) {
+    published = service_->RegisterDataset(dataset_id_, portable);
+    if (!published.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++publish_failures_;
+    }
+  }
+  return published;
+}
+
+Status StreamingRanker::PromoteToPrimary() {
+  const DurabilityOptions& dur = options_.durability;
+  if (!dur.enabled()) {
+    return Status::FailedPrecondition(
+        "StreamingRanker: durability not configured (empty dir)");
+  }
+  int d = 0;
+  std::uint64_t next_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
+    if (!started_ || !follower_) {
+      return Status::FailedPrecondition("StreamingRanker: not a follower");
+    }
+    d = d_;
+    next_seq = last_applied_seq_ + 1;
+  }
+  // The standby's local WAL holds exactly the records it has applied
+  // (seqs 1..last_applied_seq_, modulo snapshot-covered truncation), so
+  // the promoted log continues the very same sequence chain. The caller
+  // must have closed the replication sink first — two writers on one
+  // segment file would interleave.
+  durable::EventLog::Options log_options;
+  log_options.segment_bytes = dur.segment_bytes;
+  log_options.injector = dur.injector.get();
+  RPC_ASSIGN_OR_RETURN(
+      std::unique_ptr<durable::EventLog> log,
+      durable::EventLog::Open(dur.dir, d, next_seq, log_options));
+  core::PortableRpcModel portable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_ = std::move(log);
+    follower_ = false;
+    refresh_in_flight_ = true;  // hold the slot across the promote publish
+    portable = PortableModelLocked();
+  }
+  // A promotion snapshot bounds the next crash's replay and marks the
+  // takeover point on disk.
+  const Status snapped = WriteSnapshotNow();
+  if (!snapped.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++durable_errors_;
+  }
+  Status published = Status::Ok();
+  if (service_ != nullptr) {
+    published = service_->RegisterDataset(dataset_id_, portable);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!published.ok()) ++publish_failures_;
+    refresh_in_flight_ = false;
+  }
+  cv_.notify_all();
+  return published;
+}
+
+bool StreamingRanker::is_follower() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return follower_;
+}
+
+std::uint64_t StreamingRanker::follower_applied_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_applied_seq_;
+}
+
+std::uint64_t StreamingRanker::wal_synced_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_ != nullptr ? log_->last_synced_seq() : 0;
+}
+
+std::uint64_t StreamingRanker::wal_appended_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_ != nullptr ? log_->last_appended_seq() : 0;
 }
 
 }  // namespace rpc::stream

@@ -76,10 +76,21 @@ struct DurabilityOptions {
   /// Write a milestone snapshot (and truncate the log behind it) every
   /// this many applied events; 0 keeps only the Start/Stop snapshots.
   int snapshot_every_events = 512;
-  /// Snapshots retained on disk. Two is the safe minimum: the log is only
-  /// truncated through the *oldest* kept snapshot, so a corrupt newest
-  /// snapshot still has a fallback with its full log suffix.
+  /// Snapshots retained on disk (keep_n; values below 1 are clamped to
+  /// 1). Two is the safe minimum: the log is only truncated through the
+  /// *oldest* kept snapshot, so a corrupt newest snapshot still has a
+  /// fallback with its full log suffix. Larger values buy deeper
+  /// point-in-time fallback at the cost of disk and a longer retained
+  /// log.
   int keep_snapshots = 2;
+  /// Log-compaction policy: keep at least this many of the newest log
+  /// records on disk even when a snapshot already covers them; 0 compacts
+  /// as aggressively as the snapshot retention allows. A warm standby
+  /// catches up from the log tail, so retaining a margin here lets a
+  /// briefly partitioned replica resume with a tail fetch instead of a
+  /// full snapshot re-ship. Truncation never strips a segment the oldest
+  /// retained snapshot still needs, whatever this is set to.
+  std::int64_t wal_keep_events = 0;
   /// Failpoint driver for kill-and-recover tests; shared so the test keeps
   /// a handle after the ranker is abandoned. Null in production.
   std::shared_ptr<durable::FaultInjector> injector;
@@ -199,6 +210,48 @@ class StreamingRanker {
   /// still queued at the crash were never acknowledged as durable and must
   /// be resubmitted by the client.
   Status Recover();
+
+  // -- Follower (warm-standby) mode -----------------------------------
+  //
+  // A replica::ReplicaApplier drives these: the standby's StreamingRanker
+  // never ingests events of its own — it installs shipped snapshots and
+  // applies shipped WAL records through the exact apply path Recover()
+  // uses, so its rows, normalizer statistics, scores and served version
+  // stay bit-identical to the primary at every applied offset. While in
+  // follower mode the ranker is read-only (Append/Retire/ForceRefresh
+  // refuse) and every published model version still flows through the
+  // serving tier, so queries are served throughout — including while the
+  // feed is lost (the standby then simply goes stale).
+
+  /// Installs a shipped snapshot as the follower's complete state and
+  /// publishes its model version. Legal before any start (bootstraps the
+  /// follower) and again at any later point while in follower mode (the
+  /// primary compacted past our offset and re-shipped).
+  Status FollowerInstallSnapshot(const durable::SnapshotState& state);
+
+  /// Applies one shipped WAL record (must be exactly the next sequence).
+  /// kPublish records re-publish the new model version to the serving
+  /// tier, exactly as the primary's own publish did.
+  Status ApplyFollowerRecord(const durable::ReplayRecord& record);
+
+  /// Rebuilds follower state from the standby's own durability dir
+  /// (snapshot + replicated WAL) after a standby restart, truncating any
+  /// torn tail — the resumable-catch-up entry point. kNotFound when the
+  /// dir holds no snapshot yet (a never-fed standby starts empty).
+  Status RecoverAsFollower();
+
+  /// Failover: leaves follower mode, opens the (replicated) event log for
+  /// writing at the next sequence, writes a fresh snapshot, and starts
+  /// accepting Append/Retire — the standby is now the primary, serving
+  /// and logging from exactly the last applied offset.
+  Status PromoteToPrimary();
+
+  bool is_follower() const;
+  /// Sequence of the last WAL record applied in follower mode.
+  std::uint64_t follower_applied_seq() const;
+  /// The primary-side shipping cap: records on disk and fsynced.
+  std::uint64_t wal_synced_seq() const;
+  std::uint64_t wal_appended_seq() const;
 
   /// What the last successful Recover() did.
   struct RecoveryInfo {
@@ -333,6 +386,12 @@ class StreamingRanker {
   Status WriteSnapshotNow();
   Status InstallSnapshotStateLocked(const durable::SnapshotState& state);
   Status ApplyReplayRecordLocked(const durable::ReplayRecord& record);
+  /// Shared Recover()/RecoverAsFollower() body.
+  Status RecoverImpl(bool as_follower);
+  /// The log-compaction horizon: the oldest kept snapshot's seq, pulled
+  /// back by the wal_keep_events retention margin. 0 = keep everything.
+  std::uint64_t TruncateHorizon(std::uint64_t oldest_snapshot_seq,
+                                std::uint64_t last_appended) const;
   double ProjectRowLocked(const double* raw_row);
   void RebindCurveLocked();
   linalg::Matrix StoreMatrixLocked() const;
@@ -398,6 +457,8 @@ class StreamingRanker {
 
   // Durable-tier bookkeeping.
   bool replaying_ = false;  // Recover() replay: don't re-log records
+  bool follower_ = false;   // warm standby: read-only, fed by a replica feed
+  std::uint64_t last_applied_seq_ = 0;  // follower mode: last WAL seq applied
   bool snapshot_in_flight_ = false;
   std::int64_t events_since_snapshot_ = 0;
   std::int64_t events_since_cold_ = 0;

@@ -1,0 +1,143 @@
+// common::RetryPolicy / RetryState: the schedule must be an exact,
+// replayable function of (policy, rng seed, clock) — the replication
+// session layer leans on that for deterministic fault-matrix tests.
+#include "common/retry.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rpc {
+namespace {
+
+/// Manually advanced monotonic clock.
+struct FakeClock {
+  double now = 100.0;
+  RetryState::NowFn fn() {
+    return [this] { return now; };
+  }
+};
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.05;
+  policy.max_backoff_seconds = 0.4;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  policy.max_attempts = 0;
+  policy.deadline_seconds = 0.0;
+  return policy;
+}
+
+TEST(RetryStateTest, ExponentialLadderSaturatesAtCap) {
+  FakeClock clock;
+  RetryState retry(NoJitterPolicy(), nullptr, clock.fn());
+  std::vector<double> delays;
+  for (int i = 0; i < 6; ++i) {
+    double delay = -1.0;
+    ASSERT_TRUE(retry.NextDelay(&delay));
+    delays.push_back(delay);
+  }
+  const std::vector<double> expected = {0.05, 0.1, 0.2, 0.4, 0.4, 0.4};
+  ASSERT_EQ(delays.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(delays[i], expected[i]) << "attempt " << i;
+  }
+}
+
+TEST(RetryStateTest, MaxAttemptsExhaustsBudget) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 3;
+  FakeClock clock;
+  RetryState retry(policy, nullptr, clock.fn());
+  double delay = 0.0;
+  EXPECT_TRUE(retry.NextDelay(&delay));
+  EXPECT_TRUE(retry.NextDelay(&delay));
+  EXPECT_TRUE(retry.NextDelay(&delay));
+  EXPECT_FALSE(retry.NextDelay(&delay));
+  EXPECT_EQ(retry.attempts(), 4);
+
+  const Status wrapped =
+      retry.NextDelayOr(Status::Unavailable("link closed"), &delay);
+  EXPECT_EQ(wrapped.code(), StatusCode::kUnavailable);
+  EXPECT_NE(wrapped.message().find("link closed"), std::string::npos);
+}
+
+TEST(RetryStateTest, DeadlineClampsAndThenRefuses) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.deadline_seconds = 0.12;
+  FakeClock clock;
+  RetryState retry(policy, nullptr, clock.fn());
+
+  double delay = 0.0;
+  ASSERT_TRUE(retry.NextDelay(&delay));  // 0.05, well inside the budget
+  EXPECT_DOUBLE_EQ(delay, 0.05);
+  clock.now += 0.05;
+
+  // Nominal next delay is 0.1 but only 0.07 of budget remains: clamped.
+  ASSERT_TRUE(retry.NextDelay(&delay));
+  EXPECT_NEAR(delay, 0.12 - 0.05, 1e-12);
+  clock.now += delay + 1e-9;  // the wait ended at (or just past) the deadline
+
+  // Budget fully consumed: refused, and NextDelayOr reports the timeout.
+  EXPECT_FALSE(retry.NextDelay(&delay));
+  const Status wrapped =
+      retry.NextDelayOr(Status::Unavailable("still down"), &delay);
+  EXPECT_EQ(wrapped.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RetryStateTest, ResetRestartsScheduleAndDeadline) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.deadline_seconds = 0.2;
+  policy.max_attempts = 2;
+  FakeClock clock;
+  RetryState retry(policy, nullptr, clock.fn());
+
+  double delay = 0.0;
+  ASSERT_TRUE(retry.NextDelay(&delay));
+  ASSERT_TRUE(retry.NextDelay(&delay));
+  EXPECT_FALSE(retry.NextDelay(&delay));
+
+  clock.now += 10.0;  // a long outage later, the session recovered once
+  retry.Reset();
+  EXPECT_EQ(retry.attempts(), 0);
+  ASSERT_TRUE(retry.NextDelay(&delay));
+  EXPECT_DOUBLE_EQ(delay, 0.05);  // ladder restarted
+  ASSERT_TRUE(retry.NextDelay(&delay));
+  EXPECT_DOUBLE_EQ(delay, 0.1);  // deadline re-anchored: no clamp
+}
+
+TEST(RetryStateTest, JitterIsDeterministicPerSeedAndBounded) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter_fraction = 0.2;
+  FakeClock clock;
+
+  const auto run = [&](uint64_t seed) {
+    Rng rng(seed);
+    RetryState retry(policy, &rng, clock.fn());
+    std::vector<double> delays;
+    for (int i = 0; i < 5; ++i) {
+      double delay = 0.0;
+      EXPECT_TRUE(retry.NextDelay(&delay));
+      delays.push_back(delay);
+    }
+    return delays;
+  };
+
+  const std::vector<double> a = run(7);
+  const std::vector<double> b = run(7);
+  const std::vector<double> c = run(8);
+  EXPECT_EQ(a, b);  // same seed -> identical schedule, bit for bit
+  EXPECT_NE(a, c);  // different seed -> different draws
+
+  const std::vector<double> base = {0.05, 0.1, 0.2, 0.4, 0.4};
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], base[i] * 0.8) << "attempt " << i;
+    EXPECT_LE(a[i], base[i] * 1.2) << "attempt " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rpc

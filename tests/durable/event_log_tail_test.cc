@@ -1,0 +1,303 @@
+// durable::ReadLogTail — the WAL shipper's read path. Its contracts are
+// what replication leans on: records come back in order and bit-identical,
+// the caps (records / bytes / max_seq) bound each batch, a torn record at
+// the very tail is "not finished landing yet" rather than an error, and a
+// reader racing the live group-commit writer across segment rollovers
+// never sees corruption or an out-of-order sequence.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durable/event_log.h"
+#include "durable/file_util.h"
+
+namespace rpc::durable {
+namespace {
+
+class EventLogTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char templ[] = "/tmp/rpc_event_log_tail_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(templ), nullptr);
+    dir_ = templ;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(EventLogTailTest, CollectsAfterSeqInOrderWithOwnedPayloads) {
+  auto log = EventLog::Open(dir_, 2, 1, {});
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 6; ++i) {
+    (*log)->Append(RecordType::kAppend, "payload-" + std::to_string(i));
+  }
+  ASSERT_TRUE((*log)->Sync().ok());
+
+  TailLimits limits;
+  auto batch = ReadLogTail(dir_, 2, /*after_seq=*/2, limits);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_FALSE(batch->hit_limit);
+  EXPECT_EQ(batch->last_seq, 6u);
+  ASSERT_EQ(batch->records.size(), 4u);
+  for (size_t i = 0; i < batch->records.size(); ++i) {
+    EXPECT_EQ(batch->records[i].seq, 3 + i);
+    EXPECT_EQ(batch->records[i].payload,
+              "payload-" + std::to_string(2 + i));
+  }
+
+  // Reading from the very end is an empty batch, not an error (the
+  // shipper's heartbeat case).
+  auto empty = ReadLogTail(dir_, 2, 6, limits);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->records.empty());
+  EXPECT_EQ(empty->last_seq, 6u);
+  EXPECT_FALSE(empty->hit_limit);
+}
+
+TEST_F(EventLogTailTest, MaxRecordsAndMaxBytesBoundTheBatch) {
+  auto log = EventLog::Open(dir_, 2, 1, {});
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) {
+    (*log)->Append(RecordType::kAppend, std::string(100, 'x'));
+  }
+  ASSERT_TRUE((*log)->Sync().ok());
+
+  TailLimits by_count;
+  by_count.max_records = 3;
+  auto counted = ReadLogTail(dir_, 2, 0, by_count);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_TRUE(counted->hit_limit);
+  EXPECT_EQ(counted->records.size(), 3u);
+  EXPECT_EQ(counted->last_seq, 3u);
+
+  TailLimits by_bytes;
+  by_bytes.max_bytes = 250;  // two and a half records' worth of payload
+  auto sized = ReadLogTail(dir_, 2, 0, by_bytes);
+  ASSERT_TRUE(sized.ok());
+  EXPECT_TRUE(sized->hit_limit);
+  EXPECT_GE(sized->records.size(), 2u);
+  EXPECT_LT(sized->records.size(), 10u);
+
+  // hit_limit means "ask again from last_seq": the chained reads cover
+  // everything exactly once.
+  std::uint64_t after = 0;
+  std::size_t total = 0;
+  for (int guard = 0; guard < 10; ++guard) {
+    auto chunk = ReadLogTail(dir_, 2, after, by_count);
+    ASSERT_TRUE(chunk.ok());
+    total += chunk->records.size();
+    after = chunk->last_seq;
+    if (!chunk->hit_limit) break;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST_F(EventLogTailTest, MaxSeqCapsAtThePrimarysSyncedFrontier) {
+  auto log = EventLog::Open(dir_, 2, 1, {});
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 4; ++i) {
+    (*log)->Append(RecordType::kAppend, "synced");
+  }
+  ASSERT_TRUE((*log)->Sync().ok());
+  // Staged but NOT synced: a shipper capping at last_synced_seq must
+  // never see these even once they land on disk.
+  (*log)->Append(RecordType::kAppend, "unsynced");
+  (*log)->Append(RecordType::kAppend, "unsynced");
+
+  TailLimits limits;
+  limits.max_seq = (*log)->last_synced_seq();
+  auto batch = ReadLogTail(dir_, 2, 0, limits);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->records.size(), 4u);
+  EXPECT_EQ(batch->last_seq, 4u);
+  EXPECT_FALSE(batch->hit_limit);  // stopped at the cap, nothing pending
+}
+
+TEST_F(EventLogTailTest, TornTailRecordIsEndOfLogNotAnError) {
+  auto log = EventLog::Open(dir_, 2, 1, {});
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 4; ++i) {
+    (*log)->Append(RecordType::kAppend, "record-" + std::to_string(i));
+  }
+  ASSERT_TRUE((*log)->Sync().ok());
+
+  // Model a group commit caught mid-write(2): cut the final record in
+  // half. A replication read must treat the valid prefix as the whole
+  // log — the writer simply hasn't finished landing the batch.
+  const auto segments = ListFiles(dir_, "wal-", ".log");
+  ASSERT_EQ(segments.size(), 1u);
+  const std::string segment = dir_ + "/" + segments.front();
+  auto full = ReadFile(segment);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(::truncate(segment.c_str(),
+                       static_cast<off_t>(full->size() - 10)),
+            0);
+
+  TailLimits limits;
+  auto batch = ReadLogTail(dir_, 2, 0, limits);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->records.size(), 3u);
+  EXPECT_EQ(batch->last_seq, 3u);
+
+  // The "writer" finishes the commit (the full bytes reappear): the next
+  // chained read picks up exactly the completed record.
+  {
+    std::ofstream out(segment, std::ios::binary | std::ios::trunc);
+    out.write(full->data(), static_cast<std::streamsize>(full->size()));
+  }
+  auto rest = ReadLogTail(dir_, 2, batch->last_seq, limits);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->records.size(), 1u);
+  EXPECT_EQ(rest->records.front().seq, 4u);
+  EXPECT_EQ(rest->records.front().payload, "record-3");
+}
+
+TEST_F(EventLogTailTest, OldestWalSeqTracksTruncation) {
+  EXPECT_EQ(OldestWalSeq(dir_), 0u);  // nothing on disk yet
+  EventLog::Options options;
+  options.segment_bytes = 64;  // several segments
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(OldestWalSeq(dir_), 1u);
+  for (int i = 0; i < 8; ++i) {
+    (*log)->Append(RecordType::kAppend, "some-sizable-payload-here");
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  ASSERT_TRUE((*log)->TruncateThrough(5).ok());
+  const std::uint64_t oldest = OldestWalSeq(dir_);
+  EXPECT_GT(oldest, 1u);
+  // Segment-granular: the oldest surviving segment may still start at or
+  // before the truncation point, never after it.
+  EXPECT_LE(oldest, 6u);
+}
+
+// The race the WAL shipper actually runs: one writer thread appending and
+// group-committing through rolling segments (the streaming tier's aux
+// lane), one reader thread chasing the synced frontier with ReadLogTail.
+// Whatever the interleaving, the reader must see a gapless, in-order,
+// bit-identical prefix — mid-commit partial frames and half-written
+// segment headers must look like end-of-log, never corruption.
+TEST_F(EventLogTailTest, TailReaderRacesRollingGroupCommitWriter) {
+  constexpr int kRecords = 400;
+  EventLog::Options options;
+  options.segment_bytes = 256;  // constant rollover under the reader
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < kRecords; ++i) {
+      (*log)->Append(RecordType::kAppend, "race-payload-" + std::to_string(i));
+      if (i % 3 == 0) EXPECT_TRUE((*log)->Sync().ok());
+    }
+    EXPECT_TRUE((*log)->Sync().ok());
+    done.store(true);
+  });
+
+  std::vector<TailRecord> collected;
+  std::uint64_t after = 0;
+  Status read_error = Status::Ok();
+  while (true) {
+    const bool writer_done = done.load();
+    TailLimits limits;
+    limits.max_records = 32;
+    limits.max_seq = (*log)->last_synced_seq();
+    auto batch = ReadLogTail(dir_, 2, after, limits);
+    if (!batch.ok()) {
+      read_error = batch.status();
+      break;
+    }
+    for (auto& record : batch->records) {
+      collected.push_back(std::move(record));
+    }
+    after = batch->last_seq;
+    if (writer_done && !batch->hit_limit &&
+        after == (*log)->last_synced_seq()) {
+      break;
+    }
+  }
+  writer.join();
+  ASSERT_TRUE(read_error.ok()) << read_error.ToString();
+  ASSERT_EQ(collected.size(), static_cast<size_t>(kRecords));
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(collected[static_cast<size_t>(i)].seq,
+              static_cast<std::uint64_t>(i) + 1);
+    EXPECT_EQ(collected[static_cast<size_t>(i)].payload,
+              "race-payload-" + std::to_string(i));
+  }
+}
+
+// Same race with the log compacting underneath: the writer truncates
+// behind a moving "snapshot" while the reader stays close to the tail.
+// The reader never needs the dropped segments (its offset is past them),
+// so it must never notice the truncation.
+TEST_F(EventLogTailTest, TailReaderSurvivesConcurrentTruncation) {
+  constexpr int kRecords = 300;
+  EventLog::Options options;
+  options.segment_bytes = 256;
+  auto log = EventLog::Open(dir_, 2, 1, options);
+  ASSERT_TRUE(log.ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reader_at{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kRecords; ++i) {
+      (*log)->Append(RecordType::kAppend, "compact-race-" + std::to_string(i));
+      EXPECT_TRUE((*log)->Sync().ok());
+      if (i % 25 == 24) {
+        // A milestone snapshot landed well behind the tail; compact — but
+        // never past the standby's acked offset (the wal_keep_events
+        // contract a replicating primary honors).
+        const std::uint64_t horizon = std::min(
+            static_cast<std::uint64_t>(i) - 20, reader_at.load());
+        EXPECT_TRUE((*log)->TruncateThrough(horizon).ok());
+      }
+    }
+    done.store(true);
+  });
+
+  std::uint64_t after = 0;
+  std::uint64_t seen = 0;
+  Status read_error = Status::Ok();
+  while (true) {
+    const bool writer_done = done.load();
+    TailLimits limits;
+    limits.max_records = 16;
+    limits.max_seq = (*log)->last_synced_seq();
+    auto batch = ReadLogTail(dir_, 2, after, limits);
+    if (!batch.ok()) {
+      read_error = batch.status();
+      break;
+    }
+    for (size_t i = 0; i < batch->records.size(); ++i) {
+      ++seen;
+      ASSERT_EQ(batch->records[i].seq, after + i + 1);
+    }
+    after = batch->last_seq;
+    reader_at.store(after);
+    if (writer_done && !batch->hit_limit &&
+        after == (*log)->last_synced_seq()) {
+      break;
+    }
+  }
+  writer.join();
+  ASSERT_TRUE(read_error.ok()) << read_error.ToString();
+  EXPECT_EQ(seen, static_cast<std::uint64_t>(kRecords));
+}
+
+}  // namespace
+}  // namespace rpc::durable

@@ -1,0 +1,171 @@
+// replica transport: loopback pipe semantics (FIFO delivery, per-receive
+// deadlines surfacing as kDeadlineExceeded, close waking blocked peers
+// with kUnavailable) and the deterministic fault wrapper the failover
+// property tests are built on — each fault mode must do exactly what it
+// says, replayably per seed.
+#include "replica/transport.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "replica/wire.h"
+
+namespace rpc::replica {
+namespace {
+
+TEST(LoopbackTest, DeliversInOrderBothDirections) {
+  LinkPair pair = MakeLoopbackPair();
+  ASSERT_TRUE(pair.primary->Send("to-standby-1").ok());
+  ASSERT_TRUE(pair.primary->Send("to-standby-2").ok());
+  ASSERT_TRUE(pair.standby->Send("to-primary").ok());
+
+  auto first = pair.standby->Receive(0.1);
+  auto second = pair.standby->Receive(0.1);
+  auto back = pair.primary->Receive(0.1);
+  ASSERT_TRUE(first.ok() && second.ok() && back.ok());
+  EXPECT_EQ(*first, "to-standby-1");
+  EXPECT_EQ(*second, "to-standby-2");
+  EXPECT_EQ(*back, "to-primary");
+}
+
+TEST(LoopbackTest, ReceiveDeadlineSurfacesAsDeadlineExceeded) {
+  LinkPair pair = MakeLoopbackPair();
+  const auto result = pair.standby->Receive(0.01);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(LoopbackTest, CloseWakesBlockedReceiverWithUnavailable) {
+  LinkPair pair = MakeLoopbackPair();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pair.primary->Close();
+  });
+  // Blocked well past the close instant: must wake with kUnavailable, not
+  // sit out the full deadline.
+  const auto result = pair.standby->Receive(5.0);
+  closer.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // And sends refuse from then on, both sides.
+  EXPECT_EQ(pair.standby->Send("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(pair.primary->Send("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultyLinkTest, ZeroProbabilitiesPassEverythingThrough) {
+  LinkPair pair = MakeLoopbackPair();
+  auto faulty = WrapWithFaults(std::move(pair.primary), FaultPlan{});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(faulty->Send("frame-" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto got = pair.standby->Receive(0.1);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "frame-" + std::to_string(i));
+  }
+}
+
+TEST(FaultyLinkTest, DropLosesFramesDeterministicallyPerSeed) {
+  const auto deliveries = [](std::uint64_t seed) {
+    LinkPair pair = MakeLoopbackPair();
+    FaultPlan plan;
+    plan.drop = 0.5;
+    plan.seed = seed;
+    auto faulty = WrapWithFaults(std::move(pair.primary), plan);
+    std::vector<std::string> got;
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_TRUE(faulty->Send("f" + std::to_string(i)).ok());
+    }
+    while (true) {
+      auto frame = pair.standby->Receive(0.01);
+      if (!frame.ok()) break;
+      got.push_back(*frame);
+    }
+    return got;
+  };
+  const auto a = deliveries(11);
+  const auto b = deliveries(11);
+  const auto c = deliveries(12);
+  EXPECT_EQ(a, b);  // same seed, same losses
+  EXPECT_NE(a, c);
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_LT(a.size(), 40u);  // some frames must actually vanish
+}
+
+TEST(FaultyLinkTest, DuplicateDeliversTheSameFrameTwice) {
+  LinkPair pair = MakeLoopbackPair();
+  FaultPlan plan;
+  plan.duplicate = 1.0;
+  auto faulty = WrapWithFaults(std::move(pair.primary), plan);
+  ASSERT_TRUE(faulty->Send("dup-me").ok());
+  auto first = pair.standby->Receive(0.1);
+  auto second = pair.standby->Receive(0.1);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, "dup-me");
+  EXPECT_EQ(*second, "dup-me");
+}
+
+TEST(FaultyLinkTest, ReorderSwapsAdjacentFrames) {
+  LinkPair pair = MakeLoopbackPair();
+  FaultPlan plan;
+  plan.reorder = 1.0;
+  auto faulty = WrapWithFaults(std::move(pair.primary), plan);
+  ASSERT_TRUE(faulty->Send("first").ok());   // held back
+  ASSERT_TRUE(faulty->Send("second").ok());  // flushes: second, then first
+  auto a = pair.standby->Receive(0.1);
+  auto b = pair.standby->Receive(0.1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, "second");
+  EXPECT_EQ(*b, "first");
+}
+
+TEST(FaultyLinkTest, DelayHoldsAFrameButKeepsOrder) {
+  LinkPair pair = MakeLoopbackPair();
+  FaultPlan plan;
+  plan.delay = 1.0;
+  auto faulty = WrapWithFaults(std::move(pair.primary), plan);
+  ASSERT_TRUE(faulty->Send("late").ok());  // held back
+  // Nothing on the wire yet: the receiver times out like a slow network.
+  EXPECT_EQ(pair.standby->Receive(0.01).status().code(),
+            StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(faulty->Send("pusher").ok());  // flushes: late, then pusher
+  auto a = pair.standby->Receive(0.1);
+  auto b = pair.standby->Receive(0.1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, "late");
+  EXPECT_EQ(*b, "pusher");
+}
+
+TEST(FaultyLinkTest, TruncateCutsFramesSoTheCrcCatchesThem) {
+  LinkPair pair = MakeLoopbackPair();
+  FaultPlan plan;
+  plan.truncate = 1.0;
+  auto faulty = WrapWithFaults(std::move(pair.primary), plan);
+  Message message;
+  message.type = MessageType::kWalBatch;
+  message.epoch = 3;
+  message.payload = "some payload worth protecting";
+  ASSERT_TRUE(faulty->Send(EncodeMessage(message)).ok());
+  auto frame = pair.standby->Receive(0.1);
+  ASSERT_TRUE(frame.ok());
+  const auto decoded = DecodeMessage(*frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FaultyLinkTest, HeldFrameDiesWithClose) {
+  LinkPair pair = MakeLoopbackPair();
+  FaultPlan plan;
+  plan.delay = 1.0;
+  auto faulty = WrapWithFaults(std::move(pair.primary), plan);
+  ASSERT_TRUE(faulty->Send("stranded").ok());
+  faulty->Close();
+  EXPECT_EQ(pair.standby->Receive(0.05).status().code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace rpc::replica

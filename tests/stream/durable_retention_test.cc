@@ -1,0 +1,155 @@
+// Snapshot retention (keep_snapshots) and log-compaction policy
+// (wal_keep_events). The invariant that must hold across every knob
+// combination: the log is never truncated past the OLDEST retained
+// snapshot — every snapshot still on disk can replay its full suffix —
+// and wal_keep_events only ever retains MORE log, never less.
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "durable/event_log.h"
+#include "durable/snapshot.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "order/orientation.h"
+#include "stream/streaming_ranker.h"
+
+namespace rpc::stream {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using order::Orientation;
+
+Matrix RawFixture(const Orientation& alpha, int n, uint64_t seed) {
+  return data::GenerateLatentCurveData(
+             alpha, {.n = n, .noise_sigma = 0.05, .control_margin = 0.1,
+                     .seed = seed})
+      .data;
+}
+
+std::string MakeTempDir() {
+  char templ[] = "/tmp/rpc_retention_XXXXXX";
+  const char* dir = ::mkdtemp(templ);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+StreamingRankerOptions SerialOptions(const std::string& dir) {
+  StreamingRankerOptions options;
+  options.num_threads = 1;
+  options.drift.refit_on_row_delta = 0;
+  options.drift.refit_on_normalizer_drift = 0.0;
+  options.drift.refit_period_events = 0;
+  options.learner.seed = 42;
+  options.durability.dir = dir;
+  options.durability.segment_bytes = 1 << 10;  // many small segments
+  options.durability.snapshot_every_events = 8;
+  return options;
+}
+
+/// Appends `count` events through a serial ranker, then stops it (final
+/// sync + shutdown snapshot).
+void DriveEvents(const std::string& dir, int keep_snapshots,
+                 std::int64_t wal_keep_events, int count) {
+  const Orientation alpha = *Orientation::FromSigns({+1, +1, -1});
+  const Matrix raw = RawFixture(alpha, 40, 7);
+  StreamingRankerOptions options = SerialOptions(dir);
+  options.durability.keep_snapshots = keep_snapshots;
+  options.durability.wal_keep_events = wal_keep_events;
+  StreamingRanker ranker(nullptr, "retention", options);
+  ASSERT_TRUE(ranker.Start(raw, alpha).ok());
+  for (int i = 0; i < count; ++i) {
+    Vector row = raw.Row(i % raw.rows());
+    for (int j = 0; j < row.size(); ++j) row[j] += 0.005 * (i + 1);
+    ASSERT_TRUE(ranker.Append(row).ok());
+  }
+  ASSERT_TRUE(ranker.Flush().ok());
+  ranker.Stop();
+}
+
+class RetentionTest : public ::testing::TestWithParam<int> {};
+
+// For every keep_n: at most keep_n snapshots survive, and every survivor
+// can still replay its entire log suffix — truncation never strips a
+// segment a retained snapshot needs.
+TEST_P(RetentionTest, EveryRetainedSnapshotKeepsItsLogSuffix) {
+  const int keep_n = GetParam();
+  const std::string dir = MakeTempDir();
+  DriveEvents(dir, keep_n, /*wal_keep_events=*/0, /*count=*/70);
+
+  const std::vector<std::uint64_t> seqs = durable::ListSnapshotSeqs(dir);
+  ASSERT_FALSE(seqs.empty());
+  EXPECT_LE(seqs.size(), static_cast<size_t>(std::max(keep_n, 1)));
+
+  for (const std::uint64_t snapshot_seq : seqs) {
+    const auto replay = durable::ReplayEventLog(
+        dir, 3, snapshot_seq,
+        [](const durable::ReplayRecord&) { return Status::Ok(); });
+    ASSERT_TRUE(replay.ok())
+        << "snapshot at seq " << snapshot_seq
+        << " lost its log suffix: " << replay.status().ToString();
+  }
+  // The compaction floor is exactly the oldest retained snapshot: nothing
+  // older survives (no retention margin configured), nothing newer is
+  // gone. Segment granularity means the oldest surviving segment may
+  // start at or before that snapshot's seq, never after.
+  const std::uint64_t oldest_wal = durable::OldestWalSeq(dir);
+  ASSERT_GT(oldest_wal, 0u);
+  EXPECT_LE(oldest_wal, seqs.front() + 1);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+INSTANTIATE_TEST_SUITE_P(KeepN, RetentionTest, ::testing::Values(1, 2, 3),
+                         [](const auto& info) {
+                           return "keep" + std::to_string(info.param);
+                         });
+
+TEST(WalKeepEventsTest, LargeMarginDisablesCompactionEntirely) {
+  const std::string dir = MakeTempDir();
+  DriveEvents(dir, /*keep_snapshots=*/2, /*wal_keep_events=*/1 << 30,
+              /*count=*/70);
+  // Snapshots rotated as usual, but every log record since seq 1 is still
+  // on disk: the margin outranks the snapshot horizon.
+  EXPECT_LE(durable::ListSnapshotSeqs(dir).size(), 2u);
+  EXPECT_EQ(durable::OldestWalSeq(dir), 1u);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(WalKeepEventsTest, MarginRetainsTailBeyondSnapshotHorizon) {
+  const std::string with_dir = MakeTempDir();
+  const std::string without_dir = MakeTempDir();
+  constexpr int kEvents = 70;
+  constexpr std::int64_t kMargin = 30;
+  DriveEvents(with_dir, /*keep_snapshots=*/1, kMargin, kEvents);
+  DriveEvents(without_dir, /*keep_snapshots=*/1, 0, kEvents);
+
+  // The margin dir must still replay the newest kMargin records from its
+  // log — a standby at (tip - kMargin) can catch up with a tail fetch.
+  const std::uint64_t with_oldest = durable::OldestWalSeq(with_dir);
+  const std::uint64_t without_oldest = durable::OldestWalSeq(without_dir);
+  ASSERT_GT(with_oldest, 0u);
+  EXPECT_LE(with_oldest, static_cast<std::uint64_t>(kEvents - kMargin) + 1);
+  // And it strictly retains more than the aggressive configuration.
+  EXPECT_LT(with_oldest, without_oldest);
+
+  const auto replay = durable::ReplayEventLog(
+      with_dir, 3, static_cast<std::uint64_t>(kEvents - kMargin),
+      [](const durable::ReplayRecord&) { return Status::Ok(); });
+  EXPECT_TRUE(replay.ok()) << replay.status().ToString();
+
+  std::error_code ec;
+  std::filesystem::remove_all(with_dir, ec);
+  std::filesystem::remove_all(without_dir, ec);
+}
+
+}  // namespace
+}  // namespace rpc::stream

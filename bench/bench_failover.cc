@@ -195,7 +195,7 @@ RunResult Run(const Orientation& alpha, int initial_rows, int appends,
   const auto promote_start = std::chrono::steady_clock::now();
   if (!applier.Promote().ok()) return result;
   result.promote_seconds = Seconds(promote_start);
-  const auto first_query = standby_service.ScoreBatch("bench", probe);
+  const auto first_query = standby_service.Query("bench", probe);
   result.promotion_to_serving_seconds = Seconds(promote_start);
   if (!first_query.ok()) return result;
   for (int i = 0; i < probe.rows(); ++i) {

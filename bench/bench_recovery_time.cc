@@ -145,7 +145,7 @@ VariantResult RunVariant(const Orientation& alpha, int initial_rows,
   const auto start = std::chrono::steady_clock::now();
   if (!recovered.Recover().ok()) return result;
   result.recover_seconds = Seconds(start);
-  const auto first_query = service.ScoreBatch("bench", probe);
+  const auto first_query = service.Query("bench", probe);
   result.time_to_first_query_seconds = Seconds(start);
   if (!first_query.ok()) return result;
 

@@ -78,7 +78,7 @@ Measurement MeasureThroughput(const RankingService& service, int shards,
                               int callers, double min_seconds) {
   // Warm-up: touch every shard once so workspaces/pages are resident.
   for (int s = 0; s < shards; ++s) {
-    (void)service.ScoreBatch("ds" + std::to_string(s),
+    (void)service.Query("ds" + std::to_string(s),
                              batches[static_cast<size_t>(s)]);
   }
   std::atomic<std::int64_t> total_queries{0};
@@ -96,7 +96,7 @@ Measurement MeasureThroughput(const RankingService& service, int shards,
     // uniformly loaded for every caller count.
     for (int q = caller; elapsed() < min_seconds; ++q) {
       const int s = q % shards;
-      const auto batch = service.ScoreBatch("ds" + std::to_string(s),
+      const auto batch = service.Query("ds" + std::to_string(s),
                                             batches[static_cast<size_t>(s)]);
       if (!batch.ok()) continue;  // unreachable: ids are registered
       ++queries;
@@ -142,7 +142,7 @@ int VerifyBitIdentity(const RankingService& service, int shards,
   int mismatches = 0;
   for (int s = 0; s < shards; ++s) {
     const Matrix& rows = batches[static_cast<size_t>(s)];
-    const auto batch = service.ScoreBatch("ds" + std::to_string(s), rows);
+    const auto batch = service.Query("ds" + std::to_string(s), rows);
     if (!batch.ok()) {
       std::fprintf(stderr, "verify: query failed: %s\n",
                    batch.status().ToString().c_str());

@@ -108,7 +108,7 @@ int VerifyBitIdentity(const Orientation& alpha) {
   if (!ranker.Flush().ok() || !ranker.ForceRefresh().ok()) return 400;
   const StreamingRanker::Snapshot snap = ranker.snapshot();
   const Matrix probe = RawData(alpha, 128, 37);
-  const auto served = service.ScoreBatch("bench", probe);
+  const auto served = service.Query("bench", probe);
   if (!served.ok()) return probe.rows();
   int mismatches = 0;
   for (int i = 0; i < probe.rows(); ++i) {

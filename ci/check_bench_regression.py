@@ -56,6 +56,13 @@ METRIC_FIELDS = {
     "standby_lag_events",
     "promote_seconds",
     "promotion_to_serving_seconds",
+    "p50_us",
+    "p99_us",
+    "p999_us",
+    "completed",
+    "shed",
+    "deadline_expired",
+    "coalesced",
 }
 
 # Metrics the gate checks, in preference order (gate on the first present).

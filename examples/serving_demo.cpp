@@ -4,10 +4,13 @@
 //   1. Fit an RPC model per dataset (countries and journals here).
 //   2. SaveModel: persist each as the small text "white box".
 //   3. serve::RankingService: one shard per dataset, loaded from the files.
-//   4. ScoreBatch: rank fresh objects by dataset id — and check the served
+//   4. Query: rank fresh objects by dataset id — and check the served
 //      scores agree bit-for-bit with the in-process rankers.
+//   5. QoS: the same entry point with a deadline, a priority class and the
+//      service's latency histogram.
 //
 //   build/examples/serving_demo
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -95,7 +98,7 @@ int main() {
   std::printf("== 4. query by dataset id ==\n");
   int mismatches = 0;
   for (const FittedDataset& f : fitted) {
-    const auto batch = service.ScoreBatch(f.id, f.data.values());
+    const auto batch = service.Query(f.id, f.data.values());
     if (!batch.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    batch.status().ToString().c_str());
@@ -120,11 +123,51 @@ int main() {
     }
   }
 
+  std::printf("== 5. QoS: deadlines and priority classes ==\n");
+  {
+    // A generous deadline: the query completes normally and its trace shows
+    // where the latency went.
+    rpc::serve::QueryOptions opts;
+    opts.deadline = rpc::serve::QueryDeadline(std::chrono::seconds(5));
+    opts.priority = rpc::serve::QueryPriority::kInteractive;
+    const auto traced = service.Query("countries", fitted[0].data.values(),
+                                      opts);
+    if (!traced.ok()) {
+      std::fprintf(stderr, "deadline query failed: %s\n",
+                   traced.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  interactive query: %d segment(s), admission %lld us, "
+                "execution %lld us\n",
+                traced->trace.segments,
+                static_cast<long long>(traced->trace.admission_wait.count() /
+                                       1000),
+                static_cast<long long>(traced->trace.execution_time.count() /
+                                       1000));
+
+    // An already-expired deadline is refused at admission — the canonical
+    // "caller gave up" path.
+    rpc::serve::QueryOptions expired;
+    expired.deadline = rpc::serve::QueryDeadline(std::chrono::seconds(-1));
+    const auto refused =
+        service.Query("countries", fitted[0].data.values(), expired);
+    std::printf("  expired-deadline query: %s\n",
+                refused.ok() ? "UNEXPECTEDLY OK"
+                             : refused.status().ToString().c_str());
+    if (refused.ok()) return 1;
+  }
+
   const rpc::serve::ServiceStats stats = service.stats();
   std::printf("served %lld queries / %lld rows; served == in-process: %s\n",
               static_cast<long long>(stats.queries),
               static_cast<long long>(stats.rows),
               mismatches == 0 ? "yes" : "NO");
+  std::printf("deadline_expired %lld; latency p50 <= %.0f us, p99 <= %.0f "
+              "us (fixed-bucket histogram over %lld queries)\n",
+              static_cast<long long>(stats.deadline_expired),
+              stats.latency.QuantileUpperBoundUs(0.5),
+              stats.latency.QuantileUpperBoundUs(0.99),
+              static_cast<long long>(stats.latency.total()));
   for (const FittedDataset& f : fitted) {
     std::remove(TempModelPath(f.id).c_str());
   }

@@ -90,7 +90,7 @@ int main() {
   for (int i = 0; i < probe.rows(); ++i) {
     probe.SetRow(i, initial.Row(17 * i + 3));
   }
-  const auto batch = service.ScoreBatch("live", probe);
+  const auto batch = service.Query("live", probe);
   if (!batch.ok()) return 1;
   for (int i = 0; i < probe.rows(); ++i) {
     const auto expected = snapshot.model.Score(probe.Row(i));

@@ -3,11 +3,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace rpc {
 
@@ -138,6 +140,173 @@ class BoundedQueue {
   std::deque<T> items_;
   bool closed_ = false;
   int peak_ = 0;
+};
+
+/// Why a push did not (or did) enqueue its item.
+enum class QueuePushResult {
+  kOk,       // enqueued
+  kFull,     // occupancy at/over the lane's admission limit (TryPush only)
+  kClosed,   // queue closed before the item could be enqueued
+  kTimeout,  // deadline passed while blocked on a full queue (PushUntil only)
+};
+
+/// A bounded MPMC queue with priority lanes and per-lane admission
+/// watermarks — the traffic-shaping half of the serving tier's QoS story.
+///
+///   * One shared capacity across `lanes` FIFO lanes; lane 0 is the most
+///     important. Pop hands out the front of the lowest-indexed non-empty
+///     lane, so under backlog high-priority items overtake low ones while
+///     each lane stays FIFO internally.
+///   * Each lane has an admission limit (<= capacity, default = capacity):
+///     a push into lane L is admitted only while total occupancy is below
+///     limit(L). Giving deeper lanes smaller limits reserves headroom for
+///     the important lanes — under saturation low-priority pushes are shed
+///     first while lane 0 can still use the full capacity.
+///   * Push blocks until admitted, closed, or (PushUntil) a deadline;
+///     TryPush refuses instead of blocking. Close() keeps the drain
+///     semantics of BoundedQueue: queued items remain poppable, then Pop
+///     returns nullopt.
+///
+/// All operations are safe to call concurrently from any number of threads.
+template <typename T>
+class PriorityBoundedQueue {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  PriorityBoundedQueue(int capacity, int lanes)
+      : capacity_(capacity),
+        lanes_(static_cast<size_t>(lanes)),
+        limits_(static_cast<size_t>(lanes), capacity) {
+    assert(capacity >= 1);
+    assert(lanes >= 1);
+  }
+
+  PriorityBoundedQueue(const PriorityBoundedQueue&) = delete;
+  PriorityBoundedQueue& operator=(const PriorityBoundedQueue&) = delete;
+
+  int capacity() const { return capacity_; }
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Sets lane `lane`'s admission limit, clamped into [1, capacity]. Not
+  /// synchronised against concurrent pushes — configure before use.
+  void SetLaneLimit(int lane, int limit) {
+    limits_[static_cast<size_t>(lane)] =
+        std::clamp(limit, 1, capacity_);
+  }
+
+  int lane_limit(int lane) const { return limits_[static_cast<size_t>(lane)]; }
+
+  int size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Largest total occupancy observed by any push — the admission
+  /// high-water mark the serving stats report as peak_queue_depth.
+  int peak_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_;
+  }
+
+  /// Blocks while occupancy is at/over the lane's limit; kClosed when the
+  /// queue was (or became, while waiting) closed.
+  QueuePushResult Push(T item, int lane) {
+    return PushUntil(std::move(item), lane, TimePoint::max());
+  }
+
+  /// Push with a wall-clock bound: gives up with kTimeout once `deadline`
+  /// passes while the lane is still over its limit. TimePoint::max() waits
+  /// indefinitely (identical to Push).
+  QueuePushResult PushUntil(T item, int lane, TimePoint deadline) {
+    const int limit = limits_[static_cast<size_t>(lane)];
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto admissible = [&] { return closed_ || size_ < limit; };
+    if (deadline == TimePoint::max()) {
+      not_full_.wait(lock, admissible);
+    } else if (!not_full_.wait_until(lock, deadline, admissible)) {
+      return QueuePushResult::kTimeout;
+    }
+    if (closed_) return QueuePushResult::kClosed;
+    Enqueue(std::move(item), lane);
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueuePushResult::kOk;
+  }
+
+  /// Non-blocking push; kFull when the lane is at/over its limit.
+  QueuePushResult TryPush(T item, int lane) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return QueuePushResult::kClosed;
+    if (size_ >= limits_[static_cast<size_t>(lane)]) {
+      return QueuePushResult::kFull;
+    }
+    Enqueue(std::move(item), lane);
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueuePushResult::kOk;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained
+  /// (then nullopt). Highest-priority (lowest-index) non-empty lane first.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    return Dequeue(lock);
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    return Dequeue(lock);
+  }
+
+  /// Rejects future pushes and wakes every blocked producer and consumer;
+  /// queued items remain poppable (drain semantics). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  void Enqueue(T item, int lane) {
+    lanes_[static_cast<size_t>(lane)].push_back(std::move(item));
+    ++size_;
+    peak_ = std::max(peak_, size_);
+  }
+
+  std::optional<T> Dequeue(std::unique_lock<std::mutex>& lock) {
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      std::optional<T> item(std::move(lane.front()));
+      lane.pop_front();
+      --size_;
+      lock.unlock();
+      not_full_.notify_all();  // waiters have different limits
+      return item;
+    }
+    return std::nullopt;  // unreachable: size_ > 0
+  }
+
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<std::deque<T>> lanes_;
+  std::vector<int> limits_;
+  int size_ = 0;
+  int peak_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace rpc

@@ -1,6 +1,8 @@
 #include "serve/ranking_service.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <condition_variable>
 #include <utility>
 
@@ -13,12 +15,90 @@ namespace rpc::serve {
 using linalg::Matrix;
 using linalg::Vector;
 
-/// Completion latch for one query, living on the ScoreBatch caller's stack:
-/// segments count down as they finish and the caller waits for zero.
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Rows between cooperative deadline checks in the execution hot loop:
+/// rare enough that the clock read is noise (a row costs ~1 us), frequent
+/// enough that an expired query stops burning pool time within ~100 us.
+constexpr int kDeadlineCheckStride = 64;
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int LatencyHistogram::BucketFor(std::chrono::nanoseconds latency) {
+  const std::int64_t us = latency.count() / 1000;
+  if (us <= 1) return 0;
+  const int bucket =
+      static_cast<int>(std::bit_width(static_cast<std::uint64_t>(us))) - 1;
+  return std::min(kNumBuckets - 1, bucket);
+}
+
+std::int64_t LatencyHistogram::total() const {
+  std::int64_t n = 0;
+  for (const std::int64_t count : buckets) n += count;
+  return n;
+}
+
+double LatencyHistogram::QuantileUpperBoundUs(double q) const {
+  const std::int64_t n = total();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::int64_t rank =
+      std::min<std::int64_t>(n - 1, static_cast<std::int64_t>(q * n));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[static_cast<size_t>(i)];
+    if (seen > rank) return std::ldexp(1.0, i + 1);
+  }
+  return std::ldexp(1.0, kNumBuckets);
+}
+
+/// Completion latch plus cancellation state for one query, living on the
+/// Query caller's stack: segments count down as they finish (or bail) and
+/// the caller waits for zero. The deadline is re-checked here by workers —
+/// at dequeue and between rows — so expired work cancels cooperatively
+/// instead of running to completion for a caller that already gave up.
 struct RankingService::BatchState {
   std::mutex mu;
   std::condition_variable done_cv;
   int remaining = 0;
+
+  Clock::time_point deadline;
+  bool has_deadline = false;
+  /// Latched once the deadline is first observed as passed; every segment
+  /// of this query checks it and bails instead of scoring further rows.
+  std::atomic<bool> expired{false};
+  /// Set when the service shut down before the query could be admitted.
+  std::atomic<bool> shutdown{false};
+  /// Steady-clock nanos at which the query's last segment was admitted;
+  /// written by whichever thread admitted it (the caller, or a coalesced
+  /// group's sealer), read by the caller for QueryTrace — relaxed atomics
+  /// because the split is observability, not synchronisation.
+  std::atomic<std::int64_t> admitted_ns{0};
+  /// Written by the group sealer under the coalesce mutex before the group
+  /// is pushed, read by the caller after Wait (ordered by the push/pop and
+  /// latch mutexes).
+  bool coalesced = false;
+
+  bool Expired(Clock::time_point now) {
+    if (expired.load(std::memory_order_relaxed)) return true;
+    if (has_deadline && now >= deadline) {
+      expired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Expired(now) without the clock read on the deadline-free fast path —
+  /// the common case must not pay for the feature it does not use.
+  bool ExpiredNow() { return has_deadline && Expired(Clock::now()); }
 
   void Finish() {
     std::lock_guard<std::mutex> lock(mu);
@@ -30,15 +110,36 @@ struct RankingService::BatchState {
   }
 };
 
+/// A pending micro-batch: several small queries on one shard riding a
+/// single execution segment (one workspace checkout, one dispatch). Joins
+/// happen under the shard's coalesce mutex while the group is the shard's
+/// open group; sealing (clearing that slot) claims the right to admit it.
+struct RankingService::CoalesceGroup {
+  struct Entry {
+    const linalg::Matrix* rows = nullptr;
+    double* scores_out = nullptr;
+    int n = 0;
+    BatchState* state = nullptr;
+  };
+  std::vector<Entry> entries;
+  int total_rows = 0;
+  int lane = 0;  // most important lane among the riders
+  Clock::time_point flush_at;
+  bool sealed = false;
+  std::condition_variable sealed_cv;  // the leader waits here
+};
+
 /// Everything one dataset needs to answer queries, built whole before it is
-/// published (copy-on-write) and immutable afterwards except the free list
-/// and counters, which are internally synchronised.
+/// published (copy-on-write) and immutable afterwards except the free list,
+/// the coalescing slot and counters, which are internally synchronised.
 struct RankingService::Shard {
   core::PortableRpcModel model;
   /// The validated curve behind a shared_ptr: workspaces co-own it via
   /// BindShared, so even a workspace observed mid-checkout during an evict
   /// keeps the geometry alive.
   std::shared_ptr<const curve::BezierCurve> curve;
+  /// Priority class for queries that do not set QueryOptions::priority.
+  QueryPriority default_priority = QueryPriority::kInteractive;
 
   /// One bound workspace + normalisation scratch per slot. ProjectionWorkspace
   /// is neither copyable nor movable, hence the unique_ptr indirection.
@@ -52,18 +153,31 @@ struct RankingService::Shard {
   /// is always finite), return = Push (never blocks: capacity == slots).
   mutable BoundedQueue<int> free_slots;
 
+  /// At most one open coalescing group per shard snapshot; guarded by
+  /// coalesce_mu together with every group's membership and sealed flag.
+  mutable std::mutex coalesce_mu;
+  mutable std::shared_ptr<CoalesceGroup> open_group;
+
   explicit Shard(int num_slots) : free_slots(num_slots) {}
 };
 
 RankingService::RankingService(const Options& options)
     : options_(options),
       pool_(std::make_unique<ThreadPool>(options.num_threads)),
-      queue_(std::max(options.queue_capacity, 1)) {
+      queue_(std::max(options.queue_capacity, 1), kNumPriorities) {
   options_.queue_capacity = std::max(options.queue_capacity, 1);
   if (options_.workspaces_per_shard <= 0) {
     options_.workspaces_per_shard = pool_->parallelism();
   }
   if (options_.segment_rows < 1) options_.segment_rows = 1;
+  options_.coalesce_max_rows = std::max(options_.coalesce_max_rows, 1);
+  options_.coalesce_flush_rows =
+      std::max(options_.coalesce_flush_rows, options_.coalesce_max_rows);
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const double share = options_.shedding.queue_share[static_cast<size_t>(p)];
+    queue_.SetLaneLimit(
+        p, static_cast<int>(share * options_.queue_capacity));
+  }
 }
 
 RankingService::~RankingService() {
@@ -75,7 +189,8 @@ RankingService::~RankingService() {
 }
 
 Result<std::shared_ptr<const RankingService::Shard>>
-RankingService::BuildShard(const core::PortableRpcModel& model) const {
+RankingService::BuildShard(const core::PortableRpcModel& model,
+                           const DatasetOptions& dataset) const {
   RPC_ASSIGN_OR_RETURN(core::RpcCurve curve, model.BuildCurve());
   // Deserialize enforces these for file-loaded models; an in-memory model
   // handed straight to RegisterDataset must meet the same contract, or the
@@ -96,6 +211,7 @@ RankingService::BuildShard(const core::PortableRpcModel& model) const {
   }
   auto shard = std::make_shared<Shard>(options_.workspaces_per_shard);
   shard->model = model;
+  shard->default_priority = dataset.default_priority;
   shard->curve = std::make_shared<const curve::BezierCurve>(curve.bezier());
   const int d = shard->curve->dimension();
   shard->slots.reserve(static_cast<size_t>(options_.workspaces_per_shard));
@@ -110,13 +226,15 @@ RankingService::BuildShard(const core::PortableRpcModel& model) const {
 }
 
 Status RankingService::RegisterDataset(const std::string& dataset_id,
-                                       const core::PortableRpcModel& model) {
+                                       const core::PortableRpcModel& model,
+                                       const DatasetOptions& dataset) {
   if (dataset_id.empty()) {
     return Status::InvalidArgument("RankingService: empty dataset id");
   }
   // Build the complete replacement outside the lock — registration cost
   // (curve validation, workspace binds) never stalls queries — then swap.
-  RPC_ASSIGN_OR_RETURN(std::shared_ptr<const Shard> shard, BuildShard(model));
+  RPC_ASSIGN_OR_RETURN(std::shared_ptr<const Shard> shard,
+                       BuildShard(model, dataset));
   registrations_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shards_mu_);
   shards_[dataset_id] = std::move(shard);
@@ -134,9 +252,10 @@ Result<std::uint64_t> RankingService::DatasetVersion(
 }
 
 Status RankingService::RegisterDatasetFromFile(const std::string& dataset_id,
-                                              const std::string& path) {
+                                               const std::string& path,
+                                               const DatasetOptions& dataset) {
   RPC_ASSIGN_OR_RETURN(core::PortableRpcModel model, core::LoadModel(path));
-  return RegisterDataset(dataset_id, model);
+  return RegisterDataset(dataset_id, model, dataset);
 }
 
 Status RankingService::EvictDataset(const std::string& dataset_id) {
@@ -171,17 +290,10 @@ std::shared_ptr<const RankingService::Shard> RankingService::FindShard(
   return it == shards_.end() ? nullptr : it->second;
 }
 
-void RankingService::RunOneSegment() const {
-  // By construction one Submit follows each successful queue push, so this
-  // Pop always finds the matching (not necessarily the same) segment.
-  std::optional<Segment> seg = queue_.Pop();
-  if (!seg.has_value()) return;  // closed and drained during shutdown
-
-  const Shard& shard = *seg->shard;
-  const std::optional<int> slot_index = shard.free_slots.Pop();
-  if (!slot_index.has_value()) return;  // unreachable: free_slots never closes
-  Shard::Slot& slot = *shard.slots[static_cast<size_t>(*slot_index)];
-
+bool RankingService::ScoreRows(const Shard& shard, int slot_index,
+                               const Matrix& rows, int begin, int end,
+                               double* scores_out, BatchState& state) const {
+  Shard::Slot& slot = *shard.slots[static_cast<size_t>(slot_index)];
   const Vector& mins = shard.model.mins;
   const Vector& maxs = shard.model.maxs;
   const int d = static_cast<int>(slot.normalized.size());
@@ -189,22 +301,223 @@ void RankingService::RunOneSegment() const {
   // arithmetic as data::Normalizer::Transform + ProjectionWorkspace::Project,
   // so served scores are bit-identical to RpcRanker::Score; and like the
   // fitting engine's batch loop it allocates nothing per row.
-  for (int i = seg->begin; i < seg->end; ++i) {
-    const double* raw = seg->rows->RowPtr(i);
+  for (int i = begin; i < end; ++i) {
+    if (i != begin && (i - begin) % kDeadlineCheckStride == 0 &&
+        state.ExpiredNow()) {
+      return false;  // caller gave up; stop burning pool time
+    }
+    const double* raw = rows.RowPtr(i);
     for (int j = 0; j < d; ++j) {
       slot.normalized[static_cast<size_t>(j)] =
           (raw[j] - mins[j]) / (maxs[j] - mins[j]);
     }
-    seg->scores_out[i] = slot.workspace.Project(slot.normalized.data()).s;
+    scores_out[i] = slot.workspace.Project(slot.normalized.data()).s;
   }
-
-  shard.free_slots.Push(*slot_index);
-  seg->state->Finish();
+  return true;
 }
 
-Result<RankedBatch> RankingService::ScoreBatchImpl(
-    const std::string& dataset_id, const Matrix& raw_rows,
-    bool blocking) const {
+void RankingService::RunGroup(const Segment& seg) const {
+  const Shard& shard = *seg.shard;
+  const std::optional<int> slot_index = shard.free_slots.Pop();
+  if (!slot_index.has_value()) return;  // unreachable: free_slots never closes
+  // One checkout for every rider — the amortisation coalescing exists for.
+  for (const CoalesceGroup::Entry& entry : seg.group->entries) {
+    BatchState& state = *entry.state;
+    if (state.ExpiredNow()) {
+      expired_segments_.fetch_add(1, std::memory_order_relaxed);
+      state.Finish();
+      continue;
+    }
+    if (!ScoreRows(shard, *slot_index, *entry.rows, 0, entry.n,
+                   entry.scores_out, state)) {
+      expired_segments_.fetch_add(1, std::memory_order_relaxed);
+    }
+    state.Finish();
+  }
+  shard.free_slots.Push(*slot_index);
+}
+
+void RankingService::RunOneSegment() const {
+  // By construction one Submit follows each successful queue push, so this
+  // Pop always finds the matching (not necessarily the same) segment.
+  std::optional<Segment> seg = queue_.Pop();
+  if (!seg.has_value()) return;  // closed and drained during shutdown
+
+  if (seg->group != nullptr) {
+    RunGroup(*seg);
+    return;
+  }
+
+  BatchState& state = *seg->state;
+  // Deadline re-check at dequeue: a segment that sat out its budget in the
+  // queue is accounted and dropped, not executed.
+  if (state.ExpiredNow()) {
+    expired_segments_.fetch_add(1, std::memory_order_relaxed);
+    state.Finish();
+    return;
+  }
+
+  const Shard& shard = *seg->shard;
+  const std::optional<int> slot_index = shard.free_slots.Pop();
+  if (!slot_index.has_value()) return;  // unreachable: free_slots never closes
+  const bool completed = ScoreRows(shard, *slot_index, *seg->rows, seg->begin,
+                                   seg->end, seg->scores_out, state);
+  shard.free_slots.Push(*slot_index);
+  if (!completed) expired_segments_.fetch_add(1, std::memory_order_relaxed);
+  state.Finish();
+}
+
+Status RankingService::AdmitSegmented(
+    const std::shared_ptr<const Shard>& shard, const Matrix& raw_rows,
+    double* scores_out, int lane, const QueryOptions& options,
+    BatchState& state, QueryTrace& trace) const {
+  const int n = raw_rows.rows();
+  const int segment_rows = options_.segment_rows;
+  const int num_segments = (n + segment_rows - 1) / segment_rows;
+  state.remaining = num_segments;
+  trace.segments = num_segments;
+
+  const bool blocking = options.admission == AdmissionPolicy::kBlock;
+  // Admit every segment before waiting; each successful push is paired
+  // with exactly one Submit so pushes and pops stay balanced.
+  for (int s = 0; s < num_segments; ++s) {
+    Segment seg;
+    seg.shard = shard;
+    seg.rows = &raw_rows;
+    seg.scores_out = scores_out;
+    seg.begin = s * segment_rows;
+    seg.end = std::min(n, seg.begin + segment_rows);
+    seg.state = &state;
+    const QueuePushResult pushed =
+        blocking ? queue_.PushUntil(std::move(seg), lane, options.deadline)
+                 : queue_.TryPush(std::move(seg), lane);
+    if (pushed != QueuePushResult::kOk) {
+      // Shed, shutdown or deadline: withdraw the segments not yet admitted
+      // and wait out the ones that were (they still reference the caller's
+      // rows and result memory).
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.remaining -= num_segments - s;
+      }
+      state.Wait();
+      switch (pushed) {
+        case QueuePushResult::kTimeout:
+          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+          return Status::DeadlineExceeded(
+              "RankingService: deadline expired while blocked on a full "
+              "admission queue");
+        case QueuePushResult::kClosed:
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          return Status::FailedPrecondition("RankingService: shutting down");
+        default:
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          shed_by_priority_[static_cast<size_t>(lane)].fetch_add(
+              1, std::memory_order_relaxed);
+          return Status::FailedPrecondition(
+              "RankingService: admission queue full");
+      }
+    }
+    segments_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this] { RunOneSegment(); });
+  }
+  state.admitted_ns.store(NowNs(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void RankingService::SealAndAdmitGroup(
+    const std::shared_ptr<const Shard>& shard,
+    const std::shared_ptr<CoalesceGroup>& group) const {
+  {
+    std::lock_guard<std::mutex> lock(shard->coalesce_mu);
+    group->sealed = true;
+    const bool shared_ride = group->entries.size() > 1;
+    for (const CoalesceGroup::Entry& entry : group->entries) {
+      entry.state->coalesced = shared_ride;
+    }
+  }
+  group->sealed_cv.notify_all();
+
+  Segment seg;
+  seg.shard = shard;
+  seg.group = group;
+  // Blocking, deadline-free admission: riders already paid their admission
+  // deadline check on entry, and an expired rider is dropped at dequeue.
+  const QueuePushResult pushed = queue_.Push(std::move(seg), group->lane);
+  if (pushed == QueuePushResult::kOk) {
+    const std::int64_t now_ns = NowNs();
+    for (const CoalesceGroup::Entry& entry : group->entries) {
+      entry.state->admitted_ns.store(now_ns, std::memory_order_relaxed);
+    }
+    segments_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this] { RunOneSegment(); });
+    return;
+  }
+  // kClosed (a blocking push only fails on shutdown): fail every rider.
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  for (const CoalesceGroup::Entry& entry : group->entries) {
+    entry.state->shutdown.store(true, std::memory_order_relaxed);
+    entry.state->Finish();
+  }
+}
+
+Status RankingService::AdmitCoalesced(const std::shared_ptr<const Shard>& shard,
+                                      const Matrix& raw_rows,
+                                      double* scores_out, int lane,
+                                      BatchState& state) const {
+  state.remaining = 1;
+  std::shared_ptr<CoalesceGroup> group;
+  bool leader = false;
+  bool sealer = false;
+  {
+    std::lock_guard<std::mutex> lock(shard->coalesce_mu);
+    if (shard->open_group == nullptr) {
+      group = std::make_shared<CoalesceGroup>();
+      group->flush_at = Clock::now() + options_.max_coalesce_delay;
+      group->lane = lane;
+      shard->open_group = group;
+      leader = true;
+    } else {
+      group = shard->open_group;
+      group->lane = std::min(group->lane, lane);
+    }
+    group->entries.push_back({&raw_rows, scores_out, raw_rows.rows(), &state});
+    group->total_rows += raw_rows.rows();
+    if (!leader && group->total_rows >= options_.coalesce_flush_rows) {
+      shard->open_group = nullptr;  // claim: this thread seals the group
+      sealer = true;
+    }
+  }
+  if (leader) {
+    // The leader donates its own latency budget (at most
+    // max_coalesce_delay) waiting for co-riders, then flushes whatever
+    // gathered. A rider that filled the group meanwhile seals it instead;
+    // clearing the shard's open slot under the mutex is the claim, so
+    // exactly one thread admits each group.
+    std::unique_lock<std::mutex> lock(shard->coalesce_mu);
+    group->sealed_cv.wait_until(lock, group->flush_at,
+                                [&] { return group->sealed; });
+    if (!group->sealed && shard->open_group == group) {
+      shard->open_group = nullptr;
+      sealer = true;
+    }
+  }
+  if (sealer) SealAndAdmitGroup(shard, group);
+  return Status::Ok();
+}
+
+Result<RankedBatch> RankingService::QueryImpl(const std::string& dataset_id,
+                                              const Matrix& raw_rows,
+                                              const QueryOptions& options) const {
+  const Clock::time_point start = Clock::now();
+  const bool has_deadline = options.deadline != Clock::time_point::max();
+  // Deadline check #1, at admission: an already-expired query never touches
+  // the queue (or even the shard map).
+  if (has_deadline && start >= options.deadline) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded(
+        "RankingService: deadline expired before admission");
+  }
+
   const std::shared_ptr<const Shard> shard = FindShard(dataset_id);
   if (shard == nullptr) {
     return Status::NotFound(
@@ -223,44 +536,53 @@ Result<RankedBatch> RankingService::ScoreBatchImpl(
   batch.scores = Vector(n);
   if (n == 0) return batch;
 
-  const int segment_rows = options_.segment_rows;
-  const int num_segments = (n + segment_rows - 1) / segment_rows;
+  const int lane =
+      static_cast<int>(options.priority.value_or(shard->default_priority));
 
   BatchState state;
-  state.remaining = num_segments;
-  // Admit every segment before waiting; each successful push is paired
-  // with exactly one Submit so pushes and pops stay balanced.
-  for (int s = 0; s < num_segments; ++s) {
-    Segment seg;
-    seg.shard = shard;
-    seg.rows = &raw_rows;
-    seg.scores_out = batch.scores.data().data();
-    seg.begin = s * segment_rows;
-    seg.end = std::min(n, seg.begin + segment_rows);
-    seg.state = &state;
-    bool admitted;
-    if (blocking) {
-      admitted = queue_.Push(std::move(seg));
-    } else {
-      admitted = queue_.TryPush(std::move(seg));
-    }
-    if (!admitted) {
-      // Non-blocking rejection (or shutdown): withdraw the segments not yet
-      // admitted and wait out the ones that were.
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::lock_guard<std::mutex> lock(state.mu);
-        state.remaining -= num_segments - s;
-      }
-      state.Wait();
-      return Status::FailedPrecondition(
-          blocking ? "RankingService: shutting down"
-                   : "RankingService: admission queue full");
-    }
-    segments_.fetch_add(1, std::memory_order_relaxed);
-    pool_->Submit([this] { RunOneSegment(); });
+  state.deadline = options.deadline;
+  state.has_deadline = has_deadline;
+
+  double* scores_out = batch.scores.data().data();
+  // Small blocking queries ride a shared group when coalescing is on;
+  // kReject queries never coalesce (a group is admitted as one blocking
+  // push, which cannot honour per-rider rejection).
+  const bool coalesce = options_.max_coalesce_delay.count() > 0 &&
+                        options.allow_coalesce &&
+                        options.admission == AdmissionPolicy::kBlock &&
+                        n <= options_.coalesce_max_rows;
+  if (coalesce) {
+    batch.trace.segments = 1;
+    RPC_RETURN_IF_ERROR(
+        AdmitCoalesced(shard, raw_rows, scores_out, lane, state));
+  } else {
+    RPC_RETURN_IF_ERROR(AdmitSegmented(shard, raw_rows, scores_out, lane,
+                                       options, state, batch.trace));
   }
   state.Wait();
+
+  if (state.shutdown.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("RankingService: shutting down");
+  }
+  if (state.expired.load(std::memory_order_relaxed)) {
+    // Deadline checks #2 (dequeue) and #3 (between rows) funnel here: some
+    // worker observed the deadline pass before the result was complete.
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded(
+        "RankingService: deadline expired during execution");
+  }
+
+  const Clock::time_point done = Clock::now();
+  const std::int64_t admitted_ns =
+      state.admitted_ns.load(std::memory_order_relaxed);
+  Clock::time_point admitted =
+      admitted_ns > 0
+          ? Clock::time_point(std::chrono::nanoseconds(admitted_ns))
+          : start;
+  admitted = std::clamp(admitted, start, done);
+  batch.trace.admission_wait = admitted - start;
+  batch.trace.execution_time = done - admitted;
+  batch.trace.coalesced = state.coalesced;
 
   // Ranks within the batch, with RankingList's deterministic tie-break.
   const rank::RankingList list(batch.scores, /*higher_is_better=*/true);
@@ -271,17 +593,34 @@ Result<RankedBatch> RankingService::ScoreBatchImpl(
 
   queries_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(n, std::memory_order_relaxed);
+  if (state.coalesced) {
+    coalesced_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RecordLatency(done - start);
   return batch;
+}
+
+void RankingService::RecordLatency(std::chrono::nanoseconds total) const {
+  latency_buckets_[static_cast<size_t>(LatencyHistogram::BucketFor(total))]
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<RankedBatch> RankingService::Query(const std::string& dataset_id,
+                                          const Matrix& raw_rows,
+                                          const QueryOptions& options) const {
+  return QueryImpl(dataset_id, raw_rows, options);
 }
 
 Result<RankedBatch> RankingService::ScoreBatch(const std::string& dataset_id,
                                                const Matrix& raw_rows) const {
-  return ScoreBatchImpl(dataset_id, raw_rows, /*blocking=*/true);
+  return Query(dataset_id, raw_rows, QueryOptions());
 }
 
 Result<RankedBatch> RankingService::TryScoreBatch(
     const std::string& dataset_id, const Matrix& raw_rows) const {
-  return ScoreBatchImpl(dataset_id, raw_rows, /*blocking=*/false);
+  QueryOptions options;
+  options.admission = AdmissionPolicy::kReject;
+  return Query(dataset_id, raw_rows, options);
 }
 
 ServiceStats RankingService::stats() const {
@@ -291,6 +630,19 @@ ServiceStats RankingService::stats() const {
   stats.segments = segments_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.registrations = registrations_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.expired_segments = expired_segments_.load(std::memory_order_relaxed);
+  stats.coalesced_queries = coalesced_queries_.load(std::memory_order_relaxed);
+  for (int p = 0; p < kNumPriorities; ++p) {
+    stats.shed_by_priority[static_cast<size_t>(p)] =
+        shed_by_priority_[static_cast<size_t>(p)].load(
+            std::memory_order_relaxed);
+  }
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    stats.latency.buckets[static_cast<size_t>(b)] =
+        latency_buckets_[static_cast<size_t>(b)].load(
+            std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(shards_mu_);
     stats.datasets = static_cast<int>(shards_.size());

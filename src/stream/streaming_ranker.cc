@@ -193,7 +193,8 @@ Status StreamingRanker::Start(const Matrix& initial_rows,
   }
   Status published = Status::Ok();
   if (service_ != nullptr) {
-    published = service_->RegisterDataset(dataset_id_, portable);
+    published =
+        service_->RegisterDataset(dataset_id_, portable, options_.serving);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -583,7 +584,8 @@ Status StreamingRanker::RunRefresh(RefreshJob* job) {
   // serving tier in order (at most one refresh exists at a time).
   Status published = Status::Ok();
   if (service_ != nullptr) {
-    published = service_->RegisterDataset(dataset_id_, portable);
+    published =
+        service_->RegisterDataset(dataset_id_, portable, options_.serving);
   }
   std::shared_ptr<RefreshJob> chained;
   {
@@ -732,7 +734,8 @@ Status StreamingRanker::RunColdRefit(ColdJob* job) {
   if (durable) ScheduleLogFlush();
   Status published = Status::Ok();
   if (service_ != nullptr) {
-    published = service_->RegisterDataset(dataset_id_, portable);
+    published =
+        service_->RegisterDataset(dataset_id_, portable, options_.serving);
   }
   std::shared_ptr<RefreshJob> chained;
   {
@@ -1105,8 +1108,8 @@ Status StreamingRanker::RecoverImpl(bool as_follower) {
     }
     Status follower_published = Status::Ok();
     if (service_ != nullptr) {
-      follower_published =
-          service_->RegisterDataset(dataset_id_, follower_model);
+      follower_published = service_->RegisterDataset(
+          dataset_id_, follower_model, options_.serving);
     }
     if (!follower_published.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -1147,7 +1150,8 @@ Status StreamingRanker::RecoverImpl(bool as_follower) {
   // resume against exactly the version that was being served pre-crash.
   Status published = Status::Ok();
   if (service_ != nullptr) {
-    published = service_->RegisterDataset(dataset_id_, portable);
+    published =
+        service_->RegisterDataset(dataset_id_, portable, options_.serving);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -1184,7 +1188,8 @@ Status StreamingRanker::FollowerInstallSnapshot(
   }
   Status published = Status::Ok();
   if (service_ != nullptr) {
-    published = service_->RegisterDataset(dataset_id_, portable);
+    published =
+        service_->RegisterDataset(dataset_id_, portable, options_.serving);
   }
   if (!published.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -1224,7 +1229,8 @@ Status StreamingRanker::ApplyFollowerRecord(
   // in the event order.
   Status published = Status::Ok();
   if (republish && service_ != nullptr) {
-    published = service_->RegisterDataset(dataset_id_, portable);
+    published =
+        service_->RegisterDataset(dataset_id_, portable, options_.serving);
     if (!published.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       ++publish_failures_;
@@ -1278,7 +1284,8 @@ Status StreamingRanker::PromoteToPrimary() {
   }
   Status published = Status::Ok();
   if (service_ != nullptr) {
-    published = service_->RegisterDataset(dataset_id_, portable);
+    published =
+        service_->RegisterDataset(dataset_id_, portable, options_.serving);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -119,6 +119,11 @@ struct StreamingRankerOptions {
   /// everything inline in Append (fully serial mode). With more than 2,
   /// events can apply out of arrival order under load.
   int num_threads = 2;
+  /// Serving policy attached to every model version this ranker publishes:
+  /// queries on the dataset that do not set QueryOptions::priority are
+  /// admitted under this class. Streamed datasets default to interactive —
+  /// they exist to be served live.
+  serve::DatasetOptions serving;
   DriftPolicy drift;
   DurabilityOptions durability;
 };

@@ -334,5 +334,159 @@ TEST(BoundedQueueTest, ConcurrentCloseAndDrainCallsAllUnblock) {
   consumer.join();
 }
 
+// --------------------------------------------------------------------------
+// PriorityBoundedQueue: the QoS admission queue of the serving tier.
+
+TEST(PriorityBoundedQueueTest, PopServesLowerLanesFirstFifoWithinLane) {
+  PriorityBoundedQueue<int> queue(8, 3);
+  EXPECT_EQ(queue.TryPush(20, 2), QueuePushResult::kOk);
+  EXPECT_EQ(queue.TryPush(10, 1), QueuePushResult::kOk);
+  EXPECT_EQ(queue.TryPush(0, 0), QueuePushResult::kOk);
+  EXPECT_EQ(queue.TryPush(1, 0), QueuePushResult::kOk);
+  EXPECT_EQ(queue.TryPush(11, 1), QueuePushResult::kOk);
+  EXPECT_EQ(queue.size(), 5);
+  // Lane 0 first (FIFO inside), then lane 1, then lane 2 — regardless of
+  // arrival order across lanes.
+  for (const int expected : {0, 1, 10, 11, 20}) {
+    const auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, expected);
+  }
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(PriorityBoundedQueueTest, LaneLimitsShedDeepLanesFirst) {
+  PriorityBoundedQueue<int> queue(4, 3);
+  queue.SetLaneLimit(1, 3);
+  queue.SetLaneLimit(2, 2);
+  // Fill to occupancy 2 from the deepest lane: lane 2 is now at its
+  // watermark while the shallower lanes still admit.
+  EXPECT_EQ(queue.TryPush(0, 2), QueuePushResult::kOk);
+  EXPECT_EQ(queue.TryPush(1, 2), QueuePushResult::kOk);
+  EXPECT_EQ(queue.TryPush(2, 2), QueuePushResult::kFull);
+  EXPECT_EQ(queue.TryPush(3, 1), QueuePushResult::kOk);  // occupancy 3
+  EXPECT_EQ(queue.TryPush(4, 1), QueuePushResult::kFull);
+  EXPECT_EQ(queue.TryPush(5, 0), QueuePushResult::kOk);  // occupancy 4
+  EXPECT_EQ(queue.TryPush(6, 0), QueuePushResult::kFull);  // truly full
+  EXPECT_EQ(queue.size(), 4);
+  // Draining one slot re-admits lane 0 but lanes 1/2 stay over watermark.
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_EQ(queue.TryPush(7, 2), QueuePushResult::kFull);
+  EXPECT_EQ(queue.TryPush(8, 0), QueuePushResult::kOk);
+}
+
+TEST(PriorityBoundedQueueTest, SetLaneLimitClampsIntoCapacity) {
+  PriorityBoundedQueue<int> queue(4, 2);
+  queue.SetLaneLimit(1, 0);  // clamped up to 1: a lane can never be mute
+  EXPECT_EQ(queue.lane_limit(1), 1);
+  queue.SetLaneLimit(1, 99);  // clamped down to capacity
+  EXPECT_EQ(queue.lane_limit(1), 4);
+}
+
+TEST(PriorityBoundedQueueTest, PushUntilTimesOutOnAFullQueue) {
+  PriorityBoundedQueue<int> queue(1, 2);
+  ASSERT_EQ(queue.TryPush(0, 0), QueuePushResult::kOk);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.PushUntil(1, 0,
+                            start + std::chrono::milliseconds(20)),
+            QueuePushResult::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(20));
+  // Room frees up: the same push is admitted.
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_EQ(queue.Push(1, 0), QueuePushResult::kOk);
+}
+
+TEST(PriorityBoundedQueueTest, BlockedPushAdmittedWhenSpaceFrees) {
+  PriorityBoundedQueue<int> queue(1, 2);
+  ASSERT_EQ(queue.TryPush(0, 0), QueuePushResult::kOk);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(1, 1), QueuePushResult::kOk);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_TRUE(queue.Pop().has_value());
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 1);
+}
+
+TEST(PriorityBoundedQueueTest, CloseDrainsQueuedItemsThenNullopt) {
+  PriorityBoundedQueue<int> queue(4, 2);
+  ASSERT_EQ(queue.TryPush(1, 1), QueuePushResult::kOk);
+  ASSERT_EQ(queue.TryPush(0, 0), QueuePushResult::kOk);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(2, 0), QueuePushResult::kClosed);
+  EXPECT_EQ(queue.Push(3, 0), QueuePushResult::kClosed);
+  EXPECT_EQ(queue.PushUntil(4, 0, std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(5)),
+            QueuePushResult::kClosed);
+  EXPECT_EQ(queue.Pop(), std::optional<int>(0));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(PriorityBoundedQueueTest, CloseUnblocksWaitingProducersAndConsumers) {
+  PriorityBoundedQueue<int> queue(1, 2);
+  ASSERT_EQ(queue.TryPush(0, 0), QueuePushResult::kOk);
+  std::thread producer([&] {
+    // Blocks on the full queue until Close — nobody pops before then, so
+    // the push can only fail with kClosed.
+    EXPECT_EQ(queue.Push(1, 0), QueuePushResult::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  producer.join();
+  std::thread consumer([&] {
+    EXPECT_TRUE(queue.Pop().has_value());   // the queued item drains
+    EXPECT_FALSE(queue.Pop().has_value());  // then closed-and-drained
+  });
+  consumer.join();
+}
+
+TEST(PriorityBoundedQueueTest, PeakSizeTracksHighWaterMark) {
+  PriorityBoundedQueue<int> queue(8, 2);
+  EXPECT_EQ(queue.peak_size(), 0);
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(queue.TryPush(i, 1), QueuePushResult::kOk);
+  while (queue.TryPop().has_value()) {
+  }
+  EXPECT_EQ(queue.size(), 0);
+  EXPECT_EQ(queue.peak_size(), 5);  // survives the drain
+}
+
+TEST(PriorityBoundedQueueTest, ConcurrentMixedLanePushPopLosesNothing) {
+  PriorityBoundedQueue<int> queue(8, 3);
+  constexpr int kPerLane = 200;
+  std::atomic<std::int64_t> popped_sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> producers;
+  for (int lane = 0; lane < 3; ++lane) {
+    producers.emplace_back([&, lane] {
+      for (int i = 0; i < kPerLane; ++i) {
+        ASSERT_EQ(queue.Push(lane * kPerLane + i, lane), QueuePushResult::kOk);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto item = queue.Pop();
+        if (!item.has_value()) return;
+        ++popped;
+        popped_sum += *item;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), 3 * kPerLane);
+  const std::int64_t n = 3 * kPerLane;
+  EXPECT_EQ(popped_sum.load(), n * (n - 1) / 2);
+}
+
 }  // namespace
 }  // namespace rpc

@@ -1,8 +1,9 @@
 // model_io round-trip through the serving path: fit -> ToPortableModel ->
-// SaveModel -> RegisterDatasetFromFile -> ScoreBatch must reproduce the
+// SaveModel -> RegisterDatasetFromFile -> Query must reproduce the
 // in-process RpcRanker bit for bit (the text format stores %.17g, which is
 // exact for doubles, and the serving hot loop runs the same normalise +
 // project arithmetic as RpcRanker::Score).
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -41,9 +42,15 @@ TEST(ServingRoundTripTest, ServedScoresBitIdenticalToRpcRanker) {
     RankingService service(options);
     ASSERT_TRUE(service.RegisterDatasetFromFile("countries", path).ok());
 
-    const auto batch = service.ScoreBatch("countries", rows);
+    // Route through the unified Query entry point with a generous deadline:
+    // QoS bookkeeping must never perturb the arithmetic.
+    QueryOptions qopts;
+    qopts.deadline = QueryDeadline(std::chrono::minutes(5));
+    qopts.priority = QueryPriority::kInteractive;
+    const auto batch = service.Query("countries", rows, qopts);
     ASSERT_TRUE(batch.ok()) << batch.status().ToString();
     ASSERT_EQ(batch->scores.size(), expected.size());
+    EXPECT_GE(batch->trace.segments, 1);
     for (int i = 0; i < expected.size(); ++i) {
       // EXPECT_EQ, not NEAR: the whole point is bit-identity.
       EXPECT_EQ(batch->scores[i], expected[i])

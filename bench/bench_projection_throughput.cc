@@ -29,6 +29,7 @@
 #include "common/thread_pool.h"
 #include "core/rpc_learner.h"
 #include "curve/bernstein.h"
+#include "curve/simd_backend.h"
 #include "data/generators.h"
 #include "data/normalizer.h"
 #include "linalg/matrix.h"
@@ -173,14 +174,19 @@ double MeasureRowsPerSec(int n, double min_seconds,
   return static_cast<double>(n) * passes / elapsed;
 }
 
+// `extra` is appended verbatim (",\"key\":value" pairs) — the per-variant
+// fields: the SIMD backend that ran the row (informational, ignored by the
+// gate's row matching so baselines stay machine-portable), the curve count
+// of the batch-of-curves rows, speedup_vs_separate.
 void EmitJson(std::FILE* sink, const std::string& variant, int n, int d,
-              int threads, double rows_per_sec, double speedup) {
+              int threads, double rows_per_sec, double speedup,
+              const std::string& extra = std::string()) {
   const std::string line = std::string("{\"bench\":\"projection_throughput\"") +
       ",\"method\":\"gss\",\"variant\":\"" + variant +
       "\",\"n\":" + std::to_string(n) + ",\"d\":" + std::to_string(d) +
       ",\"threads\":" + std::to_string(threads) +
       ",\"rows_per_sec\":" + std::to_string(rows_per_sec) +
-      ",\"speedup_vs_seed\":" + std::to_string(speedup) + "}";
+      ",\"speedup_vs_seed\":" + std::to_string(speedup) + extra + "}";
   std::printf("%s\n", line.c_str());
   if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
 }
@@ -348,9 +354,14 @@ int main(int argc, char** argv) {
                                 : "BENCH_projection_throughput.json";
   std::FILE* sink = std::fopen(sink_path, "w");
 
+  const rpc::curve::SimdBackendKind active_backend =
+      rpc::curve::ActiveSimdKind();
+  const std::string backend_extra =
+      std::string(",\"backend\":\"") + rpc::curve::BackendName() + "\"";
+
   std::printf("# projection throughput (GSS, grid=32); %d hardware "
-              "thread(s); JSON also in %s\n",
-              hw_threads, sink_path);
+              "thread(s); SIMD backend %s; JSON also in %s\n",
+              hw_threads, rpc::curve::BackendName(), sink_path);
   for (int d : ds) {
     const BezierCurve curve = RandomMonotoneCubic(d, 1000 + d);
     for (int n : ns) {
@@ -377,7 +388,21 @@ int main(int argc, char** argv) {
         (void)scores;
       });
       EmitJson(sink, "engine_serial", n, d, 1, engine1_rps,
-               engine1_rps / seed_rps);
+               engine1_rps / seed_rps, backend_extra);
+
+      // Same single-thread sweep with the dispatcher pinned to the scalar
+      // backend: the vector backends' value is exactly the gap between
+      // this row and engine_serial on the same machine.
+      rpc::curve::SetSimdBackend(rpc::curve::SimdBackendKind::kScalar);
+      const double scalar_rps = MeasureRowsPerSec(n, min_seconds, [&] {
+        double total = 0.0;
+        const Vector scores =
+            rpc::opt::ProjectRowsBatch(curve, data, options, nullptr, &total);
+        (void)scores;
+      });
+      rpc::curve::SetSimdBackend(active_backend);
+      EmitJson(sink, "engine_serial_scalar", n, d, 1, scalar_rps,
+               scalar_rps / seed_rps, ",\"backend\":\"scalar\"");
 
       const double engineN_rps = MeasureRowsPerSec(n, min_seconds, [&] {
         double total = 0.0;
@@ -386,7 +411,51 @@ int main(int argc, char** argv) {
         (void)scores;
       });
       EmitJson(sink, "engine_parallel", n, d, hw_threads, engineN_rps,
-               engineN_rps / seed_rps);
+               engineN_rps / seed_rps, backend_extra);
+
+      // Batch-of-curves rows, once per d at the largest n: M model
+      // candidates scored over one dataset (the model-selection / A-B
+      // serving shape). rows_per_sec counts row-projections (n * curves
+      // per pass); "separate" runs the single-curve batch per curve,
+      // "batch" packs each SoA tile once and scores all curves from it.
+      if (n == ns.back()) {
+        constexpr int kCurves = 4;
+        std::vector<BezierCurve> owned;
+        owned.reserve(kCurves);
+        for (int c = 0; c < kCurves; ++c) {
+          owned.push_back(RandomMonotoneCubic(d, 3000 + 16 * d + c));
+        }
+        std::vector<const BezierCurve*> curves;
+        for (const BezierCurve& c : owned) curves.push_back(&c);
+        const std::string curves_extra = ",\"curves\":" +
+                                         std::to_string(kCurves);
+
+        const double separate_rps =
+            MeasureRowsPerSec(n * kCurves, min_seconds, [&] {
+              for (const BezierCurve* c : curves) {
+                double total = 0.0;
+                const Vector scores = rpc::opt::ProjectRowsBatch(
+                    *c, data, options, nullptr, &total);
+                (void)scores;
+              }
+            });
+        EmitJson(sink, "multi_curve_separate", n, d, 1, separate_rps,
+                 separate_rps / seed_rps, curves_extra + backend_extra);
+
+        const double batch_rps =
+            MeasureRowsPerSec(n * kCurves, min_seconds, [&] {
+              std::vector<double> totals;
+              const std::vector<Vector> scores =
+                  rpc::opt::ProjectRowsBatchMultiCurve(curves, data, options,
+                                                       nullptr, &totals);
+              (void)scores;
+            });
+        EmitJson(sink, "multi_curve_batch", n, d, 1, batch_rps,
+                 batch_rps / seed_rps,
+                 curves_extra + ",\"speedup_vs_separate\":" +
+                     std::to_string(batch_rps / separate_rps) +
+                     backend_extra);
+      }
     }
   }
   if (sink != nullptr) std::fclose(sink);

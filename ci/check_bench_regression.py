@@ -19,7 +19,14 @@ but never gated. The threshold is deliberately loose (default: fail below
 baseline machine differ; the gate exists to catch real algorithmic
 regressions, not scheduling noise.
 
-Exit codes: 0 ok (or nothing to compare), 1 regression, 2 usage/IO error.
+The gate also checks baseline coverage: every row *shape* in the baseline
+(its descriptive identity — bench/variant/method/priority, size fields
+dropped) must appear in the quick run. A bench that silently stops
+emitting a variant would otherwise pass forever on the rows it no longer
+measures.
+
+Exit codes: 0 ok (or nothing to compare), 1 regression or lost coverage,
+2 usage/IO error.
 """
 
 import argparse
@@ -34,6 +41,11 @@ METRIC_FIELDS = {
     "speedup_vs_seed",
     "speedup_vs_full",
     "speedup_vs_dense",
+    "speedup_vs_separate",
+    # Informational, not measured — but machine-dependent (the SIMD backend
+    # the dispatcher picked), so it must not take part in row matching or a
+    # baseline recorded on an AVX-512 box would never match an AVX2 runner.
+    "backend",
     "seconds",
     "projection_seconds",
     "update_seconds",
@@ -68,6 +80,15 @@ METRIC_FIELDS = {
 # Metrics the gate checks, in preference order (gate on the first present).
 GATED_METRICS = ("rows_per_sec", "queries_per_sec")
 
+# A row's *shape* keeps only the descriptive identity fields — which bench,
+# which variant, which algorithm/class — and drops every size/scale field
+# (n, d, threads, batch, shards, initial_rows, ...): quick runs shrink
+# those freely and runners vary in core count, so coverage is checked per
+# variant shape, not per exact configuration. A keep-list, not an
+# exclude-list, so benches can grow new size knobs without breaking the
+# coverage check.
+SHAPE_FIELDS = ("bench", "variant", "method", "priority")
+
 
 def load_rows(path):
     rows = []
@@ -93,6 +114,10 @@ def identity(row):
                         if k not in METRIC_FIELDS))
 
 
+def shape(row):
+    return tuple((k, row[k]) for k in SHAPE_FIELDS if k in row)
+
+
 def is_single_thread(row):
     return row.get("threads") == 1 and row.get("callers", 1) == 1
 
@@ -114,9 +139,25 @@ def main(argv):
     quick_path, baseline_path = options.quick, options.baseline
 
     quick_rows = load_rows(quick_path)
+    baseline_rows = load_rows(baseline_path)
     baselines = {}
-    for row in load_rows(baseline_path):
+    for row in baseline_rows:
         baselines[identity(row)] = row
+
+    # Coverage: a baseline shape the quick run no longer emits means a
+    # variant was renamed or dropped without refreshing the baseline — the
+    # gate would silently stop measuring it.
+    quick_shapes = {shape(row) for row in quick_rows}
+    missing_shapes = sorted(
+        {shape(row) for row in baseline_rows} - quick_shapes)
+    if missing_shapes:
+        print(f"COVERAGE: {len(missing_shapes)} baseline row shape(s) "
+              f"missing from {quick_path}:")
+        for missing in missing_shapes:
+            print("  " + " ".join(f"{k}={v}" for k, v in missing))
+        print("(rename/drop of a bench variant must refresh "
+              f"{baseline_path} in the same change)")
+        return 1
 
     failures = []
     compared = 0

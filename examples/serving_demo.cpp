@@ -18,6 +18,7 @@
 
 #include "core/model_io.h"
 #include "core/rpc_ranker.h"
+#include "curve/simd_backend.h"
 #include "data/generators.h"
 #include "serve/ranking_service.h"
 
@@ -92,8 +93,14 @@ int main() {
       return 1;
     }
   }
-  std::printf("  %d shard(s) resident, pool parallelism %d\n",
-              service.stats().datasets, service.parallelism());
+  // Which projection kernels this deployment runs (scalar / avx2 / avx512 /
+  // neon — auto-detected, RPC_SIMD_BACKEND overrides; see docs/simd.md).
+  // Every backend is bit-identical, so this line is diagnostic, not a
+  // correctness concern.
+  std::printf("  %d shard(s) resident, pool parallelism %d, "
+              "simd backend %s\n",
+              service.stats().datasets, service.parallelism(),
+              rpc::curve::BackendName());
 
   std::printf("== 4. query by dataset id ==\n");
   int mismatches = 0;

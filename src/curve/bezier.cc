@@ -5,6 +5,14 @@
 #include <cmath>
 
 #include "curve/bernstein.h"
+#include "curve/simd_backend.h"
+#include "curve/simd_backend_ref.h"
+
+namespace {
+// Dimension at which the per-point path switches from the inlined scalar
+// reference to the active backend's vector kernel (see SquaredDistance).
+constexpr int kSimdPerPointDim = 16;
+}  // namespace
 
 namespace rpc::curve {
 
@@ -229,19 +237,24 @@ std::vector<std::vector<double>> BezierCurve::CoordinateExtrema(
 
 void BezierEvalWorkspace::Bind(const BezierCurve& curve) {
   curve_ = &curve;
+  simd_ = &ActiveSimd();
   k_ = curve.degree();
   d_ = curve.dimension();
   horner_ = (k_ == 3);
   value_.resize(static_cast<size_t>(d_));
+  power_.resize(static_cast<size_t>(k_ + 1) * static_cast<size_t>(d_));
+  dpower_.resize(static_cast<size_t>(std::max(k_, 1)) *
+                 static_cast<size_t>(d_));
+  const Matrix& p = curve.control_points();
   if (horner_) {
     // Power basis of the cubic: a_0 = p0, a_1 = 3(p1 - p0),
     // a_2 = 3(p0 - 2 p1 + p2), a_3 = -p0 + 3 p1 - 3 p2 + p3; f' then has
     // ascending coefficients a_1, 2 a_2, 3 a_3. Stored coefficient-major
     // (all a_0 first, then all a_1, ...) so the Horner loops below read
-    // four stride-1 streams — the layout the autovectoriser wants.
-    power_.resize(static_cast<size_t>(d_) * 4);
-    dpower_.resize(static_cast<size_t>(d_) * 3);
-    const Matrix& p = curve.control_points();
+    // four stride-1 streams — the layout the autovectoriser wants. These
+    // expressions are deliberately kept distinct from the general
+    // conversion below (3.0 * (p1 - p0) and 3 * p1 - 3 * p0 differ in
+    // ulps): cubic results must not move when the general path changes.
     double* a0 = power_.data();
     double* a1 = a0 + d_;
     double* a2 = a1 + d_;
@@ -262,9 +275,31 @@ void BezierEvalWorkspace::Bind(const BezierCurve& curve) {
       b1[i] = 2.0 * a2[i];
       b2[i] = 3.0 * a3[i];
     }
-  } else {
-    casteljau_.resize(static_cast<size_t>(k_ + 1) * static_cast<size_t>(d_));
-    bern_.resize(static_cast<size_t>(std::max(k_, 1)));
+    return;
+  }
+  // General degree: a_j = C(k,j) sum_{i<=j} (-1)^(j-i) C(j,i) p_i (the
+  // PowerBasisCoefficientsInto formula) in the same coefficient-major
+  // layout, so every degree rides the same Horner loops — and, in the
+  // batch engine, the same vector kernels — as the cubic fast path.
+  std::fill(power_.begin(), power_.end(), 0.0);
+  for (int j = 0; j <= k_; ++j) {
+    double* aj = power_.data() + static_cast<size_t>(j) * d_;
+    const double ckj = static_cast<double>(Binomial(k_, j));
+    for (int i = 0; i <= j; ++i) {
+      const double sign = ((j - i) % 2 == 0) ? 1.0 : -1.0;
+      const double w = ckj * sign * static_cast<double>(Binomial(j, i));
+      for (int dim = 0; dim < d_; ++dim) aj[dim] += w * p(dim, i);
+    }
+  }
+  // f' coefficients b_j = (j + 1) a_{j+1}; a degree-0 curve keeps the
+  // single zero lane so Derivative stays branch-free.
+  std::fill(dpower_.begin(), dpower_.end(), 0.0);
+  for (int j = 0; j < k_; ++j) {
+    const double* aj1 = power_.data() + static_cast<size_t>(j + 1) * d_;
+    double* bj = dpower_.data() + static_cast<size_t>(j) * d_;
+    for (int dim = 0; dim < d_; ++dim) {
+      bj[dim] = static_cast<double>(j + 1) * aj1[dim];
+    }
   }
 }
 
@@ -290,27 +325,17 @@ void BezierEvalWorkspace::Evaluate(double s, double* out) {
     }
     return;
   }
-  EvaluateGeneral(s, out);
-}
-
-void BezierEvalWorkspace::EvaluateGeneral(double s, double* out) {
-  // de Casteljau in the preallocated triangle scratch, level r at
-  // casteljau_[r * d .. r * d + d).
-  const Matrix& p = curve_->control_points();
-  for (int r = 0; r <= k_; ++r) {
-    double* row = casteljau_.data() + static_cast<size_t>(r) * d_;
-    for (int i = 0; i < d_; ++i) row[i] = p(i, r);
+  // General-degree Horner, one descending coefficient pass per level. The
+  // per-coordinate operation sequence (start at a_k, then acc = acc * s +
+  // a_j) is exactly the sequence SquaredDistanceGeneralInterior runs
+  // inline, so a precomputed f (the batch kernels' shared grid values) is
+  // bit-identical to the per-point path.
+  const double* ak = power_.data() + static_cast<size_t>(k_) * d_;
+  for (int i = 0; i < d_; ++i) out[i] = ak[i];
+  for (int j = k_ - 1; j >= 0; --j) {
+    const double* aj = power_.data() + static_cast<size_t>(j) * d_;
+    for (int i = 0; i < d_; ++i) out[i] = out[i] * s + aj[i];
   }
-  for (int level = k_; level >= 1; --level) {
-    for (int r = 0; r < level; ++r) {
-      double* lo = casteljau_.data() + static_cast<size_t>(r) * d_;
-      const double* hi = lo + d_;
-      for (int i = 0; i < d_; ++i) {
-        lo[i] = (1.0 - s) * lo[i] + s * hi[i];
-      }
-    }
-  }
-  for (int i = 0; i < d_; ++i) out[i] = casteljau_[static_cast<size_t>(i)];
 }
 
 void BezierEvalWorkspace::Derivative(double s, double* out) {
@@ -328,71 +353,75 @@ void BezierEvalWorkspace::Derivative(double s, double* out) {
     }
     return;
   }
-  // Degree k-1 Bernstein basis by the triangular recurrence, then the
-  // forward-difference sum of Eq. 17 — same arithmetic as
-  // BezierCurve::Derivative in the seed, minus the allocations.
-  bern_[0] = 1.0;
-  const double u = 1.0 - s;
-  for (int j = 1; j <= k_ - 1; ++j) {
-    double saved = 0.0;
-    for (int r = 0; r < j; ++r) {
-      const double tmp = bern_[static_cast<size_t>(r)];
-      bern_[static_cast<size_t>(r)] = saved + u * tmp;
-      saved = s * tmp;
-    }
-    bern_[static_cast<size_t>(j)] = saved;
-  }
-  for (int i = 0; i < d_; ++i) out[i] = 0.0;
-  const Matrix& p = curve_->control_points();
-  for (int j = 0; j < k_; ++j) {
-    const double w = k_ * bern_[static_cast<size_t>(j)];
-    for (int i = 0; i < d_; ++i) {
-      out[i] += w * (p(i, j + 1) - p(i, j));
-    }
+  // General-degree Horner over the k derivative coefficient lanes.
+  const double* bk = dpower_.data() + static_cast<size_t>(k_ - 1) * d_;
+  for (int i = 0; i < d_; ++i) out[i] = bk[i];
+  for (int j = k_ - 2; j >= 0; --j) {
+    const double* bj = dpower_.data() + static_cast<size_t>(j) * d_;
+    for (int i = 0; i < d_; ++i) out[i] = out[i] * s + bj[i];
   }
 }
 
 double BezierEvalWorkspace::SquaredDistance(const double* x, double s) {
   assert(bound());
-  if (horner_ && s != 0.0 && s != 1.0) {
-    // Fused Horner + residual + reduction: five stride-1 input streams and
-    // four independent accumulators, so the projection hot loop both skips
-    // the value_ round-trip and autovectorises (a single running sum would
-    // serialise on the floating-point add chain). The lane sums combine in
-    // a fixed order, so results are identical across thread counts.
-    const double* __restrict a0 = power_.data();
-    const double* __restrict a1 = a0 + d_;
-    const double* __restrict a2 = a1 + d_;
-    const double* __restrict a3 = a2 + d_;
-    double lane0 = 0.0;
-    double lane1 = 0.0;
-    double lane2 = 0.0;
-    double lane3 = 0.0;
-    int i = 0;
-    for (; i + 4 <= d_; i += 4) {
-      const double f0 = ((a3[i] * s + a2[i]) * s + a1[i]) * s + a0[i];
-      const double f1 =
-          ((a3[i + 1] * s + a2[i + 1]) * s + a1[i + 1]) * s + a0[i + 1];
-      const double f2 =
-          ((a3[i + 2] * s + a2[i + 2]) * s + a1[i + 2]) * s + a0[i + 2];
-      const double f3 =
-          ((a3[i + 3] * s + a2[i + 3]) * s + a1[i + 3]) * s + a0[i + 3];
-      const double e0 = x[i] - f0;
-      const double e1 = x[i + 1] - f1;
-      const double e2 = x[i + 2] - f2;
-      const double e3 = x[i + 3] - f3;
-      lane0 += e0 * e0;
-      lane1 += e1 * e1;
-      lane2 += e2 * e2;
-      lane3 += e3 * e3;
+  if (s != 0.0 && s != 1.0) {
+    // Fused Horner + residual + reduction in the reference ordering: four
+    // dim-strided accumulator lanes, each an independent descending Horner
+    // chain (for cubics, ((a3 s + a2) s + a1) s + a0 is exactly that
+    // pass), combined in the fixed ((lane0 + lane1) + (lane2 + lane3)) +
+    // tail order. Every route below produces bit-identical results — the
+    // SimdOps contract — so the choice is purely about speed: the
+    // backend's vector kernel wins once enough dimension chunks amortise
+    // the indirect call (~2x at d = 32), while below that the inlined
+    // reference wins — an indirect call per evaluation costs more than
+    // four-wide SIMD saves on one or two latency-bound chunks, and the
+    // single-row serving path evaluates this dozens of times per query.
+    if (d_ >= kSimdPerPointDim) {
+      return simd_->power_squared_distance(power_.data(), k_, d_, s, x);
     }
-    double tail = 0.0;
-    for (; i < d_; ++i) {
-      const double f = ((a3[i] * s + a2[i]) * s + a1[i]) * s + a0[i];
-      const double diff = x[i] - f;
-      tail += diff * diff;
+    if (horner_) {
+      // The historical inline cubic path, kept verbatim: __restrict
+      // coefficient streams and fully unrolled Horner chains. The same
+      // operation sequence as the reference below with k = 3, but the
+      // explicit form is measurably faster at serving's d = 2..8 (the
+      // compiler does not recover the __restrict-quality code from the
+      // generic loop).
+      const double* __restrict a0 = power_.data();
+      const double* __restrict a1 = a0 + d_;
+      const double* __restrict a2 = a1 + d_;
+      const double* __restrict a3 = a2 + d_;
+      double lane0 = 0.0;
+      double lane1 = 0.0;
+      double lane2 = 0.0;
+      double lane3 = 0.0;
+      int i = 0;
+      for (; i + 4 <= d_; i += 4) {
+        const double f0 = ((a3[i] * s + a2[i]) * s + a1[i]) * s + a0[i];
+        const double f1 =
+            ((a3[i + 1] * s + a2[i + 1]) * s + a1[i + 1]) * s + a0[i + 1];
+        const double f2 =
+            ((a3[i + 2] * s + a2[i + 2]) * s + a1[i + 2]) * s + a0[i + 2];
+        const double f3 =
+            ((a3[i + 3] * s + a2[i + 3]) * s + a1[i + 3]) * s + a0[i + 3];
+        const double e0 = x[i] - f0;
+        const double e1 = x[i + 1] - f1;
+        const double e2 = x[i + 2] - f2;
+        const double e3 = x[i + 3] - f3;
+        lane0 += e0 * e0;
+        lane1 += e1 * e1;
+        lane2 += e2 * e2;
+        lane3 += e3 * e3;
+      }
+      double tail = 0.0;
+      for (; i < d_; ++i) {
+        const double f = ((a3[i] * s + a2[i]) * s + a1[i]) * s + a0[i];
+        const double diff = x[i] - f;
+        tail += diff * diff;
+      }
+      return ((lane0 + lane1) + (lane2 + lane3)) + tail;
     }
-    return ((lane0 + lane1) + (lane2 + lane3)) + tail;
+    return internal::RefPowerSquaredDistanceFused(power_.data(), k_, d_, s,
+                                                  x);
   }
   Evaluate(s, value_.data());
   double sum = 0.0;
@@ -401,6 +430,15 @@ double BezierEvalWorkspace::SquaredDistance(const double* x, double s) {
     sum += diff * diff;
   }
   return sum;
+}
+
+void BezierEvalWorkspace::SquaredDistancesMulti(const double* xt,
+                                                int lane_stride, int count,
+                                                const double* s,
+                                                double* dist) {
+  assert(bound());
+  simd_->power_squared_distances_multi(power_.data(), k_, d_, xt, lane_stride,
+                                       count, s, dist);
 }
 
 }  // namespace rpc::curve

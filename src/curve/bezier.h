@@ -9,6 +9,8 @@
 
 namespace rpc::curve {
 
+struct SimdOps;
+
 /// A degree-k Bezier curve in R^d, f(s) = sum_r B_r^k(s) p_r for s in [0,1]
 /// (Eq. 12). Control points are stored as a d x (k+1) matrix whose columns
 /// are p_0 .. p_k — the same layout as the paper's P in Eq. (15).
@@ -31,12 +33,10 @@ class BezierCurve {
   /// afterwards and must re-Bind before its next evaluation.
   void SetControlPoints(const linalg::Matrix& control_points);
 
-  /// Curve value f(s): de Casteljau's algorithm (numerically stable for
-  /// any s, including slightly outside [0,1]) for general degree; for the
-  /// paper's fixed k = 3 a precomputed power-basis Horner form is used
-  /// instead, which is equally accurate on the library's normalised
-  /// [0,1]^d domain but can lose digits to cancellation for control
-  /// points of large magnitude (see BezierEvalWorkspace).
+  /// Curve value f(s) via a precomputed power-basis Horner form (see
+  /// BezierEvalWorkspace): equally accurate as de Casteljau on the
+  /// library's normalised [0,1]^d domain, though it can lose digits to
+  /// cancellation for control points of large magnitude or high degree.
   linalg::Vector Evaluate(double s) const;
 
   /// First derivative f'(s) = k * sum_j B_j^{k-1}(s) (p_{j+1} - p_j)
@@ -97,11 +97,12 @@ class BezierCurve {
 
 /// Caller-owned scratch buffers for allocation-free curve evaluation.
 ///
-/// `Bind` sizes every buffer for one curve and, for the paper's fixed
-/// degree k = 3, precomputes the power-basis coefficients of the curve and
-/// its derivative so evaluation is a three-step Horner loop per coordinate;
-/// other degrees run de Casteljau in the preallocated scratch. After the
-/// Bind, Evaluate / Derivative / SquaredDistance perform no heap
+/// `Bind` precomputes the power-basis coefficients of the curve and its
+/// derivative — in the coefficient-major layout (all a_0, then all a_1,
+/// ...) whose stride-1 streams the vector kernels want — so evaluation is
+/// a k-step Horner loop per coordinate for every degree, with the paper's
+/// fixed k = 3 additionally riding a fully unrolled cubic fast path. After
+/// the Bind, Evaluate / Derivative / SquaredDistance perform no heap
 /// allocation — this is the engine under the batch projection hot path,
 /// where the per-call `Vector` returns of the BezierCurve methods cost
 /// millions of allocations per fit.
@@ -122,23 +123,33 @@ class BezierEvalWorkspace {
   void Evaluate(double s, double* out);
   /// Writes f'(s) into out[0..d).
   void Derivative(double s, double* out);
-  /// ||x - f(s)||^2 for a contiguous d-entry x.
+  /// ||x - f(s)||^2 for a contiguous d-entry x. At interior s this runs
+  /// the fused reference ordering — inlined for small d, through the
+  /// active SIMD backend's power_squared_distance kernel (captured at
+  /// Bind) for large d; both routes are bit-identical, see SimdOps in
+  /// simd_backend.h.
   double SquaredDistance(const double* x, double s);
+  /// Batched SquaredDistance with a per-task parameter: dist[t] =
+  /// ||x_t - f(s[t])|| ^2 for `count` tasks whose coordinates live in the
+  /// task-major column xt[j * lane_stride + t]. Every s[t] must be
+  /// interior (not exactly 0.0 or 1.0); each lane is bit-identical to the
+  /// corresponding SquaredDistance call. This is the lock-step refinement
+  /// engine's evaluation primitive (see
+  /// SimdOps::power_squared_distances_multi).
+  void SquaredDistancesMulti(const double* xt, int lane_stride, int count,
+                             const double* s, double* dist);
 
  private:
-  void EvaluateGeneral(double s, double* out);
-
   const BezierCurve* curve_ = nullptr;
+  const SimdOps* simd_ = nullptr;  // active backend, captured at Bind
   int k_ = -1;
   int d_ = 0;
-  bool horner_ = false;            // degree-3 fast path
+  bool horner_ = false;         // degree-3 unrolled fast path
   // Coefficient-major (all a_0, then all a_1, ...): the Horner loops read
   // stride-1 streams so they autovectorise.
-  std::vector<double> power_;      // 4 x d, f coefficients, ascending
-  std::vector<double> dpower_;     // 3 x d, f' coefficients, ascending
-  std::vector<double> casteljau_;  // (k+1) x d scratch, [r * d + i]
-  std::vector<double> bern_;       // k Bernstein values for Derivative
-  std::vector<double> value_;      // d scratch for SquaredDistance
+  std::vector<double> power_;   // (k+1) x d, f coefficients, ascending
+  std::vector<double> dpower_;  // max(k,1) x d, f' coefficients, ascending
+  std::vector<double> value_;   // d scratch for SquaredDistance
 };
 
 }  // namespace rpc::curve

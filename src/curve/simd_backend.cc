@@ -1,0 +1,148 @@
+// Runtime backend selection: compiled-in backends x CPU features, resolved
+// once on first use, overridable with RPC_SIMD_BACKEND.
+#include "curve/simd_backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace rpc::curve {
+
+// Defined in the per-backend translation units; a factory returns nullptr
+// when its backend is not compiled into this binary.
+const SimdOps* ScalarSimdOps();
+const SimdOps* Avx2SimdOps();
+const SimdOps* Avx512SimdOps();
+const SimdOps* NeonSimdOps();
+
+namespace {
+
+bool CpuSupports(SimdBackendKind kind) {
+  switch (kind) {
+    case SimdBackendKind::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdBackendKind::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case SimdBackendKind::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+#endif
+#if defined(__aarch64__)
+    case SimdBackendKind::kNeon:
+      return true;  // NEON is mandatory on AArch64.
+#endif
+    default:
+      return false;
+  }
+}
+
+const SimdOps* CompiledOps(SimdBackendKind kind) {
+  switch (kind) {
+    case SimdBackendKind::kScalar:
+      return ScalarSimdOps();
+    case SimdBackendKind::kAvx2:
+      return Avx2SimdOps();
+    case SimdBackendKind::kAvx512:
+      return Avx512SimdOps();
+    case SimdBackendKind::kNeon:
+      return NeonSimdOps();
+  }
+  return nullptr;
+}
+
+/// Compiled in AND supported by the running CPU.
+const SimdOps* UsableOps(SimdBackendKind kind) {
+  const SimdOps* ops = CompiledOps(kind);
+  return (ops != nullptr && CpuSupports(kind)) ? ops : nullptr;
+}
+
+const SimdOps* AutoDetect() {
+  // Widest usable vector first; scalar always exists.
+  for (SimdBackendKind kind : {SimdBackendKind::kAvx512, SimdBackendKind::kAvx2,
+                               SimdBackendKind::kNeon}) {
+    if (const SimdOps* ops = UsableOps(kind)) return ops;
+  }
+  return ScalarSimdOps();
+}
+
+const SimdOps* ResolveInitialBackend() {
+  const char* env = std::getenv("RPC_SIMD_BACKEND");
+  if (env != nullptr && env[0] != '\0') {
+    for (SimdBackendKind kind :
+         {SimdBackendKind::kScalar, SimdBackendKind::kAvx2,
+          SimdBackendKind::kAvx512, SimdBackendKind::kNeon}) {
+      if (std::strcmp(env, SimdBackendName(kind)) != 0) continue;
+      if (const SimdOps* ops = UsableOps(kind)) return ops;
+      std::fprintf(stderr,
+                   "rpc: RPC_SIMD_BACKEND=%s is not available in this build "
+                   "or on this CPU; falling back to auto-detection\n",
+                   env);
+      return AutoDetect();
+    }
+    std::fprintf(stderr,
+                 "rpc: unknown RPC_SIMD_BACKEND=%s (expected scalar, avx2, "
+                 "avx512, or neon); falling back to auto-detection\n",
+                 env);
+  }
+  return AutoDetect();
+}
+
+std::atomic<const SimdOps*> g_active{nullptr};
+std::once_flag g_init_once;
+
+void InitActive() {
+  std::call_once(g_init_once, [] {
+    g_active.store(ResolveInitialBackend(), std::memory_order_release);
+  });
+}
+
+}  // namespace
+
+const SimdOps& ActiveSimd() {
+  const SimdOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    InitActive();
+    ops = g_active.load(std::memory_order_acquire);
+  }
+  return *ops;
+}
+
+SimdBackendKind ActiveSimdKind() { return ActiveSimd().kind; }
+
+const char* BackendName() { return ActiveSimd().name; }
+
+const char* SimdBackendName(SimdBackendKind kind) {
+  switch (kind) {
+    case SimdBackendKind::kScalar:
+      return "scalar";
+    case SimdBackendKind::kAvx2:
+      return "avx2";
+    case SimdBackendKind::kAvx512:
+      return "avx512";
+    case SimdBackendKind::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::vector<const SimdOps*> AvailableSimdBackends() {
+  std::vector<const SimdOps*> out;
+  out.push_back(ScalarSimdOps());
+  for (SimdBackendKind kind : {SimdBackendKind::kAvx2, SimdBackendKind::kAvx512,
+                               SimdBackendKind::kNeon}) {
+    if (const SimdOps* ops = UsableOps(kind)) out.push_back(ops);
+  }
+  return out;
+}
+
+bool SetSimdBackend(SimdBackendKind kind) {
+  const SimdOps* ops = UsableOps(kind);
+  if (ops == nullptr) return false;
+  InitActive();  // Keep the env-override path from racing a later first use.
+  g_active.store(ops, std::memory_order_release);
+  return true;
+}
+
+}  // namespace rpc::curve

@@ -1,0 +1,202 @@
+// AVX-512F backend: 8 rows per __m512d lane-for-lane with the scalar
+// reference. Same contract and structure as the AVX2 backend (see
+// simd_backend_avx2.cc): explicit mul/add only, -ffp-contract=off, the
+// sub-register row remainder runs the shared scalar reference loops.
+#include "curve/simd_backend.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "curve/simd_backend_ref.h"
+
+namespace rpc::curve {
+namespace {
+
+void TileSquaredDistancesFused(const double* tile, int lane_stride, int d,
+                               int rows, const double* f, double* dist) {
+  int r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    const double* base = tile + r;
+    __m512d lane0 = _mm512_setzero_pd();
+    __m512d lane1 = _mm512_setzero_pd();
+    __m512d lane2 = _mm512_setzero_pd();
+    __m512d lane3 = _mm512_setzero_pd();
+    __m512d tail = _mm512_setzero_pd();
+    int j = 0;
+    for (; j + 4 <= d; j += 4) {
+      const double* lane = base + static_cast<size_t>(j) * lane_stride;
+      const __m512d e0 = _mm512_sub_pd(_mm512_loadu_pd(lane),
+                                       _mm512_set1_pd(f[j]));
+      const __m512d e1 = _mm512_sub_pd(
+          _mm512_loadu_pd(lane + 1 * static_cast<size_t>(lane_stride)),
+          _mm512_set1_pd(f[j + 1]));
+      const __m512d e2 = _mm512_sub_pd(
+          _mm512_loadu_pd(lane + 2 * static_cast<size_t>(lane_stride)),
+          _mm512_set1_pd(f[j + 2]));
+      const __m512d e3 = _mm512_sub_pd(
+          _mm512_loadu_pd(lane + 3 * static_cast<size_t>(lane_stride)),
+          _mm512_set1_pd(f[j + 3]));
+      lane0 = _mm512_add_pd(lane0, _mm512_mul_pd(e0, e0));
+      lane1 = _mm512_add_pd(lane1, _mm512_mul_pd(e1, e1));
+      lane2 = _mm512_add_pd(lane2, _mm512_mul_pd(e2, e2));
+      lane3 = _mm512_add_pd(lane3, _mm512_mul_pd(e3, e3));
+    }
+    for (; j < d; ++j) {
+      const __m512d e = _mm512_sub_pd(
+          _mm512_loadu_pd(base + static_cast<size_t>(j) * lane_stride),
+          _mm512_set1_pd(f[j]));
+      tail = _mm512_add_pd(tail, _mm512_mul_pd(e, e));
+    }
+    const __m512d res = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(lane0, lane1), _mm512_add_pd(lane2, lane3)),
+        tail);
+    _mm512_storeu_pd(dist + r, res);
+  }
+  if (r < rows) {
+    internal::RefTileSquaredDistancesFused(tile + r, lane_stride, d, rows - r,
+                                           f, dist + r);
+  }
+}
+
+void TileSquaredDistancesSeq(const double* tile, int lane_stride, int d,
+                             int rows, const double* f, double* dist) {
+  int r = 0;
+  for (; r + 8 <= rows; r += 8) {
+    const double* base = tile + r;
+    __m512d sum = _mm512_setzero_pd();
+    for (int j = 0; j < d; ++j) {
+      const __m512d e = _mm512_sub_pd(
+          _mm512_loadu_pd(base + static_cast<size_t>(j) * lane_stride),
+          _mm512_set1_pd(f[j]));
+      sum = _mm512_add_pd(sum, _mm512_mul_pd(e, e));
+    }
+    _mm512_storeu_pd(dist + r, sum);
+  }
+  if (r < rows) {
+    internal::RefTileSquaredDistancesSeq(tile + r, lane_stride, d, rows - r,
+                                         f, dist + r);
+  }
+}
+
+// Per-point refinement kernel. The fused reference fixes exactly four
+// dim-strided accumulator lanes, so a 512-bit vector gains nothing here:
+// this is the same 256-bit kernel as the AVX2 backend (-mavx512f implies
+// AVX2 in the compiler's ISA chain), lane p of the __m256d running the
+// reference's lane-p Horner chain verbatim.
+double PowerSquaredDistance(const double* power, int k, int d, double s,
+                            const double* x) {
+  const __m256d sv = _mm256_set1_pd(s);
+  __m256d acc = _mm256_setzero_pd();
+  const double* top = power + static_cast<size_t>(k) * d;
+  int i = 0;
+  for (; i + 4 <= d; i += 4) {
+    __m256d f = _mm256_loadu_pd(top + i);
+    for (int j = k - 1; j >= 0; --j) {
+      const double* aj = power + static_cast<size_t>(j) * d;
+      f = _mm256_add_pd(_mm256_mul_pd(f, sv), _mm256_loadu_pd(aj + i));
+    }
+    const __m256d e = _mm256_sub_pd(_mm256_loadu_pd(x + i), f);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(e, e));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double tail = 0.0;
+  for (; i < d; ++i) {
+    double f = top[i];
+    for (int j = k - 1; j >= 0; --j) {
+      f = f * s + power[static_cast<size_t>(j) * d + i];
+    }
+    const double diff = x[i] - f;
+    tail += diff * diff;
+  }
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail;
+}
+
+// Batched refinement kernel: eight tasks per __m512d, lane t holding task
+// t's probe parameter. Same structure and contract as the AVX2 version
+// (see simd_backend_avx2.cc): broadcast coefficients, per-lane descending
+// Horner, vector-wide accumulator classes, reference combine order; the
+// sub-register task remainder runs the shared reference.
+void PowerSquaredDistancesMulti(const double* power, int k, int d,
+                                const double* xt, int lane_stride,
+                                int count, const double* s, double* dist) {
+  const double* top = power + static_cast<size_t>(k) * d;
+  int t = 0;
+  for (; t + 8 <= count; t += 8) {
+    const __m512d sv = _mm512_loadu_pd(s + t);
+    __m512d acc0 = _mm512_setzero_pd();
+    __m512d acc1 = _mm512_setzero_pd();
+    __m512d acc2 = _mm512_setzero_pd();
+    __m512d acc3 = _mm512_setzero_pd();
+    __m512d tail = _mm512_setzero_pd();
+    const double* xbase = xt + t;
+    int i = 0;
+    for (; i + 4 <= d; i += 4) {
+      __m512d f0 = _mm512_set1_pd(top[i]);
+      __m512d f1 = _mm512_set1_pd(top[i + 1]);
+      __m512d f2 = _mm512_set1_pd(top[i + 2]);
+      __m512d f3 = _mm512_set1_pd(top[i + 3]);
+      for (int j = k - 1; j >= 0; --j) {
+        const double* aj = power + static_cast<size_t>(j) * d;
+        f0 = _mm512_add_pd(_mm512_mul_pd(f0, sv), _mm512_set1_pd(aj[i]));
+        f1 = _mm512_add_pd(_mm512_mul_pd(f1, sv), _mm512_set1_pd(aj[i + 1]));
+        f2 = _mm512_add_pd(_mm512_mul_pd(f2, sv), _mm512_set1_pd(aj[i + 2]));
+        f3 = _mm512_add_pd(_mm512_mul_pd(f3, sv), _mm512_set1_pd(aj[i + 3]));
+      }
+      const double* xr = xbase + static_cast<size_t>(i) * lane_stride;
+      const __m512d e0 = _mm512_sub_pd(_mm512_loadu_pd(xr), f0);
+      const __m512d e1 = _mm512_sub_pd(
+          _mm512_loadu_pd(xr + 1 * static_cast<size_t>(lane_stride)), f1);
+      const __m512d e2 = _mm512_sub_pd(
+          _mm512_loadu_pd(xr + 2 * static_cast<size_t>(lane_stride)), f2);
+      const __m512d e3 = _mm512_sub_pd(
+          _mm512_loadu_pd(xr + 3 * static_cast<size_t>(lane_stride)), f3);
+      acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(e0, e0));
+      acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(e1, e1));
+      acc2 = _mm512_add_pd(acc2, _mm512_mul_pd(e2, e2));
+      acc3 = _mm512_add_pd(acc3, _mm512_mul_pd(e3, e3));
+    }
+    for (; i < d; ++i) {
+      __m512d f = _mm512_set1_pd(top[i]);
+      for (int j = k - 1; j >= 0; --j) {
+        f = _mm512_add_pd(_mm512_mul_pd(f, sv),
+                          _mm512_set1_pd(power[static_cast<size_t>(j) * d + i]));
+      }
+      const __m512d e = _mm512_sub_pd(
+          _mm512_loadu_pd(xbase + static_cast<size_t>(i) * lane_stride), f);
+      tail = _mm512_add_pd(tail, _mm512_mul_pd(e, e));
+    }
+    const __m512d res = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3)),
+        tail);
+    _mm512_storeu_pd(dist + t, res);
+  }
+  if (t < count) {
+    internal::RefPowerSquaredDistancesMulti(power, k, d, xt + t, lane_stride,
+                                            count - t, s + t, dist + t);
+  }
+}
+
+constexpr SimdOps kAvx512Ops = {
+    SimdBackendKind::kAvx512,
+    "avx512",
+    &TileSquaredDistancesFused,
+    &TileSquaredDistancesSeq,
+    &PowerSquaredDistance,
+    &PowerSquaredDistancesMulti,
+};
+
+}  // namespace
+
+const SimdOps* Avx512SimdOps() { return &kAvx512Ops; }
+
+}  // namespace rpc::curve
+
+#else  // !defined(__AVX512F__)
+
+namespace rpc::curve {
+const SimdOps* Avx512SimdOps() { return nullptr; }
+}  // namespace rpc::curve
+
+#endif

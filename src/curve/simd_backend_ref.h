@@ -1,0 +1,173 @@
+#ifndef RPC_CURVE_SIMD_BACKEND_REF_H_
+#define RPC_CURVE_SIMD_BACKEND_REF_H_
+
+#include <cstddef>
+
+// Scalar reference implementations of the SimdOps kernels, shared by every
+// backend translation unit: the scalar backend IS these loops, and the
+// vector backends call them for their sub-register row remainders. They
+// define the floating-point operation sequence every backend must
+// reproduce bit for bit (see SimdOps in simd_backend.h); the per-row
+// orderings mirror BezierEvalWorkspace::SquaredDistance exactly.
+//
+// Header-inline on purpose: each backend TU compiles its own copy under its
+// own arch flags. That is safe for bit-identity because the loops contain
+// no reduction a vectoriser may reassociate across iterations of a single
+// row (each row's sum is a fixed sequential dependence chain) and every TU
+// builds with -ffp-contract=off, so no compiler may fuse the explicit
+// multiply+add pairs.
+
+namespace rpc::curve::internal {
+
+/// Fused reference ordering: four dim-strided accumulators + sequential
+/// tail, combined ((l0 + l1) + (l2 + l3)) + tail.
+inline void RefTileSquaredDistancesFused(const double* tile, int lane_stride,
+                                         int d, int rows, const double* f,
+                                         double* dist) {
+  for (int r = 0; r < rows; ++r) {
+    double lane0 = 0.0;
+    double lane1 = 0.0;
+    double lane2 = 0.0;
+    double lane3 = 0.0;
+    int j = 0;
+    for (; j + 4 <= d; j += 4) {
+      const double* lane = tile + static_cast<std::size_t>(j) * lane_stride + r;
+      const double e0 = lane[0 * lane_stride] - f[j];
+      const double e1 = lane[1 * lane_stride] - f[j + 1];
+      const double e2 = lane[2 * lane_stride] - f[j + 2];
+      const double e3 = lane[3 * lane_stride] - f[j + 3];
+      lane0 += e0 * e0;
+      lane1 += e1 * e1;
+      lane2 += e2 * e2;
+      lane3 += e3 * e3;
+    }
+    double tail = 0.0;
+    for (; j < d; ++j) {
+      const double e = tile[static_cast<std::size_t>(j) * lane_stride + r] - f[j];
+      tail += e * e;
+    }
+    dist[r] = ((lane0 + lane1) + (lane2 + lane3)) + tail;
+  }
+}
+
+/// Sequential reference ordering: one accumulator, dimensions in order.
+inline void RefTileSquaredDistancesSeq(const double* tile, int lane_stride,
+                                       int d, int rows, const double* f,
+                                       double* dist) {
+  for (int r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double e = tile[static_cast<std::size_t>(j) * lane_stride + r] - f[j];
+      sum += e * e;
+    }
+    dist[r] = sum;
+  }
+}
+
+/// Single-point squared distance against coefficient-major power-basis
+/// coefficients (row j of `power` = the d coefficients of s^j), fused
+/// reference ordering: four dim-strided lanes each running a descending
+/// Horner, combined ((l0 + l1) + (l2 + l3)) + tail. This is verbatim the
+/// ordering BezierEvalWorkspace::SquaredDistance historically ran inline
+/// at interior s (for cubics, ((a3 s + a2) s + a1) s + a0 IS this
+/// descending pass), so routing the per-point path through a backend's
+/// implementation of it changes no result bit.
+inline double RefPowerSquaredDistanceFused(const double* power, int k, int d,
+                                           double s, const double* x) {
+  const std::size_t stride = static_cast<std::size_t>(d);
+  const double* top = power + static_cast<std::size_t>(k) * stride;
+  double lane0 = 0.0;
+  double lane1 = 0.0;
+  double lane2 = 0.0;
+  double lane3 = 0.0;
+  int i = 0;
+  for (; i + 4 <= d; i += 4) {
+    double f0 = top[i];
+    double f1 = top[i + 1];
+    double f2 = top[i + 2];
+    double f3 = top[i + 3];
+    for (int j = k - 1; j >= 0; --j) {
+      const double* aj = power + static_cast<std::size_t>(j) * stride;
+      f0 = f0 * s + aj[i];
+      f1 = f1 * s + aj[i + 1];
+      f2 = f2 * s + aj[i + 2];
+      f3 = f3 * s + aj[i + 3];
+    }
+    const double e0 = x[i] - f0;
+    const double e1 = x[i + 1] - f1;
+    const double e2 = x[i + 2] - f2;
+    const double e3 = x[i + 3] - f3;
+    lane0 += e0 * e0;
+    lane1 += e1 * e1;
+    lane2 += e2 * e2;
+    lane3 += e3 * e3;
+  }
+  double tail = 0.0;
+  for (; i < d; ++i) {
+    double f = top[i];
+    for (int j = k - 1; j >= 0; --j) {
+      f = f * s + power[static_cast<std::size_t>(j) * stride + i];
+    }
+    const double diff = x[i] - f;
+    tail += diff * diff;
+  }
+  return ((lane0 + lane1) + (lane2 + lane3)) + tail;
+}
+
+/// Batched per-lane-parameter squared distances: task t's coordinates in
+/// the task-major column xt[j * lane_stride + t], its own parameter s[t].
+/// Per task this is RefPowerSquaredDistanceFused verbatim — same lane
+/// classes, same descending Horner, same combine — only the x loads are
+/// strided. Vector backends run the same sequence with tasks in parallel
+/// lanes and broadcast coefficients.
+inline void RefPowerSquaredDistancesMulti(const double* power, int k, int d,
+                                          const double* xt, int lane_stride,
+                                          int count, const double* s,
+                                          double* dist) {
+  const std::size_t stride = static_cast<std::size_t>(d);
+  const double* top = power + static_cast<std::size_t>(k) * stride;
+  for (int t = 0; t < count; ++t) {
+    const double st = s[t];
+    double lane0 = 0.0;
+    double lane1 = 0.0;
+    double lane2 = 0.0;
+    double lane3 = 0.0;
+    int i = 0;
+    for (; i + 4 <= d; i += 4) {
+      double f0 = top[i];
+      double f1 = top[i + 1];
+      double f2 = top[i + 2];
+      double f3 = top[i + 3];
+      for (int j = k - 1; j >= 0; --j) {
+        const double* aj = power + static_cast<std::size_t>(j) * stride;
+        f0 = f0 * st + aj[i];
+        f1 = f1 * st + aj[i + 1];
+        f2 = f2 * st + aj[i + 2];
+        f3 = f3 * st + aj[i + 3];
+      }
+      const double* xr = xt + static_cast<std::size_t>(i) * lane_stride + t;
+      const double e0 = xr[0 * static_cast<std::size_t>(lane_stride)] - f0;
+      const double e1 = xr[1 * static_cast<std::size_t>(lane_stride)] - f1;
+      const double e2 = xr[2 * static_cast<std::size_t>(lane_stride)] - f2;
+      const double e3 = xr[3 * static_cast<std::size_t>(lane_stride)] - f3;
+      lane0 += e0 * e0;
+      lane1 += e1 * e1;
+      lane2 += e2 * e2;
+      lane3 += e3 * e3;
+    }
+    double tail = 0.0;
+    for (; i < d; ++i) {
+      double f = top[i];
+      for (int j = k - 1; j >= 0; --j) {
+        f = f * st + power[static_cast<std::size_t>(j) * stride + i];
+      }
+      const double diff = xt[static_cast<std::size_t>(i) * lane_stride + t] - f;
+      tail += diff * diff;
+    }
+    dist[t] = ((lane0 + lane1) + (lane2 + lane3)) + tail;
+  }
+}
+
+}  // namespace rpc::curve::internal
+
+#endif  // RPC_CURVE_SIMD_BACKEND_REF_H_

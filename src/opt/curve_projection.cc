@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "curve/simd_backend.h"
 #include "opt/batch_projection.h"
 #include "opt/golden_section.h"
 #include "opt/polynomial.h"
@@ -79,7 +80,23 @@ void ProjectionWorkspace::Bind(const BezierCurve& curve,
   if (options.method == ProjectionMethod::kQuinticRoots) {
     curve.PowerBasisCoefficientsInto(&power_);
     stationarity_coeffs_.resize(static_cast<size_t>(2 * curve.degree()));
+  } else {
+    // Block-path buffers for the grid methods; sized here so ProjectBlock
+    // allocates nothing. grid_f_ is filled lazily on the first block (the
+    // per-point path never needs it).
+    block_.Bind(d);
+    grid_f_.resize((static_cast<size_t>(g) + 1) * static_cast<size_t>(d));
+    grid_dist_block_.resize((static_cast<size_t>(g) + 1) *
+                            RowBlock::kLaneStride);
+    golden_xt_.resize(static_cast<size_t>(d) * RowBlock::kMaxRows);
+    golden_s_.resize(RowBlock::kMaxRows);
+    golden_dist_.resize(RowBlock::kMaxRows);
+    block_results_.resize(RowBlock::kMaxRows);
+    // One bracket per row is the common case; a capacity of two per row
+    // keeps the task list allocation-free for every non-pathological block.
+    golden_tasks_.reserve(static_cast<size_t>(RowBlock::kMaxRows) * 2);
   }
+  grid_f_ready_ = false;
   ResetEvaluationCounts();
 }
 
@@ -181,14 +198,21 @@ ProjectionResult ProjectionWorkspace::ProjectViaGrid(const double* x,
     grid_dist_[static_cast<size_t>(i)] =
         ObjectiveAt(x, static_cast<double>(i) / g);
   }
+  return FinishGridFromDists(x, grid_dist_.data(), /*stride=*/1, refine);
+}
 
+ProjectionResult ProjectionWorkspace::FinishGridFromDists(const double* x,
+                                                          const double* gd,
+                                                          int stride,
+                                                          bool refine) {
+  const int g = std::max(options_.grid_points, 2);
   ProjectionResult best;
-  best.squared_distance = grid_dist_[0];
+  best.squared_distance = gd[0];
   best.s = 0.0;
   best.evaluations = g + 1;
   for (int i = 1; i <= g; ++i) {
     ConsiderPrecomputed(static_cast<double>(i) / g,
-                        grid_dist_[static_cast<size_t>(i)], &best);
+                        gd[static_cast<size_t>(i) * stride], &best);
   }
   if (!refine) return best;
 
@@ -197,10 +221,12 @@ ProjectionResult ProjectionWorkspace::ProjectViaGrid(const double* x,
   // projections landing on s = 0 or s = 1 are found.
   const ProjectionObjective objective{this, x};
   for (int i = 0; i <= g; ++i) {
-    const bool left_ok = i == 0 || grid_dist_[static_cast<size_t>(i)] <=
-                                       grid_dist_[static_cast<size_t>(i - 1)];
-    const bool right_ok = i == g || grid_dist_[static_cast<size_t>(i)] <=
-                                        grid_dist_[static_cast<size_t>(i + 1)];
+    const bool left_ok =
+        i == 0 || gd[static_cast<size_t>(i) * stride] <=
+                      gd[static_cast<size_t>(i - 1) * stride];
+    const bool right_ok =
+        i == g || gd[static_cast<size_t>(i) * stride] <=
+                      gd[static_cast<size_t>(i + 1) * stride];
     if (!left_ok || !right_ok) continue;
     const double lo = std::max(0.0, static_cast<double>(i - 1) / g);
     const double hi = std::min(1.0, static_cast<double>(i + 1) / g);
@@ -224,19 +250,28 @@ ProjectionResult ProjectionWorkspace::ProjectViaNewton(const double* x) {
     grid_dist_[static_cast<size_t>(i)] =
         ObjectiveAt(x, static_cast<double>(i) / g);
   }
+  return FinishNewtonFromDists(x, grid_dist_.data(), /*stride=*/1);
+}
+
+ProjectionResult ProjectionWorkspace::FinishNewtonFromDists(const double* x,
+                                                            const double* gd,
+                                                            int stride) {
+  const int g = std::max(options_.grid_points, 2);
   ProjectionResult best;
   best.s = 0.0;
-  best.squared_distance = grid_dist_[0];
+  best.squared_distance = gd[0];
   best.evaluations = g + 1;
   // The s = 1 boundary candidate was already evaluated by the grid pass;
-  // reuse grid_dist_[g] so the evaluation is not double-counted.
-  ConsiderPrecomputed(1.0, grid_dist_[static_cast<size_t>(g)], &best);
+  // reuse its grid entry so the evaluation is not double-counted.
+  ConsiderPrecomputed(1.0, gd[static_cast<size_t>(g) * stride], &best);
 
   for (int i = 0; i <= g; ++i) {
-    const bool left_ok = i == 0 || grid_dist_[static_cast<size_t>(i)] <=
-                                       grid_dist_[static_cast<size_t>(i - 1)];
-    const bool right_ok = i == g || grid_dist_[static_cast<size_t>(i)] <=
-                                        grid_dist_[static_cast<size_t>(i + 1)];
+    const bool left_ok =
+        i == 0 || gd[static_cast<size_t>(i) * stride] <=
+                      gd[static_cast<size_t>(i - 1) * stride];
+    const bool right_ok =
+        i == g || gd[static_cast<size_t>(i) * stride] <=
+                      gd[static_cast<size_t>(i + 1) * stride];
     if (!left_ok || !right_ok) continue;
     const double lo = std::max(0.0, static_cast<double>(i - 1) / g);
     const double hi = std::min(1.0, static_cast<double>(i + 1) / g);
@@ -414,6 +449,323 @@ ProjectionResult ProjectionWorkspace::Project(const double* x) {
       return ProjectViaNewton(x);
   }
   return ProjectViaGrid(x, /*refine=*/true);
+}
+
+void ProjectionWorkspace::EnsureGridCurveValues() {
+  if (grid_f_ready_) return;
+  const int g = std::max(options_.grid_points, 2);
+  const int d = curve_->dimension();
+  // eval_.Evaluate runs the exact per-coordinate operation sequence the
+  // per-point SquaredDistance paths run inline (including the exact end
+  // control points at s = 0 / s = 1), so distances computed from these
+  // shared values are bit-identical to the per-point path.
+  for (int i = 0; i <= g; ++i) {
+    eval_.Evaluate(static_cast<double>(i) / g,
+                   grid_f_.data() + static_cast<size_t>(i) * d);
+  }
+  grid_f_ready_ = true;
+}
+
+void ProjectionWorkspace::ProjectPackedBlock(const RowBlock& block,
+                                             const double* rows,
+                                             int row_stride, double* s_out,
+                                             double* squared_out) {
+  assert(bound());
+  const int count = block.rows();
+  if (count == 0) return;
+  assert(block.dim() == curve_->dimension());
+  assert(options_.method != ProjectionMethod::kQuinticRoots);
+  const int g = std::max(options_.grid_points, 2);
+  const int d = curve_->dimension();
+  EnsureGridCurveValues();
+
+  // Grid stage, one kernel sweep over the whole block per grid point: the
+  // interior points use the fused reference ordering (the per-point hot
+  // path's), the endpoints the sequential ordering (the per-point endpoint
+  // branch's) — see SimdOps. Each row's g+1 distances land in a column of
+  // grid_dist_block_ and are accounted exactly like g+1 ObjectiveAt calls.
+  const curve::SimdOps& simd = curve::ActiveSimd();
+  for (int i = 0; i <= g; ++i) {
+    const double* f = grid_f_.data() + static_cast<size_t>(i) * d;
+    double* dist =
+        grid_dist_block_.data() + static_cast<size_t>(i) * RowBlock::kLaneStride;
+    if (i == 0 || i == g) {
+      simd.tile_squared_distances_seq(block.tile(), RowBlock::kLaneStride, d,
+                                      count, f, dist);
+    } else {
+      simd.tile_squared_distances_fused(block.tile(), RowBlock::kLaneStride, d,
+                                        count, f, dist);
+    }
+  }
+  objective_evals_ += static_cast<std::int64_t>(g + 1) * count;
+
+  // Blocks too small to fill vector lanes pay the lock-step driver's
+  // per-round bookkeeping for nothing — single-row serving queries land
+  // here — as does the scalar backend at any size.
+  constexpr int kGoldenLockStepMinRows = 16;
+  if (options_.method == ProjectionMethod::kGoldenSection &&
+      simd.kind != curve::SimdBackendKind::kScalar &&
+      count >= kGoldenLockStepMinRows) {
+    // Grid scan per row first (refinement deferred), then every bracket of
+    // every row refines in lock step through the batched per-lane-s kernel
+    // — the refinement evaluations vectorise across tasks instead of
+    // running one scalar search per row. The per-row driver (below) and
+    // this one produce bit-identical results and counters, so the routing
+    // is purely a speed choice.
+    for (int i = 0; i < count; ++i) {
+      const double* x = rows + static_cast<size_t>(i) * row_stride;
+      block_results_[static_cast<size_t>(i)] = FinishGridFromDists(
+          x, grid_dist_block_.data() + i, RowBlock::kLaneStride,
+          /*refine=*/false);
+    }
+    RefineGoldenBlock(rows, row_stride, count, block_results_.data());
+    for (int i = 0; i < count; ++i) {
+      s_out[i] = block_results_[static_cast<size_t>(i)].s;
+      if (squared_out != nullptr) {
+        squared_out[i] = block_results_[static_cast<size_t>(i)].squared_distance;
+      }
+    }
+    return;
+  }
+
+  // Newton refinement (divergent solver state), the refinement-free grid
+  // scan and the scalar backend's Golden Section stay per row, fed by each
+  // row's column of kernel-computed grid distances.
+  for (int i = 0; i < count; ++i) {
+    const double* x = rows + static_cast<size_t>(i) * row_stride;
+    const double* gd = grid_dist_block_.data() + i;
+    ProjectionResult result;
+    switch (options_.method) {
+      case ProjectionMethod::kGoldenSection:
+        result = FinishGridFromDists(x, gd, RowBlock::kLaneStride,
+                                     /*refine=*/true);
+        break;
+      case ProjectionMethod::kGridOnly:
+        result = FinishGridFromDists(x, gd, RowBlock::kLaneStride,
+                                     /*refine=*/false);
+        break;
+      case ProjectionMethod::kNewton:
+        result = FinishNewtonFromDists(x, gd, RowBlock::kLaneStride);
+        break;
+      case ProjectionMethod::kQuinticRoots:
+        break;  // unreachable: asserted above
+    }
+    s_out[i] = result.s;
+    if (squared_out != nullptr) squared_out[i] = result.squared_distance;
+  }
+}
+
+void ProjectionWorkspace::RefineGoldenBlock(const double* rows, int row_stride,
+                                            int count,
+                                            ProjectionResult* results) {
+  const int g = std::max(options_.grid_points, 2);
+  const int d = curve_->dimension();
+  const double tol = options_.tol;
+  constexpr int kMaxIterations = 200;  // GoldenSectionMinimizeWith's default
+  const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;   // 1/phi
+  const double kInvPhi2 = (3.0 - std::sqrt(5.0)) / 2.0;  // 1/phi^2
+
+  // Bracket detection in the per-row path's order (rows ascending, grid
+  // index ascending), so each row's refined candidates apply with exactly
+  // FinishGridFromDists' tie-break sequence.
+  golden_tasks_.clear();
+  for (int r = 0; r < count; ++r) {
+    const double* gd = grid_dist_block_.data() + r;
+    for (int i = 0; i <= g; ++i) {
+      const bool left_ok =
+          i == 0 || gd[static_cast<size_t>(i) * RowBlock::kLaneStride] <=
+                        gd[static_cast<size_t>(i - 1) * RowBlock::kLaneStride];
+      const bool right_ok =
+          i == g || gd[static_cast<size_t>(i) * RowBlock::kLaneStride] <=
+                        gd[static_cast<size_t>(i + 1) * RowBlock::kLaneStride];
+      if (!left_ok || !right_ok) continue;
+      GoldenTask task;
+      task.row = r;
+      task.x = rows + static_cast<size_t>(r) * row_stride;
+      task.a = std::max(0.0, static_cast<double>(i - 1) / g);
+      task.b = std::min(1.0, static_cast<double>(i + 1) / g);
+      golden_tasks_.push_back(task);
+    }
+  }
+
+  // Waves of up to kMaxRows tasks share the task-major transpose buffer;
+  // within a wave, every round advances each still-active search by one
+  // evaluation and batches all of the round's probes into one kernel call.
+  // Lanes of already-finished tasks keep their last probe: the kernel
+  // still computes them (harmlessly — iteration counts across a wave
+  // differ by at most a few rounds), the results are simply not consumed
+  // and not counted.
+  for (size_t wave = 0; wave < golden_tasks_.size();
+       wave += RowBlock::kMaxRows) {
+    const int t_count = static_cast<int>(
+        std::min<size_t>(RowBlock::kMaxRows, golden_tasks_.size() - wave));
+    GoldenTask* tasks = golden_tasks_.data() + wave;
+    for (int t = 0; t < t_count; ++t) {
+      const double* x = tasks[t].x;
+      for (int j = 0; j < d; ++j) {
+        golden_xt_[static_cast<size_t>(j) * RowBlock::kMaxRows + t] = x[j];
+      }
+    }
+    int active = 0;
+    for (int t = 0; t < t_count; ++t) {
+      GoldenTask& task = tasks[t];
+      task.h = task.b - task.a;
+      task.evaluations = 0;
+      task.iterations = 0;
+      task.active = true;
+      ++active;
+      if (task.h <= tol) {
+        task.stage = GoldenStage::kNarrow;
+      } else {
+        task.c = task.a + kInvPhi2 * task.h;
+        task.d = task.a + kInvPhi * task.h;
+        task.stage = GoldenStage::kInitC;
+      }
+      golden_s_[static_cast<size_t>(t)] = 0.5;  // benign until first probe
+    }
+    while (active > 0) {
+      // Emit: pick each active task's next probe — applying the loop's
+      // branch update exactly as GoldenSectionMinimizeWith does before its
+      // evaluation — or finalise tasks whose loop has terminated.
+      int emitted = 0;
+      for (int t = 0; t < t_count; ++t) {
+        GoldenTask& task = tasks[t];
+        task.pending = false;
+        if (!task.active) continue;
+        switch (task.stage) {
+          case GoldenStage::kNarrow:
+            task.probe = 0.5 * (task.a + task.b);
+            break;
+          case GoldenStage::kInitC:
+            task.probe = task.c;
+            break;
+          case GoldenStage::kInitD:
+            task.probe = task.d;
+            break;
+          case GoldenStage::kDecide:
+            if (task.iterations < kMaxIterations && task.h > tol) {
+              if (task.fc < task.fd) {
+                task.b = task.d;
+                task.d = task.c;
+                task.fd = task.fc;
+                task.h = task.b - task.a;
+                task.c = task.a + kInvPhi2 * task.h;
+                task.probe = task.c;
+                task.stage = GoldenStage::kEvalC;
+              } else {
+                task.a = task.c;
+                task.c = task.d;
+                task.fc = task.fd;
+                task.h = task.b - task.a;
+                task.d = task.a + kInvPhi * task.h;
+                task.probe = task.d;
+                task.stage = GoldenStage::kEvalD;
+              }
+            } else {
+              task.result_x = task.fc < task.fd ? task.c : task.d;
+              task.result_fx = task.fc < task.fd ? task.fc : task.fd;
+              task.active = false;
+              --active;
+              continue;
+            }
+            break;
+          case GoldenStage::kEvalC:
+          case GoldenStage::kEvalD:
+            break;  // unreachable: consume always advances to kDecide
+        }
+        golden_s_[static_cast<size_t>(t)] = task.probe;
+        task.pending = true;
+        ++emitted;
+      }
+      if (emitted == 0) break;  // every remaining task finalised this round
+
+      eval_.SquaredDistancesMulti(golden_xt_.data(), RowBlock::kMaxRows,
+                                  t_count, golden_s_.data(),
+                                  golden_dist_.data());
+      objective_evals_ += emitted;
+
+      // Consume: write each pending probe's value into its search state.
+      for (int t = 0; t < t_count; ++t) {
+        GoldenTask& task = tasks[t];
+        if (!task.pending) continue;
+        double value = golden_dist_[static_cast<size_t>(t)];
+        if (task.probe == 0.0 || task.probe == 1.0) {
+          // The per-point path takes the exact-endpoint branch here; the
+          // interior kernel value for this lane is discarded. (Brackets are
+          // at least half a grid cell wide, so this effectively never
+          // happens — it is kept for exact equivalence.)
+          value = eval_.SquaredDistance(task.x, task.probe);
+        }
+        ++task.evaluations;
+        switch (task.stage) {
+          case GoldenStage::kNarrow:
+            task.result_x = task.probe;
+            task.result_fx = value;
+            task.active = false;
+            --active;
+            break;
+          case GoldenStage::kInitC:
+            task.fc = value;
+            task.stage = GoldenStage::kInitD;
+            break;
+          case GoldenStage::kInitD:
+            task.fd = value;
+            task.stage = GoldenStage::kDecide;
+            break;
+          case GoldenStage::kEvalC:
+            task.fc = value;
+            ++task.iterations;
+            task.stage = GoldenStage::kDecide;
+            break;
+          case GoldenStage::kEvalD:
+            task.fd = value;
+            ++task.iterations;
+            task.stage = GoldenStage::kDecide;
+            break;
+          case GoldenStage::kDecide:
+            break;  // unreachable: kDecide never emits a probe
+        }
+      }
+    }
+  }
+
+  // Apply every task's refined candidate in collection order: per row this
+  // is ascending bracket order, the per-row path's exact sequence.
+  for (const GoldenTask& task : golden_tasks_) {
+    ProjectionResult& best = results[task.row];
+    best.evaluations += task.evaluations;
+    ConsiderPrecomputed(task.result_x, task.result_fx, &best);
+  }
+}
+
+void ProjectionWorkspace::ProjectBlock(const double* rows, int count,
+                                       int row_stride, double* s_out,
+                                       double* squared_out) {
+  assert(bound());
+  // The tile kernels vectorise across rows, so below a vector's worth of
+  // rows the block path is pure overhead (packing plus one indirect kernel
+  // call per grid point, each processing a near-empty tile) — single-row
+  // serving queries are the common case here. The per-row path is
+  // bit-identical (see ProjectPackedBlock), so this is purely a speed
+  // choice. Exact root solving has no grid stage to batch at any size.
+  constexpr int kBlockMinRows = 8;
+  if (options_.method == ProjectionMethod::kQuinticRoots ||
+      count < kBlockMinRows) {
+    for (int i = 0; i < count; ++i) {
+      const ProjectionResult result =
+          Project(rows + static_cast<size_t>(i) * row_stride);
+      s_out[i] = result.s;
+      if (squared_out != nullptr) squared_out[i] = result.squared_distance;
+    }
+    return;
+  }
+  for (int begin = 0; begin < count; begin += RowBlock::kMaxRows) {
+    const int chunk = std::min(RowBlock::kMaxRows, count - begin);
+    const double* chunk_rows = rows + static_cast<size_t>(begin) * row_stride;
+    block_.Pack(chunk_rows, chunk, row_stride);
+    ProjectPackedBlock(block_, chunk_rows, row_stride, s_out + begin,
+                       squared_out == nullptr ? nullptr : squared_out + begin);
+  }
 }
 
 ProjectionResult ProjectOntoCurve(const BezierCurve& curve, const Vector& x,

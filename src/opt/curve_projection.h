@@ -8,6 +8,7 @@
 #include "curve/bezier.h"
 #include "linalg/vector.h"
 #include "opt/polynomial.h"
+#include "opt/row_block.h"
 
 namespace rpc::opt {
 
@@ -98,6 +99,32 @@ class ProjectionWorkspace {
   /// Projects one point given as `dimension()` contiguous doubles.
   ProjectionResult Project(const double* x);
 
+  /// Projects `count` row-major rows (row i at rows + i * row_stride) in
+  /// RowBlock-sized sub-blocks: the rows are transposed into the bound
+  /// structure-of-arrays tile and the grid stage runs through the active
+  /// curve::SimdOps kernels — the curve value f(s_g) is evaluated once per
+  /// grid point for the whole block (instead of once per row) and the
+  /// residual distances vectorise across rows, one row per SIMD lane.
+  /// Refinement (Golden Section / Newton) then runs per row exactly as
+  /// Project would. Writes s_out[i] and, when non-null, squared_out[i].
+  ///
+  /// Bit-identical to calling Project(row i) for every row, for every
+  /// method and every backend (the SimdOps contract): the serial, batch,
+  /// warm-start and serving paths may mix the two entry points freely.
+  /// kQuinticRoots has no grid stage and simply loops Project. Evaluation
+  /// accounting is preserved: the workspace counters and the implied
+  /// per-row evaluations match the per-row path exactly.
+  void ProjectBlock(const double* rows, int count, int row_stride,
+                    double* s_out, double* squared_out);
+
+  /// The ProjectBlock core for rows already packed into a caller-owned
+  /// tile: `block` must hold the same `count <= RowBlock::kMaxRows` rows as
+  /// the row-major `rows` pointer (refinement reads the row-major form).
+  /// Exposed so batch-of-curves evaluation can pack a block once and score
+  /// it against many bound workspaces (see ProjectRowsBatchMultiCurve).
+  void ProjectPackedBlock(const RowBlock& block, const double* rows,
+                          int row_stride, double* s_out, double* squared_out);
+
   /// Warm-start local refinement: finds the best candidate inside the
   /// bracket [lo, hi] (a sub-interval of [0, 1]) only, via a small interior
   /// grid plus safeguarded Newton on the stationarity condition (with
@@ -152,6 +179,32 @@ class ProjectionWorkspace {
   ProjectionResult ProjectViaGrid(const double* x, bool refine);
   ProjectionResult ProjectViaNewton(const double* x);
   ProjectionResult ProjectViaPolynomialRoots(const double* x);
+  /// Shared back halves of the grid methods: given the g+1 grid distances
+  /// for one point (entry i at gd[i * stride]), run the bracket detection
+  /// and refinement exactly as ProjectViaGrid / ProjectViaNewton do. The
+  /// per-point path passes grid_dist_ with stride 1; the block path passes
+  /// a kernel-filled column of grid_dist_block_ with stride kLaneStride.
+  ProjectionResult FinishGridFromDists(const double* x, const double* gd,
+                                       int stride, bool refine);
+  ProjectionResult FinishNewtonFromDists(const double* x, const double* gd,
+                                         int stride);
+  /// Lock-step Golden Section refinement, the kGoldenSection back half of
+  /// ProjectPackedBlock: collects every grid-local-minimum bracket of the
+  /// block's rows into tasks and advances all of their searches together —
+  /// each round moves every active task's state machine by exactly one
+  /// objective evaluation, and a single batched kernel sweep
+  /// (SimdOps::power_squared_distances_multi) evaluates the whole round's
+  /// probes at once, one task per SIMD lane. Per task the evaluation
+  /// sequence, iteration count and result are GoldenSectionMinimizeWith's
+  /// exactly, so the refined minimisers, tie-breaks and evaluation
+  /// counters are bit-identical to the per-row path; only the interleaving
+  /// of evaluations across rows differs. Applies each task's refined
+  /// candidate to results[task.row] in the per-row path's bracket order.
+  void RefineGoldenBlock(const double* rows, int row_stride, int count,
+                         ProjectionResult* results);
+  /// Fills grid_f_ (f(s_g) for every grid point, lazily, once per Bind) for
+  /// the block path's shared-curve-value kernels.
+  void EnsureGridCurveValues();
   /// Safeguarded Newton on g(s) = f'(s).(x - f(s)) over [lo, hi], seeded at
   /// the midpoint; the shared refinement core of kNewton and ProjectLocal.
   double NewtonRefine(const double* x, double lo, double hi,
@@ -182,6 +235,56 @@ class ProjectionWorkspace {
   double roots_[PolynomialRootWorkspace::kMaxDegree];
 
   std::vector<double> grid_dist_;  // grid_points + 1 distances
+
+  // Block-path state (sized per Bind, so the block sweeps stay
+  // allocation-free): the SoA tile, the shared curve values f(s_g) for all
+  // grid points ((g+1) x d, filled lazily once per Bind), and the
+  // kernel-written grid distances ((g+1) x kLaneStride; the column with
+  // stride kLaneStride holds one row's grid).
+  RowBlock block_;
+  std::vector<double> grid_f_;
+  std::vector<double> grid_dist_block_;
+  bool grid_f_ready_ = false;
+
+  /// Where a lock-step Golden Section task is in its search (see
+  /// RefineGoldenBlock): the initial probes (c then d), the per-iteration
+  /// decide/evaluate split of GoldenSectionMinimizeWith's loop — the
+  /// branch update happens when the round's probe is chosen, the write of
+  /// fc/fd when its batched evaluation lands — and the degenerate
+  /// already-narrow bracket that evaluates its midpoint once.
+  enum class GoldenStage : unsigned char {
+    kNarrow,
+    kInitC,
+    kInitD,
+    kDecide,
+    kEvalC,
+    kEvalD,
+  };
+  /// One bracket's Golden Section Search, advanced in lock step with every
+  /// other bracket of its block.
+  struct GoldenTask {
+    int row = 0;                  // block-local row index
+    const double* x = nullptr;    // the row's coordinates (row-major)
+    double a = 0.0, b = 0.0, h = 0.0;  // current bracket
+    double c = 0.0, d = 0.0;      // interior probe parameters
+    double fc = 0.0, fd = 0.0;    // objective at the probes
+    double probe = 0.0;           // parameter evaluated this round
+    double result_x = 0.0, result_fx = 0.0;
+    int evaluations = 0;
+    int iterations = 0;
+    GoldenStage stage = GoldenStage::kInitC;
+    bool pending = false;  // emitted a probe this round
+    bool active = false;
+  };
+  // Lock-step refinement scratch (sized per Bind with the other block
+  // buffers): the task list, the task-major transpose of one wave's rows
+  // (column t = task t's coordinates, lane stride kMaxRows), the per-lane
+  // probe parameters and kernel results, and the per-row result scratch.
+  std::vector<GoldenTask> golden_tasks_;
+  std::vector<double> golden_xt_;
+  std::vector<double> golden_s_;
+  std::vector<double> golden_dist_;
+  std::vector<ProjectionResult> block_results_;
 
   std::int64_t objective_evals_ = 0;
   std::int64_t stationarity_evals_ = 0;

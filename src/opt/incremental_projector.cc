@@ -215,6 +215,27 @@ void IncrementalProjector::ProjectRange(
     std::int64_t begin, std::int64_t end, double* scores, double* squared,
     RangeCounters* counters, curve::BernsteinDesignAccumulator* accumulator) {
   const Matrix& data = *data_;
+  if (begin >= end) return;
+  if (full) {
+    // Full resync: no per-row warm state feeds the projection, so the
+    // whole range runs as one SoA block sweep through the SIMD grid
+    // kernels (bit-identical to the per-row Project loop), followed by a
+    // plain in-order bookkeeping pass.
+    workspace->ProjectBlock(data.RowPtr(static_cast<int>(begin)),
+                            static_cast<int>(end - begin), data.cols(),
+                            scores + begin, squared + begin);
+    for (std::int64_t i = begin; i < end; ++i) {
+      const size_t row = static_cast<size_t>(i);
+      drift_[row] = std::fabs(scores[i] - s_[row]);
+      s_[row] = scores[i];
+      dist_[row] = squared[i];
+      if (accumulator != nullptr) {
+        accumulator->AccumulateRow(scores[i],
+                                   data.RowPtr(static_cast<int>(i)));
+      }
+    }
+    return;
+  }
   const int g = std::max(options_.projection.grid_points, 2);
   const double default_half = options_.bracket_cells / g;
   const double min_half =
@@ -223,9 +244,7 @@ void IncrementalProjector::ProjectRange(
     const double* x = data.RowPtr(static_cast<int>(i));
     const double s_prev = s_[static_cast<size_t>(i)];
     ProjectionResult result;
-    if (full) {
-      result = workspace->Project(x);
-    } else {
+    {
       const double drift = drift_[static_cast<size_t>(i)];
       // Certified distance bound: the previous s* is inside the bracket and
       // the curve moved at most delta, so any honest local refinement must

@@ -1,0 +1,29 @@
+#include "opt/row_block.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace rpc::opt {
+
+void RowBlock::Bind(int dim) {
+  assert(dim >= 0);
+  dim_ = dim;
+  rows_ = 0;
+  tile_.resize(static_cast<std::size_t>(dim) * kLaneStride);
+}
+
+void RowBlock::Pack(const double* rows, int count, int row_stride) {
+  assert(count >= 0 && count <= kMaxRows);
+  assert(row_stride >= dim_);
+  rows_ = count;
+  // Row-major to lane-major transpose. The write side is the contiguous
+  // one: each lane fills stride-1, so the kernels read sequential memory.
+  for (int j = 0; j < dim_; ++j) {
+    double* lane = tile_.data() + static_cast<std::size_t>(j) * kLaneStride;
+    for (int i = 0; i < count; ++i) {
+      lane[i] = rows[static_cast<std::size_t>(i) * row_stride + j];
+    }
+  }
+}
+
+}  // namespace rpc::opt

@@ -1,0 +1,52 @@
+#ifndef RPC_OPT_ROW_BLOCK_H_
+#define RPC_OPT_ROW_BLOCK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rpc::opt {
+
+/// A structure-of-arrays tile of up to kMaxRows data rows: coordinate j of
+/// every packed row lives in the contiguous lane
+/// tile()[j * kLaneStride .. j * kLaneStride + rows()). The projection grid
+/// kernels (curve::SimdOps) sweep one lane per coordinate, so their inner
+/// loops vectorise across rows — one row per SIMD lane — instead of across
+/// the d dimensions of a single row.
+///
+/// The block capacity matches the serving tier's deadline-check stride: a
+/// shard scores one block, checks the deadline, scores the next, keeping
+/// cancellation granularity unchanged by the batch layout.
+class RowBlock {
+ public:
+  static constexpr int kMaxRows = 64;
+  /// Lane pitch in doubles; lanes are padded to the full capacity so the
+  /// tile never reallocates between blocks of different row counts.
+  static constexpr int kLaneStride = kMaxRows;
+
+  RowBlock() = default;
+
+  /// Sizes the tile for `dim`-dimensional rows. Allocation happens here
+  /// only; Pack is allocation-free afterwards (the batch hot-loop contract).
+  void Bind(int dim);
+
+  /// Transposes `count` row-major rows (row i at rows + i * row_stride,
+  /// coordinates contiguous) into the column-major tile. count must be in
+  /// [0, kMaxRows].
+  void Pack(const double* rows, int count, int row_stride);
+
+  int dim() const { return dim_; }
+  int rows() const { return rows_; }
+  const double* tile() const { return tile_.data(); }
+  const double* Lane(int j) const {
+    return tile_.data() + static_cast<std::size_t>(j) * kLaneStride;
+  }
+
+ private:
+  int dim_ = 0;
+  int rows_ = 0;
+  std::vector<double> tile_;  // dim_ lanes of kLaneStride doubles
+};
+
+}  // namespace rpc::opt
+
+#endif  // RPC_OPT_ROW_BLOCK_H_

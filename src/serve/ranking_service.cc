@@ -22,7 +22,10 @@ using Clock = std::chrono::steady_clock;
 /// Rows between cooperative deadline checks in the execution hot loop:
 /// rare enough that the clock read is noise (a row costs ~1 us), frequent
 /// enough that an expired query stops burning pool time within ~100 us.
-constexpr int kDeadlineCheckStride = 64;
+/// Deliberately the SoA block capacity: the hot loop scores one packed
+/// block per deadline check, so the SIMD batch layout leaves cancellation
+/// granularity unchanged.
+constexpr int kDeadlineCheckStride = opt::RowBlock::kMaxRows;
 
 std::int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -145,7 +148,9 @@ struct RankingService::Shard {
   /// is neither copyable nor movable, hence the unique_ptr indirection.
   struct Slot {
     opt::ProjectionWorkspace workspace;
-    std::vector<double> normalized;  // d scratch: the row in curve space
+    /// kDeadlineCheckStride x d scratch: one block of rows in curve space,
+    /// normalised then projected as a unit (ScoreRows).
+    std::vector<double> normalized;
   };
   std::vector<std::unique_ptr<Slot>> slots;
   /// Free slot indices; checkout = Pop (blocks only while every slot is
@@ -218,7 +223,7 @@ RankingService::BuildShard(const core::PortableRpcModel& model,
   for (int i = 0; i < options_.workspaces_per_shard; ++i) {
     auto slot = std::make_unique<Shard::Slot>();
     slot->workspace.BindShared(shard->curve, options_.projection);
-    slot->normalized.resize(static_cast<size_t>(d));
+    slot->normalized.resize(static_cast<size_t>(kDeadlineCheckStride) * d);
     shard->slots.push_back(std::move(slot));
     shard->free_slots.Push(i);
   }
@@ -296,22 +301,32 @@ bool RankingService::ScoreRows(const Shard& shard, int slot_index,
   Shard::Slot& slot = *shard.slots[static_cast<size_t>(slot_index)];
   const Vector& mins = shard.model.mins;
   const Vector& maxs = shard.model.maxs;
-  const int d = static_cast<int>(slot.normalized.size());
-  // Hot loop: normalise into the slot scratch, project, store s. The same
-  // arithmetic as data::Normalizer::Transform + ProjectionWorkspace::Project,
-  // so served scores are bit-identical to RpcRanker::Score; and like the
-  // fitting engine's batch loop it allocates nothing per row.
-  for (int i = begin; i < end; ++i) {
-    if (i != begin && (i - begin) % kDeadlineCheckStride == 0 &&
-        state.ExpiredNow()) {
+  const int d = shard.curve->dimension();
+  // Hot loop: normalise one block of rows into the slot scratch, project
+  // the block through the SIMD grid kernels, store s. The same arithmetic
+  // as data::Normalizer::Transform + ProjectionWorkspace::Project (the
+  // block path is bit-identical to the per-row path), so served scores
+  // stay bit-identical to RpcRanker::Score; and like the fitting engine's
+  // batch loop it allocates nothing per row. The deadline re-check sits
+  // between blocks — the same stride the per-row loop used.
+  for (int block_begin = begin; block_begin < end;
+       block_begin += kDeadlineCheckStride) {
+    if (block_begin != begin && state.ExpiredNow()) {
       return false;  // caller gave up; stop burning pool time
     }
-    const double* raw = rows.RowPtr(i);
-    for (int j = 0; j < d; ++j) {
-      slot.normalized[static_cast<size_t>(j)] =
-          (raw[j] - mins[j]) / (maxs[j] - mins[j]);
+    const int block_end = std::min(end, block_begin + kDeadlineCheckStride);
+    for (int i = block_begin; i < block_end; ++i) {
+      const double* raw = rows.RowPtr(i);
+      double* norm =
+          slot.normalized.data() + static_cast<size_t>(i - block_begin) * d;
+      for (int j = 0; j < d; ++j) {
+        norm[j] = (raw[j] - mins[j]) / (maxs[j] - mins[j]);
+      }
     }
-    scores_out[i] = slot.workspace.Project(slot.normalized.data()).s;
+    slot.workspace.ProjectBlock(slot.normalized.data(),
+                                block_end - block_begin, d,
+                                scores_out + block_begin,
+                                /*squared_out=*/nullptr);
   }
   return true;
 }

@@ -1,0 +1,282 @@
+#include "curve/simd_backend.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "curve/bezier.h"
+#include "linalg/matrix.h"
+#include "opt/batch_projection.h"
+#include "opt/curve_projection.h"
+#include "opt/row_block.h"
+
+namespace rpc::curve {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using opt::ProjectionMethod;
+using opt::ProjectionOptions;
+using opt::ProjectionWorkspace;
+using opt::RowBlock;
+
+TEST(SimdBackendTest, ScalarAlwaysAvailableAndFirst) {
+  const std::vector<const SimdOps*> backends = AvailableSimdBackends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends[0]->kind, SimdBackendKind::kScalar);
+  EXPECT_STREQ(backends[0]->name, "scalar");
+  for (const SimdOps* ops : backends) {
+    ASSERT_NE(ops, nullptr);
+    EXPECT_NE(ops->tile_squared_distances_fused, nullptr);
+    EXPECT_NE(ops->tile_squared_distances_seq, nullptr);
+    EXPECT_NE(ops->power_squared_distance, nullptr);
+    EXPECT_NE(ops->power_squared_distances_multi, nullptr);
+    EXPECT_STREQ(ops->name, SimdBackendName(ops->kind));
+  }
+}
+
+TEST(SimdBackendTest, ActiveBackendIsAvailableAndNamed) {
+  const SimdOps& active = ActiveSimd();
+  EXPECT_STREQ(BackendName(), active.name);
+  EXPECT_EQ(ActiveSimdKind(), active.kind);
+  bool listed = false;
+  for (const SimdOps* ops : AvailableSimdBackends()) {
+    if (ops->kind == active.kind) listed = true;
+  }
+  EXPECT_TRUE(listed);
+}
+
+TEST(SimdBackendTest, SetSimdBackendRejectsUnavailableAcceptsScalar) {
+  const SimdBackendKind previous = ActiveSimdKind();
+  EXPECT_TRUE(SetSimdBackend(SimdBackendKind::kScalar));
+  EXPECT_EQ(ActiveSimdKind(), SimdBackendKind::kScalar);
+#if !defined(__aarch64__)
+  EXPECT_FALSE(SetSimdBackend(SimdBackendKind::kNeon));
+  EXPECT_EQ(ActiveSimdKind(), SimdBackendKind::kScalar);
+#endif
+  EXPECT_TRUE(SetSimdBackend(previous));
+  EXPECT_EQ(ActiveSimdKind(), previous);
+}
+
+// The core contract: on random SoA tiles of random shapes, every compiled
+// backend's kernels produce bit-identical distances to the scalar
+// reference — for both reference orderings, including ragged row counts
+// that exercise the vector kernels' scalar remainders and dimension tails.
+TEST(SimdBackendTest, KernelsBitIdenticalToScalarOnRandomTiles) {
+  Rng rng(2024);
+  const std::vector<const SimdOps*> backends = AvailableSimdBackends();
+  const SimdOps* scalar = backends[0];
+  for (int trial = 0; trial < 200; ++trial) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(40));
+    const int rows = 1 + static_cast<int>(rng.UniformInt(RowBlock::kMaxRows));
+    std::vector<double> tile(static_cast<size_t>(d) * RowBlock::kLaneStride);
+    for (double& v : tile) v = rng.Uniform(-2.0, 2.0);
+    std::vector<double> f(static_cast<size_t>(d));
+    for (double& v : f) v = rng.Uniform(-2.0, 2.0);
+
+    std::vector<double> expected_fused(static_cast<size_t>(rows));
+    std::vector<double> expected_seq(static_cast<size_t>(rows));
+    scalar->tile_squared_distances_fused(tile.data(), RowBlock::kLaneStride,
+                                         d, rows, f.data(),
+                                         expected_fused.data());
+    scalar->tile_squared_distances_seq(tile.data(), RowBlock::kLaneStride, d,
+                                       rows, f.data(), expected_seq.data());
+    for (const SimdOps* ops : backends) {
+      std::vector<double> got(static_cast<size_t>(rows), -1.0);
+      ops->tile_squared_distances_fused(tile.data(), RowBlock::kLaneStride, d,
+                                        rows, f.data(), got.data());
+      for (int r = 0; r < rows; ++r) {
+        ASSERT_EQ(got[static_cast<size_t>(r)],
+                  expected_fused[static_cast<size_t>(r)])
+            << ops->name << " fused d=" << d << " rows=" << rows
+            << " row " << r;
+      }
+      ops->tile_squared_distances_seq(tile.data(), RowBlock::kLaneStride, d,
+                                      rows, f.data(), got.data());
+      for (int r = 0; r < rows; ++r) {
+        ASSERT_EQ(got[static_cast<size_t>(r)],
+                  expected_seq[static_cast<size_t>(r)])
+            << ops->name << " seq d=" << d << " rows=" << rows
+            << " row " << r;
+      }
+    }
+  }
+}
+
+// Same contract for the per-point refinement kernel: random degrees,
+// dimensions (ragged tails included) and interior s — every backend must
+// match the scalar reference bit for bit.
+TEST(SimdBackendTest, PowerKernelBitIdenticalToScalarOnRandomCoefficients) {
+  Rng rng(909);
+  const std::vector<const SimdOps*> backends = AvailableSimdBackends();
+  const SimdOps* scalar = backends[0];
+  for (int trial = 0; trial < 300; ++trial) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(40));
+    const int k = 1 + static_cast<int>(rng.UniformInt(7));
+    std::vector<double> power(static_cast<size_t>(k + 1) *
+                              static_cast<size_t>(d));
+    for (double& v : power) v = rng.Uniform(-2.0, 2.0);
+    std::vector<double> x(static_cast<size_t>(d));
+    for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+    const double s = rng.Uniform(1e-6, 1.0 - 1e-6);
+    const double expected =
+        scalar->power_squared_distance(power.data(), k, d, s, x.data());
+    for (const SimdOps* ops : backends) {
+      const double got =
+          ops->power_squared_distance(power.data(), k, d, s, x.data());
+      ASSERT_EQ(got, expected)
+          << ops->name << " k=" << k << " d=" << d << " s=" << s;
+    }
+  }
+}
+
+// The batched per-lane-parameter kernel (the lock-step Golden Section
+// engine) must match both the scalar reference and, lane by lane, the
+// per-point kernel it batches: random shapes, ragged task counts and
+// dimension tails, every compiled backend.
+TEST(SimdBackendTest, MultiKernelBitIdenticalToScalarAndPerPoint) {
+  Rng rng(4242);
+  const std::vector<const SimdOps*> backends = AvailableSimdBackends();
+  const SimdOps* scalar = backends[0];
+  constexpr int kLaneStride = RowBlock::kMaxRows;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(40));
+    const int k = 1 + static_cast<int>(rng.UniformInt(7));
+    const int count = 1 + static_cast<int>(rng.UniformInt(kLaneStride));
+    std::vector<double> power(static_cast<size_t>(k + 1) *
+                              static_cast<size_t>(d));
+    for (double& v : power) v = rng.Uniform(-2.0, 2.0);
+    std::vector<double> xt(static_cast<size_t>(d) * kLaneStride);
+    for (double& v : xt) v = rng.Uniform(-2.0, 2.0);
+    std::vector<double> s(static_cast<size_t>(count));
+    for (double& v : s) v = rng.Uniform(1e-6, 1.0 - 1e-6);
+
+    std::vector<double> expected(static_cast<size_t>(count));
+    scalar->power_squared_distances_multi(power.data(), k, d, xt.data(),
+                                          kLaneStride, count, s.data(),
+                                          expected.data());
+    // Lane t of the batched kernel is the per-point kernel at (x_t, s_t).
+    std::vector<double> x(static_cast<size_t>(d));
+    for (int t = 0; t < count; ++t) {
+      for (int j = 0; j < d; ++j) {
+        x[static_cast<size_t>(j)] =
+            xt[static_cast<size_t>(j) * kLaneStride + t];
+      }
+      ASSERT_EQ(scalar->power_squared_distance(power.data(), k, d,
+                                               s[static_cast<size_t>(t)],
+                                               x.data()),
+                expected[static_cast<size_t>(t)])
+          << "multi vs per-point, task " << t << " k=" << k << " d=" << d;
+    }
+    for (const SimdOps* ops : backends) {
+      std::vector<double> got(static_cast<size_t>(count), -1.0);
+      ops->power_squared_distances_multi(power.data(), k, d, xt.data(),
+                                         kLaneStride, count, s.data(),
+                                         got.data());
+      for (int t = 0; t < count; ++t) {
+        ASSERT_EQ(got[static_cast<size_t>(t)],
+                  expected[static_cast<size_t>(t)])
+            << ops->name << " k=" << k << " d=" << d << " count=" << count
+            << " task " << t;
+      }
+    }
+  }
+}
+
+BezierCurve RandomCurve(int d, int k, Rng* rng) {
+  Matrix control(d, k + 1);
+  for (int i = 0; i < d; ++i) {
+    for (int r = 0; r <= k; ++r) control(i, r) = rng->Uniform(-0.2, 1.2);
+  }
+  return BezierCurve(control);
+}
+
+// End-to-end equivalence fuzz: random degrees (the general-degree Horner
+// path included), dimensions and row counts; every compiled backend must
+// reproduce the scalar backend's batch scores, per-row squared distances
+// and total J bit for bit, for every grid-based method.
+TEST(SimdBackendTest, BatchProjectionBitIdenticalAcrossBackends) {
+  const SimdBackendKind previous = ActiveSimdKind();
+  Rng rng(77);
+  const ProjectionMethod methods[] = {ProjectionMethod::kGoldenSection,
+                                      ProjectionMethod::kGridOnly,
+                                      ProjectionMethod::kNewton};
+  for (int trial = 0; trial < 10; ++trial) {
+    const int d = 1 + static_cast<int>(rng.UniformInt(12));
+    const int k = 1 + static_cast<int>(rng.UniformInt(5));
+    const int n = 1 + static_cast<int>(rng.UniformInt(150));
+    const BezierCurve curve = RandomCurve(d, k, &rng);
+    Matrix data(n, d);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) data(i, j) = rng.Uniform(-0.3, 1.3);
+    }
+    for (ProjectionMethod method : methods) {
+      ProjectionOptions options;
+      options.method = method;
+      options.grid_points = 8 + static_cast<int>(rng.UniformInt(24));
+
+      ASSERT_TRUE(SetSimdBackend(SimdBackendKind::kScalar));
+      // Per-row scalar reference, the ground truth every backend and the
+      // block path itself must match.
+      ProjectionWorkspace reference;
+      reference.Bind(curve, options);
+      std::vector<double> ref_s(static_cast<size_t>(n));
+      std::vector<double> ref_sq(static_cast<size_t>(n));
+      double ref_total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const auto proj = reference.Project(data.RowPtr(i));
+        ref_s[static_cast<size_t>(i)] = proj.s;
+        ref_sq[static_cast<size_t>(i)] = proj.squared_distance;
+        ref_total += proj.squared_distance;
+      }
+      for (const SimdOps* ops : AvailableSimdBackends()) {
+        ASSERT_TRUE(SetSimdBackend(ops->kind));
+        double total = 0.0;
+        const Vector scores =
+            opt::ProjectRowsBatch(curve, data, options, nullptr, &total);
+        for (int i = 0; i < n; ++i) {
+          ASSERT_EQ(scores[i], ref_s[static_cast<size_t>(i)])
+              << ops->name << " k=" << k << " d=" << d << " row " << i;
+        }
+        ASSERT_EQ(total, ref_total) << ops->name << " k=" << k << " d=" << d;
+      }
+    }
+  }
+  ASSERT_TRUE(SetSimdBackend(previous));
+}
+
+// The block path must preserve the evaluation-accounting invariant the
+// per-row path holds: workspace counters count exactly the evaluations the
+// solver performed, whatever backend ran the grid stage.
+TEST(SimdBackendTest, BlockPathEvaluationAccountingMatchesPerRow) {
+  Rng rng(31);
+  const BezierCurve curve = RandomCurve(4, 3, &rng);
+  Matrix data(100, 4);
+  for (int i = 0; i < data.rows(); ++i) {
+    for (int j = 0; j < data.cols(); ++j) data(i, j) = rng.Uniform(-0.2, 1.2);
+  }
+  for (ProjectionMethod method : {ProjectionMethod::kGoldenSection,
+                                  ProjectionMethod::kGridOnly,
+                                  ProjectionMethod::kNewton}) {
+    ProjectionOptions options;
+    options.method = method;
+    ProjectionWorkspace per_row;
+    per_row.Bind(curve, options);
+    for (int i = 0; i < data.rows(); ++i) per_row.Project(data.RowPtr(i));
+
+    ProjectionWorkspace block;
+    block.Bind(curve, options);
+    std::vector<double> s(static_cast<size_t>(data.rows()));
+    block.ProjectBlock(data.RowPtr(0), data.rows(), data.cols(), s.data(),
+                       nullptr);
+    EXPECT_EQ(block.objective_evaluations(), per_row.objective_evaluations());
+    EXPECT_EQ(block.stationarity_evaluations(),
+              per_row.stationarity_evaluations());
+  }
+}
+
+}  // namespace
+}  // namespace rpc::curve

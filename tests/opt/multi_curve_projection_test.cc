@@ -1,0 +1,127 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "curve/bezier.h"
+#include "linalg/matrix.h"
+#include "opt/batch_projection.h"
+
+namespace rpc::opt {
+namespace {
+
+using curve::BezierCurve;
+using linalg::Matrix;
+using linalg::Vector;
+
+BezierCurve RandomCurve(int d, int k, Rng* rng) {
+  Matrix control(d, k + 1);
+  for (int i = 0; i < d; ++i) {
+    for (int r = 0; r <= k; ++r) control(i, r) = rng->Uniform(-0.2, 1.2);
+  }
+  return BezierCurve(control);
+}
+
+Matrix RandomData(int n, int d, Rng* rng) {
+  Matrix data(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) data(i, j) = rng->Uniform(-0.3, 1.3);
+  }
+  return data;
+}
+
+// Element m of the batch-of-curves call is specified to be bit-identical to
+// the single-curve batch over curve m — scores and totals — for every
+// method, including the kQuinticRoots per-curve fallback.
+TEST(MultiCurveProjectionTest, MatchesSingleCurveBatchesSerial) {
+  Rng rng(11);
+  const int d = 5;
+  const int n = 173;  // not a multiple of the block size
+  const Matrix data = RandomData(n, d, &rng);
+  std::vector<BezierCurve> owned;
+  owned.reserve(4);
+  for (int k : {3, 3, 2, 5}) owned.push_back(RandomCurve(d, k, &rng));
+  std::vector<const BezierCurve*> curves;
+  for (const BezierCurve& c : owned) curves.push_back(&c);
+
+  for (ProjectionMethod method :
+       {ProjectionMethod::kGoldenSection, ProjectionMethod::kGridOnly,
+        ProjectionMethod::kNewton, ProjectionMethod::kQuinticRoots}) {
+    ProjectionOptions options;
+    options.method = method;
+    std::vector<double> totals;
+    const std::vector<Vector> scores =
+        ProjectRowsBatchMultiCurve(curves, data, options, nullptr, &totals);
+    ASSERT_EQ(scores.size(), curves.size());
+    ASSERT_EQ(totals.size(), curves.size());
+    for (size_t m = 0; m < curves.size(); ++m) {
+      double expected_total = 0.0;
+      const Vector expected = ProjectRowsBatch(*curves[m], data, options,
+                                               nullptr, &expected_total);
+      ASSERT_EQ(scores[m].size(), expected.size());
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(scores[m][i], expected[i])
+            << "method " << static_cast<int>(method) << " curve " << m
+            << " row " << i;
+      }
+      ASSERT_EQ(totals[m], expected_total)
+          << "method " << static_cast<int>(method) << " curve " << m;
+    }
+  }
+}
+
+// Thread count must not change a single bit (the determinism contract the
+// single-curve batch already holds).
+TEST(MultiCurveProjectionTest, ParallelMatchesSerialBitwise) {
+  Rng rng(23);
+  const int d = 3;
+  const int n = 301;
+  const Matrix data = RandomData(n, d, &rng);
+  std::vector<BezierCurve> owned;
+  for (int k : {3, 4, 1}) owned.push_back(RandomCurve(d, k, &rng));
+  std::vector<const BezierCurve*> curves;
+  for (const BezierCurve& c : owned) curves.push_back(&c);
+
+  ProjectionOptions options;
+  std::vector<double> serial_totals;
+  const std::vector<Vector> serial = ProjectRowsBatchMultiCurve(
+      curves, data, options, nullptr, &serial_totals);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<double> totals;
+    const std::vector<Vector> parallel =
+        ProjectRowsBatchMultiCurve(curves, data, options, &pool, &totals);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t m = 0; m < serial.size(); ++m) {
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(parallel[m][i], serial[m][i])
+            << threads << " threads, curve " << m << " row " << i;
+      }
+      ASSERT_EQ(totals[m], serial_totals[m]) << threads << " threads";
+    }
+  }
+}
+
+TEST(MultiCurveProjectionTest, HandlesEmptyInputs) {
+  Rng rng(5);
+  const Matrix data = RandomData(7, 2, &rng);
+  ProjectionOptions options;
+
+  std::vector<double> totals{1.0, 2.0};
+  EXPECT_TRUE(ProjectRowsBatchMultiCurve({}, data, options, nullptr, &totals)
+                  .empty());
+  EXPECT_TRUE(totals.empty());
+
+  const BezierCurve curve = RandomCurve(2, 3, &rng);
+  const Matrix empty(0, 2);
+  const std::vector<Vector> scores = ProjectRowsBatchMultiCurve(
+      {&curve}, empty, options, nullptr, &totals);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].size(), 0);
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0], 0.0);
+}
+
+}  // namespace
+}  // namespace rpc::opt

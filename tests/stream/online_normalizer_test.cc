@@ -274,7 +274,10 @@ TEST(OnlineNormalizerTest, ExportImportThenSameOpsIsBitIdentical) {
   }
   expect_state_bits_equal("after replayed suffix");
 
-  const Matrix rescan = RandomRows(10, d, 41);
+  // RebuildBounds' contract is a re-scan of the *surviving row store*, so
+  // the stand-in must have exactly count rows (the Debug assert checks).
+  const Matrix rescan =
+      RandomRows(static_cast<int>(original.ExportState().count), d, 41);
   original.RebuildBounds(rescan);
   replayed.RebuildBounds(rescan);
   EXPECT_FALSE(original.bounds_stale());

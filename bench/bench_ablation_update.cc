@@ -223,6 +223,7 @@ int RunUpdateThroughput(bool quick) {
     }
   }
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return failures;
 }
 

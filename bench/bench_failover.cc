@@ -42,6 +42,8 @@
 #include "serve/ranking_service.h"
 #include "stream/streaming_ranker.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using rpc::linalg::Matrix;
@@ -267,5 +269,6 @@ int main(int argc, char** argv) {
   std::printf("# verify: standby model at acked offset, promoted probe "
               "scores, and post-promotion writes all checked\n");
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return 0;
 }

@@ -1,0 +1,177 @@
+// Telemetry overhead on the serving closed loop: the same single-thread
+// query loop the serving-throughput bench gates, measured with runtime
+// tracing ON (every query mints a trace id and emits its span timeline)
+// and OFF (obs::SetTracingEnabled(false): metrics still count, span sites
+// are no-ops). The contract in docs/observability.md: enabled stays
+// within 2% of disabled; an RPC_OBS_DISABLED build compiles every span
+// site away entirely and both variants measure the same loop.
+//
+//   build/bench_obs_overhead [--quick]
+//
+// Full runs rewrite BENCH_obs_overhead.json; --quick runs write
+// BENCH_obs_overhead.quick.json with the same row keys for the CI gate.
+// The enabled/disabled windows interleave round-robin so slow drift in
+// machine load cancels instead of biasing one variant.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/model_io.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "obs/trace.h"
+#include "order/orientation.h"
+#include "serve/ranking_service.h"
+
+namespace {
+
+using rpc::Rng;
+using rpc::linalg::Matrix;
+using rpc::linalg::Vector;
+using rpc::serve::RankingService;
+
+// Same synthetic monotone model as bench_serving_throughput.cc.
+rpc::core::PortableRpcModel MonotoneModel(int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix control(d, 4);
+  for (int i = 0; i < d; ++i) {
+    control(i, 0) = 0.0;
+    control(i, 1) = rng.Uniform(0.1, 0.45);
+    control(i, 2) = rng.Uniform(0.55, 0.9);
+    control(i, 3) = 1.0;
+  }
+  rpc::core::PortableRpcModel model;
+  model.alpha = rpc::order::Orientation::AllBenefit(d);
+  model.mins = Vector(d, 0.0);
+  model.maxs = Vector(d, 1.0);
+  model.control_points = control;
+  return model;
+}
+
+Matrix RandomRows(int n, int d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix rows(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) rows(i, j) = rng.Uniform(-0.1, 1.1);
+  }
+  return rows;
+}
+
+struct Tally {
+  std::int64_t queries = 0;
+  std::int64_t rows = 0;
+  double seconds = 0.0;
+  double QueriesPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(queries) / seconds : 0.0;
+  }
+  double RowsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(rows) / seconds : 0.0;
+  }
+};
+
+// One closed-loop window: synchronous queries until `window_seconds` of
+// wall time elapse, accumulated into `tally`.
+void RunWindow(const RankingService& service, const Matrix& batch,
+               double window_seconds, Tally* tally) {
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while (true) {
+    const auto result = service.Query("d", batch);
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+    if (!result.ok()) break;  // unreachable: the dataset is registered
+    ++tally->queries;
+    tally->rows += result->scores.size();
+    if (elapsed >= window_seconds) break;
+  }
+  tally->seconds += elapsed;
+}
+
+void EmitJson(std::FILE* sink, const std::string& line) {
+  std::printf("%s\n", line.c_str());
+  if (sink != nullptr) std::fprintf(sink, "%s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const int d = 8;
+  const int batch_rows = 64;
+  const int rounds = quick ? 3 : 6;
+  const double window_seconds = quick ? 0.05 : 0.25;
+
+  RankingService::Options options;
+  options.num_threads = 1;  // the machine-comparable closed-loop row
+  RankingService service(options);
+  const rpc::Status registered =
+      service.RegisterDataset("d", MonotoneModel(d, 41));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 registered.ToString().c_str());
+    return 1;
+  }
+  const Matrix batch = RandomRows(batch_rows, d, 42);
+
+  const char* sink_path =
+      quick ? "BENCH_obs_overhead.quick.json" : "BENCH_obs_overhead.json";
+  std::FILE* sink = std::fopen(sink_path, "w");
+  std::printf("# telemetry overhead on the serving closed loop "
+              "(threads=1, batch=%d, d=%d); JSON also in %s\n",
+              batch_rows, d, sink_path);
+
+  // Warm-up outside both tallies.
+  {
+    Tally warm;
+    RunWindow(service, batch, window_seconds, &warm);
+  }
+
+  Tally enabled;
+  Tally disabled;
+  for (int round = 0; round < rounds; ++round) {
+    rpc::obs::SetTracingEnabled(false);
+    RunWindow(service, batch, window_seconds, &disabled);
+    rpc::obs::SetTracingEnabled(true);
+    RunWindow(service, batch, window_seconds, &enabled);
+  }
+  rpc::obs::SetTracingEnabled(true);  // leave the process default behind
+
+  const std::string identity = std::string(",\"threads\":1,\"callers\":1") +
+                               ",\"batch\":" + std::to_string(batch_rows) +
+                               ",\"d\":" + std::to_string(d);
+  EmitJson(sink,
+           "{\"bench\":\"obs_overhead\",\"variant\":\"disabled\"" + identity +
+               ",\"queries_per_sec\":" +
+               std::to_string(disabled.QueriesPerSec()) +
+               ",\"rows_per_sec\":" + std::to_string(disabled.RowsPerSec()) +
+               "}");
+  EmitJson(sink,
+           "{\"bench\":\"obs_overhead\",\"variant\":\"enabled\"" + identity +
+               ",\"queries_per_sec\":" +
+               std::to_string(enabled.QueriesPerSec()) +
+               ",\"rows_per_sec\":" + std::to_string(enabled.RowsPerSec()) +
+               "}");
+  const double overhead_pct =
+      disabled.QueriesPerSec() > 0.0
+          ? (1.0 - enabled.QueriesPerSec() / disabled.QueriesPerSec()) * 100.0
+          : 0.0;
+  EmitJson(sink, "{\"bench\":\"obs_overhead\",\"variant\":\"overhead\"" +
+                     identity +
+                     ",\"overhead_pct\":" + std::to_string(overhead_pct) +
+                     "}");
+  std::printf("# tracing-enabled overhead: %.2f%% (budget: 2%%)\n",
+              overhead_pct);
+
+  if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
+  return 0;
+}

@@ -40,6 +40,8 @@
 #include "order/orientation.h"
 #include "rank/ranking_list.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using rpc::Rng;
@@ -327,6 +329,7 @@ int RunFitBench(bool quick) {
     }
   }
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return failures == 0 ? 0 : 1;
 }
 
@@ -459,5 +462,6 @@ int main(int argc, char** argv) {
     }
   }
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return 0;
 }

@@ -34,6 +34,8 @@
 #include "serve/ranking_service.h"
 #include "stream/streaming_ranker.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using rpc::linalg::Matrix;
@@ -242,5 +244,6 @@ int main(int argc, char** argv) {
   std::printf("# verify: recovered model, version, and probe scores match "
               "the pre-crash ranker bit for bit\n");
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return 0;
 }

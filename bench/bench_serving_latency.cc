@@ -31,6 +31,8 @@
 #include "order/orientation.h"
 #include "serve/ranking_service.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using rpc::Rng;
@@ -315,5 +317,6 @@ int main(int argc, char** argv) {
   }
 
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return 0;
 }

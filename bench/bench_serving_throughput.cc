@@ -30,6 +30,8 @@
 #include "order/orientation.h"
 #include "serve/ranking_service.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using rpc::Rng;
@@ -256,5 +258,6 @@ int main(int argc, char** argv) {
     }
   }
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return verify_failures == 0 ? 0 : 1;
 }

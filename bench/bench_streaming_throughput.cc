@@ -37,6 +37,8 @@
 #include "serve/ranking_service.h"
 #include "stream/streaming_ranker.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using rpc::core::RpcLearnOptions;
@@ -321,5 +323,6 @@ int main(int argc, char** argv) {
   }
 
   if (sink != nullptr) std::fclose(sink);
+  rpc::bench::WriteTelemetrySnapshot(sink_path);
   return 0;
 }

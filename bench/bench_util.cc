@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/export.h"
+
 namespace rpc::bench {
 
 void PrintHeader(const std::string& experiment,
@@ -30,5 +32,22 @@ int PrintComparisons(const std::vector<Comparison>& comparisons) {
 }
 
 std::string YesNo(bool value) { return value ? "yes" : "no"; }
+
+void WriteTelemetrySnapshot(const std::string& bench_json_path) {
+  std::string path = bench_json_path;
+  const std::string suffix = ".json";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    path.resize(path.size() - suffix.size());
+  }
+  path += ".telemetry.json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return;
+  const std::string snapshot =
+      obs::JsonSnapshot(obs::Registry::Global(), /*include_spans=*/false);
+  std::fwrite(snapshot.data(), 1, snapshot.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
 
 }  // namespace rpc::bench

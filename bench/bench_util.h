@@ -28,6 +28,13 @@ int PrintComparisons(const std::vector<Comparison>& comparisons);
 /// Formats booleans for the match column.
 std::string YesNo(bool value);
 
+/// Writes a JSON snapshot of the global telemetry registry next to a
+/// bench's JSON sink: "<path minus .json>.telemetry.json". Called after a
+/// bench closes its BENCH_*.json so the run's counters/histograms (fsync
+/// latency, queue depths, refresh phases, ...) land beside the perf rows
+/// they explain. Silently does nothing if the file cannot be opened.
+void WriteTelemetrySnapshot(const std::string& bench_json_path);
+
 }  // namespace rpc::bench
 
 #endif  // RPC_BENCH_BENCH_UTIL_H_

@@ -75,6 +75,7 @@ METRIC_FIELDS = {
     "shed",
     "deadline_expired",
     "coalesced",
+    "overhead_pct",
 }
 
 # Metrics the gate checks, in preference order (gate on the first present).

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Prometheus exposition-format lint for the telemetry exporter.
+
+Usage:
+    check_metrics_format.py METRICS.txt
+
+Validates the text `examples/telemetry_demo --prometheus` (or any scrape
+of obs::PrometheusText) emits:
+
+  * every sample line parses as  name{labels} value  with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and legal label names
+    ([a-zA-Z_][a-zA-Z0-9_]*),
+  * every family has a # TYPE line (counter|gauge|histogram) before its
+    first sample, and at most one per family,
+  * no duplicate series (same name + label set appears twice),
+  * counters end in _total,
+  * histograms are well-formed: _bucket le values parse and strictly
+    increase, cumulative bucket counts never decrease, the last bucket is
+    le="+Inf" and equals _count, and _sum/_count are present.
+
+Exit codes: 0 ok, 1 malformed, 2 usage/IO error.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, types):
+    """The TYPE-declared family a sample belongs to: histogram samples use
+    suffixed names, everything else is its own family."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def parse_labels(block, errors, line_no):
+    labels = []
+    if not block:
+        return labels
+    inner = block[1:-1]
+    consumed = 0
+    for match in LABEL_PAIR_RE.finditer(inner):
+        labels.append((match.group(1), match.group(2)))
+        consumed = match.end()
+        if consumed < len(inner) and inner[consumed] == ",":
+            consumed += 1
+    leftover = inner[consumed:].strip()
+    if leftover:
+        errors.append(f"line {line_no}: unparseable label block remnant "
+                      f"'{leftover}' in {block!r}")
+    for name, _ in labels:
+        if not LABEL_NAME_RE.match(name):
+            errors.append(f"line {line_no}: bad label name '{name}'")
+    return labels
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        print(f"cannot read {argv[1]}: {error}")
+        return 2
+
+    errors = []
+    types = {}       # family -> declared type
+    seen_series = {}  # (name, sorted labels) -> first line number
+    samples = []     # (line_no, name, labels-list, value-string)
+
+    for line_no, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                errors.append(f"line {line_no}: malformed TYPE line: {line}")
+                continue
+            _, _, family, kind = parts
+            if kind not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {line_no}: unknown type '{kind}' "
+                              f"for {family}")
+            if family in types:
+                errors.append(f"line {line_no}: duplicate TYPE for {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {line_no}: unparseable sample: {line}")
+            continue
+        name, label_block, value = match.groups()
+        if not METRIC_NAME_RE.match(name):
+            errors.append(f"line {line_no}: bad metric name '{name}'")
+        labels = parse_labels(label_block, errors, line_no)
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line {line_no}: non-numeric value '{value}' "
+                          f"for {name}")
+        key = (name, tuple(sorted(labels)))
+        if key in seen_series:
+            errors.append(f"line {line_no}: duplicate series {name}"
+                          f"{dict(labels)} (first at line "
+                          f"{seen_series[key]})")
+        else:
+            seen_series[key] = line_no
+        samples.append((line_no, name, labels, value))
+
+    # Every sample's family must have a TYPE declaration.
+    for line_no, name, labels, _ in samples:
+        family = family_of(name, types)
+        if family not in types:
+            errors.append(f"line {line_no}: sample {name} has no TYPE line")
+
+    # Counters end in _total.
+    for family, kind in types.items():
+        if kind == "counter" and not family.endswith("_total"):
+            errors.append(f"counter family '{family}' does not end in "
+                          f"_total")
+
+    # Histogram well-formedness, per (family, non-le labels) series.
+    histograms = {}
+    for line_no, name, labels, value in samples:
+        family = family_of(name, types)
+        if types.get(family) != "histogram":
+            continue
+        les = [v for k, v in labels if k == "le"]
+        base_labels = tuple(sorted((k, v) for k, v in labels if k != "le"))
+        entry = histograms.setdefault((family, base_labels),
+                                      {"buckets": [], "sum": None,
+                                       "count": None})
+        if name.endswith("_bucket"):
+            if len(les) != 1:
+                errors.append(f"line {line_no}: _bucket sample without a "
+                              f"single le label")
+                continue
+            entry["buckets"].append((line_no, les[0], float(value)))
+        elif name.endswith("_sum"):
+            entry["sum"] = float(value)
+        elif name.endswith("_count"):
+            entry["count"] = float(value)
+
+    for (family, base_labels), entry in histograms.items():
+        tag = f"{family}{dict(base_labels)}"
+        buckets = entry["buckets"]
+        if not buckets:
+            errors.append(f"{tag}: histogram without _bucket samples")
+            continue
+        if entry["sum"] is None:
+            errors.append(f"{tag}: histogram missing _sum")
+        if entry["count"] is None:
+            errors.append(f"{tag}: histogram missing _count")
+        last_le = None
+        last_cumulative = None
+        for line_no, le, cumulative in buckets:
+            if le == "+Inf":
+                bound = float("inf")
+            else:
+                try:
+                    bound = float(le)
+                except ValueError:
+                    errors.append(f"line {line_no}: unparseable le '{le}'")
+                    continue
+            if last_le is not None and bound <= last_le:
+                errors.append(f"line {line_no}: {tag} le values not "
+                              f"strictly increasing ({bound} after "
+                              f"{last_le})")
+            if last_cumulative is not None and cumulative < last_cumulative:
+                errors.append(f"line {line_no}: {tag} cumulative bucket "
+                              f"count decreased")
+            last_le, last_cumulative = bound, cumulative
+        if buckets and buckets[-1][1] != "+Inf":
+            errors.append(f"{tag}: last bucket is le=\"{buckets[-1][1]}\", "
+                          f"not +Inf")
+        elif entry["count"] is not None and buckets[-1][2] != entry["count"]:
+            errors.append(f"{tag}: +Inf bucket ({buckets[-1][2]:.0f}) != "
+                          f"_count ({entry['count']:.0f})")
+
+    if errors:
+        print(f"MALFORMED: {len(errors)} problem(s) in {argv[1]}:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"ok: {len(samples)} samples, {len(seen_series)} series, "
+          f"{len(types)} families, {len(histograms)} histogram series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

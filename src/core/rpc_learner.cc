@@ -21,12 +21,19 @@ using linalg::Vector;
 
 namespace {
 
-// Wall-clock seconds since `start`; the per-stage timing the fit bench
-// reports (two clock reads per outer iteration, noise next to one
+// Wall-clock seconds between the two reads; the per-stage timing the fit
+// bench reports (two clock reads per outer iteration, noise next to one
 // projection pass).
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
+double SecondsBetween(std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// steady_clock time_point on the span time base (obs::TraceNowNs uses the
+// same clock), so traced stages reuse the stage-timing clock reads.
+std::int64_t ToTraceNs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
       .count();
 }
 
@@ -326,7 +333,12 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
           bezier, normalized_data, options_.projection, pool,
           workspace->fused_segments(), kFitSegmentRows, &j_current);
     }
-    projection_seconds += SecondsSince(projection_start);
+    const auto projection_end = std::chrono::steady_clock::now();
+    projection_seconds += SecondsBetween(projection_start, projection_end);
+    if (options_.trace_id != 0) {
+      obs::EmitSpan(options_.trace_id, "fit.projection",
+                    ToTraceNs(projection_start), ToTraceNs(projection_end));
+    }
     if (options_.record_history) result.j_history.push_back(j_current);
 
     if (iter > 0) {
@@ -380,7 +392,12 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
       }
     }
     bezier.SetControlPoints(control);
-    update_seconds += SecondsSince(update_start);
+    const auto update_end = std::chrono::steady_clock::now();
+    update_seconds += SecondsBetween(update_start, update_end);
+    if (options_.trace_id != 0) {
+      obs::EmitSpan(options_.trace_id, "fit.update", ToTraceNs(update_start),
+                    ToTraceNs(update_end));
+    }
   }
 
   // Are the scores in hand the full global search's projections of the
@@ -405,7 +422,12 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
     const auto final_start = std::chrono::steady_clock::now();
     Vector final_scores = opt::ProjectRowsBatch(
         bezier, normalized_data, options_.projection, pool, &j_final);
-    projection_seconds += SecondsSince(final_start);
+    const auto final_end = std::chrono::steady_clock::now();
+    projection_seconds += SecondsBetween(final_start, final_end);
+    if (options_.trace_id != 0) {
+      obs::EmitSpan(options_.trace_id, "fit.convergence",
+                    ToTraceNs(final_start), ToTraceNs(final_end));
+    }
     if (j_final <= j_current) {
       scores = std::move(final_scores);
       j_current = j_final;
@@ -428,7 +450,12 @@ Result<RpcFitResult> RpcLearner::FitOnce(const Matrix& normalized_data,
     const auto final_start = std::chrono::steady_clock::now();
     scores = opt::ProjectRowsBatch(bezier, normalized_data,
                                    options_.projection, pool, &j_current);
-    projection_seconds += SecondsSince(final_start);
+    const auto final_end = std::chrono::steady_clock::now();
+    projection_seconds += SecondsBetween(final_start, final_end);
+    if (options_.trace_id != 0) {
+      obs::EmitSpan(options_.trace_id, "fit.convergence",
+                    ToTraceNs(final_start), ToTraceNs(final_end));
+    }
   }
 
   Result<RpcCurve> curve_result =

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "core/rpc_curve.h"
 #include "linalg/matrix.h"
+#include "obs/trace.h"
 #include "opt/curve_projection.h"
 #include "order/orientation.h"
 
@@ -122,6 +123,10 @@ struct RpcLearnOptions {
   /// independent, the J reduction is ordered, and the best-restart
   /// selection scans in restart order.
   int num_threads = 0;
+  /// Telemetry trace-context: a nonzero id makes Fit/Refit emit per-stage
+  /// spans (fit.projection / fit.update / fit.convergence per outer
+  /// iteration) under this trace. Never touches the fit arithmetic.
+  obs::TraceId trace_id = 0;
 };
 
 /// Output of Algorithm 1.

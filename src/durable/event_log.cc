@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -13,6 +14,8 @@
 #include "common/stringutil.h"
 #include "durable/codec.h"
 #include "durable/file_util.h"
+#include "obs/buckets.h"
+#include "obs/trace.h"
 
 namespace rpc::durable {
 
@@ -69,6 +72,19 @@ EventLog::EventLog(std::string dir, int d, std::uint64_t next_seq,
                    Options options)
     : dir_(std::move(dir)), d_(d), options_(options), next_seq_(next_seq) {
   last_synced_seq_ = next_seq_ - 1;
+  // One series set per log instance (tests run several logs at once).
+  static std::atomic<int> next_log_ordinal{0};
+  const obs::Labels labels = {
+      {"log", std::to_string(next_log_ordinal.fetch_add(
+                  1, std::memory_order_relaxed))}};
+  obs::Registry& registry = obs::Registry::Global();
+  fsync_us_ = registry.GetHistogram(
+      "rpc_durable_fsync_us", obs::LatencyBucketUpperBoundsUs(), labels,
+      "fsync(2) latency at the group-commit point (us)");
+  batch_records_ = registry.GetHistogram(
+      "rpc_durable_commit_batch_records",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0},
+      labels, "Records sharing one group commit (write+fsync)");
 }
 
 EventLog::~EventLog() {
@@ -189,6 +205,8 @@ Status EventLog::Sync() {
     last_record_offset = pending_last_record_offset_;
     pending_last_record_offset_ = 0;
   }
+  batch_records_.Record(
+      static_cast<std::int64_t>(batch_last_seq - batch_first_seq + 1));
   const Status written =
       WriteBatchLocked(std::move(batch), batch_first_seq, last_record_offset);
   {
@@ -228,7 +246,9 @@ Status EventLog::WriteBatchLocked(std::string batch,
   }
   const std::string path = dir_;  // for error text; fd_ is the segment
   RPC_RETURN_IF_ERROR(WriteAll(fd_, batch.data(), batch.size(), path));
+  const std::int64_t fsync_start = obs::TraceNowNs();
   if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path);
+  fsync_us_.Record((obs::TraceNowNs() - fsync_start) / 1000);
   segment_size_ += static_cast<std::int64_t>(batch.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -385,8 +405,15 @@ Result<ReplayResult> ScanLog(
 Result<ReplayResult> ReplayEventLog(
     const std::string& dir, int d, std::uint64_t after_seq,
     const std::function<Status(const ReplayRecord&)>& apply) {
+  // Fetched here, where no caller lock is held (the apply callback may
+  // lock the recovering subsystem per record, and bare Increment on the
+  // handle is just a relaxed atomic add).
+  obs::Counter replayed = obs::Registry::Global().GetCounter(
+      "rpc_durable_replay_records_total", {},
+      "WAL records handed to recovery replay, across all logs");
   return ScanLog(dir, d, after_seq,
-                 [&apply](const ReplayRecord& record, bool* /*stop*/) {
+                 [&](const ReplayRecord& record, bool* /*stop*/) {
+                   replayed.Increment();
                    return apply(record);
                  });
 }

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "durable/fault_injector.h"
+#include "obs/metrics.h"
 
 namespace rpc::durable {
 
@@ -127,6 +128,12 @@ class EventLog {
   std::uint64_t last_synced_seq_ = 0;
   bool dead_ = false;  // injected crash or unrecoverable I/O error
   Stats stats_;
+
+  // Telemetry handles, created in the constructor (Open runs outside any
+  // caller lock; creating them lazily on the Sync path would take the
+  // registry lock under the streaming tier's, inverting the lock order).
+  obs::Histogram fsync_us_;
+  obs::Histogram batch_records_;
 };
 
 /// One record handed to the replay callback. The payload view borrows the

@@ -1,0 +1,50 @@
+#ifndef RPC_OBS_BUCKETS_H_
+#define RPC_OBS_BUCKETS_H_
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rpc::obs {
+
+/// The one latency-bucket scheme shared by serve::LatencyHistogram and the
+/// registry histograms: bucket i counts values in [2^i, 2^(i+1))
+/// microseconds, bucket 0 additionally holds sub-microsecond values, and
+/// the last bucket is unbounded above (2^19 us ~ 0.5 s). Half-open on the
+/// upper edge: a value exactly equal to a bucket boundary lands in the
+/// *next* bucket.
+inline constexpr int kLatencyBuckets = 20;
+
+/// Bucket index for a latency in whole microseconds.
+inline int LatencyBucketForUs(std::int64_t us) {
+  if (us <= 1) return 0;
+  const int bucket =
+      static_cast<int>(std::bit_width(static_cast<std::uint64_t>(us))) - 1;
+  return std::min(kLatencyBuckets - 1, bucket);
+}
+
+/// Upper edge (exclusive, in us) of bucket i: 2^(i+1). The last bucket has
+/// no upper edge; this returns its nominal 2^kLatencyBuckets for quantile
+/// reporting, exactly as the legacy serve histogram did.
+inline double LatencyBucketUpperUs(int bucket) {
+  return std::ldexp(1.0, bucket + 1);
+}
+
+/// The kLatencyBuckets - 1 finite upper bounds {2, 4, ..., 2^19} us; the
+/// implicit last bucket is +Inf. This is the bounds vector registry
+/// histograms are built with so their bucket mapping is bit-identical to
+/// LatencyBucketForUs.
+inline std::vector<double> LatencyBucketUpperBoundsUs() {
+  std::vector<double> bounds;
+  bounds.reserve(kLatencyBuckets - 1);
+  for (int i = 0; i + 1 < kLatencyBuckets; ++i) {
+    bounds.push_back(LatencyBucketUpperUs(i));
+  }
+  return bounds;
+}
+
+}  // namespace rpc::obs
+
+#endif  // RPC_OBS_BUCKETS_H_

@@ -1,0 +1,281 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/stringutil.h"
+
+namespace rpc::obs {
+
+namespace {
+
+/// Counters and bucket counts are integral; print them without an
+/// exponent. Everything else gets enough digits to round-trip a reading.
+std::string FormatMetricValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  return StrFormat("%.10g", value);
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendPromEscaped(std::string* out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+/// {label="value",...} with an optional extra (le) pair; empty string when
+/// there are no labels at all.
+std::string PromLabelBlock(const Labels& labels, const char* extra_key,
+                           const std::string& extra_value) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendPromEscaped(&out, value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    AppendPromEscaped(&out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void VectorSink::Emit(std::string_view kind, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({std::string(kind), std::string(payload)});
+}
+
+std::vector<VectorSink::Event> VectorSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<VectorSink::Event> VectorSink::EventsOfKind(
+    std::string_view kind) const {
+  std::vector<Event> out;
+  for (const Event& event : events()) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+FileSink::FileSink(const std::string& path) : path_(path) {}
+
+void FileSink::Emit(std::string_view kind, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* file = std::fopen(path_.c_str(), "a");
+  if (file == nullptr) return;
+  std::fprintf(file, "%.*s\t%.*s\n", static_cast<int>(kind.size()),
+               kind.data(), static_cast<int>(payload.size()), payload.data());
+  std::fclose(file);
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string PrometheusText(const Registry& registry) {
+  const std::vector<Registry::Sample> samples = registry.Snapshot();
+  std::string out;
+  std::string last_family;
+  for (const Registry::Sample& sample : samples) {
+    if (sample.name != last_family) {
+      last_family = sample.name;
+      if (!sample.help.empty()) {
+        out += "# HELP " + sample.name + ' ';
+        AppendPromEscaped(&out, sample.help);
+        out += '\n';
+      }
+      out += "# TYPE " + sample.name + ' ';
+      out += TypeName(sample.type);
+      out += '\n';
+    }
+    if (sample.type == MetricType::kHistogram) {
+      const HistogramSnapshot& hist = sample.histogram;
+      std::int64_t cumulative = 0;
+      for (size_t b = 0; b < hist.counts.size(); ++b) {
+        cumulative += hist.counts[b];
+        const std::string le =
+            b < hist.upper_bounds.size()
+                ? FormatMetricValue(hist.upper_bounds[b])
+                : std::string("+Inf");
+        out += sample.name + "_bucket" +
+               PromLabelBlock(sample.labels, "le", le) + ' ' +
+               StrFormat("%lld", static_cast<long long>(cumulative)) + '\n';
+      }
+      out += sample.name + "_sum" + PromLabelBlock(sample.labels, nullptr, "") +
+             ' ' + FormatMetricValue(hist.sum) + '\n';
+      out += sample.name + "_count" +
+             PromLabelBlock(sample.labels, nullptr, "") + ' ' +
+             StrFormat("%lld", static_cast<long long>(hist.count)) + '\n';
+    } else {
+      out += sample.name + PromLabelBlock(sample.labels, nullptr, "") + ' ' +
+             FormatMetricValue(sample.value) + '\n';
+    }
+  }
+  return out;
+}
+
+std::string SpansToJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"trace\":\"" + StrFormat("%llu", static_cast<unsigned long long>(
+                                                   span.trace_id)) +
+           "\",\"name\":\"";
+    AppendJsonEscaped(&out, span.name != nullptr ? span.name : "");
+    out += StrFormat("\",\"thread\":%u,\"start_ns\":%lld,\"end_ns\":%lld}",
+                     span.thread, static_cast<long long>(span.start_ns),
+                     static_cast<long long>(span.end_ns));
+  }
+  out += ']';
+  return out;
+}
+
+std::string JsonSnapshot(const Registry& registry, bool include_spans) {
+  const std::vector<Registry::Sample> samples = registry.Snapshot();
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const Registry::Sample& sample : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, sample.name);
+    out += "\",\"type\":\"";
+    out += TypeName(sample.type);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [key, value] : sample.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      AppendJsonEscaped(&out, key);
+      out += "\":\"";
+      AppendJsonEscaped(&out, value);
+      out += '"';
+    }
+    out += '}';
+    if (sample.type == MetricType::kHistogram) {
+      const HistogramSnapshot& hist = sample.histogram;
+      out += ",\"bounds\":[";
+      for (size_t b = 0; b < hist.upper_bounds.size(); ++b) {
+        if (b != 0) out += ',';
+        out += FormatMetricValue(hist.upper_bounds[b]);
+      }
+      out += "],\"counts\":[";
+      for (size_t b = 0; b < hist.counts.size(); ++b) {
+        if (b != 0) out += ',';
+        out += StrFormat("%lld", static_cast<long long>(hist.counts[b]));
+      }
+      out += "],\"sum\":" + FormatMetricValue(hist.sum) +
+             ",\"count\":" +
+             StrFormat("%lld", static_cast<long long>(hist.count));
+    } else {
+      out += ",\"value\":" + FormatMetricValue(sample.value);
+    }
+    out += '}';
+  }
+  out += "],\"spans\":";
+  out += include_spans ? SpansToJson(CollectSpans()) : std::string("[]");
+  out += '}';
+  return out;
+}
+
+PeriodicFlusher::PeriodicFlusher(TelemetrySink* sink)
+    : PeriodicFlusher(sink, Options()) {}
+
+PeriodicFlusher::PeriodicFlusher(TelemetrySink* sink, Options options,
+                                 const Registry* registry)
+    : sink_(sink), options_(options), registry_(registry) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicFlusher::~PeriodicFlusher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  FlushNow();  // final snapshot so short-lived processes export something
+}
+
+void PeriodicFlusher::FlushNow() {
+  sink_->Emit("metrics", JsonSnapshot(*registry_, options_.include_spans));
+}
+
+void PeriodicFlusher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.period, [this] { return stop_; })) break;
+    lock.unlock();
+    FlushNow();
+    lock.lock();
+  }
+}
+
+}  // namespace rpc::obs

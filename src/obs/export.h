@@ -1,0 +1,107 @@
+#ifndef RPC_OBS_EXPORT_H_
+#define RPC_OBS_EXPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rpc::obs {
+
+/// Destination for telemetry events: periodic metric snapshots, slow-query
+/// records, whatever a subsystem wants to surface. `kind` is a short event
+/// class ("metrics", "slow_query", ...), `payload` one JSON object.
+/// Implementations must be safe to call from any thread.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void Emit(std::string_view kind, std::string_view payload) = 0;
+};
+
+/// In-memory sink for tests and the demo.
+class VectorSink : public TelemetrySink {
+ public:
+  struct Event {
+    std::string kind;
+    std::string payload;
+  };
+
+  void Emit(std::string_view kind, std::string_view payload) override;
+  std::vector<Event> events() const;
+  /// Events of one kind, in emission order.
+  std::vector<Event> EventsOfKind(std::string_view kind) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// Appends one line per event — "<kind>\t<payload>\n" — to a file.
+class FileSink : public TelemetrySink {
+ public:
+  explicit FileSink(const std::string& path);
+  void Emit(std::string_view kind, std::string_view payload) override;
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+};
+
+/// Appends `text` JSON-escaped (quotes, backslashes, control chars) to
+/// `*out` — shared by the exporters and the serve slow-query writer.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+/// Prometheus text exposition (version 0.0.4) of every registered series:
+/// # HELP / # TYPE per family, counters/gauges as bare samples, histograms
+/// as cumulative _bucket{le=...} + _sum + _count.
+std::string PrometheusText(const Registry& registry = Registry::Global());
+
+/// JSON object {"metrics": [...], "spans": [...]} — per-bucket (not
+/// cumulative) histogram counts, spans from CollectSpans() (always [] in
+/// RPC_OBS_DISABLED builds or when include_spans is false).
+std::string JsonSnapshot(const Registry& registry = Registry::Global(),
+                         bool include_spans = true);
+
+/// The JSON array the "spans" field of JsonSnapshot carries, for callers
+/// that already hold a filtered set (e.g. one trace's timeline).
+std::string SpansToJson(const std::vector<SpanRecord>& spans);
+
+/// Background thread emitting a "metrics" JsonSnapshot to a sink every
+/// `period`. Stops (after one final flush) on destruction.
+class PeriodicFlusher {
+ public:
+  struct Options {
+    std::chrono::milliseconds period{1000};
+    bool include_spans = false;
+  };
+
+  explicit PeriodicFlusher(TelemetrySink* sink);
+  PeriodicFlusher(TelemetrySink* sink, Options options,
+                  const Registry* registry = &Registry::Global());
+  ~PeriodicFlusher();
+  PeriodicFlusher(const PeriodicFlusher&) = delete;
+  PeriodicFlusher& operator=(const PeriodicFlusher&) = delete;
+
+  void FlushNow();
+
+ private:
+  void Loop();
+
+  TelemetrySink* sink_;
+  Options options_;
+  const Registry* registry_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rpc::obs
+
+#endif  // RPC_OBS_EXPORT_H_

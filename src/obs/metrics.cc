@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <map>
+
+namespace rpc::obs {
+
+namespace internal {
+
+int ThisThreadShard() {
+  static std::atomic<unsigned> next{0};
+  // Round-robin assignment at first use; stable for the thread's lifetime.
+  static thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(slot % static_cast<unsigned>(kMetricShards));
+}
+
+HistogramCells::HistogramCells(std::vector<double> bounds)
+    : upper_bounds(std::move(bounds)) {
+  for (auto& shard : shards) {
+    shard.counts = std::vector<std::atomic<std::int64_t>>(
+        upper_bounds.size() + 1);
+  }
+}
+
+}  // namespace internal
+
+double HistogramSnapshot::QuantileUpperBound(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::int64_t rank =
+      std::min<std::int64_t>(count - 1, static_cast<std::int64_t>(q * count));
+  const double inf_edge =
+      upper_bounds.empty() ? 0.0 : upper_bounds.back() * 2.0;
+  std::int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      return i < upper_bounds.size() ? upper_bounds[i] : inf_edge;
+    }
+  }
+  return inf_edge;
+}
+
+void Histogram::Record(double value) const {
+  if (cells_ == nullptr) return;
+  const auto& bounds = cells_->upper_bounds;
+  // First bound strictly greater than the value: buckets are half-open
+  // [lower, upper), matching obs::LatencyBucketForUs (see buckets.h).
+  const auto bucket = static_cast<size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  auto& shard =
+      cells_->shards[static_cast<size_t>(internal::ThisThreadShard())];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Merge() const {
+  HistogramSnapshot out;
+  if (cells_ == nullptr) return out;
+  out.upper_bounds = cells_->upper_bounds;
+  out.counts.assign(out.upper_bounds.size() + 1, 0);
+  for (const auto& shard : cells_->shards) {
+    for (size_t b = 0; b < out.counts.size(); ++b) {
+      out.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::int64_t c : out.counts) out.count += c;
+  return out;
+}
+
+struct Registry::Series {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  std::string help;
+  std::unique_ptr<internal::CounterCells> counter;
+  std::unique_ptr<internal::GaugeCell> gauge;
+  std::unique_ptr<internal::HistogramCells> histogram;
+  std::function<double()> callback;  // callback gauges only
+  std::uint64_t callback_id = 0;
+};
+
+struct Registry::Impl {
+  // std::map: node-based, so Series addresses are stable across inserts
+  // and handles may point into their cells for the registry's lifetime.
+  std::map<std::string, Series> series;
+  // Fallback cells handed out on a (name, labels) type conflict so the
+  // mismatched caller still gets a working, if unexported, handle.
+  std::vector<std::unique_ptr<internal::CounterCells>> detached_counters;
+  std::vector<std::unique_ptr<internal::GaugeCell>> detached_gauges;
+  std::vector<std::unique_ptr<internal::HistogramCells>> detached_histograms;
+};
+
+namespace {
+
+Labels SortedLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string SeriesKey(const std::string& name, const Labels& sorted_labels) {
+  std::string key = name;
+  for (const auto& [k, v] : sorted_labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::Global() {
+  // Intentionally leaked: handles (including ones held by static-lifetime
+  // objects) stay valid through program shutdown.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Registry::Series& Registry::GetOrCreate(const std::string& name,
+                                        MetricType type, const Labels& labels,
+                                        const std::string& help) {
+  // Caller holds mu_.
+  const std::string key = SeriesKey(name, labels);
+  auto [it, inserted] = impl_->series.try_emplace(key);
+  if (inserted) {
+    it->second.name = name;
+    it->second.type = type;
+    it->second.labels = labels;
+    it->second.help = help;
+  }
+  return it->second;
+}
+
+Counter Registry::GetCounter(const std::string& name, Labels labels,
+                             const std::string& help) {
+  const Labels sorted = SortedLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = GetOrCreate(name, MetricType::kCounter, sorted, help);
+  if (series.type == MetricType::kCounter && series.callback == nullptr) {
+    if (series.counter == nullptr) {
+      series.counter = std::make_unique<internal::CounterCells>();
+    }
+    return Counter(series.counter.get());
+  }
+  impl_->detached_counters.push_back(
+      std::make_unique<internal::CounterCells>());
+  return Counter(impl_->detached_counters.back().get());
+}
+
+Gauge Registry::GetGauge(const std::string& name, Labels labels,
+                         const std::string& help) {
+  const Labels sorted = SortedLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = GetOrCreate(name, MetricType::kGauge, sorted, help);
+  if (series.type == MetricType::kGauge && series.callback == nullptr) {
+    if (series.gauge == nullptr) {
+      series.gauge = std::make_unique<internal::GaugeCell>();
+    }
+    return Gauge(series.gauge.get());
+  }
+  impl_->detached_gauges.push_back(std::make_unique<internal::GaugeCell>());
+  return Gauge(impl_->detached_gauges.back().get());
+}
+
+Histogram Registry::GetHistogram(const std::string& name,
+                                 std::vector<double> upper_bounds,
+                                 Labels labels, const std::string& help) {
+  const Labels sorted = SortedLabels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = GetOrCreate(name, MetricType::kHistogram, sorted, help);
+  if (series.type == MetricType::kHistogram) {
+    if (series.histogram == nullptr) {
+      series.histogram =
+          std::make_unique<internal::HistogramCells>(std::move(upper_bounds));
+    }
+    return Histogram(series.histogram.get());
+  }
+  impl_->detached_histograms.push_back(
+      std::make_unique<internal::HistogramCells>(std::move(upper_bounds)));
+  return Histogram(impl_->detached_histograms.back().get());
+}
+
+Registry::CallbackHandle Registry::GetCallbackGauge(const std::string& name,
+                                                    Labels labels,
+                                                    std::function<double()> fn,
+                                                    const std::string& help) {
+  const Labels sorted = SortedLabels(std::move(labels));
+  CallbackHandle handle;
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = GetOrCreate(name, MetricType::kGauge, sorted, help);
+  if (series.type != MetricType::kGauge || series.gauge != nullptr ||
+      series.callback != nullptr) {
+    return handle;  // conflicting series: no-op handle
+  }
+  series.callback = std::move(fn);
+  series.callback_id = next_callback_id_.fetch_add(1);
+  handle.registry_ = this;
+  handle.id_ = series.callback_id;
+  return handle;
+}
+
+Registry::CallbackHandle& Registry::CallbackHandle::operator=(
+    CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Registry::CallbackHandle::Release() {
+  if (registry_ == nullptr || id_ == 0) return;
+  std::lock_guard<std::mutex> lock(registry_->mu_);
+  auto& series = registry_->impl_->series;
+  for (auto it = series.begin(); it != series.end(); ++it) {
+    if (it->second.callback_id == id_) {
+      series.erase(it);
+      break;
+    }
+  }
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+std::vector<Registry::Sample> Registry::Snapshot() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(impl_->series.size());
+  for (const auto& [key, series] : impl_->series) {
+    Sample sample;
+    sample.name = series.name;
+    sample.type = series.type;
+    sample.labels = series.labels;
+    sample.help = series.help;
+    switch (series.type) {
+      case MetricType::kCounter:
+        sample.value = static_cast<double>(Counter(series.counter.get()).Value());
+        break;
+      case MetricType::kGauge:
+        sample.value = series.callback != nullptr
+                           ? series.callback()
+                           : Gauge(series.gauge.get()).Value();
+        break;
+      case MetricType::kHistogram:
+        sample.histogram = Histogram(series.histogram.get()).Merge();
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace rpc::obs

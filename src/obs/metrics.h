@@ -1,0 +1,231 @@
+#ifndef RPC_OBS_METRICS_H_
+#define RPC_OBS_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpc::obs {
+
+/// Compile-time kill switch (-DRPC_OBS_DISABLED): trace spans, the span
+/// ring buffers and slow-query emission compile down to no-ops, and the
+/// metric cells collapse to a single shard — one relaxed atomic add per
+/// event, exactly what the legacy hand-rolled stats structs paid — so the
+/// legacy views (serve::ServiceStats, stream::StreamStats, ...) keep
+/// working bit-identically in disabled builds.
+#ifdef RPC_OBS_DISABLED
+inline constexpr bool kObsEnabled = false;
+inline constexpr int kMetricShards = 1;
+#else
+inline constexpr bool kObsEnabled = true;
+/// Power of two; threads hash onto shards round-robin, so hot-path adds
+/// from different threads usually hit different cache lines.
+inline constexpr int kMetricShards = 8;
+#endif
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Label set of one series, e.g. {{"svc", "0"}, {"priority", "batch"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+
+/// Stable per-thread shard index in [0, kMetricShards).
+int ThisThreadShard();
+
+struct alignas(64) PaddedCount {
+  std::atomic<std::int64_t> value{0};
+};
+
+struct CounterCells {
+  std::array<PaddedCount, kMetricShards> shards;
+};
+
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+};
+
+struct HistogramCells {
+  /// Finite upper bounds, ascending; the implicit last bucket is +Inf.
+  std::vector<double> upper_bounds;
+  struct Shard {
+    std::vector<std::atomic<std::int64_t>> counts;  // upper_bounds.size()+1
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Shard, kMetricShards> shards;
+
+  explicit HistogramCells(std::vector<double> bounds);
+};
+
+}  // namespace internal
+
+/// Merged (cross-shard) view of one histogram; also the unit the merge
+/// tests exercise. Counts are per-bucket (not cumulative).
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;     // finite bounds; last bucket = +Inf
+  std::vector<std::int64_t> counts;     // upper_bounds.size() + 1 entries
+  double sum = 0.0;
+  std::int64_t count = 0;               // total observations
+
+  /// Upper bucket edge containing quantile q in [0,1]; 0 when empty. For
+  /// the +Inf bucket returns twice the last finite bound (nominal edge),
+  /// or 0 when there are no finite bounds.
+  double QuantileUpperBound(double q) const;
+};
+
+/// Handle onto a registered counter. Trivially copyable; Add is ~one
+/// relaxed atomic add on the calling thread's shard. A default-constructed
+/// handle is a safe no-op.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Add(std::int64_t delta) const {
+    if (cells_ == nullptr) return;
+    cells_->shards[static_cast<size_t>(internal::ThisThreadShard())]
+        .value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() const { Add(1); }
+
+  std::int64_t Value() const {
+    if (cells_ == nullptr) return 0;
+    std::int64_t total = 0;
+    for (const auto& shard : cells_->shards) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(internal::CounterCells* cells) : cells_(cells) {}
+  internal::CounterCells* cells_ = nullptr;
+};
+
+/// Handle onto a registered gauge (a last-writer-wins double).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(double value) const {
+    if (cells_ != nullptr) {
+      cells_->value.store(value, std::memory_order_relaxed);
+    }
+  }
+  void Add(double delta) const {
+    if (cells_ != nullptr) {
+      cells_->value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+  double Value() const {
+    return cells_ == nullptr ? 0.0
+                             : cells_->value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(internal::GaugeCell* cells) : cells_(cells) {}
+  internal::GaugeCell* cells_ = nullptr;
+};
+
+/// Handle onto a registered fixed-bucket histogram. Record is a short
+/// bounds search plus two relaxed atomic adds on the calling thread's
+/// shard; Merge sums the shards into one consistent-enough snapshot
+/// (relaxed reads — observability, not synchronisation).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(double value) const;
+  HistogramSnapshot Merge() const;
+  std::int64_t TotalCount() const { return Merge().count; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(internal::HistogramCells* cells) : cells_(cells) {}
+  internal::HistogramCells* cells_ = nullptr;
+};
+
+/// Process-wide metrics registry. Series are identified by (name, labels);
+/// asking twice for the same series returns handles onto the same cells.
+/// Registered cells are never deallocated (handles stay valid for the
+/// process lifetime); Registry::Global() itself is intentionally leaked so
+/// static-lifetime holders can Add during shutdown.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  Counter GetCounter(const std::string& name, Labels labels = {},
+                     const std::string& help = "");
+  Gauge GetGauge(const std::string& name, Labels labels = {},
+                 const std::string& help = "");
+  /// `upper_bounds` must be ascending finite bounds (the +Inf bucket is
+  /// implicit). Re-requesting an existing histogram series ignores the
+  /// bounds argument and returns the original cells.
+  Histogram GetHistogram(const std::string& name,
+                         std::vector<double> upper_bounds, Labels labels = {},
+                         const std::string& help = "");
+
+  /// RAII registration of a gauge computed on demand (at Snapshot time).
+  /// The callback must stay valid until the handle is destroyed, and must
+  /// not touch the registry itself (it runs under the registry mutex).
+  class CallbackHandle {
+   public:
+    CallbackHandle() = default;
+    CallbackHandle(CallbackHandle&& other) noexcept { *this = std::move(other); }
+    CallbackHandle& operator=(CallbackHandle&& other) noexcept;
+    ~CallbackHandle() { Release(); }
+    CallbackHandle(const CallbackHandle&) = delete;
+    CallbackHandle& operator=(const CallbackHandle&) = delete;
+
+   private:
+    friend class Registry;
+    void Release();
+    Registry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+  [[nodiscard]] CallbackHandle GetCallbackGauge(const std::string& name,
+                                                Labels labels,
+                                                std::function<double()> fn,
+                                                const std::string& help = "");
+
+  /// One exported series, merged across shards (callbacks evaluated).
+  struct Sample {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    Labels labels;
+    std::string help;
+    double value = 0.0;          // counter / gauge
+    HistogramSnapshot histogram;  // histograms only
+  };
+  /// Every registered series, sorted by (name, labels).
+  std::vector<Sample> Snapshot() const;
+
+ private:
+  struct Series;
+  /// Defined in metrics.cc: a node-based map keyed by name+labels, so
+  /// Series addresses stay stable while handles point into their cells.
+  struct Impl;
+  Series& GetOrCreate(const std::string& name, MetricType type,
+                      const Labels& labels, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<std::uint64_t> next_callback_id_{1};
+};
+
+}  // namespace rpc::obs
+
+#endif  // RPC_OBS_METRICS_H_

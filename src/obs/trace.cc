@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#ifndef RPC_OBS_DISABLED
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace rpc::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{true};
+
+/// Per-thread single-writer ring. All slot fields are relaxed atomics and
+/// the head is release-published, so concurrent readers (CollectSpans) are
+/// data-race-free; a reader detects slots overwritten during its pass by
+/// re-reading the head and drops them (see CollectSpans).
+struct SpanRing {
+  static constexpr std::uint64_t kCapacity = 4096;  // power of two
+  static constexpr std::uint64_t kMask = kCapacity - 1;
+
+  struct Slot {
+    std::atomic<TraceId> trace{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> end_ns{0};
+  };
+
+  std::uint32_t thread_ordinal = 0;
+  std::atomic<std::uint64_t> head{0};  // next write index (monotone)
+  std::vector<Slot> slots{kCapacity};
+};
+
+std::mutex& RingsMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<SpanRing*>& Rings() {
+  // Leaked (with their rings): spans written by a thread stay collectable
+  // after the thread exits, and handles never dangle.
+  static std::vector<SpanRing*>* rings = new std::vector<SpanRing*>();
+  return *rings;
+}
+
+SpanRing& ThisThreadRing() {
+  static thread_local SpanRing* ring = [] {
+    auto* fresh = new SpanRing();
+    std::lock_guard<std::mutex> lock(RingsMutex());
+    fresh->thread_ordinal = static_cast<std::uint32_t>(Rings().size());
+    Rings().push_back(fresh);
+    return fresh;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+TraceId NewTraceId() {
+  if (!g_tracing_enabled.load(std::memory_order_relaxed)) return 0;
+  static std::atomic<TraceId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EmitSpan(TraceId trace, const char* name, std::int64_t start_ns,
+              std::int64_t end_ns) {
+  if (trace == 0) return;
+  SpanRing& ring = ThisThreadRing();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  SpanRing::Slot& slot = ring.slots[head & SpanRing::kMask];
+  slot.trace.store(trace, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.end_ns.store(end_ns, std::memory_order_relaxed);
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord> CollectSpans() {
+  std::vector<SpanRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(RingsMutex());
+    rings = Rings();
+  }
+  std::vector<SpanRecord> out;
+  for (SpanRing* ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t lo =
+        head > SpanRing::kCapacity ? head - SpanRing::kCapacity : 0;
+    const size_t base = out.size();
+    for (std::uint64_t i = lo; i < head; ++i) {
+      const SpanRing::Slot& slot = ring->slots[i & SpanRing::kMask];
+      SpanRecord record;
+      record.trace_id = slot.trace.load(std::memory_order_relaxed);
+      record.name = slot.name.load(std::memory_order_relaxed);
+      record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      record.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      record.thread = ring->thread_ordinal;
+      out.push_back(record);
+    }
+    // Re-validate: any index the writer lapped while we read may be torn.
+    const std::uint64_t head2 = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t lo2 =
+        head2 > SpanRing::kCapacity ? head2 - SpanRing::kCapacity : 0;
+    if (lo2 > lo) {
+      const std::uint64_t torn = std::min(lo2 - lo, head - lo);
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(base),
+                out.begin() + static_cast<std::ptrdiff_t>(base + torn));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.end_ns < b.end_ns;
+            });
+  return out;
+}
+
+std::vector<SpanRecord> CollectTrace(TraceId trace) {
+  std::vector<SpanRecord> out;
+  if (trace == 0) return out;
+  for (const SpanRecord& record : CollectSpans()) {
+    if (record.trace_id == trace) out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace rpc::obs
+
+#endif  // RPC_OBS_DISABLED

@@ -1,0 +1,99 @@
+#ifndef RPC_OBS_TRACE_H_
+#define RPC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace rpc::obs {
+
+/// Trace-context: a nonzero id groups the spans of one logical operation
+/// (one query, one refresh, one replica session) into a reconstructable
+/// timeline. 0 = "not traced" everywhere.
+using TraceId = std::uint64_t;
+
+/// Steady-clock nanoseconds; the time base every span start/end uses.
+inline std::int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One completed span as read back from the rings. `name` points at the
+/// static string literal the emitter passed.
+struct SpanRecord {
+  TraceId trace_id = 0;
+  const char* name = "";
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t thread = 0;  // emitting thread's ring ordinal
+};
+
+#ifndef RPC_OBS_DISABLED
+
+/// Fresh nonzero trace id, or 0 while runtime tracing is off (callers then
+/// skip every span on that operation's path). A caller-supplied nonzero
+/// QueryOptions-style id bypasses this and forces tracing.
+TraceId NewTraceId();
+
+/// Runtime switch (default on). Off stops NewTraceId from handing out ids;
+/// explicitly propagated nonzero ids still record. The overhead bench's
+/// "disabled" row flips this off.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Appends one completed span to the calling thread's lock-free ring.
+/// `name` must be a string literal (or otherwise immortal). No-op when
+/// trace == 0. Timestamps come from the caller so hot paths can reuse
+/// clock reads they already paid for.
+void EmitSpan(TraceId trace, const char* name, std::int64_t start_ns,
+              std::int64_t end_ns);
+
+/// The most recent spans of every thread (each ring keeps the last 4096),
+/// merged and sorted by start time. Entries overwritten mid-read are
+/// discarded, never returned torn.
+std::vector<SpanRecord> CollectSpans();
+
+/// CollectSpans filtered to one trace id ({} for trace 0).
+std::vector<SpanRecord> CollectTrace(TraceId trace);
+
+#else  // RPC_OBS_DISABLED: spans compile to nothing.
+
+inline TraceId NewTraceId() { return 0; }
+inline void SetTracingEnabled(bool) {}
+inline bool TracingEnabled() { return false; }
+inline void EmitSpan(TraceId, const char*, std::int64_t, std::int64_t) {}
+inline std::vector<SpanRecord> CollectSpans() { return {}; }
+inline std::vector<SpanRecord> CollectTrace(TraceId) { return {}; }
+
+#endif  // RPC_OBS_DISABLED
+
+/// RAII span for paths cold enough to afford their own clock reads
+/// (refresh phases, fit iterations, replica RPCs). Hot paths should call
+/// EmitSpan with timestamps they already have instead. No-op on trace 0.
+class Span {
+ public:
+  Span(TraceId trace, const char* name)
+      : trace_(kSpansEnabled ? trace : 0),
+        name_(name),
+        start_ns_(trace_ != 0 ? TraceNowNs() : 0) {}
+  ~Span() {
+    if (trace_ != 0) EmitSpan(trace_, name_, start_ns_, TraceNowNs());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#ifdef RPC_OBS_DISABLED
+  static constexpr bool kSpansEnabled = false;
+#else
+  static constexpr bool kSpansEnabled = true;
+#endif
+  const TraceId trace_;
+  const char* const name_;
+  const std::int64_t start_ns_;
+};
+
+}  // namespace rpc::obs
+
+#endif  // RPC_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "replica/replication.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -26,6 +27,12 @@ void RealSleep(double seconds) {
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
+// One series set per source/applier instance (tests run several at once).
+obs::Labels InstanceLabels(std::atomic<int>* ordinal) {
+  return {{"inst", std::to_string(
+                       ordinal->fetch_add(1, std::memory_order_relaxed))}};
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- source -- //
@@ -35,7 +42,17 @@ ReplicationSource::ReplicationSource(Link* link,
                                      ReplicationSourceOptions options)
     : link_(link),
       synced_seq_(std::move(synced_seq)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  static std::atomic<int> next_ordinal{0};
+  const obs::Labels labels = InstanceLabels(&next_ordinal);
+  obs::Registry& registry = obs::Registry::Global();
+  snapshots_counter_ =
+      registry.GetCounter("rpc_replica_snapshots_shipped_total", labels,
+                          "Full snapshots shipped to the standby");
+  batches_counter_ =
+      registry.GetCounter("rpc_replica_batches_shipped_total", labels,
+                          "WAL-tail batches shipped to the standby");
+}
 
 Status ReplicationSource::HandleOne(double timeout_seconds) {
   Result<std::string> frame = link_->Receive(timeout_seconds);
@@ -84,6 +101,7 @@ Status ReplicationSource::HandleOne(double timeout_seconds) {
     reply.a = loaded.state.last_seq;
     reply.payload = durable::EncodeSnapshot(loaded.state);
     ++snapshots_shipped_;
+    snapshots_counter_.Increment();
     return link_->Send(EncodeMessage(reply));
   }
 
@@ -101,6 +119,7 @@ Status ReplicationSource::HandleOne(double timeout_seconds) {
   reply.b = limits.max_seq;
   reply.payload = EncodeWalRecords(batch.records);
   ++batches_shipped_;
+  batches_counter_.Increment();
   return link_->Send(EncodeMessage(reply));
 }
 
@@ -123,7 +142,23 @@ ReplicaApplier::ReplicaApplier(stream::StreamingRanker* ranker, Link* link,
       options_(std::move(options)),
       now_(options_.now ? options_.now : SteadyNow),
       sleep_(options_.sleep ? options_.sleep : RealSleep),
-      rng_(options_.rng_seed) {}
+      rng_(options_.rng_seed) {
+  static std::atomic<int> next_ordinal{0};
+  const obs::Labels labels = InstanceLabels(&next_ordinal);
+  obs::Registry& registry = obs::Registry::Global();
+  lag_gauge_ = registry.GetGauge(
+      "rpc_replica_lag_records", labels,
+      "Primary synced seq minus local durable seq (catch-up backlog)");
+  retries_counter_ =
+      registry.GetCounter("rpc_replica_retries_total", labels,
+                          "Backoff retries in CatchUpTo's pump loop");
+  timeouts_counter_ =
+      registry.GetCounter("rpc_replica_rpc_timeouts_total", labels,
+                          "Catch-up exchanges whose reply timed out");
+  stale_epoch_counter_ =
+      registry.GetCounter("rpc_replica_stale_epoch_rejects_total", labels,
+                          "Messages rejected for carrying a fenced epoch");
+}
 
 Status ReplicaApplier::OpenSinkAt(std::uint64_t next_seq) {
   durable::EventLog::Options log_options;
@@ -150,6 +185,9 @@ Status ReplicaApplier::Init() {
   }
   last_good_time_ = now_();
   initialized_ = true;
+  // One trace for the whole standby session: every PumpOnce emits a
+  // "replica.pump" span under it, so the catch-up cadence is reconstructable.
+  trace_ = obs::NewTraceId();
   return Status::Ok();
 }
 
@@ -188,6 +226,9 @@ Status ReplicaApplier::HandleSnapshot(const Message& message) {
   RPC_RETURN_IF_ERROR(ranker_->FollowerInstallSnapshot(state));
   durable_seq_ = state.last_seq;
   has_state_ = true;
+  lag_gauge_.Set(primary_synced_seq_ > durable_seq_
+                     ? static_cast<double>(primary_synced_seq_ - durable_seq_)
+                     : 0.0);
   return Status::Ok();
 }
 
@@ -227,6 +268,9 @@ Status ReplicaApplier::HandleWalBatch(const Message& message) {
     RPC_RETURN_IF_ERROR(sink_->Sync());
     durable_seq_ = applied_through;
   }
+  lag_gauge_.Set(primary_synced_seq_ > durable_seq_
+                     ? static_cast<double>(primary_synced_seq_ - durable_seq_)
+                     : 0.0);
   return Status::Ok();
 }
 
@@ -234,6 +278,7 @@ Status ReplicaApplier::PumpOnce() {
   if (!initialized_) {
     return Status::FailedPrecondition("replica: applier not initialized");
   }
+  const obs::Span span(trace_, "replica.pump");
   Message request;
   request.type = MessageType::kCatchUpRequest;
   request.epoch = epoch_;
@@ -242,7 +287,12 @@ Status ReplicaApplier::PumpOnce() {
   RPC_RETURN_IF_ERROR(link_->Send(EncodeMessage(request)));
   Result<std::string> frame =
       link_->Receive(options_.request_timeout_seconds);
-  RPC_RETURN_IF_ERROR(frame.status());
+  if (!frame.ok()) {
+    if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+      timeouts_counter_.Increment();
+    }
+    return frame.status();
+  }
   Result<Message> reply = DecodeMessage(*frame);
   if (!reply.ok()) {
     // Truncated/corrupt frame — a transport event, not data loss: our
@@ -255,6 +305,7 @@ Status ReplicaApplier::PumpOnce() {
     // A late write from a deposed primary. Rejecting (rather than
     // applying) is the whole point of fencing: this lineage ended.
     ++stale_epoch_rejects_;
+    stale_epoch_counter_.Increment();
     return Status::Aborted(
         StrFormat("replica: rejected message from stale epoch %llu (ours %llu)",
                   static_cast<unsigned long long>(reply->epoch),
@@ -300,6 +351,7 @@ Status ReplicaApplier::CatchUpTo(std::uint64_t target_seq) {
                : status;
     double delay = 0.0;
     RPC_RETURN_IF_ERROR(retry.NextDelayOr(last, &delay));
+    retries_counter_.Increment();
     sleep_(delay);
   }
   return Status::Ok();

@@ -10,6 +10,8 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "durable/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replica/transport.h"
 #include "replica/wire.h"
 #include "stream/streaming_ranker.h"
@@ -87,6 +89,8 @@ class ReplicationSource {
   std::uint64_t acked_seq_ = 0;
   std::int64_t snapshots_shipped_ = 0;
   std::int64_t batches_shipped_ = 0;
+  obs::Counter snapshots_counter_;
+  obs::Counter batches_counter_;
 };
 
 // ---------------------------------------------------------------------- //
@@ -190,6 +194,15 @@ class ReplicaApplier {
   double last_good_time_ = 0.0;
   std::int64_t stale_epoch_rejects_ = 0;
   std::int64_t records_applied_ = 0;
+
+  // Telemetry. The lag gauge is Set() on the (single) pump thread rather
+  // than sampled by callback, so the exporter never reads these plain
+  // members concurrently. The session trace groups every pump's span.
+  obs::TraceId trace_ = 0;
+  obs::Gauge lag_gauge_;
+  obs::Counter retries_counter_;
+  obs::Counter timeouts_counter_;
+  obs::Counter stale_epoch_counter_;
 };
 
 }  // namespace rpc::replica

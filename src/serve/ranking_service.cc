@@ -1,13 +1,13 @@
 #include "serve/ranking_service.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <condition_variable>
 #include <utility>
 
 #include "common/stringutil.h"
 #include "curve/bezier.h"
+#include "obs/export.h"
 #include "rank/ranking_list.h"
 
 namespace rpc::serve {
@@ -33,14 +33,28 @@ std::int64_t NowNs() {
       .count();
 }
 
+std::int64_t TpNs(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+const char* PriorityLabel(int priority) {
+  switch (static_cast<QueryPriority>(priority)) {
+    case QueryPriority::kInteractive:
+      return "interactive";
+    case QueryPriority::kBatch:
+      return "batch";
+    case QueryPriority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 int LatencyHistogram::BucketFor(std::chrono::nanoseconds latency) {
-  const std::int64_t us = latency.count() / 1000;
-  if (us <= 1) return 0;
-  const int bucket =
-      static_cast<int>(std::bit_width(static_cast<std::uint64_t>(us))) - 1;
-  return std::min(kNumBuckets - 1, bucket);
+  return obs::LatencyBucketForUs(latency.count() / 1000);
 }
 
 std::int64_t LatencyHistogram::total() const {
@@ -58,9 +72,9 @@ double LatencyHistogram::QuantileUpperBoundUs(double q) const {
   std::int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     seen += buckets[static_cast<size_t>(i)];
-    if (seen > rank) return std::ldexp(1.0, i + 1);
+    if (seen > rank) return obs::LatencyBucketUpperUs(i);
   }
-  return std::ldexp(1.0, kNumBuckets);
+  return obs::LatencyBucketUpperUs(kNumBuckets - 1);
 }
 
 /// Completion latch plus cancellation state for one query, living on the
@@ -89,6 +103,9 @@ struct RankingService::BatchState {
   /// is pushed, read by the caller after Wait (ordered by the push/pop and
   /// latch mutexes).
   bool coalesced = false;
+  /// Trace-context for this query's spans (0 = untraced); written by the
+  /// caller before admission, read by whichever worker executes it.
+  obs::TraceId trace_id = 0;
 
   bool Expired(Clock::time_point now) {
     if (expired.load(std::memory_order_relaxed)) return true;
@@ -128,6 +145,9 @@ struct RankingService::CoalesceGroup {
   int total_rows = 0;
   int lane = 0;  // most important lane among the riders
   Clock::time_point flush_at;
+  /// When the leader opened the group; start of every rider's
+  /// "serve.coalesce" span.
+  std::int64_t opened_ns = 0;
   bool sealed = false;
   std::condition_variable sealed_cv;  // the leader waits here
 };
@@ -183,6 +203,63 @@ RankingService::RankingService(const Options& options)
     queue_.SetLaneLimit(
         p, static_cast<int>(share * options_.queue_capacity));
   }
+
+  // One series set per service instance: the svc label keeps concurrent
+  // services (tests, embedded tools) from pooling their counts, and stats()
+  // reads back exactly the cells this instance owns.
+  static std::atomic<int> next_service_ordinal{0};
+  const obs::Labels labels = {
+      {"svc", std::to_string(next_service_ordinal.fetch_add(
+                  1, std::memory_order_relaxed))}};
+  obs::Registry& registry = obs::Registry::Global();
+  queries_ = registry.GetCounter("rpc_serve_queries_total", labels,
+                                 "Batches fully served");
+  rows_ = registry.GetCounter("rpc_serve_rows_total", labels,
+                              "Rows scored across all queries");
+  segments_ = registry.GetCounter("rpc_serve_segments_total", labels,
+                                  "Execution segments dispatched");
+  rejected_ = registry.GetCounter("rpc_serve_rejected_total", labels,
+                                  "Admissions refused (shed or shutdown)");
+  registrations_ =
+      registry.GetCounter("rpc_serve_registrations_total", labels,
+                          "Shards published (incl. replacements)");
+  deadline_expired_ =
+      registry.GetCounter("rpc_serve_deadline_expired_total", labels,
+                          "Queries failed with kDeadlineExceeded");
+  expired_segments_ =
+      registry.GetCounter("rpc_serve_expired_segments_total", labels,
+                          "Segments skipped or abandoned past their deadline");
+  coalesced_queries_ =
+      registry.GetCounter("rpc_serve_coalesced_queries_total", labels,
+                          "Queries served inside a shared coalesced group");
+  for (int p = 0; p < kNumPriorities; ++p) {
+    obs::Labels shed_labels = labels;
+    shed_labels.emplace_back("priority", PriorityLabel(p));
+    shed_by_priority_[static_cast<size_t>(p)] =
+        registry.GetCounter("rpc_serve_shed_total", shed_labels,
+                            "Admissions refused per priority class");
+  }
+  latency_us_ = registry.GetHistogram(
+      "rpc_serve_latency_us", obs::LatencyBucketUpperBoundsUs(), labels,
+      "End-to-end latency of answered queries (us)");
+  admission_wait_us_ = registry.GetHistogram(
+      "rpc_serve_admission_wait_us", obs::LatencyBucketUpperBoundsUs(), labels,
+      "Time from entering Query until the last segment was admitted (us)");
+  queue_depth_gauge_ = registry.GetCallbackGauge(
+      "rpc_serve_queue_depth", labels,
+      [this] { return static_cast<double>(queue_.size()); },
+      "Admission-queue occupancy (segments)");
+  queue_peak_gauge_ = registry.GetCallbackGauge(
+      "rpc_serve_queue_depth_peak", labels,
+      [this] { return static_cast<double>(queue_.peak_size()); },
+      "Admission-queue high-water mark (segments)");
+  datasets_gauge_ = registry.GetCallbackGauge(
+      "rpc_serve_datasets", labels,
+      [this] {
+        std::lock_guard<std::mutex> lock(shards_mu_);
+        return static_cast<double>(shards_.size());
+      },
+      "Shards currently resident");
 }
 
 RankingService::~RankingService() {
@@ -240,7 +317,7 @@ Status RankingService::RegisterDataset(const std::string& dataset_id,
   // (curve validation, workspace binds) never stalls queries — then swap.
   RPC_ASSIGN_OR_RETURN(std::shared_ptr<const Shard> shard,
                        BuildShard(model, dataset));
-  registrations_.fetch_add(1, std::memory_order_relaxed);
+  registrations_.Increment();
   std::lock_guard<std::mutex> lock(shards_mu_);
   shards_[dataset_id] = std::move(shard);
   return Status::Ok();
@@ -338,14 +415,28 @@ void RankingService::RunGroup(const Segment& seg) const {
   // One checkout for every rider — the amortisation coalescing exists for.
   for (const CoalesceGroup::Entry& entry : seg.group->entries) {
     BatchState& state = *entry.state;
+    const obs::TraceId trace = state.trace_id;
     if (state.ExpiredNow()) {
-      expired_segments_.fetch_add(1, std::memory_order_relaxed);
+      expired_segments_.Increment();
       state.Finish();
       continue;
     }
+    std::int64_t run_start_ns = 0;
+    if (trace != 0) {
+      run_start_ns = obs::TraceNowNs();
+      const std::int64_t admitted =
+          state.admitted_ns.load(std::memory_order_relaxed);
+      obs::EmitSpan(trace, "serve.queued",
+                    admitted > 0 && admitted <= run_start_ns ? admitted
+                                                             : run_start_ns,
+                    run_start_ns);
+    }
     if (!ScoreRows(shard, *slot_index, *entry.rows, 0, entry.n,
                    entry.scores_out, state)) {
-      expired_segments_.fetch_add(1, std::memory_order_relaxed);
+      expired_segments_.Increment();
+    }
+    if (trace != 0) {
+      obs::EmitSpan(trace, "serve.execute", run_start_ns, obs::TraceNowNs());
     }
     state.Finish();
   }
@@ -367,9 +458,25 @@ void RankingService::RunOneSegment() const {
   // Deadline re-check at dequeue: a segment that sat out its budget in the
   // queue is accounted and dropped, not executed.
   if (state.ExpiredNow()) {
-    expired_segments_.fetch_add(1, std::memory_order_relaxed);
+    expired_segments_.Increment();
     state.Finish();
     return;
+  }
+
+  // Span timestamps reuse one clock read per edge; untraced queries (the
+  // common case when auto-tracing is off) skip both reads entirely.
+  const obs::TraceId trace = state.trace_id;
+  std::int64_t run_start_ns = 0;
+  if (trace != 0) {
+    run_start_ns = obs::TraceNowNs();
+    const std::int64_t admitted =
+        state.admitted_ns.load(std::memory_order_relaxed);
+    // admitted_ns lands after the pushes; a worker can pop first, in which
+    // case the queued span collapses to zero length at dequeue time.
+    obs::EmitSpan(trace, "serve.queued",
+                  admitted > 0 && admitted <= run_start_ns ? admitted
+                                                           : run_start_ns,
+                  run_start_ns);
   }
 
   const Shard& shard = *seg->shard;
@@ -378,7 +485,10 @@ void RankingService::RunOneSegment() const {
   const bool completed = ScoreRows(shard, *slot_index, *seg->rows, seg->begin,
                                    seg->end, seg->scores_out, state);
   shard.free_slots.Push(*slot_index);
-  if (!completed) expired_segments_.fetch_add(1, std::memory_order_relaxed);
+  if (!completed) expired_segments_.Increment();
+  if (trace != 0) {
+    obs::EmitSpan(trace, "serve.execute", run_start_ns, obs::TraceNowNs());
+  }
   state.Finish();
 }
 
@@ -417,22 +527,21 @@ Status RankingService::AdmitSegmented(
       state.Wait();
       switch (pushed) {
         case QueuePushResult::kTimeout:
-          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+          deadline_expired_.Increment();
           return Status::DeadlineExceeded(
               "RankingService: deadline expired while blocked on a full "
               "admission queue");
         case QueuePushResult::kClosed:
-          rejected_.fetch_add(1, std::memory_order_relaxed);
+          rejected_.Increment();
           return Status::FailedPrecondition("RankingService: shutting down");
         default:
-          rejected_.fetch_add(1, std::memory_order_relaxed);
-          shed_by_priority_[static_cast<size_t>(lane)].fetch_add(
-              1, std::memory_order_relaxed);
+          rejected_.Increment();
+          shed_by_priority_[static_cast<size_t>(lane)].Increment();
           return Status::FailedPrecondition(
               "RankingService: admission queue full");
       }
     }
-    segments_.fetch_add(1, std::memory_order_relaxed);
+    segments_.Increment();
     pool_->Submit([this] { RunOneSegment(); });
   }
   state.admitted_ns.store(NowNs(), std::memory_order_relaxed);
@@ -462,13 +571,19 @@ void RankingService::SealAndAdmitGroup(
     const std::int64_t now_ns = NowNs();
     for (const CoalesceGroup::Entry& entry : group->entries) {
       entry.state->admitted_ns.store(now_ns, std::memory_order_relaxed);
+      // Every rider gets the gather window on its own timeline: group open
+      // to sealed-and-admitted, the price paid for the shared ride.
+      if (entry.state->trace_id != 0 && group->opened_ns > 0) {
+        obs::EmitSpan(entry.state->trace_id, "serve.coalesce",
+                      group->opened_ns, now_ns);
+      }
     }
-    segments_.fetch_add(1, std::memory_order_relaxed);
+    segments_.Increment();
     pool_->Submit([this] { RunOneSegment(); });
     return;
   }
   // kClosed (a blocking push only fails on shutdown): fail every rider.
-  rejected_.fetch_add(1, std::memory_order_relaxed);
+  rejected_.Increment();
   for (const CoalesceGroup::Entry& entry : group->entries) {
     entry.state->shutdown.store(true, std::memory_order_relaxed);
     entry.state->Finish();
@@ -487,7 +602,9 @@ Status RankingService::AdmitCoalesced(const std::shared_ptr<const Shard>& shard,
     std::lock_guard<std::mutex> lock(shard->coalesce_mu);
     if (shard->open_group == nullptr) {
       group = std::make_shared<CoalesceGroup>();
-      group->flush_at = Clock::now() + options_.max_coalesce_delay;
+      const Clock::time_point opened = Clock::now();
+      group->flush_at = opened + options_.max_coalesce_delay;
+      group->opened_ns = TpNs(opened);
       group->lane = lane;
       shard->open_group = group;
       leader = true;
@@ -528,7 +645,7 @@ Result<RankedBatch> RankingService::QueryImpl(const std::string& dataset_id,
   // Deadline check #1, at admission: an already-expired query never touches
   // the queue (or even the shard map).
   if (has_deadline && start >= options.deadline) {
-    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    deadline_expired_.Increment();
     return Status::DeadlineExceeded(
         "RankingService: deadline expired before admission");
   }
@@ -554,9 +671,17 @@ Result<RankedBatch> RankingService::QueryImpl(const std::string& dataset_id,
   const int lane =
       static_cast<int>(options.priority.value_or(shard->default_priority));
 
+  // Trace-context: thread the caller's id through, or mint one while
+  // auto-tracing is runtime-enabled (NewTraceId returns 0 otherwise, which
+  // turns every span site on this query's path into a no-op).
+  const obs::TraceId trace_id =
+      options.trace_id != 0 ? options.trace_id : obs::NewTraceId();
+  batch.trace.trace_id = trace_id;
+
   BatchState state;
   state.deadline = options.deadline;
   state.has_deadline = has_deadline;
+  state.trace_id = trace_id;
 
   double* scores_out = batch.scores.data().data();
   // Small blocking queries ride a shared group when coalescing is on;
@@ -582,7 +707,7 @@ Result<RankedBatch> RankingService::QueryImpl(const std::string& dataset_id,
   if (state.expired.load(std::memory_order_relaxed)) {
     // Deadline checks #2 (dequeue) and #3 (between rows) funnel here: some
     // worker observed the deadline pass before the result was complete.
-    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    deadline_expired_.Increment();
     return Status::DeadlineExceeded(
         "RankingService: deadline expired during execution");
   }
@@ -599,6 +724,13 @@ Result<RankedBatch> RankingService::QueryImpl(const std::string& dataset_id,
   batch.trace.execution_time = done - admitted;
   batch.trace.coalesced = state.coalesced;
 
+  // Caller-side spans reuse the timestamps QueryTrace already measured —
+  // no extra clock reads on the serving hot path.
+  if (trace_id != 0) {
+    obs::EmitSpan(trace_id, "serve.admission", TpNs(start), TpNs(admitted));
+    obs::EmitSpan(trace_id, "serve.query", TpNs(start), TpNs(done));
+  }
+
   // Ranks within the batch, with RankingList's deterministic tie-break.
   const rank::RankingList list(batch.scores, /*higher_is_better=*/true);
   batch.ranks.resize(static_cast<size_t>(n));
@@ -606,18 +738,43 @@ Result<RankedBatch> RankingService::QueryImpl(const std::string& dataset_id,
     batch.ranks[static_cast<size_t>(i)] = list.PositionOf(i);
   }
 
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  rows_.fetch_add(n, std::memory_order_relaxed);
-  if (state.coalesced) {
-    coalesced_queries_.fetch_add(1, std::memory_order_relaxed);
-  }
+  queries_.Increment();
+  rows_.Add(n);
+  if (state.coalesced) coalesced_queries_.Increment();
   RecordLatency(done - start);
+  admission_wait_us_.Record(
+      static_cast<double>(batch.trace.admission_wait.count() / 1000));
+
+  const std::chrono::nanoseconds slow_threshold =
+      options.slow_query_threshold.value_or(options_.slow_query_threshold);
+  if (options_.telemetry_sink != nullptr && slow_threshold.count() > 0 &&
+      done - start >= slow_threshold) {
+    EmitSlowQuery(dataset_id, batch.trace, n, done - start);
+  }
   return batch;
 }
 
 void RankingService::RecordLatency(std::chrono::nanoseconds total) const {
-  latency_buckets_[static_cast<size_t>(LatencyHistogram::BucketFor(total))]
-      .fetch_add(1, std::memory_order_relaxed);
+  latency_us_.Record(static_cast<double>(total.count() / 1000));
+}
+
+void RankingService::EmitSlowQuery(const std::string& dataset_id,
+                                   const QueryTrace& trace, int rows,
+                                   std::chrono::nanoseconds total) const {
+  std::string payload = "{\"dataset\":\"";
+  obs::AppendJsonEscaped(&payload, dataset_id);
+  payload += StrFormat(
+      "\",\"rows\":%d,\"total_us\":%.3f,\"admission_wait_us\":%.3f,"
+      "\"execution_us\":%.3f,\"segments\":%d,\"coalesced\":%s,"
+      "\"trace_id\":\"%llu\",\"spans\":",
+      rows, static_cast<double>(total.count()) / 1e3,
+      static_cast<double>(trace.admission_wait.count()) / 1e3,
+      static_cast<double>(trace.execution_time.count()) / 1e3, trace.segments,
+      trace.coalesced ? "true" : "false",
+      static_cast<unsigned long long>(trace.trace_id));
+  payload += obs::SpansToJson(obs::CollectTrace(trace.trace_id));
+  payload += '}';
+  options_.telemetry_sink->Emit("slow_query", payload);
 }
 
 Result<RankedBatch> RankingService::Query(const std::string& dataset_id,
@@ -639,24 +796,25 @@ Result<RankedBatch> RankingService::TryScoreBatch(
 }
 
 ServiceStats RankingService::stats() const {
+  // Assembled from the same registry cells the exporters publish — the
+  // legacy struct is a view, not a second set of books.
   ServiceStats stats;
-  stats.queries = queries_.load(std::memory_order_relaxed);
-  stats.rows = rows_.load(std::memory_order_relaxed);
-  stats.segments = segments_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.registrations = registrations_.load(std::memory_order_relaxed);
-  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
-  stats.expired_segments = expired_segments_.load(std::memory_order_relaxed);
-  stats.coalesced_queries = coalesced_queries_.load(std::memory_order_relaxed);
+  stats.queries = queries_.Value();
+  stats.rows = rows_.Value();
+  stats.segments = segments_.Value();
+  stats.rejected = rejected_.Value();
+  stats.registrations = registrations_.Value();
+  stats.deadline_expired = deadline_expired_.Value();
+  stats.expired_segments = expired_segments_.Value();
+  stats.coalesced_queries = coalesced_queries_.Value();
   for (int p = 0; p < kNumPriorities; ++p) {
     stats.shed_by_priority[static_cast<size_t>(p)] =
-        shed_by_priority_[static_cast<size_t>(p)].load(
-            std::memory_order_relaxed);
+        shed_by_priority_[static_cast<size_t>(p)].Value();
   }
+  const obs::HistogramSnapshot latency = latency_us_.Merge();
   for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
     stats.latency.buckets[static_cast<size_t>(b)] =
-        latency_buckets_[static_cast<size_t>(b)].load(
-            std::memory_order_relaxed);
+        latency.counts[static_cast<size_t>(b)];
   }
   {
     std::lock_guard<std::mutex> lock(shards_mu_);

@@ -18,7 +18,14 @@
 #include "core/model_io.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "obs/buckets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/curve_projection.h"
+
+namespace rpc::obs {
+class TelemetrySink;
+}  // namespace rpc::obs
 
 namespace rpc::serve {
 
@@ -62,6 +69,15 @@ struct QueryOptions {
   /// enables it (Options::max_coalesce_delay). Queries admitted with
   /// kReject never coalesce regardless.
   bool allow_coalesce = true;
+  /// Trace-context propagation: 0 (the default) allocates a fresh trace id
+  /// per query while obs tracing is runtime-enabled; a nonzero id threads
+  /// an external trace through this query (and forces span emission even
+  /// when auto-tracing is off). The id used is reported back in
+  /// QueryTrace::trace_id; its spans are readable via obs::CollectTrace.
+  obs::TraceId trace_id = 0;
+  /// Per-query override of Options::slow_query_threshold; unset = the
+  /// service default.
+  std::optional<std::chrono::nanoseconds> slow_query_threshold;
 };
 
 /// Per-dataset serving policy, fixed at registration.
@@ -94,6 +110,8 @@ struct QueryTrace {
   /// True when the query was executed inside a shared coalesced group with
   /// at least one other query.
   bool coalesced = false;
+  /// The obs trace id this query's spans were emitted under (0 = untraced).
+  obs::TraceId trace_id = 0;
 };
 
 /// The answer to one Query.
@@ -114,9 +132,11 @@ struct RankedBatch {
 /// holds sub-microsecond queries; the last bucket is unbounded above, at
 /// 2^19 us ~ 0.5 s). Coarse by design: enough to read p50/p99 drift from
 /// stats() without a profiler, cheap enough for one relaxed atomic
-/// increment per query.
+/// increment per query. The bucket scheme itself lives in obs/buckets.h —
+/// one definition shared with the registry histograms, so this struct is a
+/// plain view over the same distribution the exporters publish.
 struct LatencyHistogram {
-  static constexpr int kNumBuckets = 20;
+  static constexpr int kNumBuckets = obs::kLatencyBuckets;
   std::array<std::int64_t, kNumBuckets> buckets{};
 
   static int BucketFor(std::chrono::nanoseconds latency);
@@ -224,6 +244,14 @@ class RankingService {
     /// the model was fit/validated with for scores to be bit-identical to
     /// the in-process RpcRanker.
     opt::ProjectionOptions projection;
+    /// Destination for slow-query events (see slow_query_threshold). Not
+    /// owned; must outlive the service. nullptr = slow-query log off.
+    obs::TelemetrySink* telemetry_sink = nullptr;
+    /// Queries whose end-to-end latency meets or exceeds this emit their
+    /// full QueryTrace plus span timeline ("slow_query" events) through
+    /// telemetry_sink. 0 = disabled. Overridable per query via
+    /// QueryOptions::slow_query_threshold.
+    std::chrono::nanoseconds slow_query_threshold{0};
   };
 
   RankingService() : RankingService(Options()) {}
@@ -345,6 +373,10 @@ class RankingService {
                  const linalg::Matrix& rows, int begin, int end,
                  double* scores_out, BatchState& state) const;
   void RecordLatency(std::chrono::nanoseconds total) const;
+  /// Formats QueryTrace + the trace's span timeline as one JSON object and
+  /// emits it ("slow_query") through Options::telemetry_sink.
+  void EmitSlowQuery(const std::string& dataset_id, const QueryTrace& trace,
+                     int rows, std::chrono::nanoseconds total) const;
 
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
@@ -353,18 +385,26 @@ class RankingService {
   mutable std::mutex shards_mu_;
   std::unordered_map<std::string, std::shared_ptr<const Shard>> shards_;
 
-  mutable std::atomic<std::int64_t> queries_{0};
-  mutable std::atomic<std::int64_t> rows_{0};
-  mutable std::atomic<std::int64_t> segments_{0};
-  mutable std::atomic<std::int64_t> rejected_{0};
-  std::atomic<std::int64_t> registrations_{0};
-  mutable std::atomic<std::int64_t> deadline_expired_{0};
-  mutable std::atomic<std::int64_t> expired_segments_{0};
-  mutable std::atomic<std::int64_t> coalesced_queries_{0};
-  mutable std::array<std::atomic<std::int64_t>, kNumPriorities>
-      shed_by_priority_{};
-  mutable std::array<std::atomic<std::int64_t>, LatencyHistogram::kNumBuckets>
-      latency_buckets_{};
+  // Service counters live on the process-wide obs registry (one series per
+  // service instance, labelled svc="<ordinal>"); ServiceStats is assembled
+  // from these same cells, so the legacy struct stays a bit-identical view
+  // of what the exporters publish.
+  obs::Counter queries_;
+  obs::Counter rows_;
+  obs::Counter segments_;
+  obs::Counter rejected_;
+  obs::Counter registrations_;
+  obs::Counter deadline_expired_;
+  obs::Counter expired_segments_;
+  obs::Counter coalesced_queries_;
+  std::array<obs::Counter, kNumPriorities> shed_by_priority_;
+  obs::Histogram latency_us_;
+  obs::Histogram admission_wait_us_;
+  // Callback gauges read queue_/shards_; declared last so they unregister
+  // (reverse member order) before anything they sample is destroyed.
+  obs::Registry::CallbackHandle queue_depth_gauge_;
+  obs::Registry::CallbackHandle queue_peak_gauge_;
+  obs::Registry::CallbackHandle datasets_gauge_;
 };
 
 }  // namespace rpc::serve

@@ -12,6 +12,7 @@
 #include "common/stringutil.h"
 #include "durable/codec.h"
 #include "durable/file_util.h"
+#include "obs/buckets.h"
 
 namespace rpc::stream {
 
@@ -80,6 +81,68 @@ StreamingRanker::StreamingRanker(serve::RankingService* service,
   warm_options_.reprojection_adaptive_brackets = true;
   warm_options_.max_iterations = std::max(options_.warm_refit_max_iterations, 1);
   warm_options_.record_history = false;
+
+  // One series set per ranker instance. The inst ordinal disambiguates two
+  // rankers sharing a dataset id (primary + warm standby in failover
+  // tests). Handles are created here — never lazily on a path that holds
+  // mu_ — because the registry lock must always be taken outside mu_ (the
+  // callback gauges below take them in that order at Snapshot time).
+  static std::atomic<int> next_ranker_ordinal{0};
+  const obs::Labels labels = {
+      {"dataset", dataset_id_},
+      {"inst", std::to_string(next_ranker_ordinal.fetch_add(
+                   1, std::memory_order_relaxed))}};
+  obs::Registry& registry = obs::Registry::Global();
+  const auto kind_counter = [&](const char* kind) {
+    obs::Labels kind_labels = labels;
+    kind_labels.emplace_back("kind", kind);
+    return registry.GetCounter("rpc_stream_events_total", kind_labels,
+                               "Ingestion events applied, by kind");
+  };
+  append_events_ = kind_counter("append");
+  retire_events_ = kind_counter("retire");
+  ingest_lag_us_ = registry.GetHistogram(
+      "rpc_stream_ingest_lag_us", obs::LatencyBucketUpperBoundsUs(), labels,
+      "Queue residency of ingestion events, enqueue to pop (us)");
+  const auto phase_histogram = [&](const char* phase) {
+    obs::Labels phase_labels = labels;
+    phase_labels.emplace_back("phase", phase);
+    return registry.GetHistogram("rpc_stream_refresh_phase_us",
+                                 obs::LatencyBucketUpperBoundsUs(),
+                                 phase_labels,
+                                 "Warm-refresh phase durations (us)");
+  };
+  refresh_renormalize_us_ = phase_histogram("renormalize");
+  refresh_refit_us_ = phase_histogram("refit");
+  refresh_publish_us_ = phase_histogram("publish");
+  pending_gauge_ = registry.GetCallbackGauge(
+      "rpc_stream_pending", labels,
+      [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<double>(pending_);
+      },
+      "Events admitted but not yet applied");
+  rows_gauge_ = registry.GetCallbackGauge(
+      "rpc_stream_rows", labels,
+      [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<double>(row_ids_.size());
+      },
+      "Live rows in the store");
+  version_gauge_ = registry.GetCallbackGauge(
+      "rpc_stream_version", labels,
+      [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<double>(version_);
+      },
+      "Published model version");
+  drift_gauge_ = registry.GetCallbackGauge(
+      "rpc_stream_drift", labels,
+      [this] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return last_drift_;
+      },
+      "Normaliser-bounds drift at the last policy evaluation");
 }
 
 StreamingRanker::~StreamingRanker() {
@@ -209,6 +272,7 @@ Result<std::int64_t> StreamingRanker::AppendImpl(const Vector& raw_row,
   Event event;
   event.kind = Event::Kind::kAppend;
   event.row = raw_row;
+  event.enqueue_ns = obs::TraceNowNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
@@ -255,6 +319,7 @@ Status StreamingRanker::Retire(std::int64_t row_id) {
   Event event;
   event.kind = Event::Kind::kRetire;
   event.row_id = row_id;
+  event.enqueue_ns = obs::TraceNowNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return Status::FailedPrecondition("StreamingRanker: stopped");
@@ -371,6 +436,11 @@ std::vector<double> StreamingRanker::RefreshSecondsHistory() const {
 void StreamingRanker::ProcessOneEvent() {
   std::optional<Event> event = queue_.Pop();
   if (!event.has_value()) return;  // closed and drained
+  if (event->enqueue_ns != 0) {
+    // Ingest lag: time the event sat in the queue before a worker took it
+    // (replayed events carry no stamp and are skipped).
+    ingest_lag_us_.Record((obs::TraceNowNs() - event->enqueue_ns) / 1000);
+  }
   std::shared_ptr<RefreshJob> refresh_job;
   std::shared_ptr<ColdJob> cold_job;
   std::shared_ptr<durable::SnapshotState> snapshot_state;
@@ -446,6 +516,7 @@ void StreamingRanker::ApplyEventLocked(const Event& event) {
     // s* (and its served score until the next refresh).
     s_.push_back(ProjectRowLocked(x));
     ++appended_;
+    append_events_.Increment();  // relaxed atomic: safe under mu_
   } else {
     const auto it = id_to_index_.find(event.row_id);
     if (it == id_to_index_.end()) {
@@ -485,6 +556,7 @@ void StreamingRanker::ApplyEventLocked(const Event& event) {
       LogBoundsLocked();
     }
     ++retired_;
+    retire_events_.Increment();
   }
 }
 
@@ -537,6 +609,9 @@ bool StreamingRanker::PrepareRefreshLocked(RefreshJob* job, Status* status) {
 
 Status StreamingRanker::RunRefresh(RefreshJob* job) {
   const auto start = std::chrono::steady_clock::now();
+  const obs::TraceId trace = obs::NewTraceId();
+  const obs::Span refresh_span(trace, "stream.refresh");
+  const std::int64_t t0 = obs::TraceNowNs();
   const data::Normalizer& normalizer = *job->normalizer;
   const Matrix normalized = normalizer.Transform(job->rows);
   core::RpcWarmStartState seed;
@@ -544,8 +619,16 @@ Status StreamingRanker::RunRefresh(RefreshJob* job) {
       RemapControlPoints(job->seed_control, job->old_mins, job->old_maxs,
                          normalizer.mins(), normalizer.maxs());
   seed.scores = std::move(job->seed_scores);
-  const core::RpcLearner learner(warm_options_);
+  const std::int64_t t1 = obs::TraceNowNs();
+  refresh_renormalize_us_.Record((t1 - t0) / 1000);
+  obs::EmitSpan(trace, "stream.renormalize", t0, t1);
+  core::RpcLearnOptions refit_options = warm_options_;
+  refit_options.trace_id = trace;  // stage spans nest under this refresh
+  const core::RpcLearner learner(refit_options);
   Result<core::RpcFitResult> fit = learner.Refit(normalized, alpha_, seed);
+  const std::int64_t t2 = obs::TraceNowNs();
+  refresh_refit_us_.Record((t2 - t1) / 1000);
+  obs::EmitSpan(trace, "stream.refit", t1, t2);
   if (!fit.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++failed_refreshes_;
@@ -587,6 +670,9 @@ Status StreamingRanker::RunRefresh(RefreshJob* job) {
     published =
         service_->RegisterDataset(dataset_id_, portable, options_.serving);
   }
+  const std::int64_t t3 = obs::TraceNowNs();
+  refresh_publish_us_.Record((t3 - t2) / 1000);
+  obs::EmitSpan(trace, "stream.publish", t2, t3);
   std::shared_ptr<RefreshJob> chained;
   {
     std::lock_guard<std::mutex> lock(mu_);

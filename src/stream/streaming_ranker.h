@@ -23,6 +23,8 @@
 #include "durable/snapshot.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/curve_projection.h"
 #include "order/orientation.h"
 #include "serve/ranking_service.h"
@@ -331,6 +333,9 @@ class StreamingRanker {
     Kind kind = Kind::kAppend;
     std::int64_t row_id = 0;
     linalg::Vector row;  // kAppend only
+    /// Steady-clock stamp taken at enqueue; the worker measures ingest lag
+    /// (time spent queued) against it when it pops the event.
+    std::int64_t enqueue_ns = 0;
   };
 
   /// Everything one refresh needs, snapshotted under the lock so the refit
@@ -472,6 +477,22 @@ class StreamingRanker {
   std::int64_t cold_refits_ = 0;
   std::int64_t cold_rejected_ = 0;
   RecoveryInfo recovery_info_;
+
+  // Telemetry. Counters/histograms are plain relaxed atomics (safe to
+  // bump under mu_); the callback gauges lock mu_ when sampled, so no
+  // registry call may ever run while mu_ is held (lock-order rule).
+  obs::Counter append_events_;
+  obs::Counter retire_events_;
+  obs::Histogram ingest_lag_us_;
+  obs::Histogram refresh_renormalize_us_;
+  obs::Histogram refresh_refit_us_;
+  obs::Histogram refresh_publish_us_;
+  // Declared last: unregister (handle destructors) before the state the
+  // callbacks sample is torn down.
+  obs::Registry::CallbackHandle pending_gauge_;
+  obs::Registry::CallbackHandle rows_gauge_;
+  obs::Registry::CallbackHandle version_gauge_;
+  obs::Registry::CallbackHandle drift_gauge_;
 };
 
 }  // namespace rpc::stream

@@ -1,0 +1,168 @@
+#include "obs/export.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace rpc::obs {
+namespace {
+
+// All exporter tests use local Registry instances: the global registry is
+// shared by every test in this binary and its contents depend on which
+// subsystems other tests have touched.
+
+TEST(PrometheusTextTest, CounterAndGaugeSamples) {
+  Registry registry;
+  registry.GetCounter("exp_requests_total", {}, "Requests served.").Add(7);
+  registry.GetGauge("exp_depth", {{"svc", "0"}}).Set(3);
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# HELP exp_requests_total Requests served.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE exp_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("exp_requests_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE exp_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("exp_depth{svc=\"0\"} 3\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, TypeLineAppearsOncePerFamily) {
+  Registry registry;
+  registry.GetCounter("exp_family_total", {{"k", "a"}}).Increment();
+  registry.GetCounter("exp_family_total", {{"k", "b"}}).Increment();
+  const std::string text = PrometheusText(registry);
+  const std::string type_line = "# TYPE exp_family_total counter";
+  const std::size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+  EXPECT_NE(text.find("exp_family_total{k=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("exp_family_total{k=\"b\"} 1\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HistogramIsCumulativeWithInfBucket) {
+  Registry registry;
+  Histogram histogram = registry.GetHistogram("exp_lat_us", {1.0, 10.0});
+  histogram.Record(0.5);    // [<1)
+  histogram.Record(5.0);    // [1,10)
+  histogram.Record(5.5);    // [1,10)
+  histogram.Record(100.0);  // overflow
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE exp_lat_us histogram\n"), std::string::npos);
+  // Buckets are cumulative in le order and end with +Inf == _count.
+  EXPECT_NE(text.find("exp_lat_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("exp_lat_us_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("exp_lat_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("exp_lat_us_sum 111\n"), std::string::npos);
+  EXPECT_NE(text.find("exp_lat_us_count 4\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, LabelValuesAreEscaped) {
+  Registry registry;
+  registry.GetCounter("exp_esc_total", {{"path", "a\"b\\c\nd"}}).Increment();
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("exp_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(JsonSnapshotTest, StructureAndValues) {
+  Registry registry;
+  registry.GetCounter("exp_json_total", {{"k", "v"}}).Add(2);
+  Histogram histogram = registry.GetHistogram("exp_json_us", {4.0});
+  histogram.Record(3.0);
+  histogram.Record(9.0);
+  const std::string json = JsonSnapshot(registry, /*include_spans=*/false);
+  EXPECT_EQ(json.find("{\"metrics\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"exp_json_total\",\"type\":\"counter\","
+                      "\"labels\":{\"k\":\"v\"},\"value\":2"),
+            std::string::npos);
+  // JSON histograms carry per-bucket (not cumulative) counts.
+  EXPECT_NE(json.find("\"name\":\"exp_json_us\",\"type\":\"histogram\","
+                      "\"labels\":{},\"bounds\":[4],\"counts\":[1,1],"
+                      "\"sum\":12,\"count\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"spans\":[]"), std::string::npos);
+}
+
+TEST(JsonSnapshotTest, AppendJsonEscapedHandlesControls) {
+  std::string out;
+  AppendJsonEscaped(&out, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+TEST(SinkTest, VectorSinkKeepsOrderAndFiltersByKind) {
+  VectorSink sink;
+  sink.Emit("metrics", "{\"a\":1}");
+  sink.Emit("slow_query", "{\"b\":2}");
+  sink.Emit("metrics", "{\"c\":3}");
+  ASSERT_EQ(sink.events().size(), 3u);
+  const std::vector<VectorSink::Event> metrics = sink.EventsOfKind("metrics");
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].payload, "{\"a\":1}");
+  EXPECT_EQ(metrics[1].payload, "{\"c\":3}");
+  ASSERT_EQ(sink.EventsOfKind("slow_query").size(), 1u);
+  EXPECT_TRUE(sink.EventsOfKind("absent").empty());
+}
+
+TEST(SinkTest, FileSinkWritesTabSeparatedLines) {
+  const std::string path =
+      testing::TempDir() + "/obs_export_file_sink_test.log";
+  std::remove(path.c_str());
+  {
+    FileSink sink(path);
+    sink.Emit("metrics", "{\"x\":1}");
+    sink.Emit("slow_query", "{\"y\":2}");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "metrics\t{\"x\":1}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "slow_query\t{\"y\":2}");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(PeriodicFlusherTest, FinalFlushOnDestruction) {
+  Registry registry;
+  registry.GetCounter("exp_flush_total").Add(5);
+  VectorSink sink;
+  {
+    PeriodicFlusher::Options options;
+    options.period = std::chrono::milliseconds(3600 * 1000);  // never fires
+    PeriodicFlusher flusher(&sink, options, &registry);
+  }
+  const std::vector<VectorSink::Event> events = sink.EventsOfKind("metrics");
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_NE(events.back().payload.find("\"name\":\"exp_flush_total\""),
+            std::string::npos);
+  EXPECT_NE(events.back().payload.find("\"value\":5"), std::string::npos);
+}
+
+TEST(PeriodicFlusherTest, PeriodicEmissionAndFlushNow) {
+  Registry registry;
+  registry.GetGauge("exp_live").Set(1);
+  VectorSink sink;
+  PeriodicFlusher::Options options;
+  options.period = std::chrono::milliseconds(5);
+  PeriodicFlusher flusher(&sink, options, &registry);
+  flusher.FlushNow();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sink.EventsOfKind("metrics").size() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(sink.EventsOfKind("metrics").size(), 2u);
+}
+
+}  // namespace
+}  // namespace rpc::obs

@@ -1,0 +1,92 @@
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/buckets.h"
+#include "obs/metrics.h"
+
+namespace rpc::obs {
+namespace {
+
+// Deterministic integer-valued sample stream. Integer values keep the
+// atomic-double sum accumulation exact and associative, so the sharded
+// concurrent histogram must match the single-threaded reference to the
+// last bit, not just approximately.
+std::int64_t SampleValue(int thread, int i) {
+  const std::uint64_t x =
+      (static_cast<std::uint64_t>(thread) * 2654435761u + i) * 0x9e3779b97f4a7c15ull;
+  // Spread across the latency bucket range: 0 .. ~2^20 us.
+  return static_cast<std::int64_t>((x >> 17) % (1u << 20));
+}
+
+TEST(HistogramMergeTest, ConcurrentShardsMatchSingleThreadedReference) {
+  constexpr int kThreads = 8;  // covers every shard (kMetricShards = 8)
+  constexpr int kSamplesPerThread = 50000;
+
+  Registry registry;
+  const std::vector<double> bounds = LatencyBucketUpperBoundsUs();
+  Histogram concurrent = registry.GetHistogram("concurrent", bounds);
+  Histogram reference = registry.GetHistogram("reference", bounds);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      for (int i = 0; i < kSamplesPerThread; ++i) {
+        concurrent.Record(static_cast<double>(SampleValue(t, i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // The reference sees the identical multiset, recorded by one thread.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kSamplesPerThread; ++i) {
+      reference.Record(static_cast<double>(SampleValue(t, i)));
+    }
+  }
+
+  const HistogramSnapshot merged = concurrent.Merge();
+  const HistogramSnapshot expected = reference.Merge();
+
+  EXPECT_EQ(merged.count,
+            static_cast<std::int64_t>(kThreads) * kSamplesPerThread);
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);  // exact: integer-valued samples
+  ASSERT_EQ(merged.counts.size(), expected.counts.size());
+  for (std::size_t b = 0; b < merged.counts.size(); ++b) {
+    EXPECT_EQ(merged.counts[b], expected.counts[b]) << "bucket " << b;
+  }
+}
+
+TEST(HistogramMergeTest, QuantileUpperBoundIsMonotone) {
+  Registry registry;
+  Histogram histogram =
+      registry.GetHistogram("quantiles", LatencyBucketUpperBoundsUs());
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 10000; ++i) {
+      histogram.Record(static_cast<double>(SampleValue(t, i)));
+    }
+  }
+  const HistogramSnapshot snapshot = histogram.Merge();
+  double previous = snapshot.QuantileUpperBound(0.0);
+  for (int step = 1; step <= 100; ++step) {
+    const double q = static_cast<double>(step) / 100.0;
+    const double bound = snapshot.QuantileUpperBound(q);
+    EXPECT_GE(bound, previous) << "q = " << q;
+    previous = bound;
+  }
+}
+
+TEST(HistogramMergeTest, EmptyHistogramMergesToZero) {
+  Registry registry;
+  Histogram histogram = registry.GetHistogram("empty", {1.0, 2.0});
+  const HistogramSnapshot snapshot = histogram.Merge();
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_EQ(snapshot.sum, 0.0);
+  for (const std::int64_t c : snapshot.counts) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace rpc::obs

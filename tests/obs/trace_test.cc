@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rpc::obs {
+namespace {
+
+#ifdef RPC_OBS_DISABLED
+
+TEST(TraceTest, DisabledBuildIsInert) {
+  EXPECT_EQ(NewTraceId(), 0u);
+  EXPECT_FALSE(TracingEnabled());
+  EmitSpan(42, "noop", 1, 2);
+  { Span span(42, "noop_raii"); }
+  EXPECT_TRUE(CollectSpans().empty());
+  EXPECT_TRUE(CollectTrace(42).empty());
+}
+
+#else  // !RPC_OBS_DISABLED
+
+TEST(TraceTest, EmitAndCollectRoundtrip) {
+  const TraceId trace = NewTraceId();
+  ASSERT_NE(trace, 0u);
+  EmitSpan(trace, "alpha", 100, 200);
+  EmitSpan(trace, "beta", 150, 250);
+  EmitSpan(trace, "gamma", 50, 120);
+  const std::vector<SpanRecord> spans = CollectTrace(trace);
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by start time.
+  EXPECT_STREQ(spans[0].name, "gamma");
+  EXPECT_STREQ(spans[1].name, "alpha");
+  EXPECT_STREQ(spans[2].name, "beta");
+  EXPECT_EQ(spans[0].start_ns, 50);
+  EXPECT_EQ(spans[0].end_ns, 120);
+  for (const SpanRecord& span : spans) EXPECT_EQ(span.trace_id, trace);
+}
+
+TEST(TraceTest, SpanRaiiEmitsOnDestruction) {
+  const TraceId trace = NewTraceId();
+  ASSERT_NE(trace, 0u);
+  { Span span(trace, "raii_scope"); }
+  const std::vector<SpanRecord> spans = CollectTrace(trace);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "raii_scope");
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+}
+
+TEST(TraceTest, TraceZeroIsNeverRecorded) {
+  EmitSpan(0, "untraced", 1, 2);
+  { Span span(0, "untraced_raii"); }
+  EXPECT_TRUE(CollectTrace(0).empty());
+}
+
+TEST(TraceTest, RuntimeSwitchGatesIdAllocationOnly) {
+  SetTracingEnabled(false);
+  EXPECT_FALSE(TracingEnabled());
+  EXPECT_EQ(NewTraceId(), 0u);
+  // An explicitly propagated nonzero id still records while the switch is
+  // off — that is how a caller forces tracing for one query.
+  const TraceId forced = 0xF0ECEDF0ECEDull;
+  EmitSpan(forced, "forced", 10, 20);
+  SetTracingEnabled(true);
+  EXPECT_TRUE(TracingEnabled());
+  EXPECT_NE(NewTraceId(), 0u);
+  const std::vector<SpanRecord> spans = CollectTrace(forced);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "forced");
+}
+
+TEST(TraceTest, RingWraparoundKeepsNewestSpans) {
+  const TraceId trace = NewTraceId();
+  ASSERT_NE(trace, 0u);
+  constexpr int kEmitted = 6000;  // > ring capacity (4096)
+  for (int i = 0; i < kEmitted; ++i) {
+    EmitSpan(trace, "wrap", i, i + 1);
+  }
+  const std::vector<SpanRecord> spans = CollectTrace(trace);
+  EXPECT_LE(spans.size(), 4096u);
+  EXPECT_GE(spans.size(), 1u);
+  // The newest span survives the wrap; the oldest were overwritten.
+  std::int64_t max_start = -1;
+  for (const SpanRecord& span : spans) {
+    max_start = std::max(max_start, span.start_ns);
+  }
+  EXPECT_EQ(max_start, kEmitted - 1);
+}
+
+TEST(TraceTest, PerThreadRingsMergeAcrossThreads) {
+  const TraceId trace = NewTraceId();
+  ASSERT_NE(trace, 0u);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([trace, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const std::int64_t base = 1000 * t + i;
+        EmitSpan(trace, "mt", base, base + 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<SpanRecord> spans = CollectTrace(trace);
+  EXPECT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  EXPECT_TRUE(std::is_sorted(
+      spans.begin(), spans.end(),
+      [](const SpanRecord& a, const SpanRecord& b) {
+        return a.start_ns < b.start_ns;
+      }));
+}
+
+TEST(TraceTest, CollectTraceFiltersOtherTraces) {
+  const TraceId a = NewTraceId();
+  const TraceId b = NewTraceId();
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  EmitSpan(a, "mine", 1, 2);
+  EmitSpan(b, "theirs", 3, 4);
+  for (const SpanRecord& span : CollectTrace(a)) {
+    EXPECT_EQ(span.trace_id, a);
+    EXPECT_STREQ(span.name, "mine");
+  }
+  ASSERT_EQ(CollectTrace(a).size(), 1u);
+}
+
+#endif  // RPC_OBS_DISABLED
+
+TEST(TraceTest, TraceNowNsIsMonotoneNonDecreasing) {
+  // Available in every build, including RPC_OBS_DISABLED.
+  const std::int64_t a = TraceNowNs();
+  const std::int64_t b = TraceNowNs();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0);
+}
+
+}  // namespace
+}  // namespace rpc::obs
